@@ -1,0 +1,242 @@
+//! Per-figure data extraction.
+//!
+//! Each of the paper's figures is, at heart, a set of named `(x, y)` series.
+//! This module turns a [`RunStats`] into those series so the figure binaries
+//! in `ccfuzz-bench` (and the examples) only have to print or plot them.
+
+use crate::timeseries::rate_curve_bps;
+use ccfuzz_netsim::packet::FlowId;
+use ccfuzz_netsim::stats::RunStats;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` points (x is usually seconds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl FigureSeries {
+    /// Builds a series from a label and points.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        FigureSeries { name: name.into(), points }
+    }
+
+    /// Maximum y value (0 for an empty series).
+    pub fn max_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// Mean y value (0 for an empty series).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// The ingress/egress/cross-traffic rate curves plotted in Figures 4a/4b.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateCurves {
+    /// Rate at which the CCA flow's packets arrive at the bottleneck queue
+    /// (offered load), Mbps.
+    pub ingress_mbps: FigureSeries,
+    /// Rate at which the CCA flow's packets cross the bottleneck, Mbps.
+    pub egress_mbps: FigureSeries,
+    /// Rate at which cross traffic arrives at the queue, Mbps.
+    pub traffic_mbps: FigureSeries,
+    /// The bottleneck's service rate over time (what the link could carry), Mbps.
+    pub link_rate_mbps: FigureSeries,
+}
+
+/// Extracts the Figure 4a/4b rate curves from a run.
+///
+/// `link_capacity` is the cumulative `(time, bytes)` service curve of the
+/// bottleneck (for a fixed-rate link, a straight line; for a trace-driven
+/// link, the trace itself).
+pub fn rate_curves(
+    stats: &RunStats,
+    link_capacity: &[(SimTime, u64)],
+    window: SimDuration,
+    duration: SimDuration,
+) -> RateCurves {
+    let to_mbps = |series: Vec<(SimTime, f64)>| -> Vec<(f64, f64)> {
+        series
+            .into_iter()
+            .map(|(t, bps)| (t.as_secs_f64(), bps / 1e6))
+            .collect()
+    };
+    let ingress = rate_curve_bps(&stats.ingress_bytes(FlowId::Cca), window, duration);
+    let egress = rate_curve_bps(&stats.egress_bytes(FlowId::Cca), window, duration);
+    let traffic = rate_curve_bps(&stats.ingress_bytes(FlowId::CrossTraffic), window, duration);
+    let link = rate_curve_bps(link_capacity, window, duration);
+    RateCurves {
+        ingress_mbps: FigureSeries::new("Ingress", to_mbps(ingress)),
+        egress_mbps: FigureSeries::new("Egress", to_mbps(egress)),
+        traffic_mbps: FigureSeries::new("Traffic", to_mbps(traffic)),
+        link_rate_mbps: FigureSeries::new("Link Rate", to_mbps(link)),
+    }
+}
+
+/// Builds the cumulative `(time, bytes)` curve of a constant-rate link, for
+/// use as the `link_capacity` argument of [`rate_curves`].
+pub fn constant_rate_capacity(
+    rate_bps: u64,
+    window: SimDuration,
+    duration: SimDuration,
+) -> Vec<(SimTime, u64)> {
+    let mut points = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t.as_nanos() <= duration.as_nanos() {
+        let bytes = (rate_bps as f64 / 8.0 * t.as_secs_f64()) as u64;
+        points.push((t, bytes));
+        t += window;
+    }
+    points
+}
+
+/// Builds the cumulative `(time, bytes)` curve of a trace-driven link.
+pub fn trace_capacity(opportunities: &[SimTime], packet_size: u32) -> Vec<(SimTime, u64)> {
+    opportunities
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, (i as u64 + 1) * packet_size as u64))
+        .collect()
+}
+
+/// Queuing-delay series for Figure 4e: per-packet queuing delay (ms) against
+/// the time the packet left the queue, for both flows.
+pub fn queuing_delay_series(stats: &RunStats) -> (FigureSeries, FigureSeries) {
+    let extract = |flow: FlowId, name: &str| {
+        FigureSeries::new(
+            name,
+            stats
+                .queuing_delays(flow)
+                .into_iter()
+                .map(|(t, d)| (t.as_secs_f64(), d.as_secs_f64() * 1e3))
+                .collect(),
+        )
+    };
+    (
+        extract(FlowId::Cca, "BBR Flow"),
+        extract(FlowId::CrossTraffic, "Cross Traffic"),
+    )
+}
+
+/// Cumulative packet-count curve of a trace (Figure 3 / Figure 5): one point
+/// per sample instant.
+pub fn cumulative_packet_curve(timestamps: &[SimTime], samples: usize, duration: SimDuration) -> FigureSeries {
+    let samples = samples.max(2);
+    let total_ns = duration.as_nanos().max(1);
+    let mut points = Vec::with_capacity(samples);
+    let mut idx = 0usize;
+    let sorted: Vec<SimTime> = {
+        let mut v = timestamps.to_vec();
+        v.sort_unstable();
+        v
+    };
+    for s in 0..samples {
+        let t_ns = total_ns * s as u64 / (samples as u64 - 1);
+        while idx < sorted.len() && sorted[idx].as_nanos() <= t_ns {
+            idx += 1;
+        }
+        points.push((t_ns as f64 / 1e6, idx as f64)); // x in milliseconds, as in Fig 3
+    }
+    FigureSeries::new("Packet Count", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::stats::{BottleneckEvent, BottleneckRecord};
+
+    fn record(at_ms: u64, flow: FlowId, event: BottleneckEvent) -> BottleneckRecord {
+        BottleneckRecord { at: SimTime::from_millis(at_ms), flow, size: 1_000, event }
+    }
+
+    #[test]
+    fn figure_series_helpers() {
+        let s = FigureSeries::new("x", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(s.max_y(), 3.0);
+        assert_eq!(s.mean_y(), 2.0);
+        let empty = FigureSeries::new("e", vec![]);
+        assert_eq!(empty.max_y(), 0.0);
+        assert_eq!(empty.mean_y(), 0.0);
+    }
+
+    #[test]
+    fn rate_curves_extracts_all_four_series() {
+        let stats = RunStats {
+            bottleneck: vec![
+                record(100, FlowId::Cca, BottleneckEvent::Enqueued),
+                record(
+                    200,
+                    FlowId::Cca,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(100) },
+                ),
+                record(300, FlowId::CrossTraffic, BottleneckEvent::Enqueued),
+            ],
+            ..Default::default()
+        };
+        let capacity = constant_rate_capacity(
+            12_000_000,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(1),
+        );
+        let curves = rate_curves(
+            &stats,
+            &capacity,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(curves.ingress_mbps.points.len(), 2);
+        assert!(curves.ingress_mbps.points[0].1 > 0.0);
+        assert!(curves.egress_mbps.points[0].1 > 0.0);
+        assert!(curves.traffic_mbps.points[0].1 > 0.0);
+        // 12 Mbps link: each 0.5s bucket carries ~12 Mbit/s.
+        assert!((curves.link_rate_mbps.points[1].1 - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn queuing_delay_series_splits_flows() {
+        let stats = RunStats {
+            bottleneck: vec![
+                record(
+                    100,
+                    FlowId::Cca,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(30) },
+                ),
+                record(
+                    200,
+                    FlowId::CrossTraffic,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(5) },
+                ),
+            ],
+            ..Default::default()
+        };
+        let (cca, cross) = queuing_delay_series(&stats);
+        assert_eq!(cca.points, vec![(0.1, 30.0)]);
+        assert_eq!(cross.points, vec![(0.2, 5.0)]);
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone_and_ends_at_total() {
+        let ts: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(i * 10)).collect();
+        let curve = cumulative_packet_curve(&ts, 20, SimDuration::from_secs(1));
+        assert_eq!(curve.points.len(), 20);
+        assert!(curve.points.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve.points.last().unwrap().1, 100.0);
+    }
+
+    #[test]
+    fn trace_capacity_accumulates_bytes() {
+        let opp = vec![SimTime::from_millis(1), SimTime::from_millis(2)];
+        let cap = trace_capacity(&opp, 1500);
+        assert_eq!(cap, vec![(SimTime::from_millis(1), 1500), (SimTime::from_millis(2), 3000)]);
+    }
+}

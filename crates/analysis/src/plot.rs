@@ -1,0 +1,138 @@
+//! Plain-text output: ASCII plots and CSV export for figure data.
+//!
+//! The benchmark binaries print both an ASCII rendering (for a quick look in
+//! the terminal) and CSV rows (for regenerating publication-style plots with
+//! any external tool).
+
+use crate::figures::FigureSeries;
+use std::fmt::Write as _;
+
+/// Renders one or more series as a fixed-size ASCII chart.
+///
+/// Each series gets its own glyph; axes are annotated with the data range.
+pub fn ascii_chart(title: &str, series: &[&FigureSeries], width: usize, height: usize) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(5, 60);
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y: f64 = 0.0;
+    let mut max_y = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if !min_x.is_finite() || !max_x.is_finite() || max_y <= min_y {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let x_span = (max_x - min_x).max(1e-12);
+    let y_span = (max_y - min_y).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - min_x) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - min_y) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = max_y - (i as f64 / (height - 1) as f64) * y_span;
+        let _ = writeln!(out, "{y_label:>10.2} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>10}  {:<.2}{}{:>.2}", "", min_x, " ".repeat(width.saturating_sub(12)), max_x);
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "   [{}] {}", glyphs[si % glyphs.len()], s.name);
+    }
+    out
+}
+
+/// Serialises series as CSV: a header row (`x,<name1>,<name2>,...`) followed
+/// by one row per x value of the *first* series; other series are sampled at
+/// their own index (series are expected to share the x grid, as all figure
+/// extractors in this crate produce).
+pub fn to_csv(series: &[&FigureSeries]) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = std::iter::once("x".to_string())
+        .chain(series.iter().map(|s| s.name.replace(',', ";")))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(i as f64);
+        let mut row = vec![format!("{x}")];
+        for s in series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|p| format!("{}", p.1))
+                    .unwrap_or_default(),
+            );
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, points: Vec<(f64, f64)>) -> FigureSeries {
+        FigureSeries::new(name, points)
+    }
+
+    #[test]
+    fn ascii_chart_contains_title_and_legend() {
+        let a = series("throughput", vec![(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)]);
+        let b = series("delay", vec![(0.0, 2.0), (1.0, 2.0), (2.0, 3.0)]);
+        let chart = ascii_chart("Figure X", &[&a, &b], 40, 10);
+        assert!(chart.contains("== Figure X =="));
+        assert!(chart.contains("throughput"));
+        assert!(chart.contains("delay"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_series() {
+        let a = series("empty", vec![]);
+        let chart = ascii_chart("Nothing", &[&a], 40, 10);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let a = series("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = series("b", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,4");
+    }
+
+    #[test]
+    fn csv_with_uneven_series_pads_missing_values() {
+        let a = series("a", vec![(0.0, 1.0)]);
+        let b = series("b", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "1,,4");
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the simulator substrate: how fast one fitness
+//! evaluation (a full 5-second dumbbell simulation) runs for each CCA. These
+//! numbers bound how large a GA population / generation count is practical.
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::paper_sim_base;
+use ccfuzz_netsim::link::LinkModel;
+use ccfuzz_netsim::sim::run_simulation;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use ccfuzz_netsim::trace::TrafficTrace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn clean_link_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_clean_5s");
+    group.sample_size(10);
+    for cca in [CcaKind::Reno, CcaKind::Cubic, CcaKind::Bbr, CcaKind::Vegas] {
+        group.bench_with_input(BenchmarkId::from_parameter(cca.name()), &cca, |b, &cca| {
+            b.iter(|| {
+                let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+                cfg.record_events = false;
+                let result = run_simulation(cfg, cca.build(10));
+                std::hint::black_box(result.stats.flow.delivered_packets)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn cross_traffic_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_with_cross_traffic_5s");
+    group.sample_size(10);
+    let duration = SimDuration::from_secs(5);
+    // ~2000 cross packets spread over the run.
+    let injections: Vec<SimTime> = (0..2_000).map(|i| SimTime::from_micros(i * 2_500)).collect();
+    for cca in [CcaKind::Reno, CcaKind::Bbr] {
+        group.bench_with_input(BenchmarkId::from_parameter(cca.name()), &cca, |b, &cca| {
+            b.iter(|| {
+                let mut cfg = paper_sim_base(duration);
+                cfg.record_events = false;
+                cfg.link = LinkModel::FixedRate { rate_bps: 12_000_000 };
+                cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
+                let result = run_simulation(cfg, cca.build(10));
+                std::hint::black_box(result.stats.flow.delivered_packets)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clean_link_simulation, cross_traffic_simulation);
+criterion_main!(benches);

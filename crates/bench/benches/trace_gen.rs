@@ -1,0 +1,52 @@
+//! Criterion benchmarks for trace generation and the genome operators
+//! (DIST_PACKETS, mutation, crossover, annealing) — the non-simulation part
+//! of a GA generation.
+
+use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
+use ccfuzz_core::trace_gen::{dist_packets, DistPacketsParams};
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dist_packets_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_packets");
+    for &n in &[1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = DistPacketsParams::default();
+            let mut rng = SimRng::new(1);
+            b.iter(|| {
+                let ts = dist_packets(n, SimTime::ZERO, SimTime::from_millis(5_000), &params, &mut rng);
+                std::hint::black_box(ts.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn genome_operators(c: &mut Criterion) {
+    let duration = SimDuration::from_secs(5);
+    let mut rng = SimRng::new(2);
+    let link = LinkGenome::generate(5_000, duration, SimDuration::from_millis(50), &mut rng);
+    let traffic_a = TrafficGenome::generate(5_000, duration, &mut rng);
+    let traffic_b = TrafficGenome::generate(5_000, duration, &mut rng);
+
+    c.bench_function("link_mutation_5000pkts", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| std::hint::black_box(link.mutate(&mut rng).packet_count()));
+    });
+    c.bench_function("link_annealing_5000pkts", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| std::hint::black_box(link.anneal(3, SimDuration::from_micros(200), &mut rng).packet_count()));
+    });
+    c.bench_function("traffic_mutation_5000pkts", |b| {
+        let mut rng = SimRng::new(5);
+        b.iter(|| std::hint::black_box(traffic_a.mutate(&mut rng).packet_count()));
+    });
+    c.bench_function("traffic_crossover_5000pkts", |b| {
+        let mut rng = SimRng::new(6);
+        b.iter(|| std::hint::black_box(traffic_a.crossover(&traffic_b, &mut rng).unwrap().packet_count()));
+    });
+}
+
+criterion_group!(benches, dist_packets_bench, genome_operators);
+criterion_main!(benches);

@@ -1,0 +1,779 @@
+//! TCP BBR v1.
+//!
+//! A faithful (packet-granular) re-implementation of BBR v1 as described in
+//! the BBR paper/IETF draft and the Linux `tcp_bbr.c` module:
+//!
+//! * **Bandwidth estimation** — delivery-rate samples feed a windowed max
+//!   filter over the last 10 *packet-timed rounds*.
+//! * **Round counting** — a round ends when an acknowledged packet's
+//!   `prior_delivered` (the connection-level `delivered` count stamped on the
+//!   packet at its most recent transmission) reaches the `delivered` count
+//!   recorded when the round began. This is precisely the mechanism the
+//!   paper's §4.1 finding attacks: a *spurious retransmission* refreshes the
+//!   stamp, the SACK for the original copy then ends the round prematurely
+//!   and contributes a bogus (usually very low) rate sample. Ten such rounds
+//!   in quick succession expire every good estimate from the max filter and
+//!   BBR's bandwidth estimate collapses; delayed ACKs then keep it there.
+//! * **Gain cycling** in ProbeBW (8 phases: 1.25, 0.75, 1 ×6).
+//! * **Min-RTT tracking** over a 10 s window, with ProbeRTT (cwnd = 4 for
+//!   200 ms) when the estimate goes stale.
+//! * **Startup / Drain** with the 2/ln2 gain and the "full pipe" exit.
+//!
+//! Loss response follows BBR v1's philosophy of (mostly) ignoring loss:
+//! fast-retransmit episodes trigger one round of packet conservation, and an
+//! RTO leaves the window/pacing at BBR's model-driven values (as the NS3
+//! implementation the paper tested effectively does). The paper's proposed
+//! mitigation — *enter ProbeRTT when an RTO fires*, so the flow slows down
+//! long enough for in-flight ACKs to arrive instead of triggering spurious
+//! retransmissions — is available via [`BbrConfig::probe_rtt_on_rto`].
+
+use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Startup/Drain pacing gain: 2/ln(2).
+pub const HIGH_GAIN: f64 = 2.885;
+/// ProbeBW gain cycle.
+pub const CYCLE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Bandwidth filter window, in packet-timed rounds.
+pub const BW_WINDOW_ROUNDS: u64 = 10;
+/// Minimum congestion window, packets.
+pub const MIN_CWND: u64 = 4;
+
+/// BBR state machine phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BbrState {
+    /// Exponential search for the bottleneck bandwidth.
+    Startup,
+    /// Drain the queue built during startup.
+    Drain,
+    /// Steady-state bandwidth probing.
+    ProbeBw,
+    /// Periodic (or RTO-triggered, with the paper's fix) min-RTT probe.
+    ProbeRtt,
+}
+
+/// BBR configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BbrConfig {
+    /// Initial congestion window, packets.
+    pub initial_cwnd: u64,
+    /// Maximum congestion window, packets (safety bound).
+    pub max_cwnd: u64,
+    /// cwnd gain applied to the BDP in ProbeBW.
+    pub cwnd_gain: f64,
+    /// Min-RTT filter window.
+    pub min_rtt_window: SimDuration,
+    /// Duration of a ProbeRTT episode.
+    pub probe_rtt_duration: SimDuration,
+    /// The paper's §4.1 mitigation: enter ProbeRTT whenever an RTO fires.
+    pub probe_rtt_on_rto: bool,
+}
+
+impl Default for BbrConfig {
+    fn default() -> Self {
+        BbrConfig {
+            initial_cwnd: 10,
+            max_cwnd: 20_000,
+            cwnd_gain: 2.0,
+            min_rtt_window: SimDuration::from_secs(10),
+            probe_rtt_duration: SimDuration::from_millis(200),
+            probe_rtt_on_rto: false,
+        }
+    }
+}
+
+/// One bandwidth sample retained by the windowed max filter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+struct BwSample {
+    round: u64,
+    bw_bps: f64,
+}
+
+/// TCP BBR v1.
+#[derive(Clone, Debug)]
+pub struct Bbr {
+    cfg: BbrConfig,
+    state: BbrState,
+
+    // Round counting.
+    next_rtt_delivered: u64,
+    round_count: u64,
+    round_start: bool,
+
+    // Bandwidth filter (windowed max over BW_WINDOW_ROUNDS rounds).
+    bw_samples: Vec<BwSample>,
+
+    // Min RTT.
+    min_rtt: Option<SimDuration>,
+    min_rtt_stamp: SimTime,
+
+    // Startup.
+    full_bw: f64,
+    full_bw_count: u32,
+    filled_pipe: bool,
+
+    // ProbeBW gain cycling.
+    cycle_index: usize,
+    cycle_stamp: SimTime,
+
+    // ProbeRTT.
+    probe_rtt_done_stamp: Option<SimTime>,
+    prior_state: BbrState,
+
+    // Window management.
+    cwnd: u64,
+    prior_cwnd: u64,
+    packet_conservation: bool,
+    conservation_ends_round: u64,
+
+    pacing_gain: f64,
+    cwnd_gain: f64,
+
+    // Event log for Figure 4c style timelines.
+    events: Vec<String>,
+}
+
+impl Bbr {
+    /// Creates a BBR instance.
+    pub fn new(cfg: BbrConfig) -> Self {
+        Bbr {
+            state: BbrState::Startup,
+            next_rtt_delivered: 0,
+            round_count: 0,
+            round_start: false,
+            bw_samples: Vec::new(),
+            min_rtt: None,
+            min_rtt_stamp: SimTime::ZERO,
+            full_bw: 0.0,
+            full_bw_count: 0,
+            filled_pipe: false,
+            cycle_index: 2,
+            cycle_stamp: SimTime::ZERO,
+            probe_rtt_done_stamp: None,
+            prior_state: BbrState::Startup,
+            cwnd: cfg.initial_cwnd.max(MIN_CWND),
+            prior_cwnd: cfg.initial_cwnd.max(MIN_CWND),
+            packet_conservation: false,
+            conservation_ends_round: 0,
+            pacing_gain: HIGH_GAIN,
+            cwnd_gain: HIGH_GAIN,
+            events: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The current state-machine phase.
+    pub fn state(&self) -> BbrState {
+        self.state
+    }
+
+    /// The current bottleneck bandwidth estimate in bits per second (max of
+    /// the filter window), or 0 when no sample exists yet.
+    pub fn bottleneck_bw_bps(&self) -> f64 {
+        self.bw_samples
+            .iter()
+            .filter(|s| s.round + BW_WINDOW_ROUNDS > self.round_count)
+            .map(|s| s.bw_bps)
+            .fold(0.0, f64::max)
+    }
+
+    /// The current min-RTT estimate.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Packet-timed rounds elapsed so far.
+    pub fn round_count(&self) -> u64 {
+        self.round_count
+    }
+
+    /// Bandwidth-delay product in packets for the given MSS (0 until both a
+    /// bandwidth and an RTT estimate exist).
+    pub fn bdp_packets(&self, mss: u32) -> u64 {
+        let bw = self.bottleneck_bw_bps();
+        let Some(rtt) = self.min_rtt else { return 0 };
+        if bw <= 0.0 {
+            return 0;
+        }
+        ((bw * rtt.as_secs_f64()) / (mss as f64 * 8.0)).ceil() as u64
+    }
+
+    fn log(&mut self, msg: String) {
+        self.events.push(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Model updates
+    // ------------------------------------------------------------------
+
+    fn update_round(&mut self, ctx: &CcContext, rs: &RateSample) {
+        if rs.prior_delivered >= self.next_rtt_delivered {
+            self.next_rtt_delivered = ctx.delivered;
+            self.round_count += 1;
+            self.round_start = true;
+            if rs.is_retransmitted_sample {
+                self.log(format!(
+                    "round {} started by a RETRANSMITTED sample (prior_delivered={} >= threshold): \
+                     probable spurious-retransmission interaction",
+                    self.round_count, rs.prior_delivered
+                ));
+            } else {
+                self.log(format!("round {} start", self.round_count));
+            }
+        } else {
+            self.round_start = false;
+        }
+    }
+
+    fn update_bw(&mut self, rs: &RateSample) {
+        if !rs.is_valid() {
+            return;
+        }
+        let bw = rs.delivery_rate_bps;
+        // App-limited samples only raise the estimate, never lower it.
+        if rs.is_app_limited && bw < self.bottleneck_bw_bps() {
+            return;
+        }
+        self.bw_samples.push(BwSample { round: self.round_count, bw_bps: bw });
+        // Prune samples that have left the filter window, keeping memory bounded.
+        let cutoff = self.round_count.saturating_sub(BW_WINDOW_ROUNDS);
+        self.bw_samples.retain(|s| s.round >= cutoff);
+    }
+
+    fn update_min_rtt(&mut self, ctx: &CcContext, rs: &RateSample) {
+        let expired = ctx.now.saturating_since(self.min_rtt_stamp) > self.cfg.min_rtt_window;
+        if let Some(rtt) = rs.rtt {
+            if self.min_rtt.map(|m| rtt <= m).unwrap_or(true) || expired {
+                self.min_rtt = Some(rtt);
+                self.min_rtt_stamp = ctx.now;
+            }
+        }
+        // Enter ProbeRTT when the estimate went stale.
+        if expired && self.state != BbrState::ProbeRtt {
+            self.enter_probe_rtt(ctx, "min_rtt estimate expired");
+        }
+    }
+
+    fn enter_probe_rtt(&mut self, ctx: &CcContext, reason: &str) {
+        if self.state == BbrState::ProbeRtt {
+            return;
+        }
+        self.prior_state = if self.state == BbrState::ProbeRtt {
+            self.prior_state
+        } else {
+            self.state
+        };
+        self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        self.state = BbrState::ProbeRtt;
+        self.pacing_gain = 1.0;
+        self.cwnd_gain = 1.0;
+        self.probe_rtt_done_stamp = None;
+        self.log(format!("enter ProbeRTT at {} ({reason})", ctx.now));
+    }
+
+    fn handle_probe_rtt(&mut self, ctx: &CcContext) {
+        match self.probe_rtt_done_stamp {
+            None => {
+                // Wait until the pipe has drained to the ProbeRTT cwnd before
+                // starting the 200 ms clock.
+                if ctx.in_flight <= MIN_CWND {
+                    self.probe_rtt_done_stamp = Some(ctx.now + self.cfg.probe_rtt_duration);
+                }
+            }
+            Some(done) => {
+                if ctx.now >= done {
+                    self.min_rtt_stamp = ctx.now;
+                    self.exit_probe_rtt(ctx);
+                }
+            }
+        }
+    }
+
+    fn exit_probe_rtt(&mut self, ctx: &CcContext) {
+        self.state = if self.filled_pipe {
+            self.cycle_index = 2;
+            self.cycle_stamp = ctx.now;
+            BbrState::ProbeBw
+        } else {
+            BbrState::Startup
+        };
+        self.cwnd = self.cwnd.max(self.prior_cwnd);
+        self.log(format!("exit ProbeRTT to {:?} at {}", self.state, ctx.now));
+    }
+
+    fn check_full_pipe(&mut self, rs: &RateSample) {
+        if self.filled_pipe || !self.round_start || rs.is_app_limited {
+            return;
+        }
+        let bw = self.bottleneck_bw_bps();
+        if bw >= self.full_bw * 1.25 {
+            self.full_bw = bw;
+            self.full_bw_count = 0;
+            return;
+        }
+        self.full_bw_count += 1;
+        if self.full_bw_count >= 3 {
+            self.filled_pipe = true;
+            self.log(format!("pipe filled at {:.2} Mbps", self.full_bw / 1e6));
+        }
+    }
+
+    fn update_state_machine(&mut self, ctx: &CcContext, rs: &RateSample) {
+        match self.state {
+            BbrState::Startup => {
+                self.check_full_pipe(rs);
+                if self.filled_pipe {
+                    self.state = BbrState::Drain;
+                    self.pacing_gain = 1.0 / HIGH_GAIN;
+                    self.cwnd_gain = HIGH_GAIN;
+                    self.log(format!("enter Drain at {}", ctx.now));
+                }
+            }
+            BbrState::Drain => {
+                let bdp = self.bdp_packets(ctx.mss).max(1);
+                if ctx.in_flight <= bdp {
+                    self.state = BbrState::ProbeBw;
+                    self.cycle_index = 2;
+                    self.cycle_stamp = ctx.now;
+                    self.pacing_gain = CYCLE_GAINS[self.cycle_index];
+                    self.cwnd_gain = self.cfg.cwnd_gain;
+                    self.log(format!("enter ProbeBW at {}", ctx.now));
+                }
+            }
+            BbrState::ProbeBw => {
+                self.advance_cycle_phase(ctx);
+            }
+            BbrState::ProbeRtt => {
+                self.handle_probe_rtt(ctx);
+            }
+        }
+        if self.state == BbrState::Startup {
+            self.pacing_gain = HIGH_GAIN;
+            self.cwnd_gain = HIGH_GAIN;
+        } else if self.state == BbrState::ProbeBw {
+            self.pacing_gain = CYCLE_GAINS[self.cycle_index];
+            self.cwnd_gain = self.cfg.cwnd_gain;
+        }
+    }
+
+    fn advance_cycle_phase(&mut self, ctx: &CcContext) {
+        let min_rtt = self.min_rtt.unwrap_or(SimDuration::from_millis(10));
+        let elapsed = ctx.now.saturating_since(self.cycle_stamp);
+        let gain = CYCLE_GAINS[self.cycle_index];
+        let bdp = self.bdp_packets(ctx.mss).max(1);
+        let should_advance = if (gain - 0.75).abs() < f64::EPSILON {
+            // Leave the draining phase as soon as the queue we created is gone.
+            elapsed > min_rtt || ctx.in_flight <= bdp
+        } else if (gain - 1.25).abs() < f64::EPSILON {
+            // Probe for a full min_rtt (and until we actually used the gain).
+            elapsed > min_rtt
+        } else {
+            elapsed > min_rtt
+        };
+        if should_advance {
+            self.cycle_index = (self.cycle_index + 1) % CYCLE_GAINS.len();
+            self.cycle_stamp = ctx.now;
+            self.pacing_gain = CYCLE_GAINS[self.cycle_index];
+        }
+    }
+
+    fn update_cwnd(&mut self, ctx: &CcContext, rs: &RateSample) {
+        // End packet conservation one full round after recovery began.
+        if self.packet_conservation && self.round_start && self.round_count >= self.conservation_ends_round
+        {
+            self.packet_conservation = false;
+            self.cwnd = self.cwnd.max(self.prior_cwnd);
+        }
+        if !ctx.in_recovery && self.packet_conservation {
+            self.packet_conservation = false;
+            self.cwnd = self.cwnd.max(self.prior_cwnd);
+        }
+
+        let bdp = self.bdp_packets(ctx.mss);
+        let target = if bdp == 0 {
+            // No model yet: keep the initial window.
+            self.cfg.initial_cwnd.max(MIN_CWND)
+        } else {
+            ((bdp as f64 * self.cwnd_gain).ceil() as u64).max(MIN_CWND)
+        };
+
+        if self.packet_conservation {
+            self.cwnd = (ctx.in_flight + rs.newly_acked).max(MIN_CWND);
+        } else if self.filled_pipe {
+            self.cwnd = (self.cwnd + rs.newly_acked).min(target);
+        } else if self.cwnd < target || ctx.delivered < self.cfg.initial_cwnd {
+            // Startup (Linux bbr_set_cwnd): grow by the acked count only while
+            // below the model-derived target, so the exponential search tracks
+            // cwnd_gain × (current BDP estimate) instead of overshooting it.
+            self.cwnd += rs.newly_acked;
+        }
+        if self.state == BbrState::ProbeRtt {
+            self.cwnd = self.cwnd.min(MIN_CWND);
+        }
+        self.cwnd = self.cwnd.clamp(MIN_CWND, self.cfg.max_cwnd);
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn name(&self) -> &'static str {
+        if self.cfg.probe_rtt_on_rto {
+            "bbr-probertt-on-rto"
+        } else {
+            "bbr"
+        }
+    }
+
+    fn init(&mut self, ctx: &CcContext) {
+        self.min_rtt_stamp = ctx.now;
+        self.cycle_stamp = ctx.now;
+    }
+
+    fn on_ack(&mut self, ctx: &CcContext, rs: &RateSample) {
+        self.update_round(ctx, rs);
+        self.update_bw(rs);
+        self.update_min_rtt(ctx, rs);
+        self.update_state_machine(ctx, rs);
+        self.update_cwnd(ctx, rs);
+    }
+
+    fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
+        match signal {
+            CongestionSignal::FastRetransmitLoss { new_episode, .. } => {
+                if new_episode {
+                    // One round of packet conservation, then restore.
+                    self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+                    self.packet_conservation = true;
+                    self.conservation_ends_round = self.round_count + 1;
+                    self.cwnd = (ctx.in_flight + 1).max(MIN_CWND);
+                    self.log(format!("fast-retransmit loss at {}: packet conservation", ctx.now));
+                }
+            }
+            CongestionSignal::Rto => {
+                self.log(format!("RTO at {}", ctx.now));
+                if self.cfg.probe_rtt_on_rto {
+                    // The paper's mitigation (§4.1): slow down via ProbeRTT so
+                    // the in-flight ACKs arrive before we spuriously
+                    // retransmit their packets.
+                    self.enter_probe_rtt(ctx, "RTO (mitigation enabled)");
+                    self.cwnd = MIN_CWND;
+                } else {
+                    // BBR v1 deliberately does not reduce its window/pacing in
+                    // response to loss: it keeps sending at its model-derived
+                    // rate, which is exactly what lets the spurious
+                    // retransmissions of §4.1 pollute its round clocking.
+                    self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+                }
+            }
+        }
+    }
+
+    fn on_exit_recovery(&mut self, _ctx: &CcContext) {
+        self.packet_conservation = false;
+        self.cwnd = self.cwnd.max(self.prior_cwnd);
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(MIN_CWND)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        let bw = self.bottleneck_bw_bps();
+        if bw <= 0.0 {
+            // No estimate yet: pace at a high multiple of a nominal 10 Mbps so
+            // startup is not artificially limited before the first sample.
+            return Some(HIGH_GAIN * 10e6);
+        }
+        Some((self.pacing_gain * bw).max(1_000.0))
+    }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "state={:?} bw={:.3}Mbps min_rtt={:?} round={} cwnd={} pacing_gain={:.2} filled={}",
+            self.state,
+            self.bottleneck_bw_bps() / 1e6,
+            self.min_rtt,
+            self.round_count,
+            self.cwnd,
+            self.pacing_gain,
+            self.filled_pipe
+        )
+    }
+
+    fn take_events(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(now_ms: u64, in_flight: u64, delivered: u64) -> CcContext {
+        CcContext {
+            now: SimTime::from_millis(now_ms),
+            mss: 1448,
+            in_flight,
+            delivered,
+            lost: 0,
+            srtt: Some(SimDuration::from_millis(40)),
+            last_rtt: Some(SimDuration::from_millis(40)),
+            min_rtt: Some(SimDuration::from_millis(40)),
+            in_recovery: false,
+        }
+    }
+
+    fn sample(
+        prior_delivered: u64,
+        delivered: u64,
+        rate_bps: f64,
+        rtt_ms: u64,
+        newly_acked: u64,
+    ) -> RateSample {
+        RateSample {
+            delivered,
+            prior_delivered,
+            prior_delivered_time: SimTime::ZERO,
+            send_elapsed: SimDuration::from_millis(10),
+            ack_elapsed: SimDuration::from_millis(12),
+            interval: SimDuration::from_millis(12),
+            delivered_in_interval: delivered - prior_delivered,
+            delivery_rate_bps: rate_bps,
+            rtt: Some(SimDuration::from_millis(rtt_ms)),
+            newly_acked,
+            cum_ack_advanced: newly_acked,
+            is_retransmitted_sample: false,
+            is_app_limited: false,
+            in_flight_before: 10,
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn starts_in_startup_with_high_gain() {
+        let bbr = Bbr::new(BbrConfig::default());
+        assert_eq!(bbr.state(), BbrState::Startup);
+        assert!(bbr.pacing_rate_bps().unwrap() > 0.0);
+        assert_eq!(bbr.cwnd(), 10);
+    }
+
+    #[test]
+    fn bandwidth_filter_takes_windowed_max() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        for (i, bw) in [5e6, 8e6, 6e6].iter().enumerate() {
+            delivered += 10;
+            bbr.on_ack(&ctx(40 * (i as u64 + 1), 10, delivered), &sample(delivered - 10, delivered, *bw, 40, 10));
+        }
+        assert!((bbr.bottleneck_bw_bps() - 8e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn old_bandwidth_samples_expire_after_ten_rounds() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 10u64;
+        // One good 12 Mbps sample in round 1.
+        bbr.on_ack(&ctx(40, 10, delivered), &sample(0, delivered, 12e6, 40, 10));
+        assert!(bbr.bottleneck_bw_bps() >= 12e6 - 1.0);
+        // Now 12 more rounds of 1 Mbps samples; each sample's prior_delivered
+        // equals the current threshold so every ACK starts a new round.
+        for i in 0..12 {
+            let prior = delivered;
+            delivered += 2;
+            bbr.on_ack(
+                &ctx(80 + i * 40, 4, delivered),
+                &sample(prior, delivered, 1e6, 40, 2),
+            );
+        }
+        assert!(
+            bbr.bottleneck_bw_bps() < 2e6,
+            "good sample should have expired, bw = {}",
+            bbr.bottleneck_bw_bps()
+        );
+    }
+
+    #[test]
+    fn round_counting_follows_prior_delivered() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        // prior_delivered = 0 >= threshold 0: round 1 starts, threshold := 10.
+        bbr.on_ack(&ctx(40, 10, 10), &sample(0, 10, 10e6, 40, 10));
+        assert_eq!(bbr.round_count(), 1);
+        // prior_delivered = 5 < 10: same round.
+        bbr.on_ack(&ctx(60, 10, 15), &sample(5, 15, 10e6, 40, 5));
+        assert_eq!(bbr.round_count(), 1);
+        // prior_delivered = 12 >= 10: next round.
+        bbr.on_ack(&ctx(80, 10, 20), &sample(12, 20, 10e6, 40, 5));
+        assert_eq!(bbr.round_count(), 2);
+    }
+
+    #[test]
+    fn startup_exits_to_drain_then_probe_bw() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        let mut now = 40u64;
+        // Bandwidth stops growing at 12 Mbps: after 3 rounds of no growth,
+        // Startup ends.
+        for _ in 0..8 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(now, 30, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            now += 40;
+        }
+        assert!(bbr.state() == BbrState::Drain || bbr.state() == BbrState::ProbeBw,
+            "state after flat bandwidth: {:?}", bbr.state());
+        // Once in-flight drops to the BDP, Drain ends.
+        let prior = delivered;
+        delivered += 1;
+        bbr.on_ack(&ctx(now, 1, delivered), &sample(prior, delivered, 12e6, 40, 1));
+        assert_eq!(bbr.state(), BbrState::ProbeBw);
+        // cwnd should be near cwnd_gain * BDP (BDP ≈ 41 packets at 12Mbps/40ms).
+        let bdp = bbr.bdp_packets(1448);
+        assert!((38..=46).contains(&bdp), "bdp {bdp}");
+    }
+
+    #[test]
+    fn probe_bw_cycles_gains() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        let mut now = 40u64;
+        for _ in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(now, 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            now += 40;
+        }
+        assert_eq!(bbr.state(), BbrState::ProbeBw);
+        let mut seen_gains = std::collections::BTreeSet::new();
+        for _ in 0..40 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(now, 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            seen_gains.insert((bbr.pacing_gain * 100.0) as u64);
+            now += 50;
+        }
+        assert!(seen_gains.contains(&125), "probing gain seen: {seen_gains:?}");
+        assert!(seen_gains.contains(&75), "draining gain seen: {seen_gains:?}");
+        assert!(seen_gains.contains(&100), "cruise gain seen: {seen_gains:?}");
+    }
+
+    #[test]
+    fn stale_min_rtt_triggers_probe_rtt_and_exit_restores() {
+        let mut cfg = BbrConfig::default();
+        cfg.min_rtt_window = SimDuration::from_millis(500);
+        let mut bbr = Bbr::new(cfg);
+        let mut delivered = 0u64;
+        // Establish the model.
+        for i in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+        }
+        // Jump time past the min-RTT window.
+        let prior = delivered;
+        delivered += 5;
+        bbr.on_ack(&ctx(2_000, 20, delivered), &sample(prior, delivered, 12e6, 41, 5));
+        assert_eq!(bbr.state(), BbrState::ProbeRtt);
+        assert_eq!(bbr.cwnd(), MIN_CWND);
+        // Drain in-flight to 4, then 200 ms later ProbeRTT ends.
+        let prior = delivered;
+        delivered += 2;
+        bbr.on_ack(&ctx(2_050, 3, delivered), &sample(prior, delivered, 12e6, 41, 2));
+        let prior = delivered;
+        delivered += 2;
+        bbr.on_ack(&ctx(2_300, 3, delivered), &sample(prior, delivered, 12e6, 41, 2));
+        assert_ne!(bbr.state(), BbrState::ProbeRtt, "ProbeRTT should have ended");
+        assert!(bbr.cwnd() > MIN_CWND, "cwnd restored after ProbeRTT");
+    }
+
+    #[test]
+    fn rto_default_keeps_model_driven_window() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        for i in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+        }
+        let cwnd_before = bbr.cwnd();
+        bbr.on_congestion(&ctx(500, 0, delivered), CongestionSignal::Rto);
+        assert_eq!(bbr.state(), BbrState::ProbeBw, "default BBR does not change state on RTO");
+        assert_eq!(bbr.cwnd(), cwnd_before, "default BBR ignores the RTO for its window");
+    }
+
+    #[test]
+    fn rto_with_mitigation_enters_probe_rtt() {
+        let mut bbr = Bbr::new(BbrConfig { probe_rtt_on_rto: true, ..Default::default() });
+        let mut delivered = 0u64;
+        for i in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+        }
+        bbr.on_congestion(&ctx(500, 0, delivered), CongestionSignal::Rto);
+        assert_eq!(bbr.state(), BbrState::ProbeRtt);
+        assert_eq!(bbr.cwnd(), MIN_CWND);
+        assert_eq!(bbr.name(), "bbr-probertt-on-rto");
+    }
+
+    #[test]
+    fn fast_retransmit_triggers_packet_conservation_then_restore() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        for i in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(40 * (i + 1), 40, delivered), &sample(prior, delivered, 12e6, 40, 20));
+        }
+        let before = bbr.cwnd();
+        bbr.on_congestion(
+            &ctx(500, 10, delivered),
+            CongestionSignal::FastRetransmitLoss { newly_lost: 3, new_episode: true },
+        );
+        assert!(bbr.cwnd() <= before, "conservation shrinks the window to ~in_flight");
+        bbr.on_exit_recovery(&ctx(600, 10, delivered));
+        assert_eq!(bbr.cwnd(), before, "window restored after recovery");
+    }
+
+    #[test]
+    fn spurious_retransmission_samples_advance_rounds_rapidly() {
+        // The §4.1 mechanism in isolation: samples whose prior_delivered was
+        // refreshed by a retransmission exceed the round threshold every time,
+        // so every ACK advances the round counter and the good bandwidth
+        // sample ages out of the filter.
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 200u64;
+        bbr.on_ack(&ctx(40, 20, delivered), &sample(0, delivered, 12e6, 40, 20));
+        let rounds_before = bbr.round_count();
+        assert!(bbr.bottleneck_bw_bps() >= 12e6 - 1.0);
+        for i in 0..12 {
+            let prior = delivered; // == current threshold → premature round end
+            delivered += 1;
+            let mut rs = sample(prior, delivered, 0.8e6, 45, 1);
+            rs.is_retransmitted_sample = true;
+            bbr.on_ack(&ctx(1_000 + i * 10, 5, delivered), &rs);
+        }
+        assert!(bbr.round_count() >= rounds_before + 12, "every sample ends a round");
+        assert!(
+            bbr.bottleneck_bw_bps() < 1e6,
+            "bandwidth estimate collapsed to {} bps",
+            bbr.bottleneck_bw_bps()
+        );
+        let events = bbr.take_events();
+        assert!(events.iter().any(|e| e.contains("RETRANSMITTED")),
+            "event log should flag retransmitted-sample rounds");
+    }
+
+    #[test]
+    fn pacing_rate_follows_gain_and_bw() {
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        for i in 0..10 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 10e6, 40, 20));
+        }
+        let rate = bbr.pacing_rate_bps().unwrap();
+        let bw = bbr.bottleneck_bw_bps();
+        assert!((rate / bw - bbr.pacing_gain).abs() < 0.01);
+    }
+}

@@ -1,0 +1,401 @@
+//! TCP CUBIC (RFC 8312) with a switchable slow-start behaviour.
+//!
+//! The paper's §4.2 finding is an NS3-specific implementation bug: when a
+//! retransmission fills a large hole, the cumulative ACK jumps by hundreds of
+//! segments, CUBIC's slow-start increase is called with that huge
+//! `segments_acked` value, and — because NS3 does not cap the increase at the
+//! slow-start threshold — the congestion window explodes, the sender bursts
+//! roughly one RTO's worth of data, and suffers catastrophic losses. The
+//! Linux implementation caps the slow-start growth at `ssthresh`.
+//!
+//! [`SlowStartBehaviour`] selects between the two, so the fuzzer can both
+//! rediscover the bug ([`SlowStartBehaviour::Ns3Uncapped`]) and confirm the
+//! fixed behaviour ([`SlowStartBehaviour::CappedAtSsthresh`]).
+
+use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
+use ccfuzz_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How the slow-start window increase treats the slow-start threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlowStartBehaviour {
+    /// Linux-correct: the window never grows past `ssthresh` inside a single
+    /// slow-start increase call.
+    CappedAtSsthresh,
+    /// NS3's buggy behaviour (§4.2 of the paper): the increase uses the full
+    /// cumulative-ACK jump with no cap, so a retransmission that fills a big
+    /// hole inflates the window catastrophically.
+    Ns3Uncapped,
+}
+
+/// CUBIC configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CubicConfig {
+    /// Initial congestion window, packets.
+    pub initial_cwnd: u64,
+    /// Minimum congestion window, packets.
+    pub min_cwnd: u64,
+    /// Maximum congestion window, packets (safety bound).
+    pub max_cwnd: u64,
+    /// CUBIC `C` constant (window growth scaling), RFC 8312 default 0.4.
+    pub c: f64,
+    /// CUBIC multiplicative-decrease factor `beta`, RFC 8312 default 0.7.
+    pub beta: f64,
+    /// Whether fast convergence is enabled.
+    pub fast_convergence: bool,
+    /// Slow-start behaviour (the §4.2 bug switch).
+    pub slow_start: SlowStartBehaviour,
+}
+
+impl Default for CubicConfig {
+    fn default() -> Self {
+        CubicConfig {
+            initial_cwnd: 10,
+            min_cwnd: 2,
+            max_cwnd: 20_000,
+            c: 0.4,
+            beta: 0.7,
+            fast_convergence: true,
+            slow_start: SlowStartBehaviour::CappedAtSsthresh,
+        }
+    }
+}
+
+/// TCP CUBIC.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cfg: CubicConfig,
+    cwnd: f64,
+    ssthresh: u64,
+    /// Window size just before the last reduction (`W_max`).
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset at which the cubic function crosses `W_max`.
+    k: f64,
+    /// Estimated Reno-friendly window for the TCP-friendliness check.
+    w_est: f64,
+    /// ACK accounting for the TCP-friendly region.
+    ack_cnt: f64,
+}
+
+impl Cubic {
+    /// Creates a CUBIC instance.
+    pub fn new(cfg: CubicConfig) -> Self {
+        Cubic {
+            cwnd: cfg.initial_cwnd.max(cfg.min_cwnd) as f64,
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            ack_cnt: 0.0,
+            cfg,
+        }
+    }
+
+    /// `true` while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        (self.cwnd as u64) < self.ssthresh
+    }
+
+    /// The configured slow-start behaviour.
+    pub fn slow_start_behaviour(&self) -> SlowStartBehaviour {
+        self.cfg.slow_start
+    }
+
+    fn clamp(&mut self) {
+        self.cwnd = self
+            .cwnd
+            .clamp(1.0, self.cfg.max_cwnd as f64);
+    }
+
+    fn reset_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        self.k = if self.w_max > self.cwnd {
+            ((self.w_max - self.cwnd) / self.cfg.c).cbrt()
+        } else {
+            0.0
+        };
+        self.w_est = self.cwnd;
+        self.ack_cnt = 0.0;
+    }
+
+    fn cubic_update(&mut self, ctx: &CcContext, newly_acked: u64) {
+        let now = ctx.now;
+        if self.epoch_start.is_none() {
+            self.reset_epoch(now);
+        }
+        let epoch_start = self.epoch_start.expect("epoch initialised");
+        let t = now.saturating_since(epoch_start).as_secs_f64();
+        let rtt = ctx
+            .srtt
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.1)
+            .max(1e-6);
+
+        // Cubic target window one RTT into the future.
+        let w_cubic = self.cfg.c * (t + rtt - self.k).powi(3) + self.w_max;
+
+        // TCP-friendly (Reno-equivalent) window estimate.
+        self.ack_cnt += newly_acked as f64;
+        let reno_slope = 3.0 * (1.0 - self.cfg.beta) / (1.0 + self.cfg.beta);
+        self.w_est += reno_slope * self.ack_cnt / self.cwnd.max(1.0);
+        self.ack_cnt = 0.0;
+
+        let target = w_cubic.max(self.w_est);
+        if target > self.cwnd {
+            // Approach the target over roughly one RTT's worth of ACKs.
+            self.cwnd += (target - self.cwnd) * newly_acked as f64 / self.cwnd.max(1.0);
+        } else {
+            // Tiny growth to keep probing (as Linux does).
+            self.cwnd += 0.01 * newly_acked as f64 / self.cwnd.max(1.0);
+        }
+        self.clamp();
+    }
+
+    fn on_loss_reduction(&mut self) {
+        let cwnd = self.cwnd;
+        // Fast convergence: if the new W_max is below the previous one, the
+        // flow is competing and should release bandwidth faster.
+        self.w_max = if self.cfg.fast_convergence && cwnd < self.w_max {
+            cwnd * (1.0 + self.cfg.beta) / 2.0
+        } else {
+            cwnd
+        };
+        self.ssthresh = ((cwnd * self.cfg.beta) as u64).max(self.cfg.min_cwnd);
+        self.cwnd = (cwnd * self.cfg.beta).max(self.cfg.min_cwnd as f64);
+        self.epoch_start = None;
+        self.clamp();
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        match self.cfg.slow_start {
+            SlowStartBehaviour::CappedAtSsthresh => "cubic",
+            SlowStartBehaviour::Ns3Uncapped => "cubic-ns3-buggy",
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &CcContext, rs: &RateSample) {
+        if rs.newly_acked == 0 && rs.cum_ack_advanced == 0 {
+            return;
+        }
+        if ctx.in_recovery {
+            return;
+        }
+        if self.in_slow_start() {
+            match self.cfg.slow_start {
+                SlowStartBehaviour::CappedAtSsthresh => {
+                    // Linux: grow by the acked count but never beyond ssthresh
+                    // in one step; any remainder is handled by congestion
+                    // avoidance on later ACKs.
+                    let headroom = (self.ssthresh as f64 - self.cwnd).max(0.0);
+                    self.cwnd += (rs.newly_acked as f64).min(headroom);
+                }
+                SlowStartBehaviour::Ns3Uncapped => {
+                    // NS3 bug (§4.2): the increase uses the raw cumulative-ACK
+                    // jump ("segments acked") with no ssthresh cap. After a
+                    // retransmission fills a large hole this is enormous.
+                    self.cwnd += rs.cum_ack_advanced.max(rs.newly_acked) as f64;
+                }
+            }
+            self.clamp();
+            return;
+        }
+        self.cubic_update(ctx, rs.newly_acked.max(1));
+    }
+
+    fn on_congestion(&mut self, _ctx: &CcContext, signal: CongestionSignal) {
+        match signal {
+            CongestionSignal::FastRetransmitLoss { new_episode, .. } => {
+                if new_episode {
+                    self.on_loss_reduction();
+                }
+            }
+            CongestionSignal::Rto => {
+                self.on_loss_reduction();
+                self.cwnd = 1.0;
+                self.epoch_start = None;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        (self.cwnd as u64).max(1)
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "cwnd={:.2} ssthresh={} w_max={:.2} k={:.3} slow_start={}",
+            self.cwnd,
+            self.ssthresh,
+            self.w_max,
+            self.k,
+            self.in_slow_start()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::time::SimDuration;
+
+    fn ctx(now_ms: u64, in_recovery: bool) -> CcContext {
+        CcContext {
+            now: SimTime::from_millis(now_ms),
+            mss: 1448,
+            in_flight: 10,
+            delivered: 100,
+            lost: 0,
+            srtt: Some(SimDuration::from_millis(40)),
+            last_rtt: Some(SimDuration::from_millis(40)),
+            min_rtt: Some(SimDuration::from_millis(40)),
+            in_recovery,
+        }
+    }
+
+    fn sample(newly_acked: u64, cum_advance: u64) -> RateSample {
+        RateSample {
+            delivered: 100,
+            prior_delivered: 90,
+            prior_delivered_time: SimTime::ZERO,
+            send_elapsed: SimDuration::from_millis(10),
+            ack_elapsed: SimDuration::from_millis(10),
+            interval: SimDuration::from_millis(10),
+            delivered_in_interval: 10,
+            delivery_rate_bps: 10e6,
+            rtt: Some(SimDuration::from_millis(40)),
+            newly_acked,
+            cum_ack_advanced: cum_advance,
+            is_retransmitted_sample: false,
+            is_app_limited: false,
+            in_flight_before: 10,
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut c = Cubic::new(CubicConfig::default());
+        assert!(c.in_slow_start());
+        c.on_ack(&ctx(0, false), &sample(10, 10));
+        assert_eq!(c.cwnd(), 20);
+    }
+
+    #[test]
+    fn loss_reduces_window_by_beta() {
+        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        assert_eq!(c.cwnd(), 70);
+        assert_eq!(c.ssthresh(), 70);
+        assert!(!c.in_slow_start());
+    }
+
+    #[test]
+    fn rto_collapses_to_one() {
+        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        c.on_congestion(&ctx(0, false), CongestionSignal::Rto);
+        assert_eq!(c.cwnd(), 1);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn concave_growth_approaches_w_max() {
+        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        // Reduce from 100: w_max = 100 (no fast convergence effect on first loss), cwnd = 70.
+        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let after_loss = c.cwnd();
+        // Feed ACKs over simulated time; the window should grow back toward
+        // w_max but not wildly overshoot it quickly.
+        let mut now = 40u64;
+        for _ in 0..200 {
+            c.on_ack(&ctx(now, false), &sample(10, 10));
+            now += 40;
+        }
+        assert!(c.cwnd() > after_loss, "window should recover");
+        assert!(
+            c.cwnd() < 4 * 100,
+            "growth over 8 seconds should stay in a sane range, got {}",
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn cubic_is_slower_than_slow_start_right_after_loss() {
+        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let w0 = c.cwnd();
+        c.on_ack(&ctx(40, false), &sample(10, 10));
+        // In the concave region just after a loss, 10 acked packets must grow
+        // the window by much less than 10 (unlike slow start).
+        assert!(c.cwnd() < w0 + 10);
+    }
+
+    #[test]
+    fn ns3_bug_explodes_window_on_large_cumulative_jump() {
+        // The §4.2 scenario: after an RTO the flow is in slow start with
+        // cwnd=1 and ssthresh=70; the retransmission fills a 500-packet hole.
+        let mut buggy = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            slow_start: SlowStartBehaviour::Ns3Uncapped,
+            ..Default::default()
+        });
+        buggy.on_congestion(&ctx(0, false), CongestionSignal::Rto);
+        assert!(buggy.in_slow_start());
+        buggy.on_ack(&ctx(1000, false), &sample(1, 500));
+        assert!(
+            buggy.cwnd() > 400,
+            "buggy CUBIC must blow past ssthresh, got {}",
+            buggy.cwnd()
+        );
+
+        let mut fixed = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            slow_start: SlowStartBehaviour::CappedAtSsthresh,
+            ..Default::default()
+        });
+        fixed.on_congestion(&ctx(0, false), CongestionSignal::Rto);
+        let ssthresh = fixed.ssthresh();
+        fixed.on_ack(&ctx(1000, false), &sample(1, 500));
+        assert!(
+            fixed.cwnd() <= ssthresh,
+            "fixed CUBIC stays at or below ssthresh ({}), got {}",
+            ssthresh,
+            fixed.cwnd()
+        );
+    }
+
+    #[test]
+    fn no_growth_during_recovery() {
+        let mut c = Cubic::new(CubicConfig::default());
+        let before = c.cwnd();
+        c.on_ack(&ctx(0, true), &sample(10, 10));
+        assert_eq!(c.cwnd(), before);
+    }
+
+    #[test]
+    fn fast_convergence_lowers_w_max_on_consecutive_losses() {
+        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let w_max_first = c.w_max;
+        // Second loss at a smaller window.
+        c.on_congestion(&ctx(100, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        assert!(c.w_max < w_max_first, "fast convergence reduces W_max");
+    }
+
+    #[test]
+    fn names_reflect_variant() {
+        assert_eq!(Cubic::new(CubicConfig::default()).name(), "cubic");
+        assert_eq!(
+            Cubic::new(CubicConfig { slow_start: SlowStartBehaviour::Ns3Uncapped, ..Default::default() }).name(),
+            "cubic-ns3-buggy"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! # ccfuzz-cca
+//!
+//! Congestion control algorithms for the CC-Fuzz simulator:
+//!
+//! * [`reno`] — TCP Reno / NewReno (slow start, AIMD congestion avoidance).
+//! * [`cubic`] — TCP CUBIC, with a switch reproducing the NS3 slow-start
+//!   window-update bug the paper found (§4.2) and the corrected (Linux-like)
+//!   behaviour.
+//! * [`bbr`] — TCP BBR v1 (gain cycling, windowed-max bandwidth filter,
+//!   min-RTT probing), including the probe-round clocking behaviour that the
+//!   paper's §4.1 stall exploits, plus the "ProbeRTT on RTO" mitigation the
+//!   paper proposes.
+//! * [`vegas`] — TCP Vegas, a delay-based algorithm used to diversify the
+//!   multi-CCA realism scoring of §5.
+//!
+//! All algorithms implement
+//! [`CongestionControl`](ccfuzz_netsim::cc::CongestionControl) and are
+//! constructed either directly or through the [`CcaKind`] factory that the
+//! fuzzer configuration uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbr;
+pub mod cubic;
+pub mod reno;
+pub mod vegas;
+
+pub use bbr::{Bbr, BbrConfig};
+pub use cubic::{Cubic, CubicConfig, SlowStartBehaviour};
+pub use reno::{Reno, RenoConfig};
+pub use vegas::{Vegas, VegasConfig};
+
+use ccfuzz_netsim::cc::CongestionControl;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a congestion control algorithm variant; the factory used by
+/// fuzzer configurations and the figure binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcaKind {
+    /// TCP Reno / NewReno.
+    Reno,
+    /// TCP CUBIC with the correct (Linux-like) slow-start cap.
+    Cubic,
+    /// TCP CUBIC with the NS3 slow-start window-update bug from §4.2.
+    CubicNs3Buggy,
+    /// TCP BBR v1 (default behaviour).
+    Bbr,
+    /// TCP BBR v1 with the paper's mitigation: enter ProbeRTT on RTO.
+    BbrProbeRttOnRto,
+    /// TCP Vegas.
+    Vegas,
+}
+
+impl CcaKind {
+    /// All known variants (used for multi-CCA realism scoring and reports).
+    pub const ALL: [CcaKind; 6] = [
+        CcaKind::Reno,
+        CcaKind::Cubic,
+        CcaKind::CubicNs3Buggy,
+        CcaKind::Bbr,
+        CcaKind::BbrProbeRttOnRto,
+        CcaKind::Vegas,
+    ];
+
+    /// Short name used in reports and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcaKind::Reno => "reno",
+            CcaKind::Cubic => "cubic",
+            CcaKind::CubicNs3Buggy => "cubic-ns3-buggy",
+            CcaKind::Bbr => "bbr",
+            CcaKind::BbrProbeRttOnRto => "bbr-probertt-on-rto",
+            CcaKind::Vegas => "vegas",
+        }
+    }
+
+    /// Parses a name as produced by [`CcaKind::name`].
+    pub fn from_name(name: &str) -> Option<CcaKind> {
+        CcaKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Builds a fresh algorithm instance with an initial window of
+    /// `initial_cwnd` packets.
+    pub fn build(&self, initial_cwnd: u64) -> Box<dyn CongestionControl> {
+        match self {
+            CcaKind::Reno => Box::new(Reno::new(RenoConfig { initial_cwnd, ..RenoConfig::default() })),
+            CcaKind::Cubic => Box::new(Cubic::new(CubicConfig {
+                initial_cwnd,
+                slow_start: SlowStartBehaviour::CappedAtSsthresh,
+                ..CubicConfig::default()
+            })),
+            CcaKind::CubicNs3Buggy => Box::new(Cubic::new(CubicConfig {
+                initial_cwnd,
+                slow_start: SlowStartBehaviour::Ns3Uncapped,
+                ..CubicConfig::default()
+            })),
+            CcaKind::Bbr => Box::new(Bbr::new(BbrConfig {
+                initial_cwnd,
+                probe_rtt_on_rto: false,
+                ..BbrConfig::default()
+            })),
+            CcaKind::BbrProbeRttOnRto => Box::new(Bbr::new(BbrConfig {
+                initial_cwnd,
+                probe_rtt_on_rto: true,
+                ..BbrConfig::default()
+            })),
+            CcaKind::Vegas => Box::new(Vegas::new(VegasConfig { initial_cwnd, ..VegasConfig::default() })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in CcaKind::ALL {
+            assert_eq!(CcaKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CcaKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn factory_builds_named_algorithms() {
+        for kind in CcaKind::ALL {
+            let cc = kind.build(10);
+            assert!(!cc.name().is_empty());
+            assert!(cc.cwnd() >= 1);
+        }
+        assert_eq!(CcaKind::Bbr.build(10).name(), "bbr");
+        assert_eq!(CcaKind::Reno.build(10).name(), "reno");
+    }
+}

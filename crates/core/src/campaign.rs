@@ -1,0 +1,223 @@
+//! Ready-made fuzzing campaigns matching the paper's evaluation setup.
+//!
+//! A *campaign* bundles the network scenario (§3.1/§4: 12 Mbps bottleneck,
+//! 20 ms propagation delay, SACK + delayed ACKs, 1 s min-RTO), a CCA under
+//! test, a scoring configuration and the GA parameters, and runs either
+//! traffic fuzzing or link fuzzing end to end. The figure binaries, the
+//! examples and the integration tests all go through this module so the
+//! experiment definitions live in exactly one place.
+
+use crate::evaluate::SimEvaluator;
+use crate::fuzzer::{FuzzResult, Fuzzer, GaParams};
+use crate::genome::{LinkGenome, TrafficGenome};
+use crate::scoring::ScoringConfig;
+use crate::trace_gen::packets_for_rate;
+use ccfuzz_cca::CcaKind;
+use ccfuzz_netsim::config::SimConfig;
+use ccfuzz_netsim::queue::QueueCapacity;
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The paper's bottleneck rate (12 Mbps).
+pub const PAPER_LINK_RATE_BPS: u64 = 12_000_000;
+/// The paper's one-way propagation delay (20 ms).
+pub const PAPER_PROP_DELAY_MS: u64 = 20;
+/// The paper's aggregation threshold for DIST_PACKETS (50 ms).
+pub const PAPER_K_AGG_MS: u64 = 50;
+
+/// Which of the two fuzzing modes (§3.1) a campaign uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FuzzMode {
+    /// Evolve bottleneck service curves (fixed cross traffic = none).
+    Link,
+    /// Evolve cross-traffic patterns (fixed-rate bottleneck).
+    Traffic,
+}
+
+/// A complete campaign description.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Fuzzing mode.
+    pub mode: FuzzMode,
+    /// Algorithm under test.
+    pub cca: CcaKind,
+    /// Scenario duration per simulation.
+    pub duration: SimDuration,
+    /// Scoring configuration.
+    pub scoring: ScoringConfig,
+    /// Genetic-algorithm parameters.
+    pub ga: GaParams,
+    /// Base simulation settings.
+    pub sim: SimConfig,
+    /// Bottleneck rate (fixed rate in traffic mode, average rate in link mode).
+    pub link_rate_bps: u64,
+    /// Cross-traffic packet budget for traffic genomes.
+    pub traffic_max_packets: usize,
+}
+
+impl Campaign {
+    /// Builds the paper's standard scenario for a given mode, CCA, duration
+    /// and GA parameters, with the low-throughput objective.
+    pub fn paper_standard(mode: FuzzMode, cca: CcaKind, duration: SimDuration, ga: GaParams) -> Self {
+        let sim = paper_sim_base(duration);
+        Campaign {
+            mode,
+            cca,
+            duration,
+            scoring: ScoringConfig::low_throughput_default(PAPER_LINK_RATE_BPS as f64),
+            ga,
+            traffic_max_packets: packets_for_rate(PAPER_LINK_RATE_BPS, sim.mss, duration),
+            sim,
+            link_rate_bps: PAPER_LINK_RATE_BPS,
+        }
+    }
+
+    /// Same scenario but hunting for high queuing delay (§4.3 / Figure 4e).
+    pub fn paper_high_delay(mode: FuzzMode, cca: CcaKind, duration: SimDuration, ga: GaParams) -> Self {
+        let mut c = Self::paper_standard(mode, cca, duration, ga);
+        c.scoring = ScoringConfig::high_delay_default(PAPER_LINK_RATE_BPS as f64);
+        c
+    }
+
+    /// The evaluator this campaign uses.
+    pub fn evaluator(&self) -> SimEvaluator {
+        SimEvaluator::new(self.sim.clone(), self.cca, self.scoring, self.link_rate_bps)
+    }
+
+    /// Runs a traffic-fuzzing campaign. Panics if the mode is not [`FuzzMode::Traffic`].
+    pub fn run_traffic(&self) -> FuzzResult<TrafficGenome> {
+        assert_eq!(self.mode, FuzzMode::Traffic, "campaign is not in traffic mode");
+        let evaluator = self.evaluator();
+        let duration = self.duration;
+        let max_packets = self.traffic_max_packets;
+        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
+            TrafficGenome::generate(max_packets, duration, rng)
+        });
+        fuzzer.run()
+    }
+
+    /// Runs a link-fuzzing campaign (with annealing if `ga.anneal` is set).
+    /// Panics if the mode is not [`FuzzMode::Link`].
+    pub fn run_link(&self) -> FuzzResult<LinkGenome> {
+        assert_eq!(self.mode, FuzzMode::Link, "campaign is not in link mode");
+        let evaluator = self.evaluator();
+        let duration = self.duration;
+        let total_packets = packets_for_rate(self.link_rate_bps, self.sim.mss, duration);
+        let k_agg = SimDuration::from_millis(PAPER_K_AGG_MS);
+        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+            LinkGenome::generate(total_packets, duration, k_agg, rng)
+        });
+        if self.ga.anneal {
+            fuzzer = fuzzer.with_annealing(Box::new(|genome: &LinkGenome, rng: &mut SimRng| {
+                genome.anneal(3, SimDuration::from_micros(200), rng)
+            }));
+        }
+        fuzzer.run()
+    }
+}
+
+/// The paper's base simulation settings (§4) for a scenario of `duration`:
+/// 12 Mbps bottleneck, 20 ms propagation delay, SACK and delayed ACKs
+/// enabled, 1 s minimum RTO, and a bottleneck queue of roughly 2.5 BDP.
+pub fn paper_sim_base(duration: SimDuration) -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.duration = duration;
+    cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(duration);
+    cfg.propagation_delay = SimDuration::from_millis(PAPER_PROP_DELAY_MS);
+    cfg.queue_capacity = QueueCapacity::Packets(100);
+    cfg.min_rto = SimDuration::from_secs(1);
+    cfg.sack_enabled = true;
+    cfg.delayed_ack = true;
+    cfg.flow_start = SimTime::ZERO;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Genome;
+
+    #[test]
+    fn paper_base_matches_paper_settings() {
+        let cfg = paper_sim_base(SimDuration::from_secs(5));
+        assert_eq!(cfg.propagation_delay, SimDuration::from_millis(20));
+        assert_eq!(cfg.min_rto, SimDuration::from_secs(1));
+        assert!(cfg.sack_enabled && cfg.delayed_ack);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn standard_campaign_has_consistent_budgets() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+        );
+        // The traffic budget equals the number of packets the 12 Mbps link
+        // can carry over the scenario (enough to fully occupy it).
+        assert_eq!(
+            c.traffic_max_packets,
+            packets_for_rate(PAPER_LINK_RATE_BPS, c.sim.mss, SimDuration::from_secs(5))
+        );
+        assert!(c.traffic_max_packets > 4_000);
+        assert_eq!(c.link_rate_bps, PAPER_LINK_RATE_BPS);
+    }
+
+    #[test]
+    fn high_delay_campaign_switches_objective() {
+        let c = Campaign::paper_high_delay(
+            FuzzMode::Traffic,
+            CcaKind::Bbr,
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+        );
+        match c.scoring.objective {
+            crate::scoring::Objective::HighDelay { percentile } => assert_eq!(percentile, 10.0),
+            other => panic!("unexpected objective {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_traffic_campaign_runs_end_to_end() {
+        // A minimal end-to-end GA run over real simulations (kept tiny so the
+        // unit-test suite stays fast; the integration tests run bigger ones).
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        let c = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, SimDuration::from_secs(2), ga);
+        let result = c.run_traffic();
+        assert_eq!(result.history.len(), 2);
+        assert!(result.total_evaluations >= 6);
+        assert!(result.best_outcome.score > 0.0);
+        result.best_genome.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_link_campaign_runs_end_to_end() {
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        ga.anneal = true;
+        let c = Campaign::paper_standard(FuzzMode::Link, CcaKind::Reno, SimDuration::from_secs(2), ga);
+        let result = c.run_link();
+        assert_eq!(result.history.len(), 2);
+        let expected_packets = packets_for_rate(PAPER_LINK_RATE_BPS, c.sim.mss, SimDuration::from_secs(2));
+        assert_eq!(result.best_genome.packet_count(), expected_packets);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in traffic mode")]
+    fn mode_mismatch_panics() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Link,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            GaParams::quick(),
+        );
+        let _ = c.run_traffic();
+    }
+}

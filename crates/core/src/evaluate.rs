@@ -1,0 +1,212 @@
+//! Genome evaluation: run the simulator on a trace and score the outcome.
+//!
+//! This is the "fitness function" of the genetic algorithm (§3.4). Every
+//! evaluation is a fresh, deterministic simulation — the property §3.6 of the
+//! paper identifies as the reason to prefer simulation over emulation.
+
+use crate::genome::{LinkGenome, TrafficGenome};
+use crate::scoring::{performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs};
+use ccfuzz_cca::CcaKind;
+use ccfuzz_netsim::config::SimConfig;
+use ccfuzz_netsim::link::LinkModel;
+use ccfuzz_netsim::sim::{run_simulation, SimResult};
+use serde::{Deserialize, Serialize};
+
+/// Everything the genetic algorithm needs to know about one evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Combined fitness (higher = fitter adversarial trace).
+    pub score: f64,
+    /// Performance component of the score.
+    pub performance_score: f64,
+    /// Trace (minimality) component of the score.
+    pub trace_score: f64,
+    /// Packets the CCA flow delivered.
+    pub delivered_packets: u64,
+    /// Packets the CCA flow transmitted (including retransmissions).
+    pub sent_packets: u64,
+    /// Retransmissions.
+    pub retransmissions: u64,
+    /// RTO expirations.
+    pub rto_count: u64,
+    /// CCA packets dropped at the bottleneck queue.
+    pub queue_drops: u64,
+    /// Cross-traffic packets dropped at the bottleneck queue.
+    pub cross_dropped: u64,
+    /// Average goodput of the CCA flow, bits per second.
+    pub goodput_bps: f64,
+}
+
+impl EvalOutcome {
+    fn from_result(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        trace_inputs: Option<TraceScoreInputs>,
+    ) -> Self {
+        let perf = performance_score(&scoring.objective, result, mss, scoring.reference_rate_bps);
+        let trace = trace_inputs.map(|t| trace_score(&t)).unwrap_or(0.0);
+        EvalOutcome {
+            score: total_score(scoring, perf, trace),
+            performance_score: perf,
+            trace_score: trace,
+            delivered_packets: result.stats.flow.delivered_packets,
+            sent_packets: result.stats.flow.transmissions,
+            retransmissions: result.stats.flow.retransmissions,
+            rto_count: result.stats.flow.rto_count,
+            queue_drops: result.stats.flow.queue_drops,
+            cross_dropped: result.stats.cross_dropped,
+            goodput_bps: result.average_goodput_bps(mss),
+        }
+    }
+}
+
+/// An object that can evaluate genomes of type `G`.
+pub trait Evaluator<G>: Sync + Send {
+    /// Runs the scenario described by `genome` and scores it.
+    fn evaluate(&self, genome: &G) -> EvalOutcome;
+}
+
+/// The standard simulator-backed evaluator used by both fuzzing modes.
+#[derive(Clone, Debug)]
+pub struct SimEvaluator {
+    /// Base simulation settings (duration, delays, queue, transport options).
+    /// The link model and cross-traffic trace inside it are overwritten per
+    /// genome.
+    pub base: SimConfig,
+    /// Which congestion control algorithm is under test.
+    pub cca: CcaKind,
+    /// How outcomes are scored.
+    pub scoring: ScoringConfig,
+    /// Fixed bottleneck rate used in traffic-fuzzing mode (12 Mbps in the paper).
+    pub link_rate_bps: u64,
+}
+
+impl SimEvaluator {
+    /// Creates an evaluator; `base.record_events` is forced off for speed
+    /// (the GA only needs the aggregate statistics).
+    pub fn new(mut base: SimConfig, cca: CcaKind, scoring: ScoringConfig, link_rate_bps: u64) -> Self {
+        base.record_events = false;
+        SimEvaluator { base, cca, scoring, link_rate_bps }
+    }
+
+    /// Runs a full simulation for a traffic genome, returning the raw result
+    /// (used by figure binaries that need the detailed statistics, with event
+    /// recording re-enabled).
+    pub fn simulate_traffic(&self, genome: &TrafficGenome, record_events: bool) -> SimResult {
+        let mut cfg = self.base.clone();
+        cfg.record_events = record_events;
+        cfg.link = LinkModel::FixedRate { rate_bps: self.link_rate_bps };
+        cfg.cross_traffic = genome.to_trace();
+        cfg.duration = genome.duration;
+        run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
+    }
+
+    /// Runs a full simulation for a link genome.
+    pub fn simulate_link(&self, genome: &LinkGenome, record_events: bool) -> SimResult {
+        let mut cfg = self.base.clone();
+        cfg.record_events = record_events;
+        cfg.link = LinkModel::TraceDriven { trace: genome.to_trace() };
+        cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration);
+        cfg.duration = genome.duration;
+        run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
+    }
+}
+
+impl Evaluator<TrafficGenome> for SimEvaluator {
+    fn evaluate(&self, genome: &TrafficGenome) -> EvalOutcome {
+        let result = self.simulate_traffic(genome, false);
+        let inputs = TraceScoreInputs {
+            traffic_packets: genome.packet_count(),
+            traffic_max_packets: genome.max_packets,
+            traffic_dropped: result.stats.cross_dropped,
+        };
+        EvalOutcome::from_result(&self.scoring, &result, self.base.mss, Some(inputs))
+    }
+}
+
+impl Evaluator<LinkGenome> for SimEvaluator {
+    fn evaluate(&self, genome: &LinkGenome) -> EvalOutcome {
+        let result = self.simulate_link(genome, false);
+        EvalOutcome::from_result(&self.scoring, &result, self.base.mss, None)
+    }
+}
+
+use crate::genome::Genome;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::rng::SimRng;
+    use ccfuzz_netsim::time::SimDuration;
+
+    fn evaluator() -> SimEvaluator {
+        let mut base = SimConfig::short_default();
+        base.duration = SimDuration::from_secs(3);
+        SimEvaluator::new(
+            base,
+            CcaKind::Reno,
+            ScoringConfig::low_throughput_default(12e6),
+            12_000_000,
+        )
+    }
+
+    #[test]
+    fn empty_traffic_genome_scores_low() {
+        let eval = evaluator();
+        let genome = TrafficGenome {
+            timestamps: vec![],
+            duration: SimDuration::from_secs(3),
+            max_packets: 1_000,
+        };
+        let outcome = eval.evaluate(&genome);
+        // Reno alone on a clean 12 Mbps link: high goodput, low fitness.
+        assert!(outcome.goodput_bps > 6e6, "goodput {}", outcome.goodput_bps);
+        assert!(outcome.performance_score < 0.5);
+        assert!(outcome.trace_score > 0.9, "empty trace is maximally minimal");
+        assert!(outcome.delivered_packets > 1_000);
+    }
+
+    #[test]
+    fn heavy_traffic_genome_scores_higher_than_empty() {
+        let eval = evaluator();
+        let mut rng = SimRng::new(3);
+        let duration = SimDuration::from_secs(3);
+        let empty = TrafficGenome { timestamps: vec![], duration, max_packets: 4_000 };
+        let heavy = TrafficGenome::generate(4_000, duration, &mut rng);
+        let empty_out = eval.evaluate(&empty);
+        let heavy_out = eval.evaluate(&heavy);
+        assert!(
+            heavy_out.performance_score > empty_out.performance_score,
+            "cross traffic must hurt Reno: {} vs {}",
+            heavy_out.performance_score,
+            empty_out.performance_score
+        );
+    }
+
+    #[test]
+    fn link_genome_evaluation_runs_trace_driven() {
+        let eval = evaluator();
+        let mut rng = SimRng::new(4);
+        let genome = LinkGenome::generate(
+            3_000,
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(50),
+            &mut rng,
+        );
+        let outcome = Evaluator::<LinkGenome>::evaluate(&eval, &genome);
+        assert!(outcome.delivered_packets > 0);
+        assert!(outcome.delivered_packets <= 3_000);
+        assert_eq!(outcome.trace_score, 0.0, "link mode has no trace score");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let eval = evaluator();
+        let mut rng = SimRng::new(9);
+        let genome = TrafficGenome::generate(2_000, SimDuration::from_secs(3), &mut rng);
+        let a = eval.evaluate(&genome);
+        let b = eval.evaluate(&genome);
+        assert_eq!(a, b);
+    }
+}

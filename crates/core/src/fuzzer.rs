@@ -1,0 +1,598 @@
+//! The genetic-algorithm loop (Figure 1 of the paper) with island isolation.
+//!
+//! The population is split into islands [21]; each island evolves
+//! independently (elitism + crossovers + mutations per generation), and every
+//! `migration_interval` generations the best traces of each island migrate to
+//! the next island in a ring. The paper's evaluation uses 500 traces across
+//! 20 islands, kElite = 1, 30 % crossovers and 10 % migration every 10
+//! generations.
+//!
+//! Evaluation of a generation is embarrassingly parallel and is spread over
+//! worker threads with `crossbeam::scope`; every simulation is deterministic,
+//! so the end-to-end fuzzing run is reproducible from its seed regardless of
+//! the thread count.
+
+use crate::evaluate::{EvalOutcome, Evaluator};
+use crate::genome::Genome;
+use crate::selection::{pick_pair, pick_ranked};
+use ccfuzz_netsim::rng::SimRng;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Genetic-algorithm parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Number of islands (isolated sub-populations).
+    pub islands: usize,
+    /// Traces per island.
+    pub population_per_island: usize,
+    /// Traces that survive unchanged per island per generation.
+    pub k_elite: usize,
+    /// Fraction of each new generation produced by crossover (0.3 in the paper).
+    pub crossover_fraction: f64,
+    /// Generations between migrations (10 in the paper).
+    pub migration_interval: u32,
+    /// Fraction of each island that migrates (0.1 in the paper).
+    pub migration_fraction: f64,
+    /// Total generations to run.
+    pub generations: u32,
+    /// Stop early if the global best score has not improved for this many
+    /// generations (`None` disables early stopping).
+    pub stall_generations: Option<u32>,
+    /// Worker threads used for evaluation.
+    pub threads: usize,
+    /// Apply link-trace annealing (Gaussian smoothing) to elites before
+    /// mutation, as described in §3.2. Ignored by genomes without annealing.
+    pub anneal: bool,
+    /// Number of top traces averaged in the per-generation report (Figure 4d
+    /// uses the top 20).
+    pub report_top_k: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl GaParams {
+    /// The paper's §4 settings: population 500 split over 20 islands,
+    /// kElite = 1, 30 % crossovers, 10 % migration every 10 generations.
+    pub fn paper_default() -> Self {
+        GaParams {
+            islands: 20,
+            population_per_island: 25,
+            k_elite: 1,
+            crossover_fraction: 0.3,
+            migration_interval: 10,
+            migration_fraction: 0.1,
+            generations: 50,
+            stall_generations: None,
+            threads: num_threads_default(),
+            anneal: false,
+            report_top_k: 20,
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration that keeps the same structure but finishes
+    /// in seconds; used by tests, examples and the default figure runs.
+    pub fn quick() -> Self {
+        GaParams {
+            islands: 4,
+            population_per_island: 8,
+            k_elite: 1,
+            crossover_fraction: 0.3,
+            migration_interval: 5,
+            migration_fraction: 0.25,
+            generations: 10,
+            stall_generations: None,
+            threads: num_threads_default(),
+            anneal: false,
+            report_top_k: 5,
+            seed: 1,
+        }
+    }
+
+    /// Total population across all islands.
+    pub fn total_population(&self) -> usize {
+        self.islands * self.population_per_island
+    }
+
+    /// Validates parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.islands == 0 || self.population_per_island == 0 {
+            return Err("need at least one island and one trace per island".into());
+        }
+        if self.k_elite >= self.population_per_island {
+            return Err("k_elite must be smaller than the island population".into());
+        }
+        if !(0.0..=1.0).contains(&self.crossover_fraction) {
+            return Err("crossover_fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.migration_fraction) {
+            return Err("migration_fraction must be in [0,1]".into());
+        }
+        if self.generations == 0 {
+            return Err("need at least one generation".into());
+        }
+        Ok(())
+    }
+}
+
+fn num_threads_default() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// One individual: a genome plus (once evaluated) its outcome.
+#[derive(Clone, Debug)]
+pub struct Individual<G> {
+    /// The trace genome.
+    pub genome: G,
+    /// Its evaluation, if it has been scored.
+    pub outcome: Option<EvalOutcome>,
+}
+
+/// Per-generation summary used for convergence plots (Figure 4d).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenerationSummary {
+    /// Generation index (0-based).
+    pub generation: u32,
+    /// Best score across all islands.
+    pub best_score: f64,
+    /// Mean score across the whole population.
+    pub mean_score: f64,
+    /// Mean *delivered packets* of the `report_top_k` highest-scoring traces
+    /// (the paper's Figure 4d plots exactly this: "packets sent" by the CCA
+    /// for the 20 traces with the lowest throughput).
+    pub top_k_mean_delivered: f64,
+    /// Mean transmissions of the `report_top_k` highest-scoring traces.
+    pub top_k_mean_sent: f64,
+    /// Simulations run so far (cumulative).
+    pub evaluations: usize,
+}
+
+/// The result of a fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzResult<G> {
+    /// The best trace found and its evaluation.
+    pub best_genome: G,
+    /// Outcome of the best trace.
+    pub best_outcome: EvalOutcome,
+    /// Per-generation history.
+    pub history: Vec<GenerationSummary>,
+    /// Total simulations run.
+    pub total_evaluations: usize,
+}
+
+/// Hook applied to genomes between generations (e.g. link-trace annealing).
+pub type AnnealFn<G> = dyn Fn(&G, &mut SimRng) -> G + Sync + Send;
+
+/// The genetic-algorithm fuzzer.
+pub struct Fuzzer<'a, G: Genome, E: Evaluator<G>> {
+    params: GaParams,
+    evaluator: &'a E,
+    islands: Vec<Vec<Individual<G>>>,
+    rng: SimRng,
+    anneal_fn: Option<Box<AnnealFn<G>>>,
+    evaluations: usize,
+}
+
+impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
+    /// Creates a fuzzer with an initial population drawn from `init`.
+    pub fn new(params: GaParams, evaluator: &'a E, mut init: impl FnMut(&mut SimRng) -> G) -> Self {
+        assert!(params.validate().is_ok(), "invalid GaParams: {:?}", params.validate());
+        let mut rng = SimRng::new(params.seed);
+        let islands = (0..params.islands)
+            .map(|island| {
+                let mut island_rng = rng.fork(island as u64 + 1);
+                (0..params.population_per_island)
+                    .map(|_| Individual { genome: init(&mut island_rng), outcome: None })
+                    .collect()
+            })
+            .collect();
+        let anneal_seed = rng.next_u64();
+        let _ = anneal_seed;
+        Fuzzer {
+            params,
+            evaluator,
+            islands,
+            rng,
+            anneal_fn: None,
+            evaluations: 0,
+        }
+    }
+
+    /// Installs an annealing hook (used for link-trace Gaussian smoothing).
+    pub fn with_annealing(mut self, f: Box<AnnealFn<G>>) -> Self {
+        self.anneal_fn = Some(f);
+        self
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &GaParams {
+        &self.params
+    }
+
+    /// Evaluates every not-yet-scored individual, in parallel.
+    fn evaluate_pending(&mut self) {
+        // Collect (island, index) pairs needing evaluation.
+        let pending: Vec<(usize, usize)> = self
+            .islands
+            .iter()
+            .enumerate()
+            .flat_map(|(i, pop)| {
+                pop.iter()
+                    .enumerate()
+                    .filter(|(_, ind)| ind.outcome.is_none())
+                    .map(move |(j, _)| (i, j))
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        self.evaluations += pending.len();
+
+        let results: Mutex<Vec<(usize, usize, EvalOutcome)>> =
+            Mutex::new(Vec::with_capacity(pending.len()));
+        let threads = self.params.threads.max(1).min(pending.len());
+        let chunk_size = pending.len().div_ceil(threads);
+        let islands = &self.islands;
+        let evaluator = self.evaluator;
+        crossbeam::scope(|scope| {
+            for chunk in pending.chunks(chunk_size) {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for &(i, j) in chunk {
+                        let outcome = evaluator.evaluate(&islands[i][j].genome);
+                        local.push((i, j, outcome));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("evaluation worker panicked");
+
+        for (i, j, outcome) in results.into_inner() {
+            self.islands[i][j].outcome = Some(outcome);
+        }
+    }
+
+    fn sort_island(pop: &mut [Individual<G>]) {
+        pop.sort_by(|a, b| {
+            let sa = a.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            let sb = b.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    fn summarize(&self, generation: u32) -> GenerationSummary {
+        let mut all: Vec<&Individual<G>> = self.islands.iter().flatten().collect();
+        all.sort_by(|a, b| {
+            let sa = a.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            let sb = b.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let scores: Vec<f64> = all
+            .iter()
+            .filter_map(|i| i.outcome.map(|o| o.score))
+            .collect();
+        let k = self.params.report_top_k.clamp(1, all.len());
+        let top_k: Vec<&EvalOutcome> = all[..k].iter().filter_map(|i| i.outcome.as_ref()).collect();
+        let mean = |values: &[f64]| {
+            if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 }
+        };
+        GenerationSummary {
+            generation,
+            best_score: scores.first().copied().unwrap_or(0.0),
+            mean_score: mean(&scores),
+            top_k_mean_delivered: mean(&top_k.iter().map(|o| o.delivered_packets as f64).collect::<Vec<_>>()),
+            top_k_mean_sent: mean(&top_k.iter().map(|o| o.sent_packets as f64).collect::<Vec<_>>()),
+            evaluations: self.evaluations,
+        }
+    }
+
+    /// Builds the next generation of one island (elitism + crossover + mutation).
+    fn evolve_island(&mut self, island_idx: usize) {
+        let params = self.params;
+        let mut rng = self.rng.fork(1_000 + island_idx as u64);
+        let pop = &mut self.islands[island_idx];
+        Self::sort_island(pop);
+
+        let n = pop.len();
+        let k_elite = params.k_elite.min(n);
+        let k_crossover = ((n - k_elite) as f64 * params.crossover_fraction).round() as usize;
+
+        let mut next: Vec<Individual<G>> = Vec::with_capacity(n);
+        // Elites survive unchanged (and keep their cached outcome).
+        for elite in pop.iter().take(k_elite) {
+            next.push(elite.clone());
+        }
+        // Crossovers.
+        let mut produced = 0usize;
+        while produced < k_crossover && next.len() < n {
+            let (a, b) = pick_pair(n, &mut rng);
+            let child = pop[a].genome.crossover(&pop[b].genome, &mut rng);
+            match child {
+                Some(genome) => {
+                    next.push(Individual { genome, outcome: None });
+                    produced += 1;
+                }
+                None => break, // genome type has no crossover (link mode)
+            }
+        }
+        // Mutations fill the remainder.
+        while next.len() < n {
+            let src = pick_ranked(n, &mut rng);
+            let base = if params.anneal {
+                if let Some(anneal) = &self.anneal_fn {
+                    anneal(&pop[src].genome, &mut rng)
+                } else {
+                    pop[src].genome.clone()
+                }
+            } else {
+                pop[src].genome.clone()
+            };
+            let genome = base.mutate(&mut rng);
+            next.push(Individual { genome, outcome: None });
+        }
+        self.islands[island_idx] = next;
+    }
+
+    /// Ring migration: each island sends its best `migration_fraction` to the
+    /// next island, replacing that island's worst individuals.
+    fn migrate(&mut self) {
+        let n_islands = self.islands.len();
+        if n_islands < 2 {
+            return;
+        }
+        let k = ((self.params.population_per_island as f64 * self.params.migration_fraction)
+            .round() as usize)
+            .clamp(1, self.params.population_per_island / 2 + 1);
+        for pop in &mut self.islands {
+            Self::sort_island(pop);
+        }
+        // Collect migrants first so migration is simultaneous, not cascading.
+        let migrants: Vec<Vec<Individual<G>>> = self
+            .islands
+            .iter()
+            .map(|pop| pop.iter().take(k).cloned().collect())
+            .collect();
+        for (i, migrant_group) in migrants.into_iter().enumerate() {
+            let dst = (i + 1) % n_islands;
+            let pop = &mut self.islands[dst];
+            let len = pop.len();
+            for (offset, migrant) in migrant_group.into_iter().enumerate() {
+                let idx = len - 1 - offset;
+                pop[idx] = migrant;
+            }
+        }
+    }
+
+    /// Runs the campaign and returns the best trace plus per-generation history.
+    pub fn run(&mut self) -> FuzzResult<G> {
+        let mut history = Vec::with_capacity(self.params.generations as usize);
+        let mut best: Option<(G, EvalOutcome)> = None;
+        let mut stall = 0u32;
+
+        for generation in 0..self.params.generations {
+            self.evaluate_pending();
+
+            // Track the global best.
+            let mut improved = false;
+            for ind in self.islands.iter().flatten() {
+                if let Some(outcome) = ind.outcome {
+                    if best.as_ref().map(|(_, b)| outcome.score > b.score).unwrap_or(true) {
+                        best = Some((ind.genome.clone(), outcome));
+                        improved = true;
+                    }
+                }
+            }
+            history.push(self.summarize(generation));
+
+            if improved {
+                stall = 0;
+            } else {
+                stall += 1;
+                if let Some(limit) = self.params.stall_generations {
+                    if stall >= limit {
+                        break;
+                    }
+                }
+            }
+
+            // Last generation: don't bother producing offspring.
+            if generation + 1 == self.params.generations {
+                break;
+            }
+            for island in 0..self.islands.len() {
+                self.evolve_island(island);
+            }
+            if self.params.migration_interval > 0
+                && (generation + 1) % self.params.migration_interval == 0
+            {
+                self.migrate();
+            }
+        }
+
+        let (best_genome, best_outcome) = best.expect("at least one individual was evaluated");
+        FuzzResult {
+            best_genome,
+            best_outcome,
+            history,
+            total_evaluations: self.evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Genome;
+
+    /// A toy genome (a vector of numbers) and evaluator (score = sum) that
+    /// exercise the GA machinery without running network simulations.
+    #[derive(Clone, Debug, PartialEq)]
+    struct ToyGenome(Vec<f64>);
+
+    impl Genome for ToyGenome {
+        fn mutate(&self, rng: &mut SimRng) -> Self {
+            let mut v = self.0.clone();
+            if v.is_empty() {
+                return ToyGenome(v);
+            }
+            let idx = rng.gen_range_usize(0, v.len());
+            v[idx] += rng.gen_range_f64(-0.5, 1.0);
+            ToyGenome(v)
+        }
+        fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self> {
+            let split = rng.gen_range_usize(0, self.0.len() + 1);
+            let mut v = self.0[..split].to_vec();
+            v.extend_from_slice(&other.0[split.min(other.0.len())..]);
+            Some(ToyGenome(v))
+        }
+        fn packet_count(&self) -> usize {
+            self.0.len()
+        }
+        fn validate(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    struct ToyEvaluator;
+    impl Evaluator<ToyGenome> for ToyEvaluator {
+        fn evaluate(&self, genome: &ToyGenome) -> EvalOutcome {
+            let score: f64 = genome.0.iter().sum();
+            EvalOutcome { score, performance_score: score, delivered_packets: 100, sent_packets: 110, ..Default::default() }
+        }
+    }
+
+    fn quick_params() -> GaParams {
+        GaParams {
+            islands: 3,
+            population_per_island: 6,
+            k_elite: 1,
+            crossover_fraction: 0.3,
+            migration_interval: 3,
+            migration_fraction: 0.2,
+            generations: 15,
+            stall_generations: None,
+            threads: 2,
+            anneal: false,
+            report_top_k: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(GaParams::paper_default().validate().is_ok());
+        assert!(GaParams::quick().validate().is_ok());
+        assert_eq!(GaParams::paper_default().total_population(), 500);
+        let mut bad = GaParams::quick();
+        bad.k_elite = bad.population_per_island;
+        assert!(bad.validate().is_err());
+        let mut bad = GaParams::quick();
+        bad.crossover_fraction = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = GaParams::quick();
+        bad.islands = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = GaParams::quick();
+        bad.generations = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn ga_improves_the_toy_objective() {
+        let evaluator = ToyEvaluator;
+        let mut fuzzer = Fuzzer::new(quick_params(), &evaluator, |rng| {
+            ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect())
+        });
+        let result = fuzzer.run();
+        let first = result.history.first().unwrap();
+        let last = result.history.last().unwrap();
+        assert!(
+            last.best_score > first.best_score,
+            "GA should improve: {} -> {}",
+            first.best_score,
+            last.best_score
+        );
+        assert!(result.best_outcome.score >= last.best_score);
+        assert!(result.total_evaluations > quick_params().total_population());
+        assert_eq!(result.history.len(), 15);
+    }
+
+    #[test]
+    fn best_score_is_monotone_in_history() {
+        let evaluator = ToyEvaluator;
+        let mut fuzzer = Fuzzer::new(quick_params(), &evaluator, |rng| {
+            ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect())
+        });
+        let result = fuzzer.run();
+        // Because of elitism, the global best never regresses.
+        let best_scores: Vec<f64> = result.history.iter().map(|h| h.best_score).collect();
+        assert!(best_scores.windows(2).all(|w| w[1] >= w[0] - 1e-12), "{best_scores:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_single_thread() {
+        let run = |threads: usize| {
+            let evaluator = ToyEvaluator;
+            let mut params = quick_params();
+            params.threads = threads;
+            let mut fuzzer = Fuzzer::new(params, &evaluator, |rng| {
+                ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect())
+            });
+            let r = fuzzer.run();
+            (r.best_outcome.score, r.history.last().unwrap().mean_score)
+        };
+        assert_eq!(run(1), run(1));
+        // Thread count must not affect the result (evaluation is pure).
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn stall_detection_stops_early() {
+        struct ConstantEvaluator;
+        impl Evaluator<ToyGenome> for ConstantEvaluator {
+            fn evaluate(&self, _genome: &ToyGenome) -> EvalOutcome {
+                EvalOutcome { score: 1.0, ..Default::default() }
+            }
+        }
+        let mut params = quick_params();
+        params.generations = 50;
+        params.stall_generations = Some(3);
+        let evaluator = ConstantEvaluator;
+        let mut fuzzer = Fuzzer::new(params, &evaluator, |_rng| ToyGenome(vec![1.0; 3]));
+        let result = fuzzer.run();
+        assert!(
+            result.history.len() < 50,
+            "constant fitness should trigger early stopping, ran {} generations",
+            result.history.len()
+        );
+    }
+
+    #[test]
+    fn migration_spreads_good_genomes() {
+        // Seed one island with a clearly superior genome and verify that after
+        // migration other islands contain it.
+        let evaluator = ToyEvaluator;
+        let mut params = quick_params();
+        params.generations = 8;
+        params.migration_interval = 2;
+        let mut counter = 0usize;
+        let mut fuzzer = Fuzzer::new(params, &evaluator, move |rng| {
+            counter += 1;
+            if counter == 1 {
+                ToyGenome(vec![100.0; 5]) // super-fit individual in island 0
+            } else {
+                ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect())
+            }
+        });
+        let result = fuzzer.run();
+        assert!(result.best_outcome.score >= 500.0);
+        // The top-k mean should have been pulled up strongly by generation 8,
+        // which only happens if the good genome propagated beyond one island
+        // (top_k = 4 > population of a single island's elite).
+        let last = result.history.last().unwrap();
+        assert!(last.mean_score > 5.0, "mean score {}", last.mean_score);
+    }
+}

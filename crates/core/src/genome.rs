@@ -1,0 +1,430 @@
+//! Genomes: the trace representations the genetic algorithm evolves.
+//!
+//! * [`LinkGenome`] — a bottleneck service curve (fixed total packet count,
+//!   bounded long-term rate variation). Mutation re-distributes the packets
+//!   on one side of a random split point; crossover is not defined (§3.2).
+//! * [`TrafficGenome`] — a cross-traffic injection pattern (variable packet
+//!   count up to a cap, no local rate constraints). Mutation re-generates one
+//!   side of a split point with a randomly changed packet count; crossover
+//!   splices the left half of one parent with the right half of the other
+//!   (§3.3).
+
+use crate::trace_gen::{dist_packets, DistPacketsParams};
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use ccfuzz_netsim::trace::{LinkTrace, TrafficTrace};
+use serde::{Deserialize, Serialize};
+
+/// Operations the genetic algorithm needs from a trace genome.
+pub trait Genome: Clone + Send + Sync {
+    /// Produces a mutated copy.
+    fn mutate(&self, rng: &mut SimRng) -> Self;
+
+    /// Produces a crossover child from two parents, or `None` if the genome
+    /// type does not support crossover (link traces, §3.2).
+    fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self>;
+
+    /// Number of packets in the genome (used by trace scoring).
+    fn packet_count(&self) -> usize;
+
+    /// Verifies internal invariants; used in tests and debug assertions.
+    fn validate(&self) -> Result<(), String>;
+}
+
+// ---------------------------------------------------------------------------
+// Link genome
+// ---------------------------------------------------------------------------
+
+/// A bottleneck service-curve genome for link fuzzing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkGenome {
+    /// Sorted packet transmission opportunities.
+    pub timestamps: Vec<SimTime>,
+    /// Scenario duration.
+    pub duration: SimDuration,
+    /// Aggregation threshold used when (re)generating segments.
+    pub k_agg: SimDuration,
+}
+
+impl LinkGenome {
+    /// Generates a fresh random link genome carrying `total_packets` over
+    /// `duration` (i.e. a fixed average bandwidth).
+    pub fn generate(
+        total_packets: usize,
+        duration: SimDuration,
+        k_agg: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        let params = DistPacketsParams { k_agg, enforce_rate_bounds: true, ..Default::default() };
+        let timestamps = dist_packets(total_packets, SimTime::ZERO, SimTime::ZERO + duration, &params, rng);
+        LinkGenome { timestamps, duration, k_agg }
+    }
+
+    /// Converts the genome to the simulator's [`LinkTrace`].
+    pub fn to_trace(&self) -> LinkTrace {
+        LinkTrace::new(self.timestamps.clone(), self.duration)
+    }
+
+    /// The average service rate in bits per second for `packet_size`-byte packets.
+    pub fn average_rate_bps(&self, packet_size: u32) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.timestamps.len() as f64 * packet_size as f64 * 8.0 / secs
+    }
+
+    /// Applies Gaussian smoothing to the packet timestamps (trace annealing,
+    /// §3.2): each timestamp moves toward the average of its neighbourhood,
+    /// plus a small amount of Gaussian noise, while staying inside the trace
+    /// duration and keeping the total count fixed.
+    pub fn anneal(&self, window: usize, noise_std: SimDuration, rng: &mut SimRng) -> Self {
+        if self.timestamps.len() < 3 {
+            return self.clone();
+        }
+        let w = window.max(1);
+        let n = self.timestamps.len();
+        let mut smoothed = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(w);
+            let hi = (i + w + 1).min(n);
+            let mean_ns = self.timestamps[lo..hi]
+                .iter()
+                .map(|t| t.as_nanos() as f64)
+                .sum::<f64>()
+                / (hi - lo) as f64;
+            let jitter = rng.gen_normal(0.0, noise_std.as_nanos() as f64);
+            let t = (mean_ns + jitter)
+                .clamp(0.0, self.duration.as_nanos() as f64);
+            smoothed.push(SimTime::from_nanos(t as u64));
+        }
+        smoothed.sort_unstable();
+        LinkGenome { timestamps: smoothed, duration: self.duration, k_agg: self.k_agg }
+    }
+}
+
+impl Genome for LinkGenome {
+    fn mutate(&self, rng: &mut SimRng) -> Self {
+        if self.timestamps.is_empty() {
+            return self.clone();
+        }
+        // Choose a random split point in time and regenerate either the left
+        // or the right side with DIST_PACKETS, preserving the packet count on
+        // that side (and therefore the genome's total count and long-term
+        // rate properties).
+        let split = SimTime::from_nanos(rng.gen_range_u64(1, self.duration.as_nanos().max(2)));
+        let left_is_mutated = rng.gen_bool(0.5);
+        let params = DistPacketsParams { k_agg: self.k_agg, enforce_rate_bounds: true, ..Default::default() };
+
+        let split_idx = self.timestamps.partition_point(|&t| t < split);
+        let mut timestamps = Vec::with_capacity(self.timestamps.len());
+        if left_is_mutated {
+            let regenerated = dist_packets(split_idx, SimTime::ZERO, split, &params, rng);
+            timestamps.extend(regenerated);
+            timestamps.extend_from_slice(&self.timestamps[split_idx..]);
+        } else {
+            timestamps.extend_from_slice(&self.timestamps[..split_idx]);
+            let regenerated = dist_packets(
+                self.timestamps.len() - split_idx,
+                split,
+                SimTime::ZERO + self.duration,
+                &params,
+                rng,
+            );
+            timestamps.extend(regenerated);
+        }
+        timestamps.sort_unstable();
+        LinkGenome { timestamps, duration: self.duration, k_agg: self.k_agg }
+    }
+
+    fn crossover(&self, _other: &Self, _rng: &mut SimRng) -> Option<Self> {
+        // §3.2: no crossover for link traces — there is no obvious way to
+        // combine two service curves while preserving the per-trace
+        // constraints (total packets, bounded rate variation).
+        None
+    }
+
+    fn packet_count(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for w in self.timestamps.windows(2) {
+            if w[0] > w[1] {
+                return Err("link genome timestamps out of order".into());
+            }
+        }
+        if let Some(last) = self.timestamps.last() {
+            if last.as_nanos() > self.duration.as_nanos() {
+                return Err("link genome timestamp beyond duration".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic genome
+// ---------------------------------------------------------------------------
+
+/// A cross-traffic injection genome for traffic fuzzing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficGenome {
+    /// Sorted injection timestamps.
+    pub timestamps: Vec<SimTime>,
+    /// Scenario duration.
+    pub duration: SimDuration,
+    /// Maximum number of cross-traffic packets allowed.
+    pub max_packets: usize,
+}
+
+impl TrafficGenome {
+    /// Generates a fresh random traffic genome with a uniformly random packet
+    /// count up to `max_packets`, distributed without local rate constraints.
+    pub fn generate(max_packets: usize, duration: SimDuration, rng: &mut SimRng) -> Self {
+        let count = rng.gen_range_usize(0, max_packets + 1);
+        let params = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+        let timestamps = dist_packets(count, SimTime::ZERO, SimTime::ZERO + duration, &params, rng);
+        TrafficGenome { timestamps, duration, max_packets }
+    }
+
+    /// Converts the genome to the simulator's [`TrafficTrace`].
+    pub fn to_trace(&self) -> TrafficTrace {
+        TrafficTrace::new(self.timestamps.clone(), self.duration)
+    }
+}
+
+impl Genome for TrafficGenome {
+    fn mutate(&self, rng: &mut SimRng) -> Self {
+        // Pick a split point in time, keep one side, and regenerate the other
+        // side with a randomly changed packet count (§3.3: the count in the
+        // regenerated portion changes so that minimal traffic vectors can
+        // emerge).
+        let split = SimTime::from_nanos(rng.gen_range_u64(1, self.duration.as_nanos().max(2)));
+        let left_is_mutated = rng.gen_bool(0.5);
+        let split_idx = self.timestamps.partition_point(|&t| t < split);
+        let params = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+
+        let kept: Vec<SimTime>;
+        let (regen_start, regen_end, other_count);
+        if left_is_mutated {
+            kept = self.timestamps[split_idx..].to_vec();
+            regen_start = SimTime::ZERO;
+            regen_end = split;
+            other_count = kept.len();
+        } else {
+            kept = self.timestamps[..split_idx].to_vec();
+            regen_start = split;
+            regen_end = SimTime::ZERO + self.duration;
+            other_count = kept.len();
+        }
+        let budget = self.max_packets.saturating_sub(other_count);
+        let new_count = rng.gen_range_usize(0, budget + 1);
+        let regenerated = dist_packets(new_count, regen_start, regen_end, &params, rng);
+
+        let mut timestamps = kept;
+        timestamps.extend(regenerated);
+        timestamps.sort_unstable();
+        TrafficGenome { timestamps, duration: self.duration, max_packets: self.max_packets }
+    }
+
+    fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self> {
+        // §3.3: choose a split point by packet count, take the left half of
+        // one parent and the right half of the other (by timestamp), and
+        // combine. The child's packet count changes naturally.
+        let max_len = self.timestamps.len().max(other.timestamps.len());
+        if max_len == 0 {
+            return Some(self.clone());
+        }
+        let split_count = rng.gen_range_usize(0, max_len + 1);
+        let (left_parent, right_parent) = if rng.gen_bool(0.5) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // The time at which the left parent has emitted `split_count` packets.
+        let split_time = left_parent
+            .timestamps
+            .get(split_count.saturating_sub(1))
+            .copied()
+            .unwrap_or(SimTime::ZERO + left_parent.duration);
+
+        let mut timestamps: Vec<SimTime> = left_parent
+            .timestamps
+            .iter()
+            .copied()
+            .take(split_count)
+            .collect();
+        timestamps.extend(
+            right_parent
+                .timestamps
+                .iter()
+                .copied()
+                .filter(|&t| t > split_time),
+        );
+        timestamps.sort_unstable();
+        timestamps.truncate(self.max_packets.max(other.max_packets));
+        Some(TrafficGenome {
+            timestamps,
+            duration: self.duration,
+            max_packets: self.max_packets,
+        })
+    }
+
+    fn packet_count(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.timestamps.len() > self.max_packets {
+            return Err(format!(
+                "traffic genome has {} packets, cap is {}",
+                self.timestamps.len(),
+                self.max_packets
+            ));
+        }
+        for w in self.timestamps.windows(2) {
+            if w[0] > w[1] {
+                return Err("traffic genome timestamps out of order".into());
+            }
+        }
+        if let Some(last) = self.timestamps.last() {
+            if last.as_nanos() > self.duration.as_nanos() {
+                return Err("traffic genome timestamp beyond duration".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(99)
+    }
+
+    const DUR: SimDuration = SimDuration::from_secs(5);
+
+    #[test]
+    fn link_genome_generation_preserves_count_and_validates() {
+        let mut rng = rng();
+        let g = LinkGenome::generate(5_000, DUR, SimDuration::from_millis(50), &mut rng);
+        assert_eq!(g.packet_count(), 5_000);
+        g.validate().unwrap();
+        // 5000 packets of 1500B over 5s = 12 Mbps.
+        assert!((g.average_rate_bps(1500) - 12e6).abs() / 12e6 < 0.01);
+        let trace = g.to_trace();
+        assert_eq!(trace.len(), 5_000);
+    }
+
+    #[test]
+    fn link_mutation_preserves_total_packets() {
+        let mut rng = rng();
+        let g = LinkGenome::generate(2_000, DUR, SimDuration::from_millis(50), &mut rng);
+        for _ in 0..10 {
+            let m = g.mutate(&mut rng);
+            assert_eq!(m.packet_count(), g.packet_count());
+            m.validate().unwrap();
+            assert_eq!(m.duration, g.duration);
+        }
+    }
+
+    #[test]
+    fn link_mutation_changes_the_trace() {
+        let mut rng = rng();
+        let g = LinkGenome::generate(2_000, DUR, SimDuration::from_millis(50), &mut rng);
+        let m = g.mutate(&mut rng);
+        assert_ne!(m.timestamps, g.timestamps);
+    }
+
+    #[test]
+    fn link_crossover_is_unsupported() {
+        let mut rng = rng();
+        let a = LinkGenome::generate(100, DUR, SimDuration::from_millis(50), &mut rng);
+        let b = LinkGenome::generate(100, DUR, SimDuration::from_millis(50), &mut rng);
+        assert!(a.crossover(&b, &mut rng).is_none());
+    }
+
+    #[test]
+    fn annealing_smooths_and_preserves_count() {
+        let mut rng = rng();
+        let g = LinkGenome::generate(3_000, DUR, SimDuration::from_millis(50), &mut rng);
+        let a = g.anneal(5, SimDuration::from_micros(100), &mut rng);
+        assert_eq!(a.packet_count(), g.packet_count());
+        a.validate().unwrap();
+        // Smoothing reduces the variance of inter-packet gaps.
+        let gap_var = |ts: &[SimTime]| {
+            let gaps: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64
+        };
+        assert!(gap_var(&a.timestamps) <= gap_var(&g.timestamps));
+    }
+
+    #[test]
+    fn traffic_genome_generation_respects_cap() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let g = TrafficGenome::generate(800, DUR, &mut rng);
+            assert!(g.packet_count() <= 800);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn traffic_mutation_respects_cap_and_changes_count() {
+        let mut rng = rng();
+        let g = TrafficGenome::generate(800, DUR, &mut rng);
+        let mut counts = std::collections::BTreeSet::new();
+        for _ in 0..20 {
+            let m = g.mutate(&mut rng);
+            m.validate().unwrap();
+            assert!(m.packet_count() <= 800);
+            counts.insert(m.packet_count());
+        }
+        assert!(counts.len() > 1, "mutation should vary the packet count");
+    }
+
+    #[test]
+    fn traffic_crossover_combines_parents_and_respects_cap() {
+        let mut rng = rng();
+        let a = TrafficGenome::generate(500, DUR, &mut rng);
+        let b = TrafficGenome::generate(500, DUR, &mut rng);
+        for _ in 0..20 {
+            let child = a.crossover(&b, &mut rng).unwrap();
+            child.validate().unwrap();
+            assert!(child.packet_count() <= 500);
+            // Every child timestamp comes from one of the parents.
+            for t in &child.timestamps {
+                assert!(
+                    a.timestamps.contains(t) || b.timestamps.contains(t),
+                    "child timestamp {t} not found in either parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_crossover_of_empty_parents_is_empty() {
+        let mut rng = rng();
+        let a = TrafficGenome { timestamps: vec![], duration: DUR, max_packets: 100 };
+        let b = a.clone();
+        let child = a.crossover(&b, &mut rng).unwrap();
+        assert_eq!(child.packet_count(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = rng();
+        let g = TrafficGenome::generate(100, DUR, &mut rng);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TrafficGenome = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        let l = LinkGenome::generate(100, DUR, SimDuration::from_millis(50), &mut rng);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LinkGenome = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ccfuzz-core
+//!
+//! The CC-Fuzz genetic-algorithm fuzzer (the paper's primary contribution):
+//! it evolves network traces — bottleneck service curves ("link fuzzing") or
+//! cross-traffic injection patterns ("traffic fuzzing") — that make a
+//! congestion control algorithm perform poorly, using the simulator in
+//! `ccfuzz-netsim` as its fitness oracle.
+//!
+//! The module layout follows §3 of the paper:
+//!
+//! * [`trace_gen`] — initial trace generation (`DIST_PACKETS`, Figure 2).
+//! * [`genome`] — the two genome types and their mutation / crossover /
+//!   annealing operators (§3.2, §3.3).
+//! * [`scoring`] — performance and trace scores (§3.4).
+//! * [`selection`] — rank-based selection (§3.5).
+//! * [`evaluate`] — the simulator-backed fitness function (§3.6).
+//! * [`fuzzer`] — the generation loop with island isolation (Figure 1, §4).
+//! * [`realism`] — multi-CCA realism scoring (§5, Figure 5).
+//! * [`campaign`] — ready-made campaigns matching the paper's evaluation.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use ccfuzz_core::campaign::{Campaign, FuzzMode};
+//! use ccfuzz_core::fuzzer::GaParams;
+//! use ccfuzz_cca::CcaKind;
+//! use ccfuzz_netsim::time::SimDuration;
+//!
+//! let campaign = Campaign::paper_standard(
+//!     FuzzMode::Traffic,
+//!     CcaKind::Bbr,
+//!     SimDuration::from_secs(5),
+//!     GaParams::quick(),
+//! );
+//! let result = campaign.run_traffic();
+//! println!("worst-case goodput found: {:.2} Mbps", result.best_outcome.goodput_bps / 1e6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod evaluate;
+pub mod fuzzer;
+pub mod genome;
+pub mod realism;
+pub mod scoring;
+pub mod selection;
+pub mod trace_gen;
+
+pub use campaign::{Campaign, FuzzMode};
+pub use evaluate::{EvalOutcome, Evaluator, SimEvaluator};
+pub use fuzzer::{FuzzResult, Fuzzer, GaParams, GenerationSummary};
+pub use genome::{Genome, LinkGenome, TrafficGenome};
+pub use scoring::{Objective, ScoringConfig};

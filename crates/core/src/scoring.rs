@@ -1,0 +1,244 @@
+//! Fitness scoring (§3.4 of the paper).
+//!
+//! A trace's score has two components:
+//!
+//! * **Performance score** — how badly the CCA performed under the trace
+//!   (higher = worse for the CCA = fitter trace). The paper's low-utilization
+//!   objective is the mean of the lowest 20 % of windowed throughput; a
+//!   high-delay objective uses a low percentile of the queuing delay; a
+//!   high-loss objective uses the loss ratio.
+//! * **Trace score** — how well the trace itself satisfies properties that
+//!   are hard to enforce during generation. For traffic fuzzing this rewards
+//!   *minimal* traces: few injected packets and few of them dropped.
+
+use ccfuzz_analysis::timeseries::{mean_of_lowest_fraction, percentile, windowed_throughput_bps};
+use ccfuzz_netsim::packet::FlowId;
+use ccfuzz_netsim::sim::SimResult;
+use ccfuzz_netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What kind of poor behaviour the fuzzer is hunting for.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimise the CCA's throughput. The score is based on the mean of the
+    /// lowest `lowest_fraction` of `window`-sized throughput windows
+    /// (the paper uses 20 %), normalised by `reference_rate_bps`.
+    LowThroughput {
+        /// Throughput window size.
+        window: SimDuration,
+        /// Fraction of lowest windows averaged (0.2 in the paper).
+        lowest_fraction: f64,
+    },
+    /// Maximise the CCA's queuing delay. The score is the `percentile`-th
+    /// percentile of the CCA flow's queuing delay (the paper's §4.3 example
+    /// uses the 10th percentile), in seconds.
+    HighDelay {
+        /// Percentile of the per-packet queuing delay used as the score.
+        percentile: f64,
+    },
+    /// Maximise the CCA's loss ratio (marked-lost / transmissions).
+    HighLoss,
+}
+
+/// Weights and normalisation for combining the two score components.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoringConfig {
+    /// The behaviour being hunted.
+    pub objective: Objective,
+    /// Weight of the performance component.
+    pub performance_weight: f64,
+    /// Weight of the trace component (0 disables it; link fuzzing uses 0).
+    pub trace_weight: f64,
+    /// Rate used to normalise throughput scores (the bottleneck/average link
+    /// rate, 12 Mbps in the paper).
+    pub reference_rate_bps: f64,
+}
+
+impl ScoringConfig {
+    /// The paper's low-utilization scoring: lowest-20 %-window throughput on
+    /// 500 ms windows, normalised to the 12 Mbps bottleneck.
+    pub fn low_throughput_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::LowThroughput {
+                window: SimDuration::from_millis(500),
+                lowest_fraction: 0.2,
+            },
+            performance_weight: 1.0,
+            trace_weight: 0.25,
+            reference_rate_bps,
+        }
+    }
+
+    /// The §4.3 high-delay scoring: 10th-percentile queuing delay. The trace
+    /// (minimality) weight is kept small because the delay score itself lives
+    /// on a much smaller numeric scale than the throughput score.
+    pub fn high_delay_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::HighDelay { percentile: 10.0 },
+            performance_weight: 1.0,
+            trace_weight: 0.02,
+            reference_rate_bps,
+        }
+    }
+}
+
+/// Inputs for the trace-score component (traffic fuzzing only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceScoreInputs {
+    /// Cross-traffic packets the genome injects.
+    pub traffic_packets: usize,
+    /// The genome's packet cap (for normalisation).
+    pub traffic_max_packets: usize,
+    /// Cross-traffic packets dropped at the bottleneck queue during the run.
+    pub traffic_dropped: u64,
+}
+
+/// Computes the performance component in `[0, 1]`-ish range (higher = worse
+/// CCA performance = fitter adversarial trace).
+pub fn performance_score(objective: &Objective, result: &SimResult, mss: u32, reference_rate_bps: f64) -> f64 {
+    match objective {
+        Objective::LowThroughput { window, lowest_fraction } => {
+            let duration = SimDuration::from_secs_f64(result.duration_secs);
+            let windows = windowed_throughput_bps(&result.stats.delivery_times, mss, *window, duration);
+            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
+            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            let reference = reference_rate_bps.max(1.0);
+            (1.0 - low / reference).clamp(0.0, 1.0)
+        }
+        Objective::HighDelay { percentile: p } => {
+            let delays: Vec<f64> = result
+                .stats
+                .queuing_delays(FlowId::Cca)
+                .iter()
+                .map(|(_, d)| d.as_secs_f64())
+                .collect();
+            // Normalise by one second so typical scores stay in [0, 1] while
+            // still being monotone in delay.
+            percentile(&delays, *p).min(1.0)
+        }
+        Objective::HighLoss => {
+            let tx = result.stats.flow.transmissions.max(1);
+            (result.stats.flow.marked_lost as f64 / tx as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Computes the trace component in `[0, 1]` (higher = more minimal trace).
+pub fn trace_score(inputs: &TraceScoreInputs) -> f64 {
+    if inputs.traffic_max_packets == 0 {
+        return 0.0;
+    }
+    let max = inputs.traffic_max_packets as f64;
+    let packets_penalty = inputs.traffic_packets as f64 / max;
+    let drops_penalty = inputs.traffic_dropped as f64 / max;
+    (1.0 - 0.7 * packets_penalty - 0.3 * drops_penalty).clamp(0.0, 1.0)
+}
+
+/// Combines both components.
+pub fn total_score(cfg: &ScoringConfig, performance: f64, trace: f64) -> f64 {
+    cfg.performance_weight * performance + cfg.trace_weight * trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::stats::{FlowSummary, RunStats};
+    use ccfuzz_netsim::time::SimTime;
+
+    fn result_with_deliveries(times: Vec<SimTime>, duration_secs: f64) -> SimResult {
+        SimResult {
+            stats: RunStats { delivery_times: times, ..Default::default() },
+            duration_secs,
+        }
+    }
+
+    #[test]
+    fn low_throughput_score_rewards_starvation() {
+        let objective = Objective::LowThroughput {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+        };
+        // Full-rate delivery: ~1000 packets/s of 1448B ≈ 11.6 Mbps.
+        let busy: Vec<SimTime> = (0..5_000).map(|i| SimTime::from_millis(i)).collect();
+        let busy_score = performance_score(&objective, &result_with_deliveries(busy, 5.0), 1448, 12e6);
+        // Starved flow: nothing delivered after 1s.
+        let starved: Vec<SimTime> = (0..1_000).map(|i| SimTime::from_millis(i)).collect();
+        let starved_score =
+            performance_score(&objective, &result_with_deliveries(starved, 5.0), 1448, 12e6);
+        assert!(starved_score > busy_score);
+        assert!(starved_score > 0.9, "fully starved windows should score near 1: {starved_score}");
+        assert!(busy_score < 0.2, "a link-filling flow should score near 0: {busy_score}");
+    }
+
+    #[test]
+    fn high_loss_score_is_loss_ratio() {
+        let objective = Objective::HighLoss;
+        let result = SimResult {
+            stats: RunStats {
+                flow: FlowSummary { transmissions: 100, marked_lost: 25, ..Default::default() },
+                ..Default::default()
+            },
+            duration_secs: 5.0,
+        };
+        assert_eq!(performance_score(&objective, &result, 1448, 12e6), 0.25);
+    }
+
+    #[test]
+    fn high_delay_score_uses_percentile_of_queuing_delay() {
+        use ccfuzz_netsim::stats::{BottleneckEvent, BottleneckRecord};
+        let objective = Objective::HighDelay { percentile: 10.0 };
+        let mk = |delay_ms: u64| BottleneckRecord {
+            at: SimTime::from_millis(delay_ms),
+            flow: FlowId::Cca,
+            size: 1448,
+            event: BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(delay_ms) },
+        };
+        let low_delay = SimResult {
+            stats: RunStats { bottleneck: (1..=100).map(mk).collect(), ..Default::default() },
+            duration_secs: 5.0,
+        };
+        let high_delay = SimResult {
+            stats: RunStats { bottleneck: (150..=250).map(mk).collect(), ..Default::default() },
+            duration_secs: 5.0,
+        };
+        let low = performance_score(&objective, &low_delay, 1448, 12e6);
+        let high = performance_score(&objective, &high_delay, 1448, 12e6);
+        assert!(high > low);
+        assert!(high >= 0.15, "p10 of 150-250ms delays is at least 150ms: {high}");
+    }
+
+    #[test]
+    fn trace_score_prefers_minimal_traces() {
+        let small = TraceScoreInputs { traffic_packets: 50, traffic_max_packets: 1_000, traffic_dropped: 0 };
+        let large = TraceScoreInputs { traffic_packets: 900, traffic_max_packets: 1_000, traffic_dropped: 0 };
+        let wasteful = TraceScoreInputs { traffic_packets: 900, traffic_max_packets: 1_000, traffic_dropped: 500 };
+        assert!(trace_score(&small) > trace_score(&large));
+        assert!(trace_score(&large) > trace_score(&wasteful));
+        assert_eq!(trace_score(&TraceScoreInputs::default()), 0.0);
+    }
+
+    #[test]
+    fn total_score_weights_components() {
+        let cfg = ScoringConfig {
+            objective: Objective::HighLoss,
+            performance_weight: 1.0,
+            trace_weight: 0.5,
+            reference_rate_bps: 12e6,
+        };
+        assert_eq!(total_score(&cfg, 0.8, 0.4), 0.8 + 0.2);
+    }
+
+    #[test]
+    fn default_configs_match_paper_settings() {
+        let low = ScoringConfig::low_throughput_default(12e6);
+        match low.objective {
+            Objective::LowThroughput { lowest_fraction, .. } => assert_eq!(lowest_fraction, 0.2),
+            _ => panic!("wrong objective"),
+        }
+        let delay = ScoringConfig::high_delay_default(12e6);
+        match delay.objective {
+            Objective::HighDelay { percentile } => assert_eq!(percentile, 10.0),
+            _ => panic!("wrong objective"),
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Rank-based selection (§3.5 of the paper).
+//!
+//! Traces are ranked by score (highest first); trace at rank `r` (1-based) is
+//! selected with relative probability `1/r`. The same distribution is used
+//! both for picking crossover parents and for picking mutation sources.
+
+use ccfuzz_netsim::rng::SimRng;
+
+/// Relative selection weights for `n` ranked individuals: `1/rank`.
+pub fn rank_weights(n: usize) -> Vec<f64> {
+    (1..=n).map(|rank| 1.0 / rank as f64).collect()
+}
+
+/// Picks one index (into the ranked ordering) with probability ∝ `1/rank`.
+pub fn pick_ranked(n: usize, rng: &mut SimRng) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let weights = rank_weights(n);
+    rng.pick_weighted(&weights).unwrap_or(0)
+}
+
+/// Picks a pair of distinct indices (if possible) for crossover.
+pub fn pick_pair(n: usize, rng: &mut SimRng) -> (usize, usize) {
+    if n <= 1 {
+        return (0, 0);
+    }
+    let a = pick_ranked(n, rng);
+    for _ in 0..16 {
+        let b = pick_ranked(n, rng);
+        if b != a {
+            return (a, b);
+        }
+    }
+    (a, (a + 1) % n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_one_over_rank() {
+        let w = rank_weights(4);
+        assert_eq!(w, vec![1.0, 0.5, 1.0 / 3.0, 0.25]);
+        assert!(rank_weights(0).is_empty());
+    }
+
+    #[test]
+    fn higher_ranks_are_picked_more_often() {
+        let mut rng = SimRng::new(1);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[pick_ranked(5, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert!(counts[3] > counts[4]);
+        // Ratio between rank 1 and rank 2 should be roughly 2:1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pair_members_are_distinct_when_possible() {
+        let mut rng = SimRng::new(2);
+        for _ in 0..1_000 {
+            let (a, b) = pick_pair(10, &mut rng);
+            assert_ne!(a, b);
+            assert!(a < 10 && b < 10);
+        }
+        assert_eq!(pick_pair(1, &mut rng), (0, 0));
+        assert_eq!(pick_pair(0, &mut rng), (0, 0));
+    }
+
+    #[test]
+    fn single_element_selection() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(pick_ranked(1, &mut rng), 0);
+        assert_eq!(pick_ranked(0, &mut rng), 0);
+    }
+}

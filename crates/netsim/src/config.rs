@@ -1,0 +1,200 @@
+//! Simulation configuration.
+
+use crate::link::LinkModel;
+use crate::packet::DEFAULT_MSS;
+use crate::queue::QueueCapacity;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TrafficTrace;
+use serde::{Deserialize, Serialize};
+
+/// Complete description of one simulated scenario.
+///
+/// [`SimConfig::paper_default`] reproduces the settings from §4 of the paper:
+/// a 12 Mbps bottleneck, 20 ms propagation delay, SACK and delayed ACKs
+/// enabled and a 1 second minimum RTO.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Bottleneck service model (fixed rate for traffic fuzzing, trace driven
+    /// for link fuzzing).
+    pub link: LinkModel,
+    /// One-way propagation delay of the bottleneck link.
+    pub propagation_delay: SimDuration,
+    /// Gateway queue capacity.
+    pub queue_capacity: QueueCapacity,
+    /// Cross-traffic injection pattern (empty for link fuzzing).
+    pub cross_traffic: TrafficTrace,
+    /// Maximum segment size for the CCA flow, bytes.
+    pub mss: u32,
+    /// Cross-traffic packet size, bytes.
+    pub cross_traffic_packet_size: u32,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Time at which the CCA flow starts.
+    pub flow_start: SimTime,
+    /// Enable selective acknowledgements.
+    pub sack_enabled: bool,
+    /// Enable delayed ACKs at the receiver.
+    pub delayed_ack: bool,
+    /// Delayed-ACK timeout (Linux/NS3 default: 200 ms).
+    pub delayed_ack_timeout: SimDuration,
+    /// Delayed-ACK packet threshold (ACK every n-th packet; 2 is standard).
+    pub delayed_ack_count: u32,
+    /// Minimum retransmission timeout. The paper uses 1 s (RFC 6298 §2.4).
+    pub min_rto: SimDuration,
+    /// Maximum retransmission timeout (backoff cap).
+    pub max_rto: SimDuration,
+    /// Initial RTO before any RTT sample exists (RFC 6298: 1 s).
+    pub initial_rto: SimDuration,
+    /// Sender buffer: the maximum number of packets the application will ever
+    /// have outstanding (effectively unlimited for bulk transfer).
+    pub sender_buffer_packets: u64,
+    /// Initial congestion window in packets.
+    pub initial_cwnd: u64,
+    /// Interval between periodic statistics samples.
+    pub stats_interval: SimDuration,
+    /// Record the per-event transport log and per-packet bottleneck records.
+    /// The fuzzer's inner loop disables this for speed; figure generation and
+    /// debugging enable it.
+    pub record_events: bool,
+    /// Event-budget safety valve: the simulation aborts (with a flag in the
+    /// result) after this many events, protecting the fuzzer from adversarial
+    /// traces that would otherwise run forever.
+    pub max_events: u64,
+    /// Seed for any randomized behaviour inside the simulator (kept fixed so
+    /// that the genetic algorithm converges, §3.6).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's evaluation settings (§4): 12 Mbps bottleneck, 20 ms
+    /// propagation delay, SACK + delayed ACKs, 1 s min RTO, and a queue of
+    /// one bandwidth-delay product (~40 packets) — with a 30 s scenario.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            link: LinkModel::FixedRate { rate_bps: 12_000_000 },
+            propagation_delay: SimDuration::from_millis(20),
+            queue_capacity: QueueCapacity::Packets(100),
+            cross_traffic: TrafficTrace::empty(SimDuration::from_secs(30)),
+            mss: DEFAULT_MSS,
+            cross_traffic_packet_size: DEFAULT_MSS,
+            duration: SimDuration::from_secs(30),
+            flow_start: SimTime::ZERO,
+            sack_enabled: true,
+            delayed_ack: true,
+            delayed_ack_timeout: SimDuration::from_millis(200),
+            delayed_ack_count: 2,
+            min_rto: SimDuration::from_secs(1),
+            max_rto: SimDuration::from_secs(60),
+            initial_rto: SimDuration::from_secs(1),
+            sender_buffer_packets: u64::MAX / 4,
+            initial_cwnd: 10,
+            stats_interval: SimDuration::from_millis(10),
+            record_events: true,
+            max_events: 20_000_000,
+            seed: 1,
+        }
+    }
+
+    /// A short scenario (5 s) used throughout the fuzzer's inner loop and in
+    /// tests, matching the trace lengths plotted in the paper's figures.
+    pub fn short_default() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.duration = SimDuration::from_secs(5);
+        cfg.cross_traffic = TrafficTrace::empty(cfg.duration);
+        cfg
+    }
+
+    /// Round-trip propagation time (both directions).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.propagation_delay + self.propagation_delay
+    }
+
+    /// The bandwidth-delay product in packets for a given bottleneck rate.
+    pub fn bdp_packets(&self, rate_bps: u64) -> u64 {
+        let bdp_bytes = (rate_bps as f64 / 8.0) * self.base_rtt().as_secs_f64();
+        (bdp_bytes / self.mss as f64).ceil() as u64
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err("duration must be positive".into());
+        }
+        if self.initial_cwnd == 0 {
+            return Err("initial cwnd must be at least 1".into());
+        }
+        if self.delayed_ack && self.delayed_ack_count == 0 {
+            return Err("delayed_ack_count must be at least 1".into());
+        }
+        if self.min_rto > self.max_rto {
+            return Err("min_rto must not exceed max_rto".into());
+        }
+        if let LinkModel::TraceDriven { trace } = &self.link {
+            trace.validate()?;
+        }
+        self.cross_traffic.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid_and_matches_paper() {
+        let cfg = SimConfig::paper_default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.propagation_delay, SimDuration::from_millis(20));
+        assert_eq!(cfg.min_rto, SimDuration::from_secs(1));
+        assert!(cfg.sack_enabled);
+        assert!(cfg.delayed_ack);
+        match cfg.link {
+            LinkModel::FixedRate { rate_bps } => assert_eq!(rate_bps, 12_000_000),
+            _ => panic!("paper default should be a fixed-rate link"),
+        }
+    }
+
+    #[test]
+    fn bdp_computation() {
+        let cfg = SimConfig::paper_default();
+        // 12 Mbps * 40 ms = 60 kB ≈ 42 packets of 1448 B.
+        let bdp = cfg.bdp_packets(12_000_000);
+        assert!((40..=45).contains(&bdp), "bdp {bdp}");
+        assert_eq!(cfg.base_rtt(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.mss = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.duration = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.initial_cwnd = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.min_rto = SimDuration::from_secs(90);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.delayed_ack_count = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SimConfig::paper_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

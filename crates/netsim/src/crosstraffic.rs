@@ -1,0 +1,103 @@
+//! Cross-traffic source.
+//!
+//! The cross-traffic source is unresponsive (UDP-like): it injects one
+//! packet into the gateway queue at each timestamp of its
+//! [`TrafficTrace`](crate::trace::TrafficTrace), regardless of losses or
+//! queueing. This matches the paper's traffic-fuzzing model (§3.3), where the
+//! *pattern* of injections is the genome being evolved.
+
+use crate::packet::DataPacket;
+use crate::time::SimTime;
+use crate::trace::TrafficTrace;
+
+/// Iterates over a traffic trace, producing cross-traffic packets in order.
+#[derive(Clone, Debug)]
+pub struct CrossTrafficSource {
+    injections: Vec<SimTime>,
+    next: usize,
+    packet_size: u32,
+}
+
+impl CrossTrafficSource {
+    /// Creates a source from a trace and a fixed packet size.
+    pub fn new(trace: &TrafficTrace, packet_size: u32) -> Self {
+        CrossTrafficSource {
+            injections: trace.injections().to_vec(),
+            next: 0,
+            packet_size,
+        }
+    }
+
+    /// The time of the next injection, if any packets remain.
+    pub fn next_injection_time(&self) -> Option<SimTime> {
+        self.injections.get(self.next).copied()
+    }
+
+    /// Produces the next packet if it is due at or before `now`.
+    pub fn poll(&mut self, now: SimTime) -> Option<DataPacket> {
+        match self.injections.get(self.next) {
+            Some(&t) if t <= now => {
+                let pkt = DataPacket::cross_traffic(self.next as u64, self.packet_size, t);
+                self.next += 1;
+                Some(pkt)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.next as u64
+    }
+
+    /// Total packets the trace will inject.
+    pub fn total(&self) -> u64 {
+        self.injections.len() as u64
+    }
+
+    /// `true` when every packet has been injected.
+    pub fn is_exhausted(&self) -> bool {
+        self.next >= self.injections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn injects_in_order_at_or_after_timestamps() {
+        let trace = TrafficTrace::new(
+            vec![
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(20),
+            ],
+            SimDuration::from_millis(100),
+        );
+        let mut src = CrossTrafficSource::new(&trace, 1200);
+        assert_eq!(src.total(), 3);
+        assert_eq!(src.next_injection_time(), Some(SimTime::from_millis(10)));
+        assert!(src.poll(SimTime::from_millis(5)).is_none());
+        let p = src.poll(SimTime::from_millis(10)).unwrap();
+        assert_eq!(p.seq, 0);
+        assert_eq!(p.size, 1200);
+        // Two packets due at 20ms; they come out one poll at a time.
+        let p1 = src.poll(SimTime::from_millis(20)).unwrap();
+        let p2 = src.poll(SimTime::from_millis(20)).unwrap();
+        assert_eq!((p1.seq, p2.seq), (1, 2));
+        assert!(src.poll(SimTime::from_millis(30)).is_none());
+        assert!(src.is_exhausted());
+        assert_eq!(src.injected(), 3);
+    }
+
+    #[test]
+    fn empty_trace_is_immediately_exhausted() {
+        let trace = TrafficTrace::empty(SimDuration::from_secs(1));
+        let mut src = CrossTrafficSource::new(&trace, 1448);
+        assert!(src.is_exhausted());
+        assert_eq!(src.next_injection_time(), None);
+        assert!(src.poll(SimTime::from_secs_f64(0.5)).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Discrete-event calendar.
+//!
+//! A binary-heap based future event list with **stable, deterministic
+//! ordering**: events scheduled for the same instant fire in the order they
+//! were scheduled. Determinism here is essential — the genetic algorithm
+//! assumes that re-evaluating the same trace yields exactly the same score
+//! (§3.6 of the paper).
+
+use crate::packet::{AckPacket, DataPacket};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event in the simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// The CCA flow starts sending.
+    FlowStart,
+    /// A data packet arrives at the gateway queue (from either source).
+    GatewayArrival(DataPacket),
+    /// The bottleneck link finishes serializing / reaches a transmission
+    /// opportunity and can pull the next packet from the queue.
+    LinkReady,
+    /// A data packet, having crossed the bottleneck, arrives at the sink.
+    SinkArrival(DataPacket),
+    /// An ACK arrives back at the CCA sender.
+    AckArrival(AckPacket),
+    /// The sender's retransmission timer fires (armed for this sequence and
+    /// this particular arming generation, to invalidate stale timers).
+    RtoTimer {
+        /// Timer generation; only the latest armed generation is valid.
+        generation: u64,
+    },
+    /// The receiver's delayed-ACK timer fires.
+    DelayedAckTimer {
+        /// Timer generation; only the latest armed generation is valid.
+        generation: u64,
+    },
+    /// The sender's pacing timer fires (used by paced CCAs such as BBR).
+    PacingTimer {
+        /// Timer generation; only the latest armed generation is valid.
+        generation: u64,
+    },
+    /// Periodic statistics sampling tick.
+    StatsTick,
+}
+
+struct ScheduledEvent {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // first-scheduled) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future event list.
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty event queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the simulator; in release
+    /// builds the event is clamped to "now" to keep time monotone.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(at >= self.now, "scheduling event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(ScheduledEvent {
+            at,
+            seq: self.next_seq,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Pops the next event, advancing the simulation clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let ScheduledEvent { at, event, .. } = self.heap.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Event::LinkReady);
+        q.schedule(t(10), Event::FlowStart);
+        q.schedule(t(20), Event::StatsTick);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0, t(10));
+        assert_eq!(q.pop().unwrap().0, t(20));
+        assert_eq!(q.pop().unwrap().0, t(30));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), Event::RtoTimer { generation: 1 });
+        q.schedule(t(5), Event::RtoTimer { generation: 2 });
+        q.schedule(t(5), Event::RtoTimer { generation: 3 });
+        let gens: Vec<u64> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                Event::RtoTimer { generation } => generation,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(gens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Event::FlowStart);
+        q.schedule(t(10) + SimDuration::from_millis(5), Event::StatsTick);
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(10));
+        assert_eq!(q.peek_time(), Some(t(15)));
+        q.pop();
+        assert_eq!(q.now(), t(15));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..100u64 {
+                // Lots of identical timestamps to stress tie-breaking.
+                q.schedule(t(i % 7), Event::RtoTimer { generation: i });
+            }
+            let mut order = Vec::new();
+            while let Some((at, Event::RtoTimer { generation })) = q.pop() {
+                order.push((at, generation));
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+}

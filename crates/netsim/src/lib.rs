@@ -1,0 +1,64 @@
+//! # ccfuzz-netsim
+//!
+//! A packet-level discrete-event network simulator purpose-built for stress
+//! testing congestion control algorithms (CCAs). It is the substrate that the
+//! CC-Fuzz genetic fuzzer ([`ccfuzz-core`]) drives, replacing the NS3 setup
+//! used by the original paper.
+//!
+//! The simulated topology is the dumbbell from §3.1 of the paper:
+//!
+//! ```text
+//!   CCA sender ----\                            /---- sink (receiver)
+//!                   +--> gateway FIFO --> link +
+//!   cross traffic --/    (drop tail)  (bottleneck,
+//!                                      fixed rate or trace driven,
+//!                                      fixed propagation delay)
+//! ```
+//!
+//! * The CCA sender runs a TCP-like transport ([`tcp`]) with SACK, delayed
+//!   ACKs, RTO with a configurable minimum (1 s in the paper), fast
+//!   retransmit / recovery and Linux-style delivery-rate sampling — the
+//!   machinery the paper's BBR and CUBIC findings depend on.
+//! * The cross-traffic source injects unresponsive packets according to a
+//!   [`trace::TrafficTrace`].
+//! * The bottleneck link is either a fixed-rate serializer or a
+//!   trace-driven service curve ([`trace::LinkTrace`], MahiMahi-style).
+//!
+//! Everything is deterministic: simulations are pure functions of
+//! (configuration, traces, seed), which is what allows the genetic algorithm
+//! to converge (§3.6 of the paper).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ccfuzz_netsim::config::SimConfig;
+//! use ccfuzz_netsim::sim::Simulation;
+//! use ccfuzz_netsim::cc::reference_cc::FixedWindowCc;
+//!
+//! let cfg = SimConfig::paper_default();
+//! let cc = Box::new(FixedWindowCc::new(10));
+//! let mut sim = Simulation::new(cfg, cc);
+//! let result = sim.run();
+//! assert!(result.stats.flow.delivered_packets > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod config;
+pub mod crosstraffic;
+pub mod event;
+pub mod link;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use sim::{SimResult, Simulation};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,178 @@
+//! Packet model.
+//!
+//! The simulator is packet-granular: the CCA flow sends fixed-size (MSS)
+//! data packets identified by a packet-level sequence number, the receiver
+//! returns ACK packets carrying a cumulative ACK plus SACK blocks, and the
+//! cross-traffic source injects opaque packets that only occupy queue space
+//! and link capacity.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Default maximum segment size in bytes (Ethernet MTU minus typical
+/// IP + TCP headers), used for both the CCA flow and cross traffic.
+pub const DEFAULT_MSS: u32 = 1448;
+
+/// Size in bytes used for pure ACK packets on the (uncongested) reverse path.
+pub const ACK_SIZE: u32 = 60;
+
+/// Identifies which traffic source a packet belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowId {
+    /// The congestion-controlled flow under test.
+    Cca,
+    /// The unresponsive cross-traffic source.
+    CrossTraffic,
+}
+
+/// A data packet traversing the forward path (sender → gateway → sink).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataPacket {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Packet-level sequence number. Cross-traffic packets carry their
+    /// injection index here; CCA packets carry the transport sequence number.
+    pub seq: u64,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// `true` when this transmission is a retransmission of `seq`.
+    pub is_retransmission: bool,
+    /// Time at which the sender handed the packet to the network.
+    pub sent_at: SimTime,
+    /// Time the packet entered the bottleneck queue (set by the gateway).
+    pub enqueued_at: SimTime,
+}
+
+impl DataPacket {
+    /// Creates a CCA data packet.
+    pub fn cca(seq: u64, size: u32, is_retransmission: bool, sent_at: SimTime) -> Self {
+        DataPacket {
+            flow: FlowId::Cca,
+            seq,
+            size,
+            is_retransmission,
+            sent_at,
+            enqueued_at: sent_at,
+        }
+    }
+
+    /// Creates a cross-traffic packet.
+    pub fn cross_traffic(index: u64, size: u32, sent_at: SimTime) -> Self {
+        DataPacket {
+            flow: FlowId::CrossTraffic,
+            seq: index,
+            size,
+            is_retransmission: false,
+            sent_at,
+            enqueued_at: sent_at,
+        }
+    }
+}
+
+/// A selective acknowledgement block: packets in `[start, end)` have been
+/// received (packet-level sequence numbers, end exclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SackBlock {
+    /// First packet covered by the block.
+    pub start: u64,
+    /// One past the last packet covered by the block.
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// Number of packets covered by the block.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` if the block covers no packets.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` if the block covers `seq`.
+    pub fn contains(&self, seq: u64) -> bool {
+        (self.start..self.end).contains(&seq)
+    }
+}
+
+/// An acknowledgement travelling on the reverse path (sink → sender).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AckPacket {
+    /// Cumulative ACK: all packets with `seq < cum_ack` have been received.
+    pub cum_ack: u64,
+    /// SACK blocks above the cumulative ACK (most recently changed first),
+    /// empty when SACK is disabled.
+    pub sack_blocks: Vec<SackBlock>,
+    /// Number of data packets this ACK acknowledges at the receiver (1 for an
+    /// immediate ACK, 2+ when delayed ACKs coalesce).
+    pub acked_now: u64,
+    /// Receiver timestamp at which the ACK was generated.
+    pub generated_at: SimTime,
+    /// Echo of the newest data packet's send timestamp, used by the sender
+    /// for RTT measurement of the cumulative ACK.
+    pub echo_sent_at: SimTime,
+    /// Sequence number of the newest data packet that triggered this ACK.
+    pub for_seq: u64,
+    /// `true` if the newest data packet covered was a retransmission.
+    pub for_retransmission: bool,
+}
+
+/// ACK packet wire size used when modelling the reverse path.
+impl AckPacket {
+    /// Wire size of an ACK in bytes.
+    pub const fn size(&self) -> u32 {
+        ACK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sack_block_helpers() {
+        let b = SackBlock { start: 10, end: 15 };
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(b.contains(10));
+        assert!(b.contains(14));
+        assert!(!b.contains(15));
+        assert!(!b.contains(9));
+
+        let empty = SackBlock { start: 7, end: 7 };
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        let inverted = SackBlock { start: 9, end: 3 };
+        assert!(inverted.is_empty());
+        assert_eq!(inverted.len(), 0);
+    }
+
+    #[test]
+    fn packet_constructors() {
+        let t = SimTime::from_millis(5);
+        let p = DataPacket::cca(42, DEFAULT_MSS, false, t);
+        assert_eq!(p.flow, FlowId::Cca);
+        assert_eq!(p.seq, 42);
+        assert_eq!(p.enqueued_at, t);
+        assert!(!p.is_retransmission);
+
+        let x = DataPacket::cross_traffic(7, 1200, t);
+        assert_eq!(x.flow, FlowId::CrossTraffic);
+        assert_eq!(x.size, 1200);
+    }
+
+    #[test]
+    fn ack_size_constant() {
+        let ack = AckPacket {
+            cum_ack: 3,
+            sack_blocks: vec![],
+            acked_now: 1,
+            generated_at: SimTime::ZERO,
+            echo_sent_at: SimTime::ZERO,
+            for_seq: 2,
+            for_retransmission: false,
+        };
+        assert_eq!(ack.size(), ACK_SIZE);
+    }
+}

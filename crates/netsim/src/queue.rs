@@ -1,0 +1,246 @@
+//! Bottleneck gateway queue.
+//!
+//! The paper's topology uses a single fixed-size drop-tail FIFO queue at the
+//! gateway (§3.1). The queue is sized in packets (as in the paper's NS3
+//! setup); a byte-based limit is also supported for completeness.
+
+use crate::packet::{DataPacket, FlowId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Queue capacity specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueCapacity {
+    /// At most this many packets may be queued.
+    Packets(usize),
+    /// At most this many bytes may be queued.
+    Bytes(u64),
+}
+
+/// Counters describing everything that ever happened to the queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCounters {
+    /// Packets accepted into the queue, per flow.
+    pub enqueued_cca: u64,
+    /// Cross-traffic packets accepted into the queue.
+    pub enqueued_cross: u64,
+    /// Packets dropped at the tail, CCA flow.
+    pub dropped_cca: u64,
+    /// Packets dropped at the tail, cross traffic.
+    pub dropped_cross: u64,
+    /// Packets dequeued (transmitted on the bottleneck), CCA flow.
+    pub dequeued_cca: u64,
+    /// Packets dequeued, cross traffic.
+    pub dequeued_cross: u64,
+}
+
+impl QueueCounters {
+    /// Total packets that were accepted into the queue.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued_cca + self.enqueued_cross
+    }
+
+    /// Total packets dropped at the tail.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_cca + self.dropped_cross
+    }
+
+    /// Total packets dequeued onto the link.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued_cca + self.dequeued_cross
+    }
+}
+
+/// A drop-tail FIFO queue.
+#[derive(Clone, Debug)]
+pub struct DropTailQueue {
+    capacity: QueueCapacity,
+    queue: VecDeque<DataPacket>,
+    bytes: u64,
+    counters: QueueCounters,
+}
+
+impl DropTailQueue {
+    /// Creates an empty queue with the given capacity.
+    pub fn new(capacity: QueueCapacity) -> Self {
+        DropTailQueue {
+            capacity,
+            queue: VecDeque::new(),
+            bytes: 0,
+            counters: QueueCounters::default(),
+        }
+    }
+
+    /// Current queue occupancy in packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> QueueCapacity {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
+    fn would_overflow(&self, pkt: &DataPacket) -> bool {
+        match self.capacity {
+            QueueCapacity::Packets(max) => self.queue.len() + 1 > max,
+            QueueCapacity::Bytes(max) => self.bytes + pkt.size as u64 > max,
+        }
+    }
+
+    /// Attempts to enqueue `pkt` at time `now`.
+    ///
+    /// Returns `true` if the packet was accepted and `false` if it was
+    /// dropped at the tail.
+    pub fn enqueue(&mut self, mut pkt: DataPacket, now: SimTime) -> bool {
+        if self.would_overflow(&pkt) {
+            match pkt.flow {
+                FlowId::Cca => self.counters.dropped_cca += 1,
+                FlowId::CrossTraffic => self.counters.dropped_cross += 1,
+            }
+            return false;
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size as u64;
+        match pkt.flow {
+            FlowId::Cca => self.counters.enqueued_cca += 1,
+            FlowId::CrossTraffic => self.counters.enqueued_cross += 1,
+        }
+        self.queue.push_back(pkt);
+        true
+    }
+
+    /// Removes the head-of-line packet, if any.
+    pub fn dequeue(&mut self) -> Option<DataPacket> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        match pkt.flow {
+            FlowId::Cca => self.counters.dequeued_cca += 1,
+            FlowId::CrossTraffic => self.counters.dequeued_cross += 1,
+        }
+        Some(pkt)
+    }
+
+    /// Peeks at the head-of-line packet without removing it.
+    pub fn peek(&self) -> Option<&DataPacket> {
+        self.queue.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DEFAULT_MSS;
+
+    fn pkt(seq: u64) -> DataPacket {
+        DataPacket::cca(seq, DEFAULT_MSS, false, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(QueueCapacity::Packets(10));
+        for i in 0..5 {
+            assert!(q.enqueue(pkt(i), SimTime::from_millis(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().seq, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn drop_tail_on_packet_capacity() {
+        let mut q = DropTailQueue::new(QueueCapacity::Packets(3));
+        assert!(q.enqueue(pkt(0), SimTime::ZERO));
+        assert!(q.enqueue(pkt(1), SimTime::ZERO));
+        assert!(q.enqueue(pkt(2), SimTime::ZERO));
+        assert!(!q.enqueue(pkt(3), SimTime::ZERO), "fourth packet must be dropped");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.counters().dropped_cca, 1);
+        // After a dequeue there is room again.
+        q.dequeue();
+        assert!(q.enqueue(pkt(4), SimTime::ZERO));
+    }
+
+    #[test]
+    fn drop_tail_on_byte_capacity() {
+        let mut q = DropTailQueue::new(QueueCapacity::Bytes(3_000));
+        assert!(q.enqueue(pkt(0), SimTime::ZERO)); // 1448
+        assert!(q.enqueue(pkt(1), SimTime::ZERO)); // 2896
+        assert!(!q.enqueue(pkt(2), SimTime::ZERO)); // would be 4344 > 3000
+        assert_eq!(q.bytes(), 2 * DEFAULT_MSS as u64);
+    }
+
+    #[test]
+    fn enqueue_timestamps_recorded() {
+        let mut q = DropTailQueue::new(QueueCapacity::Packets(10));
+        let t = SimTime::from_millis(42);
+        q.enqueue(pkt(0), t);
+        assert_eq!(q.peek().unwrap().enqueued_at, t);
+    }
+
+    #[test]
+    fn per_flow_counters() {
+        let mut q = DropTailQueue::new(QueueCapacity::Packets(2));
+        q.enqueue(pkt(0), SimTime::ZERO);
+        q.enqueue(
+            DataPacket::cross_traffic(0, DEFAULT_MSS, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        // Queue full; both further arrivals dropped.
+        q.enqueue(pkt(1), SimTime::ZERO);
+        q.enqueue(
+            DataPacket::cross_traffic(1, DEFAULT_MSS, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        q.dequeue();
+        q.dequeue();
+        let c = q.counters();
+        assert_eq!(c.enqueued_cca, 1);
+        assert_eq!(c.enqueued_cross, 1);
+        assert_eq!(c.dropped_cca, 1);
+        assert_eq!(c.dropped_cross, 1);
+        assert_eq!(c.dequeued_cca, 1);
+        assert_eq!(c.dequeued_cross, 1);
+        assert_eq!(c.total_enqueued(), 2);
+        assert_eq!(c.total_dropped(), 2);
+        assert_eq!(c.total_dequeued(), 2);
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let mut q = DropTailQueue::new(QueueCapacity::Packets(5));
+        let mut accepted = 0u64;
+        for i in 0..20 {
+            if q.enqueue(pkt(i), SimTime::ZERO) {
+                accepted += 1;
+            }
+            if i % 3 == 0 {
+                q.dequeue();
+            }
+        }
+        let c = q.counters();
+        assert_eq!(c.total_enqueued(), accepted);
+        assert_eq!(
+            c.total_enqueued(),
+            c.total_dequeued() + q.len() as u64,
+            "every accepted packet is either dequeued or still resident"
+        );
+    }
+}

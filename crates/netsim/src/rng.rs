@@ -1,0 +1,250 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The genetic algorithm and the trace generator need randomness that is
+//! (a) fast, (b) reproducible from a single `u64` seed across platforms and
+//! library versions, and (c) cheaply forkable so that independent islands and
+//! parallel evaluations never contend on shared state. We implement
+//! xoshiro256** (public domain, Blackman & Vigna) with a splitmix64 seeder.
+
+use serde::{Deserialize, Serialize};
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zero outputs, but be defensive anyway.
+        if s == [0, 0, 0, 0] {
+            SimRng { s: [1, 2, 3, 4] }
+        } else {
+            SimRng { s }
+        }
+    }
+
+    /// Derives an independent generator (e.g. one per island or per trace).
+    ///
+    /// The child stream is a deterministic function of the parent state and
+    /// the provided `stream` index, and advancing the child never affects the
+    /// parent.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let mixed = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA24BAED4963EE407);
+        SimRng::new(mixed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        let span = hi - lo;
+        // Lemire's nearly-divisionless bounded sampling is overkill here;
+        // 128-bit multiply-shift keeps bias < 2^-64 which is plenty.
+        let x = self.next_u64();
+        lo + (((x as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform integer in `[lo, hi)` for `usize` ranges.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard normal sample (Box–Muller), used for Gaussian trace annealing.
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_usize(0, i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a random index according to the given non-negative weights.
+    ///
+    /// Returns `None` if the weights are empty or all zero/negative.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.gen_range_f64(0.0, total);
+        for (i, w) in weights.iter().enumerate() {
+            if *w > 0.0 && w.is_finite() {
+                if target < *w {
+                    return Some(i);
+                }
+                target -= *w;
+            }
+        }
+        // Floating point accumulation may walk off the end; return the last
+        // positive-weight index.
+        weights.iter().rposition(|w| *w > 0.0 && w.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "two seeds should produce mostly different streams");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let parent = SimRng::new(7);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let mut c1_again = parent.fork(0);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::new(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range_u64(10, 20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&y));
+        }
+        assert_eq!(rng.gen_range_u64(5, 5), 5);
+        assert_eq!(rng.gen_range_f64(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn uniformity_coarse() {
+        let mut rng = SimRng::new(1234);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[(rng.next_f64() * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(77);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn weighted_pick_prefers_heavy() {
+        let mut rng = SimRng::new(5);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[rng.pick_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+        assert_eq!(rng.pick_weighted(&[]), None);
+        assert_eq!(rng.pick_weighted(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should change order");
+    }
+}

@@ -1,0 +1,308 @@
+//! Measurement and logging.
+//!
+//! The simulator records enough per-packet and per-flow information to
+//! rebuild every curve plotted in the paper: ingress/egress rates at the
+//! bottleneck (Figures 4a/4b), per-packet queuing delay (Figure 4e), packets
+//! delivered over time (the fitness signal for the genetic algorithm), and a
+//! transport event log detailed enough to print the Figure 4c timeline.
+
+use crate::packet::FlowId;
+use crate::queue::QueueCounters;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One bottleneck-crossing record: a packet either entered the queue,
+/// left the queue onto the link, or was dropped at the tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BottleneckEvent {
+    /// The packet arrived at the gateway and was accepted into the queue.
+    Enqueued,
+    /// The packet arrived at the gateway and was dropped (queue full).
+    Dropped,
+    /// The packet was transmitted over the bottleneck link.
+    Dequeued {
+        /// Time the packet spent in the queue.
+        queuing_delay: SimDuration,
+    },
+}
+
+/// A timestamped bottleneck record for one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BottleneckRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Which flow the packet belongs to.
+    pub flow: FlowId,
+    /// Packet size in bytes.
+    pub size: u32,
+    /// What happened.
+    pub event: BottleneckEvent,
+}
+
+/// Transport-level events for the CCA flow, used for root-cause timelines
+/// (Figure 4c) and for assertions in tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TransportEvent {
+    /// A data packet was (re)transmitted.
+    Sent {
+        /// Transport sequence number.
+        seq: u64,
+        /// `true` for retransmissions.
+        retransmission: bool,
+        /// `tp->delivered` stamped into the packet at this transmission.
+        delivered_stamp: u64,
+    },
+    /// The cumulative ACK advanced.
+    CumAckAdvanced {
+        /// New cumulative ACK (first unacked sequence).
+        cum_ack: u64,
+    },
+    /// A packet was newly SACKed.
+    Sacked {
+        /// Sequence of the SACKed packet.
+        seq: u64,
+    },
+    /// A packet was marked lost by fast-retransmit / SACK-based detection.
+    MarkedLost {
+        /// Sequence of the lost packet.
+        seq: u64,
+    },
+    /// The retransmission timer expired.
+    RtoFired {
+        /// Current RTO backoff exponent (0 = first expiry).
+        backoff: u32,
+    },
+    /// The sender entered fast recovery.
+    EnterRecovery,
+    /// The sender exited recovery.
+    ExitRecovery,
+    /// An algorithm-internal event (string produced by the CCA, e.g. BBR
+    /// probe-round transitions).
+    Cc {
+        /// Free-form description.
+        detail: String,
+    },
+}
+
+/// A timestamped transport event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransportRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TransportEvent,
+}
+
+/// Summary statistics for the CCA flow.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// Unique data packets delivered to the receiver (in order, counting each
+    /// sequence once).
+    pub delivered_packets: u64,
+    /// Bytes corresponding to `delivered_packets`.
+    pub delivered_bytes: u64,
+    /// Total transmissions (including retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+    /// Packets the sender marked lost.
+    pub marked_lost: u64,
+    /// Packets of the CCA flow dropped at the bottleneck queue.
+    pub queue_drops: u64,
+    /// Number of RTO expirations.
+    pub rto_count: u64,
+    /// Number of fast-recovery episodes.
+    pub recovery_episodes: u64,
+    /// Smoothed RTT at the end of the run, microseconds (0 if never sampled).
+    pub final_srtt_us: u64,
+    /// Minimum RTT observed, microseconds (0 if never sampled).
+    pub min_rtt_us: u64,
+    /// Highest sequence number sent (exclusive).
+    pub highest_sent: u64,
+    /// Final cumulative ACK (first unacked sequence).
+    pub final_cum_ack: u64,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Per-packet bottleneck records (enqueue/dequeue/drop), time ordered.
+    pub bottleneck: Vec<BottleneckRecord>,
+    /// Transport event log for the CCA flow, time ordered.
+    pub transport: Vec<TransportRecord>,
+    /// Times at which each *new* (not previously delivered) CCA packet
+    /// reached the sink, used for windowed-throughput scoring.
+    pub delivery_times: Vec<SimTime>,
+    /// Queue occupancy samples `(time, packets, bytes)` taken every
+    /// `stats_interval`.
+    pub queue_samples: Vec<(SimTime, usize, u64)>,
+    /// Final queue counters.
+    pub queue_counters: QueueCounters,
+    /// CCA-flow summary.
+    pub flow: FlowSummary,
+    /// Cross-traffic packets that reached the sink.
+    pub cross_delivered: u64,
+    /// Cross-traffic packets dropped at the queue.
+    pub cross_dropped: u64,
+    /// `true` if the run hit the event-budget safety valve before reaching
+    /// the configured duration.
+    pub truncated: bool,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl RunStats {
+    /// Queuing-delay samples for a flow: `(dequeue time, delay)`.
+    pub fn queuing_delays(&self, flow: FlowId) -> Vec<(SimTime, SimDuration)> {
+        self.bottleneck
+            .iter()
+            .filter(|r| r.flow == flow)
+            .filter_map(|r| match r.event {
+                BottleneckEvent::Dequeued { queuing_delay } => Some((r.at, queuing_delay)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cumulative bytes that entered the queue for `flow`, as `(time, bytes)`
+    /// step points (the "ingress" curves of Figures 4a/4b).
+    pub fn ingress_bytes(&self, flow: FlowId) -> Vec<(SimTime, u64)> {
+        let mut total = 0u64;
+        self.bottleneck
+            .iter()
+            .filter(|r| r.flow == flow)
+            .filter_map(|r| match r.event {
+                BottleneckEvent::Enqueued | BottleneckEvent::Dropped => {
+                    total += r.size as u64;
+                    Some((r.at, total))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cumulative bytes that left the queue (crossed the bottleneck) for
+    /// `flow`, as `(time, bytes)` step points (the "egress" curves).
+    pub fn egress_bytes(&self, flow: FlowId) -> Vec<(SimTime, u64)> {
+        let mut total = 0u64;
+        self.bottleneck
+            .iter()
+            .filter(|r| r.flow == flow)
+            .filter_map(|r| match r.event {
+                BottleneckEvent::Dequeued { .. } => {
+                    total += r.size as u64;
+                    Some((r.at, total))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of transport events matching a predicate.
+    pub fn count_transport<F: Fn(&TransportEvent) -> bool>(&self, pred: F) -> usize {
+        self.transport.iter().filter(|r| pred(&r.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(at_ms: u64, flow: FlowId, event: BottleneckEvent) -> BottleneckRecord {
+        BottleneckRecord {
+            at: SimTime::from_millis(at_ms),
+            flow,
+            size: 1000,
+            event,
+        }
+    }
+
+    #[test]
+    fn queuing_delay_extraction() {
+        let stats = RunStats {
+            bottleneck: vec![
+                record(1, FlowId::Cca, BottleneckEvent::Enqueued),
+                record(
+                    3,
+                    FlowId::Cca,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(2) },
+                ),
+                record(
+                    4,
+                    FlowId::CrossTraffic,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(1) },
+                ),
+            ],
+            ..Default::default()
+        };
+        let cca = stats.queuing_delays(FlowId::Cca);
+        assert_eq!(cca.len(), 1);
+        assert_eq!(cca[0].1, SimDuration::from_millis(2));
+        let cross = stats.queuing_delays(FlowId::CrossTraffic);
+        assert_eq!(cross.len(), 1);
+    }
+
+    #[test]
+    fn ingress_and_egress_accumulate() {
+        let stats = RunStats {
+            bottleneck: vec![
+                record(1, FlowId::Cca, BottleneckEvent::Enqueued),
+                record(2, FlowId::Cca, BottleneckEvent::Dropped),
+                record(
+                    3,
+                    FlowId::Cca,
+                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::ZERO },
+                ),
+            ],
+            ..Default::default()
+        };
+        let ingress = stats.ingress_bytes(FlowId::Cca);
+        assert_eq!(ingress.len(), 2, "drops count as offered load");
+        assert_eq!(ingress.last().unwrap().1, 2000);
+        let egress = stats.egress_bytes(FlowId::Cca);
+        assert_eq!(egress.len(), 1);
+        assert_eq!(egress.last().unwrap().1, 1000);
+    }
+
+    #[test]
+    fn transport_event_counting() {
+        let stats = RunStats {
+            transport: vec![
+                TransportRecord {
+                    at: SimTime::ZERO,
+                    event: TransportEvent::Sent { seq: 0, retransmission: false, delivered_stamp: 0 },
+                },
+                TransportRecord {
+                    at: SimTime::from_millis(1),
+                    event: TransportEvent::RtoFired { backoff: 0 },
+                },
+                TransportRecord {
+                    at: SimTime::from_millis(2),
+                    event: TransportEvent::RtoFired { backoff: 1 },
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(
+            stats.count_transport(|e| matches!(e, TransportEvent::RtoFired { .. })),
+            2
+        );
+        assert_eq!(
+            stats.count_transport(|e| matches!(e, TransportEvent::Sent { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let stats = RunStats {
+            delivery_times: vec![SimTime::from_millis(10)],
+            flow: FlowSummary { delivered_packets: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: RunStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.flow.delivered_packets, 1);
+        assert_eq!(back.delivery_times.len(), 1);
+    }
+}

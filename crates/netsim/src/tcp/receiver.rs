@@ -1,0 +1,441 @@
+//! The receiving endpoint of the CCA flow.
+//!
+//! Tracks which packet sequences have arrived, generates cumulative ACKs and
+//! SACK blocks, and implements delayed ACKs (ACK every n-th in-order packet
+//! or when the delayed-ACK timer fires; out-of-order arrivals and duplicates
+//! are acknowledged immediately, as in Linux/NS3).
+
+use crate::packet::{AckPacket, DataPacket, SackBlock};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Receiver configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverConfig {
+    /// Whether SACK blocks are generated.
+    pub sack_enabled: bool,
+    /// Whether delayed ACKs are enabled.
+    pub delayed_ack: bool,
+    /// ACK after this many unacknowledged in-order packets (2 is standard).
+    pub delayed_ack_count: u32,
+    /// Delayed-ACK timeout.
+    pub delayed_ack_timeout: SimDuration,
+    /// Maximum number of SACK blocks carried per ACK (TCP options fit 3–4).
+    pub max_sack_blocks: usize,
+}
+
+impl ReceiverConfig {
+    /// Linux/NS3-like defaults matching the paper's setup: SACK on, delayed
+    /// ACKs on with a 200 ms timer and a 2-packet threshold.
+    pub fn paper_default() -> Self {
+        ReceiverConfig {
+            sack_enabled: true,
+            delayed_ack: true,
+            delayed_ack_count: 2,
+            delayed_ack_timeout: SimDuration::from_millis(200),
+            max_sack_blocks: 4,
+        }
+    }
+}
+
+/// What the receiver wants the network to do after processing a packet or a
+/// timer: send these ACKs now, and (re)arm or disarm the delayed-ACK timer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReceiverOutput {
+    /// ACKs to send immediately.
+    pub acks: Vec<AckPacket>,
+    /// If set, the delayed-ACK timer should fire at this time with the given
+    /// generation. A `None` leaves any previously armed timer in place.
+    pub arm_delack: Option<(SimTime, u64)>,
+}
+
+/// The receiver state machine.
+#[derive(Clone, Debug)]
+pub struct TcpReceiver {
+    cfg: ReceiverConfig,
+    /// All packets below this sequence have been received.
+    cum_ack: u64,
+    /// Received out-of-order ranges above `cum_ack`, sorted and disjoint.
+    ooo_ranges: Vec<SackBlock>,
+    /// Index into `ooo_ranges` of the most recently updated range (reported
+    /// first in SACK blocks, as real receivers do).
+    last_updated_range: Option<usize>,
+    /// In-order packets received since the last ACK was sent.
+    unacked_count: u32,
+    /// Info about the newest data packet (for ACK echo fields).
+    newest_seq: u64,
+    newest_sent_at: SimTime,
+    newest_was_retransmission: bool,
+    /// Delayed-ACK timer generation (incremented on every arm/disarm).
+    delack_generation: u64,
+    delack_armed: bool,
+    /// Total data packets received (including duplicates).
+    total_received: u64,
+    /// Duplicate data packets received.
+    duplicates: u64,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver.
+    pub fn new(cfg: ReceiverConfig) -> Self {
+        TcpReceiver {
+            cfg,
+            cum_ack: 0,
+            ooo_ranges: Vec::new(),
+            last_updated_range: None,
+            unacked_count: 0,
+            newest_seq: 0,
+            newest_sent_at: SimTime::ZERO,
+            newest_was_retransmission: false,
+            delack_generation: 0,
+            delack_armed: false,
+            total_received: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Current cumulative ACK (first sequence not yet received in order).
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Total data packets received, including duplicates.
+    pub fn total_received(&self) -> u64 {
+        self.total_received
+    }
+
+    /// Duplicate data packets received.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Number of distinct packets received out of order (currently above the
+    /// cumulative ACK).
+    pub fn ooo_packets(&self) -> u64 {
+        self.ooo_ranges.iter().map(|r| r.len()).sum()
+    }
+
+    fn record_newest(&mut self, pkt: &DataPacket) {
+        self.newest_seq = pkt.seq;
+        self.newest_sent_at = pkt.sent_at;
+        self.newest_was_retransmission = pkt.is_retransmission;
+    }
+
+    /// Inserts `seq` into the out-of-order ranges. Returns `true` if the
+    /// packet was new.
+    fn insert_ooo(&mut self, seq: u64) -> bool {
+        // Find insertion position among sorted disjoint ranges.
+        let mut i = 0;
+        while i < self.ooo_ranges.len() && self.ooo_ranges[i].end < seq {
+            i += 1;
+        }
+        if i < self.ooo_ranges.len() && self.ooo_ranges[i].contains(seq) {
+            return false; // duplicate
+        }
+        // Can we extend the range at i (seq == range.start - 1 is not possible
+        // since ranges are [start,end); extend when seq == end) or the one
+        // before it?
+        let extends_prev = i < self.ooo_ranges.len() && self.ooo_ranges[i].start == seq + 1;
+        let extends_next_end = i < self.ooo_ranges.len() && self.ooo_ranges[i].end == seq;
+        match (extends_next_end, extends_prev) {
+            (true, _) => {
+                self.ooo_ranges[i].end += 1;
+                // May now touch the following range; merge.
+                if i + 1 < self.ooo_ranges.len() && self.ooo_ranges[i].end == self.ooo_ranges[i + 1].start {
+                    self.ooo_ranges[i].end = self.ooo_ranges[i + 1].end;
+                    self.ooo_ranges.remove(i + 1);
+                }
+                self.last_updated_range = Some(i);
+            }
+            (false, true) => {
+                self.ooo_ranges[i].start = seq;
+                self.last_updated_range = Some(i);
+            }
+            (false, false) => {
+                self.ooo_ranges.insert(i, SackBlock { start: seq, end: seq + 1 });
+                self.last_updated_range = Some(i);
+            }
+        }
+        true
+    }
+
+    /// Advances the cumulative ACK through any out-of-order ranges it now
+    /// touches.
+    fn advance_cum_ack(&mut self) {
+        while let Some(first) = self.ooo_ranges.first() {
+            if first.start <= self.cum_ack {
+                self.cum_ack = self.cum_ack.max(first.end);
+                self.ooo_ranges.remove(0);
+                self.last_updated_range = None;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sack_blocks(&self) -> Vec<SackBlock> {
+        if !self.cfg.sack_enabled || self.ooo_ranges.is_empty() {
+            return Vec::new();
+        }
+        let mut blocks = Vec::with_capacity(self.cfg.max_sack_blocks);
+        if let Some(idx) = self.last_updated_range {
+            if let Some(b) = self.ooo_ranges.get(idx) {
+                blocks.push(*b);
+            }
+        }
+        for (i, b) in self.ooo_ranges.iter().enumerate() {
+            if blocks.len() >= self.cfg.max_sack_blocks {
+                break;
+            }
+            if Some(i) != self.last_updated_range {
+                blocks.push(*b);
+            }
+        }
+        blocks
+    }
+
+    fn make_ack(&mut self, now: SimTime, acked_now: u64) -> AckPacket {
+        self.unacked_count = 0;
+        AckPacket {
+            cum_ack: self.cum_ack,
+            sack_blocks: self.sack_blocks(),
+            acked_now,
+            generated_at: now,
+            echo_sent_at: self.newest_sent_at,
+            for_seq: self.newest_seq,
+            for_retransmission: self.newest_was_retransmission,
+        }
+    }
+
+    fn disarm_delack(&mut self) {
+        if self.delack_armed {
+            self.delack_armed = false;
+            self.delack_generation += 1;
+        }
+    }
+
+    /// Processes an arriving data packet and returns the ACKs to send plus
+    /// any delayed-ACK timer request.
+    pub fn on_data(&mut self, pkt: &DataPacket, now: SimTime) -> ReceiverOutput {
+        self.total_received += 1;
+        self.record_newest(pkt);
+        let mut out = ReceiverOutput::default();
+
+        let is_duplicate = pkt.seq < self.cum_ack
+            || self.ooo_ranges.iter().any(|r| r.contains(pkt.seq));
+        if is_duplicate {
+            self.duplicates += 1;
+            // Duplicate data: acknowledge immediately (flushes anything pending).
+            self.disarm_delack();
+            out.acks.push(self.make_ack(now, 0));
+            return out;
+        }
+
+        if pkt.seq == self.cum_ack {
+            // In-order arrival.
+            self.cum_ack += 1;
+            self.advance_cum_ack();
+            // If this arrival filled a gap (there were out-of-order packets),
+            // acknowledge immediately so the sender learns promptly.
+            let filled_gap = self.cum_ack > pkt.seq + 1 || !self.ooo_ranges.is_empty();
+            self.unacked_count += 1;
+            if filled_gap
+                || !self.cfg.delayed_ack
+                || self.unacked_count >= self.cfg.delayed_ack_count
+            {
+                let acked = self.unacked_count as u64;
+                self.disarm_delack();
+                out.acks.push(self.make_ack(now, acked));
+            } else {
+                // Arm (or re-arm) the delayed-ACK timer.
+                self.delack_armed = true;
+                self.delack_generation += 1;
+                out.arm_delack = Some((now + self.cfg.delayed_ack_timeout, self.delack_generation));
+            }
+        } else {
+            // Out of order: record and ACK immediately (duplicate ACK with SACK).
+            debug_assert!(pkt.seq > self.cum_ack);
+            self.insert_ooo(pkt.seq);
+            let pending = self.unacked_count as u64;
+            self.disarm_delack();
+            out.acks.push(self.make_ack(now, pending));
+        }
+        out
+    }
+
+    /// Handles a delayed-ACK timer expiry for `generation`. Returns an ACK if
+    /// the timer is still valid and data is pending acknowledgement.
+    pub fn on_delack_timer(&mut self, generation: u64, now: SimTime) -> Option<AckPacket> {
+        if !self.delack_armed || generation != self.delack_generation {
+            return None;
+        }
+        self.delack_armed = false;
+        if self.unacked_count == 0 {
+            return None;
+        }
+        let acked = self.unacked_count as u64;
+        Some(self.make_ack(now, acked))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DEFAULT_MSS;
+
+    fn pkt(seq: u64) -> DataPacket {
+        DataPacket::cca(seq, DEFAULT_MSS, false, SimTime::from_millis(seq))
+    }
+
+    fn recv(cfg: ReceiverConfig) -> TcpReceiver {
+        TcpReceiver::new(cfg)
+    }
+
+    fn no_delack() -> ReceiverConfig {
+        ReceiverConfig {
+            delayed_ack: false,
+            ..ReceiverConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn in_order_without_delayed_ack_acks_every_packet() {
+        let mut r = recv(no_delack());
+        for i in 0..5 {
+            let out = r.on_data(&pkt(i), SimTime::from_millis(i));
+            assert_eq!(out.acks.len(), 1);
+            assert_eq!(out.acks[0].cum_ack, i + 1);
+            assert!(out.acks[0].sack_blocks.is_empty());
+        }
+        assert_eq!(r.cum_ack(), 5);
+    }
+
+    #[test]
+    fn delayed_ack_coalesces_two_packets() {
+        let mut r = recv(ReceiverConfig::paper_default());
+        let out0 = r.on_data(&pkt(0), SimTime::from_millis(0));
+        assert!(out0.acks.is_empty(), "first in-order packet is delayed");
+        assert!(out0.arm_delack.is_some());
+        let out1 = r.on_data(&pkt(1), SimTime::from_millis(1));
+        assert_eq!(out1.acks.len(), 1);
+        assert_eq!(out1.acks[0].cum_ack, 2);
+        assert_eq!(out1.acks[0].acked_now, 2);
+    }
+
+    #[test]
+    fn delayed_ack_timer_flushes_pending() {
+        let mut r = recv(ReceiverConfig::paper_default());
+        let out = r.on_data(&pkt(0), SimTime::from_millis(0));
+        let (deadline, generation) = out.arm_delack.unwrap();
+        assert_eq!(deadline, SimTime::from_millis(200));
+        // A stale generation does nothing.
+        assert!(r.on_delack_timer(generation + 5, deadline).is_none());
+        let ack = r.on_delack_timer(generation, deadline).unwrap();
+        assert_eq!(ack.cum_ack, 1);
+        assert_eq!(ack.acked_now, 1);
+        // Timer is one-shot.
+        assert!(r.on_delack_timer(generation, deadline).is_none());
+    }
+
+    #[test]
+    fn out_of_order_generates_immediate_sack() {
+        let mut r = recv(ReceiverConfig::paper_default());
+        r.on_data(&pkt(0), SimTime::ZERO);
+        r.on_data(&pkt(1), SimTime::ZERO);
+        // Packet 2 is missing; 3 and 4 arrive.
+        let out3 = r.on_data(&pkt(3), SimTime::from_millis(3));
+        assert_eq!(out3.acks.len(), 1, "out-of-order data is ACKed immediately");
+        assert_eq!(out3.acks[0].cum_ack, 2);
+        assert_eq!(out3.acks[0].sack_blocks, vec![SackBlock { start: 3, end: 4 }]);
+        let out4 = r.on_data(&pkt(4), SimTime::from_millis(4));
+        assert_eq!(out4.acks[0].sack_blocks, vec![SackBlock { start: 3, end: 5 }]);
+        assert_eq!(r.ooo_packets(), 2);
+        // The retransmitted packet 2 fills the gap; cum ack jumps to 5.
+        let out2 = r.on_data(&pkt(2), SimTime::from_millis(10));
+        assert_eq!(out2.acks.len(), 1);
+        assert_eq!(out2.acks[0].cum_ack, 5);
+        assert!(out2.acks[0].sack_blocks.is_empty());
+        assert_eq!(r.ooo_packets(), 0);
+    }
+
+    #[test]
+    fn multiple_gaps_produce_multiple_sack_blocks_most_recent_first() {
+        let mut r = recv(no_delack());
+        r.on_data(&pkt(0), SimTime::ZERO);
+        // Gaps at 1, 3, 5: receive 2, 4, 6.
+        r.on_data(&pkt(2), SimTime::ZERO);
+        r.on_data(&pkt(4), SimTime::ZERO);
+        let out = r.on_data(&pkt(6), SimTime::ZERO);
+        let blocks = &out.acks[0].sack_blocks;
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], SackBlock { start: 6, end: 7 }, "most recently updated first");
+        assert!(blocks.contains(&SackBlock { start: 2, end: 3 }));
+        assert!(blocks.contains(&SackBlock { start: 4, end: 5 }));
+    }
+
+    #[test]
+    fn sack_blocks_capped() {
+        let mut cfg = no_delack();
+        cfg.max_sack_blocks = 2;
+        let mut r = recv(cfg);
+        // Create 4 disjoint SACK ranges: 1,3,5,7 received, 0,2,4,6 missing.
+        for seq in [1u64, 3, 5, 7] {
+            r.on_data(&pkt(seq), SimTime::ZERO);
+        }
+        let out = r.on_data(&pkt(9), SimTime::ZERO);
+        assert_eq!(out.acks[0].sack_blocks.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_acked_immediately_and_counted() {
+        let mut r = recv(ReceiverConfig::paper_default());
+        r.on_data(&pkt(0), SimTime::ZERO);
+        r.on_data(&pkt(1), SimTime::ZERO);
+        let out = r.on_data(&pkt(0), SimTime::from_millis(5));
+        assert_eq!(out.acks.len(), 1);
+        assert_eq!(out.acks[0].cum_ack, 2);
+        assert_eq!(r.duplicates(), 1);
+        // Duplicate of an out-of-order packet.
+        r.on_data(&pkt(5), SimTime::from_millis(6));
+        let out = r.on_data(&pkt(5), SimTime::from_millis(7));
+        assert_eq!(out.acks.len(), 1);
+        assert_eq!(r.duplicates(), 2);
+    }
+
+    #[test]
+    fn sack_disabled_produces_plain_dup_acks() {
+        let mut cfg = no_delack();
+        cfg.sack_enabled = false;
+        let mut r = recv(cfg);
+        r.on_data(&pkt(0), SimTime::ZERO);
+        let out = r.on_data(&pkt(2), SimTime::ZERO);
+        assert_eq!(out.acks[0].cum_ack, 1);
+        assert!(out.acks[0].sack_blocks.is_empty());
+    }
+
+    #[test]
+    fn ack_echo_fields_reflect_newest_packet() {
+        let mut r = recv(no_delack());
+        let mut p = pkt(0);
+        p.sent_at = SimTime::from_millis(123);
+        p.is_retransmission = true;
+        let out = r.on_data(&p, SimTime::from_millis(150));
+        assert_eq!(out.acks[0].echo_sent_at, SimTime::from_millis(123));
+        assert_eq!(out.acks[0].for_seq, 0);
+        assert!(out.acks[0].for_retransmission);
+        assert_eq!(out.acks[0].generated_at, SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn gap_fill_merges_ranges() {
+        let mut r = recv(no_delack());
+        r.on_data(&pkt(0), SimTime::ZERO);
+        r.on_data(&pkt(2), SimTime::ZERO);
+        r.on_data(&pkt(4), SimTime::ZERO);
+        // 3 arrives: ranges [2,3) and [4,5) must merge into [2,5).
+        let out = r.on_data(&pkt(3), SimTime::ZERO);
+        let blocks = &out.acks[0].sack_blocks;
+        assert!(blocks.contains(&SackBlock { start: 2, end: 5 }));
+        assert_eq!(r.ooo_packets(), 3);
+    }
+}

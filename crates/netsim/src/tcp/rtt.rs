@@ -1,0 +1,180 @@
+//! RTT estimation and retransmission timeout computation (RFC 6298).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// RFC 6298 smoothed-RTT estimator with configurable RTO clamps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    latest: Option<SimDuration>,
+    min_rtt: Option<SimDuration>,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    initial_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator. `min_rto` is 1 s in the paper's setup
+    /// (RFC 6298 §2.4); `initial_rto` applies before the first sample.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration, initial_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            latest: None,
+            min_rtt: None,
+            min_rto,
+            max_rto,
+            initial_rto,
+        }
+    }
+
+    /// Feeds one RTT measurement (callers must respect Karn's rule and never
+    /// sample retransmitted packets).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(rtt),
+            None => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt.div(2);
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                //           srtt   = 7/8 srtt + 1/8 rtt
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + diff.mul_f64(0.25);
+                self.srtt = Some(srtt.mul_f64(7.0 / 8.0) + rtt.mul_f64(1.0 / 8.0));
+            }
+        }
+    }
+
+    /// Smoothed RTT, if at least one sample has been recorded.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The most recent raw sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// The minimum RTT observed.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// The base retransmission timeout (before backoff): `srtt + 4·rttvar`,
+    /// clamped to `[min_rto, max_rto]`, or `initial_rto` before any sample.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => self.initial_rto.max(self.min_rto).min(self.max_rto),
+            Some(srtt) => {
+                let raw = srtt + self.rttvar.saturating_mul(4);
+                raw.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+
+    /// The RTO after `backoff` consecutive expirations (doubles each time,
+    /// clamped to `max_rto`).
+    pub fn rto_backed_off(&self, backoff: u32) -> SimDuration {
+        let base = self.rto();
+        let factor = 1u64.checked_shl(backoff.min(32)).unwrap_or(u64::MAX);
+        base.saturating_mul(factor).min(self.max_rto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(1),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        let e = estimator();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.min_rtt(), None);
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = estimator();
+        e.on_sample(SimDuration::from_millis(40));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(40)));
+        assert_eq!(e.rttvar(), SimDuration::from_millis(20));
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(40)));
+        // 40ms + 4*20ms = 120ms, but the 1 s minimum dominates (paper setting).
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn min_rto_floor_enforced() {
+        let mut e = estimator();
+        for _ in 0..50 {
+            e.on_sample(SimDuration::from_millis(40));
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(1), "min-RTO of 1s always applies at 40ms RTT");
+    }
+
+    #[test]
+    fn large_rtts_raise_rto_above_floor() {
+        let mut e = estimator();
+        e.on_sample(SimDuration::from_millis(800));
+        e.on_sample(SimDuration::from_millis(1200));
+        assert!(e.rto() > SimDuration::from_secs(1));
+        assert!(e.rto() <= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn smoothing_converges_toward_stable_rtt() {
+        let mut e = estimator();
+        e.on_sample(SimDuration::from_millis(200));
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_millis() as i64 - 50).abs() <= 2,
+            "srtt should converge to ~50ms, got {srtt}"
+        );
+    }
+
+    #[test]
+    fn min_rtt_tracks_minimum() {
+        let mut e = estimator();
+        e.on_sample(SimDuration::from_millis(60));
+        e.on_sample(SimDuration::from_millis(45));
+        e.on_sample(SimDuration::from_millis(90));
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(45)));
+        assert_eq!(e.latest(), Some(SimDuration::from_millis(90)));
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let mut e = estimator();
+        e.on_sample(SimDuration::from_millis(40));
+        assert_eq!(e.rto_backed_off(0), SimDuration::from_secs(1));
+        assert_eq!(e.rto_backed_off(1), SimDuration::from_secs(2));
+        assert_eq!(e.rto_backed_off(3), SimDuration::from_secs(8));
+        assert_eq!(e.rto_backed_off(10), SimDuration::from_secs(60), "capped at max_rto");
+        assert_eq!(e.rto_backed_off(63), SimDuration::from_secs(60));
+    }
+}

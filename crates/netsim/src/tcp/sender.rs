@@ -1,0 +1,995 @@
+//! The sending endpoint of the CCA flow.
+//!
+//! Owns the retransmission queue (per-packet [`Skb`]s), the SACK scoreboard,
+//! loss detection (SACK-based and dup-ACK based), fast retransmit / recovery,
+//! the RTO state machine with exponential backoff, Linux-style delivery-rate
+//! sampling, and the plugged-in [`CongestionControl`] algorithm.
+//!
+//! The sender is deliberately written as a passive state machine: the
+//! simulator polls it for transmissions ([`TcpSender::poll_send`]) and feeds
+//! it ACKs and timer expirations. This keeps it trivially testable without a
+//! network.
+
+use crate::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
+use crate::packet::{AckPacket, DataPacket};
+use crate::stats::{TransportEvent, TransportRecord};
+use crate::tcp::rtt::RttEstimator;
+use crate::tcp::skb::Skb;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of SACKed packets above an un-SACKed packet that marks it lost
+/// (the classic dupthresh of 3).
+pub const LOSS_REORDER_THRESHOLD: u64 = 3;
+
+/// Sender configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SenderConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Whether the sender processes SACK blocks.
+    pub sack_enabled: bool,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Maximum retransmission timeout.
+    pub max_rto: SimDuration,
+    /// RTO before the first RTT sample.
+    pub initial_rto: SimDuration,
+    /// Initial congestion window (packets); also the floor applied on top of
+    /// whatever the CCA requests is 1 packet.
+    pub initial_cwnd: u64,
+    /// Maximum packets the application will ever provide (bulk transfer:
+    /// effectively unlimited).
+    pub buffer_packets: u64,
+}
+
+impl SenderConfig {
+    /// Paper-default sender parameters (1 s min RTO, SACK enabled).
+    pub fn paper_default() -> Self {
+        SenderConfig {
+            mss: crate::packet::DEFAULT_MSS,
+            sack_enabled: true,
+            min_rto: SimDuration::from_secs(1),
+            max_rto: SimDuration::from_secs(60),
+            initial_rto: SimDuration::from_secs(1),
+            initial_cwnd: 10,
+            buffer_packets: u64::MAX / 4,
+        }
+    }
+}
+
+/// Result of polling the sender for a transmission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SendPoll {
+    /// Transmit this packet now.
+    Packet(DataPacket),
+    /// Nothing may be sent before this time (pacing gate); poll again then.
+    Wait(SimTime),
+    /// The sender is window-limited or has nothing to send; poll again after
+    /// the next ACK or timer.
+    Blocked,
+}
+
+/// The sender state machine.
+pub struct TcpSender {
+    cfg: SenderConfig,
+    cc: Box<dyn CongestionControl>,
+
+    /// Next never-sent sequence number.
+    next_seq: u64,
+    /// First unacknowledged sequence (snd_una).
+    cum_ack: u64,
+    /// Retransmission queue: every sent-but-not-cumulatively-acked packet.
+    skbs: BTreeMap<u64, Skb>,
+
+    // --- Delivery accounting (Linux tcp_rate.c style) ---
+    /// Total packets delivered (cumulatively or selectively acknowledged).
+    delivered: u64,
+    /// Time of the most recent delivery.
+    delivered_time: SimTime,
+    /// Start of the current send window (for send_elapsed).
+    first_sent_time: SimTime,
+    /// Total packets ever marked lost.
+    lost_total: u64,
+
+    // --- RTT / RTO ---
+    rtt: RttEstimator,
+    rto_backoff: u32,
+    rto_deadline: Option<SimTime>,
+    rto_generation: u64,
+
+    // --- Recovery state ---
+    in_recovery: bool,
+    /// When in recovery: exit once `cum_ack` reaches this sequence.
+    recovery_high: u64,
+    /// Dup-ACK counter used when SACK is disabled.
+    dup_acks: u64,
+
+    // --- Pacing ---
+    earliest_next_send: SimTime,
+
+    // --- Flow lifecycle ---
+    started: bool,
+
+    // --- Logging / counters ---
+    log: Vec<TransportRecord>,
+    transmissions: u64,
+    retransmissions: u64,
+    rto_count: u64,
+    recovery_episodes: u64,
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender")
+            .field("cc", &self.cc.name())
+            .field("next_seq", &self.next_seq)
+            .field("cum_ack", &self.cum_ack)
+            .field("delivered", &self.delivered)
+            .field("in_flight", &self.in_flight())
+            .field("in_recovery", &self.in_recovery)
+            .finish()
+    }
+}
+
+impl TcpSender {
+    /// Creates a sender with the given configuration and congestion control.
+    pub fn new(cfg: SenderConfig, cc: Box<dyn CongestionControl>) -> Self {
+        TcpSender {
+            rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto),
+            cfg,
+            cc,
+            next_seq: 0,
+            cum_ack: 0,
+            skbs: BTreeMap::new(),
+            delivered: 0,
+            delivered_time: SimTime::ZERO,
+            first_sent_time: SimTime::ZERO,
+            lost_total: 0,
+            rto_backoff: 0,
+            rto_deadline: None,
+            rto_generation: 0,
+            in_recovery: false,
+            recovery_high: 0,
+            dup_acks: 0,
+            earliest_next_send: SimTime::ZERO,
+            started: false,
+            log: Vec::new(),
+            transmissions: 0,
+            retransmissions: 0,
+            rto_count: 0,
+            recovery_episodes: 0,
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Accessors
+    // ----------------------------------------------------------------------
+
+    /// Packets currently outstanding in the network.
+    pub fn in_flight(&self) -> u64 {
+        self.skbs.values().filter(|s| s.outstanding).count() as u64
+    }
+
+    /// Total packets delivered (`tp->delivered`).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// First unacknowledged sequence.
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Next new sequence to be sent.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether the sender is currently in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// The congestion control algorithm (for state inspection).
+    pub fn cc(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// Current congestion window in packets (never below 1).
+    pub fn cwnd(&self) -> u64 {
+        self.cc.cwnd().max(1)
+    }
+
+    /// Current RTO deadline and its generation, if a timer is armed.
+    pub fn rto_deadline(&self) -> Option<(SimTime, u64)> {
+        self.rto_deadline.map(|d| (d, self.rto_generation))
+    }
+
+    /// RTT estimator (read only).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Total transmissions including retransmissions.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Retransmissions only.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Number of RTO expirations.
+    pub fn rto_count(&self) -> u64 {
+        self.rto_count
+    }
+
+    /// Number of fast-recovery episodes entered.
+    pub fn recovery_episodes(&self) -> u64 {
+        self.recovery_episodes
+    }
+
+    /// Total packets marked lost.
+    pub fn lost_total(&self) -> u64 {
+        self.lost_total
+    }
+
+    /// Drains the transport event log collected since the last call.
+    pub fn drain_log(&mut self) -> Vec<TransportRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    fn log_event(&mut self, at: SimTime, event: TransportEvent) {
+        self.log.push(TransportRecord { at, event });
+    }
+
+    fn ctx(&self, now: SimTime) -> CcContext {
+        CcContext {
+            now,
+            mss: self.cfg.mss,
+            in_flight: self.in_flight(),
+            delivered: self.delivered,
+            lost: self.lost_total,
+            srtt: self.rtt.srtt(),
+            last_rtt: self.rtt.latest(),
+            min_rtt: self.rtt.min_rtt(),
+            in_recovery: self.in_recovery,
+        }
+    }
+
+    fn drain_cc_events(&mut self, now: SimTime) {
+        for detail in self.cc.take_events() {
+            self.log.push(TransportRecord {
+                at: now,
+                event: TransportEvent::Cc { detail },
+            });
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Flow start
+    // ----------------------------------------------------------------------
+
+    /// Starts the flow at `now`.
+    pub fn on_flow_start(&mut self, now: SimTime) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.delivered_time = now;
+        self.first_sent_time = now;
+        let ctx = self.ctx(now);
+        self.cc.init(&ctx);
+        self.drain_cc_events(now);
+    }
+
+    // ----------------------------------------------------------------------
+    // Transmission path
+    // ----------------------------------------------------------------------
+
+    /// Sequence number of the next packet that would be (re)transmitted, or
+    /// `None` if there is nothing to send.
+    fn next_to_send(&self) -> Option<(u64, bool)> {
+        // Retransmissions of lost packets take priority (lowest sequence first).
+        if let Some((&seq, _)) = self
+            .skbs
+            .iter()
+            .find(|(_, skb)| skb.lost && !skb.sacked && !skb.outstanding)
+        {
+            return Some((seq, true));
+        }
+        if self.next_seq < self.cfg.buffer_packets {
+            return Some((self.next_seq, false));
+        }
+        None
+    }
+
+    /// Polls the sender for the next transmission at `now`.
+    pub fn poll_send(&mut self, now: SimTime) -> SendPoll {
+        if !self.started {
+            return SendPoll::Blocked;
+        }
+        // Pacing gate.
+        if self.cc.pacing_rate_bps().is_some() && now < self.earliest_next_send {
+            return SendPoll::Wait(self.earliest_next_send);
+        }
+        // Window gate.
+        if self.in_flight() >= self.cwnd() {
+            return SendPoll::Blocked;
+        }
+        let Some((seq, is_retransmission)) = self.next_to_send() else {
+            return SendPoll::Blocked;
+        };
+
+        // Stamp connection-level rate-sampling state into the packet's SKB
+        // (tcp_rate_skb_sent). When nothing is in flight, restart the send
+        // window so send_elapsed doesn't span idle periods.
+        if self.in_flight() == 0 {
+            self.first_sent_time = now;
+            self.delivered_time = now;
+        }
+        let (delivered, delivered_time, first_sent_time) =
+            (self.delivered, self.delivered_time, self.first_sent_time);
+
+        let skb = self
+            .skbs
+            .entry(seq)
+            .or_insert_with(|| Skb::new(seq, self.cfg.mss));
+        skb.stamp_transmission(now, delivered, delivered_time, first_sent_time, false);
+        let delivered_stamp = skb.tx_delivered;
+
+        self.transmissions += 1;
+        if is_retransmission {
+            self.retransmissions += 1;
+        } else {
+            debug_assert_eq!(seq, self.next_seq);
+            self.next_seq += 1;
+        }
+
+        // Pacing: space the next transmission according to the CCA's rate.
+        if let Some(rate_bps) = self.cc.pacing_rate_bps() {
+            if rate_bps > 0.0 {
+                let gap = SimDuration::from_secs_f64(self.cfg.mss as f64 * 8.0 / rate_bps);
+                let base = self.earliest_next_send.max(now);
+                self.earliest_next_send = base + gap;
+            }
+        }
+
+        // Arm the RTO if not already armed.
+        if self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+
+        self.log_event(
+            now,
+            TransportEvent::Sent {
+                seq,
+                retransmission: is_retransmission,
+                delivered_stamp,
+            },
+        );
+
+        SendPoll::Packet(DataPacket::cca(seq, self.cfg.mss, is_retransmission, now))
+    }
+
+    // ----------------------------------------------------------------------
+    // RTO management
+    // ----------------------------------------------------------------------
+
+    fn arm_rto(&mut self, now: SimTime) {
+        let timeout = self.rtt.rto_backed_off(self.rto_backoff);
+        self.rto_deadline = Some(now + timeout);
+        self.rto_generation += 1;
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_deadline = None;
+        self.rto_generation += 1;
+    }
+
+    /// Handles an RTO timer expiry for `generation` at `now`.
+    ///
+    /// Returns `true` if the timer was valid and a timeout was processed.
+    pub fn on_rto_timer(&mut self, generation: u64, now: SimTime) -> bool {
+        let valid = self.rto_deadline.is_some()
+            && generation == self.rto_generation
+            && self.rto_deadline.map(|d| now >= d).unwrap_or(false);
+        if !valid {
+            return false;
+        }
+        // Nothing outstanding and nothing queued: nothing to do.
+        if self.skbs.is_empty() {
+            self.disarm_rto();
+            return false;
+        }
+
+        self.rto_count += 1;
+        self.log_event(now, TransportEvent::RtoFired { backoff: self.rto_backoff });
+        self.rto_backoff = (self.rto_backoff + 1).min(16);
+
+        // tcp_enter_loss: every un-SACKed packet below next_seq is marked
+        // lost and will be retransmitted, head first. Packets whose ACKs are
+        // still in flight become *spurious* retransmissions — the trigger for
+        // the paper's BBR finding.
+        let mut newly_lost = 0u64;
+        for skb in self.skbs.values_mut() {
+            if !skb.sacked && !skb.lost {
+                skb.lost = true;
+                skb.outstanding = false;
+                newly_lost += 1;
+            } else if skb.outstanding && !skb.sacked {
+                skb.outstanding = false;
+            }
+        }
+        self.lost_total += newly_lost;
+        let lost_seqs: Vec<u64> = self
+            .skbs
+            .values()
+            .filter(|s| s.lost)
+            .map(|s| s.seq)
+            .collect();
+        for seq in lost_seqs {
+            self.log_event(now, TransportEvent::MarkedLost { seq });
+        }
+
+        // Leave fast recovery (RTO recovery supersedes it) and reset pacing
+        // so the retransmission goes out immediately.
+        self.in_recovery = false;
+        self.recovery_high = self.next_seq;
+        self.earliest_next_send = now;
+
+        let ctx = self.ctx(now);
+        self.cc.on_congestion(&ctx, CongestionSignal::Rto);
+        self.drain_cc_events(now);
+
+        // Re-arm with backoff for the retransmission we are about to send.
+        self.arm_rto(now);
+        true
+    }
+
+    // ----------------------------------------------------------------------
+    // ACK path
+    // ----------------------------------------------------------------------
+
+    /// Processes an arriving ACK at `now`.
+    pub fn on_ack(&mut self, ack: &AckPacket, now: SimTime) {
+        let in_flight_before = self.in_flight();
+        let prior_cum_ack = self.cum_ack;
+        let mut newly_acked = 0u64;
+        // The rate sample is taken from the newly acknowledged packet that
+        // was transmitted most recently (largest tx_delivered), mirroring
+        // tcp_rate_skb_delivered.
+        let mut sample_skb: Option<Skb> = None;
+        let mut rtt_candidate: Option<(SimTime, bool)> = None; // (last_tx, retransmitted)
+
+        let consider_sample = |skb: &Skb, sample_skb: &mut Option<Skb>| {
+            let better = match sample_skb {
+                None => true,
+                Some(cur) => skb.tx_delivered > cur.tx_delivered
+                    || (skb.tx_delivered == cur.tx_delivered && skb.last_tx > cur.last_tx),
+            };
+            if better {
+                *sample_skb = Some(skb.clone());
+            }
+        };
+
+        // --- Cumulative ACK ---
+        if ack.cum_ack > self.cum_ack {
+            let acked_seqs: Vec<u64> = self
+                .skbs
+                .range(..ack.cum_ack)
+                .map(|(&seq, _)| seq)
+                .collect();
+            for seq in acked_seqs {
+                let skb = self.skbs.remove(&seq).expect("skb present");
+                if !skb.sacked {
+                    // Newly delivered by this cumulative ACK.
+                    self.delivered += 1;
+                    self.delivered_time = now;
+                    newly_acked += 1;
+                    consider_sample(&skb, &mut sample_skb);
+                    // RTT sample per Karn's rule: only from never-retransmitted
+                    // packets; take the newest.
+                    if !skb.retransmitted() {
+                        match rtt_candidate {
+                            Some((t, _)) if t >= skb.last_tx => {}
+                            _ => rtt_candidate = Some((skb.last_tx, false)),
+                        }
+                    }
+                }
+            }
+            self.cum_ack = ack.cum_ack;
+            self.dup_acks = 0;
+            self.log_event(now, TransportEvent::CumAckAdvanced { cum_ack: ack.cum_ack });
+        }
+
+        // --- SACK blocks ---
+        if self.cfg.sack_enabled {
+            for block in &ack.sack_blocks {
+                let seqs: Vec<u64> = self
+                    .skbs
+                    .range(block.start..block.end)
+                    .filter(|(_, skb)| !skb.sacked)
+                    .map(|(&seq, _)| seq)
+                    .collect();
+                for seq in seqs {
+                    let skb = self.skbs.get_mut(&seq).expect("skb present");
+                    skb.sacked = true;
+                    skb.outstanding = false;
+                    let was_lost = skb.lost;
+                    skb.lost = false;
+                    self.delivered += 1;
+                    self.delivered_time = now;
+                    newly_acked += 1;
+                    let skb_snapshot = skb.clone();
+                    consider_sample(&skb_snapshot, &mut sample_skb);
+                    if !skb_snapshot.retransmitted() {
+                        match rtt_candidate {
+                            Some((t, _)) if t >= skb_snapshot.last_tx => {}
+                            _ => rtt_candidate = Some((skb_snapshot.last_tx, false)),
+                        }
+                    }
+                    if was_lost {
+                        // The packet had been marked lost but the original
+                        // copy arrived after all; undo the loss accounting.
+                        self.lost_total = self.lost_total.saturating_sub(1);
+                    }
+                    self.log_event(now, TransportEvent::Sacked { seq });
+                }
+            }
+        }
+
+        // --- Dup-ACK counting (only meaningful when nothing new was acked) ---
+        if ack.cum_ack == prior_cum_ack && newly_acked == 0 && in_flight_before > 0 {
+            self.dup_acks += 1;
+        }
+
+        // --- RTT / RTO updates ---
+        if let Some((last_tx, _)) = rtt_candidate {
+            let rtt = now.saturating_since(last_tx);
+            if rtt > SimDuration::ZERO {
+                self.rtt.on_sample(rtt);
+            }
+        }
+        if ack.cum_ack > prior_cum_ack {
+            // Progress: reset backoff and restart the timer.
+            self.rto_backoff = 0;
+        }
+        if self.skbs.is_empty() {
+            self.disarm_rto();
+        } else if ack.cum_ack > prior_cum_ack {
+            // RFC 6298: restart the timer when new data is *cumulatively*
+            // acknowledged. Pure-SACK ACKs do not push the timer back, which
+            // is what lets the RTO for a lost head (and its lost fast
+            // retransmission) fire roughly min-RTO after the loss even though
+            // SACKs keep arriving — the timing the paper's §4.1 scenario
+            // depends on.
+            self.arm_rto(now);
+        }
+
+        // --- Rate sample ---
+        // Linux `tcp_rate_skb_delivered` re-anchors the send-window start
+        // (`tp->first_tx_mstamp`) to the send time of the most recently ACKed
+        // packet, so the next packets' send_elapsed measures just their own
+        // send window rather than time since the connection started.
+        if let Some(skb) = &sample_skb {
+            if skb.last_tx > self.first_sent_time {
+                self.first_sent_time = skb.last_tx;
+            }
+        }
+        let rate_sample = sample_skb.map(|skb| {
+            let send_elapsed = skb.last_tx.saturating_since(skb.tx_first_sent_time);
+            let ack_elapsed = self.delivered_time.saturating_since(skb.tx_delivered_time);
+            let interval = send_elapsed.max(ack_elapsed);
+            let delivered_in_interval = self.delivered.saturating_sub(skb.tx_delivered);
+            let delivery_rate_bps = if interval > SimDuration::ZERO {
+                delivered_in_interval as f64 * self.cfg.mss as f64 * 8.0 / interval.as_secs_f64()
+            } else {
+                0.0
+            };
+            RateSample {
+                delivered: self.delivered,
+                prior_delivered: skb.tx_delivered,
+                prior_delivered_time: skb.tx_delivered_time,
+                send_elapsed,
+                ack_elapsed,
+                interval,
+                delivered_in_interval,
+                delivery_rate_bps,
+                rtt: if skb.retransmitted() {
+                    None
+                } else {
+                    Some(now.saturating_since(skb.last_tx))
+                },
+                newly_acked,
+                cum_ack_advanced: ack.cum_ack.saturating_sub(prior_cum_ack),
+                is_retransmitted_sample: skb.retransmitted(),
+                is_app_limited: skb.tx_app_limited,
+                in_flight_before,
+                now,
+            }
+        });
+
+        // --- Loss detection ---
+        let newly_lost = self.detect_losses(now);
+
+        // --- Recovery exit ---
+        if self.in_recovery && self.cum_ack >= self.recovery_high {
+            self.in_recovery = false;
+            self.log_event(now, TransportEvent::ExitRecovery);
+            let ctx = self.ctx(now);
+            self.cc.on_exit_recovery(&ctx);
+        }
+
+        // --- Feed the congestion controller ---
+        if let Some(rs) = rate_sample {
+            let ctx = self.ctx(now);
+            self.cc.on_ack(&ctx, &rs);
+        }
+        if newly_lost > 0 {
+            let new_episode = !self.in_recovery;
+            if new_episode {
+                self.in_recovery = true;
+                self.recovery_high = self.next_seq;
+                self.recovery_episodes += 1;
+                self.log_event(now, TransportEvent::EnterRecovery);
+            }
+            let ctx = self.ctx(now);
+            self.cc.on_congestion(
+                &ctx,
+                CongestionSignal::FastRetransmitLoss { newly_lost, new_episode },
+            );
+        }
+        self.drain_cc_events(now);
+    }
+
+    /// SACK-based (and dup-ACK based) loss detection. Returns the number of
+    /// packets newly marked lost.
+    fn detect_losses(&mut self, now: SimTime) -> u64 {
+        let mut newly_lost = 0u64;
+        if self.cfg.sack_enabled {
+            // A packet is deemed lost when at least LOSS_REORDER_THRESHOLD
+            // packets with higher sequence numbers have been SACKed
+            // (simplified RFC 6675). Packets that have already been
+            // retransmitted are exempt while their retransmission is
+            // outstanding: a lost retransmission is recovered by the RTO, not
+            // by dupthresh (otherwise every ACK would re-mark and re-send the
+            // same holes, a retransmission storm real stacks avoid).
+            let sacked_seqs: Vec<u64> = self
+                .skbs
+                .values()
+                .filter(|s| s.sacked)
+                .map(|s| s.seq)
+                .collect();
+            if !sacked_seqs.is_empty() {
+                let to_mark: Vec<u64> = self
+                    .skbs
+                    .values()
+                    .filter(|s| !s.sacked && !s.lost && s.transmissions == 1)
+                    .filter(|s| {
+                        let higher_sacked =
+                            sacked_seqs.iter().filter(|&&q| q > s.seq).count() as u64;
+                        higher_sacked >= LOSS_REORDER_THRESHOLD
+                    })
+                    .map(|s| s.seq)
+                    .collect();
+                for seq in to_mark {
+                    let skb = self.skbs.get_mut(&seq).expect("skb present");
+                    skb.lost = true;
+                    skb.outstanding = false;
+                    self.lost_total += 1;
+                    newly_lost += 1;
+                    self.log_event(now, TransportEvent::MarkedLost { seq });
+                }
+            }
+        } else if self.dup_acks >= LOSS_REORDER_THRESHOLD {
+            // Classic fast retransmit: mark the head lost once per dup-ACK burst.
+            if let Some(skb) = self.skbs.get_mut(&self.cum_ack) {
+                if !skb.lost && !skb.sacked && skb.transmissions > 0 {
+                    skb.lost = true;
+                    skb.outstanding = false;
+                    self.lost_total += 1;
+                    newly_lost += 1;
+                    self.log_event(now, TransportEvent::MarkedLost { seq: self.cum_ack });
+                }
+            }
+            self.dup_acks = 0;
+        }
+        newly_lost
+    }
+
+    /// Builds the summary statistics for this sender.
+    pub fn summary(&self) -> crate::stats::FlowSummary {
+        crate::stats::FlowSummary {
+            delivered_packets: self.delivered,
+            delivered_bytes: self.delivered * self.cfg.mss as u64,
+            transmissions: self.transmissions,
+            retransmissions: self.retransmissions,
+            marked_lost: self.lost_total,
+            queue_drops: 0, // filled in by the simulator
+            rto_count: self.rto_count,
+            recovery_episodes: self.recovery_episodes,
+            final_srtt_us: self.rtt.srtt().map(|d| d.as_micros()).unwrap_or(0),
+            min_rtt_us: self.rtt.min_rtt().map(|d| d.as_micros()).unwrap_or(0),
+            highest_sent: self.next_seq,
+            final_cum_ack: self.cum_ack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::reference_cc::{FixedWindowCc, MiniAimdCc};
+    use crate::packet::SackBlock;
+
+    fn sender_with_window(window: u64) -> TcpSender {
+        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(FixedWindowCc::new(window)));
+        s.on_flow_start(SimTime::ZERO);
+        s
+    }
+
+    fn ack(cum: u64, blocks: Vec<SackBlock>, now: SimTime) -> AckPacket {
+        AckPacket {
+            cum_ack: cum,
+            sack_blocks: blocks,
+            acked_now: 1,
+            generated_at: now,
+            echo_sent_at: now,
+            for_seq: cum.saturating_sub(1),
+            for_retransmission: false,
+        }
+    }
+
+    fn drain_packets(s: &mut TcpSender, now: SimTime) -> Vec<DataPacket> {
+        let mut out = Vec::new();
+        loop {
+            match s.poll_send(now) {
+                SendPoll::Packet(p) => out.push(p),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sends_up_to_cwnd_then_blocks() {
+        let mut s = sender_with_window(4);
+        let pkts = drain_packets(&mut s, SimTime::ZERO);
+        assert_eq!(pkts.len(), 4);
+        assert_eq!(pkts.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(s.in_flight(), 4);
+        assert_eq!(s.poll_send(SimTime::ZERO), SendPoll::Blocked);
+        assert!(s.rto_deadline().is_some(), "RTO armed after first transmission");
+    }
+
+    #[test]
+    fn does_not_send_before_flow_start() {
+        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(FixedWindowCc::new(4)));
+        assert_eq!(s.poll_send(SimTime::ZERO), SendPoll::Blocked);
+    }
+
+    #[test]
+    fn cumulative_ack_frees_window_and_updates_delivery() {
+        let mut s = sender_with_window(4);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(2, vec![], now), now);
+        assert_eq!(s.cum_ack(), 2);
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.in_flight(), 2);
+        // Two more packets may now be sent.
+        let pkts = drain_packets(&mut s, now);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].seq, 4);
+    }
+
+    #[test]
+    fn rtt_estimated_from_acks() {
+        let mut s = sender_with_window(2);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(1, vec![], now), now);
+        assert_eq!(s.rtt().latest(), Some(SimDuration::from_millis(40)));
+        assert_eq!(s.rtt().srtt(), Some(SimDuration::from_millis(40)));
+    }
+
+    #[test]
+    fn sack_marks_packets_and_detects_loss_after_three() {
+        let mut s = sender_with_window(10);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        // Packet 0 missing; 1, 2, 3 SACKed one at a time.
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 2 }], now), now);
+        assert_eq!(s.lost_total(), 0);
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 3 }], now), now);
+        assert_eq!(s.lost_total(), 0);
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 4 }], now), now);
+        assert_eq!(s.lost_total(), 1, "3 SACKed packets above seq 0 mark it lost");
+        assert!(s.in_recovery());
+        assert_eq!(s.delivered(), 3);
+        // The retransmission goes out next.
+        let next = drain_packets(&mut s, now);
+        assert!(!next.is_empty());
+        assert_eq!(next[0].seq, 0);
+        assert!(next[0].is_retransmission);
+        assert_eq!(s.retransmissions(), 1);
+    }
+
+    #[test]
+    fn recovery_exits_when_cum_ack_passes_recovery_high() {
+        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(MiniAimdCc::new(10)));
+        s.on_flow_start(SimTime::ZERO);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 5 }], now), now);
+        assert!(s.in_recovery());
+        let recovery_high = s.next_seq();
+        // Retransmit and then cumulative ACK beyond recovery_high.
+        drain_packets(&mut s, now);
+        let later = SimTime::from_millis(120);
+        s.on_ack(&ack(recovery_high, vec![], later), later);
+        assert!(!s.in_recovery(), "recovery exits once cum_ack reaches recovery point");
+    }
+
+    #[test]
+    fn dup_ack_fast_retransmit_without_sack() {
+        let mut cfg = SenderConfig::paper_default();
+        cfg.sack_enabled = false;
+        let mut s = TcpSender::new(cfg, Box::new(FixedWindowCc::new(10)));
+        s.on_flow_start(SimTime::ZERO);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        // First ACK advances to 1; then three duplicate ACKs for 1.
+        s.on_ack(&ack(1, vec![], now), now);
+        for _ in 0..3 {
+            s.on_ack(&ack(1, vec![], now), now);
+        }
+        assert_eq!(s.lost_total(), 1);
+        let pkts = drain_packets(&mut s, now);
+        assert_eq!(pkts[0].seq, 1);
+        assert!(pkts[0].is_retransmission);
+    }
+
+    #[test]
+    fn rto_marks_everything_lost_and_retransmits_head_first() {
+        let mut s = sender_with_window(5);
+        drain_packets(&mut s, SimTime::ZERO);
+        let (deadline, generation) = s.rto_deadline().unwrap();
+        assert_eq!(deadline, SimTime::from_secs_f64(1.0), "initial RTO is 1s (min-RTO)");
+        assert!(s.on_rto_timer(generation, deadline));
+        assert_eq!(s.rto_count(), 1);
+        assert_eq!(s.lost_total(), 5);
+        assert_eq!(s.in_flight(), 0, "nothing considered in flight after RTO");
+        let pkts = drain_packets(&mut s, deadline);
+        assert_eq!(pkts[0].seq, 0, "head retransmitted first");
+        assert!(pkts[0].is_retransmission);
+        // Stale generation is ignored.
+        assert!(!s.on_rto_timer(generation, deadline + SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn rto_backoff_doubles_deadline() {
+        let mut s = sender_with_window(1);
+        drain_packets(&mut s, SimTime::ZERO);
+        let (d1, g1) = s.rto_deadline().unwrap();
+        assert!(s.on_rto_timer(g1, d1));
+        // After the retransmission the timer uses the backed-off RTO (2s).
+        drain_packets(&mut s, d1);
+        let (d2, g2) = s.rto_deadline().unwrap();
+        assert!(d2.saturating_since(d1) >= SimDuration::from_secs(2));
+        assert!(s.on_rto_timer(g2, d2));
+        drain_packets(&mut s, d2);
+        let (d3, _) = s.rto_deadline().unwrap();
+        assert!(d3.saturating_since(d2) >= SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn spurious_retransmission_restamps_prior_delivered() {
+        // Reproduces the core mechanism of the paper's §4.1 finding at the
+        // sender level: after an RTO, a packet whose original copy was
+        // actually delivered is retransmitted; the retransmission refreshes
+        // tx_delivered, so the SACK that then arrives yields a rate sample
+        // with a large prior_delivered.
+        let mut s = sender_with_window(10);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        // Packets 1..8 SACKed (packet 0 lost): delivered = 8.
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 9 }], now), now);
+        assert_eq!(s.delivered(), 8);
+        // RTO fires (the retransmission of 0 was also lost, say).
+        let (deadline, generation) = s.rto_deadline().unwrap();
+        assert!(s.on_rto_timer(generation, deadline.max(now)));
+        // Head (0) and then 9 (never SACKed) get retransmitted; 9's original
+        // SACK is still "in the network".
+        let pkts = drain_packets(&mut s, deadline);
+        assert!(pkts.iter().any(|p| p.seq == 9 && p.is_retransmission),
+            "packet 9 spuriously retransmitted after RTO: {pkts:?}");
+        // Now the SACK for the *original* transmission of 9 arrives.
+        let later = deadline + SimDuration::from_millis(5);
+        s.on_ack(&ack(0, vec![SackBlock { start: 9, end: 10 }], later), later);
+        // The rate sample's prior_delivered must reflect the freshly stamped
+        // (post-RTO) value, not the value at 9's original transmission (0).
+        let log = s.drain_log();
+        let stamped: Vec<u64> = log
+            .iter()
+            .filter_map(|r| match r.event {
+                TransportEvent::Sent { seq: 9, retransmission: true, delivered_stamp } => {
+                    Some(delivered_stamp)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stamped, vec![8], "spurious retransmission stamped with current delivered");
+    }
+
+    #[test]
+    fn sacked_then_cum_acked_not_double_counted() {
+        let mut s = sender_with_window(5);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 3 }], now), now);
+        assert_eq!(s.delivered(), 2);
+        // Cumulative ACK now covers 0..3; only packet 0 is newly delivered.
+        let later = SimTime::from_millis(45);
+        s.on_ack(&ack(3, vec![], later), later);
+        assert_eq!(s.delivered(), 3);
+        assert_eq!(s.cum_ack(), 3);
+    }
+
+    #[test]
+    fn rto_disarmed_when_everything_acked() {
+        let mut s = sender_with_window(2);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(2, vec![], now), now);
+        assert!(s.rto_deadline().is_none(), "no data outstanding, no RTO armed");
+    }
+
+    #[test]
+    fn pacing_gate_respected() {
+        #[derive(Debug)]
+        struct PacedCc;
+        impl CongestionControl for PacedCc {
+            fn name(&self) -> &'static str {
+                "paced"
+            }
+            fn on_ack(&mut self, _: &CcContext, _: &RateSample) {}
+            fn on_congestion(&mut self, _: &CcContext, _: CongestionSignal) {}
+            fn cwnd(&self) -> u64 {
+                100
+            }
+            fn pacing_rate_bps(&self) -> Option<f64> {
+                Some(1_448.0 * 8.0 * 100.0) // 100 packets per second
+            }
+        }
+        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(PacedCc));
+        s.on_flow_start(SimTime::ZERO);
+        // First packet goes out immediately; second must wait ~10ms.
+        assert!(matches!(s.poll_send(SimTime::ZERO), SendPoll::Packet(_)));
+        match s.poll_send(SimTime::ZERO) {
+            SendPoll::Wait(t) => assert_eq!(t.as_millis(), 10),
+            other => panic!("expected pacing wait, got {other:?}"),
+        }
+        // At the pacing deadline the next packet is released.
+        assert!(matches!(s.poll_send(SimTime::from_millis(10)), SendPoll::Packet(_)));
+    }
+
+    #[test]
+    fn summary_reflects_counters() {
+        let mut s = sender_with_window(3);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(3, vec![], now), now);
+        let summary = s.summary();
+        assert_eq!(summary.delivered_packets, 3);
+        assert_eq!(summary.transmissions, 3);
+        assert_eq!(summary.retransmissions, 0);
+        assert_eq!(summary.highest_sent, 3);
+        assert_eq!(summary.final_cum_ack, 3);
+        assert_eq!(summary.min_rtt_us, 40_000);
+    }
+}

@@ -1,0 +1,338 @@
+//! Network traces: the genomes the fuzzer evolves.
+//!
+//! * A [`LinkTrace`] is a *service curve*: a sorted list of timestamps, each
+//!   of which is an opportunity for the bottleneck to transmit exactly one
+//!   MTU-sized packet (the MahiMahi representation the paper adopts, §3.2).
+//! * A [`TrafficTrace`] is a sorted list of timestamps at which the
+//!   cross-traffic source injects one packet into the bottleneck queue
+//!   (§3.3).
+//!
+//! Both are plain data and are (de)serializable so that interesting traces
+//! found by the fuzzer can be saved and replayed.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A bottleneck service curve: sorted per-packet transmission opportunities.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkTrace {
+    /// Sorted timestamps; each is an opportunity to transmit one packet.
+    opportunities: Vec<SimTime>,
+    /// Total duration the trace describes (the link is silent after the last
+    /// opportunity unless the trace is replayed cyclically by the caller).
+    duration: SimDuration,
+}
+
+impl LinkTrace {
+    /// Builds a trace from transmission opportunities, sorting them.
+    pub fn new(mut opportunities: Vec<SimTime>, duration: SimDuration) -> Self {
+        opportunities.sort_unstable();
+        LinkTrace {
+            opportunities,
+            duration,
+        }
+    }
+
+    /// A constant-rate trace: packets of `packet_size` bytes at `rate_bps`
+    /// over `duration`, evenly spaced.
+    pub fn constant_rate(rate_bps: u64, packet_size: u32, duration: SimDuration) -> Self {
+        let interval = SimDuration::transmission_time(packet_size as u64, rate_bps);
+        if interval == SimDuration::MAX || interval == SimDuration::ZERO {
+            return LinkTrace::new(Vec::new(), duration);
+        }
+        let mut opportunities = Vec::new();
+        let mut t = SimTime::ZERO + interval;
+        while t.as_nanos() <= duration.as_nanos() {
+            opportunities.push(t);
+            t += interval;
+        }
+        LinkTrace {
+            opportunities,
+            duration,
+        }
+    }
+
+    /// The sorted transmission opportunities.
+    pub fn opportunities(&self) -> &[SimTime] {
+        &self.opportunities
+    }
+
+    /// Consumes the trace, returning the opportunity timestamps.
+    pub fn into_opportunities(self) -> Vec<SimTime> {
+        self.opportunities
+    }
+
+    /// Number of transmission opportunities (i.e. total packets the link can
+    /// serve over the trace).
+    pub fn len(&self) -> usize {
+        self.opportunities.len()
+    }
+
+    /// `true` when the link never transmits.
+    pub fn is_empty(&self) -> bool {
+        self.opportunities.is_empty()
+    }
+
+    /// The duration the trace covers.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Average service rate in bits per second for `packet_size`-byte packets.
+    pub fn average_rate_bps(&self, packet_size: u32) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.opportunities.len() as f64) * (packet_size as f64) * 8.0 / secs
+    }
+
+    /// Cumulative packet count at each of `samples` evenly spaced instants —
+    /// the curve plotted in Figure 3 of the paper.
+    pub fn cumulative_curve(&self, samples: usize) -> Vec<(SimTime, u64)> {
+        let samples = samples.max(2);
+        let mut out = Vec::with_capacity(samples);
+        let total_ns = self.duration.as_nanos().max(1);
+        let mut idx = 0usize;
+        for s in 0..samples {
+            let t_ns = total_ns * s as u64 / (samples as u64 - 1);
+            let t = SimTime::from_nanos(t_ns);
+            while idx < self.opportunities.len() && self.opportunities[idx] <= t {
+                idx += 1;
+            }
+            out.push((t, idx as u64));
+        }
+        out
+    }
+
+    /// Checks internal invariants (sorted, within duration). Used by tests
+    /// and by the fuzzer after mutation operators run.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.opportunities.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("opportunities out of order: {} > {}", w[0], w[1]));
+            }
+        }
+        if let Some(last) = self.opportunities.last() {
+            if last.as_nanos() > self.duration.as_nanos() {
+                return Err(format!(
+                    "opportunity {last} beyond trace duration {}",
+                    self.duration
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A cross-traffic injection pattern: sorted injection timestamps.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficTrace {
+    /// Sorted timestamps; each injects one cross-traffic packet.
+    injections: Vec<SimTime>,
+    /// Duration of the scenario.
+    duration: SimDuration,
+}
+
+impl TrafficTrace {
+    /// Builds a trace from injection timestamps, sorting them.
+    pub fn new(mut injections: Vec<SimTime>, duration: SimDuration) -> Self {
+        injections.sort_unstable();
+        TrafficTrace {
+            injections,
+            duration,
+        }
+    }
+
+    /// An empty trace (no cross traffic) over `duration`.
+    pub fn empty(duration: SimDuration) -> Self {
+        TrafficTrace {
+            injections: Vec::new(),
+            duration,
+        }
+    }
+
+    /// A periodic burst pattern: every `period`, inject `burst_len` packets
+    /// back-to-back spaced by `spacing`. Useful for constructing the
+    /// low-rate-attack-style baselines from §4.3 by hand.
+    pub fn periodic_bursts(
+        period: SimDuration,
+        burst_len: usize,
+        spacing: SimDuration,
+        duration: SimDuration,
+    ) -> Self {
+        let mut injections = Vec::new();
+        if period == SimDuration::ZERO {
+            return TrafficTrace::empty(duration);
+        }
+        let mut burst_start = SimTime::ZERO;
+        while burst_start.as_nanos() < duration.as_nanos() {
+            for i in 0..burst_len {
+                let t = burst_start + SimDuration::from_nanos(spacing.as_nanos() * i as u64);
+                if t.as_nanos() < duration.as_nanos() {
+                    injections.push(t);
+                }
+            }
+            burst_start += period;
+        }
+        TrafficTrace::new(injections, duration)
+    }
+
+    /// The sorted injection timestamps.
+    pub fn injections(&self) -> &[SimTime] {
+        &self.injections
+    }
+
+    /// Consumes the trace, returning the injection timestamps.
+    pub fn into_injections(self) -> Vec<SimTime> {
+        self.injections
+    }
+
+    /// Number of cross-traffic packets.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// `true` when there is no cross traffic.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// The duration the trace covers.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Average cross-traffic rate in bits per second for `packet_size`-byte packets.
+    pub fn average_rate_bps(&self, packet_size: u32) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.injections.len() as f64) * (packet_size as f64) * 8.0 / secs
+    }
+
+    /// Checks internal invariants (sorted, within duration).
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.injections.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("injections out of order: {} > {}", w[0], w[1]));
+            }
+        }
+        if let Some(last) = self.injections.last() {
+            if last.as_nanos() > self.duration.as_nanos() {
+                return Err(format!(
+                    "injection {last} beyond trace duration {}",
+                    self.duration
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_trace_has_expected_count_and_rate() {
+        // 12 Mbps with 1500-byte packets = 1000 packets/s.
+        let tr = LinkTrace::constant_rate(12_000_000, 1500, SimDuration::from_secs(5));
+        assert_eq!(tr.len(), 5_000);
+        let rate = tr.average_rate_bps(1500);
+        assert!((rate - 12e6).abs() / 12e6 < 0.01, "rate {rate}");
+        tr.validate().unwrap();
+    }
+
+    #[test]
+    fn constant_rate_zero_rate_is_empty() {
+        let tr = LinkTrace::constant_rate(0, 1500, SimDuration::from_secs(1));
+        assert!(tr.is_empty());
+        assert_eq!(tr.average_rate_bps(1500), 0.0);
+    }
+
+    #[test]
+    fn new_sorts_opportunities() {
+        let tr = LinkTrace::new(
+            vec![
+                SimTime::from_millis(30),
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+            ],
+            SimDuration::from_millis(100),
+        );
+        let opp = tr.opportunities();
+        assert!(opp.windows(2).all(|w| w[0] <= w[1]));
+        tr.validate().unwrap();
+    }
+
+    #[test]
+    fn cumulative_curve_monotone_and_complete() {
+        let tr = LinkTrace::constant_rate(12_000_000, 1500, SimDuration::from_secs(2));
+        let curve = tr.cumulative_curve(50);
+        assert_eq!(curve.len(), 50);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(curve.last().unwrap().1, tr.len() as u64);
+        assert_eq!(curve.first().unwrap().1, 0);
+    }
+
+    #[test]
+    fn periodic_bursts_shape() {
+        let tr = TrafficTrace::periodic_bursts(
+            SimDuration::from_millis(1_000),
+            5,
+            SimDuration::from_micros(100),
+            SimDuration::from_secs(3),
+        );
+        assert_eq!(tr.len(), 15);
+        tr.validate().unwrap();
+        // Burst starts at 0, 1s, 2s.
+        assert_eq!(tr.injections()[0], SimTime::ZERO);
+        assert_eq!(tr.injections()[5], SimTime::from_millis(1_000));
+        assert_eq!(tr.injections()[10], SimTime::from_millis(2_000));
+    }
+
+    #[test]
+    fn periodic_bursts_zero_period_is_empty() {
+        let tr = TrafficTrace::periodic_bursts(
+            SimDuration::ZERO,
+            5,
+            SimDuration::from_micros(100),
+            SimDuration::from_secs(3),
+        );
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let tr = LinkTrace {
+            opportunities: vec![SimTime::from_secs_f64(10.0)],
+            duration: SimDuration::from_secs(5),
+        };
+        assert!(tr.validate().is_err());
+        let tt = TrafficTrace {
+            injections: vec![SimTime::from_millis(10), SimTime::from_millis(5)],
+            duration: SimDuration::from_secs(5),
+        };
+        assert!(tt.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tr = LinkTrace::constant_rate(12_000_000, 1500, SimDuration::from_millis(500));
+        let json = serde_json::to_string(&tr).unwrap();
+        let back: LinkTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(tr, back);
+
+        let tt = TrafficTrace::periodic_bursts(
+            SimDuration::from_millis(200),
+            3,
+            SimDuration::from_micros(50),
+            SimDuration::from_secs(1),
+        );
+        let json = serde_json::to_string(&tt).unwrap();
+        let back: TrafficTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(tt, back);
+    }
+}

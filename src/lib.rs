@@ -1,0 +1,42 @@
+//! # cc-fuzz
+//!
+//! Umbrella crate for the CC-Fuzz reproduction ("CC-Fuzz: Genetic
+//! algorithm-based fuzzing for stress testing congestion control algorithms",
+//! HotNets 2022). It re-exports the workspace crates under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`netsim`] — the discrete-event network simulator substrate.
+//! * [`cca`] — congestion control algorithms (Reno, CUBIC, BBR, Vegas).
+//! * [`fuzz`] — the genetic-algorithm fuzzer.
+//! * [`analysis`] — measurement post-processing and figure data.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! experiment inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ccfuzz_analysis as analysis;
+pub use ccfuzz_cca as cca;
+pub use ccfuzz_core as fuzz;
+pub use ccfuzz_netsim as netsim;
+
+/// The crate version (matches the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+
+    #[test]
+    fn reexports_are_wired() {
+        // Compile-time smoke test that the re-exported paths exist.
+        let _ = super::cca::CcaKind::Bbr.name();
+        let _ = super::netsim::config::SimConfig::paper_default();
+        let _ = super::fuzz::GaParams::quick();
+    }
+}

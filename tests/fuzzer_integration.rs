@@ -1,0 +1,111 @@
+//! End-to-end genetic-algorithm integration tests: small but real campaigns
+//! over real simulations, checking that the GA actually finds adversarial
+//! traces and that campaigns are reproducible.
+
+use cc_fuzz::cca::CcaKind;
+use cc_fuzz::fuzz::campaign::{Campaign, FuzzMode};
+use cc_fuzz::fuzz::genome::{Genome, TrafficGenome};
+use cc_fuzz::fuzz::GaParams;
+use cc_fuzz::netsim::time::SimDuration;
+
+fn small_ga(seed: u64, generations: u32) -> GaParams {
+    let mut ga = GaParams::quick();
+    ga.islands = 3;
+    ga.population_per_island = 6;
+    ga.generations = generations;
+    ga.seed = seed;
+    ga
+}
+
+#[test]
+fn traffic_fuzzing_finds_traces_that_hurt_reno() {
+    let duration = SimDuration::from_secs(3);
+    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(5, 8));
+    let result = campaign.run_traffic();
+
+    // Baseline: Reno with no cross traffic.
+    let empty = TrafficGenome { timestamps: vec![], duration, max_packets: campaign.traffic_max_packets };
+    let evaluator = campaign.evaluator();
+    let baseline = evaluator.simulate_traffic(&empty, false);
+    let adversarial = evaluator.simulate_traffic(&result.best_genome, false);
+
+    assert!(
+        adversarial.stats.flow.delivered_packets < baseline.stats.flow.delivered_packets,
+        "the best evolved trace must reduce Reno's delivery ({} vs baseline {})",
+        adversarial.stats.flow.delivered_packets,
+        baseline.stats.flow.delivered_packets
+    );
+    assert!(result.best_outcome.performance_score > 0.2,
+        "fitness should reflect meaningful degradation, got {}", result.best_outcome.performance_score);
+    result.best_genome.validate().unwrap();
+    assert!(result.best_genome.packet_count() <= campaign.traffic_max_packets);
+}
+
+#[test]
+fn fitness_improves_over_generations() {
+    let duration = SimDuration::from_secs(3);
+    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(6, 10));
+    let result = campaign.run_traffic();
+    let first = result.history.first().unwrap().best_score;
+    let last = result.history.last().unwrap().best_score;
+    assert!(last >= first, "elitism guarantees monotone best score: {first} -> {last}");
+    // The mean of the population should also move upward over the run.
+    let first_mean = result.history.first().unwrap().mean_score;
+    let last_mean = result.history.last().unwrap().mean_score;
+    assert!(
+        last_mean > first_mean,
+        "selection pressure should raise the population mean: {first_mean:.3} -> {last_mean:.3}"
+    );
+}
+
+#[test]
+fn link_fuzzing_finds_service_curves_that_hurt_reno() {
+    let duration = SimDuration::from_secs(3);
+    let mut ga = small_ga(9, 8);
+    ga.anneal = true;
+    let campaign = Campaign::paper_standard(FuzzMode::Link, CcaKind::Reno, duration, ga);
+    let result = campaign.run_link();
+    // The evolved 12 Mbps-average service curve must hurt Reno noticeably
+    // compared to a smooth 12 Mbps link.
+    assert!(
+        result.best_outcome.performance_score > 0.2,
+        "link fuzzing should find a harmful service curve, score {}",
+        result.best_outcome.performance_score
+    );
+    // Link genomes preserve their packet budget (average bandwidth) exactly.
+    let expected = cc_fuzz::fuzz::trace_gen::packets_for_rate(12_000_000, campaign.sim.mss, duration);
+    assert_eq!(result.best_genome.packet_count(), expected);
+    result.best_genome.validate().unwrap();
+}
+
+#[test]
+fn campaigns_are_reproducible_from_their_seed() {
+    let duration = SimDuration::from_secs(2);
+    let run = || {
+        let campaign =
+            Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(42, 4));
+        let result = campaign.run_traffic();
+        (
+            result.best_outcome.delivered_packets,
+            result.best_outcome.sent_packets,
+            format!("{:.6}", result.best_outcome.score),
+            result.total_evaluations,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_minimality_pressure_keeps_traffic_small() {
+    // With the trace-score component enabled (the default), the best trace
+    // should not simply be "saturate the link with the maximum packet budget".
+    let duration = SimDuration::from_secs(3);
+    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(13, 10));
+    let result = campaign.run_traffic();
+    assert!(
+        result.best_genome.packet_count() < campaign.traffic_max_packets,
+        "minimality pressure should keep the trace below the cap ({} vs {})",
+        result.best_genome.packet_count(),
+        campaign.traffic_max_packets
+    );
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: trace generation, genome operators, scoring helpers, the
+//! deterministic PRNG and the bottleneck queue.
+
+use cc_fuzz::analysis::timeseries::{mean_of_lowest_fraction, percentile, windowed_throughput_bps};
+use cc_fuzz::fuzz::genome::{Genome, LinkGenome, TrafficGenome};
+use cc_fuzz::fuzz::trace_gen::{dist_packets, DistPacketsParams};
+use cc_fuzz::netsim::packet::DataPacket;
+use cc_fuzz::netsim::queue::{DropTailQueue, QueueCapacity};
+use cc_fuzz::netsim::rng::SimRng;
+use cc_fuzz::netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dist_packets_count_sortedness_and_bounds(
+        num in 0usize..3_000,
+        duration_ms in 100u64..10_000,
+        k_agg_ms in 1u64..500,
+        enforce in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let params = DistPacketsParams {
+            k_agg: SimDuration::from_millis(k_agg_ms),
+            enforce_rate_bounds: enforce,
+            ..Default::default()
+        };
+        let end = SimTime::from_millis(duration_ms);
+        let ts = dist_packets(num, SimTime::ZERO, end, &params, &mut rng);
+        prop_assert_eq!(ts.len(), num);
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(ts.iter().all(|&t| t <= end));
+    }
+
+    #[test]
+    fn link_genome_mutation_preserves_count_and_validity(
+        packets in 1usize..2_000,
+        seed in any::<u64>(),
+        mutations in 1usize..5,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let duration = SimDuration::from_secs(3);
+        let mut genome = LinkGenome::generate(packets, duration, SimDuration::from_millis(50), &mut rng);
+        for _ in 0..mutations {
+            genome = genome.mutate(&mut rng);
+            prop_assert_eq!(genome.packet_count(), packets);
+            prop_assert!(genome.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn link_annealing_preserves_count_and_validity(
+        packets in 3usize..2_000,
+        seed in any::<u64>(),
+        window in 1usize..10,
+        noise_us in 0u64..2_000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let duration = SimDuration::from_secs(3);
+        let genome = LinkGenome::generate(packets, duration, SimDuration::from_millis(50), &mut rng);
+        let annealed = genome.anneal(window, SimDuration::from_micros(noise_us), &mut rng);
+        prop_assert_eq!(annealed.packet_count(), packets);
+        prop_assert!(annealed.validate().is_ok());
+    }
+
+    #[test]
+    fn traffic_genome_operators_respect_cap_and_validity(
+        cap in 1usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let duration = SimDuration::from_secs(3);
+        let a = TrafficGenome::generate(cap, duration, &mut rng);
+        let b = TrafficGenome::generate(cap, duration, &mut rng);
+        prop_assert!(a.packet_count() <= cap);
+        prop_assert!(a.validate().is_ok());
+
+        let m = a.mutate(&mut rng);
+        prop_assert!(m.packet_count() <= cap);
+        prop_assert!(m.validate().is_ok());
+
+        let child = a.crossover(&b, &mut rng).expect("traffic crossover is defined");
+        prop_assert!(child.packet_count() <= cap);
+        prop_assert!(child.validate().is_ok());
+    }
+
+    #[test]
+    fn windowed_throughput_conserves_packets(
+        times_ms in proptest::collection::vec(0u64..5_000, 0..400),
+        window_ms in 50u64..1_000,
+    ) {
+        let times: Vec<SimTime> = {
+            let mut v: Vec<SimTime> = times_ms.iter().map(|&ms| SimTime::from_millis(ms)).collect();
+            v.sort_unstable();
+            v
+        };
+        let duration = SimDuration::from_millis(5_001);
+        let window = SimDuration::from_millis(window_ms);
+        let mss = 1_000u32;
+        let windows = windowed_throughput_bps(&times, mss, window, duration);
+        // Total bytes implied by the windowed rates equals packets * mss.
+        let total_bytes: f64 = windows.iter().map(|(_, bps)| bps * window.as_secs_f64() / 8.0).sum();
+        let expected = times.len() as f64 * mss as f64;
+        prop_assert!((total_bytes - expected).abs() < 1e-6 * expected.max(1.0),
+            "conservation violated: {} vs {}", total_bytes, expected);
+    }
+
+    #[test]
+    fn percentile_is_bounded_and_monotone(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        p_lo in 0.0f64..50.0,
+        p_hi in 50.0f64..100.0,
+    ) {
+        let lo = percentile(&values, p_lo);
+        let hi = percentile(&values, p_hi);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(lo >= values[0] - 1e-9);
+        prop_assert!(hi <= values[values.len() - 1] + 1e-9);
+        prop_assert!(lo <= hi + 1e-9);
+        // The lowest-fraction mean never exceeds the overall mean.
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!(mean_of_lowest_fraction(&values, 0.2) <= mean + 1e-9);
+    }
+
+    #[test]
+    fn queue_conservation_under_random_arrivals(
+        sizes in proptest::collection::vec(100u32..1_600, 1..300),
+        capacity in 1usize..64,
+        dequeue_every in 1usize..8,
+    ) {
+        let mut queue = DropTailQueue::new(QueueCapacity::Packets(capacity));
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        let mut dequeued = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            let pkt = DataPacket::cca(i as u64, size, false, SimTime::from_millis(i as u64));
+            if queue.enqueue(pkt, SimTime::from_millis(i as u64)) {
+                accepted += 1;
+            } else {
+                dropped += 1;
+            }
+            if i % dequeue_every == 0 && queue.dequeue().is_some() {
+                dequeued += 1;
+            }
+        }
+        let c = queue.counters();
+        prop_assert_eq!(c.total_enqueued(), accepted);
+        prop_assert_eq!(c.total_dropped(), dropped);
+        prop_assert_eq!(c.total_dequeued(), dequeued);
+        prop_assert_eq!(accepted, dequeued + queue.len() as u64);
+        prop_assert!(queue.len() <= capacity);
+    }
+
+    #[test]
+    fn rng_ranges_and_determinism(seed in any::<u64>(), lo in 0u64..1_000, span in 1u64..1_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_range_u64(lo, lo + span);
+            let y = b.gen_range_u64(lo, lo + span);
+            prop_assert_eq!(x, y);
+            prop_assert!((lo..lo + span).contains(&x));
+            let f = a.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = b.next_f64();
+        }
+    }
+}
