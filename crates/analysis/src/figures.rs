@@ -22,7 +22,10 @@ pub struct FigureSeries {
 impl FigureSeries {
     /// Builds a series from a label and points.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        FigureSeries { name: name.into(), points }
+        FigureSeries {
+            name: name.into(),
+            points,
+        }
     }
 
     /// Maximum y value (0 for an empty series).
@@ -130,7 +133,11 @@ pub fn queuing_delay_series(stats: &RunStats) -> (FigureSeries, FigureSeries) {
 
 /// Cumulative packet-count curve of a trace (Figure 3 / Figure 5): one point
 /// per sample instant.
-pub fn cumulative_packet_curve(timestamps: &[SimTime], samples: usize, duration: SimDuration) -> FigureSeries {
+pub fn cumulative_packet_curve(
+    timestamps: &[SimTime],
+    samples: usize,
+    duration: SimDuration,
+) -> FigureSeries {
     let samples = samples.max(2);
     let total_ns = duration.as_nanos().max(1);
     let mut points = Vec::with_capacity(samples);
@@ -156,7 +163,12 @@ mod tests {
     use ccfuzz_netsim::stats::{BottleneckEvent, BottleneckRecord};
 
     fn record(at_ms: u64, flow: FlowId, event: BottleneckEvent) -> BottleneckRecord {
-        BottleneckRecord { at: SimTime::from_millis(at_ms), flow, size: 1_000, event }
+        BottleneckRecord {
+            at: SimTime::from_millis(at_ms),
+            flow,
+            size: 1_000,
+            event,
+        }
     }
 
     #[test]
@@ -177,7 +189,9 @@ mod tests {
                 record(
                     200,
                     FlowId::Cca,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(100) },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::from_millis(100),
+                    },
                 ),
                 record(300, FlowId::CrossTraffic, BottleneckEvent::Enqueued),
             ],
@@ -209,12 +223,16 @@ mod tests {
                 record(
                     100,
                     FlowId::Cca,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(30) },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::from_millis(30),
+                    },
                 ),
                 record(
                     200,
                     FlowId::CrossTraffic,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(5) },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::from_millis(5),
+                    },
                 ),
             ],
             ..Default::default()
@@ -237,6 +255,12 @@ mod tests {
     fn trace_capacity_accumulates_bytes() {
         let opp = vec![SimTime::from_millis(1), SimTime::from_millis(2)];
         let cap = trace_capacity(&opp, 1500);
-        assert_eq!(cap, vec![(SimTime::from_millis(1), 1500), (SimTime::from_millis(2), 3000)]);
+        assert_eq!(
+            cap,
+            vec![
+                (SimTime::from_millis(1), 1500),
+                (SimTime::from_millis(2), 3000)
+            ]
+        );
     }
 }

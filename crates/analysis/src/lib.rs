@@ -2,7 +2,8 @@
 //!
 //! Measurement post-processing for CC-Fuzz: windowed throughput and rate
 //! curves, queuing-delay series, percentile/score helpers, per-figure data
-//! extraction, a small ASCII plotter and CSV export.
+//! extraction, a small ASCII plotter, CSV export and deterministic text
+//! tables (used by the corpus replay/report tooling).
 //!
 //! Everything here consumes the [`RunStats`](ccfuzz_netsim::stats::RunStats)
 //! produced by a simulation run; nothing feeds back into the simulator, so
@@ -15,6 +16,7 @@
 pub mod figures;
 pub mod plot;
 pub mod report;
+pub mod table;
 pub mod timeseries;
 
 pub use figures::{FigureSeries, RateCurves};

@@ -51,7 +51,14 @@ pub fn ascii_chart(title: &str, series: &[&FigureSeries], width: usize, height: 
         let _ = writeln!(out, "{y_label:>10.2} |{}", row.iter().collect::<String>());
     }
     let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
-    let _ = writeln!(out, "{:>10}  {:<.2}{}{:>.2}", "", min_x, " ".repeat(width.saturating_sub(12)), max_x);
+    let _ = writeln!(
+        out,
+        "{:>10}  {:<.2}{}{:>.2}",
+        "",
+        min_x,
+        " ".repeat(width.saturating_sub(12)),
+        max_x
+    );
     for (si, s) in series.iter().enumerate() {
         let _ = writeln!(out, "   [{}] {}", glyphs[si % glyphs.len()], s.name);
     }

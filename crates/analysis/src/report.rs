@@ -50,7 +50,12 @@ pub fn rto_timeline(stats: &RunStats, context_after: SimDuration, max_events: us
 pub fn spurious_retransmissions(stats: &RunStats, window: SimDuration) -> usize {
     let mut count = 0usize;
     for (i, rec) in stats.transport.iter().enumerate() {
-        let TransportEvent::Sent { seq, retransmission: true, .. } = rec.event else {
+        let TransportEvent::Sent {
+            seq,
+            retransmission: true,
+            ..
+        } = rec.event
+        else {
             continue;
         };
         let deadline = rec.at + window;
@@ -96,7 +101,11 @@ pub fn one_line_summary(stats: &RunStats, duration_secs: f64, mss: u32) -> Strin
 fn format_record(rec: &TransportRecord) -> String {
     let t = format!("{:>10.4}s", rec.at.as_secs_f64());
     match &rec.event {
-        TransportEvent::Sent { seq, retransmission, delivered_stamp } => {
+        TransportEvent::Sent {
+            seq,
+            retransmission,
+            delivered_stamp,
+        } => {
             if *retransmission {
                 format!("{t}  RETX   seq={seq} (stamped delivered={delivered_stamp})")
             } else {
@@ -119,32 +128,69 @@ mod tests {
     use ccfuzz_netsim::stats::FlowSummary;
 
     fn rec(at_ms: u64, event: TransportEvent) -> TransportRecord {
-        TransportRecord { at: SimTime::from_millis(at_ms), event }
+        TransportRecord {
+            at: SimTime::from_millis(at_ms),
+            event,
+        }
     }
 
     fn stats_with(transport: Vec<TransportRecord>) -> RunStats {
-        RunStats { transport, ..Default::default() }
+        RunStats {
+            transport,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn timeline_mentions_rto_and_following_events() {
         let stats = stats_with(vec![
-            rec(100, TransportEvent::Sent { seq: 5, retransmission: false, delivered_stamp: 0 }),
+            rec(
+                100,
+                TransportEvent::Sent {
+                    seq: 5,
+                    retransmission: false,
+                    delivered_stamp: 0,
+                },
+            ),
             rec(1_100, TransportEvent::RtoFired { backoff: 0 }),
-            rec(1_101, TransportEvent::Sent { seq: 5, retransmission: true, delivered_stamp: 40 }),
+            rec(
+                1_101,
+                TransportEvent::Sent {
+                    seq: 5,
+                    retransmission: true,
+                    delivered_stamp: 40,
+                },
+            ),
             rec(1_110, TransportEvent::Sacked { seq: 5 }),
-            rec(9_000, TransportEvent::Sent { seq: 90, retransmission: false, delivered_stamp: 80 }),
+            rec(
+                9_000,
+                TransportEvent::Sent {
+                    seq: 90,
+                    retransmission: false,
+                    delivered_stamp: 80,
+                },
+            ),
         ]);
         let tl = rto_timeline(&stats, SimDuration::from_secs(1), 100);
         assert!(tl.contains("RTO #1"));
         assert!(tl.contains("RETX   seq=5"));
         assert!(tl.contains("SACK   seq=5"));
-        assert!(!tl.contains("seq=90"), "events outside the window are excluded");
+        assert!(
+            !tl.contains("seq=90"),
+            "events outside the window are excluded"
+        );
     }
 
     #[test]
     fn timeline_without_rto_says_so() {
-        let stats = stats_with(vec![rec(1, TransportEvent::Sent { seq: 0, retransmission: false, delivered_stamp: 0 })]);
+        let stats = stats_with(vec![rec(
+            1,
+            TransportEvent::Sent {
+                seq: 0,
+                retransmission: false,
+                delivered_stamp: 0,
+            },
+        )]);
         assert!(rto_timeline(&stats, SimDuration::from_secs(1), 10).contains("no RTO"));
     }
 
@@ -152,20 +198,47 @@ mod tests {
     fn spurious_retransmission_detection() {
         let stats = stats_with(vec![
             // Retransmission of 7 followed quickly by its SACK: spurious.
-            rec(1_000, TransportEvent::Sent { seq: 7, retransmission: true, delivered_stamp: 3 }),
+            rec(
+                1_000,
+                TransportEvent::Sent {
+                    seq: 7,
+                    retransmission: true,
+                    delivered_stamp: 3,
+                },
+            ),
             rec(1_020, TransportEvent::Sacked { seq: 7 }),
             // Retransmission of 9 never SACKed soon after: not spurious.
-            rec(1_030, TransportEvent::Sent { seq: 9, retransmission: true, delivered_stamp: 3 }),
+            rec(
+                1_030,
+                TransportEvent::Sent {
+                    seq: 9,
+                    retransmission: true,
+                    delivered_stamp: 3,
+                },
+            ),
             rec(5_000, TransportEvent::Sacked { seq: 9 }),
         ]);
-        assert_eq!(spurious_retransmissions(&stats, SimDuration::from_millis(100)), 1);
+        assert_eq!(
+            spurious_retransmissions(&stats, SimDuration::from_millis(100)),
+            1
+        );
     }
 
     #[test]
     fn counts_retransmission_triggered_rounds_from_cc_log() {
         let stats = stats_with(vec![
-            rec(1, TransportEvent::Cc { detail: "round 5 started by a RETRANSMITTED sample".into() }),
-            rec(2, TransportEvent::Cc { detail: "round 6 start".into() }),
+            rec(
+                1,
+                TransportEvent::Cc {
+                    detail: "round 5 started by a RETRANSMITTED sample".into(),
+                },
+            ),
+            rec(
+                2,
+                TransportEvent::Cc {
+                    detail: "round 6 start".into(),
+                },
+            ),
         ]);
         assert_eq!(retransmission_triggered_rounds(&stats), 1);
     }
@@ -173,7 +246,12 @@ mod tests {
     #[test]
     fn one_line_summary_contains_key_counters() {
         let stats = RunStats {
-            flow: FlowSummary { delivered_packets: 1000, retransmissions: 5, rto_count: 2, ..Default::default() },
+            flow: FlowSummary {
+                delivered_packets: 1000,
+                retransmissions: 5,
+                rto_count: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let line = one_line_summary(&stats, 5.0, 1448);

@@ -1,0 +1,91 @@
+//! Deterministic plain-text tables.
+//!
+//! Used by the corpus report and replay tooling, which need byte-identical
+//! output across runs: columns are padded to the widest cell, floats must be
+//! pre-formatted by the caller with a fixed precision, and row order is
+//! whatever the caller passes.
+
+/// Renders a left-aligned text table with a header row and a separator.
+///
+/// Returns the empty string when there are no rows, so callers can append
+/// unconditionally.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, width) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            out.push_str(cell);
+            if i + 1 < cols {
+                out.push_str(&" ".repeat(width - cell.len() + 2));
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render_row(&header_cells, &mut out);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Formats a fraction (0..=1) as a fixed-width percentage, e.g. `42.50%`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats bits per second as fixed-precision Mbps, e.g. `11.834 Mbps`.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.3} Mbps", bps / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_deterministic() {
+        let rows = vec![
+            vec!["reno".to_string(), "0.812345".to_string()],
+            vec!["cubic-ns3-buggy".to_string(), "0.900000".to_string()],
+        ];
+        let a = text_table(&["cca", "score"], &rows);
+        let b = text_table(&["cca", "score"], &rows);
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("cca"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Score column starts at the same offset in every row.
+        let col = lines[2].find("0.812345").unwrap();
+        assert_eq!(lines[3].find("0.900000").unwrap(), col);
+        assert_eq!(lines[0].find("score").unwrap(), col);
+    }
+
+    #[test]
+    fn empty_tables_render_empty() {
+        assert_eq!(text_table(&["a"], &[]), "");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(percent(0.425), "42.50%");
+        assert_eq!(mbps(11_834_000.0), "11.834 Mbps");
+    }
+}

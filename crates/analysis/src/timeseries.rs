@@ -79,8 +79,8 @@ pub fn mean_of_lowest_fraction(values: &[f64], fraction: f64) -> f64 {
     }
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let k = ((sorted.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
-        .clamp(1, sorted.len());
+    let k =
+        ((sorted.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize).clamp(1, sorted.len());
     sorted[..k].iter().sum::<f64>() / k as f64
 }
 

@@ -18,8 +18,12 @@ fn ga_generation(c: &mut Criterion) {
             ga.population_per_island = 4;
             ga.generations = 1;
             ga.seed = 9;
-            let campaign =
-                Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, SimDuration::from_secs(2), ga);
+            let campaign = Campaign::paper_standard(
+                FuzzMode::Traffic,
+                CcaKind::Reno,
+                SimDuration::from_secs(2),
+                ga,
+            );
             let result = campaign.run_traffic();
             std::hint::black_box(result.total_evaluations)
         });

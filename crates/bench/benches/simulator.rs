@@ -31,13 +31,17 @@ fn cross_traffic_simulation(c: &mut Criterion) {
     group.sample_size(10);
     let duration = SimDuration::from_secs(5);
     // ~2000 cross packets spread over the run.
-    let injections: Vec<SimTime> = (0..2_000).map(|i| SimTime::from_micros(i * 2_500)).collect();
+    let injections: Vec<SimTime> = (0..2_000)
+        .map(|i| SimTime::from_micros(i * 2_500))
+        .collect();
     for cca in [CcaKind::Reno, CcaKind::Bbr] {
         group.bench_with_input(BenchmarkId::from_parameter(cca.name()), &cca, |b, &cca| {
             b.iter(|| {
                 let mut cfg = paper_sim_base(duration);
                 cfg.record_events = false;
-                cfg.link = LinkModel::FixedRate { rate_bps: 12_000_000 };
+                cfg.link = LinkModel::FixedRate {
+                    rate_bps: 12_000_000,
+                };
                 cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
                 let result = run_simulation(cfg, cca.build(10));
                 std::hint::black_box(result.stats.flow.delivered_packets)

@@ -15,7 +15,13 @@ fn dist_packets_bench(c: &mut Criterion) {
             let params = DistPacketsParams::default();
             let mut rng = SimRng::new(1);
             b.iter(|| {
-                let ts = dist_packets(n, SimTime::ZERO, SimTime::from_millis(5_000), &params, &mut rng);
+                let ts = dist_packets(
+                    n,
+                    SimTime::ZERO,
+                    SimTime::from_millis(5_000),
+                    &params,
+                    &mut rng,
+                );
                 std::hint::black_box(ts.len())
             });
         });
@@ -36,7 +42,12 @@ fn genome_operators(c: &mut Criterion) {
     });
     c.bench_function("link_annealing_5000pkts", |b| {
         let mut rng = SimRng::new(4);
-        b.iter(|| std::hint::black_box(link.anneal(3, SimDuration::from_micros(200), &mut rng).packet_count()));
+        b.iter(|| {
+            std::hint::black_box(
+                link.anneal(3, SimDuration::from_micros(200), &mut rng)
+                    .packet_count(),
+            )
+        });
     });
     c.bench_function("traffic_mutation_5000pkts", |b| {
         let mut rng = SimRng::new(5);
@@ -44,7 +55,14 @@ fn genome_operators(c: &mut Criterion) {
     });
     c.bench_function("traffic_crossover_5000pkts", |b| {
         let mut rng = SimRng::new(6);
-        b.iter(|| std::hint::black_box(traffic_a.crossover(&traffic_b, &mut rng).unwrap().packet_count()));
+        b.iter(|| {
+            std::hint::black_box(
+                traffic_a
+                    .crossover(&traffic_b, &mut rng)
+                    .unwrap()
+                    .packet_count(),
+            )
+        });
     });
 }
 

@@ -3,7 +3,9 @@
 //! the (fixed 12 Mbps) link rate over time.
 
 use ccfuzz_analysis::figures::{constant_rate_capacity, rate_curves};
-use ccfuzz_analysis::report::{one_line_summary, retransmission_triggered_rounds, spurious_retransmissions};
+use ccfuzz_analysis::report::{
+    one_line_summary, retransmission_triggered_rounds, spurious_retransmissions,
+};
 use ccfuzz_bench::{print_figure, print_table, Scale};
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{Campaign, FuzzMode, PAPER_LINK_RATE_BPS};
@@ -17,7 +19,9 @@ fn main() {
 
     eprintln!("running traffic fuzzing vs BBR ({:?} scale)...", scale);
     let result = campaign.run_traffic();
-    let replay = campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let replay = campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
 
     let window = SimDuration::from_millis(250);
     let capacity = constant_rate_capacity(PAPER_LINK_RATE_BPS, window, duration);
@@ -35,10 +39,22 @@ fn main() {
     print_table(
         "Replay of the best trace against default BBR",
         &[
-            ("summary", one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss)),
-            ("cross-traffic packets", result.best_genome.timestamps.len().to_string()),
+            (
+                "summary",
+                one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
+            (
+                "cross-traffic packets",
+                result.best_genome.timestamps.len().to_string(),
+            ),
             ("fitness score", format!("{:.3}", result.best_outcome.score)),
-            ("goodput", format!("{:.2} Mbps (link is 12 Mbps)", result.best_outcome.goodput_bps / 1e6)),
+            (
+                "goodput",
+                format!(
+                    "{:.2} Mbps (link is 12 Mbps)",
+                    result.best_outcome.goodput_bps / 1e6
+                ),
+            ),
             (
                 "spurious retransmissions",
                 spurious_retransmissions(&replay.stats, SimDuration::from_millis(100)).to_string(),

@@ -3,7 +3,9 @@
 //! rate over time. Link fuzzing with trace annealing enabled (§3.2).
 
 use ccfuzz_analysis::figures::{rate_curves, trace_capacity};
-use ccfuzz_analysis::report::{one_line_summary, retransmission_triggered_rounds, spurious_retransmissions};
+use ccfuzz_analysis::report::{
+    one_line_summary, retransmission_triggered_rounds, spurious_retransmissions,
+};
 use ccfuzz_bench::{print_figure, print_table, Scale};
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{Campaign, FuzzMode};
@@ -18,24 +20,45 @@ fn main() {
 
     eprintln!("running link fuzzing vs BBR ({:?} scale)...", scale);
     let result = campaign.run_link();
-    let replay = campaign.evaluator().simulate_link(&result.best_genome, true);
+    let replay = campaign
+        .evaluator()
+        .simulate_link(&result.best_genome, true);
 
     let window = SimDuration::from_millis(250);
     let capacity = trace_capacity(&result.best_genome.timestamps, campaign.sim.mss);
     let curves = rate_curves(&replay.stats, &capacity, window, duration);
     print_figure(
         "Figure 4b: CC-Fuzz link trace that causes BBR to get stuck (Mbps vs seconds)",
-        &[&curves.ingress_mbps, &curves.egress_mbps, &curves.link_rate_mbps],
+        &[
+            &curves.ingress_mbps,
+            &curves.egress_mbps,
+            &curves.link_rate_mbps,
+        ],
     );
 
     print_table(
         "Replay of the best link trace against default BBR",
         &[
-            ("summary", one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss)),
-            ("service opportunities", result.best_genome.timestamps.len().to_string()),
-            ("average link rate", format!("{:.2} Mbps", result.best_genome.average_rate_bps(campaign.sim.mss) / 1e6)),
+            (
+                "summary",
+                one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
+            (
+                "service opportunities",
+                result.best_genome.timestamps.len().to_string(),
+            ),
+            (
+                "average link rate",
+                format!(
+                    "{:.2} Mbps",
+                    result.best_genome.average_rate_bps(campaign.sim.mss) / 1e6
+                ),
+            ),
             ("fitness score", format!("{:.3}", result.best_outcome.score)),
-            ("goodput", format!("{:.2} Mbps", result.best_outcome.goodput_bps / 1e6)),
+            (
+                "goodput",
+                format!("{:.2} Mbps", result.best_outcome.goodput_bps / 1e6),
+            ),
             (
                 "spurious retransmissions",
                 spurious_retransmissions(&replay.stats, SimDuration::from_millis(100)).to_string(),

@@ -7,7 +7,9 @@
 //! the transport-level timeline around the RTO plus the BBR-internal events
 //! (premature round ends triggered by retransmitted samples).
 
-use ccfuzz_analysis::report::{retransmission_triggered_rounds, rto_timeline, spurious_retransmissions};
+use ccfuzz_analysis::report::{
+    retransmission_triggered_rounds, rto_timeline, spurious_retransmissions,
+};
 use ccfuzz_bench::print_table;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{paper_sim_base, PAPER_LINK_RATE_BPS};
@@ -50,7 +52,11 @@ fn adversarial_traffic(duration: SimDuration) -> TrafficGenome {
     // §4.1 interaction that breaks BBR's probe-round clocking.
     pulse(2_000, 2_300);
     let max = ts.len() * 2;
-    TrafficGenome { timestamps: ts, duration, max_packets: max }
+    TrafficGenome {
+        timestamps: ts,
+        duration,
+        max_packets: max,
+    }
 }
 
 fn main() {
@@ -59,19 +65,33 @@ fn main() {
     let base = paper_sim_base(duration);
     let scoring = ScoringConfig::low_throughput_default(PAPER_LINK_RATE_BPS as f64);
 
-    println!("Figure 4c: timeline of the BBR probe-clocking bug (hand-crafted trace, {} cross packets)",
-        genome.timestamps.len());
+    println!(
+        "Figure 4c: timeline of the BBR probe-clocking bug (hand-crafted trace, {} cross packets)",
+        genome.timestamps.len()
+    );
 
-    for (label, cca) in [("default BBR", CcaKind::Bbr), ("BBR + ProbeRTT-on-RTO", CcaKind::BbrProbeRttOnRto)] {
+    for (label, cca) in [
+        ("default BBR", CcaKind::Bbr),
+        ("BBR + ProbeRTT-on-RTO", CcaKind::BbrProbeRttOnRto),
+    ] {
         let evaluator = SimEvaluator::new(base.clone(), cca, scoring, PAPER_LINK_RATE_BPS);
         let run = evaluator.simulate_traffic(&genome, true);
         print_table(
             &format!("{label}: outcome"),
             &[
-                ("delivered packets", run.stats.flow.delivered_packets.to_string()),
-                ("goodput", format!("{:.2} Mbps", run.average_goodput_bps(base.mss) / 1e6)),
+                (
+                    "delivered packets",
+                    run.stats.flow.delivered_packets.to_string(),
+                ),
+                (
+                    "goodput",
+                    format!("{:.2} Mbps", run.average_goodput_bps(base.mss) / 1e6),
+                ),
                 ("RTOs", run.stats.flow.rto_count.to_string()),
-                ("retransmissions", run.stats.flow.retransmissions.to_string()),
+                (
+                    "retransmissions",
+                    run.stats.flow.retransmissions.to_string(),
+                ),
                 (
                     "spurious retransmissions",
                     spurious_retransmissions(&run.stats, SimDuration::from_millis(100)).to_string(),
@@ -84,7 +104,10 @@ fn main() {
         );
         if cca == CcaKind::Bbr {
             println!("\n--- transport + BBR timeline around each RTO (default BBR) ---");
-            print!("{}", rto_timeline(&run.stats, SimDuration::from_millis(500), 120));
+            print!(
+                "{}",
+                rto_timeline(&run.stats, SimDuration::from_millis(500), 120)
+            );
         }
     }
 

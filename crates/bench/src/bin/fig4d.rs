@@ -38,7 +38,11 @@ fn main() {
             format!(
                 "final top-{} mean delivered = {:.0} packets, best-trace goodput = {:.2} Mbps",
                 campaign.ga.report_top_k,
-                result.history.last().map(|h| h.top_k_mean_delivered).unwrap_or(0.0),
+                result
+                    .history
+                    .last()
+                    .map(|h| h.top_k_mean_delivered)
+                    .unwrap_or(0.0),
                 result.best_outcome.goodput_bps / 1e6
             ),
         ));

@@ -18,9 +18,14 @@ fn main() {
     let ga = scale.ga(31, 18, 40);
     let campaign = Campaign::paper_high_delay(FuzzMode::Traffic, CcaKind::Bbr, duration, ga);
 
-    eprintln!("running traffic fuzzing vs BBR with the p10-delay objective ({:?} scale)...", scale);
+    eprintln!(
+        "running traffic fuzzing vs BBR with the p10-delay objective ({:?} scale)...",
+        scale
+    );
     let result = campaign.run_traffic();
-    let replay = campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let replay = campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
 
     let (bbr_delay, cross_delay) = queuing_delay_series(&replay.stats);
     print_figure(
@@ -37,11 +42,26 @@ fn main() {
     print_table(
         "Best high-delay trace",
         &[
-            ("summary", one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss)),
-            ("cross-traffic packets", result.best_genome.timestamps.len().to_string()),
-            ("p10 queuing delay", format!("{:.1} ms", percentile(&delays_ms, 10.0))),
-            ("median queuing delay", format!("{:.1} ms", percentile(&delays_ms, 50.0))),
-            ("p90 queuing delay", format!("{:.1} ms", percentile(&delays_ms, 90.0))),
+            (
+                "summary",
+                one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
+            (
+                "cross-traffic packets",
+                result.best_genome.timestamps.len().to_string(),
+            ),
+            (
+                "p10 queuing delay",
+                format!("{:.1} ms", percentile(&delays_ms, 10.0)),
+            ),
+            (
+                "median queuing delay",
+                format!("{:.1} ms", percentile(&delays_ms, 50.0)),
+            ),
+            (
+                "p90 queuing delay",
+                format!("{:.1} ms", percentile(&delays_ms, 90.0)),
+            ),
             ("max queuing delay", format!("{:.1} ms", bbr_delay.max_y())),
             ("total simulations", result.total_evaluations.to_string()),
         ],

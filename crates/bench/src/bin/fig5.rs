@@ -18,7 +18,10 @@ fn main() {
     let base = paper_sim_base(duration);
     let total = packets_for_rate(12_000_000, base.mss, duration);
     // Figure 5 uses traces generated *without* the local rate constraints.
-    let params = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+    let params = DistPacketsParams {
+        enforce_rate_bounds: false,
+        ..Default::default()
+    };
     let n_traces = match scale {
         ccfuzz_bench::Scale::Quick => 12,
         ccfuzz_bench::Scale::Paper => 40,
@@ -30,10 +33,23 @@ fn main() {
     let mut invalid: Vec<FigureSeries> = Vec::new();
     let mut rows = Vec::new();
 
-    eprintln!("scoring {n_traces} unconstrained traces across {} CCAs...", scorer.ccas.len());
+    eprintln!(
+        "scoring {n_traces} unconstrained traces across {} CCAs...",
+        scorer.ccas.len()
+    );
     for i in 0..n_traces {
-        let timestamps = dist_packets(total, SimTime::ZERO, SimTime::ZERO + duration, &params, &mut rng);
-        let genome = LinkGenome { timestamps, duration, k_agg: SimDuration::from_millis(50) };
+        let timestamps = dist_packets(
+            total,
+            SimTime::ZERO,
+            SimTime::ZERO + duration,
+            &params,
+            &mut rng,
+        );
+        let genome = LinkGenome {
+            timestamps,
+            duration,
+            k_agg: SimDuration::from_millis(50),
+        };
         let outcome = scorer.score_link(&genome);
         let mut curve = cumulative_packet_curve(&genome.timestamps, 80, duration);
         curve.name = format!("trace {i} ({:.2})", outcome.score);
@@ -46,9 +62,15 @@ fn main() {
     }
 
     let refs: Vec<&FigureSeries> = valid.iter().collect();
-    print_figure("Figure 5a: traces ACCEPTED by realism scoring (cumulative packets vs ms)", &refs);
+    print_figure(
+        "Figure 5a: traces ACCEPTED by realism scoring (cumulative packets vs ms)",
+        &refs,
+    );
     let refs: Vec<&FigureSeries> = invalid.iter().collect();
-    print_figure("Figure 5b: traces REJECTED by realism scoring (cumulative packets vs ms)", &refs);
+    print_figure(
+        "Figure 5b: traces REJECTED by realism scoring (cumulative packets vs ms)",
+        &refs,
+    );
 
     let table: Vec<(&str, String)> = vec![
         ("traces scored", n_traces.to_string()),

@@ -16,36 +16,56 @@ fn main() {
     let scale = Scale::from_args();
     let duration = SimDuration::from_secs(5);
     let ga = scale.ga(23, 18, 40);
-    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::CubicNs3Buggy, duration, ga);
+    let campaign =
+        Campaign::paper_standard(FuzzMode::Traffic, CcaKind::CubicNs3Buggy, duration, ga);
 
-    eprintln!("running traffic fuzzing vs the NS3-buggy CUBIC ({:?} scale)...", scale);
+    eprintln!(
+        "running traffic fuzzing vs the NS3-buggy CUBIC ({:?} scale)...",
+        scale
+    );
     let result = campaign.run_traffic();
 
     // Replay the same trace against buggy and fixed CUBIC.
-    let buggy_run = campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let buggy_run = campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
     let mut fixed_campaign = campaign.clone();
     fixed_campaign.cca = CcaKind::Cubic;
-    let fixed_run = fixed_campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let fixed_run = fixed_campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
 
     print_table(
         "Best adversarial trace",
         &[
-            ("cross-traffic packets", result.best_genome.timestamps.len().to_string()),
+            (
+                "cross-traffic packets",
+                result.best_genome.timestamps.len().to_string(),
+            ),
             ("fitness score", format!("{:.3}", result.best_outcome.score)),
         ],
     );
     print_table(
         "CUBIC with the NS3 slow-start bug",
         &[
-            ("summary", one_line_summary(&buggy_run.stats, duration.as_secs_f64(), campaign.sim.mss)),
-            ("queue drops (self-inflicted bursts)", buggy_run.stats.flow.queue_drops.to_string()),
+            (
+                "summary",
+                one_line_summary(&buggy_run.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
+            (
+                "queue drops (self-inflicted bursts)",
+                buggy_run.stats.flow.queue_drops.to_string(),
+            ),
             ("RTOs", buggy_run.stats.flow.rto_count.to_string()),
         ],
     );
     print_table(
         "CUBIC with the Linux-correct slow-start cap",
         &[
-            ("summary", one_line_summary(&fixed_run.stats, duration.as_secs_f64(), campaign.sim.mss)),
+            (
+                "summary",
+                one_line_summary(&fixed_run.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
             ("queue drops", fixed_run.stats.flow.queue_drops.to_string()),
             ("RTOs", fixed_run.stats.flow.rto_count.to_string()),
         ],

@@ -18,14 +18,21 @@ fn main() {
 
     eprintln!("running traffic fuzzing vs Reno ({:?} scale)...", scale);
     let result = campaign.run_traffic();
-    let replay = campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let replay = campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
 
     let window = SimDuration::from_millis(250);
     let capacity = constant_rate_capacity(PAPER_LINK_RATE_BPS, window, duration);
     let curves = rate_curves(&replay.stats, &capacity, window, duration);
     print_figure(
         "Reno low-rate-attack-like trace: rates over time (Mbps vs seconds)",
-        &[&curves.ingress_mbps, &curves.egress_mbps, &curves.traffic_mbps, &curves.link_rate_mbps],
+        &[
+            &curves.ingress_mbps,
+            &curves.egress_mbps,
+            &curves.traffic_mbps,
+            &curves.link_rate_mbps,
+        ],
     );
 
     let rto_backoffs: Vec<u32> = replay
@@ -40,11 +47,26 @@ fn main() {
     print_table(
         "Best trace vs Reno",
         &[
-            ("summary", one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss)),
-            ("cross-traffic packets", result.best_genome.timestamps.len().to_string()),
-            ("goodput", format!("{:.2} Mbps (link is 12 Mbps)", result.best_outcome.goodput_bps / 1e6)),
+            (
+                "summary",
+                one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss),
+            ),
+            (
+                "cross-traffic packets",
+                result.best_genome.timestamps.len().to_string(),
+            ),
+            (
+                "goodput",
+                format!(
+                    "{:.2} Mbps (link is 12 Mbps)",
+                    result.best_outcome.goodput_bps / 1e6
+                ),
+            ),
             ("RTO count", rto_backoffs.len().to_string()),
-            ("max RTO backoff exponent", rto_backoffs.iter().max().copied().unwrap_or(0).to_string()),
+            (
+                "max RTO backoff exponent",
+                rto_backoffs.iter().max().copied().unwrap_or(0).to_string(),
+            ),
             ("fitness score", format!("{:.3}", result.best_outcome.score)),
         ],
     );

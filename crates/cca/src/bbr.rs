@@ -235,7 +235,10 @@ impl Bbr {
         if rs.is_app_limited && bw < self.bottleneck_bw_bps() {
             return;
         }
-        self.bw_samples.push(BwSample { round: self.round_count, bw_bps: bw });
+        self.bw_samples.push(BwSample {
+            round: self.round_count,
+            bw_bps: bw,
+        });
         // Prune samples that have left the filter window, keeping memory bounded.
         let cutoff = self.round_count.saturating_sub(BW_WINDOW_ROUNDS);
         self.bw_samples.retain(|s| s.round >= cutoff);
@@ -380,7 +383,9 @@ impl Bbr {
 
     fn update_cwnd(&mut self, ctx: &CcContext, rs: &RateSample) {
         // End packet conservation one full round after recovery began.
-        if self.packet_conservation && self.round_start && self.round_count >= self.conservation_ends_round
+        if self.packet_conservation
+            && self.round_start
+            && self.round_count >= self.conservation_ends_round
         {
             self.packet_conservation = false;
             self.cwnd = self.cwnd.max(self.prior_cwnd);
@@ -446,7 +451,10 @@ impl CongestionControl for Bbr {
                     self.packet_conservation = true;
                     self.conservation_ends_round = self.round_count + 1;
                     self.cwnd = (ctx.in_flight + 1).max(MIN_CWND);
-                    self.log(format!("fast-retransmit loss at {}: packet conservation", ctx.now));
+                    self.log(format!(
+                        "fast-retransmit loss at {}: packet conservation",
+                        ctx.now
+                    ));
                 }
             }
             CongestionSignal::Rto => {
@@ -563,7 +571,10 @@ mod tests {
         let mut delivered = 0u64;
         for (i, bw) in [5e6, 8e6, 6e6].iter().enumerate() {
             delivered += 10;
-            bbr.on_ack(&ctx(40 * (i as u64 + 1), 10, delivered), &sample(delivered - 10, delivered, *bw, 40, 10));
+            bbr.on_ack(
+                &ctx(40 * (i as u64 + 1), 10, delivered),
+                &sample(delivered - 10, delivered, *bw, 40, 10),
+            );
         }
         assert!((bbr.bottleneck_bw_bps() - 8e6).abs() < 1.0);
     }
@@ -616,15 +627,24 @@ mod tests {
         for _ in 0..8 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(now, 30, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(now, 30, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
             now += 40;
         }
-        assert!(bbr.state() == BbrState::Drain || bbr.state() == BbrState::ProbeBw,
-            "state after flat bandwidth: {:?}", bbr.state());
+        assert!(
+            bbr.state() == BbrState::Drain || bbr.state() == BbrState::ProbeBw,
+            "state after flat bandwidth: {:?}",
+            bbr.state()
+        );
         // Once in-flight drops to the BDP, Drain ends.
         let prior = delivered;
         delivered += 1;
-        bbr.on_ack(&ctx(now, 1, delivered), &sample(prior, delivered, 12e6, 40, 1));
+        bbr.on_ack(
+            &ctx(now, 1, delivered),
+            &sample(prior, delivered, 12e6, 40, 1),
+        );
         assert_eq!(bbr.state(), BbrState::ProbeBw);
         // cwnd should be near cwnd_gain * BDP (BDP ≈ 41 packets at 12Mbps/40ms).
         let bdp = bbr.bdp_packets(1448);
@@ -639,7 +659,10 @@ mod tests {
         for _ in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(now, 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(now, 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
             now += 40;
         }
         assert_eq!(bbr.state(), BbrState::ProbeBw);
@@ -647,41 +670,71 @@ mod tests {
         for _ in 0..40 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(now, 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(now, 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
             seen_gains.insert((bbr.pacing_gain * 100.0) as u64);
             now += 50;
         }
-        assert!(seen_gains.contains(&125), "probing gain seen: {seen_gains:?}");
-        assert!(seen_gains.contains(&75), "draining gain seen: {seen_gains:?}");
-        assert!(seen_gains.contains(&100), "cruise gain seen: {seen_gains:?}");
+        assert!(
+            seen_gains.contains(&125),
+            "probing gain seen: {seen_gains:?}"
+        );
+        assert!(
+            seen_gains.contains(&75),
+            "draining gain seen: {seen_gains:?}"
+        );
+        assert!(
+            seen_gains.contains(&100),
+            "cruise gain seen: {seen_gains:?}"
+        );
     }
 
     #[test]
     fn stale_min_rtt_triggers_probe_rtt_and_exit_restores() {
-        let mut cfg = BbrConfig::default();
-        cfg.min_rtt_window = SimDuration::from_millis(500);
+        let cfg = BbrConfig {
+            min_rtt_window: SimDuration::from_millis(500),
+            ..BbrConfig::default()
+        };
         let mut bbr = Bbr::new(cfg);
         let mut delivered = 0u64;
         // Establish the model.
         for i in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(40 * (i + 1), 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
         }
         // Jump time past the min-RTT window.
         let prior = delivered;
         delivered += 5;
-        bbr.on_ack(&ctx(2_000, 20, delivered), &sample(prior, delivered, 12e6, 41, 5));
+        bbr.on_ack(
+            &ctx(2_000, 20, delivered),
+            &sample(prior, delivered, 12e6, 41, 5),
+        );
         assert_eq!(bbr.state(), BbrState::ProbeRtt);
         assert_eq!(bbr.cwnd(), MIN_CWND);
         // Drain in-flight to 4, then 200 ms later ProbeRTT ends.
         let prior = delivered;
         delivered += 2;
-        bbr.on_ack(&ctx(2_050, 3, delivered), &sample(prior, delivered, 12e6, 41, 2));
+        bbr.on_ack(
+            &ctx(2_050, 3, delivered),
+            &sample(prior, delivered, 12e6, 41, 2),
+        );
         let prior = delivered;
         delivered += 2;
-        bbr.on_ack(&ctx(2_300, 3, delivered), &sample(prior, delivered, 12e6, 41, 2));
-        assert_ne!(bbr.state(), BbrState::ProbeRtt, "ProbeRTT should have ended");
+        bbr.on_ack(
+            &ctx(2_300, 3, delivered),
+            &sample(prior, delivered, 12e6, 41, 2),
+        );
+        assert_ne!(
+            bbr.state(),
+            BbrState::ProbeRtt,
+            "ProbeRTT should have ended"
+        );
         assert!(bbr.cwnd() > MIN_CWND, "cwnd restored after ProbeRTT");
     }
 
@@ -692,22 +745,39 @@ mod tests {
         for i in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(40 * (i + 1), 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
         }
         let cwnd_before = bbr.cwnd();
         bbr.on_congestion(&ctx(500, 0, delivered), CongestionSignal::Rto);
-        assert_eq!(bbr.state(), BbrState::ProbeBw, "default BBR does not change state on RTO");
-        assert_eq!(bbr.cwnd(), cwnd_before, "default BBR ignores the RTO for its window");
+        assert_eq!(
+            bbr.state(),
+            BbrState::ProbeBw,
+            "default BBR does not change state on RTO"
+        );
+        assert_eq!(
+            bbr.cwnd(),
+            cwnd_before,
+            "default BBR ignores the RTO for its window"
+        );
     }
 
     #[test]
     fn rto_with_mitigation_enters_probe_rtt() {
-        let mut bbr = Bbr::new(BbrConfig { probe_rtt_on_rto: true, ..Default::default() });
+        let mut bbr = Bbr::new(BbrConfig {
+            probe_rtt_on_rto: true,
+            ..Default::default()
+        });
         let mut delivered = 0u64;
         for i in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(40 * (i + 1), 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
         }
         bbr.on_congestion(&ctx(500, 0, delivered), CongestionSignal::Rto);
         assert_eq!(bbr.state(), BbrState::ProbeRtt);
@@ -722,14 +792,23 @@ mod tests {
         for i in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(40 * (i + 1), 40, delivered), &sample(prior, delivered, 12e6, 40, 20));
+            bbr.on_ack(
+                &ctx(40 * (i + 1), 40, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
         }
         let before = bbr.cwnd();
         bbr.on_congestion(
             &ctx(500, 10, delivered),
-            CongestionSignal::FastRetransmitLoss { newly_lost: 3, new_episode: true },
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 3,
+                new_episode: true,
+            },
         );
-        assert!(bbr.cwnd() <= before, "conservation shrinks the window to ~in_flight");
+        assert!(
+            bbr.cwnd() <= before,
+            "conservation shrinks the window to ~in_flight"
+        );
         bbr.on_exit_recovery(&ctx(600, 10, delivered));
         assert_eq!(bbr.cwnd(), before, "window restored after recovery");
     }
@@ -752,15 +831,20 @@ mod tests {
             rs.is_retransmitted_sample = true;
             bbr.on_ack(&ctx(1_000 + i * 10, 5, delivered), &rs);
         }
-        assert!(bbr.round_count() >= rounds_before + 12, "every sample ends a round");
+        assert!(
+            bbr.round_count() >= rounds_before + 12,
+            "every sample ends a round"
+        );
         assert!(
             bbr.bottleneck_bw_bps() < 1e6,
             "bandwidth estimate collapsed to {} bps",
             bbr.bottleneck_bw_bps()
         );
         let events = bbr.take_events();
-        assert!(events.iter().any(|e| e.contains("RETRANSMITTED")),
-            "event log should flag retransmitted-sample rounds");
+        assert!(
+            events.iter().any(|e| e.contains("RETRANSMITTED")),
+            "event log should flag retransmitted-sample rounds"
+        );
     }
 
     #[test]
@@ -770,7 +854,10 @@ mod tests {
         for i in 0..10 {
             let prior = delivered;
             delivered += 20;
-            bbr.on_ack(&ctx(40 * (i + 1), 20, delivered), &sample(prior, delivered, 10e6, 40, 20));
+            bbr.on_ack(
+                &ctx(40 * (i + 1), 20, delivered),
+                &sample(prior, delivered, 10e6, 40, 20),
+            );
         }
         let rate = bbr.pacing_rate_bps().unwrap();
         let bw = bbr.bottleneck_bw_bps();

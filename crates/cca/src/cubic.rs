@@ -105,9 +105,7 @@ impl Cubic {
     }
 
     fn clamp(&mut self) {
-        self.cwnd = self
-            .cwnd
-            .clamp(1.0, self.cfg.max_cwnd as f64);
+        self.cwnd = self.cwnd.clamp(1.0, self.cfg.max_cwnd as f64);
     }
 
     fn reset_epoch(&mut self, now: SimTime) {
@@ -128,11 +126,7 @@ impl Cubic {
         }
         let epoch_start = self.epoch_start.expect("epoch initialised");
         let t = now.saturating_since(epoch_start).as_secs_f64();
-        let rtt = ctx
-            .srtt
-            .map(|d| d.as_secs_f64())
-            .unwrap_or(0.1)
-            .max(1e-6);
+        let rtt = ctx.srtt.map(|d| d.as_secs_f64()).unwrap_or(0.1).max(1e-6);
 
         // Cubic target window one RTT into the future.
         let w_cubic = self.cfg.c * (t + rtt - self.k).powi(3) + self.w_max;
@@ -291,8 +285,17 @@ mod tests {
 
     #[test]
     fn loss_reduces_window_by_beta() {
-        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
-        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let mut c = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            ..Default::default()
+        });
+        c.on_congestion(
+            &ctx(0, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         assert_eq!(c.cwnd(), 70);
         assert_eq!(c.ssthresh(), 70);
         assert!(!c.in_slow_start());
@@ -300,7 +303,10 @@ mod tests {
 
     #[test]
     fn rto_collapses_to_one() {
-        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        let mut c = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            ..Default::default()
+        });
         c.on_congestion(&ctx(0, false), CongestionSignal::Rto);
         assert_eq!(c.cwnd(), 1);
         assert!(c.in_slow_start());
@@ -308,9 +314,18 @@ mod tests {
 
     #[test]
     fn concave_growth_approaches_w_max() {
-        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
+        let mut c = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            ..Default::default()
+        });
         // Reduce from 100: w_max = 100 (no fast convergence effect on first loss), cwnd = 70.
-        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        c.on_congestion(
+            &ctx(0, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         let after_loss = c.cwnd();
         // Feed ACKs over simulated time; the window should grow back toward
         // w_max but not wildly overshoot it quickly.
@@ -329,8 +344,17 @@ mod tests {
 
     #[test]
     fn cubic_is_slower_than_slow_start_right_after_loss() {
-        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
-        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let mut c = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            ..Default::default()
+        });
+        c.on_congestion(
+            &ctx(0, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         let w0 = c.cwnd();
         c.on_ack(&ctx(40, false), &sample(10, 10));
         // In the concave region just after a loss, 10 acked packets must grow
@@ -382,11 +406,26 @@ mod tests {
 
     #[test]
     fn fast_convergence_lowers_w_max_on_consecutive_losses() {
-        let mut c = Cubic::new(CubicConfig { initial_cwnd: 100, ..Default::default() });
-        c.on_congestion(&ctx(0, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let mut c = Cubic::new(CubicConfig {
+            initial_cwnd: 100,
+            ..Default::default()
+        });
+        c.on_congestion(
+            &ctx(0, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         let w_max_first = c.w_max;
         // Second loss at a smaller window.
-        c.on_congestion(&ctx(100, false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        c.on_congestion(
+            &ctx(100, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         assert!(c.w_max < w_max_first, "fast convergence reduces W_max");
     }
 
@@ -394,7 +433,11 @@ mod tests {
     fn names_reflect_variant() {
         assert_eq!(Cubic::new(CubicConfig::default()).name(), "cubic");
         assert_eq!(
-            Cubic::new(CubicConfig { slow_start: SlowStartBehaviour::Ns3Uncapped, ..Default::default() }).name(),
+            Cubic::new(CubicConfig {
+                slow_start: SlowStartBehaviour::Ns3Uncapped,
+                ..Default::default()
+            })
+            .name(),
             "cubic-ns3-buggy"
         );
     }

@@ -84,7 +84,10 @@ impl CcaKind {
     /// `initial_cwnd` packets.
     pub fn build(&self, initial_cwnd: u64) -> Box<dyn CongestionControl> {
         match self {
-            CcaKind::Reno => Box::new(Reno::new(RenoConfig { initial_cwnd, ..RenoConfig::default() })),
+            CcaKind::Reno => Box::new(Reno::new(RenoConfig {
+                initial_cwnd,
+                ..RenoConfig::default()
+            })),
             CcaKind::Cubic => Box::new(Cubic::new(CubicConfig {
                 initial_cwnd,
                 slow_start: SlowStartBehaviour::CappedAtSsthresh,
@@ -105,7 +108,10 @@ impl CcaKind {
                 probe_rtt_on_rto: true,
                 ..BbrConfig::default()
             })),
-            CcaKind::Vegas => Box::new(Vegas::new(VegasConfig { initial_cwnd, ..VegasConfig::default() })),
+            CcaKind::Vegas => Box::new(Vegas::new(VegasConfig {
+                initial_cwnd,
+                ..VegasConfig::default()
+            })),
         }
     }
 }

@@ -168,7 +168,13 @@ mod tests {
     fn congestion_avoidance_is_one_packet_per_window() {
         let mut r = Reno::new(RenoConfig::default());
         // Leave slow start via a loss.
-        r.on_congestion(&ctx(false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        r.on_congestion(
+            &ctx(false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         let w = r.cwnd();
         assert!(!r.in_slow_start());
         // A full window of ACKs grows the window by roughly 1 (harmonic
@@ -186,17 +192,35 @@ mod tests {
 
     #[test]
     fn halves_on_new_loss_episode_only() {
-        let mut r = Reno::new(RenoConfig { initial_cwnd: 40, ..Default::default() });
-        r.on_congestion(&ctx(false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
+        r.on_congestion(
+            &ctx(false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         assert_eq!(r.cwnd(), 20);
         assert_eq!(r.ssthresh(), 20);
-        r.on_congestion(&ctx(false), CongestionSignal::FastRetransmitLoss { newly_lost: 5, new_episode: false });
+        r.on_congestion(
+            &ctx(false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 5,
+                new_episode: false,
+            },
+        );
         assert_eq!(r.cwnd(), 20, "same episode, no further reduction");
     }
 
     #[test]
     fn rto_collapses_to_one() {
-        let mut r = Reno::new(RenoConfig { initial_cwnd: 40, ..Default::default() });
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
         r.on_congestion(&ctx(false), CongestionSignal::Rto);
         assert_eq!(r.cwnd(), 1);
         assert_eq!(r.ssthresh(), 20);
@@ -213,24 +237,41 @@ mod tests {
 
     #[test]
     fn slow_start_does_not_overshoot_ssthresh() {
-        let mut r = Reno::new(RenoConfig { initial_cwnd: 2, ..Default::default() });
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 2,
+            ..Default::default()
+        });
         r.on_congestion(&ctx(false), CongestionSignal::Rto); // ssthresh = 1? no: beta*2 = 1 -> min_cwnd 2
-        // Set a known threshold: halve from 40.
-        let mut r = Reno::new(RenoConfig { initial_cwnd: 40, ..Default::default() });
+                                                             // Set a known threshold: halve from 40.
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
         r.on_congestion(&ctx(false), CongestionSignal::Rto); // ssthresh = 20, cwnd = 1
-        // A huge cumulative ACK in slow start must not blow past ssthresh.
+                                                             // A huge cumulative ACK in slow start must not blow past ssthresh.
         r.on_ack(&ctx(false), &sample(1000));
         assert_eq!(r.cwnd(), 20, "growth capped at ssthresh");
     }
 
     #[test]
     fn respects_min_and_max() {
-        let mut r = Reno::new(RenoConfig { initial_cwnd: 4, min_cwnd: 2, max_cwnd: 6, beta: 0.5 });
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 4,
+            min_cwnd: 2,
+            max_cwnd: 6,
+            beta: 0.5,
+        });
         for _ in 0..10 {
             r.on_ack(&ctx(false), &sample(10));
         }
         assert_eq!(r.cwnd(), 6);
-        r.on_congestion(&ctx(false), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        r.on_congestion(
+            &ctx(false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         r.on_congestion(&ctx(false), CongestionSignal::Rto);
         assert!(r.cwnd() >= 1);
         assert!(r.ssthresh() >= 2);

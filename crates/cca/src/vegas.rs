@@ -216,9 +216,18 @@ mod tests {
 
     #[test]
     fn grows_when_delay_is_low_and_shrinks_when_high() {
-        let mut v = Vegas::new(VegasConfig { initial_cwnd: 20, ..Default::default() });
+        let mut v = Vegas::new(VegasConfig {
+            initial_cwnd: 20,
+            ..Default::default()
+        });
         // Establish base RTT and leave slow start.
-        v.on_congestion(&ctx(), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        v.on_congestion(
+            &ctx(),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         let start = v.cwnd();
         // Low delay (RTT == base): grow by ~1 per RTT.
         for _ in 0..start * 3 {
@@ -236,8 +245,17 @@ mod tests {
 
     #[test]
     fn loss_reduces_window() {
-        let mut v = Vegas::new(VegasConfig { initial_cwnd: 40, ..Default::default() });
-        v.on_congestion(&ctx(), CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true });
+        let mut v = Vegas::new(VegasConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
+        v.on_congestion(
+            &ctx(),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
         assert_eq!(v.cwnd(), 30);
         v.on_congestion(&ctx(), CongestionSignal::Rto);
         assert_eq!(v.cwnd(), 2);
@@ -245,7 +263,10 @@ mod tests {
 
     #[test]
     fn slow_start_exits_on_queue_buildup() {
-        let mut v = Vegas::new(VegasConfig { initial_cwnd: 4, ..Default::default() });
+        let mut v = Vegas::new(VegasConfig {
+            initial_cwnd: 4,
+            ..Default::default()
+        });
         assert!(v.in_slow_start());
         // Establish a low base RTT, then feed many ACKs at a much higher RTT
         // (queue building): Vegas should cap the window well before the max.

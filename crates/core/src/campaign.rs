@@ -59,7 +59,12 @@ pub struct Campaign {
 impl Campaign {
     /// Builds the paper's standard scenario for a given mode, CCA, duration
     /// and GA parameters, with the low-throughput objective.
-    pub fn paper_standard(mode: FuzzMode, cca: CcaKind, duration: SimDuration, ga: GaParams) -> Self {
+    pub fn paper_standard(
+        mode: FuzzMode,
+        cca: CcaKind,
+        duration: SimDuration,
+        ga: GaParams,
+    ) -> Self {
         let sim = paper_sim_base(duration);
         Campaign {
             mode,
@@ -74,7 +79,12 @@ impl Campaign {
     }
 
     /// Same scenario but hunting for high queuing delay (§4.3 / Figure 4e).
-    pub fn paper_high_delay(mode: FuzzMode, cca: CcaKind, duration: SimDuration, ga: GaParams) -> Self {
+    pub fn paper_high_delay(
+        mode: FuzzMode,
+        cca: CcaKind,
+        duration: SimDuration,
+        ga: GaParams,
+    ) -> Self {
         let mut c = Self::paper_standard(mode, cca, duration, ga);
         c.scoring = ScoringConfig::high_delay_default(PAPER_LINK_RATE_BPS as f64);
         c
@@ -87,7 +97,11 @@ impl Campaign {
 
     /// Runs a traffic-fuzzing campaign. Panics if the mode is not [`FuzzMode::Traffic`].
     pub fn run_traffic(&self) -> FuzzResult<TrafficGenome> {
-        assert_eq!(self.mode, FuzzMode::Traffic, "campaign is not in traffic mode");
+        assert_eq!(
+            self.mode,
+            FuzzMode::Traffic,
+            "campaign is not in traffic mode"
+        );
         let evaluator = self.evaluator();
         let duration = self.duration;
         let max_packets = self.traffic_max_packets;
@@ -187,7 +201,12 @@ mod tests {
         ga.islands = 2;
         ga.population_per_island = 3;
         ga.generations = 2;
-        let c = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, SimDuration::from_secs(2), ga);
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            ga,
+        );
         let result = c.run_traffic();
         assert_eq!(result.history.len(), 2);
         assert!(result.total_evaluations >= 6);
@@ -202,10 +221,12 @@ mod tests {
         ga.population_per_island = 3;
         ga.generations = 2;
         ga.anneal = true;
-        let c = Campaign::paper_standard(FuzzMode::Link, CcaKind::Reno, SimDuration::from_secs(2), ga);
+        let c =
+            Campaign::paper_standard(FuzzMode::Link, CcaKind::Reno, SimDuration::from_secs(2), ga);
         let result = c.run_link();
         assert_eq!(result.history.len(), 2);
-        let expected_packets = packets_for_rate(PAPER_LINK_RATE_BPS, c.sim.mss, SimDuration::from_secs(2));
+        let expected_packets =
+            packets_for_rate(PAPER_LINK_RATE_BPS, c.sim.mss, SimDuration::from_secs(2));
         assert_eq!(result.best_genome.packet_count(), expected_packets);
     }
 

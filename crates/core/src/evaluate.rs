@@ -5,7 +5,9 @@
 //! paper identifies as the reason to prefer simulation over emulation.
 
 use crate::genome::{LinkGenome, TrafficGenome};
-use crate::scoring::{performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs};
+use crate::scoring::{
+    performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs,
+};
 use ccfuzz_cca::CcaKind;
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
@@ -38,7 +40,10 @@ pub struct EvalOutcome {
 }
 
 impl EvalOutcome {
-    fn from_result(
+    /// Scores a finished simulation. Public so that replay/corpus tooling can
+    /// derive an outcome from a [`SimResult`] it already has (avoiding a
+    /// second simulation of the same genome).
+    pub fn from_result(
         scoring: &ScoringConfig,
         result: &SimResult,
         mss: u32,
@@ -85,9 +90,19 @@ pub struct SimEvaluator {
 impl SimEvaluator {
     /// Creates an evaluator; `base.record_events` is forced off for speed
     /// (the GA only needs the aggregate statistics).
-    pub fn new(mut base: SimConfig, cca: CcaKind, scoring: ScoringConfig, link_rate_bps: u64) -> Self {
+    pub fn new(
+        mut base: SimConfig,
+        cca: CcaKind,
+        scoring: ScoringConfig,
+        link_rate_bps: u64,
+    ) -> Self {
         base.record_events = false;
-        SimEvaluator { base, cca, scoring, link_rate_bps }
+        SimEvaluator {
+            base,
+            cca,
+            scoring,
+            link_rate_bps,
+        }
     }
 
     /// Runs a full simulation for a traffic genome, returning the raw result
@@ -96,7 +111,9 @@ impl SimEvaluator {
     pub fn simulate_traffic(&self, genome: &TrafficGenome, record_events: bool) -> SimResult {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
-        cfg.link = LinkModel::FixedRate { rate_bps: self.link_rate_bps };
+        cfg.link = LinkModel::FixedRate {
+            rate_bps: self.link_rate_bps,
+        };
         cfg.cross_traffic = genome.to_trace();
         cfg.duration = genome.duration;
         run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
@@ -106,7 +123,9 @@ impl SimEvaluator {
     pub fn simulate_link(&self, genome: &LinkGenome, record_events: bool) -> SimResult {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
-        cfg.link = LinkModel::TraceDriven { trace: genome.to_trace() };
+        cfg.link = LinkModel::TraceDriven {
+            trace: genome.to_trace(),
+        };
         cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration);
         cfg.duration = genome.duration;
         run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
@@ -163,7 +182,10 @@ mod tests {
         // Reno alone on a clean 12 Mbps link: high goodput, low fitness.
         assert!(outcome.goodput_bps > 6e6, "goodput {}", outcome.goodput_bps);
         assert!(outcome.performance_score < 0.5);
-        assert!(outcome.trace_score > 0.9, "empty trace is maximally minimal");
+        assert!(
+            outcome.trace_score > 0.9,
+            "empty trace is maximally minimal"
+        );
         assert!(outcome.delivered_packets > 1_000);
     }
 
@@ -172,7 +194,11 @@ mod tests {
         let eval = evaluator();
         let mut rng = SimRng::new(3);
         let duration = SimDuration::from_secs(3);
-        let empty = TrafficGenome { timestamps: vec![], duration, max_packets: 4_000 };
+        let empty = TrafficGenome {
+            timestamps: vec![],
+            duration,
+            max_packets: 4_000,
+        };
         let heavy = TrafficGenome::generate(4_000, duration, &mut rng);
         let empty_out = eval.evaluate(&empty);
         let heavy_out = eval.evaluate(&heavy);

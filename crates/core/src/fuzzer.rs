@@ -117,7 +117,10 @@ impl GaParams {
 }
 
 fn num_threads_default() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
 }
 
 /// One individual: a genome plus (once evaluated) its outcome.
@@ -177,13 +180,20 @@ pub struct Fuzzer<'a, G: Genome, E: Evaluator<G>> {
 impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
     /// Creates a fuzzer with an initial population drawn from `init`.
     pub fn new(params: GaParams, evaluator: &'a E, mut init: impl FnMut(&mut SimRng) -> G) -> Self {
-        assert!(params.validate().is_ok(), "invalid GaParams: {:?}", params.validate());
+        assert!(
+            params.validate().is_ok(),
+            "invalid GaParams: {:?}",
+            params.validate()
+        );
         let mut rng = SimRng::new(params.seed);
         let islands = (0..params.islands)
             .map(|island| {
                 let mut island_rng = rng.fork(island as u64 + 1);
                 (0..params.population_per_island)
-                    .map(|_| Individual { genome: init(&mut island_rng), outcome: None })
+                    .map(|_| Individual {
+                        genome: init(&mut island_rng),
+                        outcome: None,
+                    })
                     .collect()
             })
             .collect();
@@ -277,14 +287,28 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         let k = self.params.report_top_k.clamp(1, all.len());
         let top_k: Vec<&EvalOutcome> = all[..k].iter().filter_map(|i| i.outcome.as_ref()).collect();
         let mean = |values: &[f64]| {
-            if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 }
+            if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
         };
         GenerationSummary {
             generation,
             best_score: scores.first().copied().unwrap_or(0.0),
             mean_score: mean(&scores),
-            top_k_mean_delivered: mean(&top_k.iter().map(|o| o.delivered_packets as f64).collect::<Vec<_>>()),
-            top_k_mean_sent: mean(&top_k.iter().map(|o| o.sent_packets as f64).collect::<Vec<_>>()),
+            top_k_mean_delivered: mean(
+                &top_k
+                    .iter()
+                    .map(|o| o.delivered_packets as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            top_k_mean_sent: mean(
+                &top_k
+                    .iter()
+                    .map(|o| o.sent_packets as f64)
+                    .collect::<Vec<_>>(),
+            ),
             evaluations: self.evaluations,
         }
     }
@@ -312,7 +336,10 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             let child = pop[a].genome.crossover(&pop[b].genome, &mut rng);
             match child {
                 Some(genome) => {
-                    next.push(Individual { genome, outcome: None });
+                    next.push(Individual {
+                        genome,
+                        outcome: None,
+                    });
                     produced += 1;
                 }
                 None => break, // genome type has no crossover (link mode)
@@ -331,7 +358,10 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                 pop[src].genome.clone()
             };
             let genome = base.mutate(&mut rng);
-            next.push(Individual { genome, outcome: None });
+            next.push(Individual {
+                genome,
+                outcome: None,
+            });
         }
         self.islands[island_idx] = next;
     }
@@ -343,9 +373,10 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         if n_islands < 2 {
             return;
         }
-        let k = ((self.params.population_per_island as f64 * self.params.migration_fraction)
-            .round() as usize)
-            .clamp(1, self.params.population_per_island / 2 + 1);
+        let k =
+            ((self.params.population_per_island as f64 * self.params.migration_fraction).round()
+                as usize)
+                .clamp(1, self.params.population_per_island / 2 + 1);
         for pop in &mut self.islands {
             Self::sort_island(pop);
         }
@@ -379,7 +410,11 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             let mut improved = false;
             for ind in self.islands.iter().flatten() {
                 if let Some(outcome) = ind.outcome {
-                    if best.as_ref().map(|(_, b)| outcome.score > b.score).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|(_, b)| outcome.score > b.score)
+                        .unwrap_or(true)
+                    {
                         best = Some((ind.genome.clone(), outcome));
                         improved = true;
                     }
@@ -460,7 +495,13 @@ mod tests {
     impl Evaluator<ToyGenome> for ToyEvaluator {
         fn evaluate(&self, genome: &ToyGenome) -> EvalOutcome {
             let score: f64 = genome.0.iter().sum();
-            EvalOutcome { score, performance_score: score, delivered_packets: 100, sent_packets: 110, ..Default::default() }
+            EvalOutcome {
+                score,
+                performance_score: score,
+                delivered_packets: 100,
+                sent_packets: 110,
+                ..Default::default()
+            }
         }
     }
 
@@ -529,7 +570,10 @@ mod tests {
         let result = fuzzer.run();
         // Because of elitism, the global best never regresses.
         let best_scores: Vec<f64> = result.history.iter().map(|h| h.best_score).collect();
-        assert!(best_scores.windows(2).all(|w| w[1] >= w[0] - 1e-12), "{best_scores:?}");
+        assert!(
+            best_scores.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "{best_scores:?}"
+        );
     }
 
     #[test]
@@ -554,7 +598,10 @@ mod tests {
         struct ConstantEvaluator;
         impl Evaluator<ToyGenome> for ConstantEvaluator {
             fn evaluate(&self, _genome: &ToyGenome) -> EvalOutcome {
-                EvalOutcome { score: 1.0, ..Default::default() }
+                EvalOutcome {
+                    score: 1.0,
+                    ..Default::default()
+                }
             }
         }
         let mut params = quick_params();

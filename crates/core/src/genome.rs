@@ -55,9 +55,23 @@ impl LinkGenome {
         k_agg: SimDuration,
         rng: &mut SimRng,
     ) -> Self {
-        let params = DistPacketsParams { k_agg, enforce_rate_bounds: true, ..Default::default() };
-        let timestamps = dist_packets(total_packets, SimTime::ZERO, SimTime::ZERO + duration, &params, rng);
-        LinkGenome { timestamps, duration, k_agg }
+        let params = DistPacketsParams {
+            k_agg,
+            enforce_rate_bounds: true,
+            ..Default::default()
+        };
+        let timestamps = dist_packets(
+            total_packets,
+            SimTime::ZERO,
+            SimTime::ZERO + duration,
+            &params,
+            rng,
+        );
+        LinkGenome {
+            timestamps,
+            duration,
+            k_agg,
+        }
     }
 
     /// Converts the genome to the simulator's [`LinkTrace`].
@@ -72,6 +86,43 @@ impl LinkGenome {
             return 0.0;
         }
         self.timestamps.len() as f64 * packet_size as f64 * 8.0 / secs
+    }
+
+    /// A copy with every timestamp rounded to the nearest multiple of
+    /// `grid` (clamped to the trace duration). Packet count is preserved —
+    /// the link-genome invariant — while the number of *distinct* service
+    /// instants drops, which is the value-level shrinking step used by trace
+    /// minimization: a coarser service curve is easier to interpret and to
+    /// reproduce on real hardware.
+    pub fn quantized(&self, grid: SimDuration) -> Self {
+        if grid == SimDuration::ZERO {
+            return self.clone();
+        }
+        let g = grid.as_nanos();
+        let mut timestamps: Vec<SimTime> = self
+            .timestamps
+            .iter()
+            .map(|t| {
+                let rounded = (t.as_nanos() + g / 2) / g * g;
+                SimTime::from_nanos(rounded.min(self.duration.as_nanos()))
+            })
+            .collect();
+        timestamps.sort_unstable();
+        LinkGenome {
+            timestamps,
+            duration: self.duration,
+            k_agg: self.k_agg,
+        }
+    }
+
+    /// A copy with service outages (gaps between opportunities) longer than
+    /// `max_gap` compressed down to `max_gap`, preserving packet count.
+    pub fn shortened_outages(&self, max_gap: SimDuration) -> Self {
+        LinkGenome {
+            timestamps: compress_gaps(&self.timestamps, max_gap),
+            duration: self.duration,
+            k_agg: self.k_agg,
+        }
     }
 
     /// Applies Gaussian smoothing to the packet timestamps (trace annealing,
@@ -94,12 +145,15 @@ impl LinkGenome {
                 .sum::<f64>()
                 / (hi - lo) as f64;
             let jitter = rng.gen_normal(0.0, noise_std.as_nanos() as f64);
-            let t = (mean_ns + jitter)
-                .clamp(0.0, self.duration.as_nanos() as f64);
+            let t = (mean_ns + jitter).clamp(0.0, self.duration.as_nanos() as f64);
             smoothed.push(SimTime::from_nanos(t as u64));
         }
         smoothed.sort_unstable();
-        LinkGenome { timestamps: smoothed, duration: self.duration, k_agg: self.k_agg }
+        LinkGenome {
+            timestamps: smoothed,
+            duration: self.duration,
+            k_agg: self.k_agg,
+        }
     }
 }
 
@@ -114,7 +168,11 @@ impl Genome for LinkGenome {
         // rate properties).
         let split = SimTime::from_nanos(rng.gen_range_u64(1, self.duration.as_nanos().max(2)));
         let left_is_mutated = rng.gen_bool(0.5);
-        let params = DistPacketsParams { k_agg: self.k_agg, enforce_rate_bounds: true, ..Default::default() };
+        let params = DistPacketsParams {
+            k_agg: self.k_agg,
+            enforce_rate_bounds: true,
+            ..Default::default()
+        };
 
         let split_idx = self.timestamps.partition_point(|&t| t < split);
         let mut timestamps = Vec::with_capacity(self.timestamps.len());
@@ -134,7 +192,11 @@ impl Genome for LinkGenome {
             timestamps.extend(regenerated);
         }
         timestamps.sort_unstable();
-        LinkGenome { timestamps, duration: self.duration, k_agg: self.k_agg }
+        LinkGenome {
+            timestamps,
+            duration: self.duration,
+            k_agg: self.k_agg,
+        }
     }
 
     fn crossover(&self, _other: &Self, _rng: &mut SimRng) -> Option<Self> {
@@ -183,15 +245,108 @@ impl TrafficGenome {
     /// count up to `max_packets`, distributed without local rate constraints.
     pub fn generate(max_packets: usize, duration: SimDuration, rng: &mut SimRng) -> Self {
         let count = rng.gen_range_usize(0, max_packets + 1);
-        let params = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+        let params = DistPacketsParams {
+            enforce_rate_bounds: false,
+            ..Default::default()
+        };
         let timestamps = dist_packets(count, SimTime::ZERO, SimTime::ZERO + duration, &params, rng);
-        TrafficGenome { timestamps, duration, max_packets }
+        TrafficGenome {
+            timestamps,
+            duration,
+            max_packets,
+        }
     }
 
     /// Converts the genome to the simulator's [`TrafficTrace`].
     pub fn to_trace(&self) -> TrafficTrace {
         TrafficTrace::new(self.timestamps.clone(), self.duration)
     }
+
+    /// A copy with the timestamps in `range` (by index) removed — the
+    /// delta-debugging primitive used by trace minimization.
+    pub fn without_index_range(&self, range: std::ops::Range<usize>) -> Self {
+        let mut timestamps = Vec::with_capacity(self.timestamps.len().saturating_sub(range.len()));
+        timestamps.extend_from_slice(&self.timestamps[..range.start.min(self.timestamps.len())]);
+        timestamps.extend_from_slice(&self.timestamps[range.end.min(self.timestamps.len())..]);
+        TrafficGenome {
+            timestamps,
+            duration: self.duration,
+            max_packets: self.max_packets,
+        }
+    }
+
+    /// A copy with every burst (run of packets whose consecutive gaps are
+    /// below `min_gap`) re-spaced evenly across the burst's time span. This
+    /// is the value-level "flatten bursts" shrinking step: it removes
+    /// incidental micro-structure while preserving packet count and the
+    /// burst's position and extent.
+    pub fn flattened_bursts(&self, min_gap: SimDuration) -> Self {
+        TrafficGenome {
+            timestamps: flatten_bursts(&self.timestamps, min_gap),
+            duration: self.duration,
+            max_packets: self.max_packets,
+        }
+    }
+
+    /// A copy with every silent gap longer than `max_gap` compressed down to
+    /// `max_gap` (later packets shift earlier). Shortens outages that are
+    /// longer than needed to trigger the behaviour under test.
+    pub fn shortened_outages(&self, max_gap: SimDuration) -> Self {
+        TrafficGenome {
+            timestamps: compress_gaps(&self.timestamps, max_gap),
+            duration: self.duration,
+            max_packets: self.max_packets,
+        }
+    }
+}
+
+/// Evenly respaces runs of timestamps whose consecutive gaps are all below
+/// `min_gap` (helper for [`TrafficGenome::flattened_bursts`]).
+pub(crate) fn flatten_bursts(timestamps: &[SimTime], min_gap: SimDuration) -> Vec<SimTime> {
+    if timestamps.len() < 3 {
+        return timestamps.to_vec();
+    }
+    let mut out = Vec::with_capacity(timestamps.len());
+    let mut start = 0usize;
+    while start < timestamps.len() {
+        let mut end = start + 1;
+        while end < timestamps.len() && timestamps[end] - timestamps[end - 1] < min_gap {
+            end += 1;
+        }
+        let run = &timestamps[start..end];
+        if run.len() >= 3 {
+            let t0 = run[0].as_nanos();
+            let t1 = run[run.len() - 1].as_nanos();
+            let n = run.len() as u64;
+            for i in 0..n {
+                out.push(SimTime::from_nanos(t0 + (t1 - t0) * i / (n - 1)));
+            }
+        } else {
+            out.extend_from_slice(run);
+        }
+        start = end;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Compresses inter-packet gaps longer than `max_gap` down to `max_gap`,
+/// shifting all later timestamps earlier (helper for `shortened_outages`).
+pub(crate) fn compress_gaps(timestamps: &[SimTime], max_gap: SimDuration) -> Vec<SimTime> {
+    if timestamps.is_empty() || max_gap == SimDuration::ZERO {
+        return timestamps.to_vec();
+    }
+    let mut out = Vec::with_capacity(timestamps.len());
+    let mut shift = SimDuration::ZERO;
+    out.push(timestamps[0]);
+    for w in timestamps.windows(2) {
+        let gap = w[1] - w[0];
+        if gap > max_gap {
+            shift += gap - max_gap;
+        }
+        out.push(w[1] - shift);
+    }
+    out
 }
 
 impl Genome for TrafficGenome {
@@ -203,7 +358,10 @@ impl Genome for TrafficGenome {
         let split = SimTime::from_nanos(rng.gen_range_u64(1, self.duration.as_nanos().max(2)));
         let left_is_mutated = rng.gen_bool(0.5);
         let split_idx = self.timestamps.partition_point(|&t| t < split);
-        let params = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+        let params = DistPacketsParams {
+            enforce_rate_bounds: false,
+            ..Default::default()
+        };
 
         let kept: Vec<SimTime>;
         let (regen_start, regen_end, other_count);
@@ -225,7 +383,11 @@ impl Genome for TrafficGenome {
         let mut timestamps = kept;
         timestamps.extend(regenerated);
         timestamps.sort_unstable();
-        TrafficGenome { timestamps, duration: self.duration, max_packets: self.max_packets }
+        TrafficGenome {
+            timestamps,
+            duration: self.duration,
+            max_packets: self.max_packets,
+        }
     }
 
     fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self> {
@@ -409,10 +571,128 @@ mod tests {
     #[test]
     fn traffic_crossover_of_empty_parents_is_empty() {
         let mut rng = rng();
-        let a = TrafficGenome { timestamps: vec![], duration: DUR, max_packets: 100 };
+        let a = TrafficGenome {
+            timestamps: vec![],
+            duration: DUR,
+            max_packets: 100,
+        };
         let b = a.clone();
         let child = a.crossover(&b, &mut rng).unwrap();
         assert_eq!(child.packet_count(), 0);
+    }
+
+    #[test]
+    fn traffic_without_index_range_removes_exactly_that_segment() {
+        let mut rng = rng();
+        let g = TrafficGenome::generate(200, DUR, &mut rng);
+        let n = g.packet_count();
+        if n < 4 {
+            return;
+        }
+        let cut = g.without_index_range(1..3);
+        assert_eq!(cut.packet_count(), n - 2);
+        cut.validate().unwrap();
+        assert_eq!(cut.timestamps[0], g.timestamps[0]);
+        assert_eq!(cut.timestamps[1], g.timestamps[3]);
+        // Out-of-range ends are clamped.
+        assert_eq!(g.without_index_range(0..usize::MAX).packet_count(), 0);
+    }
+
+    #[test]
+    fn flatten_bursts_preserves_count_and_span() {
+        let ts: Vec<SimTime> = vec![0, 10, 11, 12, 13, 5_000_000]
+            .into_iter()
+            .map(SimTime::from_micros)
+            .collect();
+        let g = TrafficGenome {
+            timestamps: ts.clone(),
+            duration: DUR,
+            max_packets: 100,
+        };
+        let flat = g.flattened_bursts(SimDuration::from_millis(1));
+        assert_eq!(flat.packet_count(), g.packet_count());
+        flat.validate().unwrap();
+        // The burst's first and last packets stay in place.
+        assert_eq!(flat.timestamps[0], ts[0]);
+        assert_eq!(flat.timestamps[4], ts[4]);
+        assert_eq!(flat.timestamps[5], ts[5]);
+        // Interior packets are evenly spaced across the burst span.
+        let gaps: Vec<u64> = flat.timestamps[..5]
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_nanos())
+            .collect();
+        assert!(
+            gaps.windows(2).all(|w| w[0].abs_diff(w[1]) <= 1),
+            "{gaps:?}"
+        );
+    }
+
+    #[test]
+    fn shortened_outages_compresses_long_gaps_only() {
+        let ts: Vec<SimTime> = vec![0, 100, 3_000, 3_100]
+            .into_iter()
+            .map(SimTime::from_millis)
+            .collect();
+        let g = TrafficGenome {
+            timestamps: ts,
+            duration: DUR,
+            max_packets: 100,
+        };
+        let s = g.shortened_outages(SimDuration::from_millis(500));
+        assert_eq!(s.packet_count(), 4);
+        s.validate().unwrap();
+        assert_eq!(
+            s.timestamps[1] - s.timestamps[0],
+            SimDuration::from_millis(100)
+        );
+        assert_eq!(
+            s.timestamps[2] - s.timestamps[1],
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(
+            s.timestamps[3] - s.timestamps[2],
+            SimDuration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn link_quantized_preserves_count_and_bounds() {
+        let mut rng = rng();
+        let g = LinkGenome::generate(2_000, DUR, SimDuration::from_millis(50), &mut rng);
+        let q = g.quantized(SimDuration::from_millis(10));
+        assert_eq!(q.packet_count(), g.packet_count());
+        q.validate().unwrap();
+        assert!(q
+            .timestamps
+            .iter()
+            .all(|t| t.as_nanos() % 10_000_000 == 0 || t.as_nanos() == g.duration.as_nanos()));
+        // Distinct instants shrink dramatically.
+        let distinct = |ts: &[SimTime]| {
+            let mut v = ts.to_vec();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct(&q.timestamps) < distinct(&g.timestamps));
+    }
+
+    #[test]
+    fn link_shortened_outages_preserves_count() {
+        let ts: Vec<SimTime> = vec![0, 10, 4_000, 4_010]
+            .into_iter()
+            .map(SimTime::from_millis)
+            .collect();
+        let g = LinkGenome {
+            timestamps: ts,
+            duration: DUR,
+            k_agg: SimDuration::from_millis(50),
+        };
+        let s = g.shortened_outages(SimDuration::from_millis(200));
+        assert_eq!(s.packet_count(), 4);
+        s.validate().unwrap();
+        assert_eq!(
+            s.timestamps[2] - s.timestamps[1],
+            SimDuration::from_millis(200)
+        );
     }
 
     #[test]

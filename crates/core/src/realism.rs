@@ -65,7 +65,9 @@ impl RealismScorer {
             let mut cfg = self.base.clone();
             cfg.record_events = false;
             cfg.duration = genome.duration;
-            cfg.link = LinkModel::TraceDriven { trace: genome.to_trace() };
+            cfg.link = LinkModel::TraceDriven {
+                trace: genome.to_trace(),
+            };
             cfg.cross_traffic = TrafficTrace::empty(genome.duration);
             let result = run_simulation(cfg.clone(), cca.build(cfg.initial_cwnd));
             let goodput = result.average_goodput_bps(self.base.mss);
@@ -135,7 +137,11 @@ mod tests {
             k_agg: SimDuration::from_millis(50),
         };
         let outcome = scorer().score_link(&genome);
-        assert!(outcome.score < 0.5, "starving trace score {}", outcome.score);
+        assert!(
+            outcome.score < 0.5,
+            "starving trace score {}",
+            outcome.score
+        );
         assert!(!outcome.accepted);
     }
 }

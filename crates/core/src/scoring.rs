@@ -95,11 +95,20 @@ pub struct TraceScoreInputs {
 
 /// Computes the performance component in `[0, 1]`-ish range (higher = worse
 /// CCA performance = fitter adversarial trace).
-pub fn performance_score(objective: &Objective, result: &SimResult, mss: u32, reference_rate_bps: f64) -> f64 {
+pub fn performance_score(
+    objective: &Objective,
+    result: &SimResult,
+    mss: u32,
+    reference_rate_bps: f64,
+) -> f64 {
     match objective {
-        Objective::LowThroughput { window, lowest_fraction } => {
+        Objective::LowThroughput {
+            window,
+            lowest_fraction,
+        } => {
             let duration = SimDuration::from_secs_f64(result.duration_secs);
-            let windows = windowed_throughput_bps(&result.stats.delivery_times, mss, *window, duration);
+            let windows =
+                windowed_throughput_bps(&result.stats.delivery_times, mss, *window, duration);
             let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
             let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
             let reference = reference_rate_bps.max(1.0);
@@ -147,7 +156,10 @@ mod tests {
 
     fn result_with_deliveries(times: Vec<SimTime>, duration_secs: f64) -> SimResult {
         SimResult {
-            stats: RunStats { delivery_times: times, ..Default::default() },
+            stats: RunStats {
+                delivery_times: times,
+                ..Default::default()
+            },
             duration_secs,
         }
     }
@@ -159,15 +171,26 @@ mod tests {
             lowest_fraction: 0.2,
         };
         // Full-rate delivery: ~1000 packets/s of 1448B ≈ 11.6 Mbps.
-        let busy: Vec<SimTime> = (0..5_000).map(|i| SimTime::from_millis(i)).collect();
-        let busy_score = performance_score(&objective, &result_with_deliveries(busy, 5.0), 1448, 12e6);
+        let busy: Vec<SimTime> = (0..5_000).map(SimTime::from_millis).collect();
+        let busy_score =
+            performance_score(&objective, &result_with_deliveries(busy, 5.0), 1448, 12e6);
         // Starved flow: nothing delivered after 1s.
-        let starved: Vec<SimTime> = (0..1_000).map(|i| SimTime::from_millis(i)).collect();
-        let starved_score =
-            performance_score(&objective, &result_with_deliveries(starved, 5.0), 1448, 12e6);
+        let starved: Vec<SimTime> = (0..1_000).map(SimTime::from_millis).collect();
+        let starved_score = performance_score(
+            &objective,
+            &result_with_deliveries(starved, 5.0),
+            1448,
+            12e6,
+        );
         assert!(starved_score > busy_score);
-        assert!(starved_score > 0.9, "fully starved windows should score near 1: {starved_score}");
-        assert!(busy_score < 0.2, "a link-filling flow should score near 0: {busy_score}");
+        assert!(
+            starved_score > 0.9,
+            "fully starved windows should score near 1: {starved_score}"
+        );
+        assert!(
+            busy_score < 0.2,
+            "a link-filling flow should score near 0: {busy_score}"
+        );
     }
 
     #[test]
@@ -175,7 +198,11 @@ mod tests {
         let objective = Objective::HighLoss;
         let result = SimResult {
             stats: RunStats {
-                flow: FlowSummary { transmissions: 100, marked_lost: 25, ..Default::default() },
+                flow: FlowSummary {
+                    transmissions: 100,
+                    marked_lost: 25,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             duration_secs: 5.0,
@@ -191,27 +218,50 @@ mod tests {
             at: SimTime::from_millis(delay_ms),
             flow: FlowId::Cca,
             size: 1448,
-            event: BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(delay_ms) },
+            event: BottleneckEvent::Dequeued {
+                queuing_delay: SimDuration::from_millis(delay_ms),
+            },
         };
         let low_delay = SimResult {
-            stats: RunStats { bottleneck: (1..=100).map(mk).collect(), ..Default::default() },
+            stats: RunStats {
+                bottleneck: (1..=100).map(mk).collect(),
+                ..Default::default()
+            },
             duration_secs: 5.0,
         };
         let high_delay = SimResult {
-            stats: RunStats { bottleneck: (150..=250).map(mk).collect(), ..Default::default() },
+            stats: RunStats {
+                bottleneck: (150..=250).map(mk).collect(),
+                ..Default::default()
+            },
             duration_secs: 5.0,
         };
         let low = performance_score(&objective, &low_delay, 1448, 12e6);
         let high = performance_score(&objective, &high_delay, 1448, 12e6);
         assert!(high > low);
-        assert!(high >= 0.15, "p10 of 150-250ms delays is at least 150ms: {high}");
+        assert!(
+            high >= 0.15,
+            "p10 of 150-250ms delays is at least 150ms: {high}"
+        );
     }
 
     #[test]
     fn trace_score_prefers_minimal_traces() {
-        let small = TraceScoreInputs { traffic_packets: 50, traffic_max_packets: 1_000, traffic_dropped: 0 };
-        let large = TraceScoreInputs { traffic_packets: 900, traffic_max_packets: 1_000, traffic_dropped: 0 };
-        let wasteful = TraceScoreInputs { traffic_packets: 900, traffic_max_packets: 1_000, traffic_dropped: 500 };
+        let small = TraceScoreInputs {
+            traffic_packets: 50,
+            traffic_max_packets: 1_000,
+            traffic_dropped: 0,
+        };
+        let large = TraceScoreInputs {
+            traffic_packets: 900,
+            traffic_max_packets: 1_000,
+            traffic_dropped: 0,
+        };
+        let wasteful = TraceScoreInputs {
+            traffic_packets: 900,
+            traffic_max_packets: 1_000,
+            traffic_dropped: 500,
+        };
         assert!(trace_score(&small) > trace_score(&large));
         assert!(trace_score(&large) > trace_score(&wasteful));
         assert_eq!(trace_score(&TraceScoreInputs::default()), 0.0);
@@ -232,7 +282,9 @@ mod tests {
     fn default_configs_match_paper_settings() {
         let low = ScoringConfig::low_throughput_default(12e6);
         match low.objective {
-            Objective::LowThroughput { lowest_fraction, .. } => assert_eq!(lowest_fraction, 0.2),
+            Objective::LowThroughput {
+                lowest_fraction, ..
+            } => assert_eq!(lowest_fraction, 0.2),
             _ => panic!("wrong objective"),
         }
         let delay = ScoringConfig::high_delay_default(12e6);

@@ -48,7 +48,15 @@ pub fn dist_packets(
     rng: &mut SimRng,
 ) -> Vec<SimTime> {
     let mut out = Vec::with_capacity(num);
-    dist_packets_rec(num, start.as_nanos(), end.as_nanos(), params, rng, &mut out, 0);
+    dist_packets_rec(
+        num,
+        start.as_nanos(),
+        end.as_nanos(),
+        params,
+        rng,
+        &mut out,
+        0,
+    );
     out.sort_unstable();
     out.into_iter().map(SimTime::from_nanos).collect()
 }
@@ -174,7 +182,13 @@ mod tests {
         let total = 5_000usize;
         let duration = SimTime::from_millis(5_000);
         for _ in 0..10 {
-            let ts = dist_packets(total, SimTime::ZERO, duration, &DistPacketsParams::default(), &mut rng);
+            let ts = dist_packets(
+                total,
+                SimTime::ZERO,
+                duration,
+                &DistPacketsParams::default(),
+                &mut rng,
+            );
             let half = SimTime::from_millis(2_500);
             let first_half = ts.iter().filter(|&&t| t < half).count() as f64;
             let expected = total as f64 / 2.0;
@@ -190,7 +204,7 @@ mod tests {
         // Measure burstiness as the maximum packet count in any 100ms bucket,
         // averaged over several generated traces.
         let bucket_max = |ts: &[SimTime]| {
-            let mut buckets = vec![0u32; 50];
+            let mut buckets = [0u32; 50];
             for t in ts {
                 let idx = (t.as_millis() / 100).min(49) as usize;
                 buckets[idx] += 1;
@@ -200,12 +214,27 @@ mod tests {
         let mut rng_a = SimRng::new(7);
         let mut rng_b = SimRng::new(7);
         let constrained = DistPacketsParams::default();
-        let unconstrained = DistPacketsParams { enforce_rate_bounds: false, ..Default::default() };
+        let unconstrained = DistPacketsParams {
+            enforce_rate_bounds: false,
+            ..Default::default()
+        };
         let mut c_sum = 0.0;
         let mut u_sum = 0.0;
         for _ in 0..20 {
-            let c = dist_packets(1_000, SimTime::ZERO, SimTime::from_millis(5_000), &constrained, &mut rng_a);
-            let u = dist_packets(1_000, SimTime::ZERO, SimTime::from_millis(5_000), &unconstrained, &mut rng_b);
+            let c = dist_packets(
+                1_000,
+                SimTime::ZERO,
+                SimTime::from_millis(5_000),
+                &constrained,
+                &mut rng_a,
+            );
+            let u = dist_packets(
+                1_000,
+                SimTime::ZERO,
+                SimTime::from_millis(5_000),
+                &unconstrained,
+                &mut rng_b,
+            );
             c_sum += bucket_max(&c);
             u_sum += bucket_max(&u);
         }
@@ -220,7 +249,13 @@ mod tests {
         let params = DistPacketsParams::default();
         let gen = |seed: u64| {
             let mut rng = SimRng::new(seed);
-            dist_packets(500, SimTime::ZERO, SimTime::from_millis(1_000), &params, &mut rng)
+            dist_packets(
+                500,
+                SimTime::ZERO,
+                SimTime::from_millis(1_000),
+                &params,
+                &mut rng,
+            )
         };
         assert_eq!(gen(5), gen(5));
         assert_ne!(gen(5), gen(6));
@@ -243,7 +278,10 @@ mod tests {
     #[test]
     fn packets_for_rate_matches_bandwidth() {
         // 12 Mbps, 1500-byte packets, 5 s -> 5000 packets.
-        assert_eq!(packets_for_rate(12_000_000, 1500, SimDuration::from_secs(5)), 5_000);
+        assert_eq!(
+            packets_for_rate(12_000_000, 1500, SimDuration::from_secs(5)),
+            5_000
+        );
         assert_eq!(packets_for_rate(0, 1500, SimDuration::from_secs(5)), 0);
     }
 }

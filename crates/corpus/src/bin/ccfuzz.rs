@@ -1,0 +1,276 @@
+//! `ccfuzz` — the corpus command line.
+//!
+//! ```text
+//! ccfuzz hunt     --cca reno [--mode traffic|link] [--generations N] ...
+//! ccfuzz minimize [--id ID | --all] [--retain F] [--budget N] ...
+//! ccfuzz replay   [--cca NAME] [--strict] ...
+//! ccfuzz report   ...
+//! ```
+//!
+//! All subcommands take `--corpus DIR` (default `./corpus`). Run with no
+//! arguments for full usage.
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::FuzzMode;
+use ccfuzz_corpus::hunt::{hunt, HuntConfig};
+use ccfuzz_corpus::minimize::{minimize_finding, MinimizeConfig};
+use ccfuzz_corpus::replay::replay_corpus;
+use ccfuzz_corpus::report::corpus_report;
+use ccfuzz_corpus::store::{Corpus, CorpusConfig, InsertOutcome};
+use ccfuzz_netsim::time::SimDuration;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ccfuzz — CC-Fuzz findings corpus tool
+
+USAGE:
+    ccfuzz <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    hunt        Run a fuzzing campaign and persist its best finding
+    minimize    Shrink stored finding(s) while retaining their score
+    replay      Re-simulate the corpus and report score drift
+    report      Print a per-bucket summary of the corpus
+
+COMMON OPTIONS:
+    --corpus DIR        Corpus directory (default: ./corpus)
+    --top-k N           Findings retained per (CCA, mode) bucket (default: 8)
+
+hunt OPTIONS:
+    --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
+                        bbr-probertt-on-rto | vegas        (required)
+    --mode MODE         traffic | link (default: traffic)
+    --generations N     GA generations (default: 5)
+    --seconds S         Scenario duration in seconds (default: 3)
+    --seed N            GA master seed (default: 1)
+    --islands N         Override island count
+    --population N      Override per-island population
+
+minimize OPTIONS:
+    --id ID             Minimize one finding (default: all findings)
+    --all               Minimize every stored finding
+    --retain F          Score fraction to retain, 0..1 (default: 0.8)
+    --budget N          Max simulations per finding (default: 300)
+
+replay OPTIONS:
+    --cca NAME          Replay against this CCA instead of the stored one
+    --strict            Exit non-zero if any finding drifted
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag VALUE` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} requires a value")),
+        },
+    }
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag}: invalid value `{v}`")),
+    }
+}
+
+fn parse_cca(name: &str) -> Result<CcaKind, String> {
+    CcaKind::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = CcaKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown CCA `{name}` (known: {})", known.join(", "))
+    })
+}
+
+fn open_corpus(args: &[String]) -> Result<Corpus, String> {
+    let dir = flag_value(args, "--corpus")?.unwrap_or_else(|| "corpus".to_string());
+    let top_k = parse_num(args, "--top-k", CorpusConfig::default().top_k_per_bucket)?;
+    Corpus::open_with(
+        dir,
+        CorpusConfig {
+            top_k_per_bucket: top_k,
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(subcommand) = args.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::FAILURE);
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "hunt" => cmd_hunt(rest),
+        "minimize" => cmd_minimize(rest),
+        "replay" => cmd_replay(rest),
+        "report" => cmd_report(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
+    let cca = parse_cca(&flag_value(args, "--cca")?.ok_or("hunt requires --cca")?)?;
+    let mode = match flag_value(args, "--mode")?.as_deref() {
+        None | Some("traffic") => FuzzMode::Traffic,
+        Some("link") => FuzzMode::Link,
+        Some(other) => return Err(format!("--mode: `{other}` is not traffic|link")),
+    };
+    let generations: u32 = parse_num(args, "--generations", 5)?;
+    let seconds: u64 = parse_num(args, "--seconds", 3)?;
+    let seed: u64 = parse_num(args, "--seed", 1)?;
+
+    let mut config = HuntConfig::quick(cca, mode, generations, seed);
+    config.duration = SimDuration::from_secs(seconds.max(1));
+    if let Some(islands) = flag_value(args, "--islands")? {
+        config.ga.islands = islands.parse().map_err(|_| "--islands: invalid value")?;
+    }
+    if let Some(pop) = flag_value(args, "--population")? {
+        config.ga.population_per_island = pop.parse().map_err(|_| "--population: invalid value")?;
+    }
+
+    let corpus = open_corpus(args)?;
+    println!(
+        "hunting: cca={} mode={:?} generations={} duration={}s seed={}",
+        cca.name(),
+        mode,
+        config.ga.generations,
+        seconds,
+        seed
+    );
+    let (finding, decision) = hunt(&corpus, &config).map_err(|e| e.to_string())?;
+    println!(
+        "best trace: score={:.6} (perf={:.6}, trace={:.6}) goodput={:.3} Mbps packets={}",
+        finding.outcome.score,
+        finding.outcome.performance_score,
+        finding.outcome.trace_score,
+        finding.outcome.goodput_bps / 1e6,
+        finding.genome.packet_count()
+    );
+    match decision {
+        InsertOutcome::Added => println!("corpus: added {}", finding.id),
+        InsertOutcome::ReplacedWeaker { previous_score } => println!(
+            "corpus: replaced weaker duplicate of {} (previous score {previous_score:.6})",
+            finding.id
+        ),
+        InsertOutcome::DuplicateRejected { existing_score } => println!(
+            "corpus: duplicate of {} (stored score {existing_score:.6} is stronger or equal)",
+            finding.id
+        ),
+        InsertOutcome::BucketFullRejected { weakest_kept_score } => {
+            println!("corpus: bucket full, weakest kept finding scores {weakest_kept_score:.6}")
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
+    let corpus = open_corpus(args)?;
+    let retain: f64 = parse_num(args, "--retain", 0.8)?;
+    if !(0.0..=1.0).contains(&retain) {
+        return Err("--retain must be within [0, 1]".into());
+    }
+    let budget: usize = parse_num(args, "--budget", 300)?;
+    let cfg = MinimizeConfig {
+        retain_fraction: retain,
+        max_evaluations: budget,
+        ..Default::default()
+    };
+
+    let ids: Vec<String> = match flag_value(args, "--id")? {
+        Some(id) => vec![id],
+        None => {
+            let mut ids = corpus.ids().map_err(|e| e.to_string())?;
+            ids.sort();
+            if ids.is_empty() {
+                println!("corpus is empty, nothing to minimize");
+                return Ok(ExitCode::SUCCESS);
+            }
+            ids
+        }
+    };
+
+    for id in ids {
+        let finding = corpus.get(&id).map_err(|e| e.to_string())?;
+        let (minimized, report) = minimize_finding(&finding, &cfg);
+        // `update` removes the old file and, if the id moved into an
+        // occupied signature bucket, keeps whichever finding is stronger.
+        let stored = corpus.update(&id, &minimized).map_err(|e| e.to_string())?;
+        println!(
+            "{id}: {} -> {} packets, score {:.6} -> {:.6} (threshold {:.6}, {} evals){}",
+            report.original_packets,
+            report.minimized_packets,
+            report.original_score,
+            report.minimized_score,
+            report.threshold,
+            report.evaluations,
+            if minimized.id != id {
+                match &stored {
+                    InsertOutcome::DuplicateRejected { existing_score } => format!(
+                        "; behaviour bucket moved onto {} (stronger, score {existing_score:.6}) — \
+                         minimized copy dropped",
+                        minimized.id
+                    ),
+                    InsertOutcome::ReplacedWeaker { previous_score } => format!(
+                        "; behaviour bucket moved, replaced weaker {} (score {previous_score:.6})",
+                        minimized.id
+                    ),
+                    InsertOutcome::BucketFullRejected { weakest_kept_score } => format!(
+                        "; behaviour bucket moved but that bucket is full of stronger findings \
+                         (weakest kept {weakest_kept_score:.6}) — minimized copy dropped"
+                    ),
+                    InsertOutcome::Added => {
+                        format!("; behaviour bucket moved, renamed to {}", minimized.id)
+                    }
+                }
+            } else {
+                String::new()
+            }
+        );
+        for pass in &report.passes {
+            println!("    {pass}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let corpus = open_corpus(args)?;
+    let cca_override = match flag_value(args, "--cca")? {
+        Some(name) => Some(parse_cca(&name)?),
+        None => None,
+    };
+    let report = replay_corpus(&corpus, cca_override).map_err(|e| e.to_string())?;
+    print!("{}", report.to_text());
+    if flag_present(args, "--strict") && !report.is_clean() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let corpus = open_corpus(args)?;
+    print!("{}", corpus_report(&corpus).map_err(|e| e.to_string())?);
+    Ok(ExitCode::SUCCESS)
+}

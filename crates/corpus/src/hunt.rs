@@ -1,0 +1,106 @@
+//! The hunt driver: run a fuzzing campaign and persist what it finds.
+//!
+//! This is the glue between `core::campaign` and the corpus — used by the
+//! `ccfuzz hunt` subcommand, the examples and the integration tests.
+
+use crate::finding::{Finding, GenomePayload};
+use crate::store::{Corpus, CorpusError, InsertOutcome};
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::{Campaign, FuzzMode};
+use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_netsim::time::SimDuration;
+
+/// Parameters of one hunt.
+#[derive(Clone, Debug)]
+pub struct HuntConfig {
+    /// Algorithm under test.
+    pub cca: CcaKind,
+    /// Fuzzing mode.
+    pub mode: FuzzMode,
+    /// Scenario duration per simulation.
+    pub duration: SimDuration,
+    /// GA parameters.
+    pub ga: GaParams,
+}
+
+impl HuntConfig {
+    /// A quick-scale hunt (the `ccfuzz` CLI default): paper scenario, quick
+    /// GA, `generations` generations, explicit seed.
+    pub fn quick(cca: CcaKind, mode: FuzzMode, generations: u32, seed: u64) -> Self {
+        let mut ga = GaParams::quick();
+        ga.generations = generations.max(1);
+        ga.seed = seed;
+        HuntConfig {
+            cca,
+            mode,
+            duration: SimDuration::from_secs(3),
+            ga,
+        }
+    }
+}
+
+/// Runs the campaign described by `config` and inserts its best trace into
+/// `corpus`. Returns the finding (whether or not the corpus kept it) and the
+/// insert decision.
+pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutcome), CorpusError> {
+    let campaign = Campaign::paper_standard(config.mode, config.cca, config.duration, config.ga);
+    let (genome, outcome, evaluations) = match config.mode {
+        FuzzMode::Traffic => {
+            let result = campaign.run_traffic();
+            (
+                GenomePayload::Traffic(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations,
+            )
+        }
+        FuzzMode::Link => {
+            let result = campaign.run_link();
+            (
+                GenomePayload::Link(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations,
+            )
+        }
+    };
+    let finding = Finding::from_campaign(&campaign, genome, outcome, evaluations as u64);
+    let decision = corpus.insert(&finding)?;
+    Ok((finding, decision))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CorpusConfig;
+
+    #[test]
+    fn hunt_persists_a_deduplicated_finding() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccfuzz-hunt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = Corpus::open_with(&dir, CorpusConfig::default()).unwrap();
+
+        let mut config = HuntConfig::quick(CcaKind::Reno, FuzzMode::Traffic, 2, 11);
+        config.ga.islands = 2;
+        config.ga.population_per_island = 3;
+        config.duration = SimDuration::from_secs(2);
+
+        let (finding, decision) = hunt(&corpus, &config).unwrap();
+        assert_eq!(decision, InsertOutcome::Added);
+        assert_eq!(corpus.get(&finding.id).unwrap(), finding);
+
+        // The same hunt again produces the identical finding (determinism)
+        // and is rejected as a duplicate.
+        let (again, decision) = hunt(&corpus, &config).unwrap();
+        assert_eq!(again, finding);
+        assert_eq!(
+            decision,
+            InsertOutcome::DuplicateRejected {
+                existing_score: finding.outcome.score
+            }
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

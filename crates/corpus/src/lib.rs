@@ -1,0 +1,43 @@
+//! # ccfuzz-corpus
+//!
+//! The persistence layer that turns one-off fuzzing campaigns into a
+//! regression system: a findings corpus, trace minimization and
+//! deterministic replay.
+//!
+//! * [`finding`] — the self-contained, replayable [`Finding`](finding::Finding)
+//!   record: genome + CCA + full simulation/scoring config + score breakdown
+//!   + behaviour signature + provenance.
+//! * [`signature`] — quantized behaviour fingerprints used to deduplicate
+//!   near-identical findings.
+//! * [`store`] — the on-disk corpus: JSON files, signature dedup, top-K
+//!   retention per (CCA, mode) bucket.
+//! * [`minimize`] — delta-debugging plus value-level shrinking that keeps a
+//!   configurable fraction of the original score.
+//! * [`replay`] — deterministic regression replay with a byte-stable report.
+//! * [`hunt`] — campaign driver that persists what it finds.
+//! * [`report`] — corpus summary tables.
+//!
+//! The `ccfuzz` binary (`hunt` / `minimize` / `replay` / `report`) is the
+//! command-line face of this crate; see the repository README for a
+//! walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod finding;
+pub mod hunt;
+pub mod minimize;
+pub mod replay;
+pub mod report;
+pub mod signature;
+pub mod store;
+
+pub use finding::{Finding, GenomePayload, Provenance};
+pub use hunt::{hunt, HuntConfig};
+pub use minimize::{
+    minimize_finding, minimize_link, minimize_traffic, MinimizeConfig, MinimizeReport,
+};
+pub use replay::{replay_corpus, replay_findings, ReplayReport};
+pub use report::corpus_report;
+pub use signature::BehaviorSignature;
+pub use store::{Corpus, CorpusConfig, CorpusError, InsertOutcome};

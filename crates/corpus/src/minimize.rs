@@ -1,0 +1,460 @@
+//! Trace minimization: shrink a winning trace to an interpretable core.
+//!
+//! The GA's best traces carry a lot of incidental structure — packets that
+//! contribute nothing, bursts with irrelevant micro-timing, outages far
+//! longer than needed. Minimization makes findings *explainable* (the paper's
+//! Figure 4 traces are readable precisely because they are simple) and
+//! cheaper to replay. Two stages, both driven by re-simulation:
+//!
+//! 1. **Delta debugging** over genome segments (traffic mode): repeatedly try
+//!    deleting index ranges, keeping a deletion whenever the re-simulated
+//!    score retains at least `retain_fraction` of the original. Granularity
+//!    halves each round, AFL-tmin style.
+//! 2. **Value-level shrinking**: flatten bursts to even spacing, compress
+//!    over-long outages, and (link mode, where packet count is an invariant)
+//!    quantize timestamps to the coarsest grid that keeps the score.
+//!
+//! Invariants, verified by property tests: the minimized trace never has
+//! *more* packets than the input, and its score never drops below
+//! `retain_fraction * original_score`.
+
+use crate::finding::{Finding, GenomePayload};
+use crate::signature::BehaviorSignature;
+use ccfuzz_core::evaluate::Evaluator;
+use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
+use ccfuzz_netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Minimization policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinimizeConfig {
+    /// Fraction of the original score the minimized trace must retain
+    /// (0.8 by default — the acceptance bar from the issue).
+    pub retain_fraction: f64,
+    /// Simulation budget: minimization stops when it has spent this many
+    /// evaluations.
+    pub max_evaluations: usize,
+    /// Delta debugging stops splitting below segments of this many packets.
+    pub min_segment: usize,
+    /// Gaps below this are considered part of one burst when flattening.
+    pub burst_gap: SimDuration,
+    /// Outages longer than this are compressed down to this.
+    pub outage_cap: SimDuration,
+    /// Quantization grids tried for link genomes, coarsest first.
+    pub link_grids: [SimDuration; 4],
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        MinimizeConfig {
+            retain_fraction: 0.8,
+            max_evaluations: 300,
+            min_segment: 1,
+            burst_gap: SimDuration::from_millis(2),
+            outage_cap: SimDuration::from_millis(500),
+            link_grids: [
+                SimDuration::from_millis(100),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(10),
+            ],
+        }
+    }
+}
+
+/// What minimization achieved.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinimizeReport {
+    /// Packets before.
+    pub original_packets: u64,
+    /// Packets after.
+    pub minimized_packets: u64,
+    /// Score before (re-measured at the start of minimization).
+    pub original_score: f64,
+    /// Score after.
+    pub minimized_score: f64,
+    /// The floor the minimized score had to clear.
+    pub threshold: f64,
+    /// Simulations spent.
+    pub evaluations: u64,
+    /// Human-readable notes about which passes did what.
+    pub passes: Vec<String>,
+}
+
+struct Budget {
+    spent: usize,
+    max: usize,
+}
+
+impl Budget {
+    fn exhausted(&self) -> bool {
+        self.spent >= self.max
+    }
+}
+
+/// Minimizes a traffic genome against an evaluator.
+pub fn minimize_traffic<E: Evaluator<TrafficGenome>>(
+    evaluator: &E,
+    genome: &TrafficGenome,
+    cfg: &MinimizeConfig,
+) -> (TrafficGenome, MinimizeReport) {
+    let mut budget = Budget {
+        spent: 0,
+        max: cfg.max_evaluations.max(1),
+    };
+    let original_score = {
+        budget.spent += 1;
+        evaluator.evaluate(genome).score
+    };
+    let threshold = original_score * cfg.retain_fraction;
+    let mut current = genome.clone();
+    let mut current_score = original_score;
+    let mut passes = Vec::new();
+
+    // Stage 1: delta debugging over index segments.
+    let removed = ddmin_pass(
+        evaluator,
+        &mut current,
+        &mut current_score,
+        threshold,
+        cfg,
+        &mut budget,
+    );
+    passes.push(format!(
+        "ddmin: removed {removed} of {} packets ({} evals)",
+        genome.packet_count(),
+        budget.spent
+    ));
+
+    // Stage 2: value-level shrinking. Order matters: flattening first makes
+    // outage compression see clean gaps.
+    for (name, candidate) in [
+        ("flatten-bursts", current.flattened_bursts(cfg.burst_gap)),
+        ("shorten-outages", current.shortened_outages(cfg.outage_cap)),
+    ] {
+        if budget.exhausted() {
+            break;
+        }
+        if candidate.timestamps == current.timestamps {
+            continue;
+        }
+        budget.spent += 1;
+        let score = evaluator.evaluate(&candidate).score;
+        if score >= threshold {
+            passes.push(format!("{name}: accepted (score {score:.6})"));
+            current = candidate;
+            current_score = score;
+        } else {
+            passes.push(format!(
+                "{name}: rejected (score {score:.6} < {threshold:.6})"
+            ));
+        }
+    }
+
+    debug_assert!(current.packet_count() <= genome.packet_count());
+    let report = MinimizeReport {
+        original_packets: genome.packet_count() as u64,
+        minimized_packets: current.packet_count() as u64,
+        original_score,
+        minimized_score: current_score,
+        threshold,
+        evaluations: budget.spent as u64,
+        passes,
+    };
+    (current, report)
+}
+
+/// Greedy delta-debugging: try deleting each of `n` segments; on success
+/// restart at the same granularity, otherwise halve segment size.
+fn ddmin_pass<E: Evaluator<TrafficGenome>>(
+    evaluator: &E,
+    current: &mut TrafficGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    cfg: &MinimizeConfig,
+    budget: &mut Budget,
+) -> usize {
+    let start_count = current.packet_count();
+    let mut num_segments = 2usize;
+    loop {
+        let n = current.packet_count();
+        if n == 0 || budget.exhausted() {
+            break;
+        }
+        let seg_len = n.div_ceil(num_segments);
+        if seg_len < cfg.min_segment.max(1) {
+            break;
+        }
+        let mut any_removed = false;
+        let mut seg = 0usize;
+        while seg * seg_len < current.packet_count() && !budget.exhausted() {
+            let lo = seg * seg_len;
+            let hi = (lo + seg_len).min(current.packet_count());
+            let candidate = current.without_index_range(lo..hi);
+            budget.spent += 1;
+            let score = evaluator.evaluate(&candidate).score;
+            if score >= threshold {
+                *current = candidate;
+                *current_score = score;
+                any_removed = true;
+                // Do not advance `seg`: the segment that slid into this
+                // position is tried next.
+            } else {
+                seg += 1;
+            }
+        }
+        if !any_removed {
+            if seg_len == 1 {
+                break;
+            }
+            num_segments = num_segments.saturating_mul(2);
+        }
+    }
+    start_count - current.packet_count()
+}
+
+/// Minimizes a link genome. Packet count is a link-genome invariant (it
+/// defines the average bandwidth), so shrinking is purely value-level:
+/// the coarsest acceptable quantization grid, then outage compression.
+pub fn minimize_link<E: Evaluator<LinkGenome>>(
+    evaluator: &E,
+    genome: &LinkGenome,
+    cfg: &MinimizeConfig,
+) -> (LinkGenome, MinimizeReport) {
+    let mut budget = Budget {
+        spent: 0,
+        max: cfg.max_evaluations.max(1),
+    };
+    let original_score = {
+        budget.spent += 1;
+        evaluator.evaluate(genome).score
+    };
+    let threshold = original_score * cfg.retain_fraction;
+    let mut current = genome.clone();
+    let mut current_score = original_score;
+    let mut passes = Vec::new();
+
+    for grid in cfg.link_grids {
+        if budget.exhausted() {
+            break;
+        }
+        let candidate = current.quantized(grid);
+        if candidate.timestamps == current.timestamps {
+            continue;
+        }
+        budget.spent += 1;
+        let score = evaluator.evaluate(&candidate).score;
+        if score >= threshold {
+            passes.push(format!(
+                "quantize-{}ms: accepted (score {score:.6})",
+                grid.as_millis()
+            ));
+            current = candidate;
+            current_score = score;
+            break; // coarsest acceptable grid wins
+        }
+        passes.push(format!(
+            "quantize-{}ms: rejected (score {score:.6} < {threshold:.6})",
+            grid.as_millis()
+        ));
+    }
+
+    if !budget.exhausted() {
+        let candidate = current.shortened_outages(cfg.outage_cap);
+        if candidate.timestamps != current.timestamps {
+            budget.spent += 1;
+            let score = evaluator.evaluate(&candidate).score;
+            if score >= threshold {
+                passes.push(format!("shorten-outages: accepted (score {score:.6})"));
+                current = candidate;
+                current_score = score;
+            } else {
+                passes.push(format!(
+                    "shorten-outages: rejected (score {score:.6} < {threshold:.6})"
+                ));
+            }
+        }
+    }
+
+    debug_assert_eq!(current.packet_count(), genome.packet_count());
+    let report = MinimizeReport {
+        original_packets: genome.packet_count() as u64,
+        minimized_packets: current.packet_count() as u64,
+        original_score,
+        minimized_score: current_score,
+        threshold,
+        evaluations: budget.spent as u64,
+        passes,
+    };
+    (current, report)
+}
+
+/// Minimizes a stored finding: shrinks its genome with the finding's own
+/// evaluator, then refreshes the outcome, signature, digest and provenance.
+pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, MinimizeReport) {
+    let evaluator = finding.evaluator();
+    let mut out = finding.clone();
+    let report = match &finding.genome {
+        GenomePayload::Traffic(genome) => {
+            let (minimized, report) = minimize_traffic(&evaluator, genome, cfg);
+            out.genome = GenomePayload::Traffic(minimized);
+            report
+        }
+        GenomePayload::Link(genome) => {
+            let (minimized, report) = minimize_link(&evaluator, genome, cfg);
+            out.genome = GenomePayload::Link(minimized);
+            report
+        }
+    };
+    // One final simulation refreshes both the outcome and the digest.
+    let (outcome, digest) = out.replay_run(None);
+    out.outcome = outcome;
+    out.behavior_digest = digest;
+    out.signature = BehaviorSignature::from_outcome(&out.outcome, out.link_rate_bps as f64);
+    // The id names the behaviour, so it follows the refreshed signature.
+    // Minimization preserves the behaviour up to bucket granularity, so the
+    // id usually survives; when a bucket boundary is crossed, store the
+    // result with `Corpus::update`, which removes the old file and applies
+    // the keep-the-stronger dedup policy under the new id.
+    out.id = crate::finding::finding_id(out.cca, out.mode, &out.signature);
+    out.provenance.minimized = true;
+    out.provenance.original_score = report.original_score;
+    out.provenance.original_packets = report.original_packets;
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_core::evaluate::EvalOutcome;
+    use ccfuzz_netsim::time::{SimDuration, SimTime};
+
+    /// A synthetic evaluator: score = fraction of "payload" packets present
+    /// in the window [1s, 2s], plus noise packets contributing nothing.
+    /// Minimization should strip everything outside the window.
+    struct WindowEvaluator;
+
+    impl Evaluator<TrafficGenome> for WindowEvaluator {
+        fn evaluate(&self, genome: &TrafficGenome) -> EvalOutcome {
+            let in_window = genome
+                .timestamps
+                .iter()
+                .filter(|t| {
+                    **t >= SimTime::from_millis(1_000) && **t <= SimTime::from_millis(2_000)
+                })
+                .count();
+            EvalOutcome {
+                score: in_window as f64,
+                ..Default::default()
+            }
+        }
+    }
+
+    fn genome_with(times_ms: &[u64]) -> TrafficGenome {
+        TrafficGenome {
+            timestamps: times_ms
+                .iter()
+                .map(|&ms| SimTime::from_millis(ms))
+                .collect(),
+            duration: SimDuration::from_secs(5),
+            max_packets: 10_000,
+        }
+    }
+
+    #[test]
+    fn ddmin_strips_irrelevant_packets() {
+        // 6 payload packets inside the window, 14 noise packets outside.
+        let mut times: Vec<u64> = (0..14).map(|i| 100 + i * 50).collect(); // 100..750ms
+        times.extend([1_100, 1_200, 1_300, 1_400, 1_500, 1_600]);
+        times.sort_unstable();
+        let genome = genome_with(&times);
+
+        let cfg = MinimizeConfig {
+            retain_fraction: 1.0,
+            ..Default::default()
+        };
+        let (min, report) = minimize_traffic(&WindowEvaluator, &genome, &cfg);
+        assert_eq!(
+            min.packet_count(),
+            6,
+            "only the window packets survive: {report:?}"
+        );
+        assert_eq!(report.minimized_score, report.original_score);
+        assert_eq!(report.original_packets, 20);
+        assert_eq!(report.minimized_packets, 6);
+        min.validate().unwrap();
+    }
+
+    #[test]
+    fn retention_threshold_allows_partial_shrink() {
+        // Score = packets in window; retaining 50% allows dropping half the
+        // payload.
+        let times: Vec<u64> = (0..8).map(|i| 1_100 + i * 100).collect();
+        let genome = genome_with(&times);
+        let cfg = MinimizeConfig {
+            retain_fraction: 0.5,
+            ..Default::default()
+        };
+        let (min, report) = minimize_traffic(&WindowEvaluator, &genome, &cfg);
+        assert!(min.packet_count() <= genome.packet_count());
+        assert!(report.minimized_score >= report.threshold, "{report:?}");
+        assert!(min.packet_count() >= 4, "cannot shrink below the threshold");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let times: Vec<u64> = (0..200).map(|i| i * 20).collect();
+        let genome = genome_with(&times);
+        let cfg = MinimizeConfig {
+            max_evaluations: 10,
+            ..Default::default()
+        };
+        let (_, report) = minimize_traffic(&WindowEvaluator, &genome, &cfg);
+        assert!(report.evaluations <= 10, "{report:?}");
+    }
+
+    #[test]
+    fn empty_genome_is_a_fixed_point() {
+        let genome = genome_with(&[]);
+        let (min, report) = minimize_traffic(&WindowEvaluator, &genome, &MinimizeConfig::default());
+        assert_eq!(min.packet_count(), 0);
+        assert_eq!(report.minimized_packets, 0);
+    }
+
+    /// Link evaluator scoring how much service is missing from [0, 1s) — an
+    /// "outage depth" toy objective that survives quantization.
+    struct OutageEvaluator;
+
+    impl Evaluator<LinkGenome> for OutageEvaluator {
+        fn evaluate(&self, genome: &LinkGenome) -> EvalOutcome {
+            let early = genome
+                .timestamps
+                .iter()
+                .filter(|t| **t < SimTime::from_millis(1_000))
+                .count();
+            EvalOutcome {
+                score: 1.0 / (1.0 + early as f64),
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn link_minimization_preserves_count_and_threshold() {
+        let mut rng = ccfuzz_netsim::rng::SimRng::new(7);
+        let genome = LinkGenome::generate(
+            2_000,
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(50),
+            &mut rng,
+        );
+        let cfg = MinimizeConfig {
+            retain_fraction: 0.8,
+            ..Default::default()
+        };
+        let (min, report) = minimize_link(&OutageEvaluator, &genome, &cfg);
+        assert_eq!(min.packet_count(), genome.packet_count());
+        assert!(report.minimized_score >= report.threshold, "{report:?}");
+        min.validate().unwrap();
+    }
+}

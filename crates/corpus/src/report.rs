@@ -1,0 +1,83 @@
+//! Corpus summary reports (the `ccfuzz report` subcommand).
+
+use crate::store::{Corpus, CorpusError};
+use ccfuzz_analysis::table::{mbps, text_table};
+
+/// Renders a deterministic per-bucket summary of the corpus: one table per
+/// (CCA, mode) bucket, findings sorted by descending score.
+pub fn corpus_report(corpus: &Corpus) -> Result<String, CorpusError> {
+    let buckets = corpus.buckets()?;
+    if buckets.is_empty() {
+        return Ok("corpus is empty\n".to_string());
+    }
+    let mut out = String::new();
+    let mut total = 0usize;
+    for ((cca, mode), findings) in &buckets {
+        out.push_str(&format!(
+            "== {cca} / {mode} ({} finding(s)) ==\n",
+            findings.len()
+        ));
+        let rows: Vec<Vec<String>> = findings
+            .iter()
+            .map(|f| {
+                vec![
+                    f.id.clone(),
+                    f.genome.packet_count().to_string(),
+                    format!("{:.6}", f.outcome.score),
+                    format!("{:.6}", f.outcome.performance_score),
+                    format!("{:.6}", f.outcome.trace_score),
+                    mbps(f.outcome.goodput_bps),
+                    f.outcome.rto_count.to_string(),
+                    if f.provenance.minimized {
+                        format!(
+                            "yes ({} -> {})",
+                            f.provenance.original_packets,
+                            f.genome.packet_count()
+                        )
+                    } else {
+                        "no".to_string()
+                    },
+                ]
+            })
+            .collect();
+        out.push_str(&text_table(
+            &[
+                "finding",
+                "pkts",
+                "score",
+                "perf",
+                "trace",
+                "goodput",
+                "rtos",
+                "minimized",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        total += findings.len();
+    }
+    out.push_str(&format!(
+        "{total} finding(s) in {} bucket(s)\n",
+        buckets.len()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CorpusConfig;
+
+    #[test]
+    fn empty_corpus_reports_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccfuzz-report-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = Corpus::open_with(&dir, CorpusConfig::default()).unwrap();
+        assert_eq!(corpus_report(&corpus).unwrap(), "corpus is empty\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

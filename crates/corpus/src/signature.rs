@@ -1,0 +1,129 @@
+//! Behaviour signatures: coarse, quantized fingerprints of *what an
+//! adversarial trace did to the CCA*, used to deduplicate findings.
+//!
+//! Two traces that starve the CCA the same way (same goodput band, same
+//! order-of-magnitude of RTOs, retransmissions and drops) are the same
+//! finding for regression purposes, even if their timestamps differ — the GA
+//! produces endless near-duplicates of a winning trace. Buckets are
+//! deliberately coarse: goodput and score in 5 % steps, event counters in
+//! power-of-two bands.
+
+use ccfuzz_core::evaluate::EvalOutcome;
+use serde::{Deserialize, Serialize};
+
+/// The quantized behaviour fingerprint of one evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BehaviorSignature {
+    /// Goodput relative to the reference rate, in 5 % buckets (0..=20).
+    pub goodput_bucket: u8,
+    /// Performance score in 5 % buckets (0..=20).
+    pub perf_bucket: u8,
+    /// `log2`-band of the RTO count (0 for none, else `1 + log2(count)`).
+    pub rto_bucket: u8,
+    /// `log2`-band of the retransmission count.
+    pub retx_bucket: u8,
+    /// `log2`-band of the CCA queue-drop count.
+    pub drop_bucket: u8,
+}
+
+/// Places a count into a power-of-two band: 0 -> 0, 1 -> 1, 2-3 -> 2,
+/// 4-7 -> 3, ...
+fn log2_band(count: u64) -> u8 {
+    if count == 0 {
+        0
+    } else {
+        (64 - count.leading_zeros()) as u8
+    }
+}
+
+/// Places a fraction into 5 % buckets, clamped to [0, 20].
+fn fraction_bucket(fraction: f64) -> u8 {
+    if !fraction.is_finite() || fraction <= 0.0 {
+        0
+    } else {
+        (fraction * 20.0).floor().min(20.0) as u8
+    }
+}
+
+impl BehaviorSignature {
+    /// Builds the signature of an evaluation, normalising goodput by
+    /// `reference_rate_bps` (the bottleneck / average link rate).
+    pub fn from_outcome(outcome: &EvalOutcome, reference_rate_bps: f64) -> Self {
+        let reference = reference_rate_bps.max(1.0);
+        BehaviorSignature {
+            goodput_bucket: fraction_bucket(outcome.goodput_bps / reference),
+            perf_bucket: fraction_bucket(outcome.performance_score),
+            rto_bucket: log2_band(outcome.rto_count),
+            retx_bucket: log2_band(outcome.retransmissions),
+            drop_bucket: log2_band(outcome.queue_drops),
+        }
+    }
+
+    /// Packs the signature into a single integer key (used in finding ids
+    /// and for dedup lookups).
+    pub fn key(&self) -> u64 {
+        (self.goodput_bucket as u64)
+            | (self.perf_bucket as u64) << 8
+            | (self.rto_bucket as u64) << 16
+            | (self.retx_bucket as u64) << 24
+            | (self.drop_bucket as u64) << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(goodput_bps: f64, perf: f64, rtos: u64, retx: u64, drops: u64) -> EvalOutcome {
+        EvalOutcome {
+            goodput_bps,
+            performance_score: perf,
+            rto_count: rtos,
+            retransmissions: retx,
+            queue_drops: drops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn similar_outcomes_share_a_signature() {
+        let a = BehaviorSignature::from_outcome(&outcome(3.01e6, 0.81, 4, 33, 17), 12e6);
+        let b = BehaviorSignature::from_outcome(&outcome(3.20e6, 0.84, 5, 40, 20), 12e6);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn different_behaviours_differ() {
+        let starved = BehaviorSignature::from_outcome(&outcome(0.5e6, 0.95, 8, 100, 50), 12e6);
+        let healthy = BehaviorSignature::from_outcome(&outcome(11.5e6, 0.05, 0, 0, 0), 12e6);
+        assert_ne!(starved, healthy);
+        assert_ne!(starved.key(), healthy.key());
+    }
+
+    #[test]
+    fn buckets_handle_extremes() {
+        let sig = BehaviorSignature::from_outcome(&outcome(f64::NAN, -1.0, 0, 0, 0), 12e6);
+        assert_eq!(sig.goodput_bucket, 0);
+        assert_eq!(sig.perf_bucket, 0);
+        assert_eq!(sig.rto_bucket, 0);
+        // Over-reference goodput clamps to the top bucket.
+        let sig = BehaviorSignature::from_outcome(&outcome(20e6, 2.0, u64::MAX, 1, 2), 12e6);
+        assert_eq!(sig.goodput_bucket, 20);
+        assert_eq!(sig.perf_bucket, 20);
+        assert_eq!(sig.rto_bucket, 64);
+        assert_eq!(sig.retx_bucket, 1);
+        assert_eq!(sig.drop_bucket, 2);
+    }
+
+    #[test]
+    fn log2_bands() {
+        assert_eq!(log2_band(0), 0);
+        assert_eq!(log2_band(1), 1);
+        assert_eq!(log2_band(2), 2);
+        assert_eq!(log2_band(3), 2);
+        assert_eq!(log2_band(4), 3);
+        assert_eq!(log2_band(7), 3);
+        assert_eq!(log2_band(8), 4);
+    }
+}

@@ -1,0 +1,474 @@
+//! The on-disk findings corpus.
+//!
+//! A corpus is a directory of `findings/<id>.json` files, one per finding.
+//! The id embeds the behaviour signature, so deduplication is structural:
+//! inserting a finding whose (CCA, mode, signature) already exists either
+//! replaces the stored one (if the new score is higher) or is rejected.
+//! Each (CCA, mode) bucket retains at most `top_k_per_bucket` findings; the
+//! weakest are evicted when the bucket overflows.
+//!
+//! Everything is plain JSON so fixtures can be committed to git and diffed.
+
+use crate::finding::Finding;
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::FuzzMode;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Corpus-wide policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusConfig {
+    /// Maximum findings kept per (CCA, mode) bucket.
+    pub top_k_per_bucket: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            top_k_per_bucket: 8,
+        }
+    }
+}
+
+/// Error raised by corpus operations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusError(pub String);
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corpus error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError(format!("io: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for CorpusError {
+    fn from(e: serde_json::Error) -> Self {
+        CorpusError(format!("json: {e}"))
+    }
+}
+
+/// What [`Corpus::insert`] did with a candidate finding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InsertOutcome {
+    /// The finding was new and stored.
+    Added,
+    /// A weaker finding with the same signature was replaced.
+    ReplacedWeaker {
+        /// Score of the replaced finding.
+        previous_score: f64,
+    },
+    /// A finding with the same signature and an equal or better score is
+    /// already stored.
+    DuplicateRejected {
+        /// Score of the finding already in the corpus.
+        existing_score: f64,
+    },
+    /// The (CCA, mode) bucket is full of stronger findings.
+    BucketFullRejected {
+        /// Weakest stored score in the bucket.
+        weakest_kept_score: f64,
+    },
+}
+
+/// A directory-backed findings corpus.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    root: PathBuf,
+    config: CorpusConfig,
+}
+
+impl Corpus {
+    /// Opens (creating if needed) a corpus rooted at `root`.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Corpus, CorpusError> {
+        Self::open_with(root, CorpusConfig::default())
+    }
+
+    /// Opens a corpus with explicit policy. A `top_k_per_bucket` of 0 would
+    /// make every insert impossible, so it is clamped to 1.
+    pub fn open_with<P: AsRef<Path>>(
+        root: P,
+        mut config: CorpusConfig,
+    ) -> Result<Corpus, CorpusError> {
+        config.top_k_per_bucket = config.top_k_per_bucket.max(1);
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("findings"))?;
+        Ok(Corpus { root, config })
+    }
+
+    /// The corpus root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding the finding JSON files.
+    pub fn findings_dir(&self) -> PathBuf {
+        self.root.join("findings")
+    }
+
+    fn path_for(&self, id: &str) -> PathBuf {
+        self.findings_dir().join(format!("{id}.json"))
+    }
+
+    /// Loads one finding by id.
+    pub fn get(&self, id: &str) -> Result<Finding, CorpusError> {
+        let path = self.path_for(id);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CorpusError(format!("reading {}: {e}", path.display())))?;
+        let finding: Finding = serde_json::from_str(&text)?;
+        finding.validate().map_err(CorpusError)?;
+        Ok(finding)
+    }
+
+    /// Loads every finding, sorted by id (deterministic order).
+    pub fn load_all(&self) -> Result<Vec<Finding>, CorpusError> {
+        let mut ids = self.ids()?;
+        ids.sort();
+        ids.iter().map(|id| self.get(id)).collect()
+    }
+
+    /// All stored finding ids, unsorted.
+    pub fn ids(&self) -> Result<Vec<String>, CorpusError> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(self.findings_dir())? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    ids.push(stem.to_string());
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Writes a finding unconditionally (used by minimization to update a
+    /// stored finding in place).
+    pub fn save(&self, finding: &Finding) -> Result<PathBuf, CorpusError> {
+        finding.validate().map_err(CorpusError)?;
+        let path = self.path_for(&finding.id);
+        let json = serde_json::to_string_pretty(finding)?;
+        std::fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+
+    /// Removes a finding by id.
+    pub fn remove(&self, id: &str) -> Result<(), CorpusError> {
+        std::fs::remove_file(self.path_for(id))?;
+        Ok(())
+    }
+
+    /// Inserts a finding with signature-dedup and top-K bucket retention.
+    pub fn insert(&self, finding: &Finding) -> Result<InsertOutcome, CorpusError> {
+        finding.validate().map_err(CorpusError)?;
+
+        // Signature-level dedup: the id embeds (cca, mode, signature).
+        if let Ok(existing) = self.get(&finding.id) {
+            if existing.outcome.score >= finding.outcome.score {
+                return Ok(InsertOutcome::DuplicateRejected {
+                    existing_score: existing.outcome.score,
+                });
+            }
+            self.save(finding)?;
+            return Ok(InsertOutcome::ReplacedWeaker {
+                previous_score: existing.outcome.score,
+            });
+        }
+
+        // Bucket retention: keep only the strongest `top_k_per_bucket`
+        // findings per (cca, mode).
+        let mut bucket: Vec<Finding> = self
+            .load_all()?
+            .into_iter()
+            .filter(|f| f.cca == finding.cca && f.mode == finding.mode)
+            .collect();
+        if bucket.len() >= self.config.top_k_per_bucket {
+            bucket.sort_by(|a, b| {
+                a.outcome
+                    .score
+                    .partial_cmp(&b.outcome.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let weakest = &bucket[0];
+            if weakest.outcome.score >= finding.outcome.score {
+                return Ok(InsertOutcome::BucketFullRejected {
+                    weakest_kept_score: weakest.outcome.score,
+                });
+            }
+            // Evict enough of the weakest to make room.
+            let evict = bucket.len() + 1 - self.config.top_k_per_bucket;
+            for f in bucket.iter().take(evict) {
+                self.remove(&f.id)?;
+            }
+        }
+        self.save(finding)?;
+        Ok(InsertOutcome::Added)
+    }
+
+    /// Findings grouped by (CCA, mode), each group sorted by descending
+    /// score — the shape reports want.
+    #[allow(clippy::type_complexity)]
+    pub fn buckets(&self) -> Result<BTreeMap<(String, String), Vec<Finding>>, CorpusError> {
+        let mut out: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for finding in self.load_all()? {
+            let mode = match finding.mode {
+                FuzzMode::Link => "link",
+                FuzzMode::Traffic => "traffic",
+            };
+            out.entry((finding.cca.name().to_string(), mode.to_string()))
+                .or_default()
+                .push(finding);
+        }
+        for group in out.values_mut() {
+            group.sort_by(|a, b| {
+                b.outcome
+                    .score
+                    .partial_cmp(&a.outcome.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+        }
+        Ok(out)
+    }
+
+    /// Convenience: ids of one CCA's findings (any mode), sorted. Filters on
+    /// the stored `cca` field rather than an id prefix — several CCA names
+    /// are prefixes of others ("cubic" / "cubic-ns3-buggy").
+    pub fn ids_for_cca(&self, cca: CcaKind) -> Result<Vec<String>, CorpusError> {
+        let mut ids: Vec<String> = self
+            .load_all()?
+            .into_iter()
+            .filter(|f| f.cca == cca)
+            .map(|f| f.id)
+            .collect();
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Replaces the stored finding `old_id` with `finding` (the minimization
+    /// path). When the id is unchanged this is a plain overwrite; when
+    /// minimization moved the finding into another signature bucket, the old
+    /// file is removed and the finding goes through [`Corpus::insert`], so a
+    /// stronger finding already stored under the new id is never clobbered.
+    pub fn update(&self, old_id: &str, finding: &Finding) -> Result<InsertOutcome, CorpusError> {
+        if finding.id == old_id {
+            self.save(finding)?;
+            return Ok(InsertOutcome::Added);
+        }
+        self.remove(old_id)?;
+        self.insert(finding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::{finding_id, GenomePayload, Provenance};
+    use crate::signature::BehaviorSignature;
+    use ccfuzz_core::campaign::paper_sim_base;
+    use ccfuzz_core::evaluate::EvalOutcome;
+    use ccfuzz_core::genome::TrafficGenome;
+    use ccfuzz_core::scoring::ScoringConfig;
+    use ccfuzz_netsim::time::{SimDuration, SimTime};
+
+    /// A synthetic finding whose outcome (and hence signature) is controlled
+    /// by the caller — no simulation involved.
+    fn synthetic(cca: CcaKind, score: f64, rto_count: u64) -> Finding {
+        let duration = SimDuration::from_secs(2);
+        let outcome = EvalOutcome {
+            score,
+            performance_score: score,
+            rto_count,
+            goodput_bps: 1e6,
+            ..Default::default()
+        };
+        let signature = BehaviorSignature::from_outcome(&outcome, 12e6);
+        let genome = TrafficGenome {
+            timestamps: vec![SimTime::from_millis(100), SimTime::from_millis(200)],
+            duration,
+            max_packets: 100,
+        };
+        Finding {
+            id: finding_id(cca, FuzzMode::Traffic, &signature),
+            cca,
+            mode: FuzzMode::Traffic,
+            genome: GenomePayload::Traffic(genome),
+            sim: paper_sim_base(duration),
+            scoring: ScoringConfig::low_throughput_default(12e6),
+            link_rate_bps: 12_000_000,
+            outcome,
+            signature,
+            behavior_digest: 0,
+            provenance: Provenance {
+                seed: 1,
+                generations: 1,
+                total_evaluations: 1,
+                minimized: false,
+                original_score: score,
+                original_packets: 2,
+            },
+        }
+    }
+
+    fn temp_corpus(config: CorpusConfig) -> (Corpus, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "ccfuzz-corpus-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Corpus::open_with(&dir, config).unwrap(), dir)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_the_finding() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        let finding = synthetic(CcaKind::Reno, 0.9, 4);
+        corpus.save(&finding).unwrap();
+        let loaded = corpus.get(&finding.id).unwrap();
+        assert_eq!(loaded, finding);
+        assert_eq!(corpus.load_all().unwrap(), vec![finding]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn insert_dedups_by_signature_keeping_the_stronger() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        // Same signature bucket (scores 0.90 / 0.91 share the 5% bucket 18),
+        // different scores.
+        let weak = synthetic(CcaKind::Reno, 0.90, 4);
+        let strong = synthetic(CcaKind::Reno, 0.912, 4);
+        assert_eq!(weak.id, strong.id, "test premise: same signature");
+
+        assert_eq!(corpus.insert(&weak).unwrap(), InsertOutcome::Added);
+        assert_eq!(
+            corpus.insert(&weak).unwrap(),
+            InsertOutcome::DuplicateRejected {
+                existing_score: 0.90
+            }
+        );
+        assert_eq!(
+            corpus.insert(&strong).unwrap(),
+            InsertOutcome::ReplacedWeaker {
+                previous_score: 0.90
+            }
+        );
+        assert_eq!(corpus.get(&weak.id).unwrap().outcome.score, 0.912);
+        assert_eq!(corpus.load_all().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bucket_retention_evicts_the_weakest() {
+        let (corpus, dir) = temp_corpus(CorpusConfig {
+            top_k_per_bucket: 2,
+        });
+        // Three distinct signatures (different rto bands).
+        let a = synthetic(CcaKind::Reno, 0.5, 1);
+        let b = synthetic(CcaKind::Reno, 0.7, 2);
+        let c = synthetic(CcaKind::Reno, 0.9, 4);
+        assert_eq!(corpus.insert(&a).unwrap(), InsertOutcome::Added);
+        assert_eq!(corpus.insert(&b).unwrap(), InsertOutcome::Added);
+        assert_eq!(corpus.insert(&c).unwrap(), InsertOutcome::Added);
+        let kept = corpus.load_all().unwrap();
+        assert_eq!(kept.len(), 2);
+        assert!(
+            kept.iter().all(|f| f.outcome.score > 0.6),
+            "weakest was evicted"
+        );
+
+        // A finding weaker than everything kept is rejected.
+        let d = synthetic(CcaKind::Reno, 0.4, 8);
+        assert_eq!(
+            corpus.insert(&d).unwrap(),
+            InsertOutcome::BucketFullRejected {
+                weakest_kept_score: 0.7
+            }
+        );
+        // Other buckets (different CCA) are unaffected by retention.
+        let e = synthetic(CcaKind::Cubic, 0.2, 1);
+        assert_eq!(corpus.insert(&e).unwrap(), InsertOutcome::Added);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn update_never_clobbers_a_stronger_finding_on_id_collision() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        // A and B share neither score bucket nor rto band initially.
+        let a = synthetic(CcaKind::Reno, 0.91, 4);
+        let b = synthetic(CcaKind::Reno, 0.5, 1);
+        corpus.insert(&a).unwrap();
+        corpus.insert(&b).unwrap();
+
+        // Minimization moved B into A's signature bucket, but weaker than A.
+        let mut b_minimized = synthetic(CcaKind::Reno, 0.905, 4);
+        b_minimized.provenance.minimized = true;
+        assert_eq!(b_minimized.id, a.id, "test premise: collision with A");
+
+        let outcome = corpus.update(&b.id, &b_minimized).unwrap();
+        assert_eq!(
+            outcome,
+            InsertOutcome::DuplicateRejected {
+                existing_score: 0.91
+            }
+        );
+        // A survives untouched; B's old file is gone.
+        assert_eq!(corpus.get(&a.id).unwrap().outcome.score, 0.91);
+        assert!(corpus.get(&b.id).is_err());
+
+        // Same-id update is a plain overwrite.
+        let a_refreshed = synthetic(CcaKind::Reno, 0.91, 4);
+        assert_eq!(
+            corpus.update(&a.id, &a_refreshed).unwrap(),
+            InsertOutcome::Added
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn zero_top_k_is_clamped_not_a_panic() {
+        let (corpus, dir) = temp_corpus(CorpusConfig {
+            top_k_per_bucket: 0,
+        });
+        assert_eq!(
+            corpus.insert(&synthetic(CcaKind::Reno, 0.9, 4)).unwrap(),
+            InsertOutcome::Added
+        );
+        assert_eq!(corpus.load_all().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ids_for_cca_does_not_conflate_prefix_named_ccas() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        corpus.insert(&synthetic(CcaKind::Cubic, 0.9, 4)).unwrap();
+        corpus
+            .insert(&synthetic(CcaKind::CubicNs3Buggy, 0.9, 4))
+            .unwrap();
+        let cubic = corpus.ids_for_cca(CcaKind::Cubic).unwrap();
+        assert_eq!(cubic.len(), 1);
+        assert!(cubic[0].starts_with("cubic-traffic-"));
+        assert_eq!(corpus.ids_for_cca(CcaKind::CubicNs3Buggy).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn buckets_group_and_sort_by_score() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        corpus.insert(&synthetic(CcaKind::Reno, 0.5, 1)).unwrap();
+        corpus.insert(&synthetic(CcaKind::Reno, 0.9, 4)).unwrap();
+        corpus.insert(&synthetic(CcaKind::Cubic, 0.7, 2)).unwrap();
+        let buckets = corpus.buckets().unwrap();
+        assert_eq!(buckets.len(), 2);
+        let reno = &buckets[&("reno".to_string(), "traffic".to_string())];
+        assert_eq!(reno.len(), 2);
+        assert!(reno[0].outcome.score > reno[1].outcome.score);
+        assert_eq!(corpus.ids_for_cca(CcaKind::Cubic).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

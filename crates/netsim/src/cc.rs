@@ -169,7 +169,9 @@ pub mod reference_cc {
     impl FixedWindowCc {
         /// Creates a fixed-window algorithm with the given window (packets).
         pub fn new(window: u64) -> Self {
-            FixedWindowCc { window: window.max(1) }
+            FixedWindowCc {
+                window: window.max(1),
+            }
         }
     }
 
@@ -327,13 +329,19 @@ mod tests {
         let mut cc = MiniAimdCc::new(16);
         cc.on_congestion(
             &ctx(),
-            CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true },
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
         );
         assert_eq!(cc.cwnd(), 8);
         // Further losses in the same episode do not halve again.
         cc.on_congestion(
             &ctx(),
-            CongestionSignal::FastRetransmitLoss { newly_lost: 2, new_episode: false },
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 2,
+                new_episode: false,
+            },
         );
         assert_eq!(cc.cwnd(), 8);
         cc.on_congestion(&ctx(), CongestionSignal::Rto);
@@ -347,7 +355,10 @@ mod tests {
         // Force out of slow start.
         cc.on_congestion(
             &ctx(),
-            CongestionSignal::FastRetransmitLoss { newly_lost: 1, new_episode: true },
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
         );
         let w0 = cc.cwnd();
         // One window's worth of ACKs grows cwnd by exactly 1.

@@ -71,7 +71,9 @@ impl SimConfig {
     /// one bandwidth-delay product (~40 packets) — with a 30 s scenario.
     pub fn paper_default() -> Self {
         SimConfig {
-            link: LinkModel::FixedRate { rate_bps: 12_000_000 },
+            link: LinkModel::FixedRate {
+                rate_bps: 12_000_000,
+            },
             propagation_delay: SimDuration::from_millis(20),
             queue_capacity: QueueCapacity::Packets(100),
             cross_traffic: TrafficTrace::empty(SimDuration::from_secs(30)),

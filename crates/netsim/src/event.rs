@@ -118,7 +118,11 @@ impl EventQueue {
     /// Scheduling in the past is a logic error in the simulator; in release
     /// builds the event is clamped to "now" to keep time monotone.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        debug_assert!(at >= self.now, "scheduling event in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling event in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(ScheduledEvent {
             at,

@@ -164,12 +164,14 @@ mod tests {
 
     #[test]
     fn fixed_rate_serializes_back_to_back() {
-        let mut link = LinkService::new(LinkModel::FixedRate { rate_bps: 12_000_000 });
+        let mut link = LinkService::new(LinkModel::FixedRate {
+            rate_bps: 12_000_000,
+        });
         let t0 = SimTime::ZERO;
         assert_eq!(link.next_action(t0, true), LinkAction::TransmitNow);
         let done = link.on_transmit(t0, 1500);
         assert_eq!(done.as_micros(), 1000); // 1500B at 12Mbps = 1ms
-        // While busy, must wait.
+                                            // While busy, must wait.
         assert_eq!(
             link.next_action(SimTime::from_micros(500), true),
             LinkAction::WaitUntil(done)
@@ -181,7 +183,9 @@ mod tests {
 
     #[test]
     fn fixed_rate_idle_when_queue_empty() {
-        let mut link = LinkService::new(LinkModel::FixedRate { rate_bps: 12_000_000 });
+        let mut link = LinkService::new(LinkModel::FixedRate {
+            rate_bps: 12_000_000,
+        });
         assert_eq!(
             link.next_action(SimTime::ZERO, false),
             LinkAction::WaitUntil(SimTime::MAX)
@@ -226,7 +230,10 @@ mod tests {
         );
         let mut link = LinkService::new(LinkModel::TraceDriven { trace });
         // At 25ms with an empty queue both past opportunities are wasted.
-        assert_eq!(link.next_action(SimTime::from_millis(25), false), LinkAction::Exhausted);
+        assert_eq!(
+            link.next_action(SimTime::from_millis(25), false),
+            LinkAction::Exhausted
+        );
         assert_eq!(link.wasted_opportunities(), 2);
         assert_eq!(link.transmitted(), 0);
     }
@@ -261,7 +268,10 @@ mod tests {
             LinkAction::TransmitNow
         );
         link.on_transmit(SimTime::from_millis(10), 1500);
-        assert_eq!(link.next_action(SimTime::from_millis(11), true), LinkAction::Exhausted);
+        assert_eq!(
+            link.next_action(SimTime::from_millis(11), true),
+            LinkAction::Exhausted
+        );
     }
 
     #[test]

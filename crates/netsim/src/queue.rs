@@ -170,7 +170,10 @@ mod tests {
         assert!(q.enqueue(pkt(0), SimTime::ZERO));
         assert!(q.enqueue(pkt(1), SimTime::ZERO));
         assert!(q.enqueue(pkt(2), SimTime::ZERO));
-        assert!(!q.enqueue(pkt(3), SimTime::ZERO), "fourth packet must be dropped");
+        assert!(
+            !q.enqueue(pkt(3), SimTime::ZERO),
+            "fourth packet must be dropped"
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.counters().dropped_cca, 1);
         // After a dequeue there is room again.

@@ -165,7 +165,10 @@ mod tests {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "two seeds should produce mostly different streams");
+        assert!(
+            same < 4,
+            "two seeds should produce mostly different streams"
+        );
     }
 
     #[test]
@@ -208,7 +211,10 @@ mod tests {
             buckets[(rng.next_f64() * 10.0) as usize] += 1;
         }
         for b in buckets {
-            assert!((8_000..12_000).contains(&b), "bucket count {b} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from uniform"
+            );
         }
     }
 
@@ -245,6 +251,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should change order");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should change order"
+        );
     }
 }

@@ -60,7 +60,11 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation from a configuration and a congestion controller.
     pub fn new(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> Self {
-        debug_assert!(cfg.validate().is_ok(), "invalid SimConfig: {:?}", cfg.validate());
+        debug_assert!(
+            cfg.validate().is_ok(),
+            "invalid SimConfig: {:?}",
+            cfg.validate()
+        );
         let sender_cfg = SenderConfig {
             mss: cfg.mss,
             sack_enabled: cfg.sack_enabled,
@@ -113,7 +117,12 @@ impl Simulation {
 
     fn record_bottleneck(&mut self, at: SimTime, flow: FlowId, size: u32, event: BottleneckEvent) {
         if self.cfg.record_events {
-            self.stats.bottleneck.push(BottleneckRecord { at, flow, size, event });
+            self.stats.bottleneck.push(BottleneckRecord {
+                at,
+                flow,
+                size,
+                event,
+            });
         }
     }
 
@@ -140,7 +149,10 @@ impl Simulation {
                 LinkAction::WaitUntil(t) => {
                     if t != SimTime::MAX
                         && t <= self.end_time()
-                        && self.link_ready_scheduled.map(|s| s > t || s < now).unwrap_or(true)
+                        && self
+                            .link_ready_scheduled
+                            .map(|s| s > t || s < now)
+                            .unwrap_or(true)
                     {
                         self.events.schedule(t, Event::LinkReady);
                         self.link_ready_scheduled = Some(t);
@@ -177,8 +189,10 @@ impl Simulation {
     fn sync_rto_timer(&mut self) {
         if let Some((deadline, generation)) = self.sender.rto_deadline() {
             if self.rto_scheduled != Some((deadline, generation)) {
-                self.events
-                    .schedule(deadline.max(self.events.now()), Event::RtoTimer { generation });
+                self.events.schedule(
+                    deadline.max(self.events.now()),
+                    Event::RtoTimer { generation },
+                );
                 self.rto_scheduled = Some((deadline, generation));
             }
         }
@@ -194,9 +208,13 @@ impl Simulation {
                 }
                 SendPoll::Wait(t) => {
                     if t <= self.end_time()
-                        && self.pacing_scheduled.map(|s| s > t || s <= now).unwrap_or(true)
+                        && self
+                            .pacing_scheduled
+                            .map(|s| s > t || s <= now)
+                            .unwrap_or(true)
                     {
-                        self.events.schedule(t, Event::PacingTimer { generation: 0 });
+                        self.events
+                            .schedule(t, Event::PacingTimer { generation: 0 });
                         self.pacing_scheduled = Some(t);
                     }
                     break;
@@ -289,7 +307,11 @@ impl Simulation {
                     self.deliver_ack_to_sender(ack, now);
                 }
                 Event::RtoTimer { generation } => {
-                    if self.rto_scheduled.map(|(_, g)| g == generation).unwrap_or(false) {
+                    if self
+                        .rto_scheduled
+                        .map(|(_, g)| g == generation)
+                        .unwrap_or(false)
+                    {
                         self.rto_scheduled = None;
                     }
                     if self.sender.on_rto_timer(generation, now) {
@@ -363,10 +385,16 @@ mod tests {
     fn fixed_window_flow_delivers_packets() {
         let cfg = base_cfg();
         let result = run_simulation(cfg, Box::new(FixedWindowCc::new(10)));
-        assert!(result.stats.flow.delivered_packets > 100,
-            "delivered {}", result.stats.flow.delivered_packets);
+        assert!(
+            result.stats.flow.delivered_packets > 100,
+            "delivered {}",
+            result.stats.flow.delivered_packets
+        );
         assert!(!result.stats.truncated);
-        assert_eq!(result.stats.flow.queue_drops, 0, "window of 10 cannot overflow a 100-packet queue");
+        assert_eq!(
+            result.stats.flow.queue_drops, 0,
+            "window of 10 cannot overflow a 100-packet queue"
+        );
     }
 
     #[test]
@@ -402,7 +430,10 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.queue_capacity = QueueCapacity::Packets(20);
         let result = run_simulation(cfg, Box::new(FixedWindowCc::new(500)));
-        assert!(result.stats.flow.queue_drops > 0, "a 500-packet window must overflow a 20-packet queue");
+        assert!(
+            result.stats.flow.queue_drops > 0,
+            "a 500-packet window must overflow a 20-packet queue"
+        );
         assert!(result.stats.flow.retransmissions > 0);
         // The flow keeps making progress regardless.
         assert!(result.stats.flow.delivered_packets > 500);
@@ -411,11 +442,7 @@ mod tests {
     #[test]
     fn trace_driven_link_limits_delivery_to_opportunities() {
         let mut cfg = base_cfg();
-        let trace = LinkTrace::constant_rate(
-            12_000_000,
-            cfg.mss,
-            SimDuration::from_millis(200),
-        );
+        let trace = LinkTrace::constant_rate(12_000_000, cfg.mss, SimDuration::from_millis(200));
         let opportunities = trace.len() as u64;
         cfg.link = LinkModel::TraceDriven { trace };
         let result = run_simulation(cfg, Box::new(FixedWindowCc::new(50)));
@@ -433,9 +460,7 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.queue_capacity = QueueCapacity::Packets(50);
         // Heavy cross traffic: 2000 packets over 5 s ≈ 4.6 Mbps of the 12 Mbps link.
-        let injections: Vec<SimTime> = (0..2000)
-            .map(|i| SimTime::from_micros(i * 2_500))
-            .collect();
+        let injections: Vec<SimTime> = (0..2000).map(|i| SimTime::from_micros(i * 2_500)).collect();
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
         let mss = cfg.mss;
         let with_cross = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
@@ -459,7 +484,11 @@ mod tests {
                 result.stats.events_processed,
             )
         };
-        assert_eq!(run(), run(), "identical configs must produce identical results");
+        assert_eq!(
+            run(),
+            run(),
+            "identical configs must produce identical results"
+        );
     }
 
     #[test]
@@ -479,7 +508,10 @@ mod tests {
             max_delay <= SimDuration::from_millis(60),
             "queuing delay {max_delay} exceeds what a 50-packet queue at ~1ms/pkt allows"
         );
-        assert!(max_delay >= SimDuration::from_millis(30), "queue should actually fill: {max_delay}");
+        assert!(
+            max_delay >= SimDuration::from_millis(30),
+            "queue should actually fill: {max_delay}"
+        );
     }
 
     #[test]
@@ -524,9 +556,7 @@ mod tests {
     fn packet_conservation_at_the_queue() {
         let mut cfg = base_cfg();
         cfg.queue_capacity = QueueCapacity::Packets(30);
-        let injections: Vec<SimTime> = (0..1000)
-            .map(|i| SimTime::from_micros(i * 4_000))
-            .collect();
+        let injections: Vec<SimTime> = (0..1000).map(|i| SimTime::from_micros(i * 4_000)).collect();
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
         let result = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
         let c = result.stats.queue_counters;

@@ -202,6 +202,49 @@ impl RunStats {
     pub fn count_transport<F: Fn(&TransportEvent) -> bool>(&self, pred: F) -> usize {
         self.transport.iter().filter(|r| pred(&r.event)).count()
     }
+
+    /// A deterministic fingerprint of the run's observable behaviour
+    /// (FNV-1a over the flow summary, queue counters and every delivery
+    /// timestamp). Two runs of the same (config, trace, seed) must produce
+    /// the same digest — this is the replay-determinism hook the regression
+    /// corpus uses to verify that replays reproduce a stored finding exactly,
+    /// not merely with a similar score.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        let f = &self.flow;
+        for v in [
+            f.delivered_packets,
+            f.delivered_bytes,
+            f.transmissions,
+            f.retransmissions,
+            f.marked_lost,
+            f.queue_drops,
+            f.rto_count,
+            f.recovery_episodes,
+            f.final_srtt_us,
+            f.min_rtt_us,
+            f.highest_sent,
+            f.final_cum_ack,
+            self.cross_delivered,
+            self.cross_dropped,
+            self.events_processed,
+            self.truncated as u64,
+        ] {
+            mix(v);
+        }
+        for t in &self.delivery_times {
+            mix(t.as_nanos());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -225,12 +268,16 @@ mod tests {
                 record(
                     3,
                     FlowId::Cca,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(2) },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::from_millis(2),
+                    },
                 ),
                 record(
                     4,
                     FlowId::CrossTraffic,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::from_millis(1) },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::from_millis(1),
+                    },
                 ),
             ],
             ..Default::default()
@@ -251,7 +298,9 @@ mod tests {
                 record(
                     3,
                     FlowId::Cca,
-                    BottleneckEvent::Dequeued { queuing_delay: SimDuration::ZERO },
+                    BottleneckEvent::Dequeued {
+                        queuing_delay: SimDuration::ZERO,
+                    },
                 ),
             ],
             ..Default::default()
@@ -270,7 +319,11 @@ mod tests {
             transport: vec![
                 TransportRecord {
                     at: SimTime::ZERO,
-                    event: TransportEvent::Sent { seq: 0, retransmission: false, delivered_stamp: 0 },
+                    event: TransportEvent::Sent {
+                        seq: 0,
+                        retransmission: false,
+                        delivered_stamp: 0,
+                    },
                 },
                 TransportRecord {
                     at: SimTime::from_millis(1),
@@ -294,10 +347,33 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = RunStats {
+            delivery_times: vec![SimTime::from_millis(10), SimTime::from_millis(20)],
+            flow: FlowSummary {
+                delivered_packets: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = a.clone();
+        assert_eq!(a.digest(), b.digest(), "identical runs share a digest");
+        let mut c = a.clone();
+        c.flow.retransmissions = 1;
+        assert_ne!(a.digest(), c.digest(), "counter changes alter the digest");
+        let mut d = a.clone();
+        d.delivery_times[1] = SimTime::from_millis(21);
+        assert_ne!(a.digest(), d.digest(), "timing changes alter the digest");
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let stats = RunStats {
             delivery_times: vec![SimTime::from_millis(10)],
-            flow: FlowSummary { delivered_packets: 1, ..Default::default() },
+            flow: FlowSummary {
+                delivered_packets: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let json = serde_json::to_string(&stats).unwrap();

@@ -141,7 +141,9 @@ impl TcpReceiver {
             (true, _) => {
                 self.ooo_ranges[i].end += 1;
                 // May now touch the following range; merge.
-                if i + 1 < self.ooo_ranges.len() && self.ooo_ranges[i].end == self.ooo_ranges[i + 1].start {
+                if i + 1 < self.ooo_ranges.len()
+                    && self.ooo_ranges[i].end == self.ooo_ranges[i + 1].start
+                {
                     self.ooo_ranges[i].end = self.ooo_ranges[i + 1].end;
                     self.ooo_ranges.remove(i + 1);
                 }
@@ -152,7 +154,13 @@ impl TcpReceiver {
                 self.last_updated_range = Some(i);
             }
             (false, false) => {
-                self.ooo_ranges.insert(i, SackBlock { start: seq, end: seq + 1 });
+                self.ooo_ranges.insert(
+                    i,
+                    SackBlock {
+                        start: seq,
+                        end: seq + 1,
+                    },
+                );
                 self.last_updated_range = Some(i);
             }
         }
@@ -221,8 +229,8 @@ impl TcpReceiver {
         self.record_newest(pkt);
         let mut out = ReceiverOutput::default();
 
-        let is_duplicate = pkt.seq < self.cum_ack
-            || self.ooo_ranges.iter().any(|r| r.contains(pkt.seq));
+        let is_duplicate =
+            pkt.seq < self.cum_ack || self.ooo_ranges.iter().any(|r| r.contains(pkt.seq));
         if is_duplicate {
             self.duplicates += 1;
             // Duplicate data: acknowledge immediately (flushes anything pending).
@@ -346,9 +354,15 @@ mod tests {
         let out3 = r.on_data(&pkt(3), SimTime::from_millis(3));
         assert_eq!(out3.acks.len(), 1, "out-of-order data is ACKed immediately");
         assert_eq!(out3.acks[0].cum_ack, 2);
-        assert_eq!(out3.acks[0].sack_blocks, vec![SackBlock { start: 3, end: 4 }]);
+        assert_eq!(
+            out3.acks[0].sack_blocks,
+            vec![SackBlock { start: 3, end: 4 }]
+        );
         let out4 = r.on_data(&pkt(4), SimTime::from_millis(4));
-        assert_eq!(out4.acks[0].sack_blocks, vec![SackBlock { start: 3, end: 5 }]);
+        assert_eq!(
+            out4.acks[0].sack_blocks,
+            vec![SackBlock { start: 3, end: 5 }]
+        );
         assert_eq!(r.ooo_packets(), 2);
         // The retransmitted packet 2 fills the gap; cum ack jumps to 5.
         let out2 = r.on_data(&pkt(2), SimTime::from_millis(10));
@@ -368,7 +382,11 @@ mod tests {
         let out = r.on_data(&pkt(6), SimTime::ZERO);
         let blocks = &out.acks[0].sack_blocks;
         assert_eq!(blocks.len(), 3);
-        assert_eq!(blocks[0], SackBlock { start: 6, end: 7 }, "most recently updated first");
+        assert_eq!(
+            blocks[0],
+            SackBlock { start: 6, end: 7 },
+            "most recently updated first"
+        );
         assert!(blocks.contains(&SackBlock { start: 2, end: 3 }));
         assert!(blocks.contains(&SackBlock { start: 4, end: 5 }));
     }

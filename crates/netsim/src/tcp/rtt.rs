@@ -131,7 +131,11 @@ mod tests {
         for _ in 0..50 {
             e.on_sample(SimDuration::from_millis(40));
         }
-        assert_eq!(e.rto(), SimDuration::from_secs(1), "min-RTO of 1s always applies at 40ms RTT");
+        assert_eq!(
+            e.rto(),
+            SimDuration::from_secs(1),
+            "min-RTO of 1s always applies at 40ms RTT"
+        );
     }
 
     #[test]
@@ -174,7 +178,11 @@ mod tests {
         assert_eq!(e.rto_backed_off(0), SimDuration::from_secs(1));
         assert_eq!(e.rto_backed_off(1), SimDuration::from_secs(2));
         assert_eq!(e.rto_backed_off(3), SimDuration::from_secs(8));
-        assert_eq!(e.rto_backed_off(10), SimDuration::from_secs(60), "capped at max_rto");
+        assert_eq!(
+            e.rto_backed_off(10),
+            SimDuration::from_secs(60),
+            "capped at max_rto"
+        );
         assert_eq!(e.rto_backed_off(63), SimDuration::from_secs(60));
     }
 }

@@ -407,7 +407,12 @@ impl TcpSender {
         }
 
         self.rto_count += 1;
-        self.log_event(now, TransportEvent::RtoFired { backoff: self.rto_backoff });
+        self.log_event(
+            now,
+            TransportEvent::RtoFired {
+                backoff: self.rto_backoff,
+            },
+        );
         self.rto_backoff = (self.rto_backoff + 1).min(16);
 
         // tcp_enter_loss: every un-SACKed packet below next_seq is marked
@@ -468,8 +473,10 @@ impl TcpSender {
         let consider_sample = |skb: &Skb, sample_skb: &mut Option<Skb>| {
             let better = match sample_skb {
                 None => true,
-                Some(cur) => skb.tx_delivered > cur.tx_delivered
-                    || (skb.tx_delivered == cur.tx_delivered && skb.last_tx > cur.last_tx),
+                Some(cur) => {
+                    skb.tx_delivered > cur.tx_delivered
+                        || (skb.tx_delivered == cur.tx_delivered && skb.last_tx > cur.last_tx)
+                }
             };
             if better {
                 *sample_skb = Some(skb.clone());
@@ -503,7 +510,12 @@ impl TcpSender {
             }
             self.cum_ack = ack.cum_ack;
             self.dup_acks = 0;
-            self.log_event(now, TransportEvent::CumAckAdvanced { cum_ack: ack.cum_ack });
+            self.log_event(
+                now,
+                TransportEvent::CumAckAdvanced {
+                    cum_ack: ack.cum_ack,
+                },
+            );
         }
 
         // --- SACK blocks ---
@@ -640,7 +652,10 @@ impl TcpSender {
             let ctx = self.ctx(now);
             self.cc.on_congestion(
                 &ctx,
-                CongestionSignal::FastRetransmitLoss { newly_lost, new_episode },
+                CongestionSignal::FastRetransmitLoss {
+                    newly_lost,
+                    new_episode,
+                },
             );
         }
         self.drain_cc_events(now);
@@ -727,7 +742,10 @@ mod tests {
     use crate::packet::SackBlock;
 
     fn sender_with_window(window: u64) -> TcpSender {
-        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(FixedWindowCc::new(window)));
+        let mut s = TcpSender::new(
+            SenderConfig::paper_default(),
+            Box::new(FixedWindowCc::new(window)),
+        );
         s.on_flow_start(SimTime::ZERO);
         s
     }
@@ -746,11 +764,8 @@ mod tests {
 
     fn drain_packets(s: &mut TcpSender, now: SimTime) -> Vec<DataPacket> {
         let mut out = Vec::new();
-        loop {
-            match s.poll_send(now) {
-                SendPoll::Packet(p) => out.push(p),
-                _ => break,
-            }
+        while let SendPoll::Packet(p) = s.poll_send(now) {
+            out.push(p);
         }
         out
     }
@@ -760,15 +775,24 @@ mod tests {
         let mut s = sender_with_window(4);
         let pkts = drain_packets(&mut s, SimTime::ZERO);
         assert_eq!(pkts.len(), 4);
-        assert_eq!(pkts.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            pkts.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(s.in_flight(), 4);
         assert_eq!(s.poll_send(SimTime::ZERO), SendPoll::Blocked);
-        assert!(s.rto_deadline().is_some(), "RTO armed after first transmission");
+        assert!(
+            s.rto_deadline().is_some(),
+            "RTO armed after first transmission"
+        );
     }
 
     #[test]
     fn does_not_send_before_flow_start() {
-        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(FixedWindowCc::new(4)));
+        let mut s = TcpSender::new(
+            SenderConfig::paper_default(),
+            Box::new(FixedWindowCc::new(4)),
+        );
         assert_eq!(s.poll_send(SimTime::ZERO), SendPoll::Blocked);
     }
 
@@ -808,7 +832,11 @@ mod tests {
         s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 3 }], now), now);
         assert_eq!(s.lost_total(), 0);
         s.on_ack(&ack(0, vec![SackBlock { start: 1, end: 4 }], now), now);
-        assert_eq!(s.lost_total(), 1, "3 SACKed packets above seq 0 mark it lost");
+        assert_eq!(
+            s.lost_total(),
+            1,
+            "3 SACKed packets above seq 0 mark it lost"
+        );
         assert!(s.in_recovery());
         assert_eq!(s.delivered(), 3);
         // The retransmission goes out next.
@@ -832,7 +860,10 @@ mod tests {
         drain_packets(&mut s, now);
         let later = SimTime::from_millis(120);
         s.on_ack(&ack(recovery_high, vec![], later), later);
-        assert!(!s.in_recovery(), "recovery exits once cum_ack reaches recovery point");
+        assert!(
+            !s.in_recovery(),
+            "recovery exits once cum_ack reaches recovery point"
+        );
     }
 
     #[test]
@@ -859,7 +890,11 @@ mod tests {
         let mut s = sender_with_window(5);
         drain_packets(&mut s, SimTime::ZERO);
         let (deadline, generation) = s.rto_deadline().unwrap();
-        assert_eq!(deadline, SimTime::from_secs_f64(1.0), "initial RTO is 1s (min-RTO)");
+        assert_eq!(
+            deadline,
+            SimTime::from_secs_f64(1.0),
+            "initial RTO is 1s (min-RTO)"
+        );
         assert!(s.on_rto_timer(generation, deadline));
         assert_eq!(s.rto_count(), 1);
         assert_eq!(s.lost_total(), 5);
@@ -906,8 +941,10 @@ mod tests {
         // Head (0) and then 9 (never SACKed) get retransmitted; 9's original
         // SACK is still "in the network".
         let pkts = drain_packets(&mut s, deadline);
-        assert!(pkts.iter().any(|p| p.seq == 9 && p.is_retransmission),
-            "packet 9 spuriously retransmitted after RTO: {pkts:?}");
+        assert!(
+            pkts.iter().any(|p| p.seq == 9 && p.is_retransmission),
+            "packet 9 spuriously retransmitted after RTO: {pkts:?}"
+        );
         // Now the SACK for the *original* transmission of 9 arrives.
         let later = deadline + SimDuration::from_millis(5);
         s.on_ack(&ack(0, vec![SackBlock { start: 9, end: 10 }], later), later);
@@ -917,13 +954,19 @@ mod tests {
         let stamped: Vec<u64> = log
             .iter()
             .filter_map(|r| match r.event {
-                TransportEvent::Sent { seq: 9, retransmission: true, delivered_stamp } => {
-                    Some(delivered_stamp)
-                }
+                TransportEvent::Sent {
+                    seq: 9,
+                    retransmission: true,
+                    delivered_stamp,
+                } => Some(delivered_stamp),
                 _ => None,
             })
             .collect();
-        assert_eq!(stamped, vec![8], "spurious retransmission stamped with current delivered");
+        assert_eq!(
+            stamped,
+            vec![8],
+            "spurious retransmission stamped with current delivered"
+        );
     }
 
     #[test]
@@ -946,7 +989,10 @@ mod tests {
         drain_packets(&mut s, SimTime::ZERO);
         let now = SimTime::from_millis(40);
         s.on_ack(&ack(2, vec![], now), now);
-        assert!(s.rto_deadline().is_none(), "no data outstanding, no RTO armed");
+        assert!(
+            s.rto_deadline().is_none(),
+            "no data outstanding, no RTO armed"
+        );
     }
 
     #[test]
@@ -975,7 +1021,10 @@ mod tests {
             other => panic!("expected pacing wait, got {other:?}"),
         }
         // At the pacing deadline the next packet is released.
-        assert!(matches!(s.poll_send(SimTime::from_millis(10)), SendPoll::Packet(_)));
+        assert!(matches!(
+            s.poll_send(SimTime::from_millis(10)),
+            SendPoll::Packet(_)
+        ));
     }
 
     #[test]

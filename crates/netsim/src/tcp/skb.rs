@@ -97,7 +97,13 @@ mod tests {
     fn first_transmission_sets_first_tx() {
         let mut skb = Skb::new(5, 1448);
         assert_eq!(skb.transmissions, 0);
-        skb.stamp_transmission(SimTime::from_millis(10), 3, SimTime::from_millis(9), SimTime::from_millis(8), false);
+        skb.stamp_transmission(
+            SimTime::from_millis(10),
+            3,
+            SimTime::from_millis(9),
+            SimTime::from_millis(8),
+            false,
+        );
         assert_eq!(skb.transmissions, 1);
         assert_eq!(skb.first_tx, SimTime::from_millis(10));
         assert_eq!(skb.last_tx, SimTime::from_millis(10));
@@ -112,7 +118,13 @@ mod tests {
         // (spurious) transmission refreshes tx_delivered to the *current*
         // delivered count.
         let mut skb = Skb::new(7, 1448);
-        skb.stamp_transmission(SimTime::from_millis(10), 3, SimTime::from_millis(9), SimTime::from_millis(8), false);
+        skb.stamp_transmission(
+            SimTime::from_millis(10),
+            3,
+            SimTime::from_millis(9),
+            SimTime::from_millis(8),
+            false,
+        );
         skb.lost = true;
         skb.outstanding = false;
         skb.stamp_transmission(
@@ -124,9 +136,16 @@ mod tests {
         );
         assert_eq!(skb.transmissions, 2);
         assert!(skb.retransmitted());
-        assert_eq!(skb.first_tx, SimTime::from_millis(10), "first_tx is preserved");
+        assert_eq!(
+            skb.first_tx,
+            SimTime::from_millis(10),
+            "first_tx is preserved"
+        );
         assert_eq!(skb.last_tx, SimTime::from_millis(1200));
-        assert_eq!(skb.tx_delivered, 57, "prior delivered refreshed by retransmission");
+        assert_eq!(
+            skb.tx_delivered, 57,
+            "prior delivered refreshed by retransmission"
+        );
         assert!(!skb.lost, "retransmission clears the lost mark");
         assert!(skb.outstanding);
     }

@@ -157,7 +157,10 @@ impl SimDuration {
         }
     }
 
-    /// Integer division of the duration.
+    /// Integer division of the duration. Unlike `std::ops::Div`, a zero
+    /// divisor is clamped to 1 instead of panicking (timer arithmetic must
+    /// not abort a simulation), hence a method rather than the trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, divisor: u64) -> SimDuration {
         SimDuration(self.0 / divisor.max(1))
     }
@@ -292,7 +295,10 @@ mod tests {
         let late = SimTime::from_millis(20);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_millis(10));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -310,7 +316,11 @@ mod tests {
         assert_eq!(d.mul_f64(2.5).as_micros(), 25_000);
         assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
         assert_eq!(d.div(4).as_micros(), 2_500);
-        assert_eq!(d.div(0).as_millis(), 10, "division by zero clamps divisor to 1");
+        assert_eq!(
+            d.div(0).as_millis(),
+            10,
+            "division by zero clamps divisor to 1"
+        );
         assert_eq!(d.saturating_mul(u64::MAX), SimDuration::MAX);
     }
 

@@ -6,7 +6,9 @@
 //! cargo run --release --example bbr_stall_hunt [-- --paper-scale]
 //! ```
 
-use cc_fuzz::analysis::report::{retransmission_triggered_rounds, rto_timeline, spurious_retransmissions};
+use cc_fuzz::analysis::report::{
+    retransmission_triggered_rounds, rto_timeline, spurious_retransmissions,
+};
 use cc_fuzz::cca::CcaKind;
 use cc_fuzz::fuzz::campaign::{Campaign, FuzzMode};
 use cc_fuzz::fuzz::GaParams;
@@ -15,19 +17,27 @@ use cc_fuzz::netsim::time::SimDuration;
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper-scale");
     let duration = SimDuration::from_secs(5);
-    let mut ga = if paper_scale { GaParams::paper_default() } else { GaParams::quick() };
+    let mut ga = if paper_scale {
+        GaParams::paper_default()
+    } else {
+        GaParams::quick()
+    };
     ga.generations = if paper_scale { 40 } else { 15 };
     ga.seed = 7;
 
     let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Bbr, duration, ga);
-    println!("fuzzing BBR with cross-traffic patterns ({} simulations per generation)...",
-        campaign.ga.total_population());
+    println!(
+        "fuzzing BBR with cross-traffic patterns ({} simulations per generation)...",
+        campaign.ga.total_population()
+    );
     let result = campaign.run_traffic();
 
-    println!("\nbest trace: {} cross-traffic packets, BBR goodput {:.2} Mbps (score {:.3})",
+    println!(
+        "\nbest trace: {} cross-traffic packets, BBR goodput {:.2} Mbps (score {:.3})",
         result.best_genome.timestamps.len(),
         result.best_outcome.goodput_bps / 1e6,
-        result.best_outcome.score);
+        result.best_outcome.score
+    );
 
     // Replay against both BBR variants.
     let evaluator = campaign.evaluator();
@@ -35,7 +45,9 @@ fn main() {
 
     let mut fixed_campaign = campaign.clone();
     fixed_campaign.cca = CcaKind::BbrProbeRttOnRto;
-    let fixed_run = fixed_campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let fixed_run = fixed_campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
 
     println!("\n=== default BBR on the adversarial trace ===");
     println!("delivered {} packets, {} RTOs, {} spurious retransmissions, {} retransmission-triggered probe rounds",
@@ -52,5 +64,8 @@ fn main() {
         retransmission_triggered_rounds(&fixed_run.stats));
 
     println!("\n=== timeline around the first RTO (default BBR) ===");
-    print!("{}", rto_timeline(&default_run.stats, SimDuration::from_millis(400), 60));
+    print!(
+        "{}",
+        rto_timeline(&default_run.stats, SimDuration::from_millis(400), 60)
+    );
 }

@@ -1,0 +1,68 @@
+//! End-to-end corpus workflow: hunt -> persist -> minimize -> replay.
+//!
+//! This is the library-level equivalent of:
+//!
+//! ```text
+//! ccfuzz hunt --cca reno --generations 3 --seconds 2 --corpus /tmp/demo
+//! ccfuzz minimize --corpus /tmp/demo
+//! ccfuzz replay --corpus /tmp/demo
+//! ccfuzz report --corpus /tmp/demo
+//! ```
+//!
+//! Run with `cargo run --release --example corpus_workflow`.
+
+use cc_fuzz::cca::CcaKind;
+use cc_fuzz::corpus::hunt::{hunt, HuntConfig};
+use cc_fuzz::corpus::minimize::{minimize_finding, MinimizeConfig};
+use cc_fuzz::corpus::replay::replay_corpus;
+use cc_fuzz::corpus::report::corpus_report;
+use cc_fuzz::corpus::store::Corpus;
+use cc_fuzz::fuzz::campaign::FuzzMode;
+use cc_fuzz::netsim::time::SimDuration;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("ccfuzz-workflow-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = Corpus::open(&dir).expect("corpus directory");
+    println!("corpus at {}", dir.display());
+
+    // 1. Hunt: a short Reno traffic-fuzzing campaign.
+    let mut config = HuntConfig::quick(CcaKind::Reno, FuzzMode::Traffic, 3, 42);
+    config.duration = SimDuration::from_secs(2);
+    let (finding, decision) = hunt(&corpus, &config).expect("hunt");
+    println!(
+        "\nhunted {}: score {:.4}, {} cross-traffic packets ({decision:?})",
+        finding.id,
+        finding.outcome.score,
+        finding.genome.packet_count()
+    );
+
+    // 2. Minimize: shrink the trace while retaining >= 80% of its score.
+    // `update` drops the pre-minimization file and, if the behaviour bucket
+    // moved onto an existing finding, keeps whichever is stronger.
+    let (minimized, report) = minimize_finding(&finding, &MinimizeConfig::default());
+    corpus
+        .update(&finding.id, &minimized)
+        .expect("store minimized");
+    println!(
+        "\nminimized: {} -> {} packets, score {:.4} -> {:.4} ({} simulations)",
+        report.original_packets,
+        report.minimized_packets,
+        report.original_score,
+        report.minimized_score,
+        report.evaluations
+    );
+    for pass in &report.passes {
+        println!("  {pass}");
+    }
+
+    // 3. Replay: deterministic regression check.
+    let replay = replay_corpus(&corpus, None).expect("replay");
+    println!("\n{}", replay.to_text());
+    assert!(replay.is_clean(), "fresh findings must replay cleanly");
+
+    // 4. Report: per-bucket summary.
+    println!("{}", corpus_report(&corpus).expect("report"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

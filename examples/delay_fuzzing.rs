@@ -28,19 +28,30 @@ fn main() {
         result.best_outcome.performance_score
     );
 
-    let replay = campaign.evaluator().simulate_traffic(&result.best_genome, true);
+    let replay = campaign
+        .evaluator()
+        .simulate_traffic(&result.best_genome, true);
     let (bbr_delay, cross_delay) = queuing_delay_series(&replay.stats);
-    println!("\nBBR flow queuing delay: mean {:.1} ms, max {:.1} ms",
-        bbr_delay.mean_y(), bbr_delay.max_y());
-    println!("cross traffic queuing delay: mean {:.1} ms, max {:.1} ms",
-        cross_delay.mean_y(), cross_delay.max_y());
+    println!(
+        "\nBBR flow queuing delay: mean {:.1} ms, max {:.1} ms",
+        bbr_delay.mean_y(),
+        bbr_delay.max_y()
+    );
+    println!(
+        "cross traffic queuing delay: mean {:.1} ms, max {:.1} ms",
+        cross_delay.mean_y(),
+        cross_delay.max_y()
+    );
 
-    println!("\n{}", ascii_chart(
-        "Queuing delay over time (ms) — compare with Figure 4e",
-        &[&bbr_delay, &cross_delay],
-        90,
-        18,
-    ));
+    println!(
+        "\n{}",
+        ascii_chart(
+            "Queuing delay over time (ms) — compare with Figure 4e",
+            &[&bbr_delay, &cross_delay],
+            90,
+            18,
+        )
+    );
 
     println!("CSV data:\n{}", to_csv(&[&bbr_delay, &cross_delay]));
 }

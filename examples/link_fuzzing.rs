@@ -33,11 +33,13 @@ fn main() {
     );
     let result = campaign.run_link();
 
-    println!("\nbest trace: {} transmission opportunities, {} goodput {:.2} Mbps (fitness {:.3})",
+    println!(
+        "\nbest trace: {} transmission opportunities, {} goodput {:.2} Mbps (fitness {:.3})",
         result.best_genome.timestamps.len(),
         cca.name(),
         result.best_outcome.goodput_bps / 1e6,
-        result.best_outcome.score);
+        result.best_outcome.score
+    );
 
     for summary in result.history.iter().step_by(3) {
         println!(
@@ -53,5 +55,13 @@ fn main() {
     // Show the adversarial service curve the way Figure 4b does (cumulative
     // packet count over time).
     let curve = cumulative_packet_curve(&result.best_genome.timestamps, 80, duration);
-    println!("\n{}", ascii_chart("Adversarial service curve (cumulative packets)", &[&curve], 80, 16));
+    println!(
+        "\n{}",
+        ascii_chart(
+            "Adversarial service curve (cumulative packets)",
+            &[&curve],
+            80,
+            16
+        )
+    );
 }

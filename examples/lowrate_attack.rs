@@ -60,13 +60,32 @@ fn main() {
             .unwrap_or(0)
     };
 
-    println!("\n=== evolved trace ({} cross-traffic packets) ===", result.best_genome.timestamps.len());
-    println!("  {}", one_line_summary(&evolved.stats, duration.as_secs_f64(), campaign.sim.mss));
+    println!(
+        "\n=== evolved trace ({} cross-traffic packets) ===",
+        result.best_genome.timestamps.len()
+    );
+    println!(
+        "  {}",
+        one_line_summary(&evolved.stats, duration.as_secs_f64(), campaign.sim.mss)
+    );
     println!("  max RTO backoff exponent: {}", backoffs(&evolved.stats));
 
-    println!("\n=== hand-written low-rate attack ({} packets) ===", handmade.timestamps.len());
-    println!("  {}", one_line_summary(&handmade_run.stats, duration.as_secs_f64(), campaign.sim.mss));
-    println!("  max RTO backoff exponent: {}", backoffs(&handmade_run.stats));
+    println!(
+        "\n=== hand-written low-rate attack ({} packets) ===",
+        handmade.timestamps.len()
+    );
+    println!(
+        "  {}",
+        one_line_summary(
+            &handmade_run.stats,
+            duration.as_secs_f64(),
+            campaign.sim.mss
+        )
+    );
+    println!(
+        "  max RTO backoff exponent: {}",
+        backoffs(&handmade_run.stats)
+    );
 
     println!("\nBoth patterns rely on the same mechanism: bursts aligned with Reno's");
     println!("retransmissions keep losing the same packets, so the flow spends most of");

@@ -21,7 +21,10 @@ fn main() {
     ga.seed = 42;
     let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, ga);
 
-    println!("CC-Fuzz quickstart: traffic fuzzing vs {}", campaign.cca.name());
+    println!(
+        "CC-Fuzz quickstart: traffic fuzzing vs {}",
+        campaign.cca.name()
+    );
     println!(
         "population = {} across {} islands, {} generations\n",
         campaign.ga.total_population(),
@@ -46,11 +49,19 @@ fn main() {
     //    print what it does to the flow.
     let evaluator = campaign.evaluator();
     let replay = evaluator.simulate_traffic(&result.best_genome, true);
-    println!("\nworst trace found ({} cross-traffic packets):", result.best_genome.timestamps.len());
-    println!("  {}", one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss));
+    println!(
+        "\nworst trace found ({} cross-traffic packets):",
+        result.best_genome.timestamps.len()
+    );
+    println!(
+        "  {}",
+        one_line_summary(&replay.stats, duration.as_secs_f64(), campaign.sim.mss)
+    );
     println!(
         "  fitness {:.3} (performance {:.3}, trace minimality {:.3})",
-        result.best_outcome.score, result.best_outcome.performance_score, result.best_outcome.trace_score
+        result.best_outcome.score,
+        result.best_outcome.performance_score,
+        result.best_outcome.trace_score
     );
     println!("\ntotal simulations: {}", result.total_evaluations);
 }

@@ -10,6 +10,8 @@
 //! * [`cca`] — congestion control algorithms (Reno, CUBIC, BBR, Vegas).
 //! * [`fuzz`] — the genetic-algorithm fuzzer.
 //! * [`analysis`] — measurement post-processing and figure data.
+//! * [`corpus`] — persistent findings corpus, trace minimization and
+//!   deterministic regression replay (the `ccfuzz` CLI).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! experiment inventory.
@@ -20,6 +22,7 @@
 pub use ccfuzz_analysis as analysis;
 pub use ccfuzz_cca as cca;
 pub use ccfuzz_core as fuzz;
+pub use ccfuzz_corpus as corpus;
 pub use ccfuzz_netsim as netsim;
 
 /// The crate version (matches the workspace version).
@@ -38,5 +41,6 @@ mod tests {
         let _ = super::cca::CcaKind::Bbr.name();
         let _ = super::netsim::config::SimConfig::paper_default();
         let _ = super::fuzz::GaParams::quick();
+        let _ = super::corpus::MinimizeConfig::default();
     }
 }

@@ -1,0 +1,147 @@
+//! Corpus round-trip and fixture-regression tests.
+//!
+//! * Round trip: hunt -> persist -> load -> replay must reproduce scores and
+//!   behaviour digests exactly (simulations are deterministic).
+//! * Fixtures: the starter corpus committed under `crates/corpus/fixtures/`
+//!   must replay cleanly — any simulator/CCA behaviour change that alters
+//!   what these traces do shows up here as drift or a digest mismatch.
+
+use cc_fuzz::cca::CcaKind;
+use cc_fuzz::corpus::finding::Finding;
+use cc_fuzz::corpus::hunt::{hunt, HuntConfig};
+use cc_fuzz::corpus::replay::{replay_corpus, replay_findings};
+use cc_fuzz::corpus::report::corpus_report;
+use cc_fuzz::corpus::store::{Corpus, CorpusConfig, InsertOutcome};
+use cc_fuzz::fuzz::campaign::FuzzMode;
+use cc_fuzz::netsim::time::SimDuration;
+use std::path::PathBuf;
+
+fn temp_corpus(tag: &str) -> (Corpus, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("ccfuzz-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (
+        Corpus::open_with(&dir, CorpusConfig::default()).unwrap(),
+        dir,
+    )
+}
+
+fn tiny_hunt(cca: CcaKind, seed: u64) -> HuntConfig {
+    let mut config = HuntConfig::quick(cca, FuzzMode::Traffic, 2, seed);
+    config.ga.islands = 2;
+    config.ga.population_per_island = 3;
+    config.duration = SimDuration::from_secs(2);
+    config
+}
+
+#[test]
+fn corpus_roundtrip_save_load_replay_identical() {
+    let (corpus, dir) = temp_corpus("roundtrip");
+    let (finding, decision) = hunt(&corpus, &tiny_hunt(CcaKind::Reno, 5)).unwrap();
+    assert_eq!(decision, InsertOutcome::Added);
+
+    // Load back: byte-level JSON round trip must reproduce the finding.
+    let loaded = corpus.get(&finding.id).unwrap();
+    assert_eq!(loaded, finding);
+
+    // Replay: fresh simulations reproduce score and digest exactly.
+    let report = replay_corpus(&corpus, None).unwrap();
+    assert_eq!(report.entries.len(), 1);
+    assert!(report.is_clean(), "replay drifted:\n{}", report.to_text());
+    assert_eq!(report.entries[0].replayed_score, finding.outcome.score);
+    assert_eq!(report.entries[0].digest, finding.behavior_digest);
+
+    // The textual report is byte-identical across runs (the acceptance bar
+    // for `ccfuzz replay`).
+    let again = replay_corpus(&corpus, None).unwrap();
+    assert_eq!(report.to_text(), again.to_text());
+
+    // The summary report renders and mentions the finding.
+    let summary = corpus_report(&corpus).unwrap();
+    assert!(summary.contains(&finding.id));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corpus_accumulates_multiple_ccas() {
+    let (corpus, dir) = temp_corpus("multi");
+    let (reno, _) = hunt(&corpus, &tiny_hunt(CcaKind::Reno, 7)).unwrap();
+    let (cubic, _) = hunt(&corpus, &tiny_hunt(CcaKind::Cubic, 7)).unwrap();
+    assert_ne!(reno.id, cubic.id);
+    let all = corpus.load_all().unwrap();
+    assert_eq!(all.len(), 2);
+    let report = replay_corpus(&corpus, None).unwrap();
+    assert!(report.is_clean(), "{}", report.to_text());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("crates/corpus/fixtures/findings")
+}
+
+fn load_fixtures() -> Vec<Finding> {
+    let dir = fixtures_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture corpus missing at {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 2,
+        "expected at least 2 fixture findings in {}",
+        dir.display()
+    );
+    paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            let finding: Finding = serde_json::from_str(&text).unwrap();
+            finding
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            finding
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_corpus_replays_without_drift() {
+    let findings = load_fixtures();
+    let report = replay_findings(&findings, None);
+    assert!(
+        report.is_clean(),
+        "committed fixtures no longer reproduce their stored scores/digests — \
+         the simulator or a CCA changed behaviour:\n{}",
+        report.to_text()
+    );
+    // Determinism of the report itself, byte for byte.
+    let again = replay_findings(&findings, None);
+    assert_eq!(report.to_text(), again.to_text());
+}
+
+#[test]
+fn fixture_corpus_is_minimized_and_adversarial() {
+    for finding in load_fixtures() {
+        assert!(
+            finding.provenance.minimized,
+            "{}: starter fixtures are committed post-minimization",
+            finding.id
+        );
+        assert!(
+            finding.outcome.score >= 0.8 * finding.provenance.original_score,
+            "{}: minimization must retain >= 80% of the original score",
+            finding.id
+        );
+        assert!(
+            finding.genome.packet_count() as u64 <= finding.provenance.original_packets,
+            "{}: minimization must not grow the trace",
+            finding.id
+        );
+        assert!(
+            finding.outcome.performance_score > 0.3,
+            "{}: a starter finding should meaningfully hurt its CCA (perf {})",
+            finding.id,
+            finding.outcome.performance_score
+        );
+    }
+}

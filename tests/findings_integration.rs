@@ -26,7 +26,11 @@ fn bbr_stall_trace(duration: SimDuration) -> TrafficGenome {
         }
     }
     let max = ts.len() * 2;
-    TrafficGenome { timestamps: ts, duration, max_packets: max }
+    TrafficGenome {
+        timestamps: ts,
+        duration,
+        max_packets: max,
+    }
 }
 
 fn evaluator(cca: CcaKind, duration: SimDuration) -> SimEvaluator {
@@ -44,7 +48,10 @@ fn bbr_probe_clocking_is_broken_by_spurious_retransmissions() {
     let genome = bbr_stall_trace(duration);
     let run = evaluator(CcaKind::Bbr, duration).simulate_traffic(&genome, true);
 
-    assert!(run.stats.flow.rto_count >= 1, "the crafted trace must force an RTO");
+    assert!(
+        run.stats.flow.rto_count >= 1,
+        "the crafted trace must force an RTO"
+    );
     let spurious = spurious_retransmissions(&run.stats, SimDuration::from_millis(100));
     assert!(
         spurious >= 10,
@@ -57,8 +64,14 @@ fn bbr_probe_clocking_is_broken_by_spurious_retransmissions() {
          (enough to expire the bandwidth max-filter), got {broken_rounds}"
     );
     // The flow must visibly lose throughput relative to the clean baseline.
-    let clean = evaluator(CcaKind::Bbr, duration)
-        .simulate_traffic(&TrafficGenome { timestamps: vec![], duration, max_packets: 10 }, false);
+    let clean = evaluator(CcaKind::Bbr, duration).simulate_traffic(
+        &TrafficGenome {
+            timestamps: vec![],
+            duration,
+            max_packets: 10,
+        },
+        false,
+    );
     assert!(
         run.stats.flow.delivered_packets < clean.stats.flow.delivered_packets * 85 / 100,
         "adversarial trace should cost BBR well over 15% of its packets ({} vs {})",
@@ -74,7 +87,8 @@ fn probe_rtt_on_rto_mitigation_avoids_the_spurious_cascade() {
     let default_run = evaluator(CcaKind::Bbr, duration).simulate_traffic(&genome, true);
     let fixed_run = evaluator(CcaKind::BbrProbeRttOnRto, duration).simulate_traffic(&genome, true);
 
-    let default_spurious = spurious_retransmissions(&default_run.stats, SimDuration::from_millis(100));
+    let default_spurious =
+        spurious_retransmissions(&default_run.stats, SimDuration::from_millis(100));
     let fixed_spurious = spurious_retransmissions(&fixed_run.stats, SimDuration::from_millis(100));
     assert!(
         fixed_spurious * 4 <= default_spurious.max(1),
@@ -102,12 +116,19 @@ fn ns3_cubic_bug_causes_catastrophic_self_inflicted_losses() {
         t += 500;
     }
     let max = ts.len() * 2;
-    let genome = TrafficGenome { timestamps: ts, duration, max_packets: max };
+    let genome = TrafficGenome {
+        timestamps: ts,
+        duration,
+        max_packets: max,
+    };
 
     let buggy = evaluator(CcaKind::CubicNs3Buggy, duration).simulate_traffic(&genome, true);
     let fixed = evaluator(CcaKind::Cubic, duration).simulate_traffic(&genome, true);
 
-    assert!(buggy.stats.flow.rto_count >= 1, "scenario must force an RTO for the buggy CUBIC");
+    assert!(
+        buggy.stats.flow.rto_count >= 1,
+        "scenario must force an RTO for the buggy CUBIC"
+    );
     assert!(
         buggy.stats.flow.queue_drops >= fixed.stats.flow.queue_drops + 200,
         "the uncapped slow-start burst should cause clearly more self-inflicted drops \
@@ -125,7 +146,12 @@ fn reno_low_rate_attack_pattern_causes_repeated_rto_backoff() {
     // retransmissions, forcing Reno into RTO over and over.
     let duration = SimDuration::from_secs(6);
     let mut ts = Vec::new();
-    for (start_ms, end_ms) in [(1_000u64, 1_300u64), (2_100, 2_400), (3_200, 3_500), (4_300, 4_600)] {
+    for (start_ms, end_ms) in [
+        (1_000u64, 1_300u64),
+        (2_100, 2_400),
+        (3_200, 3_500),
+        (4_300, 4_600),
+    ] {
         let mut t = start_ms * 1_000;
         while t < end_ms * 1_000 {
             ts.push(SimTime::from_micros(t));
@@ -133,7 +159,11 @@ fn reno_low_rate_attack_pattern_causes_repeated_rto_backoff() {
         }
     }
     let max = ts.len() * 2;
-    let genome = TrafficGenome { timestamps: ts, duration, max_packets: max };
+    let genome = TrafficGenome {
+        timestamps: ts,
+        duration,
+        max_packets: max,
+    };
     let run = evaluator(CcaKind::Reno, duration).simulate_traffic(&genome, true);
 
     assert!(
@@ -143,7 +173,8 @@ fn reno_low_rate_attack_pattern_causes_repeated_rto_backoff() {
     );
     // Goodput collapses well below the link rate.
     let mss = 1448;
-    let goodput = run.stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / duration.as_secs_f64();
+    let goodput =
+        run.stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / duration.as_secs_f64();
     assert!(
         goodput < 8e6,
         "the low-rate pattern should keep Reno well below link rate, got {:.2} Mbps",

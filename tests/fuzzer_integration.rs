@@ -20,11 +20,16 @@ fn small_ga(seed: u64, generations: u32) -> GaParams {
 #[test]
 fn traffic_fuzzing_finds_traces_that_hurt_reno() {
     let duration = SimDuration::from_secs(3);
-    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(5, 8));
+    let campaign =
+        Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(5, 8));
     let result = campaign.run_traffic();
 
     // Baseline: Reno with no cross traffic.
-    let empty = TrafficGenome { timestamps: vec![], duration, max_packets: campaign.traffic_max_packets };
+    let empty = TrafficGenome {
+        timestamps: vec![],
+        duration,
+        max_packets: campaign.traffic_max_packets,
+    };
     let evaluator = campaign.evaluator();
     let baseline = evaluator.simulate_traffic(&empty, false);
     let adversarial = evaluator.simulate_traffic(&result.best_genome, false);
@@ -35,8 +40,11 @@ fn traffic_fuzzing_finds_traces_that_hurt_reno() {
         adversarial.stats.flow.delivered_packets,
         baseline.stats.flow.delivered_packets
     );
-    assert!(result.best_outcome.performance_score > 0.2,
-        "fitness should reflect meaningful degradation, got {}", result.best_outcome.performance_score);
+    assert!(
+        result.best_outcome.performance_score > 0.2,
+        "fitness should reflect meaningful degradation, got {}",
+        result.best_outcome.performance_score
+    );
     result.best_genome.validate().unwrap();
     assert!(result.best_genome.packet_count() <= campaign.traffic_max_packets);
 }
@@ -44,11 +52,15 @@ fn traffic_fuzzing_finds_traces_that_hurt_reno() {
 #[test]
 fn fitness_improves_over_generations() {
     let duration = SimDuration::from_secs(3);
-    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(6, 10));
+    let campaign =
+        Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(6, 10));
     let result = campaign.run_traffic();
     let first = result.history.first().unwrap().best_score;
     let last = result.history.last().unwrap().best_score;
-    assert!(last >= first, "elitism guarantees monotone best score: {first} -> {last}");
+    assert!(
+        last >= first,
+        "elitism guarantees monotone best score: {first} -> {last}"
+    );
     // The mean of the population should also move upward over the run.
     let first_mean = result.history.first().unwrap().mean_score;
     let last_mean = result.history.last().unwrap().mean_score;
@@ -73,7 +85,8 @@ fn link_fuzzing_finds_service_curves_that_hurt_reno() {
         result.best_outcome.performance_score
     );
     // Link genomes preserve their packet budget (average bandwidth) exactly.
-    let expected = cc_fuzz::fuzz::trace_gen::packets_for_rate(12_000_000, campaign.sim.mss, duration);
+    let expected =
+        cc_fuzz::fuzz::trace_gen::packets_for_rate(12_000_000, campaign.sim.mss, duration);
     assert_eq!(result.best_genome.packet_count(), expected);
     result.best_genome.validate().unwrap();
 }
@@ -100,7 +113,8 @@ fn trace_minimality_pressure_keeps_traffic_small() {
     // With the trace-score component enabled (the default), the best trace
     // should not simply be "saturate the link with the maximum packet budget".
     let duration = SimDuration::from_secs(3);
-    let campaign = Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(13, 10));
+    let campaign =
+        Campaign::paper_standard(FuzzMode::Traffic, CcaKind::Reno, duration, small_ga(13, 10));
     let result = campaign.run_traffic();
     assert!(
         result.best_genome.packet_count() < campaign.traffic_max_packets,

@@ -29,7 +29,11 @@ fn every_cca_fills_most_of_a_clean_12mbps_link() {
             kind.name(),
             goodput / 1e6
         );
-        assert!(goodput < 12.5e6, "{} exceeded the link rate: {goodput}", kind.name());
+        assert!(
+            goodput < 12.5e6,
+            "{} exceeded the link rate: {goodput}",
+            kind.name()
+        );
     }
 }
 
@@ -44,13 +48,21 @@ fn loss_based_ccas_recover_from_cross_traffic_bursts() {
         cfg.duration,
     );
     cfg.cross_traffic = TrafficTrace::new(
-        burst.injections().iter().map(|t| *t + SimDuration::from_secs(1)).collect(),
+        burst
+            .injections()
+            .iter()
+            .map(|t| *t + SimDuration::from_secs(1))
+            .collect(),
         cfg.duration,
     );
     for kind in [CcaKind::Reno, CcaKind::Cubic] {
         let mss = cfg.mss;
         let result = run_simulation(cfg.clone(), kind.build(10));
-        assert!(result.stats.flow.retransmissions > 0, "{} should retransmit", kind.name());
+        assert!(
+            result.stats.flow.retransmissions > 0,
+            "{} should retransmit",
+            kind.name()
+        );
         assert!(
             result.average_goodput_bps(mss) > 4e6,
             "{} collapsed after one burst: {:.2} Mbps",
@@ -64,7 +76,9 @@ fn loss_based_ccas_recover_from_cross_traffic_bursts() {
 fn trace_driven_starvation_starves_every_cca() {
     // A link that only serves packets during the first second.
     let mut cfg = base(5);
-    let opportunities: Vec<SimTime> = (0..1_000).map(|i| SimTime::from_micros(i * 1_000)).collect();
+    let opportunities: Vec<SimTime> = (0..1_000)
+        .map(|i| SimTime::from_micros(i * 1_000))
+        .collect();
     cfg.link = LinkModel::TraceDriven {
         trace: LinkTrace::new(opportunities, cfg.duration),
     };
@@ -120,7 +134,9 @@ fn delayed_ack_and_sack_settings_change_behaviour() {
     let with_sack = base(3);
     let mss = with_sack.mss;
     // Add enough cross traffic to cause losses (kept inside the 3 s scenario).
-    let injections: Vec<SimTime> = (0..1_200).map(|i| SimTime::from_micros(1_000_000 + i * 1_500)).collect();
+    let injections: Vec<SimTime> = (0..1_200)
+        .map(|i| SimTime::from_micros(1_000_000 + i * 1_500))
+        .collect();
     let mut no_sack_cfg = no_sack.clone();
     no_sack_cfg.cross_traffic = TrafficTrace::new(injections.clone(), no_sack.duration);
     let mut sack_cfg = with_sack.clone();
@@ -143,8 +159,9 @@ fn delayed_ack_and_sack_settings_change_behaviour() {
 fn simulations_are_bit_reproducible() {
     let run = |kind: CcaKind| {
         let mut cfg = base(4);
-        let injections: Vec<SimTime> =
-            (0..1_500).map(|i| SimTime::from_micros(500_000 + i * 2_100)).collect();
+        let injections: Vec<SimTime> = (0..1_500)
+            .map(|i| SimTime::from_micros(500_000 + i * 2_100))
+            .collect();
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
         let result = run_simulation(cfg, kind.build(10));
         (

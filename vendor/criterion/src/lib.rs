@@ -1,0 +1,162 @@
+//! Workspace-local stand-in for `criterion` (offline build).
+//!
+//! Implements just enough of criterion's API for the benches under
+//! `crates/bench/benches/` to compile and produce useful wall-clock numbers:
+//! no statistics, no HTML reports. Each benchmark runs a short fixed number
+//! of iterations and prints mean wall-clock time per iteration.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), every benchmark body runs exactly once so the test suite
+//! stays fast while still exercising the bench code paths.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn iterations() -> u32 {
+    if in_test_mode() {
+        1
+    } else {
+        std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3)
+    }
+}
+
+/// Identifies a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's display form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs the routine `self.iters` times, reporting mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed / self.iters.max(1);
+        println!("    {:>12?} per iter ({} iters)", per_iter, self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench {}/{id}", self.name);
+        f(&mut Bencher {
+            iters: iterations(),
+        });
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  bench {}/{id}", self.name);
+        f(
+            &mut Bencher {
+                iters: iterations(),
+            },
+            input,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("  bench {id}");
+        f(&mut Bencher {
+            iters: iterations(),
+        });
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                println!("group {} :: {}", stringify!($group), stringify!($target));
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,76 @@
+//! Workspace-local stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only the API this workspace uses is provided: [`scope`] with
+//! crossbeam-style spawn closures (`|scope| { scope.spawn(|_| ...) }`),
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned threads.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// Differences from crossbeam: panics in spawned threads are propagated by
+/// `std::thread::scope` when the scope exits rather than being collected into
+/// the returned `Result`, so the result is always `Ok` — which keeps the
+/// common `crossbeam::scope(...).expect(...)` pattern working unchanged.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, matching the real crate's layout.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                scope.spawn(move |_| {
+                    *total.lock().unwrap() += chunk.iter().sum::<u64>();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*total.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,462 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace-local
+//! serde shim.
+//!
+//! The offline build environment has no `syn`/`quote`, so the input item is
+//! parsed directly from the `proc_macro::TokenStream`. Supported shapes —
+//! which cover every derived type in this workspace:
+//!
+//! * structs with named fields
+//! * tuple structs (a single-field newtype serializes as its inner value)
+//! * unit structs
+//! * enums with unit, tuple and struct variants (externally tagged)
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not supported;
+//! hitting either produces a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim version).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (shim version).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"serde_derive shim: {msg}\");")
+                .parse()
+                .unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        panic!(
+            "serde_derive shim generated invalid code for {}: {e}\n{code}",
+            item.name
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde shim"
+        ));
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body for `{name}`, found {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: Ty, b: Ty, ...` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_tokens_since_comma {
+                    count += 1;
+                }
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "explicit discriminant on variant `{name}` is not supported"
+            ));
+        }
+        variants.push(Variant { name, shape });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => {
+            format!("::serde::value::Value::Str(::std::string::String::from(\"{name}\"))")
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{ty}::{vname} => ::serde::value::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{ty}::{vname}({binds}) => ::serde::value::Value::Map(vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vname} {{ {binds} }} => ::serde::value::Value::Map(vec![(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value::map_get(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map(\"{name}\")?;\nOk({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq(\"{name}\")?;\n\
+                 if __s.len() != {n} {{ return Err(::serde::value::DeError(format!(\"{name}: expected array of {n}, got {{}}\", __s.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = __v; Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::DeError> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(ty: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as strings; data variants as one-entry maps.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("\"{0}\" => return Ok({ty}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.shape {
+            VariantShape::Unit => None,
+            VariantShape::Tuple(1) => Some(format!(
+                "\"{0}\" => return Ok({ty}::{0}(::serde::Deserialize::from_value(__payload)?)),",
+                v.name
+            )),
+            VariantShape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{\n\
+                        let __s = __payload.as_seq(\"{ty}::{0}\")?;\n\
+                        if __s.len() != {n} {{ return Err(::serde::value::DeError(format!(\"{ty}::{0}: expected array of {n}, got {{}}\", __s.len()))); }}\n\
+                        return Ok({ty}::{0}({inits}));\n\
+                    }}",
+                    v.name,
+                    inits = inits.join(", ")
+                ))
+            }
+            VariantShape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::value::map_get(__fm, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{\n\
+                        let __fm = __payload.as_map(\"{ty}::{0}\")?;\n\
+                        return Ok({ty}::{0} {{ {inits} }});\n\
+                    }}",
+                    v.name,
+                    inits = inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    format!(
+        "match __v {{\n\
+            ::serde::value::Value::Str(__s) => {{\n\
+                match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                Err(::serde::value::DeError(format!(\"unknown {ty} variant `{{__s}}`\")))\n\
+            }}\n\
+            ::serde::value::Value::Map(__m) if __m.len() == 1 => {{\n\
+                let (__tag, __payload) = &__m[0];\n\
+                match __tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+                Err(::serde::value::DeError(format!(\"unknown {ty} variant `{{__tag}}`\")))\n\
+            }}\n\
+            __other => Err(::serde::value::DeError::unexpected(\"{ty} variant\", __other)),\n\
+        }}",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join("\n")
+    )
+}
