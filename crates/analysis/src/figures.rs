@@ -74,8 +74,8 @@ pub fn rate_curves(
             .map(|(t, bps)| (t.as_secs_f64(), bps / 1e6))
             .collect()
     };
-    let ingress = rate_curve_bps(&stats.ingress_bytes(FlowId::Cca), window, duration);
-    let egress = rate_curve_bps(&stats.egress_bytes(FlowId::Cca), window, duration);
+    let ingress = rate_curve_bps(&stats.ingress_bytes(FlowId::Cca(0)), window, duration);
+    let egress = rate_curve_bps(&stats.egress_bytes(FlowId::Cca(0)), window, duration);
     let traffic = rate_curve_bps(&stats.ingress_bytes(FlowId::CrossTraffic), window, duration);
     let link = rate_curve_bps(link_capacity, window, duration);
     RateCurves {
@@ -126,7 +126,7 @@ pub fn queuing_delay_series(stats: &RunStats) -> (FigureSeries, FigureSeries) {
         )
     };
     (
-        extract(FlowId::Cca, "BBR Flow"),
+        extract(FlowId::Cca(0), "BBR Flow"),
         extract(FlowId::CrossTraffic, "Cross Traffic"),
     )
 }
@@ -185,10 +185,10 @@ mod tests {
     fn rate_curves_extracts_all_four_series() {
         let stats = RunStats {
             bottleneck: vec![
-                record(100, FlowId::Cca, BottleneckEvent::Enqueued),
+                record(100, FlowId::Cca(0), BottleneckEvent::Enqueued),
                 record(
                     200,
-                    FlowId::Cca,
+                    FlowId::Cca(0),
                     BottleneckEvent::Dequeued {
                         queuing_delay: SimDuration::from_millis(100),
                     },
@@ -222,7 +222,7 @@ mod tests {
             bottleneck: vec![
                 record(
                     100,
-                    FlowId::Cca,
+                    FlowId::Cca(0),
                     BottleneckEvent::Dequeued {
                         queuing_delay: SimDuration::from_millis(30),
                     },

@@ -55,6 +55,29 @@ pub fn mbps(bps: f64) -> String {
     format!("{:.3} Mbps", bps / 1e6)
 }
 
+/// Renders a deterministic per-flow results table for multi-flow runs: one
+/// row per flow with its CCA, goodput, delivered packets and share of the
+/// total goodput. The inputs are parallel slices indexed by flow.
+pub fn per_flow_table(ccas: &[String], goodput_bps: &[f64], delivered: &[u64]) -> String {
+    let total: f64 = goodput_bps.iter().sum();
+    let rows: Vec<Vec<String>> = ccas
+        .iter()
+        .enumerate()
+        .map(|(i, cca)| {
+            let goodput = goodput_bps.get(i).copied().unwrap_or(0.0);
+            let share = if total > 0.0 { goodput / total } else { 0.0 };
+            vec![
+                i.to_string(),
+                cca.clone(),
+                mbps(goodput),
+                delivered.get(i).copied().unwrap_or(0).to_string(),
+                percent(share),
+            ]
+        })
+        .collect();
+    text_table(&["flow", "cca", "goodput", "delivered", "share"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +110,27 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(percent(0.425), "42.50%");
         assert_eq!(mbps(11_834_000.0), "11.834 Mbps");
+    }
+
+    #[test]
+    fn per_flow_table_shows_shares() {
+        let out = per_flow_table(
+            &["bbr".to_string(), "reno".to_string()],
+            &[9e6, 3e6],
+            &[900, 300],
+        );
+        assert!(out.contains("bbr"));
+        assert!(out.contains("9.000 Mbps"));
+        assert!(out.contains("75.00%"));
+        assert!(out.contains("25.00%"));
+        // Deterministic.
+        assert_eq!(
+            out,
+            per_flow_table(
+                &["bbr".to_string(), "reno".to_string()],
+                &[9e6, 3e6],
+                &[900, 300],
+            )
+        );
     }
 }

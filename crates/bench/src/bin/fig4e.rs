@@ -35,7 +35,7 @@ fn main() {
 
     let delays_ms: Vec<f64> = replay
         .stats
-        .queuing_delays(FlowId::Cca)
+        .queuing_delays(FlowId::Cca(0))
         .iter()
         .map(|(_, d)| d.as_secs_f64() * 1e3)
         .collect();

@@ -80,6 +80,31 @@ impl CcaKind {
         CcaKind::ALL.iter().copied().find(|k| k.name() == name)
     }
 
+    /// Parses a comma-separated list of CCA names (e.g. `"bbr,reno"`), as
+    /// used by multi-flow fairness scenarios where every flow instantiates
+    /// its own boxed algorithm. Whitespace around names and empty segments
+    /// are ignored; an unknown name yields an error naming it.
+    pub fn parse_list(list: &str) -> Result<Vec<CcaKind>, String> {
+        let mut kinds = Vec::new();
+        for raw in list.split(',') {
+            let name = raw.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match CcaKind::from_name(name) {
+                Some(kind) => kinds.push(kind),
+                None => {
+                    let known: Vec<&str> = CcaKind::ALL.iter().map(|k| k.name()).collect();
+                    return Err(format!(
+                        "unknown CCA `{name}` (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(kinds)
+    }
+
     /// Builds a fresh algorithm instance with an initial window of
     /// `initial_cwnd` packets.
     pub fn build(&self, initial_cwnd: u64) -> Box<dyn CongestionControl> {
@@ -126,6 +151,32 @@ mod tests {
             assert_eq!(CcaKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(CcaKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn parse_list_handles_whitespace_and_errors() {
+        assert_eq!(
+            CcaKind::parse_list("bbr,reno").unwrap(),
+            vec![CcaKind::Bbr, CcaKind::Reno]
+        );
+        assert_eq!(
+            CcaKind::parse_list(" cubic , vegas ,").unwrap(),
+            vec![CcaKind::Cubic, CcaKind::Vegas]
+        );
+        assert_eq!(CcaKind::parse_list("").unwrap(), vec![]);
+        assert!(CcaKind::parse_list("bbr,nope")
+            .unwrap_err()
+            .contains("nope"));
+    }
+
+    #[test]
+    fn each_parsed_flow_gets_its_own_boxed_instance() {
+        // The multi-flow engine builds one CC per flow; instances must be
+        // independent state machines even for the same kind.
+        let kinds = CcaKind::parse_list("reno,reno").unwrap();
+        let ccs: Vec<_> = kinds.iter().map(|k| k.build(10)).collect();
+        assert_eq!(ccs.len(), 2);
+        assert_eq!(ccs[0].name(), ccs[1].name());
     }
 
     #[test]

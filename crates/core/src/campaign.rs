@@ -10,6 +10,7 @@
 use crate::evaluate::SimEvaluator;
 use crate::fuzzer::{FuzzResult, Fuzzer, GaParams};
 use crate::genome::{LinkGenome, TrafficGenome};
+use crate::scenario::ScenarioGenome;
 use crate::scoring::ScoringConfig;
 use crate::trace_gen::packets_for_rate;
 use ccfuzz_cca::CcaKind;
@@ -26,13 +27,28 @@ pub const PAPER_PROP_DELAY_MS: u64 = 20;
 /// The paper's aggregation threshold for DIST_PACKETS (50 ms).
 pub const PAPER_K_AGG_MS: u64 = 50;
 
-/// Which of the two fuzzing modes (§3.1) a campaign uses.
+/// Which fuzzing mode a campaign uses: the paper's two single-flow modes
+/// (§3.1) plus the multi-flow fairness mode built on top of them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FuzzMode {
     /// Evolve bottleneck service curves (fixed cross traffic = none).
     Link,
     /// Evolve cross-traffic patterns (fixed-rate bottleneck).
     Traffic,
+    /// Evolve multi-flow scenarios (flow mix, schedules, optional cross
+    /// traffic) hunting for unfairness/starvation between concurrent CCAs.
+    Fairness,
+}
+
+impl FuzzMode {
+    /// Short name used in reports, corpus buckets and finding ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuzzMode::Link => "link",
+            FuzzMode::Traffic => "traffic",
+            FuzzMode::Fairness => "fairness",
+        }
+    }
 }
 
 /// A complete campaign description.
@@ -40,7 +56,7 @@ pub enum FuzzMode {
 pub struct Campaign {
     /// Fuzzing mode.
     pub mode: FuzzMode,
-    /// Algorithm under test.
+    /// Algorithm under test (the primary flow's algorithm in fairness mode).
     pub cca: CcaKind,
     /// Scenario duration per simulation.
     pub duration: SimDuration,
@@ -54,6 +70,11 @@ pub struct Campaign {
     pub link_rate_bps: u64,
     /// Cross-traffic packet budget for traffic genomes.
     pub traffic_max_packets: usize,
+    /// Initial per-flow algorithms for fairness mode (empty otherwise).
+    /// Flow 0 always equals `cca`.
+    pub flow_ccas: Vec<CcaKind>,
+    /// Maximum concurrent flows fairness mutation may grow to.
+    pub max_flows: usize,
 }
 
 impl Campaign {
@@ -75,6 +96,34 @@ impl Campaign {
             traffic_max_packets: packets_for_rate(PAPER_LINK_RATE_BPS, sim.mss, duration),
             sim,
             link_rate_bps: PAPER_LINK_RATE_BPS,
+            flow_ccas: vec![cca],
+            max_flows: 1,
+        }
+    }
+
+    /// The fairness campaign preset: the paper's standard scenario (12 Mbps
+    /// bottleneck, 20 ms propagation delay) shared by the given flows, with
+    /// the unfairness objective. The GA evolves the flow schedule, the flow
+    /// mix (drawing replacements from `flow_ccas`) and an optional
+    /// cross-traffic helper capped at half the link's packet budget.
+    pub fn paper_fairness(flow_ccas: Vec<CcaKind>, duration: SimDuration, ga: GaParams) -> Self {
+        assert!(
+            flow_ccas.len() >= crate::scenario::MIN_FAIRNESS_FLOWS,
+            "fairness campaigns need at least two flows"
+        );
+        let sim = paper_sim_base(duration);
+        let max_flows = flow_ccas.len().max(4);
+        Campaign {
+            mode: FuzzMode::Fairness,
+            cca: flow_ccas[0],
+            duration,
+            scoring: ScoringConfig::fairness_default(PAPER_LINK_RATE_BPS as f64),
+            ga,
+            traffic_max_packets: packets_for_rate(PAPER_LINK_RATE_BPS, sim.mss, duration) / 2,
+            sim,
+            link_rate_bps: PAPER_LINK_RATE_BPS,
+            flow_ccas,
+            max_flows,
         }
     }
 
@@ -127,6 +176,25 @@ impl Campaign {
                 genome.anneal(3, SimDuration::from_micros(200), rng)
             }));
         }
+        fuzzer.run()
+    }
+
+    /// Runs a fairness-fuzzing campaign over multi-flow scenario genomes.
+    /// Panics if the mode is not [`FuzzMode::Fairness`].
+    pub fn run_fairness(&self) -> FuzzResult<ScenarioGenome> {
+        assert_eq!(
+            self.mode,
+            FuzzMode::Fairness,
+            "campaign is not in fairness mode"
+        );
+        let evaluator = self.evaluator();
+        let duration = self.duration;
+        let flow_ccas = self.flow_ccas.clone();
+        let max_flows = self.max_flows;
+        let traffic_max_packets = self.traffic_max_packets;
+        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+            ScenarioGenome::generate(&flow_ccas, max_flows, duration, traffic_max_packets, rng)
+        });
         fuzzer.run()
     }
 }
@@ -228,6 +296,55 @@ mod tests {
         let expected_packets =
             packets_for_rate(PAPER_LINK_RATE_BPS, c.sim.mss, SimDuration::from_secs(2));
         assert_eq!(result.best_genome.packet_count(), expected_packets);
+    }
+
+    #[test]
+    fn fairness_campaign_preset_is_consistent() {
+        let c = Campaign::paper_fairness(
+            vec![CcaKind::Bbr, CcaKind::Reno],
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+        );
+        assert_eq!(c.mode, FuzzMode::Fairness);
+        assert_eq!(c.cca, CcaKind::Bbr);
+        assert_eq!(c.flow_ccas, vec![CcaKind::Bbr, CcaKind::Reno]);
+        assert!(c.max_flows >= 2);
+        match c.scoring.objective {
+            crate::scoring::Objective::Unfairness { .. } => {}
+            other => panic!("unexpected objective {other:?}"),
+        }
+        assert_eq!(FuzzMode::Fairness.name(), "fairness");
+    }
+
+    #[test]
+    fn tiny_fairness_campaign_runs_end_to_end() {
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        let c = Campaign::paper_fairness(
+            vec![CcaKind::Bbr, CcaKind::Reno],
+            SimDuration::from_secs(2),
+            ga,
+        );
+        let result = c.run_fairness();
+        assert_eq!(result.history.len(), 2);
+        assert!(result.total_evaluations >= 6);
+        result.best_genome.validate().unwrap();
+        assert!(result.best_genome.flow_count() >= 2);
+        assert!(result.best_outcome.score.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in fairness mode")]
+    fn fairness_mode_mismatch_panics() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            GaParams::quick(),
+        );
+        let _ = c.run_fairness();
     }
 
     #[test]

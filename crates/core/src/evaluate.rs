@@ -5,13 +5,14 @@
 //! paper identifies as the reason to prefer simulation over emulation.
 
 use crate::genome::{LinkGenome, TrafficGenome};
+use crate::scenario::ScenarioGenome;
 use crate::scoring::{
     performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs,
 };
 use ccfuzz_cca::CcaKind;
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
-use ccfuzz_netsim::sim::{run_simulation, SimResult};
+use ccfuzz_netsim::sim::{run_simulation, FlowSpec, SimResult, Simulation};
 use serde::{Deserialize, Serialize};
 
 /// Everything the genetic algorithm needs to know about one evaluation.
@@ -130,6 +131,34 @@ impl SimEvaluator {
         cfg.duration = genome.duration;
         run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
     }
+
+    /// Runs a full multi-flow simulation for a scenario genome: every flow
+    /// gene becomes its own sender with its own boxed CC instance (so
+    /// mixed-CCA scenarios like BBR vs. Reno work), sharing the fixed-rate
+    /// bottleneck with the optional cross-traffic sub-genome.
+    pub fn simulate_scenario(&self, genome: &ScenarioGenome, record_events: bool) -> SimResult {
+        let mut cfg = self.base.clone();
+        cfg.record_events = record_events;
+        cfg.link = LinkModel::FixedRate {
+            rate_bps: self.link_rate_bps,
+        };
+        cfg.cross_traffic = genome
+            .traffic
+            .as_ref()
+            .map(|t| t.to_trace())
+            .unwrap_or_else(|| ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration));
+        cfg.duration = genome.duration;
+        let specs: Vec<FlowSpec> = genome
+            .flows
+            .iter()
+            .map(|f| FlowSpec {
+                cc: f.cca.build(cfg.initial_cwnd),
+                start: f.start,
+                stop: f.stop,
+            })
+            .collect();
+        Simulation::new_multi(cfg, specs).run()
+    }
 }
 
 impl Evaluator<TrafficGenome> for SimEvaluator {
@@ -148,6 +177,58 @@ impl Evaluator<LinkGenome> for SimEvaluator {
     fn evaluate(&self, genome: &LinkGenome) -> EvalOutcome {
         let result = self.simulate_link(genome, false);
         EvalOutcome::from_result(&self.scoring, &result, self.base.mss, None)
+    }
+}
+
+impl EvalOutcome {
+    /// Scores a finished multi-flow scenario simulation. The legacy
+    /// per-flow fields of [`EvalOutcome`] describe flow 0 in single-flow
+    /// modes; for scenarios they carry aggregates across all competing
+    /// flows so the outcome (and the behaviour signature built from it)
+    /// reflects the whole scenario. Public so replay/corpus tooling can
+    /// derive the outcome from a [`SimResult`] it already has.
+    pub fn from_scenario_result(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        genome: &ScenarioGenome,
+    ) -> Self {
+        let inputs = genome.traffic.as_ref().map(|t| TraceScoreInputs {
+            traffic_packets: t.packet_count(),
+            traffic_max_packets: t.max_packets,
+            traffic_dropped: result.stats.cross_dropped,
+        });
+        let mut outcome = EvalOutcome::from_result(scoring, result, mss, inputs);
+        let flows = &result.stats.flows;
+        outcome.delivered_packets = flows.iter().map(|f| f.summary.delivered_packets).sum();
+        outcome.sent_packets = flows.iter().map(|f| f.summary.transmissions).sum();
+        outcome.retransmissions = flows.iter().map(|f| f.summary.retransmissions).sum();
+        outcome.rto_count = flows.iter().map(|f| f.summary.rto_count).sum();
+        outcome.queue_drops = flows.iter().map(|f| f.summary.queue_drops).sum();
+        // Aggregate goodput over the *scenario* duration, not the sum of
+        // per-active-interval rates: a briefly-active flow can run at link
+        // rate during its own interval, and summing those rates would
+        // report >100% link utilization (and saturate the behaviour
+        // signature's goodput bucket) for time-staggered scenarios.
+        outcome.goodput_bps = if result.duration_secs > 0.0 {
+            flows
+                .iter()
+                .map(|f| f.delivery_times.len() as f64)
+                .sum::<f64>()
+                * mss as f64
+                * 8.0
+                / result.duration_secs
+        } else {
+            0.0
+        };
+        outcome
+    }
+}
+
+impl Evaluator<ScenarioGenome> for SimEvaluator {
+    fn evaluate(&self, genome: &ScenarioGenome) -> EvalOutcome {
+        let result = self.simulate_scenario(genome, false);
+        EvalOutcome::from_scenario_result(&self.scoring, &result, self.base.mss, genome)
     }
 }
 
@@ -234,5 +315,32 @@ mod tests {
         let a = eval.evaluate(&genome);
         let b = eval.evaluate(&genome);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_evaluation_runs_multi_flow_and_aggregates() {
+        use crate::scenario::ScenarioGenome;
+        use crate::scoring::Objective;
+        let mut eval = evaluator();
+        eval.scoring.objective = Objective::Unfairness {
+            starvation_weight: 0.5,
+        };
+        let mut rng = SimRng::new(11);
+        let genome = ScenarioGenome::generate(
+            &[CcaKind::Bbr, CcaKind::Reno],
+            4,
+            SimDuration::from_secs(3),
+            0,
+            &mut rng,
+        );
+        let result = eval.simulate_scenario(&genome, false);
+        assert_eq!(result.stats.flows.len(), genome.flow_count());
+        let outcome = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);
+        // Aggregates cover all flows: at least as much as flow 0 alone.
+        assert!(outcome.delivered_packets >= result.stats.flow.delivered_packets);
+        assert!(outcome.score.is_finite());
+        // Determinism across evaluations.
+        let again = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);
+        assert_eq!(outcome, again);
     }
 }

@@ -260,7 +260,21 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         })
         .expect("evaluation worker panicked");
 
-        for (i, j, outcome) in results.into_inner() {
+        // Workers finish in wall-clock order, so the collected vector's
+        // order depends on the thread count and scheduling. The keyed
+        // assignment below makes the *final state* order-independent either
+        // way; re-imposing the canonical (island, index) order makes that
+        // independence explicit rather than incidental, and lets the
+        // assertion prove every pending individual was evaluated exactly
+        // once.
+        let mut results = results.into_inner();
+        results.sort_by_key(|&(i, j, _)| (i, j));
+        debug_assert_eq!(
+            results.iter().map(|&(i, j, _)| (i, j)).collect::<Vec<_>>(),
+            pending,
+            "every pending individual is evaluated exactly once"
+        );
+        for (i, j, outcome) in results {
             self.islands[i][j].outcome = Some(outcome);
         }
     }
@@ -589,8 +603,67 @@ mod tests {
             (r.best_outcome.score, r.history.last().unwrap().mean_score)
         };
         assert_eq!(run(1), run(1));
-        // Thread count must not affect the result (evaluation is pure).
+        // Thread count must not affect the result (evaluation is pure and
+        // result application is re-ordered canonically).
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn evaluation_order_is_identical_for_any_thread_count() {
+        // A score plateau makes tie-breaking visible: many individuals share
+        // the top score, so *which* genome is reported as best depends on
+        // comparison order. With canonical result ordering, threads=1 and
+        // threads=4 must agree on the exact best genome, not just the score.
+        #[derive(Clone, Debug, PartialEq)]
+        struct TieGenome(u64);
+        impl Genome for TieGenome {
+            fn mutate(&self, rng: &mut SimRng) -> Self {
+                TieGenome(rng.next_u64())
+            }
+            fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self> {
+                Some(if rng.gen_bool(0.5) {
+                    self.clone()
+                } else {
+                    other.clone()
+                })
+            }
+            fn packet_count(&self) -> usize {
+                0
+            }
+            fn validate(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        struct PlateauEvaluator;
+        impl Evaluator<TieGenome> for PlateauEvaluator {
+            fn evaluate(&self, genome: &TieGenome) -> EvalOutcome {
+                EvalOutcome {
+                    // Two buckets only: plenty of exact ties.
+                    score: (genome.0 % 2) as f64,
+                    delivered_packets: genome.0,
+                    ..Default::default()
+                }
+            }
+        }
+        let run = |threads: usize| {
+            let mut params = quick_params();
+            params.threads = threads;
+            params.generations = 6;
+            let evaluator = PlateauEvaluator;
+            let mut fuzzer = Fuzzer::new(params, &evaluator, |rng| TieGenome(rng.next_u64()));
+            let r = fuzzer.run();
+            (r.best_genome, r.best_outcome, r.history)
+        };
+        let single = run(1);
+        for threads in [2, 4, 7] {
+            let multi = run(threads);
+            assert_eq!(
+                single.0, multi.0,
+                "best genome differs at {threads} threads"
+            );
+            assert_eq!(single.1, multi.1);
+            assert_eq!(single.2, multi.2);
+        }
     }
 
     #[test]

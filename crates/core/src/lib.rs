@@ -16,7 +16,11 @@
 //! * [`evaluate`] — the simulator-backed fitness function (§3.6).
 //! * [`fuzzer`] — the generation loop with island isolation (Figure 1, §4).
 //! * [`realism`] — multi-CCA realism scoring (§5, Figure 5).
-//! * [`campaign`] — ready-made campaigns matching the paper's evaluation.
+//! * [`scenario`] — multi-flow scenario genomes for fairness fuzzing
+//!   (flow count, per-flow CCA, start/stop schedule, optional traffic
+//!   sub-genome).
+//! * [`campaign`] — ready-made campaigns matching the paper's evaluation,
+//!   plus the fairness campaign preset built on the multi-flow engine.
 //!
 //! ## Quick example
 //!
@@ -44,6 +48,7 @@ pub mod evaluate;
 pub mod fuzzer;
 pub mod genome;
 pub mod realism;
+pub mod scenario;
 pub mod scoring;
 pub mod selection;
 pub mod trace_gen;
@@ -52,4 +57,5 @@ pub use campaign::{Campaign, FuzzMode};
 pub use evaluate::{EvalOutcome, Evaluator, SimEvaluator};
 pub use fuzzer::{FuzzResult, Fuzzer, GaParams, GenerationSummary};
 pub use genome::{Genome, LinkGenome, TrafficGenome};
-pub use scoring::{Objective, ScoringConfig};
+pub use scenario::{FlowGene, ScenarioGenome};
+pub use scoring::{FairnessBreakdown, Objective, ScoringConfig};

@@ -1,0 +1,351 @@
+//! Scenario genomes for fairness fuzzing: what the GA evolves when it hunts
+//! multi-flow interaction bugs.
+//!
+//! A [`ScenarioGenome`] describes a complete multi-flow scenario: how many
+//! congestion-controlled flows share the bottleneck, which algorithm each
+//! runs, each flow's start/stop schedule, and an optional cross-traffic
+//! sub-genome (the paper's traffic-fuzzing genome, reused as a building
+//! block). Mutation perturbs schedules, swaps algorithms from a configured
+//! pool, adds/removes flows, and mutates the traffic sub-genome; crossover
+//! splices flow lists and crosses the traffic sub-genomes.
+
+use crate::genome::{Genome, TrafficGenome};
+use ccfuzz_cca::CcaKind;
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Minimum flows a fairness scenario keeps (unfairness needs competition).
+pub const MIN_FAIRNESS_FLOWS: usize = 2;
+
+/// One evolved flow: its algorithm and schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowGene {
+    /// Congestion control algorithm the flow runs.
+    pub cca: CcaKind,
+    /// When the flow starts sending.
+    pub start: SimTime,
+    /// When the flow stops sending (`None` = runs to the end).
+    pub stop: Option<SimTime>,
+}
+
+impl FlowGene {
+    /// A flow that runs `cca` for the whole scenario.
+    pub fn whole_run(cca: CcaKind) -> Self {
+        FlowGene {
+            cca,
+            start: SimTime::ZERO,
+            stop: None,
+        }
+    }
+}
+
+/// A multi-flow scenario genome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGenome {
+    /// The competing flows (at least [`MIN_FAIRNESS_FLOWS`], at most
+    /// `max_flows`). Flow 0 is the primary flow.
+    pub flows: Vec<FlowGene>,
+    /// Scenario duration.
+    pub duration: SimDuration,
+    /// Maximum number of concurrent flows mutation may grow to.
+    pub max_flows: usize,
+    /// Algorithms mutation may draw from when swapping or adding flows.
+    pub cca_pool: Vec<CcaKind>,
+    /// Optional unresponsive cross-traffic helper (a traffic sub-genome);
+    /// `None` disables cross traffic entirely.
+    pub traffic: Option<TrafficGenome>,
+}
+
+impl ScenarioGenome {
+    /// Generates a fresh random scenario seeded with the given per-flow
+    /// algorithms (all flows initially run the whole scenario; mutation
+    /// explores staggered schedules). `traffic_max_packets > 0` attaches a
+    /// random cross-traffic sub-genome with that packet cap.
+    pub fn generate(
+        base_flows: &[CcaKind],
+        max_flows: usize,
+        duration: SimDuration,
+        traffic_max_packets: usize,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(
+            base_flows.len() >= MIN_FAIRNESS_FLOWS,
+            "a fairness scenario needs at least {MIN_FAIRNESS_FLOWS} flows"
+        );
+        let flows = base_flows
+            .iter()
+            .map(|&cca| FlowGene::whole_run(cca))
+            .collect();
+        let traffic = if traffic_max_packets > 0 {
+            Some(TrafficGenome::generate(traffic_max_packets, duration, rng))
+        } else {
+            None
+        };
+        let mut genome = ScenarioGenome {
+            flows,
+            duration,
+            max_flows: max_flows.max(base_flows.len()),
+            cca_pool: base_flows.to_vec(),
+            traffic,
+        };
+        // One schedule perturbation so the initial population is diverse.
+        genome.perturb_schedule(rng);
+        genome
+    }
+
+    /// The number of concurrent flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn random_time(&self, lo_frac: f64, hi_frac: f64, rng: &mut SimRng) -> SimTime {
+        let span = self.duration.as_nanos() as f64;
+        let lo = (span * lo_frac) as u64;
+        let hi = ((span * hi_frac) as u64).max(lo + 1);
+        SimTime::from_nanos(rng.gen_range_u64(lo, hi))
+    }
+
+    /// Randomly perturbs one competing flow's schedule. Flow 0 is the
+    /// always-on incumbent (the algorithm under test, whose stats mirror
+    /// the legacy single-flow fields): it keeps `start = 0` and never gains
+    /// a stop time, so every scenario has a flow to be unfair *to*.
+    fn perturb_schedule(&mut self, rng: &mut SimRng) {
+        if self.flows.len() < 2 {
+            return;
+        }
+        let idx = rng.gen_range_usize(1, self.flows.len());
+        if rng.gen_bool(0.7) {
+            self.flows[idx].start = self.random_time(0.0, 0.5, rng);
+        }
+        // Half the time toggle/resample the stop time.
+        if rng.gen_bool(0.5) {
+            self.flows[idx].stop = None;
+        } else {
+            let start = self.flows[idx].start;
+            let earliest = start + self.duration.div(10).max(SimDuration::from_millis(100));
+            let stop = self.random_time(0.5, 1.0, rng).max(earliest);
+            self.flows[idx].stop = Some(stop.min(SimTime::ZERO + self.duration));
+        }
+    }
+
+    /// Swaps one *competing* flow's algorithm. Flow 0's CCA is pinned: the
+    /// finding id and corpus bucket are derived from it (`Campaign::cca`),
+    /// so a `bbr-fairness-…` finding must actually contain a BBR flow.
+    fn swap_cca(&mut self, rng: &mut SimRng) {
+        if self.cca_pool.is_empty() || self.flows.len() < 2 {
+            return;
+        }
+        let idx = rng.gen_range_usize(1, self.flows.len());
+        let cca = self.cca_pool[rng.gen_range_usize(0, self.cca_pool.len())];
+        self.flows[idx].cca = cca;
+    }
+
+    fn add_flow(&mut self, rng: &mut SimRng) {
+        if self.flows.len() >= self.max_flows || self.cca_pool.is_empty() {
+            return;
+        }
+        let cca = self.cca_pool[rng.gen_range_usize(0, self.cca_pool.len())];
+        let start = self.random_time(0.0, 0.7, rng);
+        self.flows.push(FlowGene {
+            cca,
+            start,
+            stop: None,
+        });
+    }
+
+    fn remove_flow(&mut self, rng: &mut SimRng) {
+        if self.flows.len() <= MIN_FAIRNESS_FLOWS {
+            return;
+        }
+        // Never remove flow 0 (the incumbent).
+        let idx = rng.gen_range_usize(1, self.flows.len());
+        self.flows.remove(idx);
+    }
+}
+
+impl Genome for ScenarioGenome {
+    fn mutate(&self, rng: &mut SimRng) -> Self {
+        let mut child = self.clone();
+        match rng.gen_range_usize(0, 5) {
+            0 => child.perturb_schedule(rng),
+            1 => child.swap_cca(rng),
+            2 => child.add_flow(rng),
+            3 => child.remove_flow(rng),
+            _ => {
+                if let Some(traffic) = &child.traffic {
+                    child.traffic = Some(traffic.mutate(rng));
+                } else {
+                    child.perturb_schedule(rng);
+                }
+            }
+        }
+        child
+    }
+
+    fn crossover(&self, other: &Self, rng: &mut SimRng) -> Option<Self> {
+        // Splice flow lists: take the first `split` flow genes from one
+        // parent and fill the rest from the other, capped at max_flows.
+        let (a, b) = if rng.gen_bool(0.5) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let split = rng.gen_range_usize(1, a.flows.len() + 1);
+        let mut flows: Vec<FlowGene> = a.flows.iter().copied().take(split).collect();
+        flows.extend(b.flows.iter().copied().skip(split));
+        flows.truncate(self.max_flows.max(MIN_FAIRNESS_FLOWS));
+        while flows.len() < MIN_FAIRNESS_FLOWS {
+            flows.push(b.flows[flows.len() % b.flows.len()]);
+        }
+        // Flow 0 stays an always-on incumbent.
+        flows[0].start = SimTime::ZERO;
+        let traffic = match (&self.traffic, &other.traffic) {
+            (Some(x), Some(y)) => x.crossover(y, rng),
+            (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+            (None, None) => None,
+        };
+        Some(ScenarioGenome {
+            flows,
+            duration: self.duration,
+            max_flows: self.max_flows,
+            cca_pool: self.cca_pool.clone(),
+            traffic,
+        })
+    }
+
+    fn packet_count(&self) -> usize {
+        self.traffic.as_ref().map(|t| t.packet_count()).unwrap_or(0)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.flows.is_empty() {
+            return Err("scenario genome has no flows".into());
+        }
+        if self.flows.len() > self.max_flows.max(MIN_FAIRNESS_FLOWS) {
+            return Err(format!(
+                "scenario genome has {} flows, cap is {}",
+                self.flows.len(),
+                self.max_flows
+            ));
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.start.as_nanos() > self.duration.as_nanos() {
+                return Err(format!("flow {i} starts beyond the scenario duration"));
+            }
+            if let Some(stop) = f.stop {
+                if stop <= f.start {
+                    return Err(format!("flow {i} stops before it starts"));
+                }
+            }
+        }
+        if let Some(traffic) = &self.traffic {
+            traffic.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUR: SimDuration = SimDuration::from_secs(5);
+
+    fn rng() -> SimRng {
+        SimRng::new(42)
+    }
+
+    fn base() -> ScenarioGenome {
+        let mut rng = rng();
+        ScenarioGenome::generate(&[CcaKind::Bbr, CcaKind::Reno], 4, DUR, 500, &mut rng)
+    }
+
+    #[test]
+    fn generation_produces_valid_scenarios() {
+        let g = base();
+        g.validate().unwrap();
+        assert_eq!(g.flow_count(), 2);
+        assert_eq!(g.flows[0].cca, CcaKind::Bbr);
+        assert_eq!(g.flows[1].cca, CcaKind::Reno);
+        assert_eq!(g.flows[0].start, SimTime::ZERO, "flow 0 is always-on");
+        assert!(g.traffic.is_some());
+    }
+
+    #[test]
+    fn generation_without_traffic_budget_has_no_traffic() {
+        let mut rng = rng();
+        let g = ScenarioGenome::generate(&[CcaKind::Reno, CcaKind::Reno], 3, DUR, 0, &mut rng);
+        assert!(g.traffic.is_none());
+        assert_eq!(g.packet_count(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn mutation_keeps_invariants_and_explores() {
+        let g = base();
+        let mut rng = rng();
+        let mut saw_flow_count_change = false;
+        let mut saw_schedule_change = false;
+        let mut current = g.clone();
+        for _ in 0..100 {
+            current = current.mutate(&mut rng);
+            current.validate().unwrap();
+            assert!(current.flow_count() >= MIN_FAIRNESS_FLOWS);
+            assert!(current.flow_count() <= 4);
+            if current.flow_count() != g.flow_count() {
+                saw_flow_count_change = true;
+            }
+            if current.flows[..2.min(current.flows.len())]
+                .iter()
+                .zip(&g.flows)
+                .any(|(a, b)| a.start != b.start || a.stop != b.stop)
+            {
+                saw_schedule_change = true;
+            }
+        }
+        assert!(saw_flow_count_change, "mutation should add/remove flows");
+        assert!(saw_schedule_change, "mutation should perturb schedules");
+    }
+
+    #[test]
+    fn crossover_combines_parents() {
+        let mut rng = rng();
+        let a = ScenarioGenome::generate(&[CcaKind::Bbr, CcaKind::Reno], 4, DUR, 300, &mut rng);
+        let b = ScenarioGenome::generate(&[CcaKind::Cubic, CcaKind::Vegas], 4, DUR, 300, &mut rng);
+        for _ in 0..20 {
+            let child = a.crossover(&b, &mut rng).unwrap();
+            child.validate().unwrap();
+            assert!(child.flow_count() >= MIN_FAIRNESS_FLOWS);
+            assert_eq!(child.flows[0].start, SimTime::ZERO);
+            for f in &child.flows {
+                assert!(
+                    a.flows.iter().any(|x| x.cca == f.cca)
+                        || b.flows.iter().any(|x| x.cca == f.cca),
+                    "child CCAs come from a parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_schedules() {
+        let mut g = base();
+        g.flows[1].stop = Some(g.flows[1].start);
+        assert!(g.validate().is_err());
+        let mut g = base();
+        g.flows[1].start = SimTime::ZERO + DUR + SimDuration::from_secs(1);
+        assert!(g.validate().is_err());
+        let mut g = base();
+        g.flows.clear();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = base();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ScenarioGenome = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -38,6 +38,17 @@ pub enum Objective {
     },
     /// Maximise the CCA's loss ratio (marked-lost / transmissions).
     HighLoss,
+    /// Multi-flow objective: maximise *unfairness* between concurrent
+    /// congestion-controlled flows sharing the bottleneck. The score is
+    /// `(1 - Jain's index over per-flow goodput) + starvation_weight * s`,
+    /// where `s` is the longest zero-delivery interval of any flow as a
+    /// fraction of that flow's active time (the starvation-duration
+    /// penalty), normalised by `1 + starvation_weight` so the score lives
+    /// in `[0, 1]` without a gradient-flattening clamp.
+    Unfairness {
+        /// Weight of the starvation-duration penalty.
+        starvation_weight: f64,
+    },
 }
 
 /// Weights and normalisation for combining the two score components.
@@ -80,6 +91,133 @@ impl ScoringConfig {
             reference_rate_bps,
         }
     }
+
+    /// Fairness-fuzzing scoring: hunt for scenarios where concurrent flows
+    /// share the bottleneck badly. Starvation is weighted at 0.5 so a
+    /// scenario that fully starves one flow scores higher than one that
+    /// merely skews the split. The trace weight rewards minimal
+    /// cross-traffic helpers (0 packets when the unfairness needs none).
+    pub fn fairness_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::Unfairness {
+                starvation_weight: 0.5,
+            },
+            performance_weight: 1.0,
+            trace_weight: 0.1,
+            reference_rate_bps,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fairness metrics
+// ---------------------------------------------------------------------------
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1.0 means perfectly fair; `1/n` means one flow takes
+/// everything. Empty or all-zero inputs score 1.0 (nothing to be unfair
+/// about).
+pub fn jains_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// Longest interval with zero deliveries inside `[start, active_end]`, in
+/// seconds, given the flow's sorted delivery times. The leading gap (start →
+/// first delivery) and trailing gap (last delivery → active end) count too:
+/// a flow that never delivers is starved for its whole active interval.
+pub fn longest_starvation_secs(
+    delivery_times: &[ccfuzz_netsim::time::SimTime],
+    start: ccfuzz_netsim::time::SimTime,
+    active_end: ccfuzz_netsim::time::SimTime,
+) -> f64 {
+    if active_end <= start {
+        return 0.0;
+    }
+    let mut longest = SimDuration::ZERO;
+    let mut prev = start;
+    for t in delivery_times {
+        let t = (*t).clamp(start, active_end);
+        let gap = t.saturating_since(prev);
+        if gap > longest {
+            longest = gap;
+        }
+        prev = t;
+    }
+    let tail = active_end.saturating_since(prev);
+    if tail > longest {
+        longest = tail;
+    }
+    longest.as_secs_f64()
+}
+
+/// The per-flow fairness measurements derived from one multi-flow run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FairnessBreakdown {
+    /// Sink-side goodput of each flow over its active interval, bits/s.
+    pub per_flow_goodput_bps: Vec<f64>,
+    /// Distinct packets each flow delivered to its receiver.
+    pub per_flow_delivered: Vec<u64>,
+    /// Jain's index over `per_flow_goodput_bps`.
+    pub jain_index: f64,
+    /// Longest zero-delivery interval of any flow, seconds.
+    pub max_starvation_secs: f64,
+    /// Largest per-flow ratio of starvation time to active time. Note this
+    /// is a maximum over per-flow *fractions*, so it can come from a
+    /// different flow than `max_starvation_secs` (a briefly-active flow
+    /// starved for its whole short life maximises the fraction while a
+    /// long-lived flow maximises the seconds).
+    pub max_starvation_fraction: f64,
+}
+
+/// Computes the fairness breakdown of a (multi-flow) simulation result.
+/// With fewer than two flows the breakdown is trivially fair.
+pub fn fairness_breakdown(result: &SimResult, mss: u32) -> FairnessBreakdown {
+    let duration = SimDuration::from_secs_f64(result.duration_secs);
+    let per_flow_goodput_bps: Vec<f64> = result
+        .stats
+        .flows
+        .iter()
+        .map(|f| f.goodput_bps(mss, duration))
+        .collect();
+    let per_flow_delivered: Vec<u64> = result
+        .stats
+        .flows
+        .iter()
+        .map(|f| f.delivery_times.len() as u64)
+        .collect();
+    let mut max_starvation_secs = 0.0f64;
+    let mut max_starvation_fraction = 0.0f64;
+    for f in &result.stats.flows {
+        let active_end = f
+            .stop
+            .unwrap_or(ccfuzz_netsim::time::SimTime::ZERO + duration)
+            .min(ccfuzz_netsim::time::SimTime::ZERO + duration);
+        let starved = longest_starvation_secs(&f.delivery_times, f.start, active_end);
+        let active = f.active_secs(duration);
+        let fraction = if active > 0.0 { starved / active } else { 0.0 };
+        if starved > max_starvation_secs {
+            max_starvation_secs = starved;
+        }
+        if fraction > max_starvation_fraction {
+            max_starvation_fraction = fraction;
+        }
+    }
+    FairnessBreakdown {
+        jain_index: jains_index(&per_flow_goodput_bps),
+        per_flow_goodput_bps,
+        per_flow_delivered,
+        max_starvation_secs,
+        max_starvation_fraction,
+    }
 }
 
 /// Inputs for the trace-score component (traffic fuzzing only).
@@ -117,7 +255,7 @@ pub fn performance_score(
         Objective::HighDelay { percentile: p } => {
             let delays: Vec<f64> = result
                 .stats
-                .queuing_delays(FlowId::Cca)
+                .queuing_delays(FlowId::Cca(0))
                 .iter()
                 .map(|(_, d)| d.as_secs_f64())
                 .collect();
@@ -128,6 +266,15 @@ pub fn performance_score(
         Objective::HighLoss => {
             let tx = result.stats.flow.transmissions.max(1);
             (result.stats.flow.marked_lost as f64 / tx as f64).clamp(0.0, 1.0)
+        }
+        Objective::Unfairness { starvation_weight } => {
+            let b = fairness_breakdown(result, mss);
+            // Normalise by the maximum attainable value instead of clamping:
+            // a hard cap at 1.0 would flatten the fitness gradient once
+            // scenarios combine a bad Jain split with heavy starvation, and
+            // the GA could no longer tell strictly-worse scenarios apart.
+            let raw = (1.0 - b.jain_index) + starvation_weight * b.max_starvation_fraction;
+            (raw / (1.0 + starvation_weight.max(0.0))).clamp(0.0, 1.0)
         }
     }
 }
@@ -216,7 +363,7 @@ mod tests {
         let objective = Objective::HighDelay { percentile: 10.0 };
         let mk = |delay_ms: u64| BottleneckRecord {
             at: SimTime::from_millis(delay_ms),
-            flow: FlowId::Cca,
+            flow: FlowId::Cca(0),
             size: 1448,
             event: BottleneckEvent::Dequeued {
                 queuing_delay: SimDuration::from_millis(delay_ms),
@@ -279,6 +426,106 @@ mod tests {
     }
 
     #[test]
+    fn jains_index_known_values() {
+        assert_eq!(jains_index(&[]), 1.0);
+        assert_eq!(jains_index(&[0.0, 0.0]), 1.0);
+        assert!((jains_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogs everything: 1/n.
+        assert!((jains_index(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((jains_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // 2:1 split of two flows: 9/10.
+        assert!((jains_index(&[2.0, 1.0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_counts_leading_interior_and_trailing_gaps() {
+        use ccfuzz_netsim::time::SimTime;
+        let t = |ms: u64| SimTime::from_millis(ms);
+        // No deliveries at all: starved for the whole active interval.
+        assert_eq!(longest_starvation_secs(&[], t(1_000), t(4_000)), 3.0);
+        // Leading gap dominates.
+        let times = vec![t(3_500), t(3_600), t(4_000)];
+        assert!((longest_starvation_secs(&times, t(1_000), t(4_000)) - 2.5).abs() < 1e-9);
+        // Interior gap dominates.
+        let times = vec![t(1_100), t(2_900), t(3_000), t(3_900)];
+        assert!((longest_starvation_secs(&times, t(1_000), t(4_000)) - 1.8).abs() < 1e-9);
+        // Trailing gap dominates.
+        let times = vec![t(1_100), t(1_200)];
+        assert!((longest_starvation_secs(&times, t(1_000), t(4_000)) - 2.8).abs() < 1e-9);
+        // Degenerate interval.
+        assert_eq!(longest_starvation_secs(&[], t(4_000), t(1_000)), 0.0);
+    }
+
+    #[test]
+    fn unfairness_objective_scores_skewed_runs_higher() {
+        use ccfuzz_netsim::stats::FlowStats;
+        let objective = Objective::Unfairness {
+            starvation_weight: 0.5,
+        };
+        let flow_stats = |times: Vec<SimTime>| FlowStats {
+            delivery_times: times,
+            ..Default::default()
+        };
+        // Fair: both flows deliver at the same rate for 5 s.
+        let fair = SimResult {
+            stats: RunStats {
+                flows: vec![
+                    flow_stats((0..500).map(|i| SimTime::from_millis(i * 10)).collect()),
+                    flow_stats((0..500).map(|i| SimTime::from_millis(5 + i * 10)).collect()),
+                ],
+                ..Default::default()
+            },
+            duration_secs: 5.0,
+        };
+        // Unfair: the second flow delivers almost nothing and stalls for
+        // most of the run.
+        let unfair = SimResult {
+            stats: RunStats {
+                flows: vec![
+                    flow_stats((0..900).map(|i| SimTime::from_millis(i * 5)).collect()),
+                    flow_stats(vec![SimTime::from_millis(10)]),
+                ],
+                ..Default::default()
+            },
+            duration_secs: 5.0,
+        };
+        let fair_score = performance_score(&objective, &fair, 1448, 12e6);
+        let unfair_score = performance_score(&objective, &unfair, 1448, 12e6);
+        assert!(fair_score < 0.1, "fair run must score near 0: {fair_score}");
+        assert!(
+            unfair_score > 0.6,
+            "starved run must score high: {unfair_score}"
+        );
+        // The score never saturates below the true maximum: a fully starved,
+        // maximally skewed two-flow run approaches but does not clamp at 1.
+        assert!(unfair_score < 1.0);
+        let b = fairness_breakdown(&unfair, 1448);
+        assert_eq!(b.per_flow_delivered, vec![900, 1]);
+        assert!(b.jain_index < 0.55);
+        assert!(b.max_starvation_secs > 4.5);
+    }
+
+    #[test]
+    fn single_flow_unfairness_is_starvation_only() {
+        let objective = Objective::Unfairness {
+            starvation_weight: 0.5,
+        };
+        // One flow, delivering steadily: nothing unfair, nothing starved.
+        let result = SimResult {
+            stats: RunStats {
+                flows: vec![ccfuzz_netsim::stats::FlowStats {
+                    delivery_times: (0..500).map(|i| SimTime::from_millis(i * 10)).collect(),
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+            duration_secs: 5.0,
+        };
+        let score = performance_score(&objective, &result, 1448, 12e6);
+        assert!(score < 0.01, "{score}");
+    }
+
+    #[test]
     fn default_configs_match_paper_settings() {
         let low = ScoringConfig::low_throughput_default(12e6);
         match low.objective {
@@ -290,6 +537,11 @@ mod tests {
         let delay = ScoringConfig::high_delay_default(12e6);
         match delay.objective {
             Objective::HighDelay { percentile } => assert_eq!(percentile, 10.0),
+            _ => panic!("wrong objective"),
+        }
+        let fairness = ScoringConfig::fairness_default(12e6);
+        match fairness.objective {
+            Objective::Unfairness { starvation_weight } => assert_eq!(starvation_weight, 0.5),
             _ => panic!("wrong objective"),
         }
     }

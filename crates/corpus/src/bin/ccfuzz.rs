@@ -39,10 +39,13 @@ COMMON OPTIONS:
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
                         bbr-probertt-on-rto | vegas        (required)
-    --mode MODE         traffic | link (default: traffic)
+    --mode MODE         traffic | link | fairness (default: traffic)
+    --flows LIST        Comma-separated CCAs competing in fairness mode
+                        (default: the --cca flow vs. reno)
     --generations N     GA generations (default: 5)
     --seconds S         Scenario duration in seconds (default: 3)
     --seed N            GA master seed (default: 1)
+    --threads N         Evaluation worker threads (default: autodetect)
     --islands N         Override island count
     --population N      Override per-island population
 
@@ -135,7 +138,8 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
     let mode = match flag_value(args, "--mode")?.as_deref() {
         None | Some("traffic") => FuzzMode::Traffic,
         Some("link") => FuzzMode::Link,
-        Some(other) => return Err(format!("--mode: `{other}` is not traffic|link")),
+        Some("fairness") => FuzzMode::Fairness,
+        Some(other) => return Err(format!("--mode: `{other}` is not traffic|link|fairness")),
     };
     let generations: u32 = parse_num(args, "--generations", 5)?;
     let seconds: u64 = parse_num(args, "--seconds", 3)?;
@@ -143,6 +147,31 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
 
     let mut config = HuntConfig::quick(cca, mode, generations, seed);
     config.duration = SimDuration::from_secs(seconds.max(1));
+    if let Some(flows) = flag_value(args, "--flows")? {
+        if mode != FuzzMode::Fairness {
+            return Err("--flows only applies to --mode fairness".into());
+        }
+        let flow_ccas = CcaKind::parse_list(&flows)?;
+        if flow_ccas.len() < 2 {
+            return Err("--flows needs at least two comma-separated CCAs".into());
+        }
+        if flow_ccas[0] != cca {
+            return Err(format!(
+                "--flows starts with `{}` but --cca is `{}`; flow 0 is the algorithm \
+                 under test, so the first --flows entry must match --cca",
+                flow_ccas[0].name(),
+                cca.name()
+            ));
+        }
+        config.flow_ccas = flow_ccas;
+    }
+    if let Some(threads) = flag_value(args, "--threads")? {
+        let threads: usize = threads.parse().map_err(|_| "--threads: invalid value")?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        config.ga.threads = threads;
+    }
     if let Some(islands) = flag_value(args, "--islands")? {
         config.ga.islands = islands.parse().map_err(|_| "--islands: invalid value")?;
     }
@@ -151,13 +180,42 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let corpus = open_corpus(args)?;
+    // Print the fully resolved campaign before running, so a hunt is
+    // reproducible from its log line alone.
+    let campaign = config.campaign();
     println!(
-        "hunting: cca={} mode={:?} generations={} duration={}s seed={}",
-        cca.name(),
-        mode,
+        "hunting: cca={} mode={} duration={}s seed={}",
+        config.cca.name(),
+        mode.name(),
+        config.duration.as_secs_f64(),
+        config.ga.seed
+    );
+    if mode == FuzzMode::Fairness {
+        let flows: Vec<&str> = campaign.flow_ccas.iter().map(|c| c.name()).collect();
+        println!(
+            "  flows: [{}] (max {} concurrent)",
+            flows.join(", "),
+            campaign.max_flows
+        );
+    }
+    println!(
+        "  ga: islands={} population/island={} generations={} crossover={:.2} \
+         migration={:.2}@{} k_elite={} threads={}",
+        config.ga.islands,
+        config.ga.population_per_island,
         config.ga.generations,
-        seconds,
-        seed
+        config.ga.crossover_fraction,
+        config.ga.migration_fraction,
+        config.ga.migration_interval,
+        config.ga.k_elite,
+        config.ga.threads
+    );
+    println!(
+        "  scoring: objective={:?} perf_weight={} trace_weight={} reference={:.1} Mbps",
+        campaign.scoring.objective,
+        campaign.scoring.performance_weight,
+        campaign.scoring.trace_weight,
+        campaign.scoring.reference_rate_bps / 1e6
     );
     let (finding, decision) = hunt(&corpus, &config).map_err(|e| e.to_string())?;
     println!(
@@ -168,6 +226,19 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
         finding.outcome.goodput_bps / 1e6,
         finding.genome.packet_count()
     );
+    if let Some(fairness) = &finding.fairness {
+        for (i, cca) in fairness.per_flow_cca.iter().enumerate() {
+            println!(
+                "  flow {i}: {cca} goodput={:.3} Mbps delivered={}",
+                fairness.per_flow_goodput_bps.get(i).copied().unwrap_or(0.0) / 1e6,
+                fairness.per_flow_delivered.get(i).copied().unwrap_or(0)
+            );
+        }
+        println!(
+            "  jain_index={:.4} max_starvation={:.3}s",
+            fairness.jain_index, fairness.max_starvation_secs
+        );
+    }
     match decision {
         InsertOutcome::Added => println!("corpus: added {}", finding.id),
         InsertOutcome::ReplacedWeaker { previous_score } => println!(

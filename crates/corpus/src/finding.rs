@@ -11,17 +11,20 @@ use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{Campaign, FuzzMode};
 use ccfuzz_core::evaluate::{EvalOutcome, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
-use ccfuzz_core::scoring::{ScoringConfig, TraceScoreInputs};
+use ccfuzz_core::scenario::ScenarioGenome;
+use ccfuzz_core::scoring::{fairness_breakdown, ScoringConfig, TraceScoreInputs};
 use ccfuzz_netsim::config::SimConfig;
 use serde::{Deserialize, Serialize};
 
-/// The evolved trace, in either of the paper's two fuzzing modes.
+/// The evolved trace/scenario, in any of the fuzzing modes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum GenomePayload {
     /// A bottleneck service curve (link fuzzing).
     Link(LinkGenome),
     /// A cross-traffic injection pattern (traffic fuzzing).
     Traffic(TrafficGenome),
+    /// A multi-flow scenario (fairness fuzzing).
+    Scenario(ScenarioGenome),
 }
 
 impl GenomePayload {
@@ -30,14 +33,17 @@ impl GenomePayload {
         match self {
             GenomePayload::Link(_) => FuzzMode::Link,
             GenomePayload::Traffic(_) => FuzzMode::Traffic,
+            GenomePayload::Scenario(_) => FuzzMode::Fairness,
         }
     }
 
-    /// Number of packets in the genome.
+    /// Number of packets in the genome (cross-traffic packets for
+    /// scenarios).
     pub fn packet_count(&self) -> usize {
         match self {
             GenomePayload::Link(g) => g.packet_count(),
             GenomePayload::Traffic(g) => g.packet_count(),
+            GenomePayload::Scenario(g) => g.packet_count(),
         }
     }
 
@@ -46,8 +52,25 @@ impl GenomePayload {
         match self {
             GenomePayload::Link(g) => g.validate(),
             GenomePayload::Traffic(g) => g.validate(),
+            GenomePayload::Scenario(g) => g.validate(),
         }
     }
+}
+
+/// Recorded per-flow fairness results of a scenario finding, so reports can
+/// show the flow split without re-simulating.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FairnessSummary {
+    /// CCA name of each flow, in flow order.
+    pub per_flow_cca: Vec<String>,
+    /// Sink-side goodput of each flow over its active interval, bits/s.
+    pub per_flow_goodput_bps: Vec<f64>,
+    /// Distinct packets each flow delivered.
+    pub per_flow_delivered: Vec<u64>,
+    /// Jain's index over the per-flow goodput.
+    pub jain_index: f64,
+    /// Longest zero-delivery interval of any flow, seconds.
+    pub max_starvation_secs: f64,
 }
 
 /// Where a finding came from and what has happened to it since.
@@ -68,7 +91,7 @@ pub struct Provenance {
 }
 
 /// One persistent, replayable finding.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Finding {
     /// Stable identifier: `{cca}-{mode}-{signature key as hex}`.
     pub id: String,
@@ -95,15 +118,66 @@ pub struct Finding {
     pub behavior_digest: u64,
     /// Discovery and minimization history.
     pub provenance: Provenance,
+    /// Per-flow fairness results (fairness-mode findings only).
+    pub fairness: Option<FairnessSummary>,
+}
+
+// Serde is written by hand (not derived) so the optional `fairness` field is
+// omitted when absent and tolerated when missing: findings committed before
+// the multi-flow engine existed deserialize unchanged and re-serialize
+// byte-identically.
+impl Serialize for Finding {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("cca".to_string(), self.cca.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("genome".to_string(), self.genome.to_value()),
+            ("sim".to_string(), self.sim.to_value()),
+            ("scoring".to_string(), self.scoring.to_value()),
+            ("link_rate_bps".to_string(), self.link_rate_bps.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            ("signature".to_string(), self.signature.to_value()),
+            (
+                "behavior_digest".to_string(),
+                self.behavior_digest.to_value(),
+            ),
+            ("provenance".to_string(), self.provenance.to_value()),
+        ];
+        if let Some(fairness) = &self.fairness {
+            fields.push(("fairness".to_string(), fairness.to_value()));
+        }
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Finding {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::map_get;
+        let m = v.as_map("Finding")?;
+        Ok(Finding {
+            id: Deserialize::from_value(map_get(m, "id")?)?,
+            cca: Deserialize::from_value(map_get(m, "cca")?)?,
+            mode: Deserialize::from_value(map_get(m, "mode")?)?,
+            genome: Deserialize::from_value(map_get(m, "genome")?)?,
+            sim: Deserialize::from_value(map_get(m, "sim")?)?,
+            scoring: Deserialize::from_value(map_get(m, "scoring")?)?,
+            link_rate_bps: Deserialize::from_value(map_get(m, "link_rate_bps")?)?,
+            outcome: Deserialize::from_value(map_get(m, "outcome")?)?,
+            signature: Deserialize::from_value(map_get(m, "signature")?)?,
+            behavior_digest: Deserialize::from_value(map_get(m, "behavior_digest")?)?,
+            provenance: Deserialize::from_value(map_get(m, "provenance")?)?,
+            fairness: match map_get(m, "fairness") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// Formats a finding id from its parts.
 pub fn finding_id(cca: CcaKind, mode: FuzzMode, signature: &BehaviorSignature) -> String {
-    let mode = match mode {
-        FuzzMode::Link => "link",
-        FuzzMode::Traffic => "traffic",
-    };
-    format!("{}-{}-{:010x}", cca.name(), mode, signature.key())
+    format!("{}-{}-{:010x}", cca.name(), mode.name(), signature.key())
 }
 
 impl Finding {
@@ -134,9 +208,20 @@ impl Finding {
                 original_packets: genome.packet_count() as u64,
             },
             genome,
+            fairness: None,
         };
-        finding.behavior_digest = finding.compute_behavior_digest();
+        // One simulation provides both the digest and (for scenarios) the
+        // per-flow fairness summary.
+        let (_, digest, fairness) = finding.replay_full(None);
+        finding.behavior_digest = digest;
+        finding.fairness = fairness;
         finding
+    }
+
+    /// Re-simulates a scenario finding and derives its per-flow fairness
+    /// summary (`None` for single-flow findings).
+    pub fn compute_fairness_summary(&self) -> Option<FairnessSummary> {
+        self.replay_full(None).2
     }
 
     /// The simulator-backed evaluator that reproduces this finding's scores.
@@ -147,8 +232,20 @@ impl Finding {
     /// Re-runs the stored genome through one fresh deterministic simulation,
     /// optionally against a different CCA, returning both the scored outcome
     /// and the run's behaviour digest. One simulation serves both purposes —
-    /// this is the hot path of `ccfuzz replay`.
+    /// this is the hot path of `ccfuzz replay`. For scenario findings the
+    /// CCA override replaces the *primary* flow's algorithm; the competing
+    /// flows keep theirs.
     pub fn replay_run(&self, cca: Option<CcaKind>) -> (EvalOutcome, u64) {
+        let (outcome, digest, _) = self.replay_full(cca);
+        (outcome, digest)
+    }
+
+    /// Like [`Finding::replay_run`], but the single simulation additionally
+    /// yields the per-flow fairness summary for scenario findings (`None`
+    /// for single-flow genomes). Simulations dominate the cost of creating,
+    /// minimizing and replaying findings, so everything that needs both the
+    /// digest and the fairness breakdown goes through here.
+    pub fn replay_full(&self, cca: Option<CcaKind>) -> (EvalOutcome, u64, Option<FairnessSummary>) {
         let mut evaluator = self.evaluator();
         if let Some(cca) = cca {
             evaluator.cca = cca;
@@ -158,7 +255,7 @@ impl Finding {
                 let result = evaluator.simulate_link(g, false);
                 let outcome =
                     EvalOutcome::from_result(&evaluator.scoring, &result, evaluator.base.mss, None);
-                (outcome, result.stats.digest())
+                (outcome, result.stats.digest(), None)
             }
             GenomePayload::Traffic(g) => {
                 let result = evaluator.simulate_traffic(g, false);
@@ -173,7 +270,29 @@ impl Finding {
                     evaluator.base.mss,
                     Some(inputs),
                 );
-                (outcome, result.stats.digest())
+                (outcome, result.stats.digest(), None)
+            }
+            GenomePayload::Scenario(g) => {
+                let mut g = g.clone();
+                if let Some(cca) = cca {
+                    g.flows[0].cca = cca;
+                }
+                let result = evaluator.simulate_scenario(&g, false);
+                let outcome = EvalOutcome::from_scenario_result(
+                    &evaluator.scoring,
+                    &result,
+                    evaluator.base.mss,
+                    &g,
+                );
+                let breakdown = fairness_breakdown(&result, evaluator.base.mss);
+                let fairness = FairnessSummary {
+                    per_flow_cca: g.flows.iter().map(|f| f.cca.name().to_string()).collect(),
+                    per_flow_goodput_bps: breakdown.per_flow_goodput_bps,
+                    per_flow_delivered: breakdown.per_flow_delivered,
+                    jain_index: breakdown.jain_index,
+                    max_starvation_secs: breakdown.max_starvation_secs,
+                };
+                (outcome, result.stats.digest(), Some(fairness))
             }
         }
     }

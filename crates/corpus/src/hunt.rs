@@ -13,7 +13,7 @@ use ccfuzz_netsim::time::SimDuration;
 /// Parameters of one hunt.
 #[derive(Clone, Debug)]
 pub struct HuntConfig {
-    /// Algorithm under test.
+    /// Algorithm under test (the primary flow's algorithm in fairness mode).
     pub cca: CcaKind,
     /// Fuzzing mode.
     pub mode: FuzzMode,
@@ -21,20 +21,47 @@ pub struct HuntConfig {
     pub duration: SimDuration,
     /// GA parameters.
     pub ga: GaParams,
+    /// Per-flow algorithms for fairness mode (ignored in the single-flow
+    /// modes). Flow 0 is `cca`.
+    pub flow_ccas: Vec<CcaKind>,
 }
 
 impl HuntConfig {
     /// A quick-scale hunt (the `ccfuzz` CLI default): paper scenario, quick
-    /// GA, `generations` generations, explicit seed.
+    /// GA, `generations` generations, explicit seed. Fairness hunts default
+    /// to `cca` vs. Reno.
     pub fn quick(cca: CcaKind, mode: FuzzMode, generations: u32, seed: u64) -> Self {
         let mut ga = GaParams::quick();
         ga.generations = generations.max(1);
         ga.seed = seed;
+        let flow_ccas = match mode {
+            FuzzMode::Fairness => vec![cca, CcaKind::Reno],
+            _ => vec![cca],
+        };
         HuntConfig {
             cca,
             mode,
             duration: SimDuration::from_secs(3),
             ga,
+            flow_ccas,
+        }
+    }
+
+    /// The campaign this hunt runs.
+    pub fn campaign(&self) -> Campaign {
+        match self.mode {
+            FuzzMode::Fairness => {
+                let mut flow_ccas = self.flow_ccas.clone();
+                if flow_ccas.is_empty() {
+                    flow_ccas.push(self.cca);
+                }
+                flow_ccas[0] = self.cca;
+                if flow_ccas.len() < 2 {
+                    flow_ccas.push(CcaKind::Reno);
+                }
+                Campaign::paper_fairness(flow_ccas, self.duration, self.ga)
+            }
+            _ => Campaign::paper_standard(self.mode, self.cca, self.duration, self.ga),
         }
     }
 }
@@ -43,7 +70,7 @@ impl HuntConfig {
 /// `corpus`. Returns the finding (whether or not the corpus kept it) and the
 /// insert decision.
 pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutcome), CorpusError> {
-    let campaign = Campaign::paper_standard(config.mode, config.cca, config.duration, config.ga);
+    let campaign = config.campaign();
     let (genome, outcome, evaluations) = match config.mode {
         FuzzMode::Traffic => {
             let result = campaign.run_traffic();
@@ -57,6 +84,14 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             let result = campaign.run_link();
             (
                 GenomePayload::Link(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations,
+            )
+        }
+        FuzzMode::Fairness => {
+            let result = campaign.run_fairness();
+            (
+                GenomePayload::Scenario(result.best_genome),
                 result.best_outcome,
                 result.total_evaluations,
             )
@@ -101,6 +136,38 @@ mod tests {
                 existing_score: finding.outcome.score
             }
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fairness_hunt_produces_a_scenario_finding_with_per_flow_results() {
+        let dir = std::env::temp_dir().join(format!(
+            "ccfuzz-fairhunt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = Corpus::open_with(&dir, CorpusConfig::default()).unwrap();
+
+        let mut config = HuntConfig::quick(CcaKind::Bbr, FuzzMode::Fairness, 2, 7);
+        config.flow_ccas = vec![CcaKind::Bbr, CcaKind::Reno];
+        config.ga.islands = 2;
+        config.ga.population_per_island = 3;
+        config.duration = SimDuration::from_secs(2);
+
+        let (finding, decision) = hunt(&corpus, &config).unwrap();
+        assert_eq!(decision, InsertOutcome::Added);
+        assert!(finding.id.starts_with("bbr-fairness-"));
+        let fairness = finding.fairness.as_ref().expect("per-flow summary");
+        assert!(fairness.per_flow_goodput_bps.len() >= 2);
+        assert_eq!(
+            fairness.per_flow_goodput_bps.len(),
+            fairness.per_flow_cca.len()
+        );
+        assert!((0.0..=1.0).contains(&fairness.jain_index));
+        assert!(finding.behavior_digest != 0);
+        // Round trip through disk preserves the fairness block.
+        assert_eq!(corpus.get(&finding.id).unwrap(), finding);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -20,8 +20,9 @@
 
 use crate::finding::{Finding, GenomePayload};
 use crate::signature::BehaviorSignature;
-use ccfuzz_core::evaluate::Evaluator;
+use ccfuzz_core::evaluate::{Evaluator, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
+use ccfuzz_core::scenario::ScenarioGenome;
 use ccfuzz_netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -289,6 +290,57 @@ pub fn minimize_link<E: Evaluator<LinkGenome>>(
     (current, report)
 }
 
+/// Adapts a [`SimEvaluator`] so the traffic-minimization passes can shrink a
+/// scenario's cross-traffic sub-genome: every candidate traffic genome is
+/// re-embedded into the (otherwise fixed) scenario before evaluation.
+struct ScenarioTrafficEvaluator<'a> {
+    evaluator: &'a SimEvaluator,
+    scenario: &'a ScenarioGenome,
+}
+
+impl Evaluator<TrafficGenome> for ScenarioTrafficEvaluator<'_> {
+    fn evaluate(&self, genome: &TrafficGenome) -> ccfuzz_core::evaluate::EvalOutcome {
+        let mut scenario = self.scenario.clone();
+        scenario.traffic = Some(genome.clone());
+        Evaluator::<ScenarioGenome>::evaluate(self.evaluator, &scenario)
+    }
+}
+
+/// Minimizes a scenario genome. Flow genes are the scenario's substance and
+/// stay; what shrinks is the cross-traffic helper (when present), using the
+/// full traffic ddmin + value-shrinking pipeline against the multi-flow
+/// simulation.
+pub fn minimize_scenario(
+    evaluator: &SimEvaluator,
+    genome: &ScenarioGenome,
+    cfg: &MinimizeConfig,
+) -> (ScenarioGenome, MinimizeReport) {
+    let Some(traffic) = &genome.traffic else {
+        // Nothing to shrink: one evaluation to report the score.
+        let score = Evaluator::<ScenarioGenome>::evaluate(evaluator, genome).score;
+        return (
+            genome.clone(),
+            MinimizeReport {
+                original_packets: 0,
+                minimized_packets: 0,
+                original_score: score,
+                minimized_score: score,
+                threshold: score * cfg.retain_fraction,
+                evaluations: 1,
+                passes: vec!["scenario has no cross traffic; nothing to shrink".into()],
+            },
+        );
+    };
+    let wrapper = ScenarioTrafficEvaluator {
+        evaluator,
+        scenario: genome,
+    };
+    let (minimized_traffic, report) = minimize_traffic(&wrapper, traffic, cfg);
+    let mut minimized = genome.clone();
+    minimized.traffic = Some(minimized_traffic);
+    (minimized, report)
+}
+
 /// Minimizes a stored finding: shrinks its genome with the finding's own
 /// evaluator, then refreshes the outcome, signature, digest and provenance.
 pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, MinimizeReport) {
@@ -305,11 +357,18 @@ pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, Mi
             out.genome = GenomePayload::Link(minimized);
             report
         }
+        GenomePayload::Scenario(genome) => {
+            let (minimized, report) = minimize_scenario(&evaluator, genome, cfg);
+            out.genome = GenomePayload::Scenario(minimized);
+            report
+        }
     };
-    // One final simulation refreshes both the outcome and the digest.
-    let (outcome, digest) = out.replay_run(None);
+    // One final simulation refreshes the outcome, the digest and (for
+    // scenarios) the per-flow fairness summary.
+    let (outcome, digest, fairness) = out.replay_full(None);
     out.outcome = outcome;
     out.behavior_digest = digest;
+    out.fairness = fairness;
     out.signature = BehaviorSignature::from_outcome(&out.outcome, out.link_rate_bps as f64);
     // The id names the behaviour, so it follows the refreshed signature.
     // Minimization preserves the behaviour up to bucket granularity, so the

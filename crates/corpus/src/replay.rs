@@ -55,10 +55,7 @@ pub struct ReplayReport {
 }
 
 fn mode_name(mode: FuzzMode) -> &'static str {
-    match mode {
-        FuzzMode::Link => "link",
-        FuzzMode::Traffic => "traffic",
-    }
+    mode.name()
 }
 
 /// Replays a set of findings, optionally forcing a different CCA.

@@ -1,7 +1,7 @@
 //! Corpus summary reports (the `ccfuzz report` subcommand).
 
 use crate::store::{Corpus, CorpusError};
-use ccfuzz_analysis::table::{mbps, text_table};
+use ccfuzz_analysis::table::{mbps, per_flow_table, text_table};
 
 /// Renders a deterministic per-bucket summary of the corpus: one table per
 /// (CCA, mode) bucket, findings sorted by descending score.
@@ -53,6 +53,20 @@ pub fn corpus_report(corpus: &Corpus) -> Result<String, CorpusError> {
             ],
             &rows,
         ));
+        // Fairness findings get a per-flow breakdown under the bucket table.
+        for f in findings {
+            if let Some(fairness) = &f.fairness {
+                out.push_str(&format!(
+                    "\n{}: jain={:.4} max_starvation={:.3}s\n",
+                    f.id, fairness.jain_index, fairness.max_starvation_secs
+                ));
+                out.push_str(&per_flow_table(
+                    &fairness.per_flow_cca,
+                    &fairness.per_flow_goodput_bps,
+                    &fairness.per_flow_delivered,
+                ));
+            }
+        }
         out.push('\n');
         total += findings.len();
     }

@@ -11,7 +11,6 @@
 
 use crate::finding::Finding;
 use ccfuzz_cca::CcaKind;
-use ccfuzz_core::campaign::FuzzMode;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -216,13 +215,12 @@ impl Corpus {
     pub fn buckets(&self) -> Result<BTreeMap<(String, String), Vec<Finding>>, CorpusError> {
         let mut out: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
         for finding in self.load_all()? {
-            let mode = match finding.mode {
-                FuzzMode::Link => "link",
-                FuzzMode::Traffic => "traffic",
-            };
-            out.entry((finding.cca.name().to_string(), mode.to_string()))
-                .or_default()
-                .push(finding);
+            out.entry((
+                finding.cca.name().to_string(),
+                finding.mode.name().to_string(),
+            ))
+            .or_default()
+            .push(finding);
         }
         for group in out.values_mut() {
             group.sort_by(|a, b| {
@@ -271,6 +269,7 @@ mod tests {
     use crate::finding::{finding_id, GenomePayload, Provenance};
     use crate::signature::BehaviorSignature;
     use ccfuzz_core::campaign::paper_sim_base;
+    use ccfuzz_core::campaign::FuzzMode;
     use ccfuzz_core::evaluate::EvalOutcome;
     use ccfuzz_core::genome::TrafficGenome;
     use ccfuzz_core::scoring::ScoringConfig;
@@ -312,6 +311,7 @@ mod tests {
                 original_score: score,
                 original_packets: 2,
             },
+            fairness: None,
         }
     }
 

@@ -12,32 +12,49 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// An event in the simulation.
+///
+/// Per-flow events carry the index of the CCA flow they belong to, so that
+/// N concurrent congestion-controlled senders can share one event calendar.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
-    /// The CCA flow starts sending.
-    FlowStart,
-    /// A data packet arrives at the gateway queue (from either source).
+    /// A CCA flow starts sending.
+    FlowStart {
+        /// Index of the flow that starts.
+        flow: u32,
+    },
+    /// A data packet arrives at the gateway queue (from any source).
     GatewayArrival(DataPacket),
     /// The bottleneck link finishes serializing / reaches a transmission
     /// opportunity and can pull the next packet from the queue.
     LinkReady,
     /// A data packet, having crossed the bottleneck, arrives at the sink.
     SinkArrival(DataPacket),
-    /// An ACK arrives back at the CCA sender.
-    AckArrival(AckPacket),
-    /// The sender's retransmission timer fires (armed for this sequence and
+    /// An ACK arrives back at a CCA sender.
+    AckArrival {
+        /// Index of the flow the ACK belongs to.
+        flow: u32,
+        /// The acknowledgement itself.
+        ack: AckPacket,
+    },
+    /// A sender's retransmission timer fires (armed for this sequence and
     /// this particular arming generation, to invalidate stale timers).
     RtoTimer {
+        /// Index of the flow whose timer fires.
+        flow: u32,
         /// Timer generation; only the latest armed generation is valid.
         generation: u64,
     },
-    /// The receiver's delayed-ACK timer fires.
+    /// A receiver's delayed-ACK timer fires.
     DelayedAckTimer {
+        /// Index of the flow whose receiver timer fires.
+        flow: u32,
         /// Timer generation; only the latest armed generation is valid.
         generation: u64,
     },
-    /// The sender's pacing timer fires (used by paced CCAs such as BBR).
+    /// A sender's pacing timer fires (used by paced CCAs such as BBR).
     PacingTimer {
+        /// Index of the flow whose pacing timer fires.
+        flow: u32,
         /// Timer generation; only the latest armed generation is valid.
         generation: u64,
     },
@@ -159,7 +176,7 @@ mod tests {
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.schedule(t(30), Event::LinkReady);
-        q.schedule(t(10), Event::FlowStart);
+        q.schedule(t(10), Event::FlowStart { flow: 0 });
         q.schedule(t(20), Event::StatsTick);
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().0, t(10));
@@ -172,12 +189,30 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(t(5), Event::RtoTimer { generation: 1 });
-        q.schedule(t(5), Event::RtoTimer { generation: 2 });
-        q.schedule(t(5), Event::RtoTimer { generation: 3 });
+        q.schedule(
+            t(5),
+            Event::RtoTimer {
+                flow: 0,
+                generation: 1,
+            },
+        );
+        q.schedule(
+            t(5),
+            Event::RtoTimer {
+                flow: 0,
+                generation: 2,
+            },
+        );
+        q.schedule(
+            t(5),
+            Event::RtoTimer {
+                flow: 0,
+                generation: 3,
+            },
+        );
         let gens: Vec<u64> = (0..3)
             .map(|_| match q.pop().unwrap().1 {
-                Event::RtoTimer { generation } => generation,
+                Event::RtoTimer { generation, .. } => generation,
                 other => panic!("unexpected event {other:?}"),
             })
             .collect();
@@ -187,7 +222,7 @@ mod tests {
     #[test]
     fn clock_advances_monotonically() {
         let mut q = EventQueue::new();
-        q.schedule(t(10), Event::FlowStart);
+        q.schedule(t(10), Event::FlowStart { flow: 0 });
         q.schedule(t(10) + SimDuration::from_millis(5), Event::StatsTick);
         assert_eq!(q.now(), SimTime::ZERO);
         q.pop();
@@ -203,10 +238,16 @@ mod tests {
             let mut q = EventQueue::new();
             for i in 0..100u64 {
                 // Lots of identical timestamps to stress tie-breaking.
-                q.schedule(t(i % 7), Event::RtoTimer { generation: i });
+                q.schedule(
+                    t(i % 7),
+                    Event::RtoTimer {
+                        flow: 0,
+                        generation: i,
+                    },
+                );
             }
             let mut order = Vec::new();
-            while let Some((at, Event::RtoTimer { generation })) = q.pop() {
+            while let Some((at, Event::RtoTimer { generation, .. })) = q.pop() {
                 order.push((at, generation));
             }
             order

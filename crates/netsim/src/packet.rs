@@ -17,12 +17,35 @@ pub const DEFAULT_MSS: u32 = 1448;
 pub const ACK_SIZE: u32 = 60;
 
 /// Identifies which traffic source a packet belongs to.
+///
+/// The simulator supports N concurrent congestion-controlled flows; each
+/// carries its index (flow 0 is the "primary" flow, the only one that exists
+/// in single-flow scenarios).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FlowId {
-    /// The congestion-controlled flow under test.
-    Cca,
+    /// A congestion-controlled flow under test, identified by its index.
+    Cca(u32),
     /// The unresponsive cross-traffic source.
     CrossTraffic,
+}
+
+impl FlowId {
+    /// The primary (index 0) congestion-controlled flow.
+    pub const PRIMARY: FlowId = FlowId::Cca(0);
+
+    /// `true` for any congestion-controlled flow.
+    pub fn is_cca(&self) -> bool {
+        matches!(self, FlowId::Cca(_))
+    }
+
+    /// The flow index for congestion-controlled flows, `None` for cross
+    /// traffic.
+    pub fn cca_index(&self) -> Option<u32> {
+        match self {
+            FlowId::Cca(i) => Some(*i),
+            FlowId::CrossTraffic => None,
+        }
+    }
 }
 
 /// A data packet traversing the forward path (sender → gateway → sink).
@@ -44,10 +67,21 @@ pub struct DataPacket {
 }
 
 impl DataPacket {
-    /// Creates a CCA data packet.
+    /// Creates a data packet for the primary (index 0) CCA flow.
     pub fn cca(seq: u64, size: u32, is_retransmission: bool, sent_at: SimTime) -> Self {
+        Self::cca_flow(0, seq, size, is_retransmission, sent_at)
+    }
+
+    /// Creates a data packet for the CCA flow with the given index.
+    pub fn cca_flow(
+        flow_index: u32,
+        seq: u64,
+        size: u32,
+        is_retransmission: bool,
+        sent_at: SimTime,
+    ) -> Self {
         DataPacket {
-            flow: FlowId::Cca,
+            flow: FlowId::Cca(flow_index),
             seq,
             size,
             is_retransmission,
@@ -152,13 +186,22 @@ mod tests {
     fn packet_constructors() {
         let t = SimTime::from_millis(5);
         let p = DataPacket::cca(42, DEFAULT_MSS, false, t);
-        assert_eq!(p.flow, FlowId::Cca);
+        assert_eq!(p.flow, FlowId::Cca(0));
+        assert_eq!(p.flow, FlowId::PRIMARY);
+        assert!(p.flow.is_cca());
+        assert_eq!(p.flow.cca_index(), Some(0));
         assert_eq!(p.seq, 42);
         assert_eq!(p.enqueued_at, t);
         assert!(!p.is_retransmission);
 
+        let p1 = DataPacket::cca_flow(3, 7, DEFAULT_MSS, false, t);
+        assert_eq!(p1.flow, FlowId::Cca(3));
+        assert_eq!(p1.flow.cca_index(), Some(3));
+
         let x = DataPacket::cross_traffic(7, 1200, t);
         assert_eq!(x.flow, FlowId::CrossTraffic);
+        assert!(!x.flow.is_cca());
+        assert_eq!(x.flow.cca_index(), None);
         assert_eq!(x.size, 1200);
     }
 

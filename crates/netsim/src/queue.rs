@@ -111,7 +111,7 @@ impl DropTailQueue {
     pub fn enqueue(&mut self, mut pkt: DataPacket, now: SimTime) -> bool {
         if self.would_overflow(&pkt) {
             match pkt.flow {
-                FlowId::Cca => self.counters.dropped_cca += 1,
+                FlowId::Cca(_) => self.counters.dropped_cca += 1,
                 FlowId::CrossTraffic => self.counters.dropped_cross += 1,
             }
             return false;
@@ -119,7 +119,7 @@ impl DropTailQueue {
         pkt.enqueued_at = now;
         self.bytes += pkt.size as u64;
         match pkt.flow {
-            FlowId::Cca => self.counters.enqueued_cca += 1,
+            FlowId::Cca(_) => self.counters.enqueued_cca += 1,
             FlowId::CrossTraffic => self.counters.enqueued_cross += 1,
         }
         self.queue.push_back(pkt);
@@ -131,7 +131,7 @@ impl DropTailQueue {
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.size as u64;
         match pkt.flow {
-            FlowId::Cca => self.counters.dequeued_cca += 1,
+            FlowId::Cca(_) => self.counters.dequeued_cca += 1,
             FlowId::CrossTraffic => self.counters.dequeued_cross += 1,
         }
         Some(pkt)

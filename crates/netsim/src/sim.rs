@@ -1,11 +1,20 @@
-//! The dumbbell simulation from §3.1 of the paper.
+//! The dumbbell simulation from §3.1 of the paper, generalized to N flows.
 //!
-//! Wires together the TCP-like sender/receiver, the cross-traffic source,
-//! the drop-tail gateway queue and the bottleneck link, and runs the
-//! discrete-event loop. A [`Simulation`] is a pure function of its
-//! [`SimConfig`] and the plugged-in congestion control algorithm: running the
-//! same configuration twice produces bit-identical [`SimResult`]s, which is
-//! what lets the genetic algorithm converge (§3.6).
+//! Wires together one or more TCP-like sender/receiver pairs, the
+//! cross-traffic source, the drop-tail gateway queue and the bottleneck
+//! link, and runs the discrete-event loop. A [`Simulation`] is a pure
+//! function of its [`SimConfig`], the plugged-in congestion control
+//! algorithms and the per-flow schedule: running the same configuration
+//! twice produces bit-identical [`SimResult`]s, which is what lets the
+//! genetic algorithm converge (§3.6).
+//!
+//! All congestion-controlled flows share the single bottleneck queue and
+//! link; arbitration between them is exactly the drop-tail FIFO of the
+//! paper's topology — whichever packet reaches the gateway first occupies
+//! the queue slot. Every flow has its own sender, receiver, timers,
+//! start/stop schedule and [`FlowStats`](crate::stats::FlowStats); flow 0
+//! plays the role of the paper's original single CCA flow and its stats are
+//! mirrored into the legacy [`RunStats`] fields.
 
 use crate::cc::CongestionControl;
 use crate::config::SimConfig;
@@ -14,7 +23,7 @@ use crate::event::{Event, EventQueue};
 use crate::link::{LinkAction, LinkService};
 use crate::packet::{AckPacket, DataPacket, FlowId};
 use crate::queue::DropTailQueue;
-use crate::stats::{BottleneckEvent, BottleneckRecord, RunStats};
+use crate::stats::{BottleneckEvent, BottleneckRecord, FlowStats, RunStats};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
 use crate::time::SimTime;
@@ -29,12 +38,71 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// Average goodput of the CCA flow over the whole run, in bits per second.
+    /// Average goodput of the primary CCA flow over the whole run, in bits
+    /// per second.
     pub fn average_goodput_bps(&self, mss: u32) -> f64 {
         if self.duration_secs <= 0.0 {
             return 0.0;
         }
         self.stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / self.duration_secs
+    }
+
+    /// Per-flow goodput (sink-side, normalised by each flow's active
+    /// interval), in bits per second.
+    pub fn per_flow_goodput_bps(&self, mss: u32) -> Vec<f64> {
+        let duration = crate::time::SimDuration::from_secs_f64(self.duration_secs);
+        self.stats
+            .flows
+            .iter()
+            .map(|f| f.goodput_bps(mss, duration))
+            .collect()
+    }
+}
+
+/// One congestion-controlled flow to simulate: its algorithm and schedule.
+pub struct FlowSpec {
+    /// The congestion control algorithm driving the flow.
+    pub cc: Box<dyn CongestionControl>,
+    /// When the flow starts sending.
+    pub start: SimTime,
+    /// When the flow stops sending (`None` = runs until the scenario ends).
+    /// After this instant the flow transmits nothing and ignores ACKs and
+    /// timers; packets already in the network still drain normally.
+    pub stop: Option<SimTime>,
+}
+
+impl FlowSpec {
+    /// A flow that runs for the whole scenario.
+    pub fn new(cc: Box<dyn CongestionControl>) -> Self {
+        FlowSpec {
+            cc,
+            start: SimTime::ZERO,
+            stop: None,
+        }
+    }
+}
+
+/// Per-flow runtime state inside the simulation.
+struct FlowRuntime {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    start: SimTime,
+    stop: Option<SimTime>,
+    /// Dedupe for pacing timer events.
+    pacing_scheduled: Option<SimTime>,
+    /// Last RTO (deadline, generation) scheduled as an event.
+    rto_scheduled: Option<(SimTime, u64)>,
+    /// Sink-side first-delivery times.
+    delivery_times: Vec<SimTime>,
+    /// Packets of this flow dropped at the bottleneck queue.
+    queue_drops: u64,
+    /// Data packets of this flow received at the sink (incl. duplicates).
+    sink_received: u64,
+}
+
+impl FlowRuntime {
+    fn stopped(&self, now: SimTime) -> bool {
+        self.stop.map(|t| now >= t).unwrap_or(false)
     }
 }
 
@@ -42,29 +110,41 @@ impl SimResult {
 pub struct Simulation {
     cfg: SimConfig,
     events: EventQueue,
-    sender: TcpSender,
-    receiver: TcpReceiver,
+    flows: Vec<FlowRuntime>,
     queue: DropTailQueue,
     link: LinkService,
     cross: CrossTrafficSource,
     stats: RunStats,
     /// Dedupe for LinkReady events.
     link_ready_scheduled: Option<SimTime>,
-    /// Dedupe for pacing timer events.
-    pacing_scheduled: Option<SimTime>,
-    /// Last RTO (deadline, generation) scheduled as an event.
-    rto_scheduled: Option<(SimTime, u64)>,
     finished: bool,
 }
 
 impl Simulation {
-    /// Builds a simulation from a configuration and a congestion controller.
+    /// Builds a single-flow simulation from a configuration and a congestion
+    /// controller (the paper's original topology). The flow starts at
+    /// `cfg.flow_start` and runs to the end of the scenario.
     pub fn new(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> Self {
+        let start = cfg.flow_start;
+        Self::new_multi(
+            cfg,
+            vec![FlowSpec {
+                cc,
+                start,
+                stop: None,
+            }],
+        )
+    }
+
+    /// Builds a simulation with N concurrent congestion-controlled flows
+    /// sharing the bottleneck. Flow indices follow the order of `specs`.
+    pub fn new_multi(cfg: SimConfig, specs: Vec<FlowSpec>) -> Self {
         debug_assert!(
             cfg.validate().is_ok(),
             "invalid SimConfig: {:?}",
             cfg.validate()
         );
+        assert!(!specs.is_empty(), "a simulation needs at least one flow");
         let sender_cfg = SenderConfig {
             mss: cfg.mss,
             sack_enabled: cfg.sack_enabled,
@@ -84,17 +164,28 @@ impl Simulation {
         let link = LinkService::new(cfg.link.clone());
         let cross = CrossTrafficSource::new(&cfg.cross_traffic, cfg.cross_traffic_packet_size);
         let queue = DropTailQueue::new(cfg.queue_capacity);
+        let flows = specs
+            .into_iter()
+            .map(|spec| FlowRuntime {
+                sender: TcpSender::new(sender_cfg, spec.cc),
+                receiver: TcpReceiver::new(receiver_cfg),
+                start: spec.start,
+                stop: spec.stop,
+                pacing_scheduled: None,
+                rto_scheduled: None,
+                delivery_times: Vec::new(),
+                queue_drops: 0,
+                sink_received: 0,
+            })
+            .collect();
         Simulation {
-            sender: TcpSender::new(sender_cfg, cc),
-            receiver: TcpReceiver::new(receiver_cfg),
+            flows,
             queue,
             link,
             cross,
             events: EventQueue::new(),
             stats: RunStats::default(),
             link_ready_scheduled: None,
-            pacing_scheduled: None,
-            rto_scheduled: None,
             finished: false,
             cfg,
         }
@@ -105,10 +196,20 @@ impl Simulation {
         &self.cfg
     }
 
-    /// Immutable access to the sender (e.g. to inspect CCA state mid-run in
-    /// tests).
+    /// Number of congestion-controlled flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Immutable access to the primary flow's sender (e.g. to inspect CCA
+    /// state mid-run in tests).
     pub fn sender(&self) -> &TcpSender {
-        &self.sender
+        &self.flows[0].sender
+    }
+
+    /// Immutable access to the sender of an arbitrary flow.
+    pub fn sender_of(&self, flow: usize) -> &TcpSender {
+        &self.flows[flow].sender
     }
 
     fn end_time(&self) -> SimTime {
@@ -174,8 +275,11 @@ impl Simulation {
             BottleneckEvent::Dropped
         };
         self.record_bottleneck(now, flow, size, event);
-        if !accepted && flow == FlowId::CrossTraffic {
-            self.stats.cross_dropped += 1;
+        if !accepted {
+            match flow {
+                FlowId::CrossTraffic => self.stats.cross_dropped += 1,
+                FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+            }
         }
         if accepted {
             self.try_transmit(now);
@@ -186,48 +290,63 @@ impl Simulation {
     // Sender plumbing
     // ------------------------------------------------------------------
 
-    fn sync_rto_timer(&mut self) {
-        if let Some((deadline, generation)) = self.sender.rto_deadline() {
-            if self.rto_scheduled != Some((deadline, generation)) {
+    fn sync_rto_timer(&mut self, flow: usize) {
+        if let Some((deadline, generation)) = self.flows[flow].sender.rto_deadline() {
+            if self.flows[flow].rto_scheduled != Some((deadline, generation)) {
                 self.events.schedule(
                     deadline.max(self.events.now()),
-                    Event::RtoTimer { generation },
+                    Event::RtoTimer {
+                        flow: flow as u32,
+                        generation,
+                    },
                 );
-                self.rto_scheduled = Some((deadline, generation));
+                self.flows[flow].rto_scheduled = Some((deadline, generation));
             }
         }
     }
 
-    fn pump_sender(&mut self, now: SimTime) {
+    fn pump_sender(&mut self, flow: usize, now: SimTime) {
+        if self.flows[flow].stopped(now) {
+            return;
+        }
         loop {
-            match self.sender.poll_send(now) {
-                SendPoll::Packet(pkt) => {
+            match self.flows[flow].sender.poll_send(now) {
+                SendPoll::Packet(mut pkt) => {
+                    pkt.flow = FlowId::Cca(flow as u32);
                     // The access link from sender to gateway is unconstrained:
                     // packets arrive at the queue immediately.
                     self.handle_gateway_arrival(pkt, now);
                 }
                 SendPoll::Wait(t) => {
                     if t <= self.end_time()
-                        && self
+                        && self.flows[flow]
                             .pacing_scheduled
                             .map(|s| s > t || s <= now)
                             .unwrap_or(true)
                     {
-                        self.events
-                            .schedule(t, Event::PacingTimer { generation: 0 });
-                        self.pacing_scheduled = Some(t);
+                        self.events.schedule(
+                            t,
+                            Event::PacingTimer {
+                                flow: flow as u32,
+                                generation: 0,
+                            },
+                        );
+                        self.flows[flow].pacing_scheduled = Some(t);
                     }
                     break;
                 }
                 SendPoll::Blocked => break,
             }
         }
-        self.sync_rto_timer();
+        self.sync_rto_timer(flow);
     }
 
-    fn deliver_ack_to_sender(&mut self, ack: AckPacket, now: SimTime) {
-        self.sender.on_ack(&ack, now);
-        self.pump_sender(now);
+    fn deliver_ack_to_sender(&mut self, flow: usize, ack: AckPacket, now: SimTime) {
+        if self.flows[flow].stopped(now) {
+            return;
+        }
+        self.flows[flow].sender.on_ack(&ack, now);
+        self.pump_sender(flow, now);
     }
 
     fn handle_sink_arrival(&mut self, pkt: DataPacket, now: SimTime) {
@@ -235,20 +354,29 @@ impl Simulation {
             FlowId::CrossTraffic => {
                 self.stats.cross_delivered += 1;
             }
-            FlowId::Cca => {
-                let before = self.receiver.cum_ack() + self.receiver.ooo_packets();
-                let out = self.receiver.on_data(&pkt, now);
-                let after = self.receiver.cum_ack() + self.receiver.ooo_packets();
+            FlowId::Cca(i) => {
+                let flow = &mut self.flows[i as usize];
+                flow.sink_received += 1;
+                let before = flow.receiver.cum_ack() + flow.receiver.ooo_packets();
+                let out = flow.receiver.on_data(&pkt, now);
+                let after = flow.receiver.cum_ack() + flow.receiver.ooo_packets();
                 for _ in before..after {
-                    self.stats.delivery_times.push(now);
+                    flow.delivery_times.push(now);
                 }
                 for ack in out.acks {
-                    self.events
-                        .schedule(now + self.cfg.propagation_delay, Event::AckArrival(ack));
+                    self.events.schedule(
+                        now + self.cfg.propagation_delay,
+                        Event::AckArrival { flow: i, ack },
+                    );
                 }
                 if let Some((deadline, generation)) = out.arm_delack {
-                    self.events
-                        .schedule(deadline, Event::DelayedAckTimer { generation });
+                    self.events.schedule(
+                        deadline,
+                        Event::DelayedAckTimer {
+                            flow: i,
+                            generation,
+                        },
+                    );
                 }
             }
         }
@@ -263,10 +391,13 @@ impl Simulation {
         assert!(!self.finished, "a Simulation can only be run once");
         self.finished = true;
 
-        // Seed the event calendar.
-        self.events.schedule(self.cfg.flow_start, Event::FlowStart);
+        // Seed the event calendar: flow starts in index order, then the
+        // stats tick, then cross-traffic injections (known up front).
+        for (i, flow) in self.flows.iter().enumerate() {
+            self.events
+                .schedule(flow.start, Event::FlowStart { flow: i as u32 });
+        }
         self.events.schedule(SimTime::ZERO, Event::StatsTick);
-        // Cross-traffic injections are known up front.
         while let Some(t) = self.cross.next_injection_time() {
             if t > self.end_time() {
                 break;
@@ -287,9 +418,10 @@ impl Simulation {
                 break;
             }
             match event {
-                Event::FlowStart => {
-                    self.sender.on_flow_start(now);
-                    self.pump_sender(now);
+                Event::FlowStart { flow } => {
+                    let flow = flow as usize;
+                    self.flows[flow].sender.on_flow_start(now);
+                    self.pump_sender(flow, now);
                 }
                 Event::GatewayArrival(pkt) => {
                     self.handle_gateway_arrival(pkt, now);
@@ -303,34 +435,45 @@ impl Simulation {
                 Event::SinkArrival(pkt) => {
                     self.handle_sink_arrival(pkt, now);
                 }
-                Event::AckArrival(ack) => {
-                    self.deliver_ack_to_sender(ack, now);
+                Event::AckArrival { flow, ack } => {
+                    self.deliver_ack_to_sender(flow as usize, ack, now);
                 }
-                Event::RtoTimer { generation } => {
-                    if self
+                Event::RtoTimer { flow, generation } => {
+                    let flow = flow as usize;
+                    if self.flows[flow]
                         .rto_scheduled
                         .map(|(_, g)| g == generation)
                         .unwrap_or(false)
                     {
-                        self.rto_scheduled = None;
+                        self.flows[flow].rto_scheduled = None;
                     }
-                    if self.sender.on_rto_timer(generation, now) {
-                        self.pump_sender(now);
+                    if self.flows[flow].stopped(now) {
+                        continue;
+                    }
+                    if self.flows[flow].sender.on_rto_timer(generation, now) {
+                        self.pump_sender(flow, now);
                     } else {
-                        self.sync_rto_timer();
+                        self.sync_rto_timer(flow);
                     }
                 }
-                Event::DelayedAckTimer { generation } => {
-                    if let Some(ack) = self.receiver.on_delack_timer(generation, now) {
-                        self.events
-                            .schedule(now + self.cfg.propagation_delay, Event::AckArrival(ack));
+                Event::DelayedAckTimer { flow, generation } => {
+                    let flow_idx = flow as usize;
+                    if let Some(ack) = self.flows[flow_idx]
+                        .receiver
+                        .on_delack_timer(generation, now)
+                    {
+                        self.events.schedule(
+                            now + self.cfg.propagation_delay,
+                            Event::AckArrival { flow, ack },
+                        );
                     }
                 }
-                Event::PacingTimer { .. } => {
-                    if self.pacing_scheduled == Some(now) {
-                        self.pacing_scheduled = None;
+                Event::PacingTimer { flow, .. } => {
+                    let flow = flow as usize;
+                    if self.flows[flow].pacing_scheduled == Some(now) {
+                        self.flows[flow].pacing_scheduled = None;
                     }
-                    self.pump_sender(now);
+                    self.pump_sender(flow, now);
                 }
                 Event::StatsTick => {
                     self.stats
@@ -347,11 +490,22 @@ impl Simulation {
         // Finalize statistics.
         self.stats.events_processed = events_processed;
         self.stats.queue_counters = self.queue.counters();
-        let mut summary = self.sender.summary();
-        summary.queue_drops = self.queue.counters().dropped_cca;
-        self.stats.flow = summary;
+        for flow in &mut self.flows {
+            let mut summary = flow.sender.summary();
+            summary.queue_drops = flow.queue_drops;
+            self.stats.flows.push(FlowStats {
+                summary,
+                delivery_times: std::mem::take(&mut flow.delivery_times),
+                start: flow.start,
+                stop: flow.stop,
+                sink_received: flow.sink_received,
+            });
+        }
+        // Mirror the primary flow into the legacy single-flow fields.
+        self.stats.flow = self.stats.flows[0].summary.clone();
+        self.stats.delivery_times = self.stats.flows[0].delivery_times.clone();
         if self.cfg.record_events {
-            self.stats.transport = self.sender.drain_log();
+            self.stats.transport = self.flows[0].sender.drain_log();
         }
 
         SimResult {
@@ -364,6 +518,11 @@ impl Simulation {
 /// Convenience helper: build and run a simulation in one call.
 pub fn run_simulation(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> SimResult {
     Simulation::new(cfg, cc).run()
+}
+
+/// Convenience helper: build and run a multi-flow simulation in one call.
+pub fn run_multi_flow_simulation(cfg: SimConfig, specs: Vec<FlowSpec>) -> SimResult {
+    Simulation::new_multi(cfg, specs).run()
 }
 
 #[cfg(test)]
@@ -499,7 +658,7 @@ mod tests {
         // Max queuing delay is bounded by 50 packets * ~1ms serialisation.
         let max_delay = result
             .stats
-            .queuing_delays(FlowId::Cca)
+            .queuing_delays(FlowId::Cca(0))
             .iter()
             .map(|(_, d)| *d)
             .max()
@@ -567,5 +726,156 @@ mod tests {
         // Whatever was enqueued was either dequeued or still resident at the
         // end (residual is small: at most the queue capacity).
         assert!(c.total_enqueued() - c.total_dequeued() <= 30);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-flow engine
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn single_flow_and_multi_constructor_agree() {
+        // A single-spec `new_multi` must be indistinguishable from `new`.
+        let a = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
+        let b = run_multi_flow_simulation(
+            base_cfg(),
+            vec![FlowSpec::new(Box::new(MiniAimdCc::new(10)))],
+        );
+        assert_eq!(a.stats.digest(), b.stats.digest());
+        assert_eq!(a.stats.events_processed, b.stats.events_processed);
+        assert_eq!(a.stats.flows.len(), 1);
+    }
+
+    #[test]
+    fn legacy_fields_mirror_flow_zero() {
+        let result = run_multi_flow_simulation(
+            base_cfg(),
+            vec![
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+            ],
+        );
+        assert_eq!(result.stats.flows.len(), 2);
+        assert_eq!(result.stats.flow, result.stats.flows[0].summary);
+        assert_eq!(
+            result.stats.delivery_times,
+            result.stats.flows[0].delivery_times
+        );
+    }
+
+    #[test]
+    fn two_flows_share_the_bottleneck() {
+        let mss = base_cfg().mss;
+        let solo = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
+        let pair = run_multi_flow_simulation(
+            base_cfg(),
+            vec![
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+            ],
+        );
+        let goodputs = pair.per_flow_goodput_bps(mss);
+        assert_eq!(goodputs.len(), 2);
+        // Each flow gets materially less than the whole link, and together
+        // they do not exceed it.
+        let total: f64 = goodputs.iter().sum();
+        assert!(total < 12.5e6, "total {total}");
+        for g in &goodputs {
+            assert!(
+                *g < solo.average_goodput_bps(mss),
+                "a competing flow cannot beat the solo flow: {g}"
+            );
+            assert!(*g > 1e6, "both flows must make progress: {g}");
+        }
+    }
+
+    #[test]
+    fn late_start_and_early_stop_are_respected() {
+        let cfg = base_cfg();
+        let start = SimTime::from_secs_f64(2.0);
+        let stop = SimTime::from_secs_f64(3.0);
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec {
+                    cc: Box::new(MiniAimdCc::new(10)),
+                    start,
+                    stop: Some(stop),
+                },
+            ],
+        );
+        let late = &result.stats.flows[1];
+        assert!(late.summary.transmissions > 0, "the late flow did send");
+        assert!(
+            late.delivery_times
+                .first()
+                .map(|t| *t >= start)
+                .unwrap_or(true),
+            "nothing delivered before the flow started"
+        );
+        // Nothing new is *sent* after the stop; deliveries can trail by at
+        // most the in-flight window draining through queue + link.
+        let last = late.delivery_times.last().copied().unwrap_or(SimTime::ZERO);
+        assert!(
+            last <= stop + SimDuration::from_millis(500),
+            "deliveries must cease shortly after stop, last at {last}"
+        );
+        assert!((late.active_secs(SimDuration::from_secs(5)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_flow_runs_are_deterministic() {
+        let run = || {
+            let result = run_multi_flow_simulation(
+                base_cfg(),
+                vec![
+                    FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                    FlowSpec {
+                        cc: Box::new(FixedWindowCc::new(30)),
+                        start: SimTime::from_millis(500),
+                        stop: None,
+                    },
+                ],
+            );
+            result.stats.digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_flow_transmissions_match_queue_counters() {
+        // Conservation: every transmitted packet of every flow reaches the
+        // gateway and is either enqueued or dropped there.
+        let mut cfg = base_cfg();
+        cfg.queue_capacity = QueueCapacity::Packets(25);
+        let injections: Vec<SimTime> = (0..800).map(|i| SimTime::from_micros(i * 5_000)).collect();
+        cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![
+                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(Box::new(FixedWindowCc::new(40))),
+                FlowSpec {
+                    cc: Box::new(MiniAimdCc::new(5)),
+                    start: SimTime::from_secs_f64(1.0),
+                    stop: Some(SimTime::from_secs_f64(4.0)),
+                },
+            ],
+        );
+        let c = result.stats.queue_counters;
+        let sent: u64 = result
+            .stats
+            .flows
+            .iter()
+            .map(|f| f.summary.transmissions)
+            .sum();
+        let drops: u64 = result
+            .stats
+            .flows
+            .iter()
+            .map(|f| f.summary.queue_drops)
+            .sum();
+        assert_eq!(sent, c.enqueued_cca + c.dropped_cca);
+        assert_eq!(drops, c.dropped_cca);
     }
 }

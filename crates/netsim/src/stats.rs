@@ -123,23 +123,70 @@ pub struct FlowSummary {
     pub final_cum_ack: u64,
 }
 
+/// Per-flow measurements for one congestion-controlled flow.
+///
+/// `flows[0]` always mirrors the legacy single-flow fields of [`RunStats`]
+/// (`flow` and `delivery_times`), which scoring and analysis code keeps
+/// using; flows 1.. only exist in multi-flow scenarios.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Sender-side summary counters.
+    pub summary: FlowSummary,
+    /// Times at which each *new* (not previously delivered) packet of this
+    /// flow reached the sink.
+    pub delivery_times: Vec<SimTime>,
+    /// When the flow started sending.
+    pub start: SimTime,
+    /// When the flow stopped sending (`None` = ran to the end of the
+    /// scenario).
+    pub stop: Option<SimTime>,
+    /// Data packets of this flow received at the sink, including duplicates.
+    pub sink_received: u64,
+}
+
+impl FlowStats {
+    /// The interval during which the flow was allowed to send, clamped to
+    /// the scenario duration.
+    pub fn active_secs(&self, duration: SimDuration) -> f64 {
+        let end = self
+            .stop
+            .unwrap_or(SimTime::ZERO + duration)
+            .min(SimTime::ZERO + duration);
+        end.saturating_since(self.start).as_secs_f64()
+    }
+
+    /// Average goodput over the flow's active interval, in bits per second
+    /// (sink-side: counts distinct packets that reached the receiver).
+    pub fn goodput_bps(&self, mss: u32, duration: SimDuration) -> f64 {
+        let secs = self.active_secs(duration);
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.delivery_times.len() as f64 * mss as f64 * 8.0 / secs
+    }
+}
+
 /// Everything measured during one simulation run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Per-packet bottleneck records (enqueue/dequeue/drop), time ordered.
     pub bottleneck: Vec<BottleneckRecord>,
-    /// Transport event log for the CCA flow, time ordered.
+    /// Transport event log for the primary CCA flow, time ordered.
     pub transport: Vec<TransportRecord>,
-    /// Times at which each *new* (not previously delivered) CCA packet
-    /// reached the sink, used for windowed-throughput scoring.
+    /// Times at which each *new* (not previously delivered) packet of the
+    /// primary CCA flow reached the sink, used for windowed-throughput
+    /// scoring. Mirrors `flows[0].delivery_times`.
     pub delivery_times: Vec<SimTime>,
     /// Queue occupancy samples `(time, packets, bytes)` taken every
     /// `stats_interval`.
     pub queue_samples: Vec<(SimTime, usize, u64)>,
     /// Final queue counters.
     pub queue_counters: QueueCounters,
-    /// CCA-flow summary.
+    /// Primary CCA-flow summary. Mirrors `flows[0].summary`.
     pub flow: FlowSummary,
+    /// Per-flow statistics for every congestion-controlled flow, indexed by
+    /// [`crate::packet::FlowId::Cca`] index.
+    pub flows: Vec<FlowStats>,
     /// Cross-traffic packets that reached the sink.
     pub cross_delivered: u64,
     /// Cross-traffic packets dropped at the queue.
@@ -243,6 +290,37 @@ impl RunStats {
         for t in &self.delivery_times {
             mix(t.as_nanos());
         }
+        // Secondary flows extend the digest; a single-flow run (whose
+        // `flows[0]` duplicates the legacy fields above) digests exactly as
+        // it did before the multi-flow engine existed, which keeps the
+        // committed corpus fixtures byte-identical.
+        if self.flows.len() > 1 {
+            for fs in &self.flows[1..] {
+                let f = &fs.summary;
+                for v in [
+                    f.delivered_packets,
+                    f.delivered_bytes,
+                    f.transmissions,
+                    f.retransmissions,
+                    f.marked_lost,
+                    f.queue_drops,
+                    f.rto_count,
+                    f.recovery_episodes,
+                    f.final_srtt_us,
+                    f.min_rtt_us,
+                    f.highest_sent,
+                    f.final_cum_ack,
+                    fs.sink_received,
+                    fs.start.as_nanos(),
+                    fs.stop.map(|t| t.as_nanos()).unwrap_or(u64::MAX),
+                ] {
+                    mix(v);
+                }
+                for t in &fs.delivery_times {
+                    mix(t.as_nanos());
+                }
+            }
+        }
         h
     }
 }
@@ -264,10 +342,10 @@ mod tests {
     fn queuing_delay_extraction() {
         let stats = RunStats {
             bottleneck: vec![
-                record(1, FlowId::Cca, BottleneckEvent::Enqueued),
+                record(1, FlowId::Cca(0), BottleneckEvent::Enqueued),
                 record(
                     3,
-                    FlowId::Cca,
+                    FlowId::Cca(0),
                     BottleneckEvent::Dequeued {
                         queuing_delay: SimDuration::from_millis(2),
                     },
@@ -282,7 +360,7 @@ mod tests {
             ],
             ..Default::default()
         };
-        let cca = stats.queuing_delays(FlowId::Cca);
+        let cca = stats.queuing_delays(FlowId::Cca(0));
         assert_eq!(cca.len(), 1);
         assert_eq!(cca[0].1, SimDuration::from_millis(2));
         let cross = stats.queuing_delays(FlowId::CrossTraffic);
@@ -293,11 +371,11 @@ mod tests {
     fn ingress_and_egress_accumulate() {
         let stats = RunStats {
             bottleneck: vec![
-                record(1, FlowId::Cca, BottleneckEvent::Enqueued),
-                record(2, FlowId::Cca, BottleneckEvent::Dropped),
+                record(1, FlowId::Cca(0), BottleneckEvent::Enqueued),
+                record(2, FlowId::Cca(0), BottleneckEvent::Dropped),
                 record(
                     3,
-                    FlowId::Cca,
+                    FlowId::Cca(0),
                     BottleneckEvent::Dequeued {
                         queuing_delay: SimDuration::ZERO,
                     },
@@ -305,10 +383,10 @@ mod tests {
             ],
             ..Default::default()
         };
-        let ingress = stats.ingress_bytes(FlowId::Cca);
+        let ingress = stats.ingress_bytes(FlowId::Cca(0));
         assert_eq!(ingress.len(), 2, "drops count as offered load");
         assert_eq!(ingress.last().unwrap().1, 2000);
-        let egress = stats.egress_bytes(FlowId::Cca);
+        let egress = stats.egress_bytes(FlowId::Cca(0));
         assert_eq!(egress.len(), 1);
         assert_eq!(egress.last().unwrap().1, 1000);
     }

@@ -169,3 +169,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Full multi-flow simulations are orders of magnitude costlier than the
+    // data-structure properties above, so this block runs fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multi_flow_conservation_across_n_flows(
+        n_flows in 1usize..4,
+        window in 2u64..40,
+        queue_cap in 10usize..60,
+        cross_packets in 0u64..400,
+        stagger_ms in 0u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        // Total packets offered by N congestion-controlled flows equal the
+        // packets the queue accepted plus the packets it dropped; accepted
+        // packets are all either transmitted or still resident at the end.
+        use cc_fuzz::netsim::sim::{run_multi_flow_simulation, FlowSpec};
+        use cc_fuzz::netsim::cc::reference_cc::MiniAimdCc;
+        use cc_fuzz::netsim::trace::TrafficTrace;
+
+        let mut cfg = cc_fuzz::fuzz::campaign::paper_sim_base(SimDuration::from_secs(1));
+        cfg.record_events = false;
+        cfg.queue_capacity = QueueCapacity::Packets(queue_cap);
+        let mut rng = SimRng::new(seed);
+        let injections: Vec<SimTime> = (0..cross_packets)
+            .map(|_| SimTime::from_micros(rng.gen_range_u64(0, 1_000_000)))
+            .collect();
+        let mut injections = injections;
+        injections.sort_unstable();
+        cfg.cross_traffic = TrafficTrace::new(injections.clone(), cfg.duration);
+
+        let specs: Vec<FlowSpec> = (0..n_flows)
+            .map(|i| FlowSpec {
+                cc: Box::new(MiniAimdCc::new(window)),
+                start: SimTime::from_millis(i as u64 * stagger_ms),
+                stop: None,
+            })
+            .collect();
+        let result = run_multi_flow_simulation(cfg, specs);
+
+        prop_assert_eq!(result.stats.flows.len(), n_flows);
+        let c = result.stats.queue_counters;
+        // Offered = enqueued + dropped, per the whole CCA population.
+        let sent: u64 = result.stats.flows.iter().map(|f| f.summary.transmissions).sum();
+        prop_assert_eq!(sent, c.enqueued_cca + c.dropped_cca);
+        // Per-flow drop counters decompose the aggregate exactly.
+        let drops: u64 = result.stats.flows.iter().map(|f| f.summary.queue_drops).sum();
+        prop_assert_eq!(drops, c.dropped_cca);
+        // Cross traffic: every injection reached the gateway.
+        prop_assert_eq!(
+            c.enqueued_cross + c.dropped_cross,
+            injections.len() as u64
+        );
+        // The queue conserves packets: dequeued + residual = enqueued, and
+        // the residual fits in the configured capacity.
+        let residual = c.total_enqueued() - c.total_dequeued();
+        prop_assert!(residual as usize <= queue_cap);
+        // Everything the link carried either arrived at a sink or was still
+        // in flight (on the link or propagating) when the clock stopped.
+        let arrived: u64 = result.stats.flows.iter().map(|f| f.sink_received).sum::<u64>()
+            + result.stats.cross_delivered;
+        prop_assert!(arrived <= c.total_dequeued());
+    }
+}

@@ -4,9 +4,10 @@
 use cc_fuzz::analysis::timeseries::{mean_of_lowest_fraction, windowed_throughput_bps};
 use cc_fuzz::cca::CcaKind;
 use cc_fuzz::fuzz::campaign::paper_sim_base;
+use cc_fuzz::fuzz::scoring::jains_index;
 use cc_fuzz::netsim::link::LinkModel;
 use cc_fuzz::netsim::packet::FlowId;
-use cc_fuzz::netsim::sim::run_simulation;
+use cc_fuzz::netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
 use cc_fuzz::netsim::time::{SimDuration, SimTime};
 use cc_fuzz::netsim::trace::{LinkTrace, TrafficTrace};
 
@@ -111,7 +112,7 @@ fn bbr_builds_less_queue_than_loss_based_ccas() {
         let result = run_simulation(cfg, kind.build(10));
         let mut delays: Vec<f64> = result
             .stats
-            .queuing_delays(FlowId::Cca)
+            .queuing_delays(FlowId::Cca(0))
             .iter()
             .map(|(_, d)| d.as_secs_f64())
             .collect();
@@ -153,6 +154,71 @@ fn delayed_ack_and_sack_settings_change_behaviour() {
         with.average_goodput_bps(mss) / 1e6,
         without.average_goodput_bps(mss) / 1e6
     );
+}
+
+#[test]
+fn two_identical_reno_flows_converge_to_a_fair_share() {
+    // The satellite acceptance check: on the paper's 12 Mbps / 20 ms
+    // scenario, two identical Reno flows sharing the drop-tail bottleneck
+    // must converge to Jain's index >= 0.95.
+    let cfg = base(20);
+    let mss = cfg.mss;
+    let result = run_multi_flow_simulation(
+        cfg,
+        vec![
+            FlowSpec::new(CcaKind::Reno.build(10)),
+            FlowSpec::new(CcaKind::Reno.build(10)),
+        ],
+    );
+    let goodputs = result.per_flow_goodput_bps(mss);
+    assert_eq!(goodputs.len(), 2);
+    let jain = jains_index(&goodputs);
+    assert!(
+        jain >= 0.95,
+        "two identical Reno flows must share fairly: jain = {jain:.4}, goodputs = {goodputs:?}"
+    );
+    // Together they still use most of the link.
+    let total: f64 = goodputs.iter().sum();
+    assert!(
+        total > 8e6 && total < 12.5e6,
+        "aggregate {:.2} Mbps out of 12 Mbps",
+        total / 1e6
+    );
+}
+
+#[test]
+fn mixed_cca_flows_share_a_bottleneck_with_per_flow_stats() {
+    // BBR vs. Reno: each flow has its own boxed CC instance; per-flow stats
+    // must reflect two live senders competing for one queue.
+    let cfg = base(5);
+    let mss = cfg.mss;
+    let result = run_multi_flow_simulation(
+        cfg,
+        vec![
+            FlowSpec::new(CcaKind::Bbr.build(10)),
+            FlowSpec::new(CcaKind::Reno.build(10)),
+        ],
+    );
+    assert_eq!(result.stats.flows.len(), 2);
+    for (i, f) in result.stats.flows.iter().enumerate() {
+        assert!(
+            f.summary.delivered_packets > 100,
+            "flow {i} delivered {}",
+            f.summary.delivered_packets
+        );
+    }
+    let goodputs = result.per_flow_goodput_bps(mss);
+    let total: f64 = goodputs.iter().sum();
+    assert!(total < 12.5e6, "flows cannot exceed the link: {total}");
+    // The queue counters aggregate both flows.
+    let c = result.stats.queue_counters;
+    let sent: u64 = result
+        .stats
+        .flows
+        .iter()
+        .map(|f| f.summary.transmissions)
+        .sum();
+    assert_eq!(sent, c.enqueued_cca + c.dropped_cca);
 }
 
 #[test]
