@@ -85,15 +85,16 @@ pub fn retransmission_triggered_rounds(stats: &RunStats) -> usize {
 
 /// One-line summary of a run, used by example binaries.
 pub fn one_line_summary(stats: &RunStats, duration_secs: f64, mss: u32) -> String {
-    let goodput = stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / duration_secs.max(1e-9);
+    let goodput =
+        stats.flow().delivered_packets as f64 * mss as f64 * 8.0 / duration_secs.max(1e-9);
     format!(
         "delivered={} pkts ({:.2} Mbps), retx={}, lost={}, rtos={}, queue drops={}, cross delivered={}",
-        stats.flow.delivered_packets,
+        stats.flow().delivered_packets,
         goodput / 1e6,
-        stats.flow.retransmissions,
-        stats.flow.marked_lost,
-        stats.flow.rto_count,
-        stats.flow.queue_drops,
+        stats.flow().retransmissions,
+        stats.flow().marked_lost,
+        stats.flow().rto_count,
+        stats.flow().queue_drops,
         stats.cross_delivered
     )
 }
@@ -246,12 +247,15 @@ mod tests {
     #[test]
     fn one_line_summary_contains_key_counters() {
         let stats = RunStats {
-            flow: FlowSummary {
-                delivered_packets: 1000,
-                retransmissions: 5,
-                rto_count: 2,
+            flows: vec![ccfuzz_netsim::stats::FlowStats {
+                summary: FlowSummary {
+                    delivered_packets: 1000,
+                    retransmissions: 5,
+                    rto_count: 2,
+                    ..Default::default()
+                },
                 ..Default::default()
-            },
+            }],
             ..Default::default()
         };
         let line = one_line_summary(&stats, 5.0, 1448);

@@ -1,0 +1,122 @@
+//! Hot-path benchmarks tracked by `BENCH_sim.json`.
+//!
+//! Three fixed workloads bound the fuzzer's evaluations-per-second:
+//! a single-flow paper scenario, an 8-flow mixed-CCA fairness run, and a
+//! 2-generation mini GA campaign. `bench_report` times the same workloads
+//! and records them as JSON; this criterion suite exists for interactive
+//! `cargo bench` runs and to keep the workloads compiling under CI's
+//! `cargo bench --no-run`.
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::{paper_sim_base, Campaign, FuzzMode};
+use ccfuzz_core::evaluate::{EvalScratch, Evaluator};
+use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_core::genome::TrafficGenome;
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use ccfuzz_netsim::trace::TrafficTrace;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn single_flow_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_single_flow_5s");
+    group.sample_size(10);
+    group.bench_function("reno_enum_dispatch", |b| {
+        b.iter(|| {
+            let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+            cfg.record_events = false;
+            let result = run_simulation(cfg, CcaKind::Reno.build_dispatch(10));
+            std::hint::black_box(result.stats.events_processed)
+        });
+    });
+    group.bench_function("reno_boxed_dispatch", |b| {
+        b.iter(|| {
+            let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+            cfg.record_events = false;
+            let result = run_simulation(cfg, CcaKind::Reno.build(10));
+            std::hint::black_box(result.stats.events_processed)
+        });
+    });
+    group.finish();
+}
+
+fn fairness_8flow_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_fairness_8flow_5s");
+    group.sample_size(10);
+    let duration = SimDuration::from_secs(5);
+    let kinds = [
+        CcaKind::Bbr,
+        CcaKind::Reno,
+        CcaKind::Cubic,
+        CcaKind::Vegas,
+        CcaKind::Reno,
+        CcaKind::Bbr,
+        CcaKind::Cubic,
+        CcaKind::Reno,
+    ];
+    let injections: Vec<SimTime> = (0..1_000)
+        .map(|i| SimTime::from_micros(i * 5_000))
+        .collect();
+    group.bench_function("mixed_ccas", |b| {
+        b.iter(|| {
+            let mut cfg = paper_sim_base(duration);
+            cfg.record_events = false;
+            cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
+            let specs: Vec<FlowSpec<_>> = kinds
+                .iter()
+                .enumerate()
+                .map(|(i, kind)| FlowSpec {
+                    cc: kind.build_dispatch(10),
+                    start: SimTime::from_millis(i as u64 * 250),
+                    stop: None,
+                })
+                .collect();
+            let result = run_multi_flow_simulation(cfg, specs);
+            std::hint::black_box(result.stats.events_processed)
+        });
+    });
+    group.finish();
+}
+
+fn mini_campaign_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_mini_campaign");
+    group.sample_size(10);
+    let mut ga = GaParams::quick();
+    ga.islands = 4;
+    ga.population_per_island = 8;
+    ga.generations = 2;
+    ga.threads = 1;
+    ga.seed = 7;
+    let campaign = Campaign::paper_standard(
+        FuzzMode::Traffic,
+        CcaKind::Reno,
+        SimDuration::from_secs(3),
+        ga,
+    );
+    group.bench_function("traffic_2gen_4x8", |b| {
+        b.iter(|| {
+            let result = campaign.run_traffic();
+            std::hint::black_box(result.total_evaluations)
+        });
+    });
+    // The per-evaluation primitive the campaign amortises: one genome
+    // evaluated with reusable scratch (what a steady-state worker does).
+    let evaluator = campaign.evaluator();
+    let genome = {
+        let mut rng = SimRng::new(7);
+        TrafficGenome::generate(campaign.traffic_max_packets, campaign.duration, &mut rng)
+    };
+    group.bench_function("single_eval_scratch_reuse", |b| {
+        let mut scratch = EvalScratch::new();
+        b.iter(|| std::hint::black_box(evaluator.evaluate_reusing(&genome, &mut scratch).score));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    single_flow_run,
+    fairness_8flow_run,
+    mini_campaign_run
+);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ fn clean_link_simulation(c: &mut Criterion) {
                 let mut cfg = paper_sim_base(SimDuration::from_secs(5));
                 cfg.record_events = false;
                 let result = run_simulation(cfg, cca.build(10));
-                std::hint::black_box(result.stats.flow.delivered_packets)
+                std::hint::black_box(result.stats.flow().delivered_packets)
             });
         });
     }
@@ -44,7 +44,7 @@ fn cross_traffic_simulation(c: &mut Criterion) {
                 };
                 cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
                 let result = run_simulation(cfg, cca.build(10));
-                std::hint::black_box(result.stats.flow.delivered_packets)
+                std::hint::black_box(result.stats.flow().delivered_packets)
             });
         });
     }

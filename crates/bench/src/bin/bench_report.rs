@@ -1,0 +1,319 @@
+//! Perf-trajectory reporter: times the simulator hot path on three fixed
+//! workloads and emits `BENCH_sim.json` so every PR has a comparable
+//! evals/sec / events/sec / ns-per-event record.
+//!
+//! Workloads (all deterministic):
+//! * `single_flow`   — one Reno flow on the paper's clean 12 Mbps link, 5 s.
+//! * `fairness_8flow`— eight mixed-CCA flows sharing the bottleneck, 5 s.
+//! * `mini_campaign` — a 2-generation traffic-fuzzing GA (4 islands × 8).
+//!
+//! A machine-speed calibration loop (FNV hashing) is timed alongside so the
+//! regression check can normalise across hosts: the gate compares
+//! `evals_per_sec / calibration_mops` ratios, not raw wall-clock numbers.
+//!
+//! Usage:
+//!   bench_report [--fast] [--out PATH] [--check PATH] [--tolerance F]
+//!
+//! `--check` loads a previously committed report and exits non-zero when the
+//! normalised mini-campaign evals/sec regressed by more than `--tolerance`
+//! (default 0.20, i.e. 20 %).
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::{paper_sim_base, Campaign, FuzzMode};
+use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
+use ccfuzz_netsim::time::{SimDuration, SimTime};
+use ccfuzz_netsim::trace::TrafficTrace;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Timing record for one workload.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct WorkloadReport {
+    /// Simulations (fitness evaluations) completed per second.
+    evals_per_sec: f64,
+    /// Calendar events processed per second.
+    events_per_sec: f64,
+    /// Mean nanoseconds per calendar event.
+    ns_per_event: f64,
+    /// Events processed per evaluation (workload shape fingerprint).
+    events_per_eval: f64,
+    /// Repetitions timed.
+    reps: u64,
+}
+
+/// The full report written to `BENCH_sim.json`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct BenchReport {
+    /// Report schema version.
+    schema: u32,
+    /// Free-form label for the code state that produced the numbers.
+    label: String,
+    /// Machine-speed proxy: millions of FNV mix ops per second.
+    calibration_mops: f64,
+    /// One Reno flow, clean link.
+    single_flow: WorkloadReport,
+    /// Eight mixed-CCA flows plus cross traffic.
+    fairness_8flow: WorkloadReport,
+    /// Two-generation GA campaign.
+    mini_campaign: WorkloadReport,
+    /// Numbers recorded before the hot-path overhaul, normalised against
+    /// that run's own calibration (kept in the same file so the trajectory
+    /// travels with the repo).
+    baseline: Option<Box<BenchReport>>,
+}
+
+impl BenchReport {
+    /// Host-normalised mini-campaign throughput (evals/sec per calibration
+    /// MOPS); comparable across machines of different speeds.
+    fn normalized_campaign_rate(&self) -> f64 {
+        if self.calibration_mops <= 0.0 {
+            return 0.0;
+        }
+        self.mini_campaign.evals_per_sec / self.calibration_mops
+    }
+}
+
+/// Fixed CPU-bound loop whose throughput proxies single-core machine speed.
+///
+/// Measured twice with the *minimum* kept: a transiently throttled
+/// calibration would inflate the normalised workload rate and let a real
+/// regression slip, while the minimum biases the regression gate toward
+/// not failing spuriously on noisy shared runners.
+fn calibration_mops() -> f64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const ROUNDS: u64 = 40_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..ROUNDS {
+            h ^= i;
+            h = h.wrapping_mul(PRIME);
+        }
+        std::hint::black_box(h);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(ROUNDS as f64 / secs / 1e6);
+    }
+    best
+}
+
+fn time_workload<F: FnMut() -> u64>(reps: u64, mut run_once: F) -> WorkloadReport {
+    // Warm-up run (untimed) so allocator state and caches settle.
+    std::hint::black_box(run_once());
+    let start = Instant::now();
+    let mut events_total = 0u64;
+    for _ in 0..reps {
+        events_total += run_once();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    WorkloadReport {
+        evals_per_sec: reps as f64 / secs,
+        events_per_sec: events_total as f64 / secs,
+        ns_per_event: secs * 1e9 / events_total.max(1) as f64,
+        events_per_eval: events_total as f64 / reps.max(1) as f64,
+        reps,
+    }
+}
+
+fn single_flow(reps: u64) -> WorkloadReport {
+    time_workload(reps, || {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        let result = run_simulation(cfg, CcaKind::Reno.build(10));
+        std::hint::black_box(result.stats.events_processed)
+    })
+}
+
+fn fairness_8flow(reps: u64) -> WorkloadReport {
+    let duration = SimDuration::from_secs(5);
+    let kinds = [
+        CcaKind::Bbr,
+        CcaKind::Reno,
+        CcaKind::Cubic,
+        CcaKind::Vegas,
+        CcaKind::Reno,
+        CcaKind::Bbr,
+        CcaKind::Cubic,
+        CcaKind::Reno,
+    ];
+    let injections: Vec<SimTime> = (0..1_000)
+        .map(|i| SimTime::from_micros(i * 5_000))
+        .collect();
+    time_workload(reps, || {
+        let mut cfg = paper_sim_base(duration);
+        cfg.record_events = false;
+        cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
+        let specs: Vec<FlowSpec> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| FlowSpec {
+                cc: kind.build(10),
+                start: SimTime::from_millis(i as u64 * 250),
+                stop: None,
+            })
+            .collect();
+        let result = run_multi_flow_simulation(cfg, specs);
+        std::hint::black_box(result.stats.events_processed)
+    })
+}
+
+fn mini_campaign(reps: u64) -> WorkloadReport {
+    let events_per_run: u64;
+    let mut evals_per_run = 0u64;
+    let mut ga = GaParams::quick();
+    ga.islands = 4;
+    ga.population_per_island = 8;
+    ga.generations = 2;
+    ga.threads = 1; // single-threaded: measures the hot path, not the scheduler
+    ga.seed = 7;
+    let campaign = Campaign::paper_standard(
+        FuzzMode::Traffic,
+        CcaKind::Reno,
+        SimDuration::from_secs(3),
+        ga,
+    );
+    // Calibrate events/eval once (events_processed is not surfaced by the
+    // GA result; one representative evaluation measures it).
+    {
+        let evaluator = campaign.evaluator();
+        let genome = {
+            let mut rng = ccfuzz_netsim::rng::SimRng::new(ga.seed);
+            ccfuzz_core::genome::TrafficGenome::generate(
+                campaign.traffic_max_packets,
+                campaign.duration,
+                &mut rng,
+            )
+        };
+        let result = evaluator.simulate_traffic(&genome, false);
+        events_per_run = result.stats.events_processed;
+    }
+    let report = time_workload(reps, || {
+        let result = campaign.run_traffic();
+        evals_per_run = result.total_evaluations as u64;
+        std::hint::black_box(result.total_evaluations as u64 * events_per_run)
+    });
+    // Re-express per-evaluation: the campaign runs `evals_per_run` sims.
+    WorkloadReport {
+        evals_per_sec: report.evals_per_sec * evals_per_run as f64,
+        events_per_sec: report.events_per_sec,
+        ns_per_event: report.ns_per_event,
+        events_per_eval: events_per_run as f64,
+        reps: report.reps,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report [--fast] [--out PATH] [--check PATH] [--tolerance F] [--label S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut fast = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.20f64;
+    let mut label = String::from("current");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--label" => label = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let (reps_single, reps_fair, reps_campaign) = if fast { (3, 2, 1) } else { (12, 6, 3) };
+
+    eprintln!("calibrating machine speed...");
+    let mops = calibration_mops();
+    eprintln!("calibration: {mops:.1} Mops/s");
+
+    eprintln!("timing single_flow ({reps_single} reps)...");
+    let single = single_flow(reps_single);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
+        single.evals_per_sec,
+        single.events_per_sec / 1e6,
+        single.ns_per_event
+    );
+
+    eprintln!("timing fairness_8flow ({reps_fair} reps)...");
+    let fair = fairness_8flow(reps_fair);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
+        fair.evals_per_sec,
+        fair.events_per_sec / 1e6,
+        fair.ns_per_event
+    );
+
+    eprintln!("timing mini_campaign ({reps_campaign} reps)...");
+    let campaign = mini_campaign(reps_campaign);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s (est), {:.0} ns/event (est)",
+        campaign.evals_per_sec,
+        campaign.events_per_sec / 1e6,
+        campaign.ns_per_event
+    );
+
+    // Carry the committed baseline forward (if the old report had one, keep
+    // the *oldest* so the trajectory anchor never drifts).
+    let prior: Option<BenchReport> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    let baseline = prior.map(|mut p| match p.baseline.take() {
+        Some(oldest) => oldest,
+        None => Box::new(p),
+    });
+
+    let report = BenchReport {
+        schema: 1,
+        label,
+        calibration_mops: mops,
+        single_flow: single,
+        fairness_8flow: fair,
+        mini_campaign: campaign,
+        baseline,
+    };
+
+    if let Some(b) = &report.baseline {
+        let speedup = report.normalized_campaign_rate() / b.normalized_campaign_rate().max(1e-12);
+        eprintln!(
+            "mini-campaign speedup vs baseline `{}`: {speedup:.2}x (host-normalised)",
+            b.label
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check {path}: cannot read: {e}"));
+        let committed: BenchReport =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check {path}: bad JSON: {e}"));
+        let current = report.normalized_campaign_rate();
+        let reference = committed.normalized_campaign_rate();
+        let floor = reference * (1.0 - tolerance);
+        eprintln!(
+            "regression gate: current {current:.4} vs committed {reference:.4} \
+             (floor {floor:.4}, tolerance {tolerance:.0}%)",
+            tolerance = tolerance * 100.0
+        );
+        if current < floor {
+            eprintln!("FAIL: mini-campaign evals/sec regressed beyond tolerance");
+            std::process::exit(1);
+        }
+        eprintln!("OK: within tolerance");
+    }
+}

@@ -12,7 +12,7 @@ fn main() {
     cfg.record_events = true;
     let mss = cfg.mss;
     let result = run_simulation(cfg, CcaKind::Bbr.build(10));
-    let f = &result.stats.flow;
+    let f = result.stats.flow();
     println!(
         "delivered={} tx={} retx={} lost={} rtos={} goodput={:.2}Mbps",
         f.delivered_packets,

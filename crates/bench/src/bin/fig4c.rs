@@ -81,16 +81,16 @@ fn main() {
             &[
                 (
                     "delivered packets",
-                    run.stats.flow.delivered_packets.to_string(),
+                    run.stats.flow().delivered_packets.to_string(),
                 ),
                 (
                     "goodput",
                     format!("{:.2} Mbps", run.average_goodput_bps(base.mss) / 1e6),
                 ),
-                ("RTOs", run.stats.flow.rto_count.to_string()),
+                ("RTOs", run.stats.flow().rto_count.to_string()),
                 (
                     "retransmissions",
-                    run.stats.flow.retransmissions.to_string(),
+                    run.stats.flow().retransmissions.to_string(),
                 ),
                 (
                     "spurious retransmissions",

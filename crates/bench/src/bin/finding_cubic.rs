@@ -54,9 +54,9 @@ fn main() {
             ),
             (
                 "queue drops (self-inflicted bursts)",
-                buggy_run.stats.flow.queue_drops.to_string(),
+                buggy_run.stats.flow().queue_drops.to_string(),
             ),
-            ("RTOs", buggy_run.stats.flow.rto_count.to_string()),
+            ("RTOs", buggy_run.stats.flow().rto_count.to_string()),
         ],
     );
     print_table(
@@ -66,8 +66,11 @@ fn main() {
                 "summary",
                 one_line_summary(&fixed_run.stats, duration.as_secs_f64(), campaign.sim.mss),
             ),
-            ("queue drops", fixed_run.stats.flow.queue_drops.to_string()),
-            ("RTOs", fixed_run.stats.flow.rto_count.to_string()),
+            (
+                "queue drops",
+                fixed_run.stats.flow().queue_drops.to_string(),
+            ),
+            ("RTOs", fixed_run.stats.flow().rto_count.to_string()),
         ],
     );
     println!("\nExpected shape (paper): on the same trace the buggy CUBIC suffers far more");

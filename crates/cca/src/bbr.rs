@@ -130,8 +130,21 @@ pub struct Bbr {
     pacing_gain: f64,
     cwnd_gain: f64,
 
-    // Event log for Figure 4c style timelines.
+    // Event log for Figure 4c style timelines (skipped entirely when the
+    // host signals events will not be consumed).
+    record_events: bool,
     events: Vec<String>,
+}
+
+/// Records a debug event without evaluating the `format!` unless event
+/// recording is enabled (the fuzzer's hot path disables it, and formatting
+/// would otherwise allocate a `String` per round/transition per evaluation).
+macro_rules! bbr_log {
+    ($self:ident, $($fmt:tt)*) => {
+        if $self.record_events {
+            $self.events.push(format!($($fmt)*));
+        }
+    };
 }
 
 impl Bbr {
@@ -158,6 +171,7 @@ impl Bbr {
             conservation_ends_round: 0,
             pacing_gain: HIGH_GAIN,
             cwnd_gain: HIGH_GAIN,
+            record_events: true,
             events: Vec::new(),
             cfg,
         }
@@ -199,10 +213,6 @@ impl Bbr {
         ((bw * rtt.as_secs_f64()) / (mss as f64 * 8.0)).ceil() as u64
     }
 
-    fn log(&mut self, msg: String) {
-        self.events.push(msg);
-    }
-
     // ------------------------------------------------------------------
     // Model updates
     // ------------------------------------------------------------------
@@ -213,13 +223,15 @@ impl Bbr {
             self.round_count += 1;
             self.round_start = true;
             if rs.is_retransmitted_sample {
-                self.log(format!(
+                bbr_log!(
+                    self,
                     "round {} started by a RETRANSMITTED sample (prior_delivered={} >= threshold): \
                      probable spurious-retransmission interaction",
-                    self.round_count, rs.prior_delivered
-                ));
+                    self.round_count,
+                    rs.prior_delivered
+                );
             } else {
-                self.log(format!("round {} start", self.round_count));
+                bbr_log!(self, "round {} start", self.round_count);
             }
         } else {
             self.round_start = false;
@@ -272,7 +284,7 @@ impl Bbr {
         self.pacing_gain = 1.0;
         self.cwnd_gain = 1.0;
         self.probe_rtt_done_stamp = None;
-        self.log(format!("enter ProbeRTT at {} ({reason})", ctx.now));
+        bbr_log!(self, "enter ProbeRTT at {} ({reason})", ctx.now);
     }
 
     fn handle_probe_rtt(&mut self, ctx: &CcContext) {
@@ -302,7 +314,7 @@ impl Bbr {
             BbrState::Startup
         };
         self.cwnd = self.cwnd.max(self.prior_cwnd);
-        self.log(format!("exit ProbeRTT to {:?} at {}", self.state, ctx.now));
+        bbr_log!(self, "exit ProbeRTT to {:?} at {}", self.state, ctx.now);
     }
 
     fn check_full_pipe(&mut self, rs: &RateSample) {
@@ -318,7 +330,7 @@ impl Bbr {
         self.full_bw_count += 1;
         if self.full_bw_count >= 3 {
             self.filled_pipe = true;
-            self.log(format!("pipe filled at {:.2} Mbps", self.full_bw / 1e6));
+            bbr_log!(self, "pipe filled at {:.2} Mbps", self.full_bw / 1e6);
         }
     }
 
@@ -330,7 +342,7 @@ impl Bbr {
                     self.state = BbrState::Drain;
                     self.pacing_gain = 1.0 / HIGH_GAIN;
                     self.cwnd_gain = HIGH_GAIN;
-                    self.log(format!("enter Drain at {}", ctx.now));
+                    bbr_log!(self, "enter Drain at {}", ctx.now);
                 }
             }
             BbrState::Drain => {
@@ -341,7 +353,7 @@ impl Bbr {
                     self.cycle_stamp = ctx.now;
                     self.pacing_gain = CYCLE_GAINS[self.cycle_index];
                     self.cwnd_gain = self.cfg.cwnd_gain;
-                    self.log(format!("enter ProbeBW at {}", ctx.now));
+                    bbr_log!(self, "enter ProbeBW at {}", ctx.now);
                 }
             }
             BbrState::ProbeBw => {
@@ -451,14 +463,15 @@ impl CongestionControl for Bbr {
                     self.packet_conservation = true;
                     self.conservation_ends_round = self.round_count + 1;
                     self.cwnd = (ctx.in_flight + 1).max(MIN_CWND);
-                    self.log(format!(
+                    bbr_log!(
+                        self,
                         "fast-retransmit loss at {}: packet conservation",
                         ctx.now
-                    ));
+                    );
                 }
             }
             CongestionSignal::Rto => {
-                self.log(format!("RTO at {}", ctx.now));
+                bbr_log!(self, "RTO at {}", ctx.now);
                 if self.cfg.probe_rtt_on_rto {
                     // The paper's mitigation (§4.1): slow down via ProbeRTT so
                     // the in-flight ACKs arrive before we spuriously
@@ -510,6 +523,13 @@ impl CongestionControl for Bbr {
 
     fn take_events(&mut self) -> Vec<String> {
         std::mem::take(&mut self.events)
+    }
+
+    fn set_event_recording(&mut self, enabled: bool) {
+        self.record_events = enabled;
+        if !enabled {
+            self.events.clear();
+        }
     }
 }
 

@@ -1,0 +1,171 @@
+//! Enum dispatch for the congestion control algorithms.
+//!
+//! The fuzzer calls into the congestion controller on every ACK of every
+//! simulated packet — millions of calls per campaign. `Box<dyn
+//! CongestionControl>` pays a virtual call (and defeats inlining) at each of
+//! those; [`CcaDispatch`] replaces it with a `match` the compiler can
+//! flatten and inline, while the [`CcaDispatch::Custom`] variant keeps the
+//! door open for out-of-tree algorithms that only exist as trait objects.
+//!
+//! The simulator is generic over its controller type
+//! ([`TcpSender<C>`](ccfuzz_netsim::tcp::sender::TcpSender)), so plugging
+//! the enum in is just `Simulation<CcaDispatch>` — no simulator changes,
+//! and behaviour is bit-identical to the boxed form (asserted by the
+//! golden-digest suite).
+
+use crate::{Bbr, BbrConfig, CcaKind, Cubic, CubicConfig, Reno, RenoConfig, SlowStartBehaviour};
+use crate::{Vegas, VegasConfig};
+use ccfuzz_netsim::cc::reference_cc::FixedWindowCc;
+use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
+
+/// A congestion control algorithm, dispatched by enum variant instead of
+/// vtable on the per-ACK hot path.
+#[derive(Debug)]
+pub enum CcaDispatch {
+    /// TCP Reno / NewReno.
+    Reno(Reno),
+    /// TCP CUBIC (either slow-start behaviour).
+    Cubic(Cubic),
+    /// TCP BBR v1 (with or without the ProbeRTT-on-RTO mitigation).
+    Bbr(Bbr),
+    /// TCP Vegas.
+    Vegas(Vegas),
+    /// Fixed congestion window (testing / traffic shaping baseline).
+    Fixed(FixedWindowCc),
+    /// Escape hatch for algorithms outside this crate; pays the virtual
+    /// call the other variants avoid.
+    Custom(Box<dyn CongestionControl>),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $cc:ident => $body:expr) => {
+        match $self {
+            CcaDispatch::Reno($cc) => $body,
+            CcaDispatch::Cubic($cc) => $body,
+            CcaDispatch::Bbr($cc) => $body,
+            CcaDispatch::Vegas($cc) => $body,
+            CcaDispatch::Fixed($cc) => $body,
+            CcaDispatch::Custom($cc) => $body,
+        }
+    };
+}
+
+impl CongestionControl for CcaDispatch {
+    fn name(&self) -> &'static str {
+        dispatch!(self, cc => cc.name())
+    }
+    fn init(&mut self, ctx: &CcContext) {
+        dispatch!(self, cc => cc.init(ctx))
+    }
+    fn on_ack(&mut self, ctx: &CcContext, rs: &RateSample) {
+        dispatch!(self, cc => cc.on_ack(ctx, rs))
+    }
+    fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
+        dispatch!(self, cc => cc.on_congestion(ctx, signal))
+    }
+    fn on_exit_recovery(&mut self, ctx: &CcContext) {
+        dispatch!(self, cc => cc.on_exit_recovery(ctx))
+    }
+    fn cwnd(&self) -> u64 {
+        dispatch!(self, cc => cc.cwnd())
+    }
+    fn ssthresh(&self) -> u64 {
+        dispatch!(self, cc => cc.ssthresh())
+    }
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        dispatch!(self, cc => cc.pacing_rate_bps())
+    }
+    fn debug_state(&self) -> String {
+        dispatch!(self, cc => cc.debug_state())
+    }
+    fn take_events(&mut self) -> Vec<String> {
+        dispatch!(self, cc => cc.take_events())
+    }
+    fn set_event_recording(&mut self, enabled: bool) {
+        dispatch!(self, cc => cc.set_event_recording(enabled))
+    }
+}
+
+impl CcaKind {
+    /// Builds the enum-dispatched form of this algorithm with an initial
+    /// window of `initial_cwnd` packets. Behaviour is identical to
+    /// [`CcaKind::build`]; only the dispatch mechanism differs.
+    pub fn build_dispatch(&self, initial_cwnd: u64) -> CcaDispatch {
+        match self {
+            CcaKind::Reno => CcaDispatch::Reno(Reno::new(RenoConfig {
+                initial_cwnd,
+                ..RenoConfig::default()
+            })),
+            CcaKind::Cubic => CcaDispatch::Cubic(Cubic::new(CubicConfig {
+                initial_cwnd,
+                slow_start: SlowStartBehaviour::CappedAtSsthresh,
+                ..CubicConfig::default()
+            })),
+            CcaKind::CubicNs3Buggy => CcaDispatch::Cubic(Cubic::new(CubicConfig {
+                initial_cwnd,
+                slow_start: SlowStartBehaviour::Ns3Uncapped,
+                ..CubicConfig::default()
+            })),
+            CcaKind::Bbr => CcaDispatch::Bbr(Bbr::new(BbrConfig {
+                initial_cwnd,
+                probe_rtt_on_rto: false,
+                ..BbrConfig::default()
+            })),
+            CcaKind::BbrProbeRttOnRto => CcaDispatch::Bbr(Bbr::new(BbrConfig {
+                initial_cwnd,
+                probe_rtt_on_rto: true,
+                ..BbrConfig::default()
+            })),
+            CcaKind::Vegas => CcaDispatch::Vegas(Vegas::new(VegasConfig {
+                initial_cwnd,
+                ..VegasConfig::default()
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::config::SimConfig;
+    use ccfuzz_netsim::sim::run_simulation;
+
+    #[test]
+    fn dispatch_names_match_boxed_names() {
+        for kind in CcaKind::ALL {
+            assert_eq!(kind.build_dispatch(10).name(), kind.build(10).name());
+        }
+    }
+
+    #[test]
+    fn dispatch_behaviour_matches_boxed_behaviour() {
+        // The enum and the trait object must drive the simulator to
+        // byte-identical results for every algorithm.
+        for kind in CcaKind::ALL {
+            let cfg = SimConfig::short_default();
+            let boxed = run_simulation(cfg.clone(), kind.build(cfg.initial_cwnd));
+            let enumed = run_simulation(cfg.clone(), kind.build_dispatch(cfg.initial_cwnd));
+            assert_eq!(
+                boxed.stats.digest(),
+                enumed.stats.digest(),
+                "dispatch mismatch for {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn custom_variant_delegates() {
+        let mut cc = CcaDispatch::Custom(CcaKind::Reno.build(10));
+        assert_eq!(cc.name(), "reno");
+        assert!(cc.cwnd() >= 1);
+        assert!(cc.take_events().is_empty());
+    }
+
+    #[test]
+    fn fixed_variant_is_usable() {
+        let cc = CcaDispatch::Fixed(FixedWindowCc::new(7));
+        assert_eq!(cc.cwnd(), 7);
+        assert_eq!(cc.name(), "fixed-window");
+    }
+}

@@ -16,18 +16,22 @@
 //! All algorithms implement
 //! [`CongestionControl`](ccfuzz_netsim::cc::CongestionControl) and are
 //! constructed either directly or through the [`CcaKind`] factory that the
-//! fuzzer configuration uses.
+//! fuzzer configuration uses. The [`dispatch`] module provides
+//! [`CcaDispatch`], an enum-dispatched wrapper the fuzzer's hot path uses
+//! instead of `Box<dyn CongestionControl>` to avoid per-ACK virtual calls.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bbr;
 pub mod cubic;
+pub mod dispatch;
 pub mod reno;
 pub mod vegas;
 
 pub use bbr::{Bbr, BbrConfig};
 pub use cubic::{Cubic, CubicConfig, SlowStartBehaviour};
+pub use dispatch::CcaDispatch;
 pub use reno::{Reno, RenoConfig};
 pub use vegas::{Vegas, VegasConfig};
 

@@ -9,10 +9,12 @@ use crate::scenario::ScenarioGenome;
 use crate::scoring::{
     performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs,
 };
-use ccfuzz_cca::CcaKind;
+use ccfuzz_cca::{CcaDispatch, CcaKind};
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
-use ccfuzz_netsim::sim::{run_simulation, FlowSpec, SimResult, Simulation};
+use ccfuzz_netsim::sim::{
+    run_multi_flow_simulation_reusing, FlowSpec, SimResult, SimScratch, Simulation,
+};
 use serde::{Deserialize, Serialize};
 
 /// Everything the genetic algorithm needs to know about one evaluation.
@@ -56,14 +58,32 @@ impl EvalOutcome {
             score: total_score(scoring, perf, trace),
             performance_score: perf,
             trace_score: trace,
-            delivered_packets: result.stats.flow.delivered_packets,
-            sent_packets: result.stats.flow.transmissions,
-            retransmissions: result.stats.flow.retransmissions,
-            rto_count: result.stats.flow.rto_count,
-            queue_drops: result.stats.flow.queue_drops,
+            delivered_packets: result.stats.flow().delivered_packets,
+            sent_packets: result.stats.flow().transmissions,
+            retransmissions: result.stats.flow().retransmissions,
+            rto_count: result.stats.flow().rto_count,
+            queue_drops: result.stats.flow().queue_drops,
             cross_dropped: result.stats.cross_dropped,
             goodput_bps: result.average_goodput_bps(mss),
         }
+    }
+}
+
+/// Reusable per-worker evaluation state: the simulator's calendar and
+/// packet-pool storage. The fuzzer creates one per worker thread and
+/// threads it through every evaluation that worker performs, so
+/// steady-state evaluations stop paying the simulator's setup allocations.
+/// Scratch reuse never changes results — it only donates capacity.
+#[derive(Default)]
+pub struct EvalScratch {
+    /// Simulator calendar + packet pool storage.
+    pub sim: SimScratch,
+}
+
+impl EvalScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -71,6 +91,14 @@ impl EvalOutcome {
 pub trait Evaluator<G>: Sync + Send {
     /// Runs the scenario described by `genome` and scores it.
     fn evaluate(&self, genome: &G) -> EvalOutcome;
+
+    /// Like [`Evaluator::evaluate`], but may reuse `scratch` buffers across
+    /// calls. Must return exactly what `evaluate` returns; the default
+    /// implementation ignores the scratch.
+    fn evaluate_reusing(&self, genome: &G, scratch: &mut EvalScratch) -> EvalOutcome {
+        let _ = scratch;
+        self.evaluate(genome)
+    }
 }
 
 /// The standard simulator-backed evaluator used by both fuzzing modes.
@@ -106,10 +134,7 @@ impl SimEvaluator {
         }
     }
 
-    /// Runs a full simulation for a traffic genome, returning the raw result
-    /// (used by figure binaries that need the detailed statistics, with event
-    /// recording re-enabled).
-    pub fn simulate_traffic(&self, genome: &TrafficGenome, record_events: bool) -> SimResult {
+    fn traffic_cfg(&self, genome: &TrafficGenome, record_events: bool) -> SimConfig {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
         cfg.link = LinkModel::FixedRate {
@@ -117,11 +142,10 @@ impl SimEvaluator {
         };
         cfg.cross_traffic = genome.to_trace();
         cfg.duration = genome.duration;
-        run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
+        cfg
     }
 
-    /// Runs a full simulation for a link genome.
-    pub fn simulate_link(&self, genome: &LinkGenome, record_events: bool) -> SimResult {
+    fn link_cfg(&self, genome: &LinkGenome, record_events: bool) -> SimConfig {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
         cfg.link = LinkModel::TraceDriven {
@@ -129,14 +153,10 @@ impl SimEvaluator {
         };
         cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration);
         cfg.duration = genome.duration;
-        run_simulation(cfg.clone(), self.cca.build(cfg.initial_cwnd))
+        cfg
     }
 
-    /// Runs a full multi-flow simulation for a scenario genome: every flow
-    /// gene becomes its own sender with its own boxed CC instance (so
-    /// mixed-CCA scenarios like BBR vs. Reno work), sharing the fixed-rate
-    /// bottleneck with the optional cross-traffic sub-genome.
-    pub fn simulate_scenario(&self, genome: &ScenarioGenome, record_events: bool) -> SimResult {
+    fn scenario_cfg(&self, genome: &ScenarioGenome, record_events: bool) -> SimConfig {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
         cfg.link = LinkModel::FixedRate {
@@ -148,34 +168,126 @@ impl SimEvaluator {
             .map(|t| t.to_trace())
             .unwrap_or_else(|| ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration));
         cfg.duration = genome.duration;
-        let specs: Vec<FlowSpec> = genome
+        cfg
+    }
+
+    /// The single-flow spec for a prepared configuration, with the CCA under
+    /// test in enum-dispatched form (no virtual calls on the per-ACK path).
+    fn single_flow_spec(&self, cfg: &SimConfig) -> Vec<FlowSpec<CcaDispatch>> {
+        vec![FlowSpec {
+            cc: self.cca.build_dispatch(cfg.initial_cwnd),
+            start: cfg.flow_start,
+            stop: None,
+        }]
+    }
+
+    fn scenario_specs(
+        &self,
+        genome: &ScenarioGenome,
+        cfg: &SimConfig,
+    ) -> Vec<FlowSpec<CcaDispatch>> {
+        genome
             .flows
             .iter()
             .map(|f| FlowSpec {
-                cc: f.cca.build(cfg.initial_cwnd),
+                cc: f.cca.build_dispatch(cfg.initial_cwnd),
                 start: f.start,
                 stop: f.stop,
             })
-            .collect();
+            .collect()
+    }
+
+    /// Runs a full simulation for a traffic genome, returning the raw result
+    /// (used by figure binaries that need the detailed statistics, with event
+    /// recording re-enabled).
+    pub fn simulate_traffic(&self, genome: &TrafficGenome, record_events: bool) -> SimResult {
+        let cfg = self.traffic_cfg(genome, record_events);
+        let specs = self.single_flow_spec(&cfg);
         Simulation::new_multi(cfg, specs).run()
+    }
+
+    /// [`SimEvaluator::simulate_traffic`] with reusable simulator storage.
+    pub fn simulate_traffic_reusing(
+        &self,
+        genome: &TrafficGenome,
+        scratch: &mut EvalScratch,
+    ) -> SimResult {
+        let cfg = self.traffic_cfg(genome, false);
+        let specs = self.single_flow_spec(&cfg);
+        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+    }
+
+    /// Runs a full simulation for a link genome.
+    pub fn simulate_link(&self, genome: &LinkGenome, record_events: bool) -> SimResult {
+        let cfg = self.link_cfg(genome, record_events);
+        let specs = self.single_flow_spec(&cfg);
+        Simulation::new_multi(cfg, specs).run()
+    }
+
+    /// [`SimEvaluator::simulate_link`] with reusable simulator storage.
+    pub fn simulate_link_reusing(
+        &self,
+        genome: &LinkGenome,
+        scratch: &mut EvalScratch,
+    ) -> SimResult {
+        let cfg = self.link_cfg(genome, false);
+        let specs = self.single_flow_spec(&cfg);
+        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+    }
+
+    /// Runs a full multi-flow simulation for a scenario genome: every flow
+    /// gene becomes its own sender with its own enum-dispatched CC instance
+    /// (so mixed-CCA scenarios like BBR vs. Reno work), sharing the
+    /// fixed-rate bottleneck with the optional cross-traffic sub-genome.
+    pub fn simulate_scenario(&self, genome: &ScenarioGenome, record_events: bool) -> SimResult {
+        let cfg = self.scenario_cfg(genome, record_events);
+        let specs = self.scenario_specs(genome, &cfg);
+        Simulation::new_multi(cfg, specs).run()
+    }
+
+    /// [`SimEvaluator::simulate_scenario`] with reusable simulator storage.
+    pub fn simulate_scenario_reusing(
+        &self,
+        genome: &ScenarioGenome,
+        scratch: &mut EvalScratch,
+    ) -> SimResult {
+        let cfg = self.scenario_cfg(genome, false);
+        let specs = self.scenario_specs(genome, &cfg);
+        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+    }
+}
+
+impl SimEvaluator {
+    fn score_traffic(&self, genome: &TrafficGenome, result: &SimResult) -> EvalOutcome {
+        let inputs = TraceScoreInputs {
+            traffic_packets: genome.packet_count(),
+            traffic_max_packets: genome.max_packets,
+            traffic_dropped: result.stats.cross_dropped,
+        };
+        EvalOutcome::from_result(&self.scoring, result, self.base.mss, Some(inputs))
     }
 }
 
 impl Evaluator<TrafficGenome> for SimEvaluator {
     fn evaluate(&self, genome: &TrafficGenome) -> EvalOutcome {
         let result = self.simulate_traffic(genome, false);
-        let inputs = TraceScoreInputs {
-            traffic_packets: genome.packet_count(),
-            traffic_max_packets: genome.max_packets,
-            traffic_dropped: result.stats.cross_dropped,
-        };
-        EvalOutcome::from_result(&self.scoring, &result, self.base.mss, Some(inputs))
+        self.score_traffic(genome, &result)
+    }
+
+    fn evaluate_reusing(&self, genome: &TrafficGenome, scratch: &mut EvalScratch) -> EvalOutcome {
+        let result = self.simulate_traffic_reusing(genome, scratch);
+        self.score_traffic(genome, &result)
     }
 }
 
 impl Evaluator<LinkGenome> for SimEvaluator {
     fn evaluate(&self, genome: &LinkGenome) -> EvalOutcome {
         let result = self.simulate_link(genome, false);
+        EvalOutcome::from_result(&self.scoring, &result, self.base.mss, None)
+    }
+
+    fn evaluate_reusing(&self, genome: &LinkGenome, scratch: &mut EvalScratch) -> EvalOutcome {
+        let result = self.simulate_link_reusing(genome, scratch);
         EvalOutcome::from_result(&self.scoring, &result, self.base.mss, None)
     }
 }
@@ -228,6 +340,11 @@ impl EvalOutcome {
 impl Evaluator<ScenarioGenome> for SimEvaluator {
     fn evaluate(&self, genome: &ScenarioGenome) -> EvalOutcome {
         let result = self.simulate_scenario(genome, false);
+        EvalOutcome::from_scenario_result(&self.scoring, &result, self.base.mss, genome)
+    }
+
+    fn evaluate_reusing(&self, genome: &ScenarioGenome, scratch: &mut EvalScratch) -> EvalOutcome {
+        let result = self.simulate_scenario_reusing(genome, scratch);
         EvalOutcome::from_scenario_result(&self.scoring, &result, self.base.mss, genome)
     }
 }
@@ -318,6 +435,30 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_evaluation() {
+        // The fuzzer's workers reuse one EvalScratch across many genomes;
+        // every reused evaluation must equal the fresh one bit for bit.
+        let eval = evaluator();
+        let mut rng = SimRng::new(21);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..4 {
+            let genome = TrafficGenome::generate(1_500, SimDuration::from_secs(2), &mut rng);
+            let fresh = eval.evaluate(&genome);
+            let reused = eval.evaluate_reusing(&genome, &mut scratch);
+            assert_eq!(fresh, reused);
+            let link = LinkGenome::generate(
+                1_500,
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(50),
+                &mut rng,
+            );
+            let fresh = Evaluator::<LinkGenome>::evaluate(&eval, &link);
+            let reused = eval.evaluate_reusing(&link, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
     fn scenario_evaluation_runs_multi_flow_and_aggregates() {
         use crate::scenario::ScenarioGenome;
         use crate::scoring::Objective;
@@ -337,7 +478,7 @@ mod tests {
         assert_eq!(result.stats.flows.len(), genome.flow_count());
         let outcome = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);
         // Aggregates cover all flows: at least as much as flow 0 alone.
-        assert!(outcome.delivered_packets >= result.stats.flow.delivered_packets);
+        assert!(outcome.delivered_packets >= result.stats.flow().delivered_packets);
         assert!(outcome.score.is_finite());
         // Determinism across evaluations.
         let again = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);

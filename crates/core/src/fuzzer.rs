@@ -12,7 +12,7 @@
 //! so the end-to-end fuzzing run is reproducible from its seed regardless of
 //! the thread count.
 
-use crate::evaluate::{EvalOutcome, Evaluator};
+use crate::evaluate::{EvalOutcome, EvalScratch, Evaluator};
 use crate::genome::Genome;
 use crate::selection::{pick_pair, pick_ranked};
 use ccfuzz_netsim::rng::SimRng;
@@ -249,9 +249,15 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             for chunk in pending.chunks(chunk_size) {
                 let results = &results;
                 scope.spawn(move |_| {
+                    // One scratch per worker: consecutive evaluations reuse
+                    // the simulator's calendar and packet-pool allocations.
+                    // Evaluation stays pure — the scratch only donates
+                    // capacity — so results are identical to `evaluate`.
+                    let mut scratch = EvalScratch::new();
                     let mut local = Vec::with_capacity(chunk.len());
                     for &(i, j) in chunk {
-                        let outcome = evaluator.evaluate(&islands[i][j].genome);
+                        let outcome =
+                            evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch);
                         local.push((i, j, outcome));
                     }
                     results.lock().extend(local);

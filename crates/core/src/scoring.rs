@@ -246,7 +246,7 @@ pub fn performance_score(
         } => {
             let duration = SimDuration::from_secs_f64(result.duration_secs);
             let windows =
-                windowed_throughput_bps(&result.stats.delivery_times, mss, *window, duration);
+                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
             let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
             let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
             let reference = reference_rate_bps.max(1.0);
@@ -264,8 +264,8 @@ pub fn performance_score(
             percentile(&delays, *p).min(1.0)
         }
         Objective::HighLoss => {
-            let tx = result.stats.flow.transmissions.max(1);
-            (result.stats.flow.marked_lost as f64 / tx as f64).clamp(0.0, 1.0)
+            let tx = result.stats.flow().transmissions.max(1);
+            (result.stats.flow().marked_lost as f64 / tx as f64).clamp(0.0, 1.0)
         }
         Objective::Unfairness { starvation_weight } => {
             let b = fairness_breakdown(result, mss);
@@ -298,13 +298,16 @@ pub fn total_score(cfg: &ScoringConfig, performance: f64, trace: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccfuzz_netsim::stats::{FlowSummary, RunStats};
+    use ccfuzz_netsim::stats::{FlowStats, FlowSummary, RunStats};
     use ccfuzz_netsim::time::SimTime;
 
     fn result_with_deliveries(times: Vec<SimTime>, duration_secs: f64) -> SimResult {
         SimResult {
             stats: RunStats {
-                delivery_times: times,
+                flows: vec![FlowStats {
+                    delivery_times: times,
+                    ..Default::default()
+                }],
                 ..Default::default()
             },
             duration_secs,
@@ -345,11 +348,14 @@ mod tests {
         let objective = Objective::HighLoss;
         let result = SimResult {
             stats: RunStats {
-                flow: FlowSummary {
-                    transmissions: 100,
-                    marked_lost: 25,
+                flows: vec![FlowStats {
+                    summary: FlowSummary {
+                        transmissions: 100,
+                        marked_lost: 25,
+                        ..Default::default()
+                    },
                     ..Default::default()
-                },
+                }],
                 ..Default::default()
             },
             duration_secs: 5.0,
@@ -458,7 +464,6 @@ mod tests {
 
     #[test]
     fn unfairness_objective_scores_skewed_runs_higher() {
-        use ccfuzz_netsim::stats::FlowStats;
         let objective = Objective::Unfairness {
             starvation_weight: 0.5,
         };
@@ -513,7 +518,7 @@ mod tests {
         // One flow, delivering steadily: nothing unfair, nothing starved.
         let result = SimResult {
             stats: RunStats {
-                flows: vec![ccfuzz_netsim::stats::FlowStats {
+                flows: vec![FlowStats {
                     delivery_times: (0..500).map(|i| SimTime::from_millis(i * 10)).collect(),
                     ..Default::default()
                 }],

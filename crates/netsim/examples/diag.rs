@@ -11,7 +11,7 @@ fn main() {
     cfg.record_events = true;
     let mss = cfg.mss;
     let result = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
-    let f = &result.stats.flow;
+    let f = result.stats.flow();
     println!(
         "delivered={} tx={} retx={} lost={} rtos={} recoveries={} drops={}",
         f.delivered_packets,

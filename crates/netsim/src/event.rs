@@ -1,12 +1,41 @@
 //! Discrete-event calendar.
 //!
-//! A binary-heap based future event list with **stable, deterministic
-//! ordering**: events scheduled for the same instant fire in the order they
-//! were scheduled. Determinism here is essential — the genetic algorithm
-//! assumes that re-evaluating the same trace yields exactly the same score
-//! (§3.6 of the paper).
+//! A bucketed calendar queue with **stable, deterministic ordering**: events
+//! scheduled for the same instant fire in the order they were scheduled.
+//! Determinism here is essential — the genetic algorithm assumes that
+//! re-evaluating the same trace yields exactly the same score (§3.6 of the
+//! paper).
+//!
+//! ## Why not a binary heap?
+//!
+//! The original implementation was a `BinaryHeap<ScheduledEvent>` whose
+//! entries carried whole packets (~100 bytes with inline SACK state); every
+//! push/pop sifted those fat entries through `log n` levels. The calendar
+//! queue exploits what a heap cannot: simulation time only moves forward and
+//! event timestamps cluster tightly around "now" (serialization times,
+//! RTTs). Events land in a ring of fixed-width time buckets; a bucket is
+//! sorted **lazily, once**, when the clock reaches it, so the common case is
+//! an O(1) append and an O(1) pop of a 32-byte entry. Events beyond the
+//! ring's horizon wait in a small min-heap and migrate into the ring as it
+//! rotates.
+//!
+//! ## Determinism contract
+//!
+//! Pops are globally ordered by `(timestamp, schedule sequence)` — exactly
+//! the order the binary heap produced:
+//! * buckets partition time, so cross-bucket order is automatic;
+//! * within a bucket, the lazy sort orders by `(at, seq)`;
+//! * events scheduled into the *currently draining* bucket are placed by
+//!   binary search on `(at, seq)`, preserving FIFO among equal timestamps
+//!   (their sequence numbers are necessarily the largest so far).
+//!
+//! Payload-carrying events ([`Event::GatewayArrival`], [`Event::SinkArrival`],
+//! [`Event::AckArrival`]) reference packets parked in the simulation's
+//! [`PacketPool`](crate::packet::PacketPool) by 4-byte handle, which keeps
+//! [`Event`] register-sized and clone-free: the hot timer events and the
+//! payload events are the same small value type.
 
-use crate::packet::{AckPacket, DataPacket};
+use crate::packet::{AckRef, PacketRef};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,7 +44,11 @@ use std::collections::BinaryHeap;
 ///
 /// Per-flow events carry the index of the CCA flow they belong to, so that
 /// N concurrent congestion-controlled senders can share one event calendar.
-#[derive(Clone, Debug, PartialEq)]
+/// The enum is deliberately small (16 bytes): packets are parked in the
+/// simulation's packet pool and referenced by handle, and the enum derives
+/// neither `Clone` nor `PartialEq` — it is moved, exactly once, from
+/// `schedule` to `pop`.
+#[derive(Debug)]
 pub enum Event {
     /// A CCA flow starts sending.
     FlowStart {
@@ -23,18 +56,18 @@ pub enum Event {
         flow: u32,
     },
     /// A data packet arrives at the gateway queue (from any source).
-    GatewayArrival(DataPacket),
+    GatewayArrival(PacketRef),
     /// The bottleneck link finishes serializing / reaches a transmission
     /// opportunity and can pull the next packet from the queue.
     LinkReady,
     /// A data packet, having crossed the bottleneck, arrives at the sink.
-    SinkArrival(DataPacket),
+    SinkArrival(PacketRef),
     /// An ACK arrives back at a CCA sender.
     AckArrival {
         /// Index of the flow the ACK belongs to.
         flow: u32,
-        /// The acknowledgement itself.
-        ack: AckPacket,
+        /// Handle of the parked acknowledgement.
+        ack: AckRef,
     },
     /// A sender's retransmission timer fires (armed for this sequence and
     /// this particular arming generation, to invalidate stale timers).
@@ -62,15 +95,30 @@ pub enum Event {
     StatsTick,
 }
 
+/// Bucket width: 2^20 ns ≈ 1.05 ms, on the order of one packet serialization
+/// time at the paper's 12 Mbps bottleneck, so adjacent events share buckets
+/// without piling the whole run into one.
+const BUCKET_SHIFT: u32 = 20;
+/// Ring size: 4096 buckets ≈ 4.3 s of horizon; almost every event of a
+/// typical scenario is schedulable directly into the ring.
+const NUM_BUCKETS: usize = 4096;
+
+#[derive(Debug)]
 struct ScheduledEvent {
-    at: SimTime,
+    at: u64,
     seq: u64,
     event: Event,
 }
 
+impl ScheduledEvent {
+    fn key(&self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl PartialEq for ScheduledEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for ScheduledEvent {}
@@ -84,17 +132,30 @@ impl PartialOrd for ScheduledEvent {
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then
-        // first-scheduled) event is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // first-scheduled) event is popped first from the overflow heap.
+        other.key().cmp(&self.key())
     }
 }
 
 /// The future event list.
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    /// Ring of time buckets; `buckets[cursor]` covers
+    /// `[cursor_start, cursor_start + width)`.
+    buckets: Vec<Vec<ScheduledEvent>>,
+    cursor: usize,
+    /// Bucket-aligned nanosecond timestamp of the cursor bucket's range.
+    cursor_start: u64,
+    /// Consumed prefix of the cursor bucket (only ever non-zero once the
+    /// bucket has been sorted).
+    pos: usize,
+    /// Whether the cursor bucket's remainder is sorted by `(at, seq)`.
+    sorted: bool,
+    /// Events beyond the ring horizon, min-first on `(at, seq)`.
+    overflow: BinaryHeap<ScheduledEvent>,
+    /// Events currently in the ring.
+    ring_len: usize,
+    /// Total pending events (ring + overflow).
+    len: usize,
     next_seq: u64,
     now: SimTime,
 }
@@ -109,10 +170,34 @@ impl EventQueue {
     /// Creates an empty event queue positioned at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            cursor_start: 0,
+            pos: 0,
+            sorted: false,
+            overflow: BinaryHeap::new(),
+            ring_len: 0,
+            len: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Clears the queue back to time zero, keeping every allocation (bucket
+    /// capacity, overflow heap) for reuse by the next simulation run.
+    pub fn reset(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.cursor = 0;
+        self.cursor_start = 0;
+        self.pos = 0;
+        self.sorted = false;
+        self.overflow.clear();
+        self.ring_len = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -122,12 +207,16 @@ impl EventQueue {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    fn horizon_end(&self) -> u64 {
+        self.cursor_start + ((NUM_BUCKETS as u64) << BUCKET_SHIFT)
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -140,26 +229,127 @@ impl EventQueue {
             "scheduling event in the past: {at} < {}",
             self.now
         );
-        let at = at.max(self.now);
-        self.heap.push(ScheduledEvent {
-            at,
-            seq: self.next_seq,
-            event,
-        });
+        let at = at.max(self.now).as_nanos();
+        let seq = self.next_seq;
         self.next_seq += 1;
+        self.len += 1;
+        let entry = ScheduledEvent { at, seq, event };
+
+        if at >= self.horizon_end() {
+            self.overflow.push(entry);
+            return;
+        }
+        debug_assert!(at >= self.cursor_start);
+        let delta = ((at - self.cursor_start) >> BUCKET_SHIFT) as usize;
+        let idx = (self.cursor + delta) & (NUM_BUCKETS - 1);
+        self.ring_len += 1;
+        let bucket = &mut self.buckets[idx];
+        if delta == 0 && self.sorted {
+            // The cursor bucket is mid-drain: keep its remainder sorted.
+            // `seq` is the largest so far, so the slot is right after every
+            // pending event with `at' <= at`.
+            let tail = &bucket[self.pos..];
+            let offset = tail.partition_point(|e| e.at <= at);
+            bucket.insert(self.pos + offset, entry);
+        } else {
+            bucket.push(entry);
+        }
     }
 
     /// Pops the next event, advancing the simulation clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let ScheduledEvent { at, event, .. } = self.heap.pop()?;
-        debug_assert!(at >= self.now);
-        self.now = at;
-        Some((at, event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.pos < self.buckets[self.cursor].len() {
+                if !self.sorted {
+                    debug_assert_eq!(self.pos, 0);
+                    self.buckets[self.cursor].sort_unstable_by_key(|e| e.key());
+                    self.sorted = true;
+                }
+                let bucket = &mut self.buckets[self.cursor];
+                let entry = if self.pos + 1 == bucket.len() {
+                    // Last pending entry: take it and recycle the bucket.
+                    let entry = bucket.pop().expect("bucket non-empty");
+                    bucket.clear();
+                    self.pos = 0;
+                    self.sorted = false;
+                    entry
+                } else {
+                    let entry = std::mem::replace(
+                        &mut bucket[self.pos],
+                        ScheduledEvent {
+                            at: 0,
+                            seq: 0,
+                            event: Event::LinkReady,
+                        },
+                    );
+                    self.pos += 1;
+                    entry
+                };
+                self.ring_len -= 1;
+                self.len -= 1;
+                let at = SimTime::from_nanos(entry.at);
+                debug_assert!(at >= self.now);
+                self.now = at;
+                return Some((at, entry.event));
+            }
+
+            // Cursor bucket exhausted.
+            self.pos = 0;
+            self.sorted = false;
+            if self.ring_len == 0 {
+                // Ring drained: jump the window straight to the earliest
+                // overflow event instead of rotating bucket by bucket.
+                let min_at = self.overflow.peek().expect("len > 0").at;
+                self.cursor = 0;
+                self.cursor_start = (min_at >> BUCKET_SHIFT) << BUCKET_SHIFT;
+            } else {
+                self.cursor = (self.cursor + 1) & (NUM_BUCKETS - 1);
+                self.cursor_start += 1 << BUCKET_SHIFT;
+            }
+            self.migrate_overflow();
+        }
+    }
+
+    /// Moves overflow events that now fall inside the ring's horizon into
+    /// their buckets.
+    fn migrate_overflow(&mut self) {
+        let end = self.horizon_end();
+        while let Some(head) = self.overflow.peek() {
+            if head.at >= end {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked");
+            let delta = ((entry.at - self.cursor_start) >> BUCKET_SHIFT) as usize;
+            let idx = (self.cursor + delta) & (NUM_BUCKETS - 1);
+            self.buckets[idx].push(entry);
+            self.ring_len += 1;
+        }
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        // The first non-empty bucket from the cursor holds the global
+        // minimum (buckets partition time; overflow is beyond the horizon).
+        for step in 0..NUM_BUCKETS {
+            let idx = (self.cursor + step) & (NUM_BUCKETS - 1);
+            let from = if step == 0 { self.pos } else { 0 };
+            let bucket = &self.buckets[idx];
+            if from < bucket.len() {
+                let min = bucket[from..]
+                    .iter()
+                    .map(|e| e.at)
+                    .min()
+                    .expect("non-empty slice");
+                return Some(SimTime::from_nanos(min));
+            }
+        }
+        self.overflow.peek().map(|e| SimTime::from_nanos(e.at))
     }
 }
 
@@ -253,5 +443,92 @@ mod tests {
             order
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn matches_reference_order_under_interleaved_load() {
+        // Exhaustive cross-check against a sorted reference: random-ish
+        // schedule times (including far beyond the ring horizon and repeats
+        // of "now"), interleaved with pops, must produce the exact global
+        // (at, seq) order the binary-heap implementation guaranteed.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        let advance = |x: &mut u64| {
+            *x ^= *x << 13;
+            *x ^= *x >> 7;
+            *x ^= *x << 17;
+            *x
+        };
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        for round in 0..2_000u64 {
+            // Schedule 0..3 events at pseudo-random offsets from now, some
+            // at now exactly, some dozens of seconds out (overflow).
+            for _ in 0..(advance(&mut x) % 4) {
+                let r = advance(&mut x);
+                let offset_ns = match r % 5 {
+                    0 => 0,
+                    1 => r % 1_000,                          // sub-microsecond
+                    2 => r % 5_000_000,                      // sub-bucket range
+                    3 => r % 1_000_000_000,                  // within horizon
+                    _ => 5_000_000_000 + r % 30_000_000_000, // beyond horizon
+                };
+                let at = q.now() + SimDuration::from_nanos(offset_ns);
+                reference.push((at.as_nanos(), seq));
+                q.schedule(
+                    at,
+                    Event::RtoTimer {
+                        flow: 0,
+                        generation: seq,
+                    },
+                );
+                seq += 1;
+            }
+            if round % 2 == 0 {
+                if let Some((at, Event::RtoTimer { generation, .. })) = q.pop() {
+                    popped.push((at.as_nanos(), generation));
+                }
+            }
+        }
+        while let Some((at, Event::RtoTimer { generation, .. })) = q.pop() {
+            popped.push((at.as_nanos(), generation));
+        }
+        // Interleaving pops with schedules only ever removes the current
+        // minimum, so the concatenated pop order must equal the fully
+        // sorted reference.
+        reference.sort_unstable();
+        assert_eq!(popped.len(), reference.len());
+        assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        let mut q = EventQueue::new();
+        // Way beyond the ring horizon (~4.3 s): must park in overflow and
+        // still pop in order.
+        q.schedule(SimTime::from_secs_f64(100.0), Event::StatsTick);
+        q.schedule(SimTime::from_secs_f64(50.0), Event::LinkReady);
+        q.schedule(t(1), Event::FlowStart { flow: 0 });
+        assert_eq!(q.pop().unwrap().0, t(1));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs_f64(50.0));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs_f64(100.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reset_recycles_the_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Event::StatsTick);
+        q.schedule(SimTime::from_secs_f64(60.0), Event::LinkReady);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Sequence numbers restart, so tie-breaking behaves like a fresh queue.
+        q.schedule(t(5), Event::StatsTick);
+        q.schedule(t(5), Event::LinkReady);
+        assert!(matches!(q.pop(), Some((_, Event::StatsTick))));
+        assert!(matches!(q.pop(), Some((_, Event::LinkReady))));
     }
 }

@@ -39,7 +39,7 @@
 //! let cc = Box::new(FixedWindowCc::new(10));
 //! let mut sim = Simulation::new(cfg, cc);
 //! let result = sim.run();
-//! assert!(result.stats.flow.delivered_packets > 0);
+//! assert!(result.stats.flow().delivered_packets > 0);
 //! ```
 
 #![forbid(unsafe_code)]

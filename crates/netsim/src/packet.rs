@@ -49,7 +49,11 @@ impl FlowId {
 }
 
 /// A data packet traversing the forward path (sender → gateway → sink).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: the packet is a flat 40-byte record, so moving it through the
+/// queue, the calendar's packet pool and the statistics never touches the
+/// allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DataPacket {
     /// Owning flow.
     pub flow: FlowId,
@@ -130,14 +134,107 @@ impl SackBlock {
     }
 }
 
+/// Maximum SACK blocks an ACK can carry (TCP options fit 3–4 blocks).
+pub const MAX_SACK_BLOCKS: usize = 4;
+
+/// A fixed-capacity, inline list of SACK blocks.
+///
+/// Replaces the previous `Vec<SackBlock>`: ACKs are generated once per data
+/// packet (or two, with delayed ACKs), and a heap allocation per ACK was the
+/// single largest allocator load in the simulator's hot loop. The list lives
+/// inline in [`AckPacket`], which keeps the whole ACK `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SackList {
+    blocks: [SackBlock; MAX_SACK_BLOCKS],
+    len: u8,
+}
+
+impl SackList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        SackList {
+            blocks: [SackBlock { start: 0, end: 0 }; MAX_SACK_BLOCKS],
+            len: 0,
+        }
+    }
+
+    /// Number of blocks stored.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a block; silently ignored once [`MAX_SACK_BLOCKS`] is reached
+    /// (exactly the cap real TCP option space imposes).
+    pub fn push(&mut self, block: SackBlock) {
+        if (self.len as usize) < MAX_SACK_BLOCKS {
+            self.blocks[self.len as usize] = block;
+            self.len += 1;
+        }
+    }
+
+    /// The stored blocks as a slice.
+    pub fn as_slice(&self) -> &[SackBlock] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Iterates over the stored blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, SackBlock> {
+        self.as_slice().iter()
+    }
+
+    /// `true` if any stored block equals `block`.
+    pub fn contains(&self, block: &SackBlock) -> bool {
+        self.as_slice().contains(block)
+    }
+}
+
+impl Default for SackList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SackList {
+    type Target = [SackBlock];
+    fn deref(&self) -> &[SackBlock] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackList {
+    type Item = &'a SackBlock;
+    type IntoIter = std::slice::Iter<'a, SackBlock>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<SackBlock> for SackList {
+    fn from_iter<I: IntoIterator<Item = SackBlock>>(iter: I) -> Self {
+        let mut list = SackList::new();
+        for block in iter {
+            list.push(block);
+        }
+        list
+    }
+}
+
 /// An acknowledgement travelling on the reverse path (sink → sender).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: the SACK blocks are stored inline ([`SackList`]), so generating,
+/// queueing and delivering an ACK is allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AckPacket {
     /// Cumulative ACK: all packets with `seq < cum_ack` have been received.
     pub cum_ack: u64,
     /// SACK blocks above the cumulative ACK (most recently changed first),
     /// empty when SACK is disabled.
-    pub sack_blocks: Vec<SackBlock>,
+    pub sack_blocks: SackList,
     /// Number of data packets this ACK acknowledges at the receiver (1 for an
     /// immediate ACK, 2+ when delayed ACKs coalesce).
     pub acked_now: u64,
@@ -157,6 +254,118 @@ impl AckPacket {
     /// Wire size of an ACK in bytes.
     pub const fn size(&self) -> u32 {
         ACK_SIZE
+    }
+}
+
+/// Handle to a [`DataPacket`] parked in a [`PacketPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketRef(pub u32);
+
+/// Handle to an [`AckPacket`] parked in a [`PacketPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckRef(pub u32);
+
+/// Slab storage with a free list: O(1) alloc/free, no per-packet heap
+/// allocation once warm, and stable `u32` handles small enough to ride
+/// inside calendar events.
+#[derive(Clone, Debug)]
+struct Slab<T> {
+    slots: Vec<T>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> Slab<T> {
+    fn alloc(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = value;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(value);
+                idx
+            }
+        }
+    }
+
+    /// Copies the value out and recycles the slot. The handle must come from
+    /// a prior `alloc` and must not be taken twice (enforced by the event
+    /// calendar's single-consumer discipline, checked in debug builds).
+    fn take(&mut self, idx: u32) -> T {
+        debug_assert!(!self.free.contains(&idx), "double take of pool slot {idx}");
+        let value = self.slots[idx as usize];
+        self.free.push(idx);
+        value
+    }
+
+    fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+/// Packet parking for in-flight calendar payloads.
+///
+/// Events in the calendar carry 4-byte [`PacketRef`]/[`AckRef`] handles
+/// instead of the packets themselves, which keeps calendar entries small
+/// (cheap to sift/sort) and reuses slab slots instead of allocating per
+/// packet. A packet is parked when its arrival event is scheduled and taken
+/// exactly once when the event fires.
+#[derive(Clone, Debug, Default)]
+pub struct PacketPool {
+    data: Slab<DataPacket>,
+    acks: Slab<AckPacket>,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks a data packet, returning its handle.
+    pub fn put_data(&mut self, pkt: DataPacket) -> PacketRef {
+        PacketRef(self.data.alloc(pkt))
+    }
+
+    /// Retrieves (and recycles the slot of) a parked data packet.
+    pub fn take_data(&mut self, r: PacketRef) -> DataPacket {
+        self.data.take(r.0)
+    }
+
+    /// Parks an ACK, returning its handle.
+    pub fn put_ack(&mut self, ack: AckPacket) -> AckRef {
+        AckRef(self.acks.alloc(ack))
+    }
+
+    /// Retrieves (and recycles the slot of) a parked ACK.
+    pub fn take_ack(&mut self, r: AckRef) -> AckPacket {
+        self.acks.take(r.0)
+    }
+
+    /// Packets currently parked (data + ACKs).
+    pub fn live(&self) -> usize {
+        self.data.live() + self.acks.live()
+    }
+
+    /// Clears the pool, keeping allocated capacity for reuse across runs.
+    pub fn reset(&mut self) {
+        self.data.reset();
+        self.acks.reset();
     }
 }
 
@@ -209,7 +418,7 @@ mod tests {
     fn ack_size_constant() {
         let ack = AckPacket {
             cum_ack: 3,
-            sack_blocks: vec![],
+            sack_blocks: SackList::new(),
             acked_now: 1,
             generated_at: SimTime::ZERO,
             echo_sent_at: SimTime::ZERO,
@@ -217,5 +426,46 @@ mod tests {
             for_retransmission: false,
         };
         assert_eq!(ack.size(), ACK_SIZE);
+    }
+
+    #[test]
+    fn sack_list_caps_at_max_blocks() {
+        let mut list = SackList::new();
+        assert!(list.is_empty());
+        for i in 0..(MAX_SACK_BLOCKS as u64 + 2) {
+            list.push(SackBlock {
+                start: i * 10,
+                end: i * 10 + 1,
+            });
+        }
+        assert_eq!(list.len(), MAX_SACK_BLOCKS);
+        assert_eq!(list.as_slice()[0], SackBlock { start: 0, end: 1 });
+        assert!(list.contains(&SackBlock { start: 10, end: 11 }));
+        assert!(!list.contains(&SackBlock { start: 40, end: 41 }));
+        let collected: SackList = (0..2)
+            .map(|i| SackBlock {
+                start: i,
+                end: i + 1,
+            })
+            .collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn packet_pool_recycles_slots() {
+        let mut pool = PacketPool::new();
+        let t = SimTime::ZERO;
+        let a = pool.put_data(DataPacket::cca(1, 100, false, t));
+        let b = pool.put_data(DataPacket::cca(2, 100, false, t));
+        assert_eq!(pool.live(), 2);
+        assert_eq!(pool.take_data(a).seq, 1);
+        // The freed slot is reused for the next packet.
+        let c = pool.put_data(DataPacket::cca(3, 100, false, t));
+        assert_eq!(c, a);
+        assert_eq!(pool.take_data(b).seq, 2);
+        assert_eq!(pool.take_data(c).seq, 3);
+        assert_eq!(pool.live(), 0);
+        pool.reset();
+        assert_eq!(pool.live(), 0);
     }
 }

@@ -14,16 +14,31 @@
 //! the queue slot. Every flow has its own sender, receiver, timers,
 //! start/stop schedule and [`FlowStats`](crate::stats::FlowStats); flow 0
 //! plays the role of the paper's original single CCA flow and its stats are
-//! mirrored into the legacy [`RunStats`] fields.
+//! exposed through the legacy accessors [`RunStats::flow`] and
+//! [`RunStats::delivery_times`] (which borrow from `flows[0]` — nothing is
+//! copied at the end of a run).
+//!
+//! ## Hot-path architecture
+//!
+//! The simulation is the inner loop of every fitness evaluation, so the
+//! event plumbing is built to stay off the allocator:
+//!
+//! * the calendar is a bucketed [`EventQueue`] of 32-byte entries;
+//! * packets travelling between events are parked in a [`PacketPool`] slab
+//!   and referenced by 4-byte handles;
+//! * the congestion controller is a generic parameter (`C`), statically
+//!   dispatched when the caller provides an enum or concrete type;
+//! * a [`SimScratch`] lets batch drivers (the fuzzer) recycle the calendar
+//!   and pool allocations across thousands of evaluations.
 
 use crate::cc::CongestionControl;
 use crate::config::SimConfig;
 use crate::crosstraffic::CrossTrafficSource;
 use crate::event::{Event, EventQueue};
-use crate::link::{LinkAction, LinkService};
-use crate::packet::{AckPacket, DataPacket, FlowId};
+use crate::link::{LinkAction, LinkModel, LinkService};
+use crate::packet::{AckPacket, DataPacket, FlowId, PacketPool};
 use crate::queue::DropTailQueue;
-use crate::stats::{BottleneckEvent, BottleneckRecord, FlowStats, RunStats};
+use crate::stats::{BottleneckEvent, BottleneckRecord, FlowRates, FlowStats, RunStats};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
 use crate::time::SimTime;
@@ -44,25 +59,27 @@ impl SimResult {
         if self.duration_secs <= 0.0 {
             return 0.0;
         }
-        self.stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / self.duration_secs
+        self.stats.flow().delivered_packets as f64 * mss as f64 * 8.0 / self.duration_secs
     }
 
     /// Per-flow goodput (sink-side, normalised by each flow's active
-    /// interval), in bits per second.
-    pub fn per_flow_goodput_bps(&self, mss: u32) -> Vec<f64> {
+    /// interval), in bits per second. Returns an inline-array
+    /// [`FlowRates`], so the common single-flow (and up-to-four-flow) case
+    /// performs no allocation.
+    pub fn per_flow_goodput_bps(&self, mss: u32) -> FlowRates {
         let duration = crate::time::SimDuration::from_secs_f64(self.duration_secs);
-        self.stats
-            .flows
-            .iter()
-            .map(|f| f.goodput_bps(mss, duration))
-            .collect()
+        let mut rates = FlowRates::new();
+        for f in &self.stats.flows {
+            rates.push(f.goodput_bps(mss, duration));
+        }
+        rates
     }
 }
 
 /// One congestion-controlled flow to simulate: its algorithm and schedule.
-pub struct FlowSpec {
+pub struct FlowSpec<C: CongestionControl = Box<dyn CongestionControl>> {
     /// The congestion control algorithm driving the flow.
-    pub cc: Box<dyn CongestionControl>,
+    pub cc: C,
     /// When the flow starts sending.
     pub start: SimTime,
     /// When the flow stops sending (`None` = runs until the scenario ends).
@@ -71,9 +88,9 @@ pub struct FlowSpec {
     pub stop: Option<SimTime>,
 }
 
-impl FlowSpec {
+impl<C: CongestionControl> FlowSpec<C> {
     /// A flow that runs for the whole scenario.
-    pub fn new(cc: Box<dyn CongestionControl>) -> Self {
+    pub fn new(cc: C) -> Self {
         FlowSpec {
             cc,
             start: SimTime::ZERO,
@@ -83,8 +100,8 @@ impl FlowSpec {
 }
 
 /// Per-flow runtime state inside the simulation.
-struct FlowRuntime {
-    sender: TcpSender,
+struct FlowRuntime<C: CongestionControl> {
+    sender: TcpSender<C>,
     receiver: TcpReceiver,
     start: SimTime,
     stop: Option<SimTime>,
@@ -100,17 +117,38 @@ struct FlowRuntime {
     sink_received: u64,
 }
 
-impl FlowRuntime {
+impl<C: CongestionControl> FlowRuntime<C> {
     fn stopped(&self, now: SimTime) -> bool {
         self.stop.map(|t| now >= t).unwrap_or(false)
     }
 }
 
-/// The dumbbell simulation.
-pub struct Simulation {
+/// Reusable simulation storage: the event calendar's bucket ring and the
+/// packet pool's slabs. A batch driver creates one `SimScratch` per worker
+/// and threads it through consecutive runs, so steady-state evaluations
+/// perform no calendar/pool allocations at all. Results are bit-identical
+/// with or without scratch reuse — the scratch only donates capacity.
+#[derive(Default)]
+pub struct SimScratch {
+    events: EventQueue,
+    pool: PacketPool,
+}
+
+impl SimScratch {
+    /// Creates empty scratch storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The dumbbell simulation, generic over the congestion-control type shared
+/// by its flows (defaults to `Box<dyn CongestionControl>` for trait-object
+/// call sites; the fuzzer instantiates `C = CcaDispatch` for enum dispatch).
+pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     cfg: SimConfig,
     events: EventQueue,
-    flows: Vec<FlowRuntime>,
+    pool: PacketPool,
+    flows: Vec<FlowRuntime<C>>,
     queue: DropTailQueue,
     link: LinkService,
     cross: CrossTrafficSource,
@@ -120,11 +158,11 @@ pub struct Simulation {
     finished: bool,
 }
 
-impl Simulation {
+impl<C: CongestionControl> Simulation<C> {
     /// Builds a single-flow simulation from a configuration and a congestion
     /// controller (the paper's original topology). The flow starts at
     /// `cfg.flow_start` and runs to the end of the scenario.
-    pub fn new(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> Self {
+    pub fn new(cfg: SimConfig, cc: C) -> Self {
         let start = cfg.flow_start;
         Self::new_multi(
             cfg,
@@ -138,7 +176,18 @@ impl Simulation {
 
     /// Builds a simulation with N concurrent congestion-controlled flows
     /// sharing the bottleneck. Flow indices follow the order of `specs`.
-    pub fn new_multi(cfg: SimConfig, specs: Vec<FlowSpec>) -> Self {
+    pub fn new_multi(cfg: SimConfig, specs: Vec<FlowSpec<C>>) -> Self {
+        Self::new_multi_with_scratch(cfg, specs, SimScratch::default())
+    }
+
+    /// Like [`Simulation::new_multi`], but adopts previously used calendar
+    /// and pool storage so repeated evaluations skip those allocations.
+    /// Reclaim the storage with [`Simulation::into_scratch`] after the run.
+    pub fn new_multi_with_scratch(
+        cfg: SimConfig,
+        specs: Vec<FlowSpec<C>>,
+        scratch: SimScratch,
+    ) -> Self {
         debug_assert!(
             cfg.validate().is_ok(),
             "invalid SimConfig: {:?}",
@@ -153,6 +202,7 @@ impl Simulation {
             initial_rto: cfg.initial_rto,
             initial_cwnd: cfg.initial_cwnd,
             buffer_packets: cfg.sender_buffer_packets,
+            record_log: cfg.record_events,
         };
         let receiver_cfg = ReceiverConfig {
             sack_enabled: cfg.sack_enabled,
@@ -164,7 +214,17 @@ impl Simulation {
         let link = LinkService::new(cfg.link.clone());
         let cross = CrossTrafficSource::new(&cfg.cross_traffic, cfg.cross_traffic_packet_size);
         let queue = DropTailQueue::new(cfg.queue_capacity);
-        let flows = specs
+        // Pre-size the per-flow delivery log from the link's carrying
+        // capacity so the hot loop never grows it.
+        let delivery_capacity_total = match &cfg.link {
+            LinkModel::FixedRate { rate_bps } => {
+                ((*rate_bps as f64 / 8.0) * cfg.duration.as_secs_f64() / cfg.mss as f64) as usize
+            }
+            LinkModel::TraceDriven { trace } => trace.len(),
+        }
+        .min(1 << 22);
+        let per_flow_capacity = delivery_capacity_total / specs.len() + 64;
+        let flows: Vec<FlowRuntime<C>> = specs
             .into_iter()
             .map(|spec| FlowRuntime {
                 sender: TcpSender::new(sender_cfg, spec.cc),
@@ -173,22 +233,39 @@ impl Simulation {
                 stop: spec.stop,
                 pacing_scheduled: None,
                 rto_scheduled: None,
-                delivery_times: Vec::new(),
+                delivery_times: Vec::with_capacity(per_flow_capacity),
                 queue_drops: 0,
                 sink_received: 0,
             })
             .collect();
+        let mut stats = RunStats::default();
+        stats.flows.reserve(flows.len());
+        stats
+            .queue_samples
+            .reserve((cfg.duration.as_nanos() / cfg.stats_interval.as_nanos().max(1)) as usize + 2);
+        let SimScratch { mut events, pool } = scratch;
+        events.reset();
         Simulation {
             flows,
             queue,
             link,
             cross,
-            events: EventQueue::new(),
-            stats: RunStats::default(),
+            events,
+            pool,
+            stats,
             link_ready_scheduled: None,
             finished: false,
             cfg,
         }
+    }
+
+    /// Recovers the calendar and pool storage for reuse by a later run.
+    pub fn into_scratch(mut self) -> SimScratch {
+        let mut events = std::mem::take(&mut self.events);
+        events.reset();
+        let mut pool = std::mem::take(&mut self.pool);
+        pool.reset();
+        SimScratch { events, pool }
     }
 
     /// The configuration this simulation runs.
@@ -203,12 +280,12 @@ impl Simulation {
 
     /// Immutable access to the primary flow's sender (e.g. to inspect CCA
     /// state mid-run in tests).
-    pub fn sender(&self) -> &TcpSender {
+    pub fn sender(&self) -> &TcpSender<C> {
         &self.flows[0].sender
     }
 
     /// Immutable access to the sender of an arbitrary flow.
-    pub fn sender_of(&self, flow: usize) -> &TcpSender {
+    pub fn sender_of(&self, flow: usize) -> &TcpSender<C> {
         &self.flows[flow].sender
     }
 
@@ -245,7 +322,8 @@ impl Simulation {
                     );
                     let crossed_at = self.link.on_transmit(now, pkt.size);
                     let arrival = crossed_at + self.cfg.propagation_delay;
-                    self.events.schedule(arrival, Event::SinkArrival(pkt));
+                    let parked = self.pool.put_data(pkt);
+                    self.events.schedule(arrival, Event::SinkArrival(parked));
                 }
                 LinkAction::WaitUntil(t) => {
                     if t != SimTime::MAX
@@ -363,10 +441,14 @@ impl Simulation {
                 for _ in before..after {
                     flow.delivery_times.push(now);
                 }
-                for ack in out.acks {
+                if let Some(ack) = out.ack {
+                    let parked = self.pool.put_ack(ack);
                     self.events.schedule(
                         now + self.cfg.propagation_delay,
-                        Event::AckArrival { flow: i, ack },
+                        Event::AckArrival {
+                            flow: i,
+                            ack: parked,
+                        },
                     );
                 }
                 if let Some((deadline, generation)) = out.arm_delack {
@@ -403,7 +485,8 @@ impl Simulation {
                 break;
             }
             let pkt = self.cross.poll(t).expect("injection due");
-            self.events.schedule(t, Event::GatewayArrival(pkt));
+            let parked = self.pool.put_data(pkt);
+            self.events.schedule(t, Event::GatewayArrival(parked));
         }
 
         let end = self.end_time();
@@ -423,7 +506,8 @@ impl Simulation {
                     self.flows[flow].sender.on_flow_start(now);
                     self.pump_sender(flow, now);
                 }
-                Event::GatewayArrival(pkt) => {
+                Event::GatewayArrival(parked) => {
+                    let pkt = self.pool.take_data(parked);
                     self.handle_gateway_arrival(pkt, now);
                 }
                 Event::LinkReady => {
@@ -432,10 +516,12 @@ impl Simulation {
                     }
                     self.try_transmit(now);
                 }
-                Event::SinkArrival(pkt) => {
+                Event::SinkArrival(parked) => {
+                    let pkt = self.pool.take_data(parked);
                     self.handle_sink_arrival(pkt, now);
                 }
                 Event::AckArrival { flow, ack } => {
+                    let ack = self.pool.take_ack(ack);
                     self.deliver_ack_to_sender(flow as usize, ack, now);
                 }
                 Event::RtoTimer { flow, generation } => {
@@ -462,9 +548,10 @@ impl Simulation {
                         .receiver
                         .on_delack_timer(generation, now)
                     {
+                        let parked = self.pool.put_ack(ack);
                         self.events.schedule(
                             now + self.cfg.propagation_delay,
-                            Event::AckArrival { flow, ack },
+                            Event::AckArrival { flow, ack: parked },
                         );
                     }
                 }
@@ -487,7 +574,9 @@ impl Simulation {
             }
         }
 
-        // Finalize statistics.
+        // Finalize statistics. The primary flow's summary and delivery
+        // times live in `flows[0]` and are *borrowed* by the legacy
+        // accessors — the former end-of-run clone of both is gone.
         self.stats.events_processed = events_processed;
         self.stats.queue_counters = self.queue.counters();
         for flow in &mut self.flows {
@@ -501,9 +590,6 @@ impl Simulation {
                 sink_received: flow.sink_received,
             });
         }
-        // Mirror the primary flow into the legacy single-flow fields.
-        self.stats.flow = self.stats.flows[0].summary.clone();
-        self.stats.delivery_times = self.stats.flows[0].delivery_times.clone();
         if self.cfg.record_events {
             self.stats.transport = self.flows[0].sender.drain_log();
         }
@@ -516,13 +602,30 @@ impl Simulation {
 }
 
 /// Convenience helper: build and run a simulation in one call.
-pub fn run_simulation(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> SimResult {
+pub fn run_simulation<C: CongestionControl>(cfg: SimConfig, cc: C) -> SimResult {
     Simulation::new(cfg, cc).run()
 }
 
 /// Convenience helper: build and run a multi-flow simulation in one call.
-pub fn run_multi_flow_simulation(cfg: SimConfig, specs: Vec<FlowSpec>) -> SimResult {
+pub fn run_multi_flow_simulation<C: CongestionControl>(
+    cfg: SimConfig,
+    specs: Vec<FlowSpec<C>>,
+) -> SimResult {
     Simulation::new_multi(cfg, specs).run()
+}
+
+/// Build and run a multi-flow simulation, recycling `scratch`'s calendar and
+/// pool storage. The result is bit-identical to [`run_multi_flow_simulation`];
+/// only the allocation behaviour differs.
+pub fn run_multi_flow_simulation_reusing<C: CongestionControl>(
+    cfg: SimConfig,
+    specs: Vec<FlowSpec<C>>,
+    scratch: &mut SimScratch,
+) -> SimResult {
+    let mut sim = Simulation::new_multi_with_scratch(cfg, specs, std::mem::take(scratch));
+    let result = sim.run();
+    *scratch = sim.into_scratch();
+    result
 }
 
 #[cfg(test)]
@@ -540,18 +643,23 @@ mod tests {
         cfg
     }
 
+    fn boxed(cc: impl CongestionControl + 'static) -> Box<dyn CongestionControl> {
+        Box::new(cc)
+    }
+
     #[test]
     fn fixed_window_flow_delivers_packets() {
         let cfg = base_cfg();
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(10)));
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(10)));
         assert!(
-            result.stats.flow.delivered_packets > 100,
+            result.stats.flow().delivered_packets > 100,
             "delivered {}",
-            result.stats.flow.delivered_packets
+            result.stats.flow().delivered_packets
         );
         assert!(!result.stats.truncated);
         assert_eq!(
-            result.stats.flow.queue_drops, 0,
+            result.stats.flow().queue_drops,
+            0,
             "window of 10 cannot overflow a 100-packet queue"
         );
     }
@@ -561,15 +669,15 @@ mod tests {
         // With a 1-packet window every packet waits for the receiver's
         // delayed-ACK timer (200 ms) plus the 40 ms RTT: ~21 packets in 5 s.
         let cfg = base_cfg();
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(1)));
-        let delivered = result.stats.flow.delivered_packets;
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(1)));
+        let delivered = result.stats.flow().delivered_packets;
         assert!((15..=30).contains(&delivered), "delivered {delivered}");
 
         // Disabling delayed ACKs removes the penalty: one packet per RTT.
         let mut cfg = base_cfg();
         cfg.delayed_ack = false;
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(1)));
-        let delivered = result.stats.flow.delivered_packets;
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(1)));
+        let delivered = result.stats.flow().delivered_packets;
         assert!((100..=135).contains(&delivered), "delivered {delivered}");
     }
 
@@ -577,7 +685,7 @@ mod tests {
     fn aimd_fills_12mbps_link() {
         let cfg = base_cfg();
         let mss = cfg.mss;
-        let result = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
+        let result = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
         let goodput = result.average_goodput_bps(mss);
         // Should reach a reasonable fraction of the 12 Mbps bottleneck.
         assert!(goodput > 6e6, "goodput only {goodput} bps");
@@ -585,17 +693,46 @@ mod tests {
     }
 
     #[test]
+    fn static_dispatch_matches_boxed_dispatch() {
+        // The same controller plugged in as a concrete type and as a trait
+        // object must produce byte-identical behaviour — the enum-dispatch
+        // fast path cannot change results.
+        let concrete = run_simulation(base_cfg(), MiniAimdCc::new(10));
+        let dynamic = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        assert_eq!(concrete.stats.digest(), dynamic.stats.digest());
+        assert_eq!(
+            concrete.stats.events_processed,
+            dynamic.stats.events_processed
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let mut scratch = SimScratch::new();
+        let fresh = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        for _ in 0..3 {
+            let reused = run_multi_flow_simulation_reusing(
+                base_cfg(),
+                vec![FlowSpec::new(boxed(MiniAimdCc::new(10)))],
+                &mut scratch,
+            );
+            assert_eq!(fresh.stats.digest(), reused.stats.digest());
+            assert_eq!(fresh.stats.events_processed, reused.stats.events_processed);
+        }
+    }
+
+    #[test]
     fn oversized_window_causes_drops_and_retransmissions() {
         let mut cfg = base_cfg();
         cfg.queue_capacity = QueueCapacity::Packets(20);
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(500)));
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(500)));
         assert!(
-            result.stats.flow.queue_drops > 0,
+            result.stats.flow().queue_drops > 0,
             "a 500-packet window must overflow a 20-packet queue"
         );
-        assert!(result.stats.flow.retransmissions > 0);
+        assert!(result.stats.flow().retransmissions > 0);
         // The flow keeps making progress regardless.
-        assert!(result.stats.flow.delivered_packets > 500);
+        assert!(result.stats.flow().delivered_packets > 500);
     }
 
     #[test]
@@ -604,14 +741,14 @@ mod tests {
         let trace = LinkTrace::constant_rate(12_000_000, cfg.mss, SimDuration::from_millis(200));
         let opportunities = trace.len() as u64;
         cfg.link = LinkModel::TraceDriven { trace };
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(50)));
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(50)));
         assert!(
-            result.stats.flow.delivered_packets <= opportunities,
+            result.stats.flow().delivered_packets <= opportunities,
             "cannot deliver more than the trace's {} opportunities, got {}",
             opportunities,
-            result.stats.flow.delivered_packets
+            result.stats.flow().delivered_packets
         );
-        assert!(result.stats.flow.delivered_packets > 0);
+        assert!(result.stats.flow().delivered_packets > 0);
     }
 
     #[test]
@@ -622,9 +759,9 @@ mod tests {
         let injections: Vec<SimTime> = (0..2000).map(|i| SimTime::from_micros(i * 2_500)).collect();
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
         let mss = cfg.mss;
-        let with_cross = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
+        let with_cross = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
 
-        let without_cross = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
+        let without_cross = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
         assert!(
             with_cross.average_goodput_bps(mss) < without_cross.average_goodput_bps(mss),
             "cross traffic must reduce CCA goodput"
@@ -635,11 +772,11 @@ mod tests {
     #[test]
     fn deterministic_repeatability() {
         let run = || {
-            let result = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
+            let result = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
             (
-                result.stats.flow.delivered_packets,
-                result.stats.flow.transmissions,
-                result.stats.flow.retransmissions,
+                result.stats.flow().delivered_packets,
+                result.stats.flow().transmissions,
+                result.stats.flow().retransmissions,
                 result.stats.events_processed,
             )
         };
@@ -654,7 +791,7 @@ mod tests {
     fn queuing_delay_bounded_by_queue_size() {
         let mut cfg = base_cfg();
         cfg.queue_capacity = QueueCapacity::Packets(50);
-        let result = run_simulation(cfg.clone(), Box::new(FixedWindowCc::new(200)));
+        let result = run_simulation(cfg.clone(), boxed(FixedWindowCc::new(200)));
         // Max queuing delay is bounded by 50 packets * ~1ms serialisation.
         let max_delay = result
             .stats
@@ -675,13 +812,13 @@ mod tests {
 
     #[test]
     fn delivery_times_monotone_and_match_summary() {
-        let result = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
-        let times = &result.stats.delivery_times;
+        let result = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        let times = result.stats.delivery_times();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
         // The receiver-side count can exceed the sender's `delivered` by at
         // most the packets whose ACKs were still in flight when the run ended.
         let receiver_side = times.len() as u64;
-        let sender_side = result.stats.flow.delivered_packets;
+        let sender_side = result.stats.flow().delivered_packets;
         assert!(receiver_side >= sender_side);
         assert!(
             receiver_side - sender_side <= 200,
@@ -693,10 +830,10 @@ mod tests {
     fn stats_disabled_still_produces_summary() {
         let mut cfg = base_cfg();
         cfg.record_events = false;
-        let result = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
+        let result = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
         assert!(result.stats.bottleneck.is_empty());
         assert!(result.stats.transport.is_empty());
-        assert!(result.stats.flow.delivered_packets > 0);
+        assert!(result.stats.flow().delivered_packets > 0);
     }
 
     #[test]
@@ -705,10 +842,10 @@ mod tests {
         cfg.link = LinkModel::TraceDriven {
             trace: LinkTrace::new(Vec::new(), cfg.duration),
         };
-        let result = run_simulation(cfg, Box::new(FixedWindowCc::new(10)));
-        assert_eq!(result.stats.flow.delivered_packets, 0);
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(10)));
+        assert_eq!(result.stats.flow().delivered_packets, 0);
         // The sender will RTO repeatedly but must not hang or panic.
-        assert!(result.stats.flow.rto_count > 0);
+        assert!(result.stats.flow().rto_count > 0);
     }
 
     #[test]
@@ -717,7 +854,7 @@ mod tests {
         cfg.queue_capacity = QueueCapacity::Packets(30);
         let injections: Vec<SimTime> = (0..1000).map(|i| SimTime::from_micros(i * 4_000)).collect();
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
-        let result = run_simulation(cfg, Box::new(MiniAimdCc::new(10)));
+        let result = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
         let c = result.stats.queue_counters;
         assert!(
             c.total_enqueued() >= c.total_dequeued(),
@@ -735,42 +872,40 @@ mod tests {
     #[test]
     fn single_flow_and_multi_constructor_agree() {
         // A single-spec `new_multi` must be indistinguishable from `new`.
-        let a = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
-        let b = run_multi_flow_simulation(
-            base_cfg(),
-            vec![FlowSpec::new(Box::new(MiniAimdCc::new(10)))],
-        );
+        let a = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        let b =
+            run_multi_flow_simulation(base_cfg(), vec![FlowSpec::new(boxed(MiniAimdCc::new(10)))]);
         assert_eq!(a.stats.digest(), b.stats.digest());
         assert_eq!(a.stats.events_processed, b.stats.events_processed);
         assert_eq!(a.stats.flows.len(), 1);
     }
 
     #[test]
-    fn legacy_fields_mirror_flow_zero() {
+    fn legacy_accessors_borrow_flow_zero() {
         let result = run_multi_flow_simulation(
             base_cfg(),
             vec![
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
             ],
         );
         assert_eq!(result.stats.flows.len(), 2);
-        assert_eq!(result.stats.flow, result.stats.flows[0].summary);
+        assert_eq!(*result.stats.flow(), result.stats.flows[0].summary);
         assert_eq!(
-            result.stats.delivery_times,
-            result.stats.flows[0].delivery_times
+            result.stats.delivery_times(),
+            &result.stats.flows[0].delivery_times[..]
         );
     }
 
     #[test]
     fn two_flows_share_the_bottleneck() {
         let mss = base_cfg().mss;
-        let solo = run_simulation(base_cfg(), Box::new(MiniAimdCc::new(10)));
+        let solo = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
         let pair = run_multi_flow_simulation(
             base_cfg(),
             vec![
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
             ],
         );
         let goodputs = pair.per_flow_goodput_bps(mss);
@@ -779,7 +914,7 @@ mod tests {
         // they do not exceed it.
         let total: f64 = goodputs.iter().sum();
         assert!(total < 12.5e6, "total {total}");
-        for g in &goodputs {
+        for g in goodputs.iter() {
             assert!(
                 *g < solo.average_goodput_bps(mss),
                 "a competing flow cannot beat the solo flow: {g}"
@@ -796,9 +931,9 @@ mod tests {
         let result = run_multi_flow_simulation(
             cfg,
             vec![
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
                 FlowSpec {
-                    cc: Box::new(MiniAimdCc::new(10)),
+                    cc: boxed(MiniAimdCc::new(10)),
                     start,
                     stop: Some(stop),
                 },
@@ -829,9 +964,9 @@ mod tests {
             let result = run_multi_flow_simulation(
                 base_cfg(),
                 vec![
-                    FlowSpec::new(Box::new(MiniAimdCc::new(10))),
+                    FlowSpec::new(boxed(MiniAimdCc::new(10))),
                     FlowSpec {
-                        cc: Box::new(FixedWindowCc::new(30)),
+                        cc: boxed(FixedWindowCc::new(30)),
                         start: SimTime::from_millis(500),
                         stop: None,
                     },
@@ -853,10 +988,10 @@ mod tests {
         let result = run_multi_flow_simulation(
             cfg,
             vec![
-                FlowSpec::new(Box::new(MiniAimdCc::new(10))),
-                FlowSpec::new(Box::new(FixedWindowCc::new(40))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(FixedWindowCc::new(40))),
                 FlowSpec {
-                    cc: Box::new(MiniAimdCc::new(5)),
+                    cc: boxed(MiniAimdCc::new(5)),
                     start: SimTime::from_secs_f64(1.0),
                     stop: Some(SimTime::from_secs_f64(4.0)),
                 },

@@ -125,9 +125,10 @@ pub struct FlowSummary {
 
 /// Per-flow measurements for one congestion-controlled flow.
 ///
-/// `flows[0]` always mirrors the legacy single-flow fields of [`RunStats`]
-/// (`flow` and `delivery_times`), which scoring and analysis code keeps
-/// using; flows 1.. only exist in multi-flow scenarios.
+/// `flows[0]` is the primary flow; the legacy [`RunStats::flow`] and
+/// [`RunStats::delivery_times`] accessors (which scoring and analysis code
+/// keeps using) borrow from it. Flows 1.. only exist in multi-flow
+/// scenarios.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FlowStats {
     /// Sender-side summary counters.
@@ -166,24 +167,82 @@ impl FlowStats {
     }
 }
 
+/// Inline-array per-flow rate vector.
+///
+/// [`SimResult::per_flow_goodput_bps`](crate::sim::SimResult::per_flow_goodput_bps)
+/// used to allocate a `Vec<f64>` per call even for the dominant single-flow
+/// case; `FlowRates` stores up to four rates inline and only spills to the
+/// heap for larger fairness scenarios. It dereferences to `&[f64]`, so call
+/// sites treat it exactly like a slice.
+#[derive(Clone, Debug, Default)]
+pub struct FlowRates {
+    inline: [f64; 4],
+    len: u32,
+    spill: Vec<f64>,
+}
+
+impl FlowRates {
+    /// An empty rate vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rate.
+    pub fn push(&mut self, rate: f64) {
+        if self.spill.is_empty() && (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = rate;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill
+                    .extend_from_slice(&self.inline[..self.len as usize]);
+            }
+            self.spill.push(rate);
+        }
+    }
+
+    /// The rates as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for FlowRates {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowRates {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Everything measured during one simulation run.
+///
+/// The primary flow's summary and delivery times live in `flows[0]`; the
+/// legacy [`RunStats::flow`] and [`RunStats::delivery_times`] accessors
+/// borrow from it (they were mirror *fields* before, cloned at the end of
+/// every run — a pure waste on the fuzzer's hot path).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Per-packet bottleneck records (enqueue/dequeue/drop), time ordered.
     pub bottleneck: Vec<BottleneckRecord>,
     /// Transport event log for the primary CCA flow, time ordered.
     pub transport: Vec<TransportRecord>,
-    /// Times at which each *new* (not previously delivered) packet of the
-    /// primary CCA flow reached the sink, used for windowed-throughput
-    /// scoring. Mirrors `flows[0].delivery_times`.
-    pub delivery_times: Vec<SimTime>,
     /// Queue occupancy samples `(time, packets, bytes)` taken every
     /// `stats_interval`.
     pub queue_samples: Vec<(SimTime, usize, u64)>,
     /// Final queue counters.
     pub queue_counters: QueueCounters,
-    /// Primary CCA-flow summary. Mirrors `flows[0].summary`.
-    pub flow: FlowSummary,
     /// Per-flow statistics for every congestion-controlled flow, indexed by
     /// [`crate::packet::FlowId::Cca`] index.
     pub flows: Vec<FlowStats>,
@@ -198,7 +257,41 @@ pub struct RunStats {
     pub events_processed: u64,
 }
 
+/// Zero summary returned by [`RunStats::flow`] when no flow was simulated
+/// (e.g. on a default-constructed `RunStats`).
+const EMPTY_FLOW_SUMMARY: FlowSummary = FlowSummary {
+    delivered_packets: 0,
+    delivered_bytes: 0,
+    transmissions: 0,
+    retransmissions: 0,
+    marked_lost: 0,
+    queue_drops: 0,
+    rto_count: 0,
+    recovery_episodes: 0,
+    final_srtt_us: 0,
+    min_rtt_us: 0,
+    highest_sent: 0,
+    final_cum_ack: 0,
+};
+
 impl RunStats {
+    /// Summary counters of the primary CCA flow (borrows `flows[0]`).
+    pub fn flow(&self) -> &FlowSummary {
+        self.flows
+            .first()
+            .map(|f| &f.summary)
+            .unwrap_or(&EMPTY_FLOW_SUMMARY)
+    }
+
+    /// Times at which each *new* (not previously delivered) packet of the
+    /// primary CCA flow reached the sink, used for windowed-throughput
+    /// scoring (borrows `flows[0]`).
+    pub fn delivery_times(&self) -> &[SimTime] {
+        self.flows
+            .first()
+            .map(|f| f.delivery_times.as_slice())
+            .unwrap_or(&[])
+    }
     /// Queuing-delay samples for a flow: `(dequeue time, delay)`.
     pub fn queuing_delays(&self, flow: FlowId) -> Vec<(SimTime, SimDuration)> {
         self.bottleneck
@@ -266,7 +359,7 @@ impl RunStats {
                 h = h.wrapping_mul(PRIME);
             }
         };
-        let f = &self.flow;
+        let f = self.flow();
         for v in [
             f.delivered_packets,
             f.delivered_bytes,
@@ -287,13 +380,13 @@ impl RunStats {
         ] {
             mix(v);
         }
-        for t in &self.delivery_times {
+        for t in self.delivery_times() {
             mix(t.as_nanos());
         }
         // Secondary flows extend the digest; a single-flow run (whose
-        // `flows[0]` duplicates the legacy fields above) digests exactly as
-        // it did before the multi-flow engine existed, which keeps the
-        // committed corpus fixtures byte-identical.
+        // `flows[0]` is exactly what the legacy accessors above expose)
+        // digests exactly as it did before the multi-flow engine existed,
+        // which keeps the committed corpus fixtures byte-identical.
         if self.flows.len() > 1 {
             for fs in &self.flows[1..] {
                 let f = &fs.summary;
@@ -424,39 +517,77 @@ mod tests {
         );
     }
 
+    fn single_flow_stats(delivery_times: Vec<SimTime>, summary: FlowSummary) -> RunStats {
+        RunStats {
+            flows: vec![FlowStats {
+                summary,
+                delivery_times,
+                ..Default::default()
+            }],
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn digest_is_stable_and_sensitive() {
-        let a = RunStats {
-            delivery_times: vec![SimTime::from_millis(10), SimTime::from_millis(20)],
-            flow: FlowSummary {
+        let a = single_flow_stats(
+            vec![SimTime::from_millis(10), SimTime::from_millis(20)],
+            FlowSummary {
                 delivered_packets: 2,
                 ..Default::default()
             },
-            ..Default::default()
-        };
+        );
         let b = a.clone();
         assert_eq!(a.digest(), b.digest(), "identical runs share a digest");
         let mut c = a.clone();
-        c.flow.retransmissions = 1;
+        c.flows[0].summary.retransmissions = 1;
         assert_ne!(a.digest(), c.digest(), "counter changes alter the digest");
         let mut d = a.clone();
-        d.delivery_times[1] = SimTime::from_millis(21);
+        d.flows[0].delivery_times[1] = SimTime::from_millis(21);
         assert_ne!(a.digest(), d.digest(), "timing changes alter the digest");
     }
 
     #[test]
+    fn legacy_accessors_default_to_empty() {
+        let empty = RunStats::default();
+        assert_eq!(empty.flow().delivered_packets, 0);
+        assert!(empty.delivery_times().is_empty());
+        // Golden constant: FNV-1a over sixteen zero u64s (the zeroed
+        // summary + counters the accessors fall back to). Pinning the value
+        // catches any drift in the EMPTY_FLOW_SUMMARY fallback path.
+        assert_eq!(empty.digest(), 0x8421_ae12_6c7c_ed25);
+    }
+
+    #[test]
+    fn flow_rates_inline_and_spill() {
+        let mut rates = FlowRates::new();
+        assert!(rates.is_empty());
+        for i in 0..4 {
+            rates.push(i as f64);
+        }
+        assert_eq!(rates.len(), 4);
+        assert_eq!(rates.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        // Fifth element spills to the heap without losing the first four.
+        rates.push(4.0);
+        assert_eq!(rates.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        rates.push(5.0);
+        assert_eq!(rates.len(), 6);
+        let total: f64 = rates.iter().sum();
+        assert_eq!(total, 15.0);
+    }
+
+    #[test]
     fn serde_roundtrip() {
-        let stats = RunStats {
-            delivery_times: vec![SimTime::from_millis(10)],
-            flow: FlowSummary {
+        let stats = single_flow_stats(
+            vec![SimTime::from_millis(10)],
+            FlowSummary {
                 delivered_packets: 1,
                 ..Default::default()
             },
-            ..Default::default()
-        };
+        );
         let json = serde_json::to_string(&stats).unwrap();
         let back: RunStats = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.flow.delivered_packets, 1);
-        assert_eq!(back.delivery_times.len(), 1);
+        assert_eq!(back.flow().delivered_packets, 1);
+        assert_eq!(back.delivery_times().len(), 1);
     }
 }

@@ -5,7 +5,7 @@
 //! or when the delayed-ACK timer fires; out-of-order arrivals and duplicates
 //! are acknowledged immediately, as in Linux/NS3).
 
-use crate::packet::{AckPacket, DataPacket, SackBlock};
+use crate::packet::{AckPacket, DataPacket, SackBlock, SackList, MAX_SACK_BLOCKS};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -39,11 +39,13 @@ impl ReceiverConfig {
 }
 
 /// What the receiver wants the network to do after processing a packet or a
-/// timer: send these ACKs now, and (re)arm or disarm the delayed-ACK timer.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// timer: send this ACK now (at most one per data packet), and (re)arm or
+/// disarm the delayed-ACK timer. The output is `Copy`, so the per-packet
+/// receive path is allocation-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ReceiverOutput {
-    /// ACKs to send immediately.
-    pub acks: Vec<AckPacket>,
+    /// ACK to send immediately, if any.
+    pub ack: Option<AckPacket>,
     /// If set, the delayed-ACK timer should fire at this time with the given
     /// generation. A `None` leaves any previously armed timer in place.
     pub arm_delack: Option<(SimTime, u64)>,
@@ -77,7 +79,16 @@ pub struct TcpReceiver {
 
 impl TcpReceiver {
     /// Creates a receiver.
+    ///
+    /// Panics if `cfg.max_sack_blocks` exceeds [`MAX_SACK_BLOCKS`]: the
+    /// inline [`SackList`] cannot carry more, and silently truncating would
+    /// change ACK content (and run digests) behind the caller's back.
     pub fn new(cfg: ReceiverConfig) -> Self {
+        assert!(
+            cfg.max_sack_blocks <= MAX_SACK_BLOCKS,
+            "max_sack_blocks {} exceeds the wire-format cap {MAX_SACK_BLOCKS}",
+            cfg.max_sack_blocks
+        );
         TcpReceiver {
             cfg,
             cum_ack: 0,
@@ -181,18 +192,19 @@ impl TcpReceiver {
         }
     }
 
-    fn sack_blocks(&self) -> Vec<SackBlock> {
+    fn sack_blocks(&self) -> SackList {
+        let mut blocks = SackList::new();
         if !self.cfg.sack_enabled || self.ooo_ranges.is_empty() {
-            return Vec::new();
+            return blocks;
         }
-        let mut blocks = Vec::with_capacity(self.cfg.max_sack_blocks);
+        let cap = self.cfg.max_sack_blocks;
         if let Some(idx) = self.last_updated_range {
             if let Some(b) = self.ooo_ranges.get(idx) {
                 blocks.push(*b);
             }
         }
         for (i, b) in self.ooo_ranges.iter().enumerate() {
-            if blocks.len() >= self.cfg.max_sack_blocks {
+            if blocks.len() >= cap {
                 break;
             }
             if Some(i) != self.last_updated_range {
@@ -235,7 +247,7 @@ impl TcpReceiver {
             self.duplicates += 1;
             // Duplicate data: acknowledge immediately (flushes anything pending).
             self.disarm_delack();
-            out.acks.push(self.make_ack(now, 0));
+            out.ack = Some(self.make_ack(now, 0));
             return out;
         }
 
@@ -253,7 +265,7 @@ impl TcpReceiver {
             {
                 let acked = self.unacked_count as u64;
                 self.disarm_delack();
-                out.acks.push(self.make_ack(now, acked));
+                out.ack = Some(self.make_ack(now, acked));
             } else {
                 // Arm (or re-arm) the delayed-ACK timer.
                 self.delack_armed = true;
@@ -266,7 +278,7 @@ impl TcpReceiver {
             self.insert_ooo(pkt.seq);
             let pending = self.unacked_count as u64;
             self.disarm_delack();
-            out.acks.push(self.make_ack(now, pending));
+            out.ack = Some(self.make_ack(now, pending));
         }
         out
     }
@@ -311,9 +323,9 @@ mod tests {
         let mut r = recv(no_delack());
         for i in 0..5 {
             let out = r.on_data(&pkt(i), SimTime::from_millis(i));
-            assert_eq!(out.acks.len(), 1);
-            assert_eq!(out.acks[0].cum_ack, i + 1);
-            assert!(out.acks[0].sack_blocks.is_empty());
+            let ack = out.ack.expect("immediate ack");
+            assert_eq!(ack.cum_ack, i + 1);
+            assert!(ack.sack_blocks.is_empty());
         }
         assert_eq!(r.cum_ack(), 5);
     }
@@ -322,12 +334,12 @@ mod tests {
     fn delayed_ack_coalesces_two_packets() {
         let mut r = recv(ReceiverConfig::paper_default());
         let out0 = r.on_data(&pkt(0), SimTime::from_millis(0));
-        assert!(out0.acks.is_empty(), "first in-order packet is delayed");
+        assert!(out0.ack.is_none(), "first in-order packet is delayed");
         assert!(out0.arm_delack.is_some());
         let out1 = r.on_data(&pkt(1), SimTime::from_millis(1));
-        assert_eq!(out1.acks.len(), 1);
-        assert_eq!(out1.acks[0].cum_ack, 2);
-        assert_eq!(out1.acks[0].acked_now, 2);
+        let ack1 = out1.ack.expect("coalesced ack");
+        assert_eq!(ack1.cum_ack, 2);
+        assert_eq!(ack1.acked_now, 2);
     }
 
     #[test]
@@ -352,23 +364,23 @@ mod tests {
         r.on_data(&pkt(1), SimTime::ZERO);
         // Packet 2 is missing; 3 and 4 arrive.
         let out3 = r.on_data(&pkt(3), SimTime::from_millis(3));
-        assert_eq!(out3.acks.len(), 1, "out-of-order data is ACKed immediately");
-        assert_eq!(out3.acks[0].cum_ack, 2);
+        let ack3 = out3.ack.expect("out-of-order data is ACKed immediately");
+        assert_eq!(ack3.cum_ack, 2);
         assert_eq!(
-            out3.acks[0].sack_blocks,
-            vec![SackBlock { start: 3, end: 4 }]
+            ack3.sack_blocks.as_slice(),
+            [SackBlock { start: 3, end: 4 }]
         );
         let out4 = r.on_data(&pkt(4), SimTime::from_millis(4));
         assert_eq!(
-            out4.acks[0].sack_blocks,
-            vec![SackBlock { start: 3, end: 5 }]
+            out4.ack.unwrap().sack_blocks.as_slice(),
+            [SackBlock { start: 3, end: 5 }]
         );
         assert_eq!(r.ooo_packets(), 2);
         // The retransmitted packet 2 fills the gap; cum ack jumps to 5.
         let out2 = r.on_data(&pkt(2), SimTime::from_millis(10));
-        assert_eq!(out2.acks.len(), 1);
-        assert_eq!(out2.acks[0].cum_ack, 5);
-        assert!(out2.acks[0].sack_blocks.is_empty());
+        let ack2 = out2.ack.expect("gap fill is ACKed immediately");
+        assert_eq!(ack2.cum_ack, 5);
+        assert!(ack2.sack_blocks.is_empty());
         assert_eq!(r.ooo_packets(), 0);
     }
 
@@ -380,7 +392,8 @@ mod tests {
         r.on_data(&pkt(2), SimTime::ZERO);
         r.on_data(&pkt(4), SimTime::ZERO);
         let out = r.on_data(&pkt(6), SimTime::ZERO);
-        let blocks = &out.acks[0].sack_blocks;
+        let ack = out.ack.unwrap();
+        let blocks = &ack.sack_blocks;
         assert_eq!(blocks.len(), 3);
         assert_eq!(
             blocks[0],
@@ -401,7 +414,7 @@ mod tests {
             r.on_data(&pkt(seq), SimTime::ZERO);
         }
         let out = r.on_data(&pkt(9), SimTime::ZERO);
-        assert_eq!(out.acks[0].sack_blocks.len(), 2);
+        assert_eq!(out.ack.unwrap().sack_blocks.len(), 2);
     }
 
     #[test]
@@ -410,13 +423,12 @@ mod tests {
         r.on_data(&pkt(0), SimTime::ZERO);
         r.on_data(&pkt(1), SimTime::ZERO);
         let out = r.on_data(&pkt(0), SimTime::from_millis(5));
-        assert_eq!(out.acks.len(), 1);
-        assert_eq!(out.acks[0].cum_ack, 2);
+        assert_eq!(out.ack.unwrap().cum_ack, 2);
         assert_eq!(r.duplicates(), 1);
         // Duplicate of an out-of-order packet.
         r.on_data(&pkt(5), SimTime::from_millis(6));
         let out = r.on_data(&pkt(5), SimTime::from_millis(7));
-        assert_eq!(out.acks.len(), 1);
+        assert!(out.ack.is_some());
         assert_eq!(r.duplicates(), 2);
     }
 
@@ -427,8 +439,9 @@ mod tests {
         let mut r = recv(cfg);
         r.on_data(&pkt(0), SimTime::ZERO);
         let out = r.on_data(&pkt(2), SimTime::ZERO);
-        assert_eq!(out.acks[0].cum_ack, 1);
-        assert!(out.acks[0].sack_blocks.is_empty());
+        let ack = out.ack.unwrap();
+        assert_eq!(ack.cum_ack, 1);
+        assert!(ack.sack_blocks.is_empty());
     }
 
     #[test]
@@ -438,10 +451,11 @@ mod tests {
         p.sent_at = SimTime::from_millis(123);
         p.is_retransmission = true;
         let out = r.on_data(&p, SimTime::from_millis(150));
-        assert_eq!(out.acks[0].echo_sent_at, SimTime::from_millis(123));
-        assert_eq!(out.acks[0].for_seq, 0);
-        assert!(out.acks[0].for_retransmission);
-        assert_eq!(out.acks[0].generated_at, SimTime::from_millis(150));
+        let ack = out.ack.unwrap();
+        assert_eq!(ack.echo_sent_at, SimTime::from_millis(123));
+        assert_eq!(ack.for_seq, 0);
+        assert!(ack.for_retransmission);
+        assert_eq!(ack.generated_at, SimTime::from_millis(150));
     }
 
     #[test]
@@ -452,7 +466,8 @@ mod tests {
         r.on_data(&pkt(4), SimTime::ZERO);
         // 3 arrives: ranges [2,3) and [4,5) must merge into [2,5).
         let out = r.on_data(&pkt(3), SimTime::ZERO);
-        let blocks = &out.acks[0].sack_blocks;
+        let ack = out.ack.unwrap();
+        let blocks = &ack.sack_blocks;
         assert!(blocks.contains(&SackBlock { start: 2, end: 5 }));
         assert_eq!(r.ooo_packets(), 3);
     }

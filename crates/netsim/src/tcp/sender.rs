@@ -9,6 +9,25 @@
 //! simulator polls it for transmissions ([`TcpSender::poll_send`]) and feeds
 //! it ACKs and timer expirations. This keeps it trivially testable without a
 //! network.
+//!
+//! ## Hot-path design
+//!
+//! The sender sits on the per-ACK critical path of every fuzzer evaluation,
+//! so its data structures are chosen for that loop:
+//!
+//! * The retransmission queue is a dense `VecDeque<Skb>` indexed by
+//!   `seq - cum_ack` — sequences are contiguous in `[cum_ack, next_seq)`
+//!   because packets are sent in order and only removed from the front when
+//!   cumulatively acknowledged. This replaces a `BTreeMap` (pointer-chasing,
+//!   per-node allocation) with O(1) indexed access and cache-linear scans.
+//! * `in_flight`, SACKed and retransmit-pending counts are maintained
+//!   incrementally instead of recomputed by scanning the queue.
+//! * SACK-based loss detection is a single reverse pass with a running
+//!   "SACKed above" count instead of the former O(window²) per-ACK scan.
+//! * The congestion controller is a generic parameter, so enum-dispatched
+//!   controllers ([`ccfuzz-cca`]'s `CcaDispatch`) avoid virtual calls on
+//!   every ACK; `Box<dyn CongestionControl>` remains the default for
+//!   API compatibility.
 
 use crate::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
 use crate::packet::{AckPacket, DataPacket};
@@ -17,7 +36,7 @@ use crate::tcp::rtt::RttEstimator;
 use crate::tcp::skb::Skb;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Number of SACKed packets above an un-SACKed packet that marks it lost
 /// (the classic dupthresh of 3).
@@ -42,6 +61,11 @@ pub struct SenderConfig {
     /// Maximum packets the application will ever provide (bulk transfer:
     /// effectively unlimited).
     pub buffer_packets: u64,
+    /// Record the transport event log. The fuzzer's inner loop turns this
+    /// off: the log is only consumed by figure/timeline tooling, and
+    /// appending per-ACK records would be the last remaining per-packet
+    /// allocation on the hot path.
+    pub record_log: bool,
 }
 
 impl SenderConfig {
@@ -55,12 +79,13 @@ impl SenderConfig {
             initial_rto: SimDuration::from_secs(1),
             initial_cwnd: 10,
             buffer_packets: u64::MAX / 4,
+            record_log: true,
         }
     }
 }
 
 /// Result of polling the sender for a transmission.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SendPoll {
     /// Transmit this packet now.
     Packet(DataPacket),
@@ -71,17 +96,31 @@ pub enum SendPoll {
     Blocked,
 }
 
-/// The sender state machine.
-pub struct TcpSender {
+/// The sender state machine, generic over its congestion controller.
+///
+/// `C` defaults to `Box<dyn CongestionControl>` so existing trait-object
+/// call sites work unchanged; the fuzzer instantiates it with the
+/// enum-dispatched controller from `ccfuzz-cca` for static dispatch.
+pub struct TcpSender<C: CongestionControl = Box<dyn CongestionControl>> {
     cfg: SenderConfig,
-    cc: Box<dyn CongestionControl>,
+    cc: C,
 
     /// Next never-sent sequence number.
     next_seq: u64,
     /// First unacknowledged sequence (snd_una).
     cum_ack: u64,
-    /// Retransmission queue: every sent-but-not-cumulatively-acked packet.
-    skbs: BTreeMap<u64, Skb>,
+    /// Retransmission queue: every sent-but-not-cumulatively-acked packet,
+    /// dense by sequence — `skbs[i]` is the SKB for `cum_ack + i`.
+    skbs: VecDeque<Skb>,
+    /// Packets currently outstanding (`outstanding == true`), maintained
+    /// incrementally.
+    outstanding_count: u64,
+    /// SKBs currently SACKed, maintained incrementally (lets the loss
+    /// detector skip its scan entirely on SACK-free ACKs).
+    sacked_count: u64,
+    /// Lost packets awaiting retransmission (`lost && !outstanding`),
+    /// maintained incrementally (lets `poll_send` skip the retransmit scan).
+    rtx_pending: u64,
 
     // --- Delivery accounting (Linux tcp_rate.c style) ---
     /// Total packets delivered (cumulatively or selectively acknowledged).
@@ -114,13 +153,15 @@ pub struct TcpSender {
 
     // --- Logging / counters ---
     log: Vec<TransportRecord>,
+    /// Reusable scratch for ascending-order loss logging.
+    mark_log_buf: Vec<u64>,
     transmissions: u64,
     retransmissions: u64,
     rto_count: u64,
     recovery_episodes: u64,
 }
 
-impl std::fmt::Debug for TcpSender {
+impl<C: CongestionControl> std::fmt::Debug for TcpSender<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpSender")
             .field("cc", &self.cc.name())
@@ -133,16 +174,20 @@ impl std::fmt::Debug for TcpSender {
     }
 }
 
-impl TcpSender {
+impl<C: CongestionControl> TcpSender<C> {
     /// Creates a sender with the given configuration and congestion control.
-    pub fn new(cfg: SenderConfig, cc: Box<dyn CongestionControl>) -> Self {
+    pub fn new(cfg: SenderConfig, mut cc: C) -> Self {
+        cc.set_event_recording(cfg.record_log);
         TcpSender {
             rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.initial_rto),
             cfg,
             cc,
             next_seq: 0,
             cum_ack: 0,
-            skbs: BTreeMap::new(),
+            skbs: VecDeque::new(),
+            outstanding_count: 0,
+            sacked_count: 0,
+            rtx_pending: 0,
             delivered: 0,
             delivered_time: SimTime::ZERO,
             first_sent_time: SimTime::ZERO,
@@ -156,6 +201,7 @@ impl TcpSender {
             earliest_next_send: SimTime::ZERO,
             started: false,
             log: Vec::new(),
+            mark_log_buf: Vec::new(),
             transmissions: 0,
             retransmissions: 0,
             rto_count: 0,
@@ -169,7 +215,7 @@ impl TcpSender {
 
     /// Packets currently outstanding in the network.
     pub fn in_flight(&self) -> u64 {
-        self.skbs.values().filter(|s| s.outstanding).count() as u64
+        self.outstanding_count
     }
 
     /// Total packets delivered (`tp->delivered`).
@@ -193,8 +239,8 @@ impl TcpSender {
     }
 
     /// The congestion control algorithm (for state inspection).
-    pub fn cc(&self) -> &dyn CongestionControl {
-        self.cc.as_ref()
+    pub fn cc(&self) -> &C {
+        &self.cc
     }
 
     /// Current congestion window in packets (never below 1).
@@ -242,15 +288,25 @@ impl TcpSender {
         std::mem::take(&mut self.log)
     }
 
+    #[inline]
     fn log_event(&mut self, at: SimTime, event: TransportEvent) {
-        self.log.push(TransportRecord { at, event });
+        if self.cfg.record_log {
+            self.log.push(TransportRecord { at, event });
+        }
+    }
+
+    /// SKB for `seq`, which must lie in `[cum_ack, next_seq)`.
+    #[inline]
+    fn skb_mut(&mut self, seq: u64) -> &mut Skb {
+        let idx = (seq - self.cum_ack) as usize;
+        &mut self.skbs[idx]
     }
 
     fn ctx(&self, now: SimTime) -> CcContext {
         CcContext {
             now,
             mss: self.cfg.mss,
-            in_flight: self.in_flight(),
+            in_flight: self.outstanding_count,
             delivered: self.delivered,
             lost: self.lost_total,
             srtt: self.rtt.srtt(),
@@ -261,6 +317,12 @@ impl TcpSender {
     }
 
     fn drain_cc_events(&mut self, now: SimTime) {
+        if !self.cfg.record_log {
+            // Still drain (and discard) so an algorithm that ignores the
+            // recording hint cannot accumulate events unread all run long.
+            self.cc.take_events();
+            return;
+        }
         for detail in self.cc.take_events() {
             self.log.push(TransportRecord {
                 at: now,
@@ -293,13 +355,16 @@ impl TcpSender {
     /// Sequence number of the next packet that would be (re)transmitted, or
     /// `None` if there is nothing to send.
     fn next_to_send(&self) -> Option<(u64, bool)> {
-        // Retransmissions of lost packets take priority (lowest sequence first).
-        if let Some((&seq, _)) = self
-            .skbs
-            .iter()
-            .find(|(_, skb)| skb.lost && !skb.sacked && !skb.outstanding)
-        {
-            return Some((seq, true));
+        // Retransmissions of lost packets take priority (lowest sequence
+        // first); the scan is skipped entirely unless something is pending.
+        if self.rtx_pending > 0 {
+            if let Some(idx) = self
+                .skbs
+                .iter()
+                .position(|skb| skb.lost && !skb.sacked && !skb.outstanding)
+            {
+                return Some((self.cum_ack + idx as u64, true));
+            }
         }
         if self.next_seq < self.cfg.buffer_packets {
             return Some((self.next_seq, false));
@@ -317,7 +382,7 @@ impl TcpSender {
             return SendPoll::Wait(self.earliest_next_send);
         }
         // Window gate.
-        if self.in_flight() >= self.cwnd() {
+        if self.outstanding_count >= self.cwnd() {
             return SendPoll::Blocked;
         }
         let Some((seq, is_retransmission)) = self.next_to_send() else {
@@ -327,19 +392,24 @@ impl TcpSender {
         // Stamp connection-level rate-sampling state into the packet's SKB
         // (tcp_rate_skb_sent). When nothing is in flight, restart the send
         // window so send_elapsed doesn't span idle periods.
-        if self.in_flight() == 0 {
+        if self.outstanding_count == 0 {
             self.first_sent_time = now;
             self.delivered_time = now;
         }
         let (delivered, delivered_time, first_sent_time) =
             (self.delivered, self.delivered_time, self.first_sent_time);
 
-        let skb = self
-            .skbs
-            .entry(seq)
-            .or_insert_with(|| Skb::new(seq, self.cfg.mss));
+        if !is_retransmission && seq == self.cum_ack + self.skbs.len() as u64 {
+            self.skbs.push_back(Skb::new(seq, self.cfg.mss));
+        }
+        let skb = self.skb_mut(seq);
+        let was_rtx_pending = skb.lost && !skb.sacked && !skb.outstanding;
         skb.stamp_transmission(now, delivered, delivered_time, first_sent_time, false);
         let delivered_stamp = skb.tx_delivered;
+        self.outstanding_count += 1;
+        if was_rtx_pending {
+            self.rtx_pending -= 1;
+        }
 
         self.transmissions += 1;
         if is_retransmission {
@@ -420,7 +490,7 @@ impl TcpSender {
         // still in flight become *spurious* retransmissions — the trigger for
         // the paper's BBR finding.
         let mut newly_lost = 0u64;
-        for skb in self.skbs.values_mut() {
+        for skb in self.skbs.iter_mut() {
             if !skb.sacked && !skb.lost {
                 skb.lost = true;
                 skb.outstanding = false;
@@ -429,15 +499,16 @@ impl TcpSender {
                 skb.outstanding = false;
             }
         }
+        // Every un-SACKed packet is now lost-and-pending; SACKed packets are
+        // never outstanding.
         self.lost_total += newly_lost;
-        let lost_seqs: Vec<u64> = self
-            .skbs
-            .values()
-            .filter(|s| s.lost)
-            .map(|s| s.seq)
-            .collect();
-        for seq in lost_seqs {
-            self.log_event(now, TransportEvent::MarkedLost { seq });
+        self.rtx_pending += newly_lost;
+        self.outstanding_count = 0;
+        if self.cfg.record_log {
+            let lost_seqs: Vec<u64> = self.skbs.iter().filter(|s| s.lost).map(|s| s.seq).collect();
+            for seq in lost_seqs {
+                self.log_event(now, TransportEvent::MarkedLost { seq });
+            }
         }
 
         // Leave fast recovery (RTO recovery supersedes it) and reset pacing
@@ -461,12 +532,13 @@ impl TcpSender {
 
     /// Processes an arriving ACK at `now`.
     pub fn on_ack(&mut self, ack: &AckPacket, now: SimTime) {
-        let in_flight_before = self.in_flight();
+        let in_flight_before = self.outstanding_count;
         let prior_cum_ack = self.cum_ack;
         let mut newly_acked = 0u64;
         // The rate sample is taken from the newly acknowledged packet that
         // was transmitted most recently (largest tx_delivered), mirroring
-        // tcp_rate_skb_delivered.
+        // tcp_rate_skb_delivered. `Skb` is `Copy`, so snapshotting the
+        // candidate is a register move, not an allocation.
         let mut sample_skb: Option<Skb> = None;
         let mut rtt_candidate: Option<(SimTime, bool)> = None; // (last_tx, retransmitted)
 
@@ -479,20 +551,30 @@ impl TcpSender {
                 }
             };
             if better {
-                *sample_skb = Some(skb.clone());
+                *sample_skb = Some(*skb);
             }
         };
 
         // --- Cumulative ACK ---
         if ack.cum_ack > self.cum_ack {
-            let acked_seqs: Vec<u64> = self
-                .skbs
-                .range(..ack.cum_ack)
-                .map(|(&seq, _)| seq)
-                .collect();
-            for seq in acked_seqs {
-                let skb = self.skbs.remove(&seq).expect("skb present");
-                if !skb.sacked {
+            // Clamp a (protocol-violating) ACK beyond the highest sent
+            // sequence: the paired simulator receiver never produces one,
+            // but the sender is public API and the dense `seq - cum_ack`
+            // indexing must not be poisoned by an out-of-range cum_ack.
+            let cum_ack = ack.cum_ack.min(self.next_seq);
+            while self.cum_ack < cum_ack {
+                let Some(skb) = self.skbs.pop_front() else {
+                    break;
+                };
+                if skb.outstanding {
+                    self.outstanding_count -= 1;
+                }
+                if skb.sacked {
+                    self.sacked_count -= 1;
+                } else {
+                    if skb.lost {
+                        self.rtx_pending -= 1;
+                    }
                     // Newly delivered by this cumulative ACK.
                     self.delivered += 1;
                     self.delivered_time = now;
@@ -507,8 +589,9 @@ impl TcpSender {
                         }
                     }
                 }
+                self.cum_ack += 1;
             }
-            self.cum_ack = ack.cum_ack;
+            self.cum_ack = cum_ack;
             self.dup_acks = 0;
             self.log_event(
                 now,
@@ -520,23 +603,28 @@ impl TcpSender {
 
         // --- SACK blocks ---
         if self.cfg.sack_enabled {
-            for block in &ack.sack_blocks {
-                let seqs: Vec<u64> = self
-                    .skbs
-                    .range(block.start..block.end)
-                    .filter(|(_, skb)| !skb.sacked)
-                    .map(|(&seq, _)| seq)
-                    .collect();
-                for seq in seqs {
-                    let skb = self.skbs.get_mut(&seq).expect("skb present");
+            let queue_end = self.cum_ack + self.skbs.len() as u64;
+            for block in ack.sack_blocks.iter() {
+                let start = block.start.max(self.cum_ack);
+                let end = block.end.min(queue_end);
+                for seq in start..end {
+                    let idx = (seq - self.cum_ack) as usize;
+                    let skb = &mut self.skbs[idx];
+                    if skb.sacked {
+                        continue;
+                    }
                     skb.sacked = true;
+                    if skb.outstanding {
+                        self.outstanding_count -= 1;
+                    }
                     skb.outstanding = false;
                     let was_lost = skb.lost;
                     skb.lost = false;
+                    self.sacked_count += 1;
                     self.delivered += 1;
                     self.delivered_time = now;
                     newly_acked += 1;
-                    let skb_snapshot = skb.clone();
+                    let skb_snapshot = *skb;
                     consider_sample(&skb_snapshot, &mut sample_skb);
                     if !skb_snapshot.retransmitted() {
                         match rtt_candidate {
@@ -548,6 +636,7 @@ impl TcpSender {
                         // The packet had been marked lost but the original
                         // copy arrived after all; undo the loss accounting.
                         self.lost_total = self.lost_total.saturating_sub(1);
+                        self.rtx_pending -= 1;
                     }
                     self.log_event(now, TransportEvent::Sacked { seq });
                 }
@@ -673,40 +762,59 @@ impl TcpSender {
             // outstanding: a lost retransmission is recovered by the RTO, not
             // by dupthresh (otherwise every ACK would re-mark and re-send the
             // same holes, a retransmission storm real stacks avoid).
-            let sacked_seqs: Vec<u64> = self
-                .skbs
-                .values()
-                .filter(|s| s.sacked)
-                .map(|s| s.seq)
-                .collect();
-            if !sacked_seqs.is_empty() {
-                let to_mark: Vec<u64> = self
-                    .skbs
-                    .values()
-                    .filter(|s| !s.sacked && !s.lost && s.transmissions == 1)
-                    .filter(|s| {
-                        let higher_sacked =
-                            sacked_seqs.iter().filter(|&&q| q > s.seq).count() as u64;
-                        higher_sacked >= LOSS_REORDER_THRESHOLD
-                    })
-                    .map(|s| s.seq)
-                    .collect();
-                for seq in to_mark {
-                    let skb = self.skbs.get_mut(&seq).expect("skb present");
+            //
+            // One reverse pass with a running "SACKed above" count replaces
+            // the former quadratic rescan; marking a packet lost never
+            // changes the SACKed count, so in-place marking is exact.
+            if self.sacked_count == 0 {
+                return 0;
+            }
+            let record_log = self.cfg.record_log;
+            self.mark_log_buf.clear();
+            let mut higher_sacked = 0u64;
+            let mut marked = 0u64;
+            let mut marked_outstanding = 0u64;
+            for skb in self.skbs.iter_mut().rev() {
+                if skb.sacked {
+                    higher_sacked += 1;
+                    continue;
+                }
+                if !skb.lost && skb.transmissions == 1 && higher_sacked >= LOSS_REORDER_THRESHOLD {
                     skb.lost = true;
+                    if skb.outstanding {
+                        marked_outstanding += 1;
+                    }
                     skb.outstanding = false;
-                    self.lost_total += 1;
-                    newly_lost += 1;
+                    marked += 1;
+                    if record_log {
+                        self.mark_log_buf.push(skb.seq);
+                    }
+                }
+            }
+            self.lost_total += marked;
+            self.rtx_pending += marked;
+            self.outstanding_count -= marked_outstanding;
+            newly_lost += marked;
+            if record_log && !self.mark_log_buf.is_empty() {
+                // The reverse pass collected marks highest-sequence first;
+                // the log reports them in ascending order as before.
+                let seqs = std::mem::take(&mut self.mark_log_buf);
+                for &seq in seqs.iter().rev() {
                     self.log_event(now, TransportEvent::MarkedLost { seq });
                 }
+                self.mark_log_buf = seqs;
             }
         } else if self.dup_acks >= LOSS_REORDER_THRESHOLD {
             // Classic fast retransmit: mark the head lost once per dup-ACK burst.
-            if let Some(skb) = self.skbs.get_mut(&self.cum_ack) {
+            if let Some(skb) = self.skbs.front_mut() {
                 if !skb.lost && !skb.sacked && skb.transmissions > 0 {
                     skb.lost = true;
+                    if skb.outstanding {
+                        self.outstanding_count -= 1;
+                    }
                     skb.outstanding = false;
                     self.lost_total += 1;
+                    self.rtx_pending += 1;
                     newly_lost += 1;
                     self.log_event(now, TransportEvent::MarkedLost { seq: self.cum_ack });
                 }
@@ -739,12 +847,12 @@ impl TcpSender {
 mod tests {
     use super::*;
     use crate::cc::reference_cc::{FixedWindowCc, MiniAimdCc};
-    use crate::packet::SackBlock;
+    use crate::packet::{SackBlock, SackList};
 
     fn sender_with_window(window: u64) -> TcpSender {
         let mut s = TcpSender::new(
             SenderConfig::paper_default(),
-            Box::new(FixedWindowCc::new(window)),
+            Box::new(FixedWindowCc::new(window)) as Box<dyn CongestionControl>,
         );
         s.on_flow_start(SimTime::ZERO);
         s
@@ -753,7 +861,7 @@ mod tests {
     fn ack(cum: u64, blocks: Vec<SackBlock>, now: SimTime) -> AckPacket {
         AckPacket {
             cum_ack: cum,
-            sack_blocks: blocks,
+            sack_blocks: blocks.into_iter().collect::<SackList>(),
             acked_now: 1,
             generated_at: now,
             echo_sent_at: now,
@@ -762,7 +870,7 @@ mod tests {
         }
     }
 
-    fn drain_packets(s: &mut TcpSender, now: SimTime) -> Vec<DataPacket> {
+    fn drain_packets<C: CongestionControl>(s: &mut TcpSender<C>, now: SimTime) -> Vec<DataPacket> {
         let mut out = Vec::new();
         while let SendPoll::Packet(p) = s.poll_send(now) {
             out.push(p);
@@ -791,7 +899,7 @@ mod tests {
     fn does_not_send_before_flow_start() {
         let mut s = TcpSender::new(
             SenderConfig::paper_default(),
-            Box::new(FixedWindowCc::new(4)),
+            Box::new(FixedWindowCc::new(4)) as Box<dyn CongestionControl>,
         );
         assert_eq!(s.poll_send(SimTime::ZERO), SendPoll::Blocked);
     }
@@ -849,7 +957,10 @@ mod tests {
 
     #[test]
     fn recovery_exits_when_cum_ack_passes_recovery_high() {
-        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(MiniAimdCc::new(10)));
+        let mut s = TcpSender::new(
+            SenderConfig::paper_default(),
+            Box::new(MiniAimdCc::new(10)) as Box<dyn CongestionControl>,
+        );
         s.on_flow_start(SimTime::ZERO);
         drain_packets(&mut s, SimTime::ZERO);
         let now = SimTime::from_millis(40);
@@ -870,7 +981,10 @@ mod tests {
     fn dup_ack_fast_retransmit_without_sack() {
         let mut cfg = SenderConfig::paper_default();
         cfg.sack_enabled = false;
-        let mut s = TcpSender::new(cfg, Box::new(FixedWindowCc::new(10)));
+        let mut s = TcpSender::new(
+            cfg,
+            Box::new(FixedWindowCc::new(10)) as Box<dyn CongestionControl>,
+        );
         s.on_flow_start(SimTime::ZERO);
         drain_packets(&mut s, SimTime::ZERO);
         let now = SimTime::from_millis(40);
@@ -1012,7 +1126,7 @@ mod tests {
                 Some(1_448.0 * 8.0 * 100.0) // 100 packets per second
             }
         }
-        let mut s = TcpSender::new(SenderConfig::paper_default(), Box::new(PacedCc));
+        let mut s = TcpSender::new(SenderConfig::paper_default(), PacedCc);
         s.on_flow_start(SimTime::ZERO);
         // First packet goes out immediately; second must wait ~10ms.
         assert!(matches!(s.poll_send(SimTime::ZERO), SendPoll::Packet(_)));
@@ -1040,5 +1154,77 @@ mod tests {
         assert_eq!(summary.highest_sent, 3);
         assert_eq!(summary.final_cum_ack, 3);
         assert_eq!(summary.min_rtt_us, 40_000);
+    }
+
+    #[test]
+    fn log_recording_can_be_disabled() {
+        let mut cfg = SenderConfig::paper_default();
+        cfg.record_log = false;
+        let mut s = TcpSender::new(
+            cfg,
+            Box::new(FixedWindowCc::new(4)) as Box<dyn CongestionControl>,
+        );
+        s.on_flow_start(SimTime::ZERO);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(2, vec![], now), now);
+        assert!(s.drain_log().is_empty(), "no log entries when disabled");
+        // Counters are unaffected by the logging switch.
+        assert_eq!(s.delivered(), 2);
+        assert_eq!(s.transmissions(), 4);
+    }
+
+    #[test]
+    fn ack_beyond_highest_sent_is_clamped() {
+        // A protocol-violating cumulative ACK above next_seq must not
+        // poison the dense retransmission-queue indexing (the old BTreeMap
+        // implementation tolerated it; the dense queue must too).
+        let mut s = sender_with_window(4);
+        drain_packets(&mut s, SimTime::ZERO);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(100, vec![], now), now);
+        assert_eq!(s.cum_ack(), 4, "clamped to highest sent");
+        assert_eq!(s.delivered(), 4);
+        assert_eq!(s.in_flight(), 0);
+        // The sender keeps working: new packets pick up from next_seq.
+        let pkts = drain_packets(&mut s, now);
+        assert_eq!(pkts.first().map(|p| p.seq), Some(4));
+    }
+
+    #[test]
+    fn maintained_counters_match_queue_scan() {
+        // Drive the sender through sends, SACKs, losses and an RTO, checking
+        // the incrementally maintained counters against a full scan at every
+        // step (the scan was the previous implementation's source of truth).
+        let mut s = sender_with_window(12);
+        let check = |s: &TcpSender| {
+            let outstanding = s.skbs.iter().filter(|k| k.outstanding).count() as u64;
+            let sacked = s.skbs.iter().filter(|k| k.sacked).count() as u64;
+            let pending = s
+                .skbs
+                .iter()
+                .filter(|k| k.lost && !k.sacked && !k.outstanding)
+                .count() as u64;
+            assert_eq!(s.outstanding_count, outstanding, "outstanding");
+            assert_eq!(s.sacked_count, sacked, "sacked");
+            assert_eq!(s.rtx_pending, pending, "rtx pending");
+        };
+        drain_packets(&mut s, SimTime::ZERO);
+        check(&s);
+        let now = SimTime::from_millis(40);
+        s.on_ack(&ack(2, vec![SackBlock { start: 5, end: 9 }], now), now);
+        check(&s);
+        s.on_ack(&ack(2, vec![SackBlock { start: 5, end: 11 }], now), now);
+        check(&s);
+        drain_packets(&mut s, now);
+        check(&s);
+        let (deadline, generation) = s.rto_deadline().unwrap();
+        s.on_rto_timer(generation, deadline);
+        check(&s);
+        drain_packets(&mut s, deadline);
+        check(&s);
+        let later = deadline + SimDuration::from_millis(50);
+        s.on_ack(&ack(9, vec![], later), later);
+        check(&s);
     }
 }

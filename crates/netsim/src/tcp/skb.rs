@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// paper's BBR finding (§4.1) arises precisely because a *spurious*
 /// retransmission refreshes `tx_delivered` right before the SACK for the
 /// original copy arrives.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Skb {
     /// Packet-level sequence number.
     pub seq: u64,

@@ -51,15 +51,15 @@ fn main() {
 
     println!("\n=== default BBR on the adversarial trace ===");
     println!("delivered {} packets, {} RTOs, {} spurious retransmissions, {} retransmission-triggered probe rounds",
-        default_run.stats.flow.delivered_packets,
-        default_run.stats.flow.rto_count,
+        default_run.stats.flow().delivered_packets,
+        default_run.stats.flow().rto_count,
         spurious_retransmissions(&default_run.stats, SimDuration::from_millis(100)),
         retransmission_triggered_rounds(&default_run.stats));
 
     println!("\n=== BBR with ProbeRTT-on-RTO (the paper's fix) ===");
     println!("delivered {} packets, {} RTOs, {} spurious retransmissions, {} retransmission-triggered probe rounds",
-        fixed_run.stats.flow.delivered_packets,
-        fixed_run.stats.flow.rto_count,
+        fixed_run.stats.flow().delivered_packets,
+        fixed_run.stats.flow().rto_count,
         spurious_retransmissions(&fixed_run.stats, SimDuration::from_millis(100)),
         retransmission_triggered_rounds(&fixed_run.stats));
 

@@ -49,7 +49,7 @@ fn bbr_probe_clocking_is_broken_by_spurious_retransmissions() {
     let run = evaluator(CcaKind::Bbr, duration).simulate_traffic(&genome, true);
 
     assert!(
-        run.stats.flow.rto_count >= 1,
+        run.stats.flow().rto_count >= 1,
         "the crafted trace must force an RTO"
     );
     let spurious = spurious_retransmissions(&run.stats, SimDuration::from_millis(100));
@@ -73,10 +73,10 @@ fn bbr_probe_clocking_is_broken_by_spurious_retransmissions() {
         false,
     );
     assert!(
-        run.stats.flow.delivered_packets < clean.stats.flow.delivered_packets * 85 / 100,
+        run.stats.flow().delivered_packets < clean.stats.flow().delivered_packets * 85 / 100,
         "adversarial trace should cost BBR well over 15% of its packets ({} vs {})",
-        run.stats.flow.delivered_packets,
-        clean.stats.flow.delivered_packets
+        run.stats.flow().delivered_packets,
+        clean.stats.flow().delivered_packets
     );
 }
 
@@ -126,15 +126,15 @@ fn ns3_cubic_bug_causes_catastrophic_self_inflicted_losses() {
     let fixed = evaluator(CcaKind::Cubic, duration).simulate_traffic(&genome, true);
 
     assert!(
-        buggy.stats.flow.rto_count >= 1,
+        buggy.stats.flow().rto_count >= 1,
         "scenario must force an RTO for the buggy CUBIC"
     );
     assert!(
-        buggy.stats.flow.queue_drops >= fixed.stats.flow.queue_drops + 200,
+        buggy.stats.flow().queue_drops >= fixed.stats.flow().queue_drops + 200,
         "the uncapped slow-start burst should cause clearly more self-inflicted drops \
          (buggy {} vs fixed {})",
-        buggy.stats.flow.queue_drops,
-        fixed.stats.flow.queue_drops
+        buggy.stats.flow().queue_drops,
+        fixed.stats.flow().queue_drops
     );
 }
 
@@ -167,14 +167,14 @@ fn reno_low_rate_attack_pattern_causes_repeated_rto_backoff() {
     let run = evaluator(CcaKind::Reno, duration).simulate_traffic(&genome, true);
 
     assert!(
-        run.stats.flow.rto_count >= 2,
+        run.stats.flow().rto_count >= 2,
         "the periodic pulses should force repeated RTOs, got {}",
-        run.stats.flow.rto_count
+        run.stats.flow().rto_count
     );
     // Goodput collapses well below the link rate.
     let mss = 1448;
     let goodput =
-        run.stats.flow.delivered_packets as f64 * mss as f64 * 8.0 / duration.as_secs_f64();
+        run.stats.flow().delivered_packets as f64 * mss as f64 * 8.0 / duration.as_secs_f64();
     assert!(
         goodput < 8e6,
         "the low-rate pattern should keep Reno well below link rate, got {:.2} Mbps",
@@ -188,5 +188,5 @@ fn reno_low_rate_attack_pattern_causes_repeated_rto_backoff() {
         .filter(|r| matches!(r.event, TransportEvent::RtoFired { .. }))
         .count();
     assert!(rto_events >= 2);
-    assert!(run.stats.flow.retransmissions > 0);
+    assert!(run.stats.flow().retransmissions > 0);
 }

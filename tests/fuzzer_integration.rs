@@ -35,10 +35,10 @@ fn traffic_fuzzing_finds_traces_that_hurt_reno() {
     let adversarial = evaluator.simulate_traffic(&result.best_genome, false);
 
     assert!(
-        adversarial.stats.flow.delivered_packets < baseline.stats.flow.delivered_packets,
+        adversarial.stats.flow().delivered_packets < baseline.stats.flow().delivered_packets,
         "the best evolved trace must reduce Reno's delivery ({} vs baseline {})",
-        adversarial.stats.flow.delivered_packets,
-        baseline.stats.flow.delivered_packets
+        adversarial.stats.flow().delivered_packets,
+        baseline.stats.flow().delivered_packets
     );
     assert!(
         result.best_outcome.performance_score > 0.2,

@@ -1,0 +1,113 @@
+//! Golden behaviour digests for the simulator hot path.
+//!
+//! The calendar/pool/dispatch overhaul promises **byte-identical**
+//! behaviour: the bucketed event calendar pops in the exact `(time, seq)`
+//! order the binary heap did, the packet pool and inline SACK lists change
+//! only allocation, and enum dispatch runs the very same algorithm code.
+//! These constants were recorded by `digest_probe` on the pre-optimization
+//! engine (BinaryHeap calendar, `Box<dyn CongestionControl>` everywhere);
+//! any drift here means the "optimization" changed simulation semantics and
+//! silently invalidated every committed corpus fixture and paper figure.
+//!
+//! If the digest contract is ever changed *deliberately* (e.g. new fields
+//! mixed into `RunStats::digest`), regenerate with:
+//! `cargo run --release -p ccfuzz-bench --bin digest_probe`.
+
+use cc_fuzz::cca::{CcaDispatch, CcaKind};
+use cc_fuzz::fuzz::campaign::paper_sim_base;
+use cc_fuzz::netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
+use cc_fuzz::netsim::time::{SimDuration, SimTime};
+use cc_fuzz::netsim::trace::TrafficTrace;
+
+/// Pre-overhaul digests of the paper scenario (5 s, clean 12 Mbps link) per
+/// CCA, recorded at the last commit before the hot-path rewrite.
+const GOLDEN_SINGLE_FLOW: [(CcaKind, u64); 4] = [
+    (CcaKind::Reno, 0xa0b7528c22e43bf9),
+    (CcaKind::Cubic, 0xfa4efb4bb1d247a7),
+    (CcaKind::Bbr, 0x4a61538fb03729b0),
+    (CcaKind::Vegas, 0xa576cfca44842db8),
+];
+
+/// Pre-overhaul digest of the mixed-CCA fairness scenario below.
+const GOLDEN_FAIRNESS: u64 = 0x39b924d4669c7e73;
+
+fn fairness_scenario_specs() -> Vec<FlowSpec<CcaDispatch>> {
+    vec![
+        FlowSpec {
+            cc: CcaKind::Bbr.build_dispatch(10),
+            start: SimTime::ZERO,
+            stop: None,
+        },
+        FlowSpec {
+            cc: CcaKind::Reno.build_dispatch(10),
+            start: SimTime::from_millis(500),
+            stop: Some(SimTime::from_secs_f64(4.0)),
+        },
+        FlowSpec {
+            cc: CcaKind::Cubic.build_dispatch(10),
+            start: SimTime::from_secs_f64(1.0),
+            stop: None,
+        },
+    ]
+}
+
+#[test]
+fn paper_scenario_digests_match_pre_optimization_engine() {
+    for (kind, golden) in GOLDEN_SINGLE_FLOW {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        let result = run_simulation(cfg, kind.build_dispatch(10));
+        assert_eq!(
+            result.stats.digest(),
+            golden,
+            "digest drift for {} — the hot-path overhaul changed behaviour",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn boxed_dispatch_matches_the_same_golden_digests() {
+    // The trait-object path must agree with both the enum path and the
+    // pre-overhaul recording.
+    for (kind, golden) in GOLDEN_SINGLE_FLOW {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        let result = run_simulation(cfg, kind.build(10));
+        assert_eq!(
+            result.stats.digest(),
+            golden,
+            "boxed digest drift for {}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fairness_scenario_digest_matches_pre_optimization_engine() {
+    let duration = SimDuration::from_secs(5);
+    let mut cfg = paper_sim_base(duration);
+    cfg.record_events = false;
+    let injections: Vec<SimTime> = (0..800).map(|i| SimTime::from_micros(i * 6_000)).collect();
+    cfg.cross_traffic = TrafficTrace::new(injections, duration);
+    let result = run_multi_flow_simulation(cfg, fairness_scenario_specs());
+    assert_eq!(
+        result.stats.digest(),
+        GOLDEN_FAIRNESS,
+        "fairness digest drift — multi-flow hot path changed behaviour"
+    );
+}
+
+#[test]
+fn golden_digests_stable_across_repeated_runs() {
+    // Belt and braces: the digest is a pure function of the scenario.
+    let run = || {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        run_simulation(cfg, CcaKind::Reno.build_dispatch(10))
+            .stats
+            .digest()
+    };
+    assert_eq!(run(), run());
+    assert_eq!(run(), GOLDEN_SINGLE_FLOW[0].1);
+}

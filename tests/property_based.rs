@@ -188,7 +188,7 @@ proptest! {
         // packets the queue accepted plus the packets it dropped; accepted
         // packets are all either transmitted or still resident at the end.
         use cc_fuzz::netsim::sim::{run_multi_flow_simulation, FlowSpec};
-        use cc_fuzz::netsim::cc::reference_cc::MiniAimdCc;
+        use cc_fuzz::netsim::cc::{reference_cc::MiniAimdCc, CongestionControl};
         use cc_fuzz::netsim::trace::TrafficTrace;
 
         let mut cfg = cc_fuzz::fuzz::campaign::paper_sim_base(SimDuration::from_secs(1));
@@ -204,7 +204,7 @@ proptest! {
 
         let specs: Vec<FlowSpec> = (0..n_flows)
             .map(|i| FlowSpec {
-                cc: Box::new(MiniAimdCc::new(window)),
+                cc: Box::new(MiniAimdCc::new(window)) as Box<dyn CongestionControl>,
                 start: SimTime::from_millis(i as u64 * stagger_ms),
                 stop: None,
             })

@@ -60,7 +60,7 @@ fn loss_based_ccas_recover_from_cross_traffic_bursts() {
         let mss = cfg.mss;
         let result = run_simulation(cfg.clone(), kind.build(10));
         assert!(
-            result.stats.flow.retransmissions > 0,
+            result.stats.flow().retransmissions > 0,
             "{} should retransmit",
             kind.name()
         );
@@ -86,14 +86,14 @@ fn trace_driven_starvation_starves_every_cca() {
     for kind in [CcaKind::Reno, CcaKind::Bbr] {
         let result = run_simulation(cfg.clone(), kind.build(10));
         assert!(
-            result.stats.flow.delivered_packets <= 1_000,
+            result.stats.flow().delivered_packets <= 1_000,
             "{} cannot deliver more than the trace allows",
             kind.name()
         );
         // The lowest-20%-window throughput must be zero: the flow is starved
         // for the last four seconds.
         let windows = windowed_throughput_bps(
-            &result.stats.delivery_times,
+            result.stats.delivery_times(),
             cfg.mss,
             SimDuration::from_millis(500),
             cfg.duration,
@@ -145,8 +145,8 @@ fn delayed_ack_and_sack_settings_change_behaviour() {
 
     let without = run_simulation(no_sack_cfg, CcaKind::Reno.build(10));
     let with = run_simulation(sack_cfg, CcaKind::Reno.build(10));
-    assert!(without.stats.flow.retransmissions > 0);
-    assert!(with.stats.flow.retransmissions > 0);
+    assert!(without.stats.flow().retransmissions > 0);
+    assert!(with.stats.flow().retransmissions > 0);
     // SACK-based recovery should not be worse than dup-ACK-only recovery.
     assert!(
         with.average_goodput_bps(mss) >= without.average_goodput_bps(mss) * 0.8,
@@ -231,10 +231,10 @@ fn simulations_are_bit_reproducible() {
         cfg.cross_traffic = TrafficTrace::new(injections, cfg.duration);
         let result = run_simulation(cfg, kind.build(10));
         (
-            result.stats.flow.delivered_packets,
-            result.stats.flow.transmissions,
-            result.stats.flow.retransmissions,
-            result.stats.flow.rto_count,
+            result.stats.flow().delivered_packets,
+            result.stats.flow().transmissions,
+            result.stats.flow().retransmissions,
+            result.stats.flow().rto_count,
             result.stats.events_processed,
         )
     };
