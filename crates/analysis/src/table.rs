@@ -78,6 +78,36 @@ pub fn per_flow_table(ccas: &[String], goodput_bps: &[f64], delivered: &[u64]) -
     text_table(&["flow", "cca", "goodput", "delivered", "share"], &rows)
 }
 
+/// Renders a deterministic gateway-discipline table for AQM findings: one
+/// row per finding with the qdisc label, ECN negotiation and the headline
+/// score/goodput. The inputs are parallel slices indexed by finding.
+pub fn qdisc_table(
+    ids: &[String],
+    qdisc_labels: &[String],
+    ecn: &[bool],
+    scores: &[f64],
+    goodput_bps: &[f64],
+) -> String {
+    let rows: Vec<Vec<String>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            vec![
+                id.clone(),
+                qdisc_labels.get(i).cloned().unwrap_or_default(),
+                if ecn.get(i).copied().unwrap_or(false) {
+                    "on".to_string()
+                } else {
+                    "off".to_string()
+                },
+                format!("{:.6}", scores.get(i).copied().unwrap_or(0.0)),
+                mbps(goodput_bps.get(i).copied().unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    text_table(&["finding", "qdisc", "ecn", "score", "goodput"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +140,25 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(percent(0.425), "42.50%");
         assert_eq!(mbps(11_834_000.0), "11.834 Mbps");
+    }
+
+    #[test]
+    fn qdisc_table_renders_labels_and_ecn() {
+        let out = qdisc_table(
+            &["bbr-aqm-01".to_string(), "reno-aqm-02".to_string()],
+            &[
+                "red(min=20,max=60,p=0.10)".to_string(),
+                "codel(target=5ms,interval=100ms)".to_string(),
+            ],
+            &[true, false],
+            &[0.75, 0.5],
+            &[3e6, 6e6],
+        );
+        assert!(out.contains("red(min=20,max=60,p=0.10)"));
+        assert!(out.contains("codel(target=5ms,interval=100ms)"));
+        assert!(out.lines().nth(2).unwrap().contains("on"));
+        assert!(out.lines().nth(3).unwrap().contains("off"));
+        assert!(out.contains("3.000 Mbps"));
     }
 
     #[test]

@@ -78,6 +78,32 @@ fn fairness_8flow_run(c: &mut Criterion) {
     group.finish();
 }
 
+fn aqm_gateway_run(c: &mut Criterion) {
+    // The qdisc layer's hot path: the same single-flow scenario behind RED
+    // and CoDel gateways with ECN on. Comparing against
+    // `hotpath_single_flow_5s` shows what the AQM dispatch costs (drop-tail
+    // itself pays only an enum discriminant check per packet).
+    use ccfuzz_netsim::queue::Qdisc;
+    let mut group = c.benchmark_group("hotpath_aqm_5s");
+    group.sample_size(10);
+    for (label, qdisc) in [
+        ("red_ecn", Qdisc::red_default(100)),
+        ("codel_ecn", Qdisc::codel_default()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+                cfg.record_events = false;
+                cfg.qdisc = qdisc;
+                cfg.ecn_enabled = true;
+                let result = run_simulation(cfg, CcaKind::Reno.build_dispatch(10));
+                std::hint::black_box(result.stats.events_processed)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn mini_campaign_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath_mini_campaign");
     group.sample_size(10);
@@ -117,6 +143,7 @@ criterion_group!(
     benches,
     single_flow_run,
     fairness_8flow_run,
+    aqm_gateway_run,
     mini_campaign_run
 );
 criterion_main!(benches);

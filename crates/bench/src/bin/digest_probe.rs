@@ -4,6 +4,7 @@
 
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::paper_sim_base;
+use ccfuzz_netsim::queue::Qdisc;
 use ccfuzz_netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
 use ccfuzz_netsim::time::{SimDuration, SimTime};
 use ccfuzz_netsim::trace::TrafficTrace;
@@ -41,4 +42,24 @@ fn main() {
     ];
     let result = run_multi_flow_simulation(cfg, specs);
     println!("fairness/bbr-reno-cubic: {:#018x}", result.stats.digest());
+
+    // AQM gateways with ECN on, every CCA: the golden constants for the
+    // RED/CoDel marking paths (tests/golden_digests.rs).
+    for (label, qdisc) in [
+        ("red", Qdisc::red_default(100)),
+        ("codel", Qdisc::codel_default()),
+    ] {
+        for kind in CcaKind::ALL {
+            let mut cfg = paper_sim_base(duration);
+            cfg.record_events = false;
+            cfg.qdisc = qdisc;
+            cfg.ecn_enabled = true;
+            let result = run_simulation(cfg, kind.build_dispatch(10));
+            println!(
+                "{label}+ecn/{}: {:#018x}",
+                kind.name(),
+                result.stats.digest()
+            );
+        }
+    }
 }

@@ -13,7 +13,7 @@
 //! fixed behaviour ([`SlowStartBehaviour::CappedAtSsthresh`]).
 
 use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
-use ccfuzz_netsim::time::SimTime;
+use ccfuzz_netsim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// How the slow-start window increase treats the slow-start threshold.
@@ -77,6 +77,8 @@ pub struct Cubic {
     w_est: f64,
     /// ACK accounting for the TCP-friendly region.
     ack_cnt: f64,
+    /// End of the current ECN-reaction round (once-per-RTT guard).
+    ecn_hold_until: Option<SimTime>,
 }
 
 impl Cubic {
@@ -90,6 +92,7 @@ impl Cubic {
             k: 0.0,
             w_est: 0.0,
             ack_cnt: 0.0,
+            ecn_hold_until: None,
             cfg,
         }
     }
@@ -148,6 +151,12 @@ impl Cubic {
         self.clamp();
     }
 
+    fn rtt_or_default(&self, ctx: &CcContext) -> SimDuration {
+        ctx.srtt
+            .or(ctx.min_rtt)
+            .unwrap_or(SimDuration::from_millis(100))
+    }
+
     fn on_loss_reduction(&mut self) {
         let cwnd = self.cwnd;
         // Fast convergence: if the new W_max is below the previous one, the
@@ -201,7 +210,7 @@ impl CongestionControl for Cubic {
         self.cubic_update(ctx, rs.newly_acked.max(1));
     }
 
-    fn on_congestion(&mut self, _ctx: &CcContext, signal: CongestionSignal) {
+    fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
         match signal {
             CongestionSignal::FastRetransmitLoss { new_episode, .. } => {
                 if new_episode {
@@ -214,6 +223,25 @@ impl CongestionControl for Cubic {
                 self.epoch_start = None;
             }
         }
+        // A loss reduction covers any CE marks from the same congestion
+        // event (see Reno::on_congestion): hold ECN reactions for one RTT.
+        self.ecn_hold_until = Some(ctx.now + self.rtt_or_default(ctx));
+    }
+
+    fn on_ecn(&mut self, ctx: &CcContext, _ce_acked: u64) {
+        // RFC 3168 + RFC 8312 §4.6: an ECE echo triggers the same beta
+        // reduction as a loss, at most once per RTT; while in recovery the
+        // loss reduction already happened for this window.
+        if ctx.in_recovery {
+            return;
+        }
+        if let Some(until) = self.ecn_hold_until {
+            if ctx.now < until {
+                return;
+            }
+        }
+        self.on_loss_reduction();
+        self.ecn_hold_until = Some(ctx.now + self.rtt_or_default(ctx));
     }
 
     fn cwnd(&self) -> u64 {

@@ -14,7 +14,7 @@
 //! golden-digest suite).
 
 use crate::{Bbr, BbrConfig, CcaKind, Cubic, CubicConfig, Reno, RenoConfig, SlowStartBehaviour};
-use crate::{Vegas, VegasConfig};
+use crate::{Dctcp, DctcpConfig, Vegas, VegasConfig};
 use ccfuzz_netsim::cc::reference_cc::FixedWindowCc;
 use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
 
@@ -30,6 +30,8 @@ pub enum CcaDispatch {
     Bbr(Bbr),
     /// TCP Vegas.
     Vegas(Vegas),
+    /// DCTCP (fractional ECN responder).
+    Dctcp(Dctcp),
     /// Fixed congestion window (testing / traffic shaping baseline).
     Fixed(FixedWindowCc),
     /// Escape hatch for algorithms outside this crate; pays the virtual
@@ -44,6 +46,7 @@ macro_rules! dispatch {
             CcaDispatch::Cubic($cc) => $body,
             CcaDispatch::Bbr($cc) => $body,
             CcaDispatch::Vegas($cc) => $body,
+            CcaDispatch::Dctcp($cc) => $body,
             CcaDispatch::Fixed($cc) => $body,
             CcaDispatch::Custom($cc) => $body,
         }
@@ -62,6 +65,9 @@ impl CongestionControl for CcaDispatch {
     }
     fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
         dispatch!(self, cc => cc.on_congestion(ctx, signal))
+    }
+    fn on_ecn(&mut self, ctx: &CcContext, ce_acked: u64) {
+        dispatch!(self, cc => cc.on_ecn(ctx, ce_acked))
     }
     fn on_exit_recovery(&mut self, ctx: &CcContext) {
         dispatch!(self, cc => cc.on_exit_recovery(ctx))
@@ -119,6 +125,10 @@ impl CcaKind {
             CcaKind::Vegas => CcaDispatch::Vegas(Vegas::new(VegasConfig {
                 initial_cwnd,
                 ..VegasConfig::default()
+            })),
+            CcaKind::Dctcp => CcaDispatch::Dctcp(Dctcp::new(DctcpConfig {
+                initial_cwnd,
+                ..DctcpConfig::default()
             })),
         }
     }

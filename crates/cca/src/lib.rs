@@ -25,12 +25,14 @@
 
 pub mod bbr;
 pub mod cubic;
+pub mod dctcp;
 pub mod dispatch;
 pub mod reno;
 pub mod vegas;
 
 pub use bbr::{Bbr, BbrConfig};
 pub use cubic::{Cubic, CubicConfig, SlowStartBehaviour};
+pub use dctcp::{Dctcp, DctcpConfig};
 pub use dispatch::CcaDispatch;
 pub use reno::{Reno, RenoConfig};
 pub use vegas::{Vegas, VegasConfig};
@@ -54,17 +56,21 @@ pub enum CcaKind {
     BbrProbeRttOnRto,
     /// TCP Vegas.
     Vegas,
+    /// DCTCP: fractional ECN responder (RFC 8257); degrades to Reno-like
+    /// AIMD on mark-free paths.
+    Dctcp,
 }
 
 impl CcaKind {
     /// All known variants (used for multi-CCA realism scoring and reports).
-    pub const ALL: [CcaKind; 6] = [
+    pub const ALL: [CcaKind; 7] = [
         CcaKind::Reno,
         CcaKind::Cubic,
         CcaKind::CubicNs3Buggy,
         CcaKind::Bbr,
         CcaKind::BbrProbeRttOnRto,
         CcaKind::Vegas,
+        CcaKind::Dctcp,
     ];
 
     /// Short name used in reports and CSV output.
@@ -76,6 +82,7 @@ impl CcaKind {
             CcaKind::Bbr => "bbr",
             CcaKind::BbrProbeRttOnRto => "bbr-probertt-on-rto",
             CcaKind::Vegas => "vegas",
+            CcaKind::Dctcp => "dctcp",
         }
     }
 
@@ -140,6 +147,10 @@ impl CcaKind {
             CcaKind::Vegas => Box::new(Vegas::new(VegasConfig {
                 initial_cwnd,
                 ..VegasConfig::default()
+            })),
+            CcaKind::Dctcp => Box::new(Dctcp::new(DctcpConfig {
+                initial_cwnd,
+                ..DctcpConfig::default()
             })),
         }
     }

@@ -40,6 +40,9 @@ pub struct Reno {
     /// congestion avoidance.
     cwnd: f64,
     ssthresh: u64,
+    /// End of the current ECN-reaction round: further echoes are ignored
+    /// until this instant (RFC 3168's once-per-RTT reduction guard).
+    ecn_hold_until: Option<ccfuzz_netsim::time::SimTime>,
 }
 
 impl Reno {
@@ -48,6 +51,7 @@ impl Reno {
         Reno {
             cwnd: cfg.initial_cwnd.max(cfg.min_cwnd) as f64,
             ssthresh: u64::MAX,
+            ecn_hold_until: None,
             cfg,
         }
     }
@@ -61,6 +65,12 @@ impl Reno {
         self.cwnd = self
             .cwnd
             .clamp(self.cfg.min_cwnd as f64, self.cfg.max_cwnd as f64);
+    }
+
+    fn rtt_or_default(&self, ctx: &CcContext) -> ccfuzz_netsim::time::SimDuration {
+        ctx.srtt
+            .or(ctx.min_rtt)
+            .unwrap_or(ccfuzz_netsim::time::SimDuration::from_millis(100))
     }
 }
 
@@ -88,7 +98,7 @@ impl CongestionControl for Reno {
         self.clamp();
     }
 
-    fn on_congestion(&mut self, _ctx: &CcContext, signal: CongestionSignal) {
+    fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
         match signal {
             CongestionSignal::FastRetransmitLoss { new_episode, .. } => {
                 if new_episode {
@@ -101,6 +111,28 @@ impl CongestionControl for Reno {
                 self.cwnd = 1.0;
             }
         }
+        // A loss reduction covers any CE marks from the same congestion
+        // event: without this hold, an AQM that both marks and drops in one
+        // RTT (e.g. RED straddling max_thresh) would quarter the window.
+        self.ecn_hold_until = Some(ctx.now + self.rtt_or_default(ctx));
+    }
+
+    fn on_ecn(&mut self, ctx: &CcContext, _ce_acked: u64) {
+        // RFC 3168 §6.1.2: react to ECE exactly as to a single loss — halve
+        // once, then ignore further echoes for one RTT (the halved window's
+        // worth of marks all describe the same congestion event). While in
+        // recovery the loss reduction already happened for this window.
+        if ctx.in_recovery {
+            return;
+        }
+        if let Some(until) = self.ecn_hold_until {
+            if ctx.now < until {
+                return;
+            }
+        }
+        self.ssthresh = ((self.cwnd * self.cfg.beta) as u64).max(self.cfg.min_cwnd);
+        self.cwnd = self.ssthresh as f64;
+        self.ecn_hold_until = Some(ctx.now + self.rtt_or_default(ctx));
     }
 
     fn cwnd(&self) -> u64 {
@@ -275,6 +307,53 @@ mod tests {
         r.on_congestion(&ctx(false), CongestionSignal::Rto);
         assert!(r.cwnd() >= 1);
         assert!(r.ssthresh() >= 2);
+    }
+
+    fn ctx_at(now_ms: u64, in_recovery: bool) -> CcContext {
+        CcContext {
+            now: SimTime::from_millis(now_ms),
+            ..ctx(in_recovery)
+        }
+    }
+
+    #[test]
+    fn ecn_halves_once_per_rtt() {
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
+        r.on_ecn(&ctx_at(0, false), 2);
+        assert_eq!(r.cwnd(), 20, "first echo halves");
+        // Further echoes within the same RTT (srtt = 40 ms) are ignored.
+        r.on_ecn(&ctx_at(10, false), 2);
+        assert_eq!(r.cwnd(), 20);
+        // After an RTT the algorithm may react again.
+        r.on_ecn(&ctx_at(50, false), 1);
+        assert_eq!(r.cwnd(), 10);
+    }
+
+    #[test]
+    fn one_reduction_per_congestion_event_with_marks_and_losses() {
+        // An AQM that both marks and drops in the same RTT (e.g. RED
+        // straddling max_thresh) must cost one halving, not two.
+        let mut r = Reno::new(RenoConfig {
+            initial_cwnd: 40,
+            ..Default::default()
+        });
+        r.on_congestion(
+            &ctx_at(0, false),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
+        assert_eq!(r.cwnd(), 20, "loss halves");
+        // Echo in the same RTT: covered by the loss reduction.
+        r.on_ecn(&ctx_at(10, false), 3);
+        assert_eq!(r.cwnd(), 20, "no quartering");
+        // Echoes while in recovery are covered regardless of timing.
+        r.on_ecn(&ctx_at(100, true), 3);
+        assert_eq!(r.cwnd(), 20);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::evaluate::SimEvaluator;
 use crate::fuzzer::{FuzzResult, Fuzzer, GaParams};
 use crate::genome::{LinkGenome, TrafficGenome};
-use crate::scenario::ScenarioGenome;
+use crate::scenario::{QdiscChoice, ScenarioGenome};
 use crate::scoring::ScoringConfig;
 use crate::trace_gen::packets_for_rate;
 use ccfuzz_cca::CcaKind;
@@ -38,6 +38,9 @@ pub enum FuzzMode {
     /// Evolve multi-flow scenarios (flow mix, schedules, optional cross
     /// traffic) hunting for unfairness/starvation between concurrent CCAs.
     Fairness,
+    /// Evolve gateway queue disciplines (RED/CoDel parameters, ECN on/off)
+    /// plus cross traffic, hunting for AQM configurations that break a CCA.
+    Aqm,
 }
 
 impl FuzzMode {
@@ -47,6 +50,7 @@ impl FuzzMode {
             FuzzMode::Link => "link",
             FuzzMode::Traffic => "traffic",
             FuzzMode::Fairness => "fairness",
+            FuzzMode::Aqm => "aqm",
         }
     }
 }
@@ -75,6 +79,8 @@ pub struct Campaign {
     pub flow_ccas: Vec<CcaKind>,
     /// Maximum concurrent flows fairness mutation may grow to.
     pub max_flows: usize,
+    /// Disciplines AQM-mode genomes may draw from (ignored elsewhere).
+    pub qdisc_choice: QdiscChoice,
 }
 
 impl Campaign {
@@ -98,6 +104,7 @@ impl Campaign {
             link_rate_bps: PAPER_LINK_RATE_BPS,
             flow_ccas: vec![cca],
             max_flows: 1,
+            qdisc_choice: QdiscChoice::Any,
         }
     }
 
@@ -124,6 +131,34 @@ impl Campaign {
             link_rate_bps: PAPER_LINK_RATE_BPS,
             flow_ccas,
             max_flows,
+            qdisc_choice: QdiscChoice::Any,
+        }
+    }
+
+    /// The AQM campaign preset: the paper's standard single-flow scenario,
+    /// but the GA additionally evolves the gateway queue discipline
+    /// (RED/CoDel parameters and ECN negotiation) alongside the cross
+    /// traffic, hunting for AQM configurations that break `cca`. `choice`
+    /// restricts the disciplines explored (the CLI's `--qdisc` flag).
+    pub fn paper_aqm(
+        cca: CcaKind,
+        duration: SimDuration,
+        ga: GaParams,
+        choice: QdiscChoice,
+    ) -> Self {
+        let sim = paper_sim_base(duration);
+        Campaign {
+            mode: FuzzMode::Aqm,
+            cca,
+            duration,
+            scoring: ScoringConfig::aqm_default(PAPER_LINK_RATE_BPS as f64),
+            ga,
+            traffic_max_packets: packets_for_rate(PAPER_LINK_RATE_BPS, sim.mss, duration) / 2,
+            sim,
+            link_rate_bps: PAPER_LINK_RATE_BPS,
+            flow_ccas: vec![cca],
+            max_flows: 1,
+            qdisc_choice: choice,
         }
     }
 
@@ -194,6 +229,21 @@ impl Campaign {
         let traffic_max_packets = self.traffic_max_packets;
         let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
             ScenarioGenome::generate(&flow_ccas, max_flows, duration, traffic_max_packets, rng)
+        });
+        fuzzer.run()
+    }
+
+    /// Runs an AQM-fuzzing campaign over single-flow scenario genomes with
+    /// qdisc genes. Panics if the mode is not [`FuzzMode::Aqm`].
+    pub fn run_aqm(&self) -> FuzzResult<ScenarioGenome> {
+        assert_eq!(self.mode, FuzzMode::Aqm, "campaign is not in aqm mode");
+        let evaluator = self.evaluator();
+        let duration = self.duration;
+        let cca = self.cca;
+        let traffic_max_packets = self.traffic_max_packets;
+        let choice = self.qdisc_choice;
+        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+            ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
         });
         fuzzer.run()
     }
@@ -333,6 +383,69 @@ mod tests {
         result.best_genome.validate().unwrap();
         assert!(result.best_genome.flow_count() >= 2);
         assert!(result.best_outcome.score.is_finite());
+    }
+
+    #[test]
+    fn aqm_campaign_preset_is_consistent() {
+        let c = Campaign::paper_aqm(
+            CcaKind::Cubic,
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+            QdiscChoice::Red,
+        );
+        assert_eq!(c.mode, FuzzMode::Aqm);
+        assert_eq!(c.cca, CcaKind::Cubic);
+        assert_eq!(c.max_flows, 1);
+        assert_eq!(c.qdisc_choice, QdiscChoice::Red);
+        match c.scoring.objective {
+            crate::scoring::Objective::AqmBreakage {
+                mark_weight,
+                delay_weight,
+                ..
+            } => {
+                assert_eq!(mark_weight, 0.5);
+                assert_eq!(delay_weight, 0.5);
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+        assert_eq!(FuzzMode::Aqm.name(), "aqm");
+    }
+
+    #[test]
+    fn tiny_aqm_campaign_runs_end_to_end() {
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        let c = Campaign::paper_aqm(
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            ga,
+            QdiscChoice::Any,
+        );
+        let result = c.run_aqm();
+        assert_eq!(result.history.len(), 2);
+        assert!(result.total_evaluations >= 6);
+        result.best_genome.validate().unwrap();
+        assert_eq!(result.best_genome.flow_count(), 1);
+        assert!(
+            result.best_genome.qdisc.is_some(),
+            "aqm genomes always carry a qdisc gene"
+        );
+        assert!(result.best_outcome.score.is_finite());
+        assert!(result.best_outcome.score > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in aqm mode")]
+    fn aqm_mode_mismatch_panics() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            GaParams::quick(),
+        );
+        let _ = c.run_aqm();
     }
 
     #[test]

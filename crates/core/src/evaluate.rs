@@ -168,6 +168,12 @@ impl SimEvaluator {
             .map(|t| t.to_trace())
             .unwrap_or_else(|| ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration));
         cfg.duration = genome.duration;
+        // AQM scenarios carry the gateway in the genome; fairness scenarios
+        // leave it as the campaign configured (drop-tail today).
+        if let Some(gene) = &genome.qdisc {
+            cfg.qdisc = gene.discipline;
+            cfg.ecn_enabled = gene.ecn;
+        }
         cfg
     }
 
@@ -456,6 +462,58 @@ mod tests {
             let reused = eval.evaluate_reusing(&link, &mut scratch);
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn scenario_qdisc_gene_reaches_the_gateway() {
+        use crate::scenario::{QdiscChoice, ScenarioGenome};
+        use crate::scoring::Objective;
+        use ccfuzz_netsim::queue::Qdisc;
+        let mut eval = evaluator();
+        eval.scoring.objective = Objective::AqmBreakage {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+            mark_weight: 0.5,
+            delay_weight: 0.5,
+        };
+        let mut rng = SimRng::new(17);
+        let mut genome = ScenarioGenome::generate_aqm(
+            CcaKind::Reno,
+            SimDuration::from_secs(3),
+            0,
+            QdiscChoice::Red,
+            &mut rng,
+        );
+        // Pin an aggressive marking RED + ECN so the gateway demonstrably
+        // acts on the gene.
+        genome.qdisc = Some(crate::scenario::QdiscGene {
+            discipline: Qdisc::Red {
+                min_thresh: 2,
+                max_thresh: 40,
+                mark_probability: 0.9,
+            },
+            ecn: true,
+            choice: QdiscChoice::Red,
+        });
+        let result = eval.simulate_scenario(&genome, false);
+        assert!(
+            result.stats.queue_counters.marked_cca > 0,
+            "the genome's RED gateway must mark"
+        );
+        // Determinism: the AQM path (including RED's seeded lottery) is a
+        // pure function of the genome + config.
+        let a = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);
+        let b = Evaluator::<ScenarioGenome>::evaluate(&eval, &genome);
+        assert_eq!(a, b);
+        let mut scratch = EvalScratch::new();
+        let c = eval.evaluate_reusing(&genome, &mut scratch);
+        assert_eq!(a, c, "scratch reuse is bit-identical on the AQM path");
+
+        // A drop-tail version of the same scenario behaves differently.
+        let mut droptail = genome.clone();
+        droptail.qdisc = None;
+        let d = Evaluator::<ScenarioGenome>::evaluate(&eval, &droptail);
+        assert_ne!(a, d, "the qdisc gene must change the outcome");
     }
 
     #[test]

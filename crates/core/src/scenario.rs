@@ -11,12 +11,138 @@
 
 use crate::genome::{Genome, TrafficGenome};
 use ccfuzz_cca::CcaKind;
+use ccfuzz_netsim::queue::Qdisc;
 use ccfuzz_netsim::rng::SimRng;
 use ccfuzz_netsim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Minimum flows a fairness scenario keeps (unfairness needs competition).
 pub const MIN_FAIRNESS_FLOWS: usize = 2;
+
+/// Which disciplines an AQM hunt may draw from when generating or mutating
+/// qdisc genes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QdiscChoice {
+    /// RED and CoDel (the default: explore the whole AQM axis).
+    Any,
+    /// RED only.
+    Red,
+    /// CoDel only.
+    CoDel,
+}
+
+impl QdiscChoice {
+    /// Parses a CLI name (`any` | `red` | `codel`).
+    pub fn from_name(name: &str) -> Option<QdiscChoice> {
+        match name {
+            "any" => Some(QdiscChoice::Any),
+            "red" => Some(QdiscChoice::Red),
+            "codel" => Some(QdiscChoice::CoDel),
+            _ => None,
+        }
+    }
+}
+
+/// The evolved gateway discipline of an AQM scenario: which qdisc runs at
+/// the bottleneck and whether the path negotiates ECN (mark- vs. drop-based
+/// feedback — the axis the `aqm` mode explores).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QdiscGene {
+    /// The discipline and its parameters.
+    pub discipline: Qdisc,
+    /// Whether ECN is negotiated end to end.
+    pub ecn: bool,
+    /// The restriction mutation honours (set by the hunt's `--qdisc` flag;
+    /// carried in the gene so evolved children stay inside it).
+    pub choice: QdiscChoice,
+}
+
+/// Parameter ranges for generated/mutated qdisc genes, in packets of the
+/// paper's 100-packet gateway.
+const RED_MIN_RANGE: (usize, usize) = (5, 50);
+const RED_SPAN_RANGE: (usize, usize) = (10, 60);
+const CODEL_TARGET_MS: (u64, u64) = (1, 50);
+const CODEL_INTERVAL_MS: (u64, u64) = (20, 500);
+
+impl QdiscGene {
+    /// Generates a random gene within `choice`.
+    pub fn generate(choice: QdiscChoice, rng: &mut SimRng) -> Self {
+        let red = match choice {
+            QdiscChoice::Red => true,
+            QdiscChoice::CoDel => false,
+            QdiscChoice::Any => rng.gen_bool(0.5),
+        };
+        let discipline = if red {
+            let min = rng.gen_range_usize(RED_MIN_RANGE.0, RED_MIN_RANGE.1 + 1);
+            let span = rng.gen_range_usize(RED_SPAN_RANGE.0, RED_SPAN_RANGE.1 + 1);
+            Qdisc::Red {
+                min_thresh: min,
+                max_thresh: min + span,
+                mark_probability: rng.gen_range_f64(0.02, 1.0),
+            }
+        } else {
+            Qdisc::CoDel {
+                target: SimDuration::from_millis(
+                    rng.gen_range_u64(CODEL_TARGET_MS.0, CODEL_TARGET_MS.1 + 1),
+                ),
+                interval: SimDuration::from_millis(
+                    rng.gen_range_u64(CODEL_INTERVAL_MS.0, CODEL_INTERVAL_MS.1 + 1),
+                ),
+            }
+        };
+        QdiscGene {
+            discipline,
+            // Mostly ECN-on: marking is the new feedback axis; drop-based
+            // AQM behaviour is still explored by the ecn=false tail.
+            ecn: rng.gen_bool(0.7),
+            choice,
+        }
+    }
+
+    /// Randomly perturbs the gene: re-rolls the discipline, nudges one
+    /// parameter, or toggles ECN. Stays within the gene's [`QdiscChoice`].
+    pub fn mutate(&self, rng: &mut SimRng) -> Self {
+        let choice = self.choice;
+        let mut gene = *self;
+        match rng.gen_range_usize(0, 4) {
+            // Fresh discipline (keeps the search ergodic across kinds).
+            0 => gene.discipline = QdiscGene::generate(choice, rng).discipline,
+            // Toggle the feedback mode.
+            1 => gene.ecn = !gene.ecn,
+            // Nudge one parameter of the current discipline.
+            _ => match &mut gene.discipline {
+                Qdisc::DropTail => gene = QdiscGene::generate(choice, rng),
+                Qdisc::Red {
+                    min_thresh,
+                    max_thresh,
+                    mark_probability,
+                } => match rng.gen_range_usize(0, 3) {
+                    0 => {
+                        *min_thresh = rng.gen_range_usize(RED_MIN_RANGE.0, RED_MIN_RANGE.1 + 1);
+                        *max_thresh = (*min_thresh + RED_SPAN_RANGE.0).max(*max_thresh);
+                    }
+                    1 => {
+                        let span = rng.gen_range_usize(RED_SPAN_RANGE.0, RED_SPAN_RANGE.1 + 1);
+                        *max_thresh = *min_thresh + span;
+                    }
+                    _ => *mark_probability = rng.gen_range_f64(0.02, 1.0),
+                },
+                Qdisc::CoDel { target, interval } => {
+                    if rng.gen_bool(0.5) {
+                        *target = SimDuration::from_millis(
+                            rng.gen_range_u64(CODEL_TARGET_MS.0, CODEL_TARGET_MS.1 + 1),
+                        );
+                    } else {
+                        *interval = SimDuration::from_millis(
+                            rng.gen_range_u64(CODEL_INTERVAL_MS.0, CODEL_INTERVAL_MS.1 + 1),
+                        );
+                    }
+                }
+            },
+        }
+        gene
+    }
+}
 
 /// One evolved flow: its algorithm and schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -41,10 +167,10 @@ impl FlowGene {
 }
 
 /// A multi-flow scenario genome.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioGenome {
-    /// The competing flows (at least [`MIN_FAIRNESS_FLOWS`], at most
-    /// `max_flows`). Flow 0 is the primary flow.
+    /// The competing flows (at least `min_flows`, at most `max_flows`).
+    /// Flow 0 is the primary flow.
     pub flows: Vec<FlowGene>,
     /// Scenario duration.
     pub duration: SimDuration,
@@ -55,6 +181,58 @@ pub struct ScenarioGenome {
     /// Optional unresponsive cross-traffic helper (a traffic sub-genome);
     /// `None` disables cross traffic entirely.
     pub traffic: Option<TrafficGenome>,
+    /// Minimum flows mutation keeps: [`MIN_FAIRNESS_FLOWS`] for fairness
+    /// scenarios (unfairness needs competition), 1 for AQM scenarios
+    /// (a single CCA against an evolved gateway is a complete experiment).
+    pub min_flows: usize,
+    /// Optional evolved gateway discipline (AQM scenarios); `None` keeps
+    /// the campaign's configured qdisc (drop-tail everywhere today).
+    pub qdisc: Option<QdiscGene>,
+}
+
+// Serde is written by hand (not derived) so the two AQM-era fields are
+// omitted at their defaults and tolerated when missing: scenario findings
+// persisted before the qdisc layer existed deserialize unchanged and
+// re-serialize byte-identically. Field order matches the derive's output.
+impl Serialize for ScenarioGenome {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            ("flows".to_string(), self.flows.to_value()),
+            ("duration".to_string(), self.duration.to_value()),
+            ("max_flows".to_string(), self.max_flows.to_value()),
+            ("cca_pool".to_string(), self.cca_pool.to_value()),
+            ("traffic".to_string(), self.traffic.to_value()),
+        ];
+        if self.min_flows != MIN_FAIRNESS_FLOWS {
+            fields.push(("min_flows".to_string(), self.min_flows.to_value()));
+        }
+        if let Some(qdisc) = &self.qdisc {
+            fields.push(("qdisc".to_string(), qdisc.to_value()));
+        }
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ScenarioGenome {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::map_get;
+        let m = v.as_map("ScenarioGenome")?;
+        Ok(ScenarioGenome {
+            flows: Deserialize::from_value(map_get(m, "flows")?)?,
+            duration: Deserialize::from_value(map_get(m, "duration")?)?,
+            max_flows: Deserialize::from_value(map_get(m, "max_flows")?)?,
+            cca_pool: Deserialize::from_value(map_get(m, "cca_pool")?)?,
+            traffic: Deserialize::from_value(map_get(m, "traffic")?)?,
+            min_flows: match map_get(m, "min_flows") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => MIN_FAIRNESS_FLOWS,
+            },
+            qdisc: match map_get(m, "qdisc") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl ScenarioGenome {
@@ -88,10 +266,39 @@ impl ScenarioGenome {
             max_flows: max_flows.max(base_flows.len()),
             cca_pool: base_flows.to_vec(),
             traffic,
+            min_flows: MIN_FAIRNESS_FLOWS,
+            qdisc: None,
         };
         // One schedule perturbation so the initial population is diverse.
         genome.perturb_schedule(rng);
         genome
+    }
+
+    /// Generates a fresh AQM scenario: a single always-on `cca` flow, a
+    /// random cross-traffic helper (when `traffic_max_packets > 0`) and a
+    /// random qdisc gene drawn from `choice`. The GA evolves the gateway
+    /// (discipline, parameters, ECN) and the traffic against the fixed CCA.
+    pub fn generate_aqm(
+        cca: CcaKind,
+        duration: SimDuration,
+        traffic_max_packets: usize,
+        choice: QdiscChoice,
+        rng: &mut SimRng,
+    ) -> Self {
+        let traffic = if traffic_max_packets > 0 {
+            Some(TrafficGenome::generate(traffic_max_packets, duration, rng))
+        } else {
+            None
+        };
+        ScenarioGenome {
+            flows: vec![FlowGene::whole_run(cca)],
+            duration,
+            max_flows: 1,
+            cca_pool: vec![cca],
+            traffic,
+            min_flows: 1,
+            qdisc: Some(QdiscGene::generate(choice, rng)),
+        }
     }
 
     /// The number of concurrent flows.
@@ -155,7 +362,7 @@ impl ScenarioGenome {
     }
 
     fn remove_flow(&mut self, rng: &mut SimRng) {
-        if self.flows.len() <= MIN_FAIRNESS_FLOWS {
+        if self.flows.len() <= self.min_flows.max(1) {
             return;
         }
         // Never remove flow 0 (the incumbent).
@@ -167,17 +374,26 @@ impl ScenarioGenome {
 impl Genome for ScenarioGenome {
     fn mutate(&self, rng: &mut SimRng) -> Self {
         let mut child = self.clone();
-        match rng.gen_range_usize(0, 5) {
+        // Genomes with qdisc genes get a sixth mutation arm; plain fairness
+        // genomes keep the original five (and the original rng stream).
+        let arms = if child.qdisc.is_some() { 6 } else { 5 };
+        match rng.gen_range_usize(0, arms) {
             0 => child.perturb_schedule(rng),
             1 => child.swap_cca(rng),
             2 => child.add_flow(rng),
             3 => child.remove_flow(rng),
-            _ => {
+            4 => {
                 if let Some(traffic) = &child.traffic {
                     child.traffic = Some(traffic.mutate(rng));
-                } else {
+                } else if child.flows.len() >= 2 {
                     child.perturb_schedule(rng);
+                } else if let Some(gene) = &child.qdisc {
+                    child.qdisc = Some(gene.mutate(rng));
                 }
+            }
+            _ => {
+                let gene = child.qdisc.expect("arm 5 only exists with qdisc genes");
+                child.qdisc = Some(gene.mutate(rng));
             }
         }
         child
@@ -194,8 +410,9 @@ impl Genome for ScenarioGenome {
         let split = rng.gen_range_usize(1, a.flows.len() + 1);
         let mut flows: Vec<FlowGene> = a.flows.iter().copied().take(split).collect();
         flows.extend(b.flows.iter().copied().skip(split));
-        flows.truncate(self.max_flows.max(MIN_FAIRNESS_FLOWS));
-        while flows.len() < MIN_FAIRNESS_FLOWS {
+        let min_flows = self.min_flows.max(1);
+        flows.truncate(self.max_flows.max(min_flows));
+        while flows.len() < min_flows {
             flows.push(b.flows[flows.len() % b.flows.len()]);
         }
         // Flow 0 stays an always-on incumbent.
@@ -205,12 +422,23 @@ impl Genome for ScenarioGenome {
             (Some(x), None) | (None, Some(x)) => Some(x.clone()),
             (None, None) => None,
         };
+        // Qdisc genes cross by inheriting one parent's gene wholesale (the
+        // discipline parameters are too entangled to splice field-wise).
+        // The rng is only consulted when a gene exists, so plain fairness
+        // crossover keeps its original stream.
+        let qdisc = match (&self.qdisc, &other.qdisc) {
+            (Some(x), Some(y)) => Some(if rng.gen_bool(0.5) { *x } else { *y }),
+            (Some(x), None) | (None, Some(x)) => Some(*x),
+            (None, None) => None,
+        };
         Some(ScenarioGenome {
             flows,
             duration: self.duration,
             max_flows: self.max_flows,
             cca_pool: self.cca_pool.clone(),
             traffic,
+            min_flows: self.min_flows,
+            qdisc,
         })
     }
 
@@ -222,12 +450,22 @@ impl Genome for ScenarioGenome {
         if self.flows.is_empty() {
             return Err("scenario genome has no flows".into());
         }
-        if self.flows.len() > self.max_flows.max(MIN_FAIRNESS_FLOWS) {
+        if self.flows.len() < self.min_flows {
+            return Err(format!(
+                "scenario genome has {} flows, minimum is {}",
+                self.flows.len(),
+                self.min_flows
+            ));
+        }
+        if self.flows.len() > self.max_flows.max(self.min_flows) {
             return Err(format!(
                 "scenario genome has {} flows, cap is {}",
                 self.flows.len(),
                 self.max_flows
             ));
+        }
+        if let Some(gene) = &self.qdisc {
+            gene.discipline.validate()?;
         }
         for (i, f) in self.flows.iter().enumerate() {
             if f.start.as_nanos() > self.duration.as_nanos() {
@@ -347,5 +585,126 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: ScenarioGenome = serde_json::from_str(&json).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn fairness_genome_serde_omits_aqm_fields() {
+        // Fairness genomes (min_flows = 2, no qdisc gene) must serialize
+        // exactly as before the qdisc layer existed: scenario findings from
+        // older corpora re-serialize byte-identically.
+        let g = base();
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(!json.contains("min_flows"));
+        assert!(!json.contains("qdisc"));
+        // Pre-AQM JSON (no such fields) parses to the defaults.
+        let back: ScenarioGenome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.min_flows, MIN_FAIRNESS_FLOWS);
+        assert!(back.qdisc.is_none());
+    }
+
+    fn aqm_base() -> ScenarioGenome {
+        let mut rng = rng();
+        ScenarioGenome::generate_aqm(CcaKind::Reno, DUR, 500, QdiscChoice::Any, &mut rng)
+    }
+
+    #[test]
+    fn aqm_generation_produces_valid_single_flow_scenarios() {
+        let g = aqm_base();
+        g.validate().unwrap();
+        assert_eq!(g.flow_count(), 1);
+        assert_eq!(g.min_flows, 1);
+        assert_eq!(g.flows[0].cca, CcaKind::Reno);
+        assert_eq!(g.flows[0].start, SimTime::ZERO);
+        let gene = g.qdisc.expect("aqm genomes carry a qdisc gene");
+        gene.discipline.validate().unwrap();
+        assert!(g.traffic.is_some());
+    }
+
+    #[test]
+    fn aqm_genome_serde_roundtrips_with_qdisc_fields() {
+        let g = aqm_base();
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(json.contains("min_flows"));
+        assert!(json.contains("qdisc"));
+        let back: ScenarioGenome = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn qdisc_choice_restriction_is_honoured_across_mutation() {
+        for (choice, expect) in [(QdiscChoice::Red, "red"), (QdiscChoice::CoDel, "codel")] {
+            let mut rng = rng();
+            let mut g = ScenarioGenome::generate_aqm(CcaKind::Bbr, DUR, 200, choice, &mut rng);
+            for _ in 0..200 {
+                g = g.mutate(&mut rng);
+                g.validate().unwrap();
+                let gene = g.qdisc.expect("mutation never loses the qdisc gene");
+                assert_eq!(
+                    gene.discipline.name(),
+                    expect,
+                    "restricted hunt escaped its discipline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aqm_mutation_explores_disciplines_params_and_ecn() {
+        let mut rng = rng();
+        let g = aqm_base();
+        let mut saw_red = false;
+        let mut saw_codel = false;
+        let mut saw_ecn_both = (false, false);
+        let mut saw_param_change = false;
+        let mut current = g.clone();
+        for _ in 0..300 {
+            let next = current.mutate(&mut rng);
+            next.validate().unwrap();
+            assert_eq!(next.flow_count(), 1, "max_flows=1 keeps the flow solo");
+            let gene = next.qdisc.unwrap();
+            match gene.discipline {
+                Qdisc::Red { .. } => saw_red = true,
+                Qdisc::CoDel { .. } => saw_codel = true,
+                Qdisc::DropTail => {}
+            }
+            if gene.ecn {
+                saw_ecn_both.0 = true;
+            } else {
+                saw_ecn_both.1 = true;
+            }
+            if let (Some(a), Some(b)) = (current.qdisc, next.qdisc) {
+                if a.discipline.name() == b.discipline.name() && a.discipline != b.discipline {
+                    saw_param_change = true;
+                }
+            }
+            current = next;
+        }
+        assert!(saw_red && saw_codel, "Any must explore both disciplines");
+        assert!(saw_ecn_both.0 && saw_ecn_both.1, "ECN must toggle");
+        assert!(saw_param_change, "parameters must be perturbed in place");
+    }
+
+    #[test]
+    fn aqm_crossover_inherits_a_parent_gene() {
+        let mut rng = rng();
+        let a = ScenarioGenome::generate_aqm(CcaKind::Reno, DUR, 200, QdiscChoice::Red, &mut rng);
+        let b = ScenarioGenome::generate_aqm(CcaKind::Reno, DUR, 200, QdiscChoice::CoDel, &mut rng);
+        let mut saw = (false, false);
+        for _ in 0..40 {
+            let child = a.crossover(&b, &mut rng).unwrap();
+            child.validate().unwrap();
+            assert_eq!(child.flow_count(), 1, "min_flows=1: no padding to 2 flows");
+            let gene = child.qdisc.expect("child inherits a qdisc gene");
+            assert!(
+                gene == a.qdisc.unwrap() || gene == b.qdisc.unwrap(),
+                "gene comes from a parent"
+            );
+            match gene.discipline {
+                Qdisc::Red { .. } => saw.0 = true,
+                Qdisc::CoDel { .. } => saw.1 = true,
+                Qdisc::DropTail => {}
+            }
+        }
+        assert!(saw.0 && saw.1, "both parents' genes get inherited");
     }
 }

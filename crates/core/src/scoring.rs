@@ -49,6 +49,24 @@ pub enum Objective {
         /// Weight of the starvation-duration penalty.
         starvation_weight: f64,
     },
+    /// AQM objective: find gateway configurations that *break* a CCA. The
+    /// base term is the low-throughput score (same windowed form as
+    /// [`Objective::LowThroughput`]); on top of it, `mark_weight` rewards a
+    /// high CE-mark rate (the CCA is being told to slow down constantly)
+    /// and `delay_weight` rewards standing queues (the AQM failed at its
+    /// one job). The sum is normalised by `1 + mark_weight + delay_weight`,
+    /// so the score lives in `[0, 1]` without clamping away the gradient.
+    AqmBreakage {
+        /// Throughput window size (as in `LowThroughput`).
+        window: SimDuration,
+        /// Fraction of lowest windows averaged.
+        lowest_fraction: f64,
+        /// Weight of the CE-mark-rate term (marks / packets offered).
+        mark_weight: f64,
+        /// Weight of the standing-queue term (mean queue depth expressed as
+        /// seconds of drain time at the reference rate, capped at 1 s).
+        delay_weight: f64,
+    },
 }
 
 /// Weights and normalisation for combining the two score components.
@@ -101,6 +119,23 @@ impl ScoringConfig {
         ScoringConfig {
             objective: Objective::Unfairness {
                 starvation_weight: 0.5,
+            },
+            performance_weight: 1.0,
+            trace_weight: 0.1,
+            reference_rate_bps,
+        }
+    }
+
+    /// AQM-fuzzing scoring: the paper's windowed low-throughput term plus
+    /// mark-rate and standing-queue terms at half weight each, and a small
+    /// trace weight so minimal cross-traffic helpers win ties.
+    pub fn aqm_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::AqmBreakage {
+                window: SimDuration::from_millis(500),
+                lowest_fraction: 0.2,
+                mark_weight: 0.5,
+                delay_weight: 0.5,
             },
             performance_weight: 1.0,
             trace_weight: 0.1,
@@ -275,6 +310,45 @@ pub fn performance_score(
             // the GA could no longer tell strictly-worse scenarios apart.
             let raw = (1.0 - b.jain_index) + starvation_weight * b.max_starvation_fraction;
             (raw / (1.0 + starvation_weight.max(0.0))).clamp(0.0, 1.0)
+        }
+        Objective::AqmBreakage {
+            window,
+            lowest_fraction,
+            mark_weight,
+            delay_weight,
+        } => {
+            let duration = SimDuration::from_secs_f64(result.duration_secs);
+            let windows =
+                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
+            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
+            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            let reference = reference_rate_bps.max(1.0);
+            let throughput_term = (1.0 - low / reference).clamp(0.0, 1.0);
+
+            // Mark rate: CE marks per packet offered to the gateway by the
+            // CCA population.
+            let c = &result.stats.queue_counters;
+            let offered = (c.enqueued_cca + c.dropped_cca).max(1);
+            let mark_term = (c.marked_cca as f64 / offered as f64).clamp(0.0, 1.0);
+
+            // Standing queue: mean sampled occupancy expressed as seconds
+            // of drain time at the reference rate (computable without the
+            // per-packet event log the fuzzer's hot loop disables).
+            let delay_term = if result.stats.queue_samples.is_empty() {
+                0.0
+            } else {
+                let mean_bytes = result
+                    .stats
+                    .queue_samples
+                    .iter()
+                    .map(|(_, _, bytes)| *bytes as f64)
+                    .sum::<f64>()
+                    / result.stats.queue_samples.len() as f64;
+                (mean_bytes * 8.0 / reference).min(1.0)
+            };
+
+            let raw = throughput_term + mark_weight * mark_term + delay_weight * delay_term;
+            (raw / (1.0 + mark_weight.max(0.0) + delay_weight.max(0.0))).clamp(0.0, 1.0)
         }
     }
 }
@@ -528,6 +602,48 @@ mod tests {
         };
         let score = performance_score(&objective, &result, 1448, 12e6);
         assert!(score < 0.01, "{score}");
+    }
+
+    #[test]
+    fn aqm_breakage_rewards_marks_and_standing_queues() {
+        use ccfuzz_netsim::queue::QueueCounters;
+        let objective = Objective::AqmBreakage {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+            mark_weight: 0.5,
+            delay_weight: 0.5,
+        };
+        let times: Vec<SimTime> = (0..2_500).map(|i| SimTime::from_millis(i * 2)).collect();
+        let base = result_with_deliveries(times.clone(), 5.0);
+        let base_score = performance_score(&objective, &base, 1448, 12e6);
+
+        // Same throughput, but half the offered packets were CE-marked.
+        let mut marked = result_with_deliveries(times.clone(), 5.0);
+        marked.stats.queue_counters = QueueCounters {
+            enqueued_cca: 2_000,
+            marked_cca: 1_000,
+            ..Default::default()
+        };
+        let marked_score = performance_score(&objective, &marked, 1448, 12e6);
+        assert!(
+            marked_score > base_score + 0.1,
+            "marks must raise the score: {marked_score} vs {base_score}"
+        );
+
+        // Same throughput, but the queue held a deep standing backlog.
+        let mut delayed = result_with_deliveries(times, 5.0);
+        delayed.stats.queue_samples = (0..100)
+            .map(|i| (SimTime::from_millis(i * 50), 100usize, 1_500_000u64))
+            .collect();
+        let delayed_score = performance_score(&objective, &delayed, 1448, 12e6);
+        assert!(
+            delayed_score > base_score + 0.1,
+            "standing queues must raise the score: {delayed_score} vs {base_score}"
+        );
+        // Scores stay in [0, 1]: normalised, not clamped away.
+        for s in [base_score, marked_score, delayed_score] {
+            assert!((0.0..=1.0).contains(&s));
+        }
     }
 
     #[test]

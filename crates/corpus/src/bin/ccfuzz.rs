@@ -38,10 +38,12 @@ COMMON OPTIONS:
 
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
-                        bbr-probertt-on-rto | vegas        (required)
-    --mode MODE         traffic | link | fairness (default: traffic)
+                        bbr-probertt-on-rto | vegas | dctcp  (required)
+    --mode MODE         traffic | link | fairness | aqm (default: traffic)
     --flows LIST        Comma-separated CCAs competing in fairness mode
                         (default: the --cca flow vs. reno)
+    --qdisc KIND        Disciplines an aqm hunt explores: any | red | codel
+                        (default: any)
     --generations N     GA generations (default: 5)
     --seconds S         Scenario duration in seconds (default: 3)
     --seed N            GA master seed (default: 1)
@@ -139,7 +141,12 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
         None | Some("traffic") => FuzzMode::Traffic,
         Some("link") => FuzzMode::Link,
         Some("fairness") => FuzzMode::Fairness,
-        Some(other) => return Err(format!("--mode: `{other}` is not traffic|link|fairness")),
+        Some("aqm") => FuzzMode::Aqm,
+        Some(other) => {
+            return Err(format!(
+                "--mode: `{other}` is not traffic|link|fairness|aqm"
+            ))
+        }
     };
     let generations: u32 = parse_num(args, "--generations", 5)?;
     let seconds: u64 = parse_num(args, "--seconds", 3)?;
@@ -164,6 +171,13 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
             ));
         }
         config.flow_ccas = flow_ccas;
+    }
+    if let Some(qdisc) = flag_value(args, "--qdisc")? {
+        if mode != FuzzMode::Aqm {
+            return Err("--qdisc only applies to --mode aqm".into());
+        }
+        config.qdisc = ccfuzz_core::scenario::QdiscChoice::from_name(&qdisc)
+            .ok_or_else(|| format!("--qdisc: `{qdisc}` is not any|red|codel"))?;
     }
     if let Some(threads) = flag_value(args, "--threads")? {
         let threads: usize = threads.parse().map_err(|_| "--threads: invalid value")?;
@@ -198,6 +212,9 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
             campaign.max_flows
         );
     }
+    if mode == FuzzMode::Aqm {
+        println!("  qdisc search space: {:?}", campaign.qdisc_choice);
+    }
     println!(
         "  ga: islands={} population/island={} generations={} crossover={:.2} \
          migration={:.2}@{} k_elite={} threads={}",
@@ -226,6 +243,15 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
         finding.outcome.goodput_bps / 1e6,
         finding.genome.packet_count()
     );
+    if let ccfuzz_corpus::finding::GenomePayload::Scenario(scenario) = &finding.genome {
+        if let Some(gene) = &scenario.qdisc {
+            println!(
+                "  qdisc: {} ecn={}",
+                gene.discipline.label(),
+                if gene.ecn { "on" } else { "off" }
+            );
+        }
+    }
     if let Some(fairness) = &finding.fairness {
         for (i, cca) in fairness.per_flow_cca.iter().enumerate() {
             println!(

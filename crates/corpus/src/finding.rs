@@ -28,12 +28,32 @@ pub enum GenomePayload {
 }
 
 impl GenomePayload {
-    /// The fuzzing mode this genome belongs to.
+    /// The fuzzing mode this genome belongs to. Scenario genomes serve two
+    /// modes (fairness and aqm); this returns the one the payload's own
+    /// shape implies, see [`GenomePayload::matches_mode`] for validation.
     pub fn mode(&self) -> FuzzMode {
         match self {
             GenomePayload::Link(_) => FuzzMode::Link,
             GenomePayload::Traffic(_) => FuzzMode::Traffic,
-            GenomePayload::Scenario(_) => FuzzMode::Fairness,
+            GenomePayload::Scenario(g) => {
+                if g.qdisc.is_some() {
+                    FuzzMode::Aqm
+                } else {
+                    FuzzMode::Fairness
+                }
+            }
+        }
+    }
+
+    /// `true` when this payload is a legal genome for `mode`: scenario
+    /// payloads serve both multi-flow modes, the others are 1:1.
+    pub fn matches_mode(&self, mode: FuzzMode) -> bool {
+        match self {
+            GenomePayload::Link(_) => mode == FuzzMode::Link,
+            GenomePayload::Traffic(_) => mode == FuzzMode::Traffic,
+            GenomePayload::Scenario(_) => {
+                matches!(mode, FuzzMode::Fairness | FuzzMode::Aqm)
+            }
         }
     }
 
@@ -314,7 +334,7 @@ impl Finding {
     /// mode/genome agreement).
     pub fn validate(&self) -> Result<(), String> {
         self.genome.validate()?;
-        if self.genome.mode() != self.mode {
+        if !self.genome.matches_mode(self.mode) {
             return Err(format!(
                 "finding {} mode {:?} does not match its genome",
                 self.id, self.mode

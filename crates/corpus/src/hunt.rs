@@ -8,6 +8,7 @@ use crate::store::{Corpus, CorpusError, InsertOutcome};
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{Campaign, FuzzMode};
 use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_core::scenario::QdiscChoice;
 use ccfuzz_netsim::time::SimDuration;
 
 /// Parameters of one hunt.
@@ -24,6 +25,8 @@ pub struct HuntConfig {
     /// Per-flow algorithms for fairness mode (ignored in the single-flow
     /// modes). Flow 0 is `cca`.
     pub flow_ccas: Vec<CcaKind>,
+    /// Disciplines explored by AQM-mode hunts (ignored elsewhere).
+    pub qdisc: QdiscChoice,
 }
 
 impl HuntConfig {
@@ -44,6 +47,7 @@ impl HuntConfig {
             duration: SimDuration::from_secs(3),
             ga,
             flow_ccas,
+            qdisc: QdiscChoice::Any,
         }
     }
 
@@ -61,6 +65,7 @@ impl HuntConfig {
                 }
                 Campaign::paper_fairness(flow_ccas, self.duration, self.ga)
             }
+            FuzzMode::Aqm => Campaign::paper_aqm(self.cca, self.duration, self.ga, self.qdisc),
             _ => Campaign::paper_standard(self.mode, self.cca, self.duration, self.ga),
         }
     }
@@ -90,6 +95,14 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
         }
         FuzzMode::Fairness => {
             let result = campaign.run_fairness();
+            (
+                GenomePayload::Scenario(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations,
+            )
+        }
+        FuzzMode::Aqm => {
+            let result = campaign.run_aqm();
             (
                 GenomePayload::Scenario(result.best_genome),
                 result.best_outcome,

@@ -22,7 +22,8 @@ use crate::finding::{Finding, GenomePayload};
 use crate::signature::BehaviorSignature;
 use ccfuzz_core::evaluate::{Evaluator, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
-use ccfuzz_core::scenario::ScenarioGenome;
+use ccfuzz_core::scenario::{QdiscGene, ScenarioGenome};
+use ccfuzz_netsim::queue::{Qdisc, QueueCapacity};
 use ccfuzz_netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -306,38 +307,155 @@ impl Evaluator<TrafficGenome> for ScenarioTrafficEvaluator<'_> {
     }
 }
 
+/// A strictly milder (closer-to-drop-tail) version of a qdisc gene: RED
+/// thresholds move halfway toward the queue capacity and the mark
+/// probability halves; CoDel's target and interval double. Returns `None`
+/// when the gene cannot get meaningfully milder.
+fn milder_qdisc(gene: &QdiscGene, capacity_packets: usize) -> Option<QdiscGene> {
+    let mut out = *gene;
+    match &mut out.discipline {
+        Qdisc::DropTail => return None,
+        Qdisc::Red {
+            min_thresh,
+            max_thresh,
+            mark_probability,
+        } => {
+            let new_min = *min_thresh + (capacity_packets.saturating_sub(*min_thresh)) / 2;
+            let new_max =
+                (*max_thresh + (capacity_packets.saturating_sub(*max_thresh)) / 2).max(new_min + 1);
+            let new_p = (*mark_probability / 2.0).max(0.01);
+            if new_min == *min_thresh && new_max == *max_thresh && new_p >= *mark_probability {
+                return None;
+            }
+            *min_thresh = new_min;
+            *max_thresh = new_max;
+            *mark_probability = new_p;
+        }
+        Qdisc::CoDel { target, interval } => {
+            let cap = SimDuration::from_millis(1_000);
+            if *target >= cap && *interval >= cap {
+                return None;
+            }
+            *target = (*target + *target).min(cap);
+            *interval = (*interval + *interval).min(cap);
+        }
+    }
+    Some(out)
+}
+
+/// Shrinks a scenario's qdisc gene toward drop-tail: first the maximal step
+/// (no qdisc gene at all — plain drop-tail, no ECN), then successively
+/// milder parameter settings, keeping each step only when the re-simulated
+/// score retains the threshold.
+fn qdisc_shrink_pass(
+    evaluator: &SimEvaluator,
+    current: &mut ScenarioGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    if current.qdisc.is_none() || budget.exhausted() {
+        return;
+    }
+    let capacity_packets = match evaluator.base.queue_capacity {
+        QueueCapacity::Packets(n) => n,
+        QueueCapacity::Bytes(b) => (b / evaluator.base.mss.max(1) as u64).max(1) as usize,
+    };
+
+    // Maximal shrink: the behaviour survives on a plain drop-tail gateway.
+    let mut candidate = current.clone();
+    candidate.qdisc = None;
+    budget.spent += 1;
+    let score = Evaluator::<ScenarioGenome>::evaluate(evaluator, &candidate).score;
+    if score >= threshold {
+        passes.push(format!("qdisc->droptail: accepted (score {score:.6})"));
+        *current = candidate;
+        *current_score = score;
+        return;
+    }
+    passes.push(format!(
+        "qdisc->droptail: rejected (score {score:.6} < {threshold:.6})"
+    ));
+
+    // Stepwise milding of the discipline parameters.
+    while !budget.exhausted() {
+        let Some(gene) = &current.qdisc else { break };
+        let Some(milder) = milder_qdisc(gene, capacity_packets) else {
+            break;
+        };
+        let mut candidate = current.clone();
+        candidate.qdisc = Some(milder);
+        budget.spent += 1;
+        let score = Evaluator::<ScenarioGenome>::evaluate(evaluator, &candidate).score;
+        let label = milder.discipline.label();
+        if score >= threshold {
+            passes.push(format!("qdisc-milder {label}: accepted (score {score:.6})"));
+            *current = candidate;
+            *current_score = score;
+        } else {
+            passes.push(format!(
+                "qdisc-milder {label}: rejected (score {score:.6} < {threshold:.6})"
+            ));
+            break;
+        }
+    }
+}
+
 /// Minimizes a scenario genome. Flow genes are the scenario's substance and
 /// stay; what shrinks is the cross-traffic helper (when present), using the
 /// full traffic ddmin + value-shrinking pipeline against the multi-flow
-/// simulation.
+/// simulation, and then the qdisc gene (when present), stepped toward
+/// drop-tail as far as the score allows.
 pub fn minimize_scenario(
     evaluator: &SimEvaluator,
     genome: &ScenarioGenome,
     cfg: &MinimizeConfig,
 ) -> (ScenarioGenome, MinimizeReport) {
-    let Some(traffic) = &genome.traffic else {
-        // Nothing to shrink: one evaluation to report the score.
-        let score = Evaluator::<ScenarioGenome>::evaluate(evaluator, genome).score;
-        return (
-            genome.clone(),
-            MinimizeReport {
-                original_packets: 0,
-                minimized_packets: 0,
-                original_score: score,
-                minimized_score: score,
-                threshold: score * cfg.retain_fraction,
-                evaluations: 1,
-                passes: vec!["scenario has no cross traffic; nothing to shrink".into()],
-            },
-        );
+    let (mut minimized, mut report) = match &genome.traffic {
+        Some(traffic) => {
+            let wrapper = ScenarioTrafficEvaluator {
+                evaluator,
+                scenario: genome,
+            };
+            let (minimized_traffic, report) = minimize_traffic(&wrapper, traffic, cfg);
+            let mut minimized = genome.clone();
+            minimized.traffic = Some(minimized_traffic);
+            (minimized, report)
+        }
+        None => {
+            // Nothing trafficky to shrink: one evaluation to anchor the
+            // score and the retention threshold.
+            let score = Evaluator::<ScenarioGenome>::evaluate(evaluator, genome).score;
+            (
+                genome.clone(),
+                MinimizeReport {
+                    original_packets: 0,
+                    minimized_packets: 0,
+                    original_score: score,
+                    minimized_score: score,
+                    threshold: score * cfg.retain_fraction,
+                    evaluations: 1,
+                    passes: vec!["scenario has no cross traffic; nothing to shrink".into()],
+                },
+            )
+        }
     };
-    let wrapper = ScenarioTrafficEvaluator {
+    let mut budget = Budget {
+        spent: report.evaluations as usize,
+        max: cfg.max_evaluations.max(1),
+    };
+    let mut score = report.minimized_score;
+    qdisc_shrink_pass(
         evaluator,
-        scenario: genome,
-    };
-    let (minimized_traffic, report) = minimize_traffic(&wrapper, traffic, cfg);
-    let mut minimized = genome.clone();
-    minimized.traffic = Some(minimized_traffic);
+        &mut minimized,
+        &mut score,
+        report.threshold,
+        &mut budget,
+        &mut report.passes,
+    );
+    report.minimized_score = score;
+    report.evaluations = budget.spent as u64;
     (minimized, report)
 }
 

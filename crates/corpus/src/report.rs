@@ -1,7 +1,8 @@
 //! Corpus summary reports (the `ccfuzz report` subcommand).
 
+use crate::finding::GenomePayload;
 use crate::store::{Corpus, CorpusError};
-use ccfuzz_analysis::table::{mbps, per_flow_table, text_table};
+use ccfuzz_analysis::table::{mbps, per_flow_table, qdisc_table, text_table};
 
 /// Renders a deterministic per-bucket summary of the corpus: one table per
 /// (CCA, mode) bucket, findings sorted by descending score.
@@ -53,6 +54,36 @@ pub fn corpus_report(corpus: &Corpus) -> Result<String, CorpusError> {
             ],
             &rows,
         ));
+        // AQM findings get a gateway-discipline table under the bucket.
+        let with_qdisc: Vec<_> = findings
+            .iter()
+            .filter_map(|f| match &f.genome {
+                GenomePayload::Scenario(s) => s.qdisc.map(|gene| (f, gene)),
+                _ => None,
+            })
+            .collect();
+        if !with_qdisc.is_empty() {
+            out.push('\n');
+            out.push_str(&qdisc_table(
+                &with_qdisc
+                    .iter()
+                    .map(|(f, _)| f.id.clone())
+                    .collect::<Vec<_>>(),
+                &with_qdisc
+                    .iter()
+                    .map(|(_, g)| g.discipline.label())
+                    .collect::<Vec<_>>(),
+                &with_qdisc.iter().map(|(_, g)| g.ecn).collect::<Vec<_>>(),
+                &with_qdisc
+                    .iter()
+                    .map(|(f, _)| f.outcome.score)
+                    .collect::<Vec<_>>(),
+                &with_qdisc
+                    .iter()
+                    .map(|(f, _)| f.outcome.goodput_bps)
+                    .collect::<Vec<_>>(),
+            ));
+        }
         // Fairness findings get a per-flow breakdown under the bucket table.
         for f in findings {
             if let Some(fairness) = &f.fairness {

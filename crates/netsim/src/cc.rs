@@ -122,6 +122,14 @@ pub trait CongestionControl: std::fmt::Debug + Send {
     /// Called when loss is signalled (fast retransmit or RTO).
     fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal);
 
+    /// Called when an ACK echoes ECN congestion-experienced marks
+    /// (`ce_acked` = number of CE-marked packets the ACK reports). RFC 3168
+    /// algorithms treat this like a loss signal (window halving, at most
+    /// once per RTT); DCTCP reacts proportionally to the mark fraction.
+    /// The default ignores marks, so ECN-unaware algorithms are simply
+    /// mark-insensitive rather than broken.
+    fn on_ecn(&mut self, _ctx: &CcContext, _ce_acked: u64) {}
+
     /// Called when the sender exits fast recovery.
     fn on_exit_recovery(&mut self, _ctx: &CcContext) {}
 
@@ -177,6 +185,9 @@ impl<T: CongestionControl + ?Sized> CongestionControl for Box<T> {
     }
     fn on_congestion(&mut self, ctx: &CcContext, signal: CongestionSignal) {
         (**self).on_congestion(ctx, signal)
+    }
+    fn on_ecn(&mut self, ctx: &CcContext, ce_acked: u64) {
+        (**self).on_ecn(ctx, ce_acked)
     }
     fn on_exit_recovery(&mut self, ctx: &CcContext) {
         (**self).on_exit_recovery(ctx)

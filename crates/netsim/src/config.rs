@@ -2,7 +2,7 @@
 
 use crate::link::LinkModel;
 use crate::packet::DEFAULT_MSS;
-use crate::queue::QueueCapacity;
+use crate::queue::{Qdisc, QueueCapacity};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TrafficTrace;
 use serde::{Deserialize, Serialize};
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// [`SimConfig::paper_default`] reproduces the settings from §4 of the paper:
 /// a 12 Mbps bottleneck, 20 ms propagation delay, SACK and delayed ACKs
 /// enabled and a 1 second minimum RTO.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Bottleneck service model (fixed rate for traffic fuzzing, trace driven
     /// for link fuzzing).
@@ -63,6 +63,110 @@ pub struct SimConfig {
     /// Seed for any randomized behaviour inside the simulator (kept fixed so
     /// that the genetic algorithm converges, §3.6).
     pub seed: u64,
+    /// Gateway queue discipline (drop-tail in the paper; RED/CoDel for the
+    /// `aqm` fuzzing mode). Serialized only when not drop-tail, so
+    /// pre-qdisc configurations round-trip byte-identically.
+    pub qdisc: Qdisc,
+    /// ECN negotiated end to end: senders emit ECT packets, an AQM gateway
+    /// marks instead of dropping them, receivers echo the marks, senders
+    /// feed them to the congestion controller. Serialized only when `true`.
+    pub ecn_enabled: bool,
+}
+
+// Serde is written by hand (not derived) so the two qdisc-era fields are
+// omitted at their defaults and tolerated when missing: configurations
+// embedded in findings committed before the qdisc layer existed deserialize
+// unchanged and re-serialize byte-identically. Field order matches the
+// declaration order the derive produced.
+impl Serialize for SimConfig {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            ("link".to_string(), self.link.to_value()),
+            (
+                "propagation_delay".to_string(),
+                self.propagation_delay.to_value(),
+            ),
+            ("queue_capacity".to_string(), self.queue_capacity.to_value()),
+            ("cross_traffic".to_string(), self.cross_traffic.to_value()),
+            ("mss".to_string(), self.mss.to_value()),
+            (
+                "cross_traffic_packet_size".to_string(),
+                self.cross_traffic_packet_size.to_value(),
+            ),
+            ("duration".to_string(), self.duration.to_value()),
+            ("flow_start".to_string(), self.flow_start.to_value()),
+            ("sack_enabled".to_string(), self.sack_enabled.to_value()),
+            ("delayed_ack".to_string(), self.delayed_ack.to_value()),
+            (
+                "delayed_ack_timeout".to_string(),
+                self.delayed_ack_timeout.to_value(),
+            ),
+            (
+                "delayed_ack_count".to_string(),
+                self.delayed_ack_count.to_value(),
+            ),
+            ("min_rto".to_string(), self.min_rto.to_value()),
+            ("max_rto".to_string(), self.max_rto.to_value()),
+            ("initial_rto".to_string(), self.initial_rto.to_value()),
+            (
+                "sender_buffer_packets".to_string(),
+                self.sender_buffer_packets.to_value(),
+            ),
+            ("initial_cwnd".to_string(), self.initial_cwnd.to_value()),
+            ("stats_interval".to_string(), self.stats_interval.to_value()),
+            ("record_events".to_string(), self.record_events.to_value()),
+            ("max_events".to_string(), self.max_events.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if self.qdisc != Qdisc::DropTail {
+            fields.push(("qdisc".to_string(), self.qdisc.to_value()));
+        }
+        if self.ecn_enabled {
+            fields.push(("ecn_enabled".to_string(), self.ecn_enabled.to_value()));
+        }
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for SimConfig {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::map_get;
+        let m = v.as_map("SimConfig")?;
+        Ok(SimConfig {
+            link: Deserialize::from_value(map_get(m, "link")?)?,
+            propagation_delay: Deserialize::from_value(map_get(m, "propagation_delay")?)?,
+            queue_capacity: Deserialize::from_value(map_get(m, "queue_capacity")?)?,
+            cross_traffic: Deserialize::from_value(map_get(m, "cross_traffic")?)?,
+            mss: Deserialize::from_value(map_get(m, "mss")?)?,
+            cross_traffic_packet_size: Deserialize::from_value(map_get(
+                m,
+                "cross_traffic_packet_size",
+            )?)?,
+            duration: Deserialize::from_value(map_get(m, "duration")?)?,
+            flow_start: Deserialize::from_value(map_get(m, "flow_start")?)?,
+            sack_enabled: Deserialize::from_value(map_get(m, "sack_enabled")?)?,
+            delayed_ack: Deserialize::from_value(map_get(m, "delayed_ack")?)?,
+            delayed_ack_timeout: Deserialize::from_value(map_get(m, "delayed_ack_timeout")?)?,
+            delayed_ack_count: Deserialize::from_value(map_get(m, "delayed_ack_count")?)?,
+            min_rto: Deserialize::from_value(map_get(m, "min_rto")?)?,
+            max_rto: Deserialize::from_value(map_get(m, "max_rto")?)?,
+            initial_rto: Deserialize::from_value(map_get(m, "initial_rto")?)?,
+            sender_buffer_packets: Deserialize::from_value(map_get(m, "sender_buffer_packets")?)?,
+            initial_cwnd: Deserialize::from_value(map_get(m, "initial_cwnd")?)?,
+            stats_interval: Deserialize::from_value(map_get(m, "stats_interval")?)?,
+            record_events: Deserialize::from_value(map_get(m, "record_events")?)?,
+            max_events: Deserialize::from_value(map_get(m, "max_events")?)?,
+            seed: Deserialize::from_value(map_get(m, "seed")?)?,
+            qdisc: match map_get(m, "qdisc") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => Qdisc::DropTail,
+            },
+            ecn_enabled: match map_get(m, "ecn_enabled") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => false,
+            },
+        })
+    }
 }
 
 impl SimConfig {
@@ -94,6 +198,8 @@ impl SimConfig {
             record_events: true,
             max_events: 20_000_000,
             seed: 1,
+            qdisc: Qdisc::DropTail,
+            ecn_enabled: false,
         }
     }
 
@@ -137,6 +243,7 @@ impl SimConfig {
         if let LinkModel::TraceDriven { trace } = &self.link {
             trace.validate()?;
         }
+        self.qdisc.validate()?;
         self.cross_traffic.validate()?;
         Ok(())
     }
@@ -198,5 +305,49 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn qdisc_fields_are_omitted_at_defaults() {
+        // Drop-tail + no ECN serializes exactly as before the qdisc layer
+        // existed: configurations embedded in committed findings must
+        // re-serialize byte-identically.
+        let cfg = SimConfig::paper_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(!json.contains("qdisc"), "default qdisc must be omitted");
+        assert!(!json.contains("ecn_enabled"), "ecn=false must be omitted");
+        // A pre-qdisc JSON (no such fields) parses to the defaults.
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.qdisc, Qdisc::DropTail);
+        assert!(!back.ecn_enabled);
+    }
+
+    #[test]
+    fn qdisc_fields_roundtrip_when_set() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.qdisc = Qdisc::red_default(100);
+        cfg.ecn_enabled = true;
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("qdisc"));
+        assert!(json.contains("ecn_enabled"));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.qdisc = Qdisc::codel_default();
+        let back: SimConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn validation_catches_bad_qdisc() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.qdisc = Qdisc::Red {
+            min_thresh: 60,
+            max_thresh: 20,
+            mark_probability: 0.1,
+        };
+        assert!(cfg.validate().is_err());
     }
 }

@@ -50,7 +50,7 @@ impl FlowId {
 
 /// A data packet traversing the forward path (sender → gateway → sink).
 ///
-/// `Copy`: the packet is a flat 40-byte record, so moving it through the
+/// `Copy`: the packet is a flat 48-byte record, so moving it through the
 /// queue, the calendar's packet pool and the statistics never touches the
 /// allocator.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -64,6 +64,12 @@ pub struct DataPacket {
     pub size: u32,
     /// `true` when this transmission is a retransmission of `seq`.
     pub is_retransmission: bool,
+    /// ECN-Capable Transport: `true` when the sender negotiated ECN, so an
+    /// AQM gateway may mark the packet instead of dropping it (RFC 3168).
+    pub ect: bool,
+    /// Congestion Experienced: set by the gateway queue when the active
+    /// queue-management discipline decides to mark rather than drop.
+    pub ce: bool,
     /// Time at which the sender handed the packet to the network.
     pub sent_at: SimTime,
     /// Time the packet entered the bottleneck queue (set by the gateway).
@@ -89,18 +95,23 @@ impl DataPacket {
             seq,
             size,
             is_retransmission,
+            ect: false,
+            ce: false,
             sent_at,
             enqueued_at: sent_at,
         }
     }
 
-    /// Creates a cross-traffic packet.
+    /// Creates a cross-traffic packet (never ECN-capable: the unresponsive
+    /// source would ignore marks, so an AQM must drop it).
     pub fn cross_traffic(index: u64, size: u32, sent_at: SimTime) -> Self {
         DataPacket {
             flow: FlowId::CrossTraffic,
             seq: index,
             size,
             is_retransmission: false,
+            ect: false,
+            ce: false,
             sent_at,
             enqueued_at: sent_at,
         }
@@ -247,6 +258,12 @@ pub struct AckPacket {
     pub for_seq: u64,
     /// `true` if the newest data packet covered was a retransmission.
     pub for_retransmission: bool,
+    /// ECN Echo: number of CE-marked data packets this ACK reports (0 when
+    /// ECN is off or nothing was marked). Real TCP latches a single ECE bit
+    /// until CWR; carrying the exact count instead keeps the feedback loop
+    /// conservation-testable (every mark is echoed exactly once) and gives
+    /// DCTCP its per-ACK mark fraction without a separate option.
+    pub ece_marks: u64,
 }
 
 /// ACK packet wire size used when modelling the reverse path.
@@ -424,6 +441,7 @@ mod tests {
             echo_sent_at: SimTime::ZERO,
             for_seq: 2,
             for_retransmission: false,
+            ece_marks: 0,
         };
         assert_eq!(ack.size(), ACK_SIZE);
     }

@@ -1,11 +1,22 @@
-//! Bottleneck gateway queue.
+//! Bottleneck gateway queue disciplines.
 //!
 //! The paper's topology uses a single fixed-size drop-tail FIFO queue at the
 //! gateway (§3.1). The queue is sized in packets (as in the paper's NS3
 //! setup); a byte-based limit is also supported for completeness.
+//!
+//! The gateway is pluggable: a [`Qdisc`] configuration selects between
+//! classic drop-tail, RED (random early detection, marking or dropping
+//! before the tail based on occupancy) and CoDel (controlled delay, marking
+//! or dropping at the head based on sojourn time). The runtime queue is the
+//! [`GatewayQueue`] enum, dispatched by `match` exactly like the CCA layer's
+//! `CcaDispatch` — no virtual calls on the per-packet path. ECN-capable
+//! packets (`ect`) are CE-marked instead of dropped wherever the discipline
+//! allows; the receiver echoes marks back to the sender (see
+//! [`crate::tcp::receiver`]), closing the RFC 3168 feedback loop.
 
 use crate::packet::{DataPacket, FlowId};
-use crate::time::SimTime;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -16,6 +27,22 @@ pub enum QueueCapacity {
     Packets(usize),
     /// At most this many bytes may be queued.
     Bytes(u64),
+}
+
+impl QueueCapacity {
+    /// `true` when a queue currently holding `len` packets / `bytes` bytes
+    /// can still admit `pkt` without exceeding the capacity.
+    ///
+    /// The byte check compares the *post-enqueue* total against the limit:
+    /// a packet is admitted iff `bytes + pkt.size <= max`, so the resident
+    /// byte total never exceeds the configured capacity (the exact boundary
+    /// is pinned by a regression test below).
+    pub fn admits(&self, len: usize, bytes: u64, pkt: &DataPacket) -> bool {
+        match *self {
+            QueueCapacity::Packets(max) => len < max,
+            QueueCapacity::Bytes(max) => bytes + pkt.size as u64 <= max,
+        }
+    }
 }
 
 /// Counters describing everything that ever happened to the queue.
@@ -33,6 +60,11 @@ pub struct QueueCounters {
     pub dequeued_cca: u64,
     /// Packets dequeued, cross traffic.
     pub dequeued_cross: u64,
+    /// CCA packets CE-marked by the queue discipline (RED/CoDel with ECN).
+    pub marked_cca: u64,
+    /// Cross-traffic packets CE-marked (always 0: cross traffic is not
+    /// ECN-capable, kept for symmetry and future sources).
+    pub marked_cross: u64,
 }
 
 impl QueueCounters {
@@ -50,21 +82,42 @@ impl QueueCounters {
     pub fn total_dequeued(&self) -> u64 {
         self.dequeued_cca + self.dequeued_cross
     }
+
+    /// Total packets CE-marked by the queue discipline.
+    pub fn total_marked(&self) -> u64 {
+        self.marked_cca + self.marked_cross
+    }
+
+    fn count_drop(&mut self, flow: FlowId) {
+        match flow {
+            FlowId::Cca(_) => self.dropped_cca += 1,
+            FlowId::CrossTraffic => self.dropped_cross += 1,
+        }
+    }
+
+    fn count_mark(&mut self, flow: FlowId) {
+        match flow {
+            FlowId::Cca(_) => self.marked_cca += 1,
+            FlowId::CrossTraffic => self.marked_cross += 1,
+        }
+    }
 }
 
-/// A drop-tail FIFO queue.
+/// The FIFO storage plus byte/counter bookkeeping every discipline shares:
+/// the admission/enqueue/dequeue accounting lives here exactly once, so the
+/// disciplines cannot drift apart on how packets, bytes and per-flow
+/// counters are tracked.
 #[derive(Clone, Debug)]
-pub struct DropTailQueue {
+struct FifoCore {
     capacity: QueueCapacity,
     queue: VecDeque<DataPacket>,
     bytes: u64,
     counters: QueueCounters,
 }
 
-impl DropTailQueue {
-    /// Creates an empty queue with the given capacity.
-    pub fn new(capacity: QueueCapacity) -> Self {
-        DropTailQueue {
+impl FifoCore {
+    fn new(capacity: QueueCapacity) -> Self {
+        FifoCore {
             capacity,
             queue: VecDeque::new(),
             bytes: 0,
@@ -72,50 +125,17 @@ impl DropTailQueue {
         }
     }
 
-    /// Current queue occupancy in packets.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.queue.len()
     }
 
-    /// `true` when nothing is queued.
-    pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+    fn admits(&self, pkt: &DataPacket) -> bool {
+        self.capacity.admits(self.queue.len(), self.bytes, pkt)
     }
 
-    /// Current queue occupancy in bytes.
-    pub fn bytes(&self) -> u64 {
-        self.bytes
-    }
-
-    /// The configured capacity.
-    pub fn capacity(&self) -> QueueCapacity {
-        self.capacity
-    }
-
-    /// Lifetime counters.
-    pub fn counters(&self) -> QueueCounters {
-        self.counters
-    }
-
-    fn would_overflow(&self, pkt: &DataPacket) -> bool {
-        match self.capacity {
-            QueueCapacity::Packets(max) => self.queue.len() + 1 > max,
-            QueueCapacity::Bytes(max) => self.bytes + pkt.size as u64 > max,
-        }
-    }
-
-    /// Attempts to enqueue `pkt` at time `now`.
-    ///
-    /// Returns `true` if the packet was accepted and `false` if it was
-    /// dropped at the tail.
-    pub fn enqueue(&mut self, mut pkt: DataPacket, now: SimTime) -> bool {
-        if self.would_overflow(&pkt) {
-            match pkt.flow {
-                FlowId::Cca(_) => self.counters.dropped_cca += 1,
-                FlowId::CrossTraffic => self.counters.dropped_cross += 1,
-            }
-            return false;
-        }
+    /// Unconditionally appends `pkt` (the caller has already checked
+    /// [`FifoCore::admits`]), stamping the enqueue time and counters.
+    fn push(&mut self, mut pkt: DataPacket, now: SimTime) {
         pkt.enqueued_at = now;
         self.bytes += pkt.size as u64;
         match pkt.flow {
@@ -123,13 +143,11 @@ impl DropTailQueue {
             FlowId::CrossTraffic => self.counters.enqueued_cross += 1,
         }
         self.queue.push_back(pkt);
-        true
     }
 
-    /// Removes the head-of-line packet, if any.
-    pub fn dequeue(&mut self) -> Option<DataPacket> {
-        let pkt = self.queue.pop_front()?;
-        self.bytes -= pkt.size as u64;
+    /// Removes the head-of-line packet and counts it as dequeued.
+    fn pop_dequeued(&mut self) -> Option<DataPacket> {
+        let pkt = self.pop_uncounted()?;
         match pkt.flow {
             FlowId::Cca(_) => self.counters.dequeued_cca += 1,
             FlowId::CrossTraffic => self.counters.dequeued_cross += 1,
@@ -137,9 +155,534 @@ impl DropTailQueue {
         Some(pkt)
     }
 
+    /// Removes the head-of-line packet without deciding its fate (CoDel's
+    /// control law counts it as dequeued or dropped afterwards).
+    fn pop_uncounted(&mut self) -> Option<DataPacket> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+}
+
+/// A drop-tail FIFO queue.
+#[derive(Clone, Debug)]
+pub struct DropTailQueue {
+    core: FifoCore,
+}
+
+impl DropTailQueue {
+    /// Creates an empty queue with the given capacity.
+    pub fn new(capacity: QueueCapacity) -> Self {
+        DropTailQueue {
+            core: FifoCore::new(capacity),
+        }
+    }
+
+    /// Current queue occupancy in packets.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.core.queue.is_empty()
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.core.bytes
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> QueueCapacity {
+        self.core.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> QueueCounters {
+        self.core.counters
+    }
+
+    /// Attempts to enqueue `pkt` at time `now`.
+    ///
+    /// Returns `true` if the packet was accepted and `false` if it was
+    /// dropped at the tail.
+    pub fn enqueue(&mut self, pkt: DataPacket, now: SimTime) -> bool {
+        if !self.core.admits(&pkt) {
+            self.core.counters.count_drop(pkt.flow);
+            return false;
+        }
+        self.core.push(pkt, now);
+        true
+    }
+
+    /// Removes the head-of-line packet, if any.
+    pub fn dequeue(&mut self) -> Option<DataPacket> {
+        self.core.pop_dequeued()
+    }
+
     /// Peeks at the head-of-line packet without removing it.
     pub fn peek(&self) -> Option<&DataPacket> {
-        self.queue.front()
+        self.core.queue.front()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue disciplines
+// ---------------------------------------------------------------------------
+
+/// Configuration of the gateway queue discipline.
+///
+/// `DropTail` is the paper's original gateway and the default everywhere; the
+/// AQM variants are what the `aqm` fuzzing mode evolves. Parameters are the
+/// classic ones: RED thresholds are in packets of instantaneous occupancy
+/// (a deliberate simplification of the EWMA average — deterministic and easy
+/// to reason about in minimized findings), CoDel uses the standard
+/// target-sojourn/interval control law.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Qdisc {
+    /// Plain drop-tail FIFO (the paper's gateway).
+    DropTail,
+    /// Random Early Detection: between `min_thresh` and `max_thresh` packets
+    /// of occupancy, arriving packets are marked (ECT) or dropped (non-ECT)
+    /// with probability ramping from 0 to `mark_probability`; at or beyond
+    /// `max_thresh` every arrival is dropped.
+    Red {
+        /// Occupancy (packets) below which nothing is marked or dropped.
+        min_thresh: usize,
+        /// Occupancy (packets) at which the drop probability reaches 1.
+        max_thresh: usize,
+        /// Maximum early mark/drop probability at `max_thresh` occupancy.
+        mark_probability: f64,
+    },
+    /// Controlled Delay: when the head-of-line sojourn time has exceeded
+    /// `target` for at least `interval`, packets are marked (ECT) or dropped
+    /// (non-ECT) at dequeue, at a rate that increases with the square root
+    /// of the drop count (the CoDel control law).
+    CoDel {
+        /// Acceptable persistent queueing delay.
+        target: SimDuration,
+        /// Sliding window over which the delay must persist.
+        interval: SimDuration,
+    },
+}
+
+impl Qdisc {
+    /// Short name used in reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Qdisc::DropTail => "droptail",
+            Qdisc::Red { .. } => "red",
+            Qdisc::CoDel { .. } => "codel",
+        }
+    }
+
+    /// A deterministic human-readable label including the parameters, e.g.
+    /// `red(min=20,max=60,p=0.10)`.
+    pub fn label(&self) -> String {
+        match self {
+            Qdisc::DropTail => "droptail".to_string(),
+            Qdisc::Red {
+                min_thresh,
+                max_thresh,
+                mark_probability,
+            } => format!("red(min={min_thresh},max={max_thresh},p={mark_probability:.2})"),
+            Qdisc::CoDel { target, interval } => format!(
+                "codel(target={}ms,interval={}ms)",
+                target.as_millis(),
+                interval.as_millis()
+            ),
+        }
+    }
+
+    /// Classic RED defaults for a queue of `capacity` packets.
+    pub fn red_default(capacity: usize) -> Qdisc {
+        Qdisc::Red {
+            min_thresh: (capacity / 5).max(1),
+            max_thresh: (3 * capacity / 5).max(2),
+            mark_probability: 0.1,
+        }
+    }
+
+    /// Standard CoDel parameters (5 ms target, 100 ms interval).
+    pub fn codel_default() -> Qdisc {
+        Qdisc::CoDel {
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Checks parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Qdisc::DropTail => Ok(()),
+            Qdisc::Red {
+                min_thresh,
+                max_thresh,
+                mark_probability,
+            } => {
+                if min_thresh >= max_thresh {
+                    return Err(format!(
+                        "RED min_thresh {min_thresh} must be below max_thresh {max_thresh}"
+                    ));
+                }
+                if !(*mark_probability > 0.0 && *mark_probability <= 1.0) {
+                    return Err(format!(
+                        "RED mark_probability {mark_probability} must be in (0, 1]"
+                    ));
+                }
+                Ok(())
+            }
+            Qdisc::CoDel { target, interval } => {
+                if *target == SimDuration::ZERO {
+                    return Err("CoDel target must be positive".into());
+                }
+                if *interval == SimDuration::ZERO {
+                    return Err("CoDel interval must be positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What happened to a packet offered to the gateway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Accepted unmarked.
+    Accepted,
+    /// Accepted and CE-marked by the discipline (ECN-capable packet).
+    AcceptedMarked,
+    /// Dropped (tail overflow or early AQM drop).
+    Dropped,
+}
+
+impl EnqueueOutcome {
+    /// `true` when the packet entered the queue (marked or not).
+    pub fn accepted(&self) -> bool {
+        !matches!(self, EnqueueOutcome::Dropped)
+    }
+}
+
+/// A RED queue: drop-tail FIFO storage plus early marking/dropping between
+/// the configured thresholds. Probabilistic decisions draw from a private
+/// deterministic [`SimRng`], so identical (config, trace, seed) runs remain
+/// bit-identical.
+#[derive(Clone, Debug)]
+pub struct RedQueue {
+    min_thresh: usize,
+    max_thresh: usize,
+    mark_probability: f64,
+    core: FifoCore,
+    rng: SimRng,
+}
+
+impl RedQueue {
+    fn new(
+        capacity: QueueCapacity,
+        min_thresh: usize,
+        max_thresh: usize,
+        mark_probability: f64,
+        seed: u64,
+    ) -> Self {
+        RedQueue {
+            min_thresh,
+            max_thresh,
+            mark_probability,
+            core: FifoCore::new(capacity),
+            // A fixed stream offset keeps the queue's randomness independent
+            // of any other consumer of the scenario seed.
+            rng: SimRng::new(seed).fork(0x71d5_c0de),
+        }
+    }
+
+    fn enqueue(&mut self, mut pkt: DataPacket, now: SimTime) -> EnqueueOutcome {
+        let occupancy = self.core.len();
+        // Hard limits first: the physical buffer and the full-drop threshold.
+        if !self.core.admits(&pkt) || occupancy >= self.max_thresh {
+            self.core.counters.count_drop(pkt.flow);
+            return EnqueueOutcome::Dropped;
+        }
+        let mut marked = false;
+        if occupancy >= self.min_thresh {
+            // Linear ramp of the early-action probability over
+            // [min_thresh, max_thresh).
+            let span = (self.max_thresh - self.min_thresh).max(1) as f64;
+            let p = self.mark_probability * (occupancy - self.min_thresh) as f64 / span;
+            if self.rng.gen_bool(p) {
+                if pkt.ect {
+                    pkt.ce = true;
+                    marked = true;
+                    self.core.counters.count_mark(pkt.flow);
+                } else {
+                    self.core.counters.count_drop(pkt.flow);
+                    return EnqueueOutcome::Dropped;
+                }
+            }
+        }
+        self.core.push(pkt, now);
+        if marked {
+            EnqueueOutcome::AcceptedMarked
+        } else {
+            EnqueueOutcome::Accepted
+        }
+    }
+}
+
+/// A CoDel queue: drop-tail FIFO storage plus sojourn-time-driven marking or
+/// dropping at the head (RFC 8289, simplified to packet granularity).
+#[derive(Clone, Debug)]
+pub struct CoDelQueue {
+    target: SimDuration,
+    interval: SimDuration,
+    core: FifoCore,
+    /// When the sojourn time first exceeded `target` (0 = not above).
+    first_above_time: Option<SimTime>,
+    /// Whether the queue is in the dropping state.
+    dropping: bool,
+    /// Next scheduled mark/drop instant while dropping.
+    drop_next: SimTime,
+    /// Marks/drops performed in the current dropping episode.
+    count: u64,
+    /// `count` when the previous dropping episode ended.
+    last_count: u64,
+}
+
+impl CoDelQueue {
+    fn new(capacity: QueueCapacity, target: SimDuration, interval: SimDuration) -> Self {
+        CoDelQueue {
+            target,
+            interval,
+            core: FifoCore::new(capacity),
+            first_above_time: None,
+            dropping: false,
+            drop_next: SimTime::ZERO,
+            count: 0,
+            last_count: 0,
+        }
+    }
+
+    fn enqueue(&mut self, pkt: DataPacket, now: SimTime) -> EnqueueOutcome {
+        if !self.core.admits(&pkt) {
+            self.core.counters.count_drop(pkt.flow);
+            return EnqueueOutcome::Dropped;
+        }
+        self.core.push(pkt, now);
+        EnqueueOutcome::Accepted
+    }
+
+    /// `interval / sqrt(count)`, the CoDel control-law spacing.
+    fn control_law(&self, from: SimTime) -> SimTime {
+        let scaled = self.interval.as_nanos() as f64 / (self.count.max(1) as f64).sqrt();
+        from + SimDuration::from_nanos(scaled as u64)
+    }
+
+    /// Checks whether the head packet should be acted upon at `now`.
+    /// Returns `false` (and resets the above-target tracking) when the
+    /// sojourn time is back below target or the queue drained.
+    fn should_act(&mut self, now: SimTime) -> bool {
+        let Some(head) = self.core.queue.front() else {
+            self.first_above_time = None;
+            return false;
+        };
+        let sojourn = now.saturating_since(head.enqueued_at);
+        if sojourn < self.target {
+            self.first_above_time = None;
+            return false;
+        }
+        match self.first_above_time {
+            None => {
+                self.first_above_time = Some(now + self.interval);
+                false
+            }
+            Some(t) => now >= t,
+        }
+    }
+
+    /// Acts on the head packet per the control law: an ECT head is marked
+    /// and delivered (`Some((pkt, true))`), a non-ECT head is dropped and
+    /// reported (`None` — the caller's loop continues to the next packet).
+    fn act_on_head<F: FnMut(DataPacket)>(
+        &mut self,
+        on_drop: &mut F,
+    ) -> Option<Option<(DataPacket, bool)>> {
+        let mut pkt = self.core.pop_uncounted()?;
+        if pkt.ect {
+            pkt.ce = true;
+            self.core.counters.count_mark(pkt.flow);
+            match pkt.flow {
+                FlowId::Cca(_) => self.core.counters.dequeued_cca += 1,
+                FlowId::CrossTraffic => self.core.counters.dequeued_cross += 1,
+            }
+            Some(Some((pkt, true)))
+        } else {
+            self.core.counters.count_drop(pkt.flow);
+            on_drop(pkt);
+            Some(None)
+        }
+    }
+
+    /// Dequeues the next deliverable packet, applying the CoDel control law:
+    /// while in the dropping state, due packets are CE-marked (ECT) or
+    /// dropped (non-ECT, reported through `on_drop`) at `drop_next` instants.
+    /// The `bool` of a returned pair is `true` when the packet was marked by
+    /// this dequeue.
+    fn dequeue_at<F: FnMut(DataPacket)>(
+        &mut self,
+        now: SimTime,
+        mut on_drop: F,
+    ) -> Option<(DataPacket, bool)> {
+        loop {
+            let act = self.should_act(now);
+            if self.dropping {
+                if !act {
+                    self.dropping = false;
+                } else if now >= self.drop_next {
+                    self.count += 1;
+                    self.drop_next = self.control_law(self.drop_next);
+                    match self.act_on_head(&mut on_drop)? {
+                        Some(delivered) => return Some(delivered),
+                        None => continue,
+                    }
+                }
+            } else if act {
+                // Enter the dropping state. Resume from the previous
+                // episode's rate when it ended recently (standard CoDel
+                // hysteresis), otherwise restart from 1.
+                self.dropping = true;
+                self.count =
+                    if self.count > self.last_count + 1 && now < self.drop_next + self.interval {
+                        self.count - self.last_count
+                    } else {
+                        1
+                    };
+                self.last_count = self.count;
+                self.drop_next = self.control_law(now);
+                match self.act_on_head(&mut on_drop)? {
+                    Some(delivered) => return Some(delivered),
+                    None => continue,
+                }
+            }
+            return self.core.pop_dequeued().map(|pkt| (pkt, false));
+        }
+    }
+}
+
+/// The runtime gateway queue: one variant per [`Qdisc`], dispatched by
+/// `match` (like `CcaDispatch`) so the per-packet path pays no virtual call.
+#[derive(Clone, Debug)]
+pub enum GatewayQueue {
+    /// Plain drop-tail FIFO.
+    DropTail(DropTailQueue),
+    /// Random Early Detection.
+    Red(RedQueue),
+    /// Controlled Delay.
+    CoDel(CoDelQueue),
+}
+
+impl GatewayQueue {
+    /// Builds the gateway queue for a discipline. `seed` feeds RED's
+    /// deterministic mark lottery (ignored by the other disciplines).
+    pub fn new(qdisc: Qdisc, capacity: QueueCapacity, seed: u64) -> Self {
+        match qdisc {
+            Qdisc::DropTail => GatewayQueue::DropTail(DropTailQueue::new(capacity)),
+            Qdisc::Red {
+                min_thresh,
+                max_thresh,
+                mark_probability,
+            } => GatewayQueue::Red(RedQueue::new(
+                capacity,
+                min_thresh,
+                max_thresh,
+                mark_probability,
+                seed,
+            )),
+            Qdisc::CoDel { target, interval } => {
+                GatewayQueue::CoDel(CoDelQueue::new(capacity, target, interval))
+            }
+        }
+    }
+
+    /// The configured discipline.
+    pub fn qdisc(&self) -> Qdisc {
+        match self {
+            GatewayQueue::DropTail(_) => Qdisc::DropTail,
+            GatewayQueue::Red(q) => Qdisc::Red {
+                min_thresh: q.min_thresh,
+                max_thresh: q.max_thresh,
+                mark_probability: q.mark_probability,
+            },
+            GatewayQueue::CoDel(q) => Qdisc::CoDel {
+                target: q.target,
+                interval: q.interval,
+            },
+        }
+    }
+
+    /// Current queue occupancy in packets.
+    pub fn len(&self) -> usize {
+        match self {
+            GatewayQueue::DropTail(q) => q.len(),
+            GatewayQueue::Red(q) => q.core.len(),
+            GatewayQueue::CoDel(q) => q.core.len(),
+        }
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            GatewayQueue::DropTail(q) => q.bytes(),
+            GatewayQueue::Red(q) => q.core.bytes,
+            GatewayQueue::CoDel(q) => q.core.bytes,
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> QueueCounters {
+        match self {
+            GatewayQueue::DropTail(q) => q.counters(),
+            GatewayQueue::Red(q) => q.core.counters,
+            GatewayQueue::CoDel(q) => q.core.counters,
+        }
+    }
+
+    /// Offers `pkt` to the gateway at `now`.
+    pub fn enqueue(&mut self, pkt: DataPacket, now: SimTime) -> EnqueueOutcome {
+        match self {
+            GatewayQueue::DropTail(q) => {
+                if q.enqueue(pkt, now) {
+                    EnqueueOutcome::Accepted
+                } else {
+                    EnqueueOutcome::Dropped
+                }
+            }
+            GatewayQueue::Red(q) => q.enqueue(pkt, now),
+            GatewayQueue::CoDel(q) => q.enqueue(pkt, now),
+        }
+    }
+
+    /// Removes the next deliverable packet at `now`; the returned `bool` is
+    /// `true` when this dequeue CE-marked the packet (so the caller can
+    /// account dequeue-time marks without knowing which discipline marks
+    /// where). CoDel may drop (non-ECT) head packets while searching; each
+    /// such casualty is reported through `on_drop` before the next candidate
+    /// is considered. Drop-tail and RED never drop or mark at dequeue, so
+    /// for them this is exactly [`DropTailQueue::dequeue`].
+    pub fn dequeue_at<F: FnMut(DataPacket)>(
+        &mut self,
+        now: SimTime,
+        on_drop: F,
+    ) -> Option<(DataPacket, bool)> {
+        match self {
+            GatewayQueue::DropTail(q) => q.dequeue().map(|pkt| (pkt, false)),
+            GatewayQueue::Red(q) => q.core.pop_dequeued().map(|pkt| (pkt, false)),
+            GatewayQueue::CoDel(q) => q.dequeue_at(now, on_drop),
+        }
     }
 }
 
@@ -188,6 +731,258 @@ mod tests {
         assert!(q.enqueue(pkt(1), SimTime::ZERO)); // 2896
         assert!(!q.enqueue(pkt(2), SimTime::ZERO)); // would be 4344 > 3000
         assert_eq!(q.bytes(), 2 * DEFAULT_MSS as u64);
+    }
+
+    #[test]
+    fn byte_capacity_boundary_is_exact() {
+        // Regression pin for the byte-capacity admission boundary: the
+        // check must compare the *post-enqueue* total against the limit
+        // (admit iff bytes + size <= max). Comparing the pre-enqueue total
+        // instead would admit one extra packet at the boundary and let the
+        // resident bytes exceed the configured capacity.
+        let sized = |seq: u64, size: u32| DataPacket::cca(seq, size, false, SimTime::ZERO);
+
+        // Exactly filling the capacity is admitted...
+        let mut q = DropTailQueue::new(QueueCapacity::Bytes(3 * 1_000));
+        assert!(q.enqueue(sized(0, 1_000), SimTime::ZERO));
+        assert!(q.enqueue(sized(1, 1_000), SimTime::ZERO));
+        assert!(
+            q.enqueue(sized(2, 1_000), SimTime::ZERO),
+            "a packet that lands exactly on the byte limit is admitted"
+        );
+        assert_eq!(q.bytes(), 3_000);
+        // ...one byte over is not, even though the pre-enqueue total
+        // (3000) equals the limit.
+        assert!(
+            !q.enqueue(sized(3, 1), SimTime::ZERO),
+            "pre-enqueue total == limit must not admit another packet"
+        );
+        assert_eq!(q.bytes(), 3_000, "resident bytes never exceed capacity");
+
+        // A single packet larger than the whole capacity never fits.
+        let mut q = DropTailQueue::new(QueueCapacity::Bytes(500));
+        assert!(!q.enqueue(sized(0, 501), SimTime::ZERO));
+        assert!(q.enqueue(sized(1, 500), SimTime::ZERO));
+
+        // All disciplines share the same admission helper, so the boundary
+        // is identical behind RED and CoDel.
+        for qdisc in [Qdisc::red_default(100), Qdisc::codel_default()] {
+            let mut q = GatewayQueue::new(qdisc, QueueCapacity::Bytes(2 * 1_000), 1);
+            assert!(q.enqueue(sized(0, 1_000), SimTime::ZERO).accepted());
+            assert!(q.enqueue(sized(1, 1_000), SimTime::ZERO).accepted());
+            assert!(
+                !q.enqueue(sized(2, 1), SimTime::ZERO).accepted(),
+                "{}: byte boundary differs from drop-tail",
+                qdisc.name()
+            );
+            assert_eq!(q.bytes(), 2_000);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue disciplines
+    // ------------------------------------------------------------------
+
+    fn ect_pkt(seq: u64) -> DataPacket {
+        let mut p = pkt(seq);
+        p.ect = true;
+        p
+    }
+
+    #[test]
+    fn qdisc_validation_and_labels() {
+        assert!(Qdisc::DropTail.validate().is_ok());
+        assert!(Qdisc::red_default(100).validate().is_ok());
+        assert!(Qdisc::codel_default().validate().is_ok());
+        assert_eq!(Qdisc::DropTail.name(), "droptail");
+        assert_eq!(Qdisc::red_default(100).name(), "red");
+        assert_eq!(Qdisc::codel_default().name(), "codel");
+        assert_eq!(Qdisc::red_default(100).label(), "red(min=20,max=60,p=0.10)");
+        assert_eq!(
+            Qdisc::codel_default().label(),
+            "codel(target=5ms,interval=100ms)"
+        );
+
+        let bad = Qdisc::Red {
+            min_thresh: 50,
+            max_thresh: 50,
+            mark_probability: 0.1,
+        };
+        assert!(bad.validate().is_err());
+        let bad = Qdisc::Red {
+            min_thresh: 10,
+            max_thresh: 50,
+            mark_probability: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = Qdisc::CoDel {
+            target: SimDuration::ZERO,
+            interval: SimDuration::from_millis(100),
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn gateway_droptail_matches_plain_droptail() {
+        // The DropTail variant must behave exactly like the standalone
+        // queue: same admissions, same counters, no marks ever.
+        let mut plain = DropTailQueue::new(QueueCapacity::Packets(3));
+        let mut gw = GatewayQueue::new(Qdisc::DropTail, QueueCapacity::Packets(3), 42);
+        for i in 0..6 {
+            let a = plain.enqueue(pkt(i), SimTime::ZERO);
+            let b = gw.enqueue(pkt(i), SimTime::ZERO);
+            assert_eq!(a, b.accepted());
+            assert_ne!(b, EnqueueOutcome::AcceptedMarked);
+        }
+        for _ in 0..4 {
+            let a = plain.dequeue();
+            let b = gw.dequeue_at(SimTime::ZERO, |_| {
+                panic!("drop-tail never drops at dequeue")
+            });
+            assert_eq!(a, b.map(|(pkt, _)| pkt));
+            assert!(
+                !b.map(|(_, marked)| marked).unwrap_or(false),
+                "drop-tail never marks at dequeue"
+            );
+        }
+        assert_eq!(plain.counters(), gw.counters());
+        assert_eq!(gw.counters().total_marked(), 0);
+    }
+
+    #[test]
+    fn red_marks_ect_and_drops_nonect_above_min_thresh() {
+        let qdisc = Qdisc::Red {
+            min_thresh: 2,
+            max_thresh: 8,
+            mark_probability: 1.0,
+        };
+        // ECT traffic: above min_thresh every admitted packet is marked
+        // (p=1 at full ramp is reached only at max; with p ramping linearly
+        // some are marked, none dropped before max_thresh).
+        let mut q = GatewayQueue::new(qdisc, QueueCapacity::Packets(100), 7);
+        let mut marked = 0;
+        let mut dropped = 0;
+        for i in 0..100 {
+            match q.enqueue(ect_pkt(i), SimTime::ZERO) {
+                EnqueueOutcome::AcceptedMarked => marked += 1,
+                EnqueueOutcome::Dropped => dropped += 1,
+                EnqueueOutcome::Accepted => {}
+            }
+        }
+        assert!(marked > 0, "RED must mark ECT packets above min_thresh");
+        assert!(
+            dropped > 0,
+            "RED must hard-drop at/above max_thresh regardless of ECT"
+        );
+        assert_eq!(q.counters().marked_cca, marked);
+        assert_eq!(q.counters().dropped_cca, dropped);
+        // Marked packets carry CE through the queue; RED marks at enqueue,
+        // so no dequeue ever reports a fresh mark.
+        let mut ce_out = 0;
+        while let Some((p, marked_now)) = q.dequeue_at(SimTime::ZERO, |_| {}) {
+            assert!(!marked_now, "RED never marks at dequeue");
+            if p.ce {
+                ce_out += 1;
+            }
+        }
+        assert_eq!(ce_out, marked, "every mark leaves the queue as CE");
+
+        // Non-ECT traffic: same configuration must early-drop instead of
+        // marking.
+        let mut q = GatewayQueue::new(qdisc, QueueCapacity::Packets(100), 7);
+        let mut early_dropped = 0;
+        for i in 0..8 {
+            if !q.enqueue(pkt(i), SimTime::ZERO).accepted() {
+                early_dropped += 1;
+            }
+        }
+        assert!(early_dropped > 0, "non-ECT packets are dropped, not marked");
+        assert_eq!(q.counters().total_marked(), 0);
+    }
+
+    #[test]
+    fn red_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut q =
+                GatewayQueue::new(Qdisc::red_default(100), QueueCapacity::Packets(100), seed);
+            (0..200u64)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        q.dequeue_at(SimTime::ZERO, |_| {});
+                    }
+                    q.enqueue(ect_pkt(i), SimTime::ZERO)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same seed, same lottery");
+        assert_ne!(run(5), run(6), "different seeds explore different marks");
+    }
+
+    #[test]
+    fn codel_marks_after_sojourn_exceeds_target_for_interval() {
+        let qdisc = Qdisc::CoDel {
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+        };
+        let mut q = GatewayQueue::new(qdisc, QueueCapacity::Packets(500), 1);
+        // Fill at t=0, then dequeue slowly so sojourn stays far above the
+        // 5 ms target for much longer than the interval.
+        for i in 0..400 {
+            assert!(q.enqueue(ect_pkt(i), SimTime::ZERO).accepted());
+        }
+        let mut marked = 0;
+        let mut t = SimTime::ZERO;
+        while let Some((p, marked_now)) =
+            q.dequeue_at(t, |_| panic!("ECT packets are marked, not dropped"))
+        {
+            assert_eq!(p.ce, marked_now, "CoDel marks exactly at dequeue");
+            if p.ce {
+                marked += 1;
+            }
+            t += SimDuration::from_millis(2);
+        }
+        assert!(
+            marked > 1,
+            "persistent queue must trigger repeated CoDel marks, got {marked}"
+        );
+        assert_eq!(q.counters().marked_cca, marked);
+        // A short queue (sojourn below target) is never marked.
+        let mut q = GatewayQueue::new(qdisc, QueueCapacity::Packets(500), 1);
+        let mut t = SimTime::ZERO;
+        for i in 0..50 {
+            q.enqueue(ect_pkt(i), t);
+            let out = q.dequeue_at(t + SimDuration::from_millis(1), |_| {});
+            assert!(matches!(out, Some((p, false)) if !p.ce));
+            t += SimDuration::from_millis(2);
+        }
+        assert_eq!(q.counters().total_marked(), 0);
+    }
+
+    #[test]
+    fn codel_drops_nonect_at_dequeue_and_reports_them() {
+        let qdisc = Qdisc::CoDel {
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(50),
+        };
+        let mut q = GatewayQueue::new(qdisc, QueueCapacity::Packets(500), 1);
+        for i in 0..300 {
+            assert!(q.enqueue(pkt(i), SimTime::ZERO).accepted());
+        }
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut t = SimTime::from_millis(60);
+        while let Some((p, marked_now)) = q.dequeue_at(t, |_| dropped += 1) {
+            assert!(!p.ce, "non-ECT packets must never carry CE");
+            assert!(!marked_now);
+            delivered += 1;
+            t += SimDuration::from_millis(3);
+        }
+        assert!(dropped > 0, "persistent non-ECT queue must shed packets");
+        assert_eq!(delivered + dropped, 300, "every packet accounted for");
+        let c = q.counters();
+        assert_eq!(c.dropped_cca, dropped);
+        assert_eq!(c.dequeued_cca, delivered);
+        assert_eq!(c.total_marked(), 0);
     }
 
     #[test]

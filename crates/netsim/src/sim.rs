@@ -37,7 +37,7 @@ use crate::crosstraffic::CrossTrafficSource;
 use crate::event::{Event, EventQueue};
 use crate::link::{LinkAction, LinkModel, LinkService};
 use crate::packet::{AckPacket, DataPacket, FlowId, PacketPool};
-use crate::queue::DropTailQueue;
+use crate::queue::{EnqueueOutcome, GatewayQueue};
 use crate::stats::{BottleneckEvent, BottleneckRecord, FlowRates, FlowStats, RunStats};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
@@ -113,6 +113,8 @@ struct FlowRuntime<C: CongestionControl> {
     delivery_times: Vec<SimTime>,
     /// Packets of this flow dropped at the bottleneck queue.
     queue_drops: u64,
+    /// Packets of this flow CE-marked at the bottleneck queue.
+    ce_marked: u64,
     /// Data packets of this flow received at the sink (incl. duplicates).
     sink_received: u64,
 }
@@ -149,7 +151,7 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     events: EventQueue,
     pool: PacketPool,
     flows: Vec<FlowRuntime<C>>,
-    queue: DropTailQueue,
+    queue: GatewayQueue,
     link: LinkService,
     cross: CrossTrafficSource,
     stats: RunStats,
@@ -203,6 +205,7 @@ impl<C: CongestionControl> Simulation<C> {
             initial_cwnd: cfg.initial_cwnd,
             buffer_packets: cfg.sender_buffer_packets,
             record_log: cfg.record_events,
+            ecn_enabled: cfg.ecn_enabled,
         };
         let receiver_cfg = ReceiverConfig {
             sack_enabled: cfg.sack_enabled,
@@ -213,7 +216,7 @@ impl<C: CongestionControl> Simulation<C> {
         };
         let link = LinkService::new(cfg.link.clone());
         let cross = CrossTrafficSource::new(&cfg.cross_traffic, cfg.cross_traffic_packet_size);
-        let queue = DropTailQueue::new(cfg.queue_capacity);
+        let queue = GatewayQueue::new(cfg.qdisc, cfg.queue_capacity, cfg.seed);
         // Pre-size the per-flow delivery log from the link's carrying
         // capacity so the hot loop never grows it.
         let delivery_capacity_total = match &cfg.link {
@@ -235,6 +238,7 @@ impl<C: CongestionControl> Simulation<C> {
                 rto_scheduled: None,
                 delivery_times: Vec::with_capacity(per_flow_capacity),
                 queue_drops: 0,
+                ce_marked: 0,
                 sink_received: 0,
             })
             .collect();
@@ -312,7 +316,39 @@ impl<C: CongestionControl> Simulation<C> {
         loop {
             match self.link.next_action(now, !self.queue.is_empty()) {
                 LinkAction::TransmitNow => {
-                    let pkt = self.queue.dequeue().expect("queue non-empty");
+                    // CoDel may drop (non-ECT) head packets while hunting for
+                    // the next deliverable one; drop-tail and RED never do,
+                    // so the buffer stays empty (and unallocated) for them.
+                    let mut aqm_drops: Vec<DataPacket> = Vec::new();
+                    let pkt = self.queue.dequeue_at(now, |p| aqm_drops.push(p));
+                    for dropped in aqm_drops {
+                        self.record_bottleneck(
+                            now,
+                            dropped.flow,
+                            dropped.size,
+                            BottleneckEvent::Dropped,
+                        );
+                        match dropped.flow {
+                            FlowId::CrossTraffic => self.stats.cross_dropped += 1,
+                            FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+                        }
+                    }
+                    let Some((pkt, marked_now)) = pkt else {
+                        // The discipline consumed the whole backlog; re-poll
+                        // the (now idle) link so it can park itself.
+                        continue;
+                    };
+                    if marked_now {
+                        // The queue reports *where* it marked (CoDel marks at
+                        // dequeue; RED-marked packets already produced their
+                        // record at enqueue time), so this accounting stays
+                        // correct for any future discipline without changes
+                        // here.
+                        self.record_bottleneck(now, pkt.flow, pkt.size, BottleneckEvent::Marked);
+                        if let FlowId::Cca(i) = pkt.flow {
+                            self.flows[i as usize].ce_marked += 1;
+                        }
+                    }
                     let queuing_delay = now.saturating_since(pkt.enqueued_at);
                     self.record_bottleneck(
                         now,
@@ -346,20 +382,27 @@ impl<C: CongestionControl> Simulation<C> {
     fn handle_gateway_arrival(&mut self, pkt: DataPacket, now: SimTime) {
         let flow = pkt.flow;
         let size = pkt.size;
-        let accepted = self.queue.enqueue(pkt, now);
-        let event = if accepted {
+        let outcome = self.queue.enqueue(pkt, now);
+        let event = if outcome.accepted() {
             BottleneckEvent::Enqueued
         } else {
             BottleneckEvent::Dropped
         };
         self.record_bottleneck(now, flow, size, event);
-        if !accepted {
-            match flow {
+        match outcome {
+            EnqueueOutcome::Dropped => match flow {
                 FlowId::CrossTraffic => self.stats.cross_dropped += 1,
                 FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+            },
+            EnqueueOutcome::AcceptedMarked => {
+                self.record_bottleneck(now, flow, size, BottleneckEvent::Marked);
+                if let FlowId::Cca(i) = flow {
+                    self.flows[i as usize].ce_marked += 1;
+                }
             }
+            EnqueueOutcome::Accepted => {}
         }
-        if accepted {
+        if outcome.accepted() {
             self.try_transmit(now);
         }
     }
@@ -582,6 +625,9 @@ impl<C: CongestionControl> Simulation<C> {
         for flow in &mut self.flows {
             let mut summary = flow.sender.summary();
             summary.queue_drops = flow.queue_drops;
+            summary.ce_marked = flow.ce_marked;
+            summary.ce_received = flow.receiver.ce_received();
+            summary.ece_echoed = flow.receiver.ece_echoed();
             self.stats.flows.push(FlowStats {
                 summary,
                 delivery_times: std::mem::take(&mut flow.delivery_times),
@@ -975,6 +1021,157 @@ mod tests {
             result.stats.digest()
         };
         assert_eq!(run(), run());
+    }
+
+    // ------------------------------------------------------------------
+    // Queue disciplines + ECN
+    // ------------------------------------------------------------------
+
+    use crate::queue::Qdisc;
+
+    /// A window CCA that records every ECN callback, so the end-to-end
+    /// feedback loop (mark at queue -> echo at receiver -> sender callback)
+    /// is observable without depending on the real algorithms crate.
+    #[derive(Debug)]
+    struct EcnProbeCc {
+        window: u64,
+        ece_seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl CongestionControl for EcnProbeCc {
+        fn name(&self) -> &'static str {
+            "ecn-probe"
+        }
+        fn on_ack(&mut self, _: &crate::cc::CcContext, _: &crate::cc::RateSample) {}
+        fn on_congestion(&mut self, _: &crate::cc::CcContext, _: crate::cc::CongestionSignal) {}
+        fn on_ecn(&mut self, _: &crate::cc::CcContext, ce_acked: u64) {
+            self.ece_seen
+                .fetch_add(ce_acked, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn cwnd(&self) -> u64 {
+            self.window
+        }
+    }
+
+    #[test]
+    fn red_with_ecn_marks_and_echoes_end_to_end() {
+        let mut cfg = base_cfg();
+        cfg.record_events = false;
+        cfg.queue_capacity = crate::queue::QueueCapacity::Packets(100);
+        cfg.qdisc = Qdisc::Red {
+            min_thresh: 5,
+            max_thresh: 60,
+            mark_probability: 0.5,
+        };
+        cfg.ecn_enabled = true;
+        let ece_seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Stop the flow 1 s before the scenario ends so the queue, the link
+        // and the delayed-ACK timers drain completely: with an empty
+        // network the mark-conservation checks are exact equalities.
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![FlowSpec {
+                cc: boxed(EcnProbeCc {
+                    window: 200, // deep standing queue, above min_thresh
+                    ece_seen: ece_seen.clone(),
+                }),
+                start: SimTime::ZERO,
+                stop: Some(SimTime::from_secs_f64(4.0)),
+            }],
+        );
+        let f = result.stats.flow();
+        assert!(f.ce_marked > 10, "RED must mark a window-heavy flow: {f:?}");
+        assert_eq!(
+            f.ce_marked, f.ce_received,
+            "in-flight marks all drain after the flow stops"
+        );
+        assert_eq!(
+            f.ce_received, f.ece_echoed,
+            "every mark echoed exactly once"
+        );
+        assert!(f.ece_acked > 0, "the sender processed echoes");
+        assert_eq!(
+            ece_seen.load(std::sync::atomic::Ordering::Relaxed),
+            f.ece_acked,
+            "every processed echo reached the congestion controller"
+        );
+        assert_eq!(result.stats.queue_counters.marked_cca, f.ce_marked);
+    }
+
+    #[test]
+    fn red_without_ecn_drops_instead_of_marking() {
+        let mut cfg = base_cfg();
+        cfg.record_events = false;
+        cfg.qdisc = Qdisc::Red {
+            min_thresh: 5,
+            max_thresh: 60,
+            mark_probability: 0.5,
+        };
+        cfg.ecn_enabled = false;
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(200)));
+        let f = result.stats.flow();
+        assert_eq!(f.ce_marked, 0, "no marks without ECN negotiation");
+        assert_eq!(f.ece_acked, 0);
+        assert!(
+            f.queue_drops > 10,
+            "RED sheds the standing queue by dropping instead"
+        );
+    }
+
+    #[test]
+    fn codel_with_ecn_marks_persistent_queues() {
+        let mut cfg = base_cfg();
+        cfg.record_events = false;
+        cfg.qdisc = Qdisc::codel_default();
+        cfg.ecn_enabled = true;
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![FlowSpec {
+                cc: boxed(FixedWindowCc::new(200)),
+                start: SimTime::ZERO,
+                stop: Some(SimTime::from_secs_f64(4.0)),
+            }],
+        );
+        let f = result.stats.flow();
+        assert!(
+            f.ce_marked > 5,
+            "a 200-packet standing queue must trip CoDel: {f:?}"
+        );
+        assert_eq!(f.ce_marked, f.ce_received);
+        assert_eq!(f.ce_received, f.ece_echoed);
+    }
+
+    #[test]
+    fn drop_tail_run_digest_is_independent_of_ecn_negotiation() {
+        // ECN on a drop-tail path never marks, so the digest must not move:
+        // the ECN block only mixes into the digest when marks exist.
+        let plain = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        let mut cfg = base_cfg();
+        cfg.ecn_enabled = true;
+        let ecn = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
+        assert_eq!(ecn.stats.flow().ce_marked, 0);
+        assert_eq!(plain.stats.digest(), ecn.stats.digest());
+    }
+
+    #[test]
+    fn aqm_runs_are_deterministic() {
+        let run = |qdisc: Qdisc| {
+            let mut cfg = base_cfg();
+            cfg.record_events = false;
+            cfg.qdisc = qdisc;
+            cfg.ecn_enabled = true;
+            run_simulation(cfg, boxed(MiniAimdCc::new(50)))
+                .stats
+                .digest()
+        };
+        for qdisc in [Qdisc::red_default(100), Qdisc::codel_default()] {
+            assert_eq!(
+                run(qdisc),
+                run(qdisc),
+                "{} must be deterministic",
+                qdisc.name()
+            );
+        }
     }
 
     #[test]

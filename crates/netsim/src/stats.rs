@@ -24,6 +24,10 @@ pub enum BottleneckEvent {
         /// Time the packet spent in the queue.
         queuing_delay: SimDuration,
     },
+    /// The packet was CE-marked by the queue discipline (RED marks at
+    /// enqueue, CoDel at dequeue); an `Enqueued`/`Dequeued` record for the
+    /// same packet accompanies this one.
+    Marked,
 }
 
 /// A timestamped bottleneck record for one packet.
@@ -121,6 +125,14 @@ pub struct FlowSummary {
     pub highest_sent: u64,
     /// Final cumulative ACK (first unacked sequence).
     pub final_cum_ack: u64,
+    /// Packets of this flow CE-marked at the bottleneck queue (AQM + ECN).
+    pub ce_marked: u64,
+    /// CE-marked packets of this flow that reached the receiver.
+    pub ce_received: u64,
+    /// CE marks the receiver echoed into ACKs.
+    pub ece_echoed: u64,
+    /// CE echoes the sender processed from arriving ACKs.
+    pub ece_acked: u64,
 }
 
 /// Per-flow measurements for one congestion-controlled flow.
@@ -272,6 +284,10 @@ const EMPTY_FLOW_SUMMARY: FlowSummary = FlowSummary {
     min_rtt_us: 0,
     highest_sent: 0,
     final_cum_ack: 0,
+    ce_marked: 0,
+    ce_received: 0,
+    ece_echoed: 0,
+    ece_acked: 0,
 };
 
 impl RunStats {
@@ -382,6 +398,25 @@ impl RunStats {
         }
         for t in self.delivery_times() {
             mix(t.as_nanos());
+        }
+        // ECN extends the digest only when the run actually produced marks
+        // or echoes: a drop-tail (or mark-free AQM) run digests exactly as
+        // it did before the qdisc layer existed, which keeps every
+        // pre-existing golden digest and corpus fixture byte-identical.
+        let ecn_active = self.queue_counters.total_marked() > 0
+            || self.flows.iter().any(|fs| {
+                let f = &fs.summary;
+                f.ce_marked + f.ce_received + f.ece_echoed + f.ece_acked > 0
+            });
+        if ecn_active {
+            mix(self.queue_counters.marked_cca);
+            mix(self.queue_counters.marked_cross);
+            for fs in &self.flows {
+                let f = &fs.summary;
+                for v in [f.ce_marked, f.ce_received, f.ece_echoed, f.ece_acked] {
+                    mix(v);
+                }
+            }
         }
         // Secondary flows extend the digest; a single-flow run (whose
         // `flows[0]` is exactly what the legacy accessors above expose)

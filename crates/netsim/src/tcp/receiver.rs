@@ -75,6 +75,16 @@ pub struct TcpReceiver {
     total_received: u64,
     /// Duplicate data packets received.
     duplicates: u64,
+    /// CE-marked data packets received (every wire arrival counts: a marked
+    /// duplicate is still a congestion signal from the network).
+    ce_received: u64,
+    /// CE marks not yet echoed in an ACK.
+    pending_ece: u64,
+    /// CE marks echoed into generated ACKs so far. Every received mark is
+    /// echoed exactly once, so after the network drains
+    /// `ce_received == ece_echoed` — the conservation law the ECN property
+    /// test pins.
+    ece_echoed: u64,
 }
 
 impl TcpReceiver {
@@ -102,6 +112,9 @@ impl TcpReceiver {
             delack_armed: false,
             total_received: 0,
             duplicates: 0,
+            ce_received: 0,
+            pending_ece: 0,
+            ece_echoed: 0,
         }
     }
 
@@ -118,6 +131,16 @@ impl TcpReceiver {
     /// Duplicate data packets received.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// CE-marked data packets received (including marked duplicates).
+    pub fn ce_received(&self) -> u64 {
+        self.ce_received
+    }
+
+    /// CE marks echoed into generated ACKs so far.
+    pub fn ece_echoed(&self) -> u64 {
+        self.ece_echoed
     }
 
     /// Number of distinct packets received out of order (currently above the
@@ -216,6 +239,9 @@ impl TcpReceiver {
 
     fn make_ack(&mut self, now: SimTime, acked_now: u64) -> AckPacket {
         self.unacked_count = 0;
+        let ece_marks = self.pending_ece;
+        self.pending_ece = 0;
+        self.ece_echoed += ece_marks;
         AckPacket {
             cum_ack: self.cum_ack,
             sack_blocks: self.sack_blocks(),
@@ -224,6 +250,7 @@ impl TcpReceiver {
             echo_sent_at: self.newest_sent_at,
             for_seq: self.newest_seq,
             for_retransmission: self.newest_was_retransmission,
+            ece_marks,
         }
     }
 
@@ -238,6 +265,10 @@ impl TcpReceiver {
     /// any delayed-ACK timer request.
     pub fn on_data(&mut self, pkt: &DataPacket, now: SimTime) -> ReceiverOutput {
         self.total_received += 1;
+        if pkt.ce {
+            self.ce_received += 1;
+            self.pending_ece += 1;
+        }
         self.record_newest(pkt);
         let mut out = ReceiverOutput::default();
 
@@ -456,6 +487,57 @@ mod tests {
         assert_eq!(ack.for_seq, 0);
         assert!(ack.for_retransmission);
         assert_eq!(ack.generated_at, SimTime::from_millis(150));
+    }
+
+    #[test]
+    fn ce_marks_are_echoed_exactly_once() {
+        let mut r = recv(no_delack());
+        let ce = |seq: u64| {
+            let mut p = pkt(seq);
+            p.ce = true;
+            p
+        };
+        // Unmarked packet: no echo.
+        let out = r.on_data(&pkt(0), SimTime::ZERO);
+        assert_eq!(out.ack.unwrap().ece_marks, 0);
+        // Marked packet: echoed on the very next ACK.
+        let out = r.on_data(&ce(1), SimTime::ZERO);
+        assert_eq!(out.ack.unwrap().ece_marks, 1);
+        assert_eq!(r.ce_received(), 1);
+        assert_eq!(r.ece_echoed(), 1);
+        // Echo is one-shot: the following ACK carries nothing.
+        let out = r.on_data(&pkt(2), SimTime::ZERO);
+        assert_eq!(out.ack.unwrap().ece_marks, 0);
+        // A marked duplicate still signals congestion.
+        let out = r.on_data(&ce(1), SimTime::from_millis(1));
+        assert_eq!(out.ack.unwrap().ece_marks, 1);
+        assert_eq!(r.ce_received(), 2);
+        assert_eq!(r.ece_echoed(), 2);
+    }
+
+    #[test]
+    fn ce_marks_coalesce_under_delayed_acks() {
+        let mut r = recv(ReceiverConfig::paper_default());
+        let ce = |seq: u64| {
+            let mut p = pkt(seq);
+            p.ce = true;
+            p
+        };
+        // First marked in-order packet is held by the delayed-ACK timer...
+        let out = r.on_data(&ce(0), SimTime::ZERO);
+        assert!(out.ack.is_none());
+        // ...and both marks ride the coalesced ACK.
+        let out = r.on_data(&ce(1), SimTime::from_millis(1));
+        let ack = out.ack.expect("second packet flushes the delayed ACK");
+        assert_eq!(ack.ece_marks, 2);
+        assert_eq!(r.ece_echoed(), 2);
+        // A mark pending when the delack timer fires is echoed by it.
+        let out = r.on_data(&ce(2), SimTime::from_millis(2));
+        let (deadline, generation) = out.arm_delack.unwrap();
+        let ack = r.on_delack_timer(generation, deadline).unwrap();
+        assert_eq!(ack.ece_marks, 1);
+        assert_eq!(r.ce_received(), 3);
+        assert_eq!(r.ece_echoed(), 3);
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub struct SenderConfig {
     /// appending per-ACK records would be the last remaining per-packet
     /// allocation on the hot path.
     pub record_log: bool,
+    /// ECN negotiated: data packets go out ECT (markable at an AQM gateway)
+    /// and echoed CE marks are fed to the congestion controller.
+    pub ecn_enabled: bool,
 }
 
 impl SenderConfig {
@@ -80,6 +83,7 @@ impl SenderConfig {
             initial_cwnd: 10,
             buffer_packets: u64::MAX / 4,
             record_log: true,
+            ecn_enabled: false,
         }
     }
 }
@@ -159,6 +163,8 @@ pub struct TcpSender<C: CongestionControl = Box<dyn CongestionControl>> {
     retransmissions: u64,
     rto_count: u64,
     recovery_episodes: u64,
+    /// CE echoes processed from arriving ACKs (ECN only).
+    ece_acked: u64,
 }
 
 impl<C: CongestionControl> std::fmt::Debug for TcpSender<C> {
@@ -206,6 +212,7 @@ impl<C: CongestionControl> TcpSender<C> {
             retransmissions: 0,
             rto_count: 0,
             recovery_episodes: 0,
+            ece_acked: 0,
         }
     }
 
@@ -281,6 +288,11 @@ impl<C: CongestionControl> TcpSender<C> {
     /// Total packets marked lost.
     pub fn lost_total(&self) -> u64 {
         self.lost_total
+    }
+
+    /// CE echoes processed from arriving ACKs.
+    pub fn ece_acked(&self) -> u64 {
+        self.ece_acked
     }
 
     /// Drains the transport event log collected since the last call.
@@ -442,7 +454,9 @@ impl<C: CongestionControl> TcpSender<C> {
             },
         );
 
-        SendPoll::Packet(DataPacket::cca(seq, self.cfg.mss, is_retransmission, now))
+        let mut pkt = DataPacket::cca(seq, self.cfg.mss, is_retransmission, now);
+        pkt.ect = self.cfg.ecn_enabled;
+        SendPoll::Packet(pkt)
     }
 
     // ----------------------------------------------------------------------
@@ -726,6 +740,17 @@ impl<C: CongestionControl> TcpSender<C> {
         }
 
         // --- Feed the congestion controller ---
+        // ECN echoes first (mirroring Linux, where in_ack_event sees the
+        // ECE flag before the cong_control hooks run): an algorithm that
+        // windows its mark statistics (DCTCP) must receive this ACK's marks
+        // before on_ack can close the observation window, or the marks
+        // would be misattributed to the next window. Off-path when ECN was
+        // never negotiated.
+        if self.cfg.ecn_enabled && ack.ece_marks > 0 {
+            self.ece_acked += ack.ece_marks;
+            let ctx = self.ctx(now);
+            self.cc.on_ecn(&ctx, ack.ece_marks);
+        }
         if let Some(rs) = rate_sample {
             let ctx = self.ctx(now);
             self.cc.on_ack(&ctx, &rs);
@@ -839,6 +864,10 @@ impl<C: CongestionControl> TcpSender<C> {
             min_rtt_us: self.rtt.min_rtt().map(|d| d.as_micros()).unwrap_or(0),
             highest_sent: self.next_seq,
             final_cum_ack: self.cum_ack,
+            ce_marked: 0,   // filled in by the simulator
+            ce_received: 0, // filled in by the simulator
+            ece_echoed: 0,  // filled in by the simulator
+            ece_acked: self.ece_acked,
         }
     }
 }
@@ -867,6 +896,7 @@ mod tests {
             echo_sent_at: now,
             for_seq: cum.saturating_sub(1),
             for_retransmission: false,
+            ece_marks: 0,
         }
     }
 

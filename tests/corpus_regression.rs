@@ -162,6 +162,116 @@ fn fairness_findings_roundtrip_through_the_corpus() {
 }
 
 #[test]
+fn aqm_findings_roundtrip_hunt_minimize_replay() {
+    use cc_fuzz::corpus::minimize::{minimize_finding, MinimizeConfig};
+    use cc_fuzz::corpus::GenomePayload;
+
+    let (corpus, dir) = temp_corpus("aqm");
+    let mut config = HuntConfig::quick(CcaKind::Reno, FuzzMode::Aqm, 2, 31);
+    config.ga.islands = 2;
+    config.ga.population_per_island = 4;
+    config.duration = SimDuration::from_secs(2);
+    let (finding, decision) = hunt(&corpus, &config).unwrap();
+    assert_eq!(decision, InsertOutcome::Added);
+    assert!(finding.id.contains("-aqm-"));
+    let GenomePayload::Scenario(scenario) = &finding.genome else {
+        panic!("aqm findings carry scenario genomes");
+    };
+    let gene = scenario.qdisc.expect("aqm genomes carry a qdisc gene");
+    gene.discipline.validate().unwrap();
+
+    // Disk round trip preserves the qdisc gene bit for bit.
+    let loaded = corpus.get(&finding.id).unwrap();
+    assert_eq!(loaded, finding);
+
+    // Minimize: never grows the trace, retains the score threshold, and the
+    // result still replays cleanly after the corpus update.
+    let cfg = MinimizeConfig {
+        retain_fraction: 0.8,
+        max_evaluations: 150,
+        ..Default::default()
+    };
+    let (minimized, report) = minimize_finding(&finding, &cfg);
+    assert!(report.minimized_packets <= report.original_packets);
+    assert!(report.minimized_score >= report.threshold, "{report:?}");
+    minimized.validate().unwrap();
+    corpus.update(&finding.id, &minimized).unwrap();
+
+    let report = replay_corpus(&corpus, None).unwrap();
+    assert!(report.is_clean(), "{}", report.to_text());
+    // The corpus report renders the qdisc table for the aqm bucket.
+    let summary = corpus_report(&corpus).unwrap();
+    assert!(summary.contains("reno / aqm"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn aqm_minimizer_shrinks_qdisc_toward_drop_tail_when_harmless() {
+    use cc_fuzz::corpus::minimize::{minimize_finding, MinimizeConfig};
+    use cc_fuzz::corpus::GenomePayload;
+    use cc_fuzz::fuzz::scenario::{QdiscChoice, QdiscGene, ScenarioGenome};
+    use cc_fuzz::netsim::queue::Qdisc;
+    use cc_fuzz::netsim::rng::SimRng;
+
+    // Build an AQM finding whose qdisc is irrelevant to its (cross-traffic
+    // driven) score: a barely-acting RED. The minimizer's qdisc pass must
+    // replace it with plain drop-tail.
+    let (corpus, dir) = temp_corpus("aqm-shrink");
+    let mut config = HuntConfig::quick(CcaKind::Reno, FuzzMode::Aqm, 1, 13);
+    config.ga.islands = 1;
+    config.ga.population_per_island = 2;
+    config.duration = SimDuration::from_secs(2);
+    let (mut finding, _) = hunt(&corpus, &config).unwrap();
+    let GenomePayload::Scenario(scenario) = &mut finding.genome else {
+        panic!("aqm findings carry scenario genomes");
+    };
+    // Near-inert RED: thresholds at the buffer's edge, tiny probability.
+    scenario.qdisc = Some(QdiscGene {
+        discipline: Qdisc::Red {
+            min_thresh: 98,
+            max_thresh: 99,
+            mark_probability: 0.01,
+        },
+        ecn: false,
+        choice: QdiscChoice::Red,
+    });
+    // Drop the cross traffic so only the qdisc pass has work to do.
+    let mut rng = SimRng::new(1);
+    let plain = ScenarioGenome::generate_aqm(
+        CcaKind::Reno,
+        SimDuration::from_secs(2),
+        0,
+        QdiscChoice::Red,
+        &mut rng,
+    );
+    scenario.traffic = plain.traffic.clone();
+    let (outcome, digest, fairness) = finding.replay_full(None);
+    finding.outcome = outcome;
+    finding.behavior_digest = digest;
+    finding.fairness = fairness;
+
+    let cfg = MinimizeConfig {
+        retain_fraction: 0.8,
+        max_evaluations: 50,
+        ..Default::default()
+    };
+    let (minimized, report) = minimize_finding(&finding, &cfg);
+    let GenomePayload::Scenario(min_scenario) = &minimized.genome else {
+        panic!("scenario payload");
+    };
+    assert!(
+        min_scenario.qdisc.is_none(),
+        "an inert qdisc must shrink to drop-tail: {report:?}"
+    );
+    assert!(report
+        .passes
+        .iter()
+        .any(|p| p.contains("qdisc->droptail: accepted")));
+    assert!(report.minimized_score >= report.threshold);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn fixture_corpus_replays_without_drift() {
     let findings = load_fixtures();
     let report = replay_findings(&findings, None);

@@ -15,6 +15,7 @@
 
 use cc_fuzz::cca::{CcaDispatch, CcaKind};
 use cc_fuzz::fuzz::campaign::paper_sim_base;
+use cc_fuzz::netsim::queue::Qdisc;
 use cc_fuzz::netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
 use cc_fuzz::netsim::time::{SimDuration, SimTime};
 use cc_fuzz::netsim::trace::TrafficTrace;
@@ -30,6 +31,30 @@ const GOLDEN_SINGLE_FLOW: [(CcaKind, u64); 4] = [
 
 /// Pre-overhaul digest of the mixed-CCA fairness scenario below.
 const GOLDEN_FAIRNESS: u64 = 0x39b924d4669c7e73;
+
+/// Digests of the paper scenario behind a default RED gateway with ECN on,
+/// per CCA, recorded when the qdisc layer landed. Drift here means the
+/// RED marking path (or a CCA's ECN response) changed behaviour.
+const GOLDEN_RED_ECN: [(CcaKind, u64); 7] = [
+    (CcaKind::Reno, 0x430be881e43794ef),
+    (CcaKind::Cubic, 0x3573443e092800a6),
+    (CcaKind::CubicNs3Buggy, 0x3573443e092800a6),
+    (CcaKind::Bbr, 0x26710c020b7b19dd),
+    (CcaKind::BbrProbeRttOnRto, 0x01f69a2e67a07e40),
+    (CcaKind::Vegas, 0xb85670175273f72e),
+    (CcaKind::Dctcp, 0x174ee49375e2cf0d),
+];
+
+/// Digests behind a default CoDel gateway with ECN on, per CCA.
+const GOLDEN_CODEL_ECN: [(CcaKind, u64); 7] = [
+    (CcaKind::Reno, 0xe2b7e5f61e12bd3f),
+    (CcaKind::Cubic, 0x0d8fdbee39375cce),
+    (CcaKind::CubicNs3Buggy, 0x0d8fdbee39375cce),
+    (CcaKind::Bbr, 0xfef64d4f6910e639),
+    (CcaKind::BbrProbeRttOnRto, 0xfef64d4f6910e639),
+    (CcaKind::Vegas, 0x7a7ab36b84a02c2b),
+    (CcaKind::Dctcp, 0x06da2e4e3ea19ff1),
+];
 
 fn fairness_scenario_specs() -> Vec<FlowSpec<CcaDispatch>> {
     vec![
@@ -96,6 +121,59 @@ fn fairness_scenario_digest_matches_pre_optimization_engine() {
         GOLDEN_FAIRNESS,
         "fairness digest drift — multi-flow hot path changed behaviour"
     );
+}
+
+#[test]
+fn red_ecn_digests_match_recorded_constants() {
+    for (kind, golden) in GOLDEN_RED_ECN {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        cfg.qdisc = Qdisc::red_default(100);
+        cfg.ecn_enabled = true;
+        let result = run_simulation(cfg, kind.build_dispatch(10));
+        assert_eq!(
+            result.stats.digest(),
+            golden,
+            "RED+ECN digest drift for {}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn codel_ecn_digests_match_recorded_constants() {
+    for (kind, golden) in GOLDEN_CODEL_ECN {
+        let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+        cfg.record_events = false;
+        cfg.qdisc = Qdisc::codel_default();
+        cfg.ecn_enabled = true;
+        let result = run_simulation(cfg, kind.build_dispatch(10));
+        assert_eq!(
+            result.stats.digest(),
+            golden,
+            "CoDel+ECN digest drift for {}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn aqm_digests_differ_from_drop_tail() {
+    // The AQM gateways must actually change behaviour (otherwise the golden
+    // constants above would silently pin a no-op), while the drop-tail
+    // digests stay exactly at their pre-qdisc values (asserted by
+    // `paper_scenario_digests_match_pre_optimization_engine`).
+    for (kind, golden) in GOLDEN_SINGLE_FLOW {
+        let red = GOLDEN_RED_ECN.iter().find(|(k, _)| *k == kind).unwrap().1;
+        let codel = GOLDEN_CODEL_ECN.iter().find(|(k, _)| *k == kind).unwrap().1;
+        assert_ne!(golden, red, "{}: RED behaves like drop-tail", kind.name());
+        assert_ne!(
+            golden,
+            codel,
+            "{}: CoDel behaves like drop-tail",
+            kind.name()
+        );
+    }
 }
 
 #[test]

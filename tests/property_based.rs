@@ -235,3 +235,132 @@ proptest! {
         prop_assert!(arrived <= c.total_dequeued());
     }
 }
+
+/// Case count override used by the CI property job (and local deep sweeps):
+/// `CCFUZZ_PROPTEST_CASES=1000 cargo test --release --test property_based`.
+fn env_cases(default: u32) -> ProptestConfig {
+    let n = std::env::var("CCFUZZ_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default);
+    ProptestConfig::with_cases(n)
+}
+
+proptest! {
+    // Each case is a full multi-flow simulation, so the in-tree default is
+    // modest; the CI property job raises it to 1000 via the env override.
+    #![proptest_config(env_cases(24))]
+
+    #[test]
+    fn ecn_conservation_across_all_qdiscs(
+        qdisc_kind in 0usize..3,
+        ecn in any::<bool>(),
+        n_flows in 1usize..4,
+        cca_raw in collection::vec(0usize..7, 3..4),
+        queue_cap in 20usize..80,
+        cross_packets in 0u64..300,
+        red_min in 5usize..40,
+        red_span in 5usize..40,
+        red_p in 0.05f64..1.0,
+        codel_target_ms in 1u64..30,
+        codel_interval_ms in 20u64..200,
+        seed in any::<u64>(),
+    ) {
+        // End-to-end ECN conservation: every CE mark applied at the gateway
+        // is observed by exactly one receiver and echoed exactly once — no
+        // mark is ever lost or double-counted — and every transmission is
+        // either delivered or dropped, under all three queue disciplines.
+        //
+        // Flows stop at 40% of the scenario and cross traffic ends by 30%,
+        // leaving >1 s for the queue, the link and the delayed-ACK timers to
+        // drain completely; with an empty network the conservation laws are
+        // exact equalities rather than inequalities.
+        use cc_fuzz::cca::CcaKind;
+        use cc_fuzz::netsim::queue::Qdisc;
+        use cc_fuzz::netsim::sim::{run_multi_flow_simulation, FlowSpec};
+        use cc_fuzz::netsim::trace::TrafficTrace;
+
+        let duration = SimDuration::from_secs(2);
+        let mut cfg = cc_fuzz::fuzz::campaign::paper_sim_base(duration);
+        cfg.record_events = false;
+        cfg.queue_capacity = QueueCapacity::Packets(queue_cap);
+        cfg.seed = seed;
+        cfg.ecn_enabled = ecn;
+        cfg.qdisc = match qdisc_kind {
+            0 => Qdisc::DropTail,
+            1 => Qdisc::Red {
+                min_thresh: red_min,
+                max_thresh: red_min + red_span,
+                mark_probability: red_p,
+            },
+            _ => Qdisc::CoDel {
+                target: SimDuration::from_millis(codel_target_ms),
+                interval: SimDuration::from_millis(codel_interval_ms),
+            },
+        };
+        cfg.validate().unwrap();
+
+        let mut rng = SimRng::new(seed ^ 0x5eed);
+        let injections: Vec<SimTime> = {
+            let mut v: Vec<SimTime> = (0..cross_packets)
+                .map(|_| SimTime::from_micros(rng.gen_range_u64(0, 600_000)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
+
+        let stop = SimTime::from_millis(800);
+        let specs: Vec<FlowSpec<cc_fuzz::cca::CcaDispatch>> = (0..n_flows)
+            .map(|i| FlowSpec {
+                cc: CcaKind::ALL[cca_raw[i % cca_raw.len()]].build_dispatch(10),
+                start: SimTime::from_millis(i as u64 * 100),
+                stop: Some(stop),
+            })
+            .collect();
+        let result = run_multi_flow_simulation(cfg, specs);
+        prop_assert!(!result.stats.truncated);
+
+        let c = result.stats.queue_counters;
+        let mut total_marked = 0u64;
+        for (i, f) in result.stats.flows.iter().enumerate() {
+            let s = &f.summary;
+            // Transmission conservation: with the network fully drained,
+            // every transmitted packet was delivered to the sink or dropped
+            // at the gateway (tail or AQM head drop) — nothing is in queue
+            // or in flight.
+            prop_assert_eq!(
+                s.transmissions,
+                f.sink_received + s.queue_drops,
+                "flow {}: tx {} != sink {} + drops {}",
+                i, s.transmissions, f.sink_received, s.queue_drops
+            );
+            // Mark conservation: every CE mark applied at the gateway
+            // reached the receiver, and the receiver echoed each exactly
+            // once.
+            prop_assert_eq!(s.ce_marked, s.ce_received, "flow {i}: marks lost in transit");
+            prop_assert_eq!(s.ce_received, s.ece_echoed, "flow {i}: echoes lost or duplicated");
+            // The sender can miss echoes whose ACKs arrived after its stop
+            // time, but can never see more than were sent.
+            prop_assert!(s.ece_acked <= s.ece_echoed);
+            if !ecn {
+                prop_assert_eq!(s.ce_marked, 0, "marks without ECN negotiation");
+            }
+            total_marked += s.ce_marked;
+        }
+        // Per-flow mark counters decompose the queue aggregate exactly, and
+        // the non-ECN-capable cross traffic is never marked.
+        prop_assert_eq!(c.marked_cca, total_marked);
+        prop_assert_eq!(c.marked_cross, 0);
+        // Cross traffic: every injection is either delivered or dropped,
+        // exactly once (the simulation-level counters attribute a CoDel
+        // head drop to the packet once, unlike the raw queue counters,
+        // where a head-dropped packet appears as both enqueued and
+        // dropped).
+        prop_assert_eq!(
+            result.stats.cross_delivered + result.stats.cross_dropped,
+            injections.len() as u64
+        );
+        prop_assert!(c.enqueued_cross <= injections.len() as u64);
+    }
+}
