@@ -166,6 +166,7 @@ mod tests {
         BottleneckRecord {
             at: SimTime::from_millis(at_ms),
             flow,
+            hop: 0,
             size: 1_000,
             event,
         }

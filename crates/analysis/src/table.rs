@@ -108,6 +108,42 @@ pub fn qdisc_table(
     text_table(&["finding", "qdisc", "ecn", "score", "goodput"], &rows)
 }
 
+/// Renders a deterministic per-hop table for multi-hop topology findings:
+/// one row per hop with its rate, one-way delay, buffer and discipline,
+/// with the bottleneck (slowest) hop flagged. The inputs are parallel
+/// slices indexed by hop.
+pub fn hop_table(
+    rates_bps: &[u64],
+    delays_ms: &[u64],
+    buffers_pkts: &[usize],
+    qdisc_labels: &[String],
+) -> String {
+    let bottleneck = rates_bps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| **r)
+        .map(|(i, _)| i);
+    let rows: Vec<Vec<String>> = rates_bps
+        .iter()
+        .enumerate()
+        .map(|(i, rate)| {
+            vec![
+                i.to_string(),
+                mbps(*rate as f64),
+                format!("{} ms", delays_ms.get(i).copied().unwrap_or(0)),
+                format!("{} pkts", buffers_pkts.get(i).copied().unwrap_or(0)),
+                qdisc_labels.get(i).cloned().unwrap_or_default(),
+                if Some(i) == bottleneck {
+                    "<- bottleneck".to_string()
+                } else {
+                    String::new()
+                },
+            ]
+        })
+        .collect();
+    text_table(&["hop", "rate", "delay", "buffer", "qdisc", ""], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +195,49 @@ mod tests {
         assert!(out.lines().nth(2).unwrap().contains("on"));
         assert!(out.lines().nth(3).unwrap().contains("off"));
         assert!(out.contains("3.000 Mbps"));
+    }
+
+    #[test]
+    fn hop_table_flags_the_bottleneck() {
+        let out = hop_table(
+            &[12_000_000, 6_000_000, 10_000_000],
+            &[10, 5, 5],
+            &[100, 60, 80],
+            &[
+                "droptail".to_string(),
+                "red(min=10,max=40,p=0.20)".to_string(),
+                "droptail".to_string(),
+            ],
+        );
+        assert!(out.contains("12.000 Mbps"));
+        assert!(out.contains("6.000 Mbps"));
+        assert!(out.contains("red(min=10,max=40,p=0.20)"));
+        let bottleneck_line = out
+            .lines()
+            .find(|l| l.contains("<- bottleneck"))
+            .expect("one hop is flagged");
+        assert!(
+            bottleneck_line.contains("6.000 Mbps"),
+            "the slowest hop is the bottleneck: {bottleneck_line}"
+        );
+        assert_eq!(
+            out.lines().filter(|l| l.contains("<- bottleneck")).count(),
+            1
+        );
+        // Deterministic.
+        assert_eq!(
+            out,
+            hop_table(
+                &[12_000_000, 6_000_000, 10_000_000],
+                &[10, 5, 5],
+                &[100, 60, 80],
+                &[
+                    "droptail".to_string(),
+                    "red(min=10,max=40,p=0.20)".to_string(),
+                    "droptail".to_string(),
+                ],
+            )
+        );
     }
 
     #[test]

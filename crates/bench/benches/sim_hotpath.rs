@@ -104,6 +104,44 @@ fn aqm_gateway_run(c: &mut Criterion) {
     group.finish();
 }
 
+fn multihop_chain_run(c: &mut Criterion) {
+    // The topology engine's hot path: a 3-hop parking lot (long Reno flow
+    // over the whole chain, short competitor on the middle bottleneck).
+    // Comparing against `hotpath_single_flow_5s` shows what hop-by-hop
+    // routing costs per event.
+    use ccfuzz_netsim::topology::{HopConfig, HopRange, Topology};
+    let mut group = c.benchmark_group("hotpath_multihop_5s");
+    group.sample_size(10);
+    group.bench_function("parking_lot_3hop", |b| {
+        b.iter(|| {
+            let mut cfg = paper_sim_base(SimDuration::from_secs(5));
+            cfg.record_events = false;
+            let mut topology = Topology::chain(vec![
+                HopConfig::fixed_rate(12_000_000, SimDuration::from_millis(10), 100),
+                HopConfig::fixed_rate(8_000_000, SimDuration::from_millis(5), 60),
+                HopConfig::fixed_rate(10_000_000, SimDuration::from_millis(5), 80),
+            ]);
+            topology.paths = vec![HopRange::full(3), HopRange::new(1, 1)];
+            cfg.topology = Some(topology);
+            let specs: Vec<FlowSpec<_>> = vec![
+                FlowSpec {
+                    cc: CcaKind::Reno.build_dispatch(10),
+                    start: SimTime::ZERO,
+                    stop: None,
+                },
+                FlowSpec {
+                    cc: CcaKind::Reno.build_dispatch(10),
+                    start: SimTime::from_millis(500),
+                    stop: None,
+                },
+            ];
+            let result = run_multi_flow_simulation(cfg, specs);
+            std::hint::black_box(result.stats.events_processed)
+        });
+    });
+    group.finish();
+}
+
 fn mini_campaign_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath_mini_campaign");
     group.sample_size(10);
@@ -144,6 +182,7 @@ criterion_group!(
     single_flow_run,
     fairness_8flow_run,
     aqm_gateway_run,
+    multihop_chain_run,
     mini_campaign_run
 );
 criterion_main!(benches);

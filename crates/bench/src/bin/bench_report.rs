@@ -5,6 +5,8 @@
 //! Workloads (all deterministic):
 //! * `single_flow`   — one Reno flow on the paper's clean 12 Mbps link, 5 s.
 //! * `fairness_8flow`— eight mixed-CCA flows sharing the bottleneck, 5 s.
+//! * `multi_hop`     — a 3-hop parking lot (long Reno flow over the chain
+//!   plus a short competitor on the middle bottleneck), 5 s.
 //! * `mini_campaign` — a 2-generation traffic-fuzzing GA (4 islands × 8).
 //!
 //! A machine-speed calibration loop (FNV hashing) is timed alongside so the
@@ -55,6 +57,9 @@ struct BenchReport {
     single_flow: WorkloadReport,
     /// Eight mixed-CCA flows plus cross traffic.
     fairness_8flow: WorkloadReport,
+    /// Three-hop parking lot: one long flow plus one short-path flow.
+    /// Zeroed in reports recorded before the topology engine existed.
+    multi_hop: WorkloadReport,
     /// Two-generation GA campaign.
     mini_campaign: WorkloadReport,
     /// Numbers recorded before the hot-path overhaul, normalised against
@@ -158,6 +163,36 @@ fn fairness_8flow(reps: u64) -> WorkloadReport {
     })
 }
 
+fn multi_hop(reps: u64) -> WorkloadReport {
+    use ccfuzz_netsim::topology::{HopConfig, HopRange, Topology};
+    let duration = SimDuration::from_secs(5);
+    time_workload(reps, || {
+        let mut cfg = paper_sim_base(duration);
+        cfg.record_events = false;
+        let mut topology = Topology::chain(vec![
+            HopConfig::fixed_rate(12_000_000, SimDuration::from_millis(10), 100),
+            HopConfig::fixed_rate(8_000_000, SimDuration::from_millis(5), 60),
+            HopConfig::fixed_rate(10_000_000, SimDuration::from_millis(5), 80),
+        ]);
+        topology.paths = vec![HopRange::full(3), HopRange::new(1, 1)];
+        cfg.topology = Some(topology);
+        let specs: Vec<FlowSpec> = vec![
+            FlowSpec {
+                cc: CcaKind::Reno.build(10),
+                start: SimTime::ZERO,
+                stop: None,
+            },
+            FlowSpec {
+                cc: CcaKind::Reno.build(10),
+                start: SimTime::from_millis(500),
+                stop: None,
+            },
+        ];
+        let result = run_multi_flow_simulation(cfg, specs);
+        std::hint::black_box(result.stats.events_processed)
+    })
+}
+
 fn mini_campaign(reps: u64) -> WorkloadReport {
     let events_per_run: u64;
     let mut evals_per_run = 0u64;
@@ -232,7 +267,8 @@ fn main() {
             _ => usage(),
         }
     }
-    let (reps_single, reps_fair, reps_campaign) = if fast { (3, 2, 1) } else { (12, 6, 3) };
+    let (reps_single, reps_fair, reps_multihop, reps_campaign) =
+        if fast { (3, 2, 2, 1) } else { (12, 6, 6, 3) };
 
     eprintln!("calibrating machine speed...");
     let mops = calibration_mops();
@@ -254,6 +290,15 @@ fn main() {
         fair.evals_per_sec,
         fair.events_per_sec / 1e6,
         fair.ns_per_event
+    );
+
+    eprintln!("timing multi_hop ({reps_multihop} reps)...");
+    let multihop = multi_hop(reps_multihop);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
+        multihop.evals_per_sec,
+        multihop.events_per_sec / 1e6,
+        multihop.ns_per_event
     );
 
     eprintln!("timing mini_campaign ({reps_campaign} reps)...");
@@ -281,6 +326,7 @@ fn main() {
         calibration_mops: mops,
         single_flow: single,
         fairness_8flow: fair,
+        multi_hop: multihop,
         mini_campaign: campaign,
         baseline,
     };

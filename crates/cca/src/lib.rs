@@ -185,6 +185,22 @@ mod tests {
     }
 
     #[test]
+    fn parse_list_error_names_the_offender_and_the_full_valid_set() {
+        // The CLI prints this error verbatim on exit code 2, so it must
+        // name the unknown CCA *and* every valid name the user could have
+        // meant.
+        let err = CcaKind::parse_list("reno,tahoe").unwrap_err();
+        assert!(err.contains("unknown CCA `tahoe`"), "{err}");
+        for kind in CcaKind::ALL {
+            assert!(
+                err.contains(kind.name()),
+                "error must list `{}`: {err}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
     fn each_parsed_flow_gets_its_own_boxed_instance() {
         // The multi-flow engine builds one CC per flow; instances must be
         // independent state machines even for the same kind.

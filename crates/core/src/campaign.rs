@@ -12,6 +12,7 @@ use crate::fuzzer::{FuzzResult, Fuzzer, GaParams};
 use crate::genome::{LinkGenome, TrafficGenome};
 use crate::scenario::{QdiscChoice, ScenarioGenome};
 use crate::scoring::ScoringConfig;
+use crate::topology::TopologyGenome;
 use crate::trace_gen::packets_for_rate;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_netsim::config::SimConfig;
@@ -41,6 +42,10 @@ pub enum FuzzMode {
     /// Evolve gateway queue disciplines (RED/CoDel parameters, ECN on/off)
     /// plus cross traffic, hunting for AQM configurations that break a CCA.
     Aqm,
+    /// Evolve multi-hop topologies (per-hop rate/delay/buffer/qdisc,
+    /// per-flow parking-lot paths) plus cross traffic, hunting for hop
+    /// chains that break flows.
+    Topology,
 }
 
 impl FuzzMode {
@@ -51,7 +56,22 @@ impl FuzzMode {
             FuzzMode::Traffic => "traffic",
             FuzzMode::Fairness => "fairness",
             FuzzMode::Aqm => "aqm",
+            FuzzMode::Topology => "topology",
         }
+    }
+
+    /// Every mode, in CLI/documentation order.
+    pub const ALL: [FuzzMode; 5] = [
+        FuzzMode::Traffic,
+        FuzzMode::Link,
+        FuzzMode::Fairness,
+        FuzzMode::Aqm,
+        FuzzMode::Topology,
+    ];
+
+    /// Parses a CLI name as produced by [`FuzzMode::name`].
+    pub fn from_name(name: &str) -> Option<FuzzMode> {
+        FuzzMode::ALL.iter().copied().find(|m| m.name() == name)
     }
 }
 
@@ -81,6 +101,8 @@ pub struct Campaign {
     pub max_flows: usize,
     /// Disciplines AQM-mode genomes may draw from (ignored elsewhere).
     pub qdisc_choice: QdiscChoice,
+    /// Initial hop count of topology-mode genomes (ignored elsewhere).
+    pub topology_hops: usize,
 }
 
 impl Campaign {
@@ -105,6 +127,7 @@ impl Campaign {
             flow_ccas: vec![cca],
             max_flows: 1,
             qdisc_choice: QdiscChoice::Any,
+            topology_hops: 1,
         }
     }
 
@@ -132,6 +155,7 @@ impl Campaign {
             flow_ccas,
             max_flows,
             qdisc_choice: QdiscChoice::Any,
+            topology_hops: 1,
         }
     }
 
@@ -159,6 +183,30 @@ impl Campaign {
             flow_ccas: vec![cca],
             max_flows: 1,
             qdisc_choice: choice,
+            topology_hops: 1,
+        }
+    }
+
+    /// The topology campaign preset: the GA evolves a chain of `hops`
+    /// bottleneck hops (rates bracketing the paper's 12 Mbps, per-hop
+    /// delays/buffers/qdiscs), parking-lot competitor flows drawn from
+    /// `cca` + Reno, and a cross-traffic helper at the head of the chain,
+    /// hunting for hop chains that break `cca`.
+    pub fn paper_topology(cca: CcaKind, hops: usize, duration: SimDuration, ga: GaParams) -> Self {
+        let sim = paper_sim_base(duration);
+        Campaign {
+            mode: FuzzMode::Topology,
+            cca,
+            duration,
+            scoring: ScoringConfig::topology_default(PAPER_LINK_RATE_BPS as f64),
+            ga,
+            traffic_max_packets: packets_for_rate(PAPER_LINK_RATE_BPS, sim.mss, duration) / 2,
+            sim,
+            link_rate_bps: PAPER_LINK_RATE_BPS,
+            flow_ccas: vec![cca, CcaKind::Reno],
+            max_flows: 3,
+            qdisc_choice: QdiscChoice::Any,
+            topology_hops: hops.max(1),
         }
     }
 
@@ -244,6 +292,26 @@ impl Campaign {
         let choice = self.qdisc_choice;
         let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
             ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
+        });
+        fuzzer.run()
+    }
+
+    /// Runs a topology-fuzzing campaign over multi-hop parking-lot genomes.
+    /// Panics if the mode is not [`FuzzMode::Topology`].
+    pub fn run_topology(&self) -> FuzzResult<TopologyGenome> {
+        assert_eq!(
+            self.mode,
+            FuzzMode::Topology,
+            "campaign is not in topology mode"
+        );
+        let evaluator = self.evaluator();
+        let duration = self.duration;
+        let cca = self.cca;
+        let hops = self.topology_hops;
+        let traffic_max_packets = self.traffic_max_packets;
+        let cca_pool = self.flow_ccas.clone();
+        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+            TopologyGenome::generate(cca, hops, duration, traffic_max_packets, &cca_pool, rng)
         });
         fuzzer.run()
     }
@@ -434,6 +502,63 @@ mod tests {
         );
         assert!(result.best_outcome.score.is_finite());
         assert!(result.best_outcome.score > 0.0);
+    }
+
+    #[test]
+    fn topology_campaign_preset_is_consistent() {
+        let c = Campaign::paper_topology(
+            CcaKind::Bbr,
+            3,
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+        );
+        assert_eq!(c.mode, FuzzMode::Topology);
+        assert_eq!(c.cca, CcaKind::Bbr);
+        assert_eq!(c.topology_hops, 3);
+        assert!(c.flow_ccas.contains(&CcaKind::Bbr));
+        match c.scoring.objective {
+            crate::scoring::Objective::MultiBottleneck {
+                cascade_weight,
+                collapse_weight,
+                ..
+            } => {
+                assert_eq!(cascade_weight, 0.5);
+                assert_eq!(collapse_weight, 0.5);
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+        assert_eq!(FuzzMode::Topology.name(), "topology");
+        assert_eq!(FuzzMode::from_name("topology"), Some(FuzzMode::Topology));
+        assert_eq!(FuzzMode::from_name("nope"), None);
+        assert_eq!(FuzzMode::ALL.len(), 5);
+    }
+
+    #[test]
+    fn tiny_topology_campaign_runs_end_to_end() {
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        let c = Campaign::paper_topology(CcaKind::Reno, 3, SimDuration::from_secs(2), ga);
+        let result = c.run_topology();
+        assert_eq!(result.history.len(), 2);
+        assert!(result.total_evaluations >= 6);
+        result.best_genome.validate().unwrap();
+        assert!(result.best_genome.hop_count() >= 1);
+        assert!(result.best_outcome.score.is_finite());
+        assert!(result.best_outcome.score > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in topology mode")]
+    fn topology_mode_mismatch_panics() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            GaParams::quick(),
+        );
+        let _ = c.run_topology();
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::scenario::ScenarioGenome;
 use crate::scoring::{
     performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs,
 };
+use crate::topology::TopologyGenome;
 use ccfuzz_cca::{CcaDispatch, CcaKind};
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
@@ -156,6 +157,54 @@ impl SimEvaluator {
         cfg
     }
 
+    /// The scoring configuration used for a topology genome: the reference
+    /// rate is capped at the evolved chain's bottleneck rate, so the
+    /// throughput and collapse terms measure *underutilization of the
+    /// capacity the chain actually offers*. Without the cap, the GA's
+    /// steepest gradient would simply be "evolve slower hops" — a 3 Mbps
+    /// chain scores >= 0.75 against the fixed 12 Mbps reference even when
+    /// every flow behaves perfectly (the same reward hack the link genome
+    /// prevents by fixing its total packet count). Public because corpus
+    /// replay must score a stored topology finding exactly as the hunt did.
+    pub fn topology_scoring(&self, genome: &TopologyGenome) -> ScoringConfig {
+        let mut scoring = self.scoring;
+        if let Some(bottleneck) = genome.hops.iter().map(|h| h.rate_bps).min() {
+            scoring.reference_rate_bps = scoring.reference_rate_bps.min(bottleneck as f64);
+        }
+        scoring
+    }
+
+    fn topology_cfg(&self, genome: &TopologyGenome, record_events: bool) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = record_events;
+        // The legacy single-bottleneck fields stay at the campaign defaults;
+        // the genome's hop chain supersedes them.
+        cfg.topology = Some(genome.to_topology());
+        cfg.cross_traffic = genome
+            .traffic
+            .as_ref()
+            .map(|t| t.to_trace())
+            .unwrap_or_else(|| ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration));
+        cfg.duration = genome.duration;
+        cfg
+    }
+
+    fn topology_specs(
+        &self,
+        genome: &TopologyGenome,
+        cfg: &SimConfig,
+    ) -> Vec<FlowSpec<CcaDispatch>> {
+        genome
+            .flows
+            .iter()
+            .map(|f| FlowSpec {
+                cc: f.flow.cca.build_dispatch(cfg.initial_cwnd),
+                start: f.flow.start,
+                stop: f.flow.stop,
+            })
+            .collect()
+    }
+
     fn scenario_cfg(&self, genome: &ScenarioGenome, record_events: bool) -> SimConfig {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
@@ -261,6 +310,27 @@ impl SimEvaluator {
         let specs = self.scenario_specs(genome, &cfg);
         run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
     }
+
+    /// Runs a full multi-hop simulation for a topology genome: the genome's
+    /// hop chain becomes the simulator topology, every flow gene becomes
+    /// its own sender routed over its path, and the optional cross-traffic
+    /// sub-genome injects at the head of the chain.
+    pub fn simulate_topology(&self, genome: &TopologyGenome, record_events: bool) -> SimResult {
+        let cfg = self.topology_cfg(genome, record_events);
+        let specs = self.topology_specs(genome, &cfg);
+        Simulation::new_multi(cfg, specs).run()
+    }
+
+    /// [`SimEvaluator::simulate_topology`] with reusable simulator storage.
+    pub fn simulate_topology_reusing(
+        &self,
+        genome: &TopologyGenome,
+        scratch: &mut EvalScratch,
+    ) -> SimResult {
+        let cfg = self.topology_cfg(genome, false);
+        let specs = self.topology_specs(genome, &cfg);
+        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+    }
 }
 
 impl SimEvaluator {
@@ -316,6 +386,37 @@ impl EvalOutcome {
             traffic_max_packets: t.max_packets,
             traffic_dropped: result.stats.cross_dropped,
         });
+        Self::from_multi_flow_result(scoring, result, mss, inputs)
+    }
+
+    /// Scores a finished multi-hop topology simulation, aggregating the
+    /// per-flow fields across every flow of the parking lot exactly like
+    /// [`EvalOutcome::from_scenario_result`] does for fairness scenarios.
+    pub fn from_topology_result(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        genome: &TopologyGenome,
+    ) -> Self {
+        let inputs = genome.traffic.as_ref().map(|t| TraceScoreInputs {
+            traffic_packets: t.packet_count(),
+            traffic_max_packets: t.max_packets,
+            traffic_dropped: result.stats.cross_dropped,
+        });
+        Self::from_multi_flow_result(scoring, result, mss, inputs)
+    }
+
+    /// Shared multi-flow aggregation: the legacy per-flow fields of
+    /// [`EvalOutcome`] describe flow 0 in single-flow modes; for multi-flow
+    /// runs they carry aggregates across all competing flows so the outcome
+    /// (and the behaviour signature built from it) reflects the whole
+    /// scenario.
+    fn from_multi_flow_result(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        inputs: Option<TraceScoreInputs>,
+    ) -> Self {
         let mut outcome = EvalOutcome::from_result(scoring, result, mss, inputs);
         let flows = &result.stats.flows;
         outcome.delivered_packets = flows.iter().map(|f| f.summary.delivered_packets).sum();
@@ -352,6 +453,28 @@ impl Evaluator<ScenarioGenome> for SimEvaluator {
     fn evaluate_reusing(&self, genome: &ScenarioGenome, scratch: &mut EvalScratch) -> EvalOutcome {
         let result = self.simulate_scenario_reusing(genome, scratch);
         EvalOutcome::from_scenario_result(&self.scoring, &result, self.base.mss, genome)
+    }
+}
+
+impl Evaluator<TopologyGenome> for SimEvaluator {
+    fn evaluate(&self, genome: &TopologyGenome) -> EvalOutcome {
+        let result = self.simulate_topology(genome, false);
+        EvalOutcome::from_topology_result(
+            &self.topology_scoring(genome),
+            &result,
+            self.base.mss,
+            genome,
+        )
+    }
+
+    fn evaluate_reusing(&self, genome: &TopologyGenome, scratch: &mut EvalScratch) -> EvalOutcome {
+        let result = self.simulate_topology_reusing(genome, scratch);
+        EvalOutcome::from_topology_result(
+            &self.topology_scoring(genome),
+            &result,
+            self.base.mss,
+            genome,
+        )
     }
 }
 
@@ -514,6 +637,85 @@ mod tests {
         droptail.qdisc = None;
         let d = Evaluator::<ScenarioGenome>::evaluate(&eval, &droptail);
         assert_ne!(a, d, "the qdisc gene must change the outcome");
+    }
+
+    #[test]
+    fn topology_evaluation_runs_the_hop_chain_deterministically() {
+        use crate::scoring::Objective;
+        use crate::topology::TopologyGenome;
+        let mut eval = evaluator();
+        eval.scoring.objective = Objective::MultiBottleneck {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+            cascade_weight: 0.5,
+            collapse_weight: 0.5,
+        };
+        let mut rng = SimRng::new(23);
+        let genome = TopologyGenome::generate(
+            CcaKind::Reno,
+            3,
+            SimDuration::from_secs(3),
+            200,
+            &[CcaKind::Reno],
+            &mut rng,
+        );
+        let result = eval.simulate_topology(&genome, false);
+        assert_eq!(result.stats.hop_counters.len(), genome.hop_count());
+        assert_eq!(result.stats.flows.len(), genome.flow_count());
+        assert!(result.stats.flow().delivered_packets > 0);
+        let a = Evaluator::<TopologyGenome>::evaluate(&eval, &genome);
+        let b = Evaluator::<TopologyGenome>::evaluate(&eval, &genome);
+        assert_eq!(a, b, "topology evaluation must be deterministic");
+        let mut scratch = EvalScratch::new();
+        let c = eval.evaluate_reusing(&genome, &mut scratch);
+        assert_eq!(a, c, "scratch reuse is bit-identical on the topology path");
+        assert!(a.score.is_finite() && a.score > 0.0);
+    }
+
+    #[test]
+    fn topology_scoring_caps_the_reference_at_the_chain_bottleneck() {
+        use crate::scoring::Objective;
+        use crate::topology::TopologyGenome;
+        let mut eval = evaluator();
+        eval.scoring.objective = Objective::MultiBottleneck {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+            cascade_weight: 0.5,
+            collapse_weight: 0.5,
+        };
+        let mut rng = SimRng::new(5);
+        let mut genome = TopologyGenome::generate(
+            CcaKind::Reno,
+            2,
+            SimDuration::from_secs(3),
+            0,
+            &[CcaKind::Reno],
+            &mut rng,
+        );
+        // A uniformly slow 4 Mbps drop-tail chain...
+        for hop in &mut genome.hops {
+            hop.rate_bps = 4_000_000;
+            hop.qdisc = None;
+        }
+        // ...must not be rewarded for its low capacity alone: the reference
+        // the score normalises by is capped at the chain's bottleneck.
+        assert_eq!(eval.topology_scoring(&genome).reference_rate_bps, 4e6);
+        let capped = Evaluator::<TopologyGenome>::evaluate(&eval, &genome);
+        let result = eval.simulate_topology(&genome, false);
+        let uncapped =
+            EvalOutcome::from_topology_result(&eval.scoring, &result, eval.base.mss, &genome);
+        assert!(
+            capped.score < uncapped.score,
+            "slow-but-healthy chains must not out-score via the fixed \
+             12 Mbps reference: capped {} vs uncapped {}",
+            capped.score,
+            uncapped.score
+        );
+        // A chain faster than the reference keeps the campaign reference.
+        for hop in &mut genome.hops {
+            hop.rate_bps = 20_000_000;
+        }
+        assert_eq!(eval.topology_scoring(&genome).reference_rate_bps, 12e6);
     }
 
     #[test]

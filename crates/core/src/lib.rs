@@ -19,8 +19,12 @@
 //! * [`scenario`] — multi-flow scenario genomes for fairness fuzzing
 //!   (flow count, per-flow CCA, start/stop schedule, optional traffic
 //!   sub-genome).
+//! * [`topology`] — multi-hop topology genomes for parking-lot fuzzing
+//!   (per-hop rate/delay/buffer/qdisc genes, per-flow paths, add/remove-hop
+//!   and bottleneck-shift mutations).
 //! * [`campaign`] — ready-made campaigns matching the paper's evaluation,
-//!   plus the fairness campaign preset built on the multi-flow engine.
+//!   plus the fairness/aqm/topology campaign presets built on the
+//!   multi-flow, multi-hop engine.
 //!
 //! ## Quick example
 //!
@@ -51,6 +55,7 @@ pub mod realism;
 pub mod scenario;
 pub mod scoring;
 pub mod selection;
+pub mod topology;
 pub mod trace_gen;
 
 pub use campaign::{Campaign, FuzzMode};
@@ -59,3 +64,4 @@ pub use fuzzer::{FuzzResult, Fuzzer, GaParams, GenerationSummary};
 pub use genome::{Genome, LinkGenome, TrafficGenome};
 pub use scenario::{FlowGene, ScenarioGenome};
 pub use scoring::{FairnessBreakdown, Objective, ScoringConfig};
+pub use topology::{HopGene, PathedFlowGene, TopologyGenome};

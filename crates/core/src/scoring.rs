@@ -67,6 +67,24 @@ pub enum Objective {
         /// seconds of drain time at the reference rate, capped at 1 s).
         delay_weight: f64,
     },
+    /// Multi-hop objective: find parking-lot topologies that break flows.
+    /// The base term is the primary flow's windowed low-throughput score;
+    /// `cascade_weight` rewards *cascaded* standing queues (the mean
+    /// per-hop drain time, so a chain of simultaneously-bloated queues
+    /// scores higher than one deep queue), and `collapse_weight` rewards
+    /// per-path throughput collapse (the worst flow's goodput relative to
+    /// the reference rate — a starved sub-path flow maximises it). The sum
+    /// is normalised by `1 + cascade_weight + collapse_weight`.
+    MultiBottleneck {
+        /// Throughput window size (as in `LowThroughput`).
+        window: SimDuration,
+        /// Fraction of lowest windows averaged.
+        lowest_fraction: f64,
+        /// Weight of the cascaded-standing-queue term.
+        cascade_weight: f64,
+        /// Weight of the per-path throughput-collapse term.
+        collapse_weight: f64,
+    },
 }
 
 /// Weights and normalisation for combining the two score components.
@@ -136,6 +154,24 @@ impl ScoringConfig {
                 lowest_fraction: 0.2,
                 mark_weight: 0.5,
                 delay_weight: 0.5,
+            },
+            performance_weight: 1.0,
+            trace_weight: 0.1,
+            reference_rate_bps,
+        }
+    }
+
+    /// Topology-fuzzing scoring: the windowed low-throughput term plus
+    /// cascaded-standing-queue and per-path-collapse terms at half weight
+    /// each, and a small trace weight so minimal cross-traffic helpers win
+    /// ties.
+    pub fn topology_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::MultiBottleneck {
+                window: SimDuration::from_millis(500),
+                lowest_fraction: 0.2,
+                cascade_weight: 0.5,
+                collapse_weight: 0.5,
             },
             performance_weight: 1.0,
             trace_weight: 0.1,
@@ -350,6 +386,62 @@ pub fn performance_score(
             let raw = throughput_term + mark_weight * mark_term + delay_weight * delay_term;
             (raw / (1.0 + mark_weight.max(0.0) + delay_weight.max(0.0))).clamp(0.0, 1.0)
         }
+        Objective::MultiBottleneck {
+            window,
+            lowest_fraction,
+            cascade_weight,
+            collapse_weight,
+        } => {
+            let duration = SimDuration::from_secs_f64(result.duration_secs);
+            let windows =
+                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
+            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
+            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            let reference = reference_rate_bps.max(1.0);
+            let throughput_term = (1.0 - low / reference).clamp(0.0, 1.0);
+
+            // Cascaded standing queues: the mean of the *per-hop* standing
+            // queue terms (each the hop's mean sampled occupancy expressed
+            // as seconds of drain time at the reference rate, capped at
+            // 1 s). Averaging across hops means a chain of simultaneously
+            // bloated queues beats one deep queue — the cascade is exactly
+            // what single-bottleneck fuzzing cannot produce. Single-hop
+            // runs keep everything in `queue_samples`, which then is the
+            // one "hop".
+            let standing = |samples: &[(ccfuzz_netsim::time::SimTime, usize, u64)]| {
+                if samples.is_empty() {
+                    return 0.0;
+                }
+                let mean_bytes =
+                    samples.iter().map(|(_, _, b)| *b as f64).sum::<f64>() / samples.len() as f64;
+                (mean_bytes * 8.0 / reference).min(1.0)
+            };
+            let cascade_term = if result.stats.hop_samples.is_empty() {
+                standing(&result.stats.queue_samples)
+            } else {
+                result
+                    .stats
+                    .hop_samples
+                    .iter()
+                    .map(|samples| standing(samples))
+                    .sum::<f64>()
+                    / result.stats.hop_samples.len() as f64
+            };
+
+            // Per-path throughput collapse: the worst flow's goodput over
+            // its own active interval, normalised by the reference rate.
+            // A starved parking-lot flow drives this toward 1.
+            let collapse_term = result
+                .stats
+                .flows
+                .iter()
+                .map(|f| 1.0 - (f.goodput_bps(mss, duration) / reference).clamp(0.0, 1.0))
+                .fold(0.0f64, f64::max);
+
+            let raw =
+                throughput_term + cascade_weight * cascade_term + collapse_weight * collapse_term;
+            (raw / (1.0 + cascade_weight.max(0.0) + collapse_weight.max(0.0))).clamp(0.0, 1.0)
+        }
     }
 }
 
@@ -444,6 +536,7 @@ mod tests {
         let mk = |delay_ms: u64| BottleneckRecord {
             at: SimTime::from_millis(delay_ms),
             flow: FlowId::Cca(0),
+            hop: 0,
             size: 1448,
             event: BottleneckEvent::Dequeued {
                 queuing_delay: SimDuration::from_millis(delay_ms),
@@ -642,6 +735,55 @@ mod tests {
         );
         // Scores stay in [0, 1]: normalised, not clamped away.
         for s in [base_score, marked_score, delayed_score] {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn multi_bottleneck_rewards_cascades_and_path_collapse() {
+        let objective = Objective::MultiBottleneck {
+            window: SimDuration::from_millis(500),
+            lowest_fraction: 0.2,
+            cascade_weight: 0.5,
+            collapse_weight: 0.5,
+        };
+        let times: Vec<SimTime> = (0..2_500).map(|i| SimTime::from_millis(i * 2)).collect();
+        let samples = |bytes: u64| -> Vec<(SimTime, usize, u64)> {
+            (0..100)
+                .map(|i| (SimTime::from_millis(i * 50), 10usize, bytes))
+                .collect()
+        };
+        let base = result_with_deliveries(times.clone(), 5.0);
+        let base_score = performance_score(&objective, &base, 1448, 12e6);
+
+        // One deep queue on a 3-hop chain...
+        let mut one_deep = result_with_deliveries(times.clone(), 5.0);
+        one_deep.stats.hop_samples = vec![samples(1_500_000), samples(0), samples(0)];
+        let one_deep_score = performance_score(&objective, &one_deep, 1448, 12e6);
+        // ...scores below the same bytes spread as a full cascade.
+        let mut cascade = result_with_deliveries(times.clone(), 5.0);
+        cascade.stats.hop_samples =
+            vec![samples(1_500_000), samples(1_500_000), samples(1_500_000)];
+        let cascade_score = performance_score(&objective, &cascade, 1448, 12e6);
+        assert!(one_deep_score > base_score);
+        assert!(
+            cascade_score > one_deep_score + 0.1,
+            "cascaded standing queues must beat one deep queue: \
+             {cascade_score} vs {one_deep_score}"
+        );
+
+        // A starved secondary (sub-path) flow raises the collapse term.
+        let mut starved = result_with_deliveries(times, 5.0);
+        starved.stats.flows.push(FlowStats {
+            delivery_times: vec![SimTime::from_millis(10)],
+            ..Default::default()
+        });
+        let starved_score = performance_score(&objective, &starved, 1448, 12e6);
+        assert!(
+            starved_score > base_score + 0.1,
+            "a collapsed path must raise the score: {starved_score} vs {base_score}"
+        );
+        for s in [base_score, one_deep_score, cascade_score, starved_score] {
             assert!((0.0..=1.0).contains(&s));
         }
     }

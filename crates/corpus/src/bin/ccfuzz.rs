@@ -14,11 +14,24 @@ use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::FuzzMode;
 use ccfuzz_corpus::hunt::{hunt, HuntConfig};
 use ccfuzz_corpus::minimize::{minimize_finding, MinimizeConfig};
-use ccfuzz_corpus::replay::replay_corpus;
+use ccfuzz_corpus::replay::replay_findings;
 use ccfuzz_corpus::report::corpus_report;
 use ccfuzz_corpus::store::{Corpus, CorpusConfig, InsertOutcome};
 use ccfuzz_netsim::time::SimDuration;
 use std::process::ExitCode;
+
+/// CLI failures, split by exit code: usage errors (bad flags/values, with
+/// the valid set named) exit 2; runtime errors (corpus IO, invalid stored
+/// findings) exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+/// Usage-error constructor used by the flag-parsing helpers.
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 const USAGE: &str = "\
 ccfuzz — CC-Fuzz findings corpus tool
@@ -39,11 +52,13 @@ COMMON OPTIONS:
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
                         bbr-probertt-on-rto | vegas | dctcp  (required)
-    --mode MODE         traffic | link | fairness | aqm (default: traffic)
+    --mode MODE         traffic | link | fairness | aqm | topology
+                        (default: traffic)
     --flows LIST        Comma-separated CCAs competing in fairness mode
                         (default: the --cca flow vs. reno)
     --qdisc KIND        Disciplines an aqm hunt explores: any | red | codel
                         (default: any)
+    --hops N            Initial hop count of a topology hunt (default: 3)
     --generations N     GA generations (default: 5)
     --seconds S         Scenario duration in seconds (default: 3)
     --seed N            GA master seed (default: 1)
@@ -66,7 +81,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
@@ -74,12 +93,12 @@ fn main() -> ExitCode {
 }
 
 /// Pulls `--flag VALUE` out of `args`, if present.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-            _ => Err(format!("{flag} requires a value")),
+            _ => Err(usage_err(format!("{flag} requires a value"))),
         },
     }
 }
@@ -88,23 +107,35 @@ fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
     match flag_value(args, flag)? {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("{flag}: invalid value `{v}`")),
+            .map_err(|_| usage_err(format!("{flag}: invalid value `{v}`"))),
     }
 }
 
-fn parse_cca(name: &str) -> Result<CcaKind, String> {
+fn parse_cca(name: &str) -> Result<CcaKind, CliError> {
     CcaKind::from_name(name).ok_or_else(|| {
         let known: Vec<&str> = CcaKind::ALL.iter().map(|k| k.name()).collect();
-        format!("unknown CCA `{name}` (known: {})", known.join(", "))
+        usage_err(format!(
+            "unknown CCA `{name}` (known: {})",
+            known.join(", ")
+        ))
     })
 }
 
-fn open_corpus(args: &[String]) -> Result<Corpus, String> {
+/// The valid `--mode` set, for usage errors.
+fn mode_names() -> String {
+    FuzzMode::ALL
+        .iter()
+        .map(|m| m.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn open_corpus(args: &[String]) -> Result<Corpus, CliError> {
     let dir = flag_value(args, "--corpus")?.unwrap_or_else(|| "corpus".to_string());
     let top_k = parse_num(args, "--top-k", CorpusConfig::default().top_k_per_bucket)?;
     Corpus::open_with(
@@ -113,13 +144,13 @@ fn open_corpus(args: &[String]) -> Result<Corpus, String> {
             top_k_per_bucket: top_k,
         },
     )
-    .map_err(|e| e.to_string())
+    .map_err(|e| CliError::Runtime(e.to_string()))
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(subcommand) = args.first() else {
         print!("{USAGE}");
-        return Ok(ExitCode::FAILURE);
+        return Ok(ExitCode::from(2));
     };
     let rest = &args[1..];
     match subcommand.as_str() {
@@ -131,22 +162,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+        other => Err(usage_err(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
-fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
-    let cca = parse_cca(&flag_value(args, "--cca")?.ok_or("hunt requires --cca")?)?;
-    let mode = match flag_value(args, "--mode")?.as_deref() {
-        None | Some("traffic") => FuzzMode::Traffic,
-        Some("link") => FuzzMode::Link,
-        Some("fairness") => FuzzMode::Fairness,
-        Some("aqm") => FuzzMode::Aqm,
-        Some(other) => {
-            return Err(format!(
-                "--mode: `{other}` is not traffic|link|fairness|aqm"
-            ))
-        }
+fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
+    let cca =
+        parse_cca(&flag_value(args, "--cca")?.ok_or_else(|| usage_err("hunt requires --cca"))?)?;
+    let mode = match flag_value(args, "--mode")? {
+        None => FuzzMode::Traffic,
+        Some(name) => FuzzMode::from_name(&name)
+            .ok_or_else(|| usage_err(format!("--mode: `{name}` is not {}", mode_names())))?,
     };
     let generations: u32 = parse_num(args, "--generations", 5)?;
     let seconds: u64 = parse_num(args, "--seconds", 3)?;
@@ -156,41 +184,59 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
     config.duration = SimDuration::from_secs(seconds.max(1));
     if let Some(flows) = flag_value(args, "--flows")? {
         if mode != FuzzMode::Fairness {
-            return Err("--flows only applies to --mode fairness".into());
+            return Err(usage_err("--flows only applies to --mode fairness"));
         }
-        let flow_ccas = CcaKind::parse_list(&flows)?;
+        let flow_ccas = CcaKind::parse_list(&flows).map_err(usage_err)?;
         if flow_ccas.len() < 2 {
-            return Err("--flows needs at least two comma-separated CCAs".into());
+            return Err(usage_err("--flows needs at least two comma-separated CCAs"));
         }
         if flow_ccas[0] != cca {
-            return Err(format!(
+            return Err(usage_err(format!(
                 "--flows starts with `{}` but --cca is `{}`; flow 0 is the algorithm \
                  under test, so the first --flows entry must match --cca",
                 flow_ccas[0].name(),
                 cca.name()
-            ));
+            )));
         }
         config.flow_ccas = flow_ccas;
     }
     if let Some(qdisc) = flag_value(args, "--qdisc")? {
         if mode != FuzzMode::Aqm {
-            return Err("--qdisc only applies to --mode aqm".into());
+            return Err(usage_err("--qdisc only applies to --mode aqm"));
         }
         config.qdisc = ccfuzz_core::scenario::QdiscChoice::from_name(&qdisc)
-            .ok_or_else(|| format!("--qdisc: `{qdisc}` is not any|red|codel"))?;
+            .ok_or_else(|| usage_err(format!("--qdisc: `{qdisc}` is not any|red|codel")))?;
+    }
+    if let Some(hops) = flag_value(args, "--hops")? {
+        if mode != FuzzMode::Topology {
+            return Err(usage_err("--hops only applies to --mode topology"));
+        }
+        let hops: usize = hops
+            .parse()
+            .map_err(|_| usage_err("--hops: invalid value"))?;
+        if hops == 0 {
+            return Err(usage_err("--hops must be at least 1"));
+        }
+        config.hops = hops;
     }
     if let Some(threads) = flag_value(args, "--threads")? {
-        let threads: usize = threads.parse().map_err(|_| "--threads: invalid value")?;
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| usage_err("--threads: invalid value"))?;
         if threads == 0 {
-            return Err("--threads must be at least 1".into());
+            return Err(usage_err("--threads must be at least 1"));
         }
         config.ga.threads = threads;
     }
     if let Some(islands) = flag_value(args, "--islands")? {
-        config.ga.islands = islands.parse().map_err(|_| "--islands: invalid value")?;
+        config.ga.islands = islands
+            .parse()
+            .map_err(|_| usage_err("--islands: invalid value"))?;
     }
     if let Some(pop) = flag_value(args, "--population")? {
-        config.ga.population_per_island = pop.parse().map_err(|_| "--population: invalid value")?;
+        config.ga.population_per_island = pop
+            .parse()
+            .map_err(|_| usage_err("--population: invalid value"))?;
     }
 
     let corpus = open_corpus(args)?;
@@ -215,6 +261,18 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
     if mode == FuzzMode::Aqm {
         println!("  qdisc search space: {:?}", campaign.qdisc_choice);
     }
+    if mode == FuzzMode::Topology {
+        println!(
+            "  topology: {} initial hop(s), pool [{}]",
+            campaign.topology_hops,
+            campaign
+                .flow_ccas
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     println!(
         "  ga: islands={} population/island={} generations={} crossover={:.2} \
          migration={:.2}@{} k_elite={} threads={}",
@@ -234,7 +292,8 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
         campaign.scoring.trace_weight,
         campaign.scoring.reference_rate_bps / 1e6
     );
-    let (finding, decision) = hunt(&corpus, &config).map_err(|e| e.to_string())?;
+    let (finding, decision) =
+        hunt(&corpus, &config).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!(
         "best trace: score={:.6} (perf={:.6}, trace={:.6}) goodput={:.3} Mbps packets={}",
         finding.outcome.score,
@@ -250,6 +309,12 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
                 gene.discipline.label(),
                 if gene.ecn { "on" } else { "off" }
             );
+        }
+    }
+    if let ccfuzz_corpus::finding::GenomePayload::Topology(genome) = &finding.genome {
+        println!("  evolved topology ({} hop(s)):", genome.hop_count());
+        for line in genome.detail_table().lines() {
+            println!("    {line}");
         }
     }
     if let Some(fairness) = &finding.fairness {
@@ -282,11 +347,11 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_minimize(args: &[String]) -> Result<ExitCode, CliError> {
     let corpus = open_corpus(args)?;
     let retain: f64 = parse_num(args, "--retain", 0.8)?;
     if !(0.0..=1.0).contains(&retain) {
-        return Err("--retain must be within [0, 1]".into());
+        return Err(usage_err("--retain must be within [0, 1]"));
     }
     let budget: usize = parse_num(args, "--budget", 300)?;
     let cfg = MinimizeConfig {
@@ -298,7 +363,7 @@ fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
     let ids: Vec<String> = match flag_value(args, "--id")? {
         Some(id) => vec![id],
         None => {
-            let mut ids = corpus.ids().map_err(|e| e.to_string())?;
+            let mut ids = corpus.ids().map_err(|e| CliError::Runtime(e.to_string()))?;
             ids.sort();
             if ids.is_empty() {
                 println!("corpus is empty, nothing to minimize");
@@ -309,11 +374,15 @@ fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
     };
 
     for id in ids {
-        let finding = corpus.get(&id).map_err(|e| e.to_string())?;
+        let finding = corpus
+            .get(&id)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
         let (minimized, report) = minimize_finding(&finding, &cfg);
         // `update` removes the old file and, if the id moved into an
         // occupied signature bucket, keeps whichever finding is stronger.
-        let stored = corpus.update(&id, &minimized).map_err(|e| e.to_string())?;
+        let stored = corpus
+            .update(&id, &minimized)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
         println!(
             "{id}: {} -> {} packets, score {:.6} -> {:.6} (threshold {:.6}, {} evals){}",
             report.original_packets,
@@ -352,13 +421,24 @@ fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
     let corpus = open_corpus(args)?;
     let cca_override = match flag_value(args, "--cca")? {
         Some(name) => Some(parse_cca(&name)?),
         None => None,
     };
-    let report = replay_corpus(&corpus, cca_override).map_err(|e| e.to_string())?;
+    let findings = corpus
+        .load_all()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Validate every stored configuration before burning simulations on
+    // it: a hand-edited or corrupted finding produces a descriptive error
+    // naming the finding, not a simulator panic mid-replay.
+    for finding in &findings {
+        finding
+            .validate()
+            .map_err(|e| CliError::Runtime(format!("finding {}: {e}", finding.id)))?;
+    }
+    let report = replay_findings(&findings, cca_override);
     print!("{}", report.to_text());
     if flag_present(args, "--strict") && !report.is_clean() {
         return Ok(ExitCode::FAILURE);
@@ -366,8 +446,11 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_report(args: &[String]) -> Result<ExitCode, CliError> {
     let corpus = open_corpus(args)?;
-    print!("{}", corpus_report(&corpus).map_err(|e| e.to_string())?);
+    print!(
+        "{}",
+        corpus_report(&corpus).map_err(|e| CliError::Runtime(e.to_string()))?
+    );
     Ok(ExitCode::SUCCESS)
 }

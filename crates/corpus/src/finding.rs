@@ -13,6 +13,7 @@ use ccfuzz_core::evaluate::{EvalOutcome, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
 use ccfuzz_core::scenario::ScenarioGenome;
 use ccfuzz_core::scoring::{fairness_breakdown, ScoringConfig, TraceScoreInputs};
+use ccfuzz_core::topology::TopologyGenome;
 use ccfuzz_netsim::config::SimConfig;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,8 @@ pub enum GenomePayload {
     Traffic(TrafficGenome),
     /// A multi-flow scenario (fairness fuzzing).
     Scenario(ScenarioGenome),
+    /// A multi-hop parking-lot topology (topology fuzzing).
+    Topology(TopologyGenome),
 }
 
 impl GenomePayload {
@@ -42,6 +45,7 @@ impl GenomePayload {
                     FuzzMode::Fairness
                 }
             }
+            GenomePayload::Topology(_) => FuzzMode::Topology,
         }
     }
 
@@ -54,16 +58,18 @@ impl GenomePayload {
             GenomePayload::Scenario(_) => {
                 matches!(mode, FuzzMode::Fairness | FuzzMode::Aqm)
             }
+            GenomePayload::Topology(_) => mode == FuzzMode::Topology,
         }
     }
 
     /// Number of packets in the genome (cross-traffic packets for
-    /// scenarios).
+    /// scenarios and topologies).
     pub fn packet_count(&self) -> usize {
         match self {
             GenomePayload::Link(g) => g.packet_count(),
             GenomePayload::Traffic(g) => g.packet_count(),
             GenomePayload::Scenario(g) => g.packet_count(),
+            GenomePayload::Topology(g) => g.packet_count(),
         }
     }
 
@@ -73,6 +79,7 @@ impl GenomePayload {
             GenomePayload::Link(g) => g.validate(),
             GenomePayload::Traffic(g) => g.validate(),
             GenomePayload::Scenario(g) => g.validate(),
+            GenomePayload::Topology(g) => g.validate(),
         }
     }
 }
@@ -307,6 +314,36 @@ impl Finding {
                 let breakdown = fairness_breakdown(&result, evaluator.base.mss);
                 let fairness = FairnessSummary {
                     per_flow_cca: g.flows.iter().map(|f| f.cca.name().to_string()).collect(),
+                    per_flow_goodput_bps: breakdown.per_flow_goodput_bps,
+                    per_flow_delivered: breakdown.per_flow_delivered,
+                    jain_index: breakdown.jain_index,
+                    max_starvation_secs: breakdown.max_starvation_secs,
+                };
+                (outcome, result.stats.digest(), Some(fairness))
+            }
+            GenomePayload::Topology(g) => {
+                let mut g = g.clone();
+                if let Some(cca) = cca {
+                    g.flows[0].flow.cca = cca;
+                }
+                let result = evaluator.simulate_topology(&g, false);
+                // The same capacity-capped scoring the hunt used, so replay
+                // reproduces the stored score exactly.
+                let outcome = EvalOutcome::from_topology_result(
+                    &evaluator.topology_scoring(&g),
+                    &result,
+                    evaluator.base.mss,
+                    &g,
+                );
+                // Topology findings reuse the per-flow summary so reports
+                // can show the parking-lot split without re-simulating.
+                let breakdown = fairness_breakdown(&result, evaluator.base.mss);
+                let fairness = FairnessSummary {
+                    per_flow_cca: g
+                        .flows
+                        .iter()
+                        .map(|f| f.flow.cca.name().to_string())
+                        .collect(),
                     per_flow_goodput_bps: breakdown.per_flow_goodput_bps,
                     per_flow_delivered: breakdown.per_flow_delivered,
                     jain_index: breakdown.jain_index,

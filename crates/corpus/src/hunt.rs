@@ -27,6 +27,8 @@ pub struct HuntConfig {
     pub flow_ccas: Vec<CcaKind>,
     /// Disciplines explored by AQM-mode hunts (ignored elsewhere).
     pub qdisc: QdiscChoice,
+    /// Initial hop count for topology-mode hunts (ignored elsewhere).
+    pub hops: usize,
 }
 
 impl HuntConfig {
@@ -48,6 +50,7 @@ impl HuntConfig {
             ga,
             flow_ccas,
             qdisc: QdiscChoice::Any,
+            hops: 3,
         }
     }
 
@@ -66,6 +69,9 @@ impl HuntConfig {
                 Campaign::paper_fairness(flow_ccas, self.duration, self.ga)
             }
             FuzzMode::Aqm => Campaign::paper_aqm(self.cca, self.duration, self.ga, self.qdisc),
+            FuzzMode::Topology => {
+                Campaign::paper_topology(self.cca, self.hops, self.duration, self.ga)
+            }
             _ => Campaign::paper_standard(self.mode, self.cca, self.duration, self.ga),
         }
     }
@@ -105,6 +111,14 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             let result = campaign.run_aqm();
             (
                 GenomePayload::Scenario(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations,
+            )
+        }
+        FuzzMode::Topology => {
+            let result = campaign.run_topology();
+            (
+                GenomePayload::Topology(result.best_genome),
                 result.best_outcome,
                 result.total_evaluations,
             )

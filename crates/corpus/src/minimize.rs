@@ -23,6 +23,7 @@ use crate::signature::BehaviorSignature;
 use ccfuzz_core::evaluate::{Evaluator, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
 use ccfuzz_core::scenario::{QdiscGene, ScenarioGenome};
+use ccfuzz_core::topology::TopologyGenome;
 use ccfuzz_netsim::queue::{Qdisc, QueueCapacity};
 use ccfuzz_netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -459,6 +460,192 @@ pub fn minimize_scenario(
     (minimized, report)
 }
 
+/// Adapts a [`SimEvaluator`] so the traffic-minimization passes can shrink
+/// a topology's cross-traffic sub-genome: every candidate traffic genome is
+/// re-embedded into the (otherwise fixed) topology before evaluation.
+struct TopologyTrafficEvaluator<'a> {
+    evaluator: &'a SimEvaluator,
+    topology: &'a TopologyGenome,
+}
+
+impl Evaluator<TrafficGenome> for TopologyTrafficEvaluator<'_> {
+    fn evaluate(&self, genome: &TrafficGenome) -> ccfuzz_core::evaluate::EvalOutcome {
+        let mut topology = self.topology.clone();
+        topology.traffic = Some(genome.clone());
+        Evaluator::<TopologyGenome>::evaluate(self.evaluator, &topology)
+    }
+}
+
+/// Tries to drop hops one index at a time (re-scanning from the front after
+/// every success), keeping a deletion whenever the re-simulated score
+/// retains the threshold: the minimized chain is the shortest prefix of
+/// bottlenecks the behaviour actually needs, ideally the single-hop
+/// dumbbell.
+fn hop_drop_pass(
+    evaluator: &SimEvaluator,
+    current: &mut TopologyGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    let start_hops = current.hop_count();
+    let mut at = 0usize;
+    while current.hop_count() > 1 && at < current.hop_count() && !budget.exhausted() {
+        let Some(candidate) = current.without_hop(at) else {
+            break;
+        };
+        budget.spent += 1;
+        let score = Evaluator::<TopologyGenome>::evaluate(evaluator, &candidate).score;
+        if score >= threshold {
+            *current = candidate;
+            *current_score = score;
+            // Restart the scan: removing this hop changes the dynamics, so
+            // a hop whose removal was rejected earlier may drop cleanly now.
+            at = 0;
+        } else {
+            at += 1;
+        }
+    }
+    passes.push(format!(
+        "drop-hops: {} -> {} hops",
+        start_hops,
+        current.hop_count()
+    ));
+}
+
+/// One step of relaxing hop `at` toward the paper's single-bottleneck
+/// baseline: drop its qdisc, then widen its buffer to the paper's 100
+/// packets, then raise its rate to the campaign's reference rate, then
+/// settle its delay on the paper's 20 ms. Returns `None` once the hop is
+/// fully baseline.
+fn relaxed_hop(
+    genome: &TopologyGenome,
+    at: usize,
+    baseline_rate_bps: u64,
+) -> Option<(TopologyGenome, &'static str)> {
+    let hop = &genome.hops[at];
+    let mut child = genome.clone();
+    if hop.qdisc.is_some() {
+        child.hops[at].qdisc = None;
+        return Some((child, "qdisc->droptail"));
+    }
+    if hop.buffer_packets < 100 {
+        child.hops[at].buffer_packets = 100;
+        return Some((child, "buffer->100"));
+    }
+    if hop.rate_bps < baseline_rate_bps {
+        child.hops[at].rate_bps = baseline_rate_bps;
+        return Some((child, "rate->baseline"));
+    }
+    if hop.delay != SimDuration::from_millis(20) {
+        child.hops[at].delay = SimDuration::from_millis(20);
+        return Some((child, "delay->20ms"));
+    }
+    None
+}
+
+/// Relaxes every surviving hop's parameters toward the single-hop baseline
+/// (drop-tail, 100-packet buffer, the campaign's link rate, 20 ms delay),
+/// keeping each step only while the score holds: whatever stays tightened
+/// in the minimized finding is what the behaviour genuinely depends on.
+fn hop_relax_pass(
+    evaluator: &SimEvaluator,
+    current: &mut TopologyGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    let baseline_rate = evaluator.link_rate_bps;
+    for at in 0..current.hop_count() {
+        while !budget.exhausted() {
+            let Some((candidate, step)) = relaxed_hop(current, at, baseline_rate) else {
+                break;
+            };
+            budget.spent += 1;
+            let score = Evaluator::<TopologyGenome>::evaluate(evaluator, &candidate).score;
+            if score >= threshold {
+                passes.push(format!(
+                    "relax hop {at} {step}: accepted (score {score:.6})"
+                ));
+                *current = candidate;
+                *current_score = score;
+            } else {
+                passes.push(format!(
+                    "relax hop {at} {step}: rejected (score {score:.6} < {threshold:.6})"
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Minimizes a topology genome. The hop chain is the finding's substance,
+/// so minimization pulls it toward the single-hop paper baseline from two
+/// directions — dropping whole hops, then relaxing the survivors' rate /
+/// buffer / delay / qdisc — and shrinks the cross-traffic helper with the
+/// full traffic ddmin + value-shrinking pipeline against the multi-hop
+/// simulation.
+pub fn minimize_topology(
+    evaluator: &SimEvaluator,
+    genome: &TopologyGenome,
+    cfg: &MinimizeConfig,
+) -> (TopologyGenome, MinimizeReport) {
+    let (mut minimized, mut report) = match &genome.traffic {
+        Some(traffic) => {
+            let wrapper = TopologyTrafficEvaluator {
+                evaluator,
+                topology: genome,
+            };
+            let (minimized_traffic, report) = minimize_traffic(&wrapper, traffic, cfg);
+            let mut minimized = genome.clone();
+            minimized.traffic = Some(minimized_traffic);
+            (minimized, report)
+        }
+        None => {
+            let score = Evaluator::<TopologyGenome>::evaluate(evaluator, genome).score;
+            (
+                genome.clone(),
+                MinimizeReport {
+                    original_packets: 0,
+                    minimized_packets: 0,
+                    original_score: score,
+                    minimized_score: score,
+                    threshold: score * cfg.retain_fraction,
+                    evaluations: 1,
+                    passes: vec!["topology has no cross traffic; nothing to shrink".into()],
+                },
+            )
+        }
+    };
+    let mut budget = Budget {
+        spent: report.evaluations as usize,
+        max: cfg.max_evaluations.max(1),
+    };
+    let mut score = report.minimized_score;
+    hop_drop_pass(
+        evaluator,
+        &mut minimized,
+        &mut score,
+        report.threshold,
+        &mut budget,
+        &mut report.passes,
+    );
+    hop_relax_pass(
+        evaluator,
+        &mut minimized,
+        &mut score,
+        report.threshold,
+        &mut budget,
+        &mut report.passes,
+    );
+    debug_assert!(minimized.hop_count() <= genome.hop_count());
+    report.minimized_score = score;
+    report.evaluations = budget.spent as u64;
+    (minimized, report)
+}
+
 /// Minimizes a stored finding: shrinks its genome with the finding's own
 /// evaluator, then refreshes the outcome, signature, digest and provenance.
 pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, MinimizeReport) {
@@ -478,6 +665,11 @@ pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, Mi
         GenomePayload::Scenario(genome) => {
             let (minimized, report) = minimize_scenario(&evaluator, genome, cfg);
             out.genome = GenomePayload::Scenario(minimized);
+            report
+        }
+        GenomePayload::Topology(genome) => {
+            let (minimized, report) = minimize_topology(&evaluator, genome, cfg);
+            out.genome = GenomePayload::Topology(minimized);
             report
         }
     };

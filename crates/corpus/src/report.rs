@@ -84,6 +84,13 @@ pub fn corpus_report(corpus: &Corpus) -> Result<String, CorpusError> {
                     .collect::<Vec<_>>(),
             ));
         }
+        // Topology findings get a per-hop chain table under the bucket.
+        for f in findings {
+            if let GenomePayload::Topology(genome) = &f.genome {
+                out.push_str(&format!("\n{}: {} hop(s)\n", f.id, genome.hop_count()));
+                out.push_str(&genome.detail_table());
+            }
+        }
         // Fairness findings get a per-flow breakdown under the bucket table.
         for f in findings {
             if let Some(fairness) = &f.fairness {

@@ -4,6 +4,7 @@ use crate::link::LinkModel;
 use crate::packet::DEFAULT_MSS;
 use crate::queue::{Qdisc, QueueCapacity};
 use crate::time::{SimDuration, SimTime};
+use crate::topology::{HopConfig, HopRange, Topology};
 use crate::trace::TrafficTrace;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,14 @@ pub struct SimConfig {
     /// marks instead of dropping them, receivers echo the marks, senders
     /// feed them to the congestion controller. Serialized only when `true`.
     pub ecn_enabled: bool,
+    /// Optional multi-hop topology. `None` (the default everywhere) is the
+    /// paper's single-bottleneck dumbbell built from the `link` /
+    /// `propagation_delay` / `queue_capacity` / `qdisc` fields above; when
+    /// set, those four fields are ignored and the chain of
+    /// [`HopConfig`]s (with per-flow [`HopRange`] paths) replaces them.
+    /// Serialized only when present, so pre-topology configurations
+    /// round-trip byte-identically.
+    pub topology: Option<Topology>,
 }
 
 // Serde is written by hand (not derived) so the two qdisc-era fields are
@@ -124,6 +133,9 @@ impl Serialize for SimConfig {
         if self.ecn_enabled {
             fields.push(("ecn_enabled".to_string(), self.ecn_enabled.to_value()));
         }
+        if let Some(topology) = &self.topology {
+            fields.push(("topology".to_string(), topology.to_value()));
+        }
         serde::value::Value::Map(fields)
     }
 }
@@ -165,6 +177,10 @@ impl Deserialize for SimConfig {
                 Ok(v) => Deserialize::from_value(v)?,
                 Err(_) => false,
             },
+            topology: match map_get(m, "topology") {
+                Ok(v) => Some(Deserialize::from_value(v)?),
+                Err(_) => None,
+            },
         })
     }
 }
@@ -200,6 +216,7 @@ impl SimConfig {
             seed: 1,
             qdisc: Qdisc::DropTail,
             ecn_enabled: false,
+            topology: None,
         }
     }
 
@@ -223,13 +240,50 @@ impl SimConfig {
         (bdp_bytes / self.mss as f64).ceil() as u64
     }
 
-    /// Validates internal consistency.
+    /// Number of hops the simulated path crosses (1 without a topology).
+    pub fn hop_count(&self) -> usize {
+        self.topology.as_ref().map(|t| t.hop_count()).unwrap_or(1)
+    }
+
+    /// The hop chain this configuration describes: the topology's hops when
+    /// one is set, otherwise a single hop assembled from the legacy
+    /// single-bottleneck fields.
+    pub fn hop_configs(&self) -> Vec<HopConfig> {
+        match &self.topology {
+            Some(topology) => topology.hops.clone(),
+            None => vec![HopConfig {
+                link: self.link.clone(),
+                propagation_delay: self.propagation_delay,
+                queue_capacity: self.queue_capacity,
+                qdisc: self.qdisc,
+            }],
+        }
+    }
+
+    /// The path of CCA flow `flow` (the full chain without a topology or
+    /// when the topology does not pin that flow explicitly).
+    pub fn flow_path(&self, flow: usize) -> HopRange {
+        match &self.topology {
+            Some(topology) => topology.path_of(flow),
+            None => HopRange::full(1),
+        }
+    }
+
+    /// Validates internal consistency, returning a descriptive error for
+    /// the first violated invariant instead of letting the simulator panic
+    /// (or spin) downstream.
     pub fn validate(&self) -> Result<(), String> {
         if self.mss == 0 {
             return Err("mss must be positive".into());
         }
         if self.duration == SimDuration::ZERO {
             return Err("duration must be positive".into());
+        }
+        if self.flow_start.as_nanos() >= self.duration.as_nanos() {
+            return Err(format!(
+                "flow_start {} is at or beyond the scenario duration {}",
+                self.flow_start, self.duration
+            ));
         }
         if self.initial_cwnd == 0 {
             return Err("initial cwnd must be at least 1".into());
@@ -240,11 +294,18 @@ impl SimConfig {
         if self.min_rto > self.max_rto {
             return Err("min_rto must not exceed max_rto".into());
         }
-        if let LinkModel::TraceDriven { trace } = &self.link {
-            trace.validate()?;
+        match &self.link {
+            LinkModel::FixedRate { rate_bps: 0 } => {
+                return Err("link rate must be positive (a zero-rate link never serves)".into())
+            }
+            LinkModel::TraceDriven { trace } => trace.validate()?,
+            LinkModel::FixedRate { .. } => {}
         }
         self.qdisc.validate()?;
         self.cross_traffic.validate()?;
+        if let Some(topology) = &self.topology {
+            topology.validate()?;
+        }
         Ok(())
     }
 }
@@ -338,6 +399,69 @@ mod tests {
         cfg.qdisc = Qdisc::codel_default();
         let back: SimConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn topology_field_is_omitted_when_absent_and_roundtrips_when_set() {
+        // No topology serializes exactly as before the hop-chain engine
+        // existed: configurations embedded in committed findings must
+        // re-serialize byte-identically.
+        let cfg = SimConfig::paper_default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(
+            !json.contains("topology"),
+            "absent topology must be omitted"
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.topology.is_none());
+        assert_eq!(back.hop_count(), 1);
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.topology = Some(Topology::chain(vec![
+            HopConfig::fixed_rate(12_000_000, SimDuration::from_millis(10), 100),
+            HopConfig::fixed_rate(8_000_000, SimDuration::from_millis(10), 60),
+        ]));
+        cfg.topology.as_mut().unwrap().paths = vec![HopRange::new(0, 1), HopRange::new(1, 1)];
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("topology"));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(back.hop_count(), 2);
+        assert_eq!(back.flow_path(1), HopRange::new(1, 1));
+        assert_eq!(back.flow_path(7), HopRange::full(2), "unpinned = full path");
+    }
+
+    #[test]
+    fn hop_configs_fall_back_to_the_legacy_single_bottleneck() {
+        let cfg = SimConfig::paper_default();
+        let hops = cfg.hop_configs();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].link, cfg.link);
+        assert_eq!(hops[0].propagation_delay, cfg.propagation_delay);
+        assert_eq!(hops[0].queue_capacity, cfg.queue_capacity);
+        assert_eq!(hops[0].qdisc, cfg.qdisc);
+    }
+
+    #[test]
+    fn validation_reports_descriptive_errors() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.link = LinkModel::FixedRate { rate_bps: 0 };
+        assert!(cfg.validate().unwrap_err().contains("link rate"));
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.flow_start = SimTime::ZERO + cfg.duration;
+        assert!(cfg.validate().unwrap_err().contains("flow_start"));
+
+        let mut cfg = SimConfig::paper_default();
+        cfg.topology = Some(Topology::chain(Vec::new()));
+        assert!(cfg.validate().unwrap_err().contains("no hops"));
+
+        let mut cfg = SimConfig::paper_default();
+        let mut topo = Topology::uniform_chain(2, 12_000_000, SimDuration::from_millis(5), 50);
+        topo.hops[1].link = LinkModel::FixedRate { rate_bps: 0 };
+        cfg.topology = Some(topo);
+        assert!(cfg.validate().unwrap_err().contains("hop 1"));
     }
 
     #[test]

@@ -99,5 +99,57 @@ mod tests {
         assert!(src.is_exhausted());
         assert_eq!(src.next_injection_time(), None);
         assert!(src.poll(SimTime::from_secs_f64(0.5)).is_none());
+        assert_eq!(src.injected(), 0);
+        assert_eq!(src.total(), 0);
+    }
+
+    #[test]
+    fn single_entry_trace_injects_exactly_once() {
+        let at = SimTime::from_millis(37);
+        let trace = TrafficTrace::new(vec![at], SimDuration::from_millis(100));
+        let mut src = CrossTrafficSource::new(&trace, 900);
+        assert_eq!(src.total(), 1);
+        assert!(!src.is_exhausted());
+        assert_eq!(src.next_injection_time(), Some(at));
+        // Not due yet.
+        assert!(src.poll(at - SimDuration::from_nanos(1)).is_none());
+        // Due exactly at its timestamp; stamped with it, not with `now`.
+        let pkt = src.poll(SimTime::from_millis(90)).unwrap();
+        assert_eq!(pkt.seq, 0);
+        assert_eq!(pkt.size, 900);
+        assert_eq!(pkt.sent_at, at);
+        // Never again.
+        assert!(src.poll(SimTime::from_millis(99)).is_none());
+        assert!(src.is_exhausted());
+        assert_eq!(src.injected(), 1);
+        assert_eq!(src.next_injection_time(), None);
+    }
+
+    #[test]
+    fn back_to_back_burst_at_one_timestamp_drains_in_seq_order() {
+        // Five packets at the same instant (the burst pattern the traffic
+        // genome's mutation operators love to produce): one poll each, in
+        // sequence order, all stamped with the shared timestamp.
+        let at = SimTime::from_millis(10);
+        let trace = TrafficTrace::new(vec![at; 5], SimDuration::from_millis(50));
+        let mut src = CrossTrafficSource::new(&trace, 1448);
+        assert_eq!(src.next_injection_time(), Some(at));
+        for expected_seq in 0..5 {
+            let pkt = src.poll(at).expect("burst packet due");
+            assert_eq!(pkt.seq, expected_seq);
+            assert_eq!(pkt.sent_at, at);
+        }
+        assert!(src.poll(at).is_none(), "burst fully drained");
+        assert!(src.is_exhausted());
+        assert_eq!(src.injected(), 5);
+    }
+
+    #[test]
+    fn injection_at_time_zero_is_due_immediately() {
+        let trace = TrafficTrace::new(vec![SimTime::ZERO], SimDuration::from_millis(10));
+        let mut src = CrossTrafficSource::new(&trace, 1448);
+        assert_eq!(src.next_injection_time(), Some(SimTime::ZERO));
+        assert!(src.poll(SimTime::ZERO).is_some());
+        assert!(src.is_exhausted());
     }
 }

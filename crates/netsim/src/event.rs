@@ -55,12 +55,23 @@ pub enum Event {
         /// Index of the flow that starts.
         flow: u32,
     },
-    /// A data packet arrives at the gateway queue (from any source).
-    GatewayArrival(PacketRef),
-    /// The bottleneck link finishes serializing / reaches a transmission
-    /// opportunity and can pull the next packet from the queue.
-    LinkReady,
-    /// A data packet, having crossed the bottleneck, arrives at the sink.
+    /// A data packet arrives at a hop's gateway queue (from any source:
+    /// a sender's access link, the previous hop, or cross traffic).
+    GatewayArrival {
+        /// Index of the hop whose queue the packet reaches (0 in the
+        /// paper's single-bottleneck dumbbell).
+        hop: u32,
+        /// Handle of the parked data packet.
+        pkt: PacketRef,
+    },
+    /// A hop's link finishes serializing / reaches a transmission
+    /// opportunity and can pull the next packet from that hop's queue.
+    LinkReady {
+        /// Index of the hop whose link became ready.
+        hop: u32,
+    },
+    /// A data packet, having crossed the last hop on its path, arrives at
+    /// the sink.
     SinkArrival(PacketRef),
     /// An ACK arrives back at a CCA sender.
     AckArrival {
@@ -282,7 +293,7 @@ impl EventQueue {
                         ScheduledEvent {
                             at: 0,
                             seq: 0,
-                            event: Event::LinkReady,
+                            event: Event::LinkReady { hop: 0 },
                         },
                     );
                     self.pos += 1;
@@ -365,7 +376,7 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(t(30), Event::LinkReady);
+        q.schedule(t(30), Event::LinkReady { hop: 0 });
         q.schedule(t(10), Event::FlowStart { flow: 0 });
         q.schedule(t(20), Event::StatsTick);
         assert_eq!(q.len(), 3);
@@ -508,7 +519,7 @@ mod tests {
         // Way beyond the ring horizon (~4.3 s): must park in overflow and
         // still pop in order.
         q.schedule(SimTime::from_secs_f64(100.0), Event::StatsTick);
-        q.schedule(SimTime::from_secs_f64(50.0), Event::LinkReady);
+        q.schedule(SimTime::from_secs_f64(50.0), Event::LinkReady { hop: 0 });
         q.schedule(t(1), Event::FlowStart { flow: 0 });
         assert_eq!(q.pop().unwrap().0, t(1));
         assert_eq!(q.pop().unwrap().0, SimTime::from_secs_f64(50.0));
@@ -520,15 +531,15 @@ mod tests {
     fn reset_recycles_the_queue() {
         let mut q = EventQueue::new();
         q.schedule(t(10), Event::StatsTick);
-        q.schedule(SimTime::from_secs_f64(60.0), Event::LinkReady);
+        q.schedule(SimTime::from_secs_f64(60.0), Event::LinkReady { hop: 0 });
         q.pop();
         q.reset();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
         // Sequence numbers restart, so tie-breaking behaves like a fresh queue.
         q.schedule(t(5), Event::StatsTick);
-        q.schedule(t(5), Event::LinkReady);
+        q.schedule(t(5), Event::LinkReady { hop: 0 });
         assert!(matches!(q.pop(), Some((_, Event::StatsTick))));
-        assert!(matches!(q.pop(), Some((_, Event::LinkReady))));
+        assert!(matches!(q.pop(), Some((_, Event::LinkReady { hop: 0 }))));
     }
 }

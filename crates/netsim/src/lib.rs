@@ -5,7 +5,9 @@
 //! CC-Fuzz genetic fuzzer ([`ccfuzz-core`]) drives, replacing the NS3 setup
 //! used by the original paper.
 //!
-//! The simulated topology is the dumbbell from §3.1 of the paper:
+//! The simulated topology is the dumbbell from §3.1 of the paper,
+//! optionally generalized to a chain of N bottleneck hops with per-flow
+//! parking-lot paths (see [`topology`]):
 //!
 //! ```text
 //!   CCA sender ----\                            /---- sink (receiver)
@@ -13,6 +15,10 @@
 //!   cross traffic --/    (drop tail)  (bottleneck,
 //!                                      fixed rate or trace driven,
 //!                                      fixed propagation delay)
+//!
+//!   multi-hop:  [q0]--link0--> [q1]--link1--> ... [qN-1]--linkN-1--> sink
+//!               (each hop: own link model, delay, capacity and qdisc;
+//!                each flow: own entry/exit hop)
 //! ```
 //!
 //! * The CCA sender runs a TCP-like transport ([`tcp`]) with SACK, delayed
@@ -57,6 +63,7 @@ pub mod sim;
 pub mod stats;
 pub mod tcp;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
 pub use config::SimConfig;

@@ -1,20 +1,31 @@
-//! The dumbbell simulation from §3.1 of the paper, generalized to N flows.
+//! The dumbbell simulation from §3.1 of the paper, generalized to N flows
+//! over a chain of N bottleneck hops.
 //!
 //! Wires together one or more TCP-like sender/receiver pairs, the
-//! cross-traffic source, the drop-tail gateway queue and the bottleneck
-//! link, and runs the discrete-event loop. A [`Simulation`] is a pure
-//! function of its [`SimConfig`], the plugged-in congestion control
-//! algorithms and the per-flow schedule: running the same configuration
-//! twice produces bit-identical [`SimResult`]s, which is what lets the
-//! genetic algorithm converge (§3.6).
+//! cross-traffic source, and a [`Topology`](crate::topology::Topology)-
+//! defined chain of gateway-queue + bottleneck-link hops, and runs the
+//! discrete-event loop. A [`Simulation`] is a pure function of its
+//! [`SimConfig`], the plugged-in congestion control algorithms and the
+//! per-flow schedule: running the same configuration twice produces
+//! bit-identical [`SimResult`]s, which is what lets the genetic algorithm
+//! converge (§3.6).
 //!
-//! All congestion-controlled flows share the single bottleneck queue and
-//! link; arbitration between them is exactly the drop-tail FIFO of the
-//! paper's topology — whichever packet reaches the gateway first occupies
-//! the queue slot. Every flow has its own sender, receiver, timers,
-//! start/stop schedule and [`FlowStats`](crate::stats::FlowStats); flow 0
-//! plays the role of the paper's original single CCA flow and its stats are
-//! exposed through the legacy accessors [`RunStats::flow`] and
+//! Without a topology the chain degenerates to the paper's single
+//! bottleneck, with an event sequence identical to the pre-topology engine.
+//! With a topology, data packets route hop by hop: service at hop `k`
+//! schedules an arrival at hop `k + 1` after hop `k`'s propagation delay,
+//! and each flow's [`HopRange`] path decides where its packets enter the
+//! chain and where they leave toward the sink (the parking-lot pattern).
+//! ACKs return over an uncongested reverse path whose delay is the sum of
+//! the propagation delays along the flow's own path.
+//!
+//! All congestion-controlled flows crossing a hop share that hop's queue
+//! and link; arbitration between them is exactly the configured queue
+//! discipline — whichever packet reaches the gateway first occupies the
+//! queue slot. Every flow has its own sender, receiver, timers, start/stop
+//! schedule and [`FlowStats`](crate::stats::FlowStats); flow 0 plays the
+//! role of the paper's original single CCA flow and its stats are exposed
+//! through the legacy accessors [`RunStats::flow`] and
 //! [`RunStats::delivery_times`] (which borrow from `flows[0]` — nothing is
 //! copied at the end of a run).
 //!
@@ -41,7 +52,8 @@ use crate::queue::{EnqueueOutcome, GatewayQueue};
 use crate::stats::{BottleneckEvent, BottleneckRecord, FlowRates, FlowStats, RunStats};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{hop_seed, HopConfig, HopRange};
 
 /// The outcome of a simulation run.
 #[derive(Clone, Debug)]
@@ -143,6 +155,16 @@ impl SimScratch {
     }
 }
 
+/// Runtime state of one hop of the chain: its gateway queue, its link and
+/// its propagation delay toward the next stop.
+struct Hop {
+    queue: GatewayQueue,
+    link: LinkService,
+    propagation_delay: SimDuration,
+    /// Dedupe for this hop's LinkReady events.
+    ready_scheduled: Option<SimTime>,
+}
+
 /// The dumbbell simulation, generic over the congestion-control type shared
 /// by its flows (defaults to `Box<dyn CongestionControl>` for trait-object
 /// call sites; the fuzzer instantiates `C = CcaDispatch` for enum dispatch).
@@ -151,12 +173,15 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     events: EventQueue,
     pool: PacketPool,
     flows: Vec<FlowRuntime<C>>,
-    queue: GatewayQueue,
-    link: LinkService,
+    /// The hop chain, in path order (a single hop without a topology).
+    hops: Vec<Hop>,
+    /// Per-flow paths over the chain (entry/exit hop indices, clamped).
+    paths: Vec<HopRange>,
+    /// Per-flow one-way ACK return delay: the sum of the propagation
+    /// delays along the flow's path.
+    ack_delays: Vec<SimDuration>,
     cross: CrossTrafficSource,
     stats: RunStats,
-    /// Dedupe for LinkReady events.
-    link_ready_scheduled: Option<SimTime>,
     finished: bool,
 }
 
@@ -190,11 +215,9 @@ impl<C: CongestionControl> Simulation<C> {
         specs: Vec<FlowSpec<C>>,
         scratch: SimScratch,
     ) -> Self {
-        debug_assert!(
-            cfg.validate().is_ok(),
-            "invalid SimConfig: {:?}",
-            cfg.validate()
-        );
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         assert!(!specs.is_empty(), "a simulation needs at least one flow");
         let sender_cfg = SenderConfig {
             mss: cfg.mss,
@@ -214,29 +237,65 @@ impl<C: CongestionControl> Simulation<C> {
             delayed_ack_timeout: cfg.delayed_ack_timeout,
             max_sack_blocks: 4,
         };
-        let link = LinkService::new(cfg.link.clone());
         let cross = CrossTrafficSource::new(&cfg.cross_traffic, cfg.cross_traffic_packet_size);
-        let queue = GatewayQueue::new(cfg.qdisc, cfg.queue_capacity, cfg.seed);
-        // Pre-size the per-flow delivery log from the link's carrying
-        // capacity so the hot loop never grows it.
-        let delivery_capacity_total = match &cfg.link {
+        let hop_cfgs = cfg.hop_configs();
+        let paths: Vec<HopRange> = (0..specs.len()).map(|i| cfg.flow_path(i)).collect();
+        let ack_delays: Vec<SimDuration> = paths
+            .iter()
+            .map(|p| {
+                hop_cfgs[p.entry as usize..=p.exit as usize]
+                    .iter()
+                    .fold(SimDuration::ZERO, |acc, h| acc + h.propagation_delay)
+            })
+            .collect();
+        // Pre-size each flow's delivery log from the tightest hop *on its
+        // own path* (a parking-lot flow that skips the slow hop can deliver
+        // far more than the chain's global bottleneck allows) so the hot
+        // loop never grows it.
+        let hop_capacity = |h: &HopConfig| match &h.link {
             LinkModel::FixedRate { rate_bps } => {
                 ((*rate_bps as f64 / 8.0) * cfg.duration.as_secs_f64() / cfg.mss as f64) as usize
             }
             LinkModel::TraceDriven { trace } => trace.len(),
-        }
-        .min(1 << 22);
-        let per_flow_capacity = delivery_capacity_total / specs.len() + 64;
+        };
+        let per_flow_capacity: Vec<usize> = paths
+            .iter()
+            .map(|p| {
+                hop_cfgs[p.entry as usize..=p.exit as usize]
+                    .iter()
+                    .map(hop_capacity)
+                    .min()
+                    .unwrap_or(0)
+                    .min(1 << 22)
+                    / specs.len()
+                    + 64
+            })
+            .collect();
+        // Built last, *consuming* the hop configs: a trace-driven link's
+        // timestamp vector moves into its LinkService instead of being
+        // cloned a second time (one clone per evaluation, as before the
+        // topology engine).
+        let hops: Vec<Hop> = hop_cfgs
+            .into_iter()
+            .enumerate()
+            .map(|(k, h)| Hop {
+                queue: GatewayQueue::new(h.qdisc, h.queue_capacity, hop_seed(cfg.seed, k)),
+                link: LinkService::new(h.link),
+                propagation_delay: h.propagation_delay,
+                ready_scheduled: None,
+            })
+            .collect();
         let flows: Vec<FlowRuntime<C>> = specs
             .into_iter()
-            .map(|spec| FlowRuntime {
+            .zip(&per_flow_capacity)
+            .map(|(spec, &capacity)| FlowRuntime {
                 sender: TcpSender::new(sender_cfg, spec.cc),
                 receiver: TcpReceiver::new(receiver_cfg),
                 start: spec.start,
                 stop: spec.stop,
                 pacing_scheduled: None,
                 rto_scheduled: None,
-                delivery_times: Vec::with_capacity(per_flow_capacity),
+                delivery_times: Vec::with_capacity(capacity),
                 queue_drops: 0,
                 ce_marked: 0,
                 sink_received: 0,
@@ -244,20 +303,25 @@ impl<C: CongestionControl> Simulation<C> {
             .collect();
         let mut stats = RunStats::default();
         stats.flows.reserve(flows.len());
-        stats
-            .queue_samples
-            .reserve((cfg.duration.as_nanos() / cfg.stats_interval.as_nanos().max(1)) as usize + 2);
+        let sample_capacity =
+            (cfg.duration.as_nanos() / cfg.stats_interval.as_nanos().max(1)) as usize + 2;
+        stats.queue_samples.reserve(sample_capacity);
+        if hops.len() > 1 {
+            stats.hop_samples = (0..hops.len())
+                .map(|_| Vec::with_capacity(sample_capacity))
+                .collect();
+        }
         let SimScratch { mut events, pool } = scratch;
         events.reset();
         Simulation {
             flows,
-            queue,
-            link,
+            hops,
+            paths,
+            ack_delays,
             cross,
             events,
             pool,
             stats,
-            link_ready_scheduled: None,
             finished: false,
             cfg,
         }
@@ -282,6 +346,16 @@ impl<C: CongestionControl> Simulation<C> {
         self.flows.len()
     }
 
+    /// Number of hops on the simulated path (1 without a topology).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The path of CCA flow `flow` over the hop chain.
+    pub fn path_of(&self, flow: usize) -> HopRange {
+        self.paths[flow]
+    }
+
     /// Immutable access to the primary flow's sender (e.g. to inspect CCA
     /// state mid-run in tests).
     pub fn sender(&self) -> &TcpSender<C> {
@@ -297,14 +371,31 @@ impl<C: CongestionControl> Simulation<C> {
         SimTime::ZERO + self.cfg.duration
     }
 
-    fn record_bottleneck(&mut self, at: SimTime, flow: FlowId, size: u32, event: BottleneckEvent) {
+    fn record_bottleneck(
+        &mut self,
+        hop: usize,
+        at: SimTime,
+        flow: FlowId,
+        size: u32,
+        event: BottleneckEvent,
+    ) {
         if self.cfg.record_events {
             self.stats.bottleneck.push(BottleneckRecord {
                 at,
                 flow,
+                hop: hop as u32,
                 size,
                 event,
             });
+        }
+    }
+
+    /// Index of the last hop on a packet's path before the sink. Cross
+    /// traffic always traverses the whole chain.
+    fn exit_hop(&self, flow: FlowId) -> usize {
+        match flow {
+            FlowId::CrossTraffic => self.hops.len() - 1,
+            FlowId::Cca(i) => self.paths[i as usize].exit as usize,
         }
     }
 
@@ -312,17 +403,19 @@ impl<C: CongestionControl> Simulation<C> {
     // Link / queue plumbing
     // ------------------------------------------------------------------
 
-    fn try_transmit(&mut self, now: SimTime) {
+    fn try_transmit(&mut self, hop: usize, now: SimTime) {
         loop {
-            match self.link.next_action(now, !self.queue.is_empty()) {
+            let queue_nonempty = !self.hops[hop].queue.is_empty();
+            match self.hops[hop].link.next_action(now, queue_nonempty) {
                 LinkAction::TransmitNow => {
                     // CoDel may drop (non-ECT) head packets while hunting for
                     // the next deliverable one; drop-tail and RED never do,
                     // so the buffer stays empty (and unallocated) for them.
                     let mut aqm_drops: Vec<DataPacket> = Vec::new();
-                    let pkt = self.queue.dequeue_at(now, |p| aqm_drops.push(p));
+                    let pkt = self.hops[hop].queue.dequeue_at(now, |p| aqm_drops.push(p));
                     for dropped in aqm_drops {
                         self.record_bottleneck(
+                            hop,
                             now,
                             dropped.flow,
                             dropped.size,
@@ -344,33 +437,54 @@ impl<C: CongestionControl> Simulation<C> {
                         // record at enqueue time), so this accounting stays
                         // correct for any future discipline without changes
                         // here.
-                        self.record_bottleneck(now, pkt.flow, pkt.size, BottleneckEvent::Marked);
+                        self.record_bottleneck(
+                            hop,
+                            now,
+                            pkt.flow,
+                            pkt.size,
+                            BottleneckEvent::Marked,
+                        );
                         if let FlowId::Cca(i) = pkt.flow {
                             self.flows[i as usize].ce_marked += 1;
                         }
                     }
                     let queuing_delay = now.saturating_since(pkt.enqueued_at);
                     self.record_bottleneck(
+                        hop,
                         now,
                         pkt.flow,
                         pkt.size,
                         BottleneckEvent::Dequeued { queuing_delay },
                     );
-                    let crossed_at = self.link.on_transmit(now, pkt.size);
-                    let arrival = crossed_at + self.cfg.propagation_delay;
+                    let crossed_at = self.hops[hop].link.on_transmit(now, pkt.size);
+                    let arrival = crossed_at + self.hops[hop].propagation_delay;
+                    let exit = self.exit_hop(pkt.flow);
                     let parked = self.pool.put_data(pkt);
-                    self.events.schedule(arrival, Event::SinkArrival(parked));
+                    if hop >= exit {
+                        // Last hop on this packet's path: deliver to the sink.
+                        self.events.schedule(arrival, Event::SinkArrival(parked));
+                    } else {
+                        // Route onward: arrival at the next hop's gateway.
+                        self.events.schedule(
+                            arrival,
+                            Event::GatewayArrival {
+                                hop: (hop + 1) as u32,
+                                pkt: parked,
+                            },
+                        );
+                    }
                 }
                 LinkAction::WaitUntil(t) => {
                     if t != SimTime::MAX
                         && t <= self.end_time()
-                        && self
-                            .link_ready_scheduled
+                        && self.hops[hop]
+                            .ready_scheduled
                             .map(|s| s > t || s < now)
                             .unwrap_or(true)
                     {
-                        self.events.schedule(t, Event::LinkReady);
-                        self.link_ready_scheduled = Some(t);
+                        self.events
+                            .schedule(t, Event::LinkReady { hop: hop as u32 });
+                        self.hops[hop].ready_scheduled = Some(t);
                     }
                     break;
                 }
@@ -379,23 +493,23 @@ impl<C: CongestionControl> Simulation<C> {
         }
     }
 
-    fn handle_gateway_arrival(&mut self, pkt: DataPacket, now: SimTime) {
+    fn handle_gateway_arrival(&mut self, hop: usize, pkt: DataPacket, now: SimTime) {
         let flow = pkt.flow;
         let size = pkt.size;
-        let outcome = self.queue.enqueue(pkt, now);
+        let outcome = self.hops[hop].queue.enqueue(pkt, now);
         let event = if outcome.accepted() {
             BottleneckEvent::Enqueued
         } else {
             BottleneckEvent::Dropped
         };
-        self.record_bottleneck(now, flow, size, event);
+        self.record_bottleneck(hop, now, flow, size, event);
         match outcome {
             EnqueueOutcome::Dropped => match flow {
                 FlowId::CrossTraffic => self.stats.cross_dropped += 1,
                 FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
             },
             EnqueueOutcome::AcceptedMarked => {
-                self.record_bottleneck(now, flow, size, BottleneckEvent::Marked);
+                self.record_bottleneck(hop, now, flow, size, BottleneckEvent::Marked);
                 if let FlowId::Cca(i) = flow {
                     self.flows[i as usize].ce_marked += 1;
                 }
@@ -403,7 +517,7 @@ impl<C: CongestionControl> Simulation<C> {
             EnqueueOutcome::Accepted => {}
         }
         if outcome.accepted() {
-            self.try_transmit(now);
+            self.try_transmit(hop, now);
         }
     }
 
@@ -434,9 +548,10 @@ impl<C: CongestionControl> Simulation<C> {
             match self.flows[flow].sender.poll_send(now) {
                 SendPoll::Packet(mut pkt) => {
                     pkt.flow = FlowId::Cca(flow as u32);
-                    // The access link from sender to gateway is unconstrained:
-                    // packets arrive at the queue immediately.
-                    self.handle_gateway_arrival(pkt, now);
+                    // The access link from sender to its entry hop is
+                    // unconstrained: packets arrive at that queue immediately.
+                    let entry = self.paths[flow].entry as usize;
+                    self.handle_gateway_arrival(entry, pkt, now);
                 }
                 SendPoll::Wait(t) => {
                     if t <= self.end_time()
@@ -487,7 +602,7 @@ impl<C: CongestionControl> Simulation<C> {
                 if let Some(ack) = out.ack {
                     let parked = self.pool.put_ack(ack);
                     self.events.schedule(
-                        now + self.cfg.propagation_delay,
+                        now + self.ack_delays[i as usize],
                         Event::AckArrival {
                             flow: i,
                             ack: parked,
@@ -529,7 +644,13 @@ impl<C: CongestionControl> Simulation<C> {
             }
             let pkt = self.cross.poll(t).expect("injection due");
             let parked = self.pool.put_data(pkt);
-            self.events.schedule(t, Event::GatewayArrival(parked));
+            self.events.schedule(
+                t,
+                Event::GatewayArrival {
+                    hop: 0,
+                    pkt: parked,
+                },
+            );
         }
 
         let end = self.end_time();
@@ -549,15 +670,16 @@ impl<C: CongestionControl> Simulation<C> {
                     self.flows[flow].sender.on_flow_start(now);
                     self.pump_sender(flow, now);
                 }
-                Event::GatewayArrival(parked) => {
+                Event::GatewayArrival { hop, pkt: parked } => {
                     let pkt = self.pool.take_data(parked);
-                    self.handle_gateway_arrival(pkt, now);
+                    self.handle_gateway_arrival(hop as usize, pkt, now);
                 }
-                Event::LinkReady => {
-                    if self.link_ready_scheduled == Some(now) {
-                        self.link_ready_scheduled = None;
+                Event::LinkReady { hop } => {
+                    let hop = hop as usize;
+                    if self.hops[hop].ready_scheduled == Some(now) {
+                        self.hops[hop].ready_scheduled = None;
                     }
-                    self.try_transmit(now);
+                    self.try_transmit(hop, now);
                 }
                 Event::SinkArrival(parked) => {
                     let pkt = self.pool.take_data(parked);
@@ -593,7 +715,7 @@ impl<C: CongestionControl> Simulation<C> {
                     {
                         let parked = self.pool.put_ack(ack);
                         self.events.schedule(
-                            now + self.cfg.propagation_delay,
+                            now + self.ack_delays[flow_idx],
                             Event::AckArrival { flow, ack: parked },
                         );
                     }
@@ -606,9 +728,22 @@ impl<C: CongestionControl> Simulation<C> {
                     self.pump_sender(flow, now);
                 }
                 Event::StatsTick => {
-                    self.stats
-                        .queue_samples
-                        .push((now, self.queue.len(), self.queue.bytes()));
+                    let mut len = 0usize;
+                    let mut bytes = 0u64;
+                    for hop in &self.hops {
+                        len += hop.queue.len();
+                        bytes += hop.queue.bytes();
+                    }
+                    self.stats.queue_samples.push((now, len, bytes));
+                    if self.hops.len() > 1 {
+                        for (k, hop) in self.hops.iter().enumerate() {
+                            self.stats.hop_samples[k].push((
+                                now,
+                                hop.queue.len(),
+                                hop.queue.bytes(),
+                            ));
+                        }
+                    }
                     let next = now + self.cfg.stats_interval;
                     if next <= end {
                         self.events.schedule(next, Event::StatsTick);
@@ -621,7 +756,8 @@ impl<C: CongestionControl> Simulation<C> {
         // times live in `flows[0]` and are *borrowed* by the legacy
         // accessors — the former end-of-run clone of both is gone.
         self.stats.events_processed = events_processed;
-        self.stats.queue_counters = self.queue.counters();
+        self.stats.hop_counters = self.hops.iter().map(|h| h.queue.counters()).collect();
+        self.stats.queue_counters = self.stats.hop_counters[0];
         for flow in &mut self.flows {
             let mut summary = flow.sender.summary();
             summary.queue_drops = flow.queue_drops;
@@ -1172,6 +1308,175 @@ mod tests {
                 qdisc.name()
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-hop topology
+    // ------------------------------------------------------------------
+
+    use crate::topology::{HopConfig, HopRange, Topology};
+
+    #[test]
+    fn explicit_single_hop_topology_matches_legacy_config() {
+        // A one-hop topology assembled from the legacy fields must be
+        // indistinguishable from the config without a topology: same
+        // digest, same event count (the seed of hop 0 is the legacy seed).
+        let legacy = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        let mut cfg = base_cfg();
+        cfg.topology = Some(Topology::chain(vec![HopConfig {
+            link: cfg.link.clone(),
+            propagation_delay: cfg.propagation_delay,
+            queue_capacity: cfg.queue_capacity,
+            qdisc: cfg.qdisc,
+        }]));
+        let topo = run_simulation(cfg, boxed(MiniAimdCc::new(10)));
+        assert_eq!(legacy.stats.digest(), topo.stats.digest());
+        assert_eq!(legacy.stats.events_processed, topo.stats.events_processed);
+        assert_eq!(topo.stats.hop_counters.len(), 1);
+        assert_eq!(topo.stats.hop_counters[0], topo.stats.queue_counters);
+        assert!(topo.stats.hop_samples.is_empty());
+    }
+
+    fn chain_cfg(rates_mbps: &[u64]) -> SimConfig {
+        let mut cfg = base_cfg();
+        cfg.topology = Some(Topology::chain(
+            rates_mbps
+                .iter()
+                .map(|&mbps| {
+                    HopConfig::fixed_rate(mbps * 1_000_000, SimDuration::from_millis(10), 100)
+                })
+                .collect(),
+        ));
+        cfg
+    }
+
+    #[test]
+    fn two_hop_chain_delivers_and_conserves_per_hop() {
+        // Stop the flow 1 s before the scenario ends so every packet in
+        // flight between the hops drains and conservation is exact.
+        let cfg = chain_cfg(&[12, 8]);
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![FlowSpec {
+                cc: boxed(MiniAimdCc::new(10)),
+                start: SimTime::ZERO,
+                stop: Some(SimTime::from_secs_f64(4.0)),
+            }],
+        );
+        assert!(result.stats.flow().delivered_packets > 100);
+        assert_eq!(result.stats.hop_counters.len(), 2);
+        let [h0, h1] = [result.stats.hop_counters[0], result.stats.hop_counters[1]];
+        // Every packet hop 0 served arrived at hop 1 and was either
+        // admitted or dropped there (the inter-hop path loses nothing).
+        assert_eq!(
+            h0.total_dequeued(),
+            h1.total_enqueued() + h1.total_dropped()
+        );
+        // The second hop is the 8 Mbps bottleneck; goodput respects it.
+        let goodput = result.average_goodput_bps(1448);
+        assert!(goodput < 8.5e6, "goodput {goodput} exceeds the tight hop");
+        assert!(goodput > 4e6, "goodput {goodput} too low for an 8 Mbps hop");
+        // Multi-hop runs expose per-hop occupancy samples.
+        assert_eq!(result.stats.hop_samples.len(), 2);
+        assert!(!result.stats.hop_samples[0].is_empty());
+    }
+
+    #[test]
+    fn multi_hop_rtt_is_the_sum_of_hop_delays() {
+        // Two 10 ms hops = 20 ms one-way = 40 ms RTT, same as the paper's
+        // single 20 ms hop; min_rtt must reflect the summed path.
+        let cfg = chain_cfg(&[12, 12]);
+        let result = run_simulation(cfg, boxed(FixedWindowCc::new(2)));
+        let min_rtt_us = result.stats.flow().min_rtt_us;
+        assert!(
+            (40_000..46_000).contains(&min_rtt_us),
+            "min_rtt {min_rtt_us}us should be ~40ms + serialization"
+        );
+    }
+
+    #[test]
+    fn parking_lot_short_flow_skips_other_hops() {
+        // Flow 0 crosses all three hops; flow 1 enters and exits at hop 1.
+        let mut cfg = chain_cfg(&[12, 6, 12]);
+        cfg.topology.as_mut().unwrap().paths = vec![HopRange::full(3), HopRange::new(1, 1)];
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
+                FlowSpec::new(boxed(MiniAimdCc::new(10))),
+            ],
+        );
+        let hops = &result.stats.hop_counters;
+        assert_eq!(hops.len(), 3);
+        // Hops 0 and 2 only ever see flow 0's packets; hop 1 sees both.
+        let f0_tx = result.stats.flows[0].summary.transmissions;
+        let f1_tx = result.stats.flows[1].summary.transmissions;
+        assert!(f1_tx > 0);
+        assert_eq!(hops[0].enqueued_cca + hops[0].dropped_cca, f0_tx);
+        assert!(hops[1].enqueued_cca + hops[1].dropped_cca >= f1_tx);
+        // Everything flow 1 delivered exited after hop 1: hop 2 carries
+        // only what hop 1 passed of flow 0.
+        assert!(hops[2].enqueued_cca <= hops[1].dequeued_cca);
+        // Both flows make progress through the shared 6 Mbps bottleneck.
+        let goodputs = result.per_flow_goodput_bps(1448);
+        assert!(goodputs[0] > 0.5e6 && goodputs[1] > 0.5e6);
+    }
+
+    #[test]
+    fn multi_hop_runs_are_deterministic_and_digest_hop_sensitive() {
+        let run = |rates: &[u64]| {
+            run_simulation(chain_cfg(rates), boxed(MiniAimdCc::new(10)))
+                .stats
+                .digest()
+        };
+        assert_eq!(run(&[12, 8]), run(&[12, 8]));
+        assert_ne!(
+            run(&[12, 8]),
+            run(&[8, 12]),
+            "hop order shapes behaviour and the digest"
+        );
+    }
+
+    #[test]
+    fn per_hop_red_lotteries_are_independent() {
+        // Two RED hops must not mirror each other's mark decisions: their
+        // seeded lotteries are forked per hop. The second hop is slower so
+        // a standing queue (and therefore marking) develops at both.
+        let mut cfg = chain_cfg(&[12, 8]);
+        {
+            let topo = cfg.topology.as_mut().unwrap();
+            for hop in &mut topo.hops {
+                hop.qdisc = Qdisc::Red {
+                    min_thresh: 2,
+                    max_thresh: 90,
+                    mark_probability: 0.6,
+                };
+            }
+        }
+        cfg.ecn_enabled = true;
+        cfg.record_events = false;
+        let result = run_multi_flow_simulation(
+            cfg,
+            vec![FlowSpec {
+                cc: boxed(FixedWindowCc::new(120)),
+                start: SimTime::ZERO,
+                stop: Some(SimTime::from_secs_f64(4.0)),
+            }],
+        );
+        let hops = &result.stats.hop_counters;
+        assert!(hops[0].marked_cca > 0, "first RED hop marks");
+        assert!(hops[1].marked_cca > 0, "second RED hop marks");
+        assert_ne!(
+            hops[0].marked_cca, hops[1].marked_cca,
+            "independent lotteries should not coincide exactly"
+        );
+        // Cascaded marking: the flow counts one mark event per hop, while
+        // the receiver sees each CE *packet* once — a packet marked at both
+        // hops contributes two mark events but one CE arrival.
+        let f = result.stats.flow();
+        assert_eq!(f.ce_marked, hops[0].marked_cca + hops[1].marked_cca);
+        assert!(f.ce_received > 0 && f.ce_received <= f.ce_marked);
+        assert_eq!(f.ce_received, f.ece_echoed, "every CE arrival echoed once");
     }
 
     #[test]

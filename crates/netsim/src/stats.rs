@@ -37,6 +37,9 @@ pub struct BottleneckRecord {
     pub at: SimTime,
     /// Which flow the packet belongs to.
     pub flow: FlowId,
+    /// Index of the hop whose queue/link produced the record (always 0 in
+    /// the paper's single-bottleneck dumbbell).
+    pub hop: u32,
     /// Packet size in bytes.
     pub size: u32,
     /// What happened.
@@ -251,10 +254,19 @@ pub struct RunStats {
     /// Transport event log for the primary CCA flow, time ordered.
     pub transport: Vec<TransportRecord>,
     /// Queue occupancy samples `(time, packets, bytes)` taken every
-    /// `stats_interval`.
+    /// `stats_interval`, summed across every hop of the path (identical to
+    /// the single queue's occupancy in the one-hop dumbbell).
     pub queue_samples: Vec<(SimTime, usize, u64)>,
-    /// Final queue counters.
+    /// Final queue counters of the *first* hop — exactly the legacy single
+    /// gateway's counters in the one-hop dumbbell. Multi-hop runs report
+    /// every hop in [`RunStats::hop_counters`].
     pub queue_counters: QueueCounters,
+    /// Per-hop lifetime queue counters, indexed by hop (length 1 without a
+    /// topology; `hop_counters[0] == queue_counters` always).
+    pub hop_counters: Vec<QueueCounters>,
+    /// Per-hop queue occupancy samples, populated only for multi-hop runs
+    /// (single-hop runs carry everything in `queue_samples` as before).
+    pub hop_samples: Vec<Vec<(SimTime, usize, u64)>>,
     /// Per-flow statistics for every congestion-controlled flow, indexed by
     /// [`crate::packet::FlowId::Cca`] index.
     pub flows: Vec<FlowStats>,
@@ -308,11 +320,25 @@ impl RunStats {
             .map(|f| f.delivery_times.as_slice())
             .unwrap_or(&[])
     }
-    /// Queuing-delay samples for a flow: `(dequeue time, delay)`.
+    /// Queuing-delay samples for a flow: `(dequeue time, delay)`. Multi-hop
+    /// runs contribute one sample per hop crossed; see
+    /// [`RunStats::queuing_delays_at_hop`] for a single hop's view.
     pub fn queuing_delays(&self, flow: FlowId) -> Vec<(SimTime, SimDuration)> {
         self.bottleneck
             .iter()
             .filter(|r| r.flow == flow)
+            .filter_map(|r| match r.event {
+                BottleneckEvent::Dequeued { queuing_delay } => Some((r.at, queuing_delay)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Queuing-delay samples for a flow at one specific hop.
+    pub fn queuing_delays_at_hop(&self, hop: u32, flow: FlowId) -> Vec<(SimTime, SimDuration)> {
+        self.bottleneck
+            .iter()
+            .filter(|r| r.flow == flow && r.hop == hop)
             .filter_map(|r| match r.event {
                 BottleneckEvent::Dequeued { queuing_delay } => Some((r.at, queuing_delay)),
                 _ => None,
@@ -418,6 +444,27 @@ impl RunStats {
                 }
             }
         }
+        // Multi-hop runs extend the digest with every hop's queue counters;
+        // a single-hop run (hop_counters = [queue_counters], already mixed
+        // above through the flow summaries it shaped) digests exactly as it
+        // did before the topology engine existed, which keeps every golden
+        // digest and corpus fixture byte-identical.
+        if self.hop_counters.len() > 1 {
+            for c in &self.hop_counters {
+                for v in [
+                    c.enqueued_cca,
+                    c.enqueued_cross,
+                    c.dropped_cca,
+                    c.dropped_cross,
+                    c.dequeued_cca,
+                    c.dequeued_cross,
+                    c.marked_cca,
+                    c.marked_cross,
+                ] {
+                    mix(v);
+                }
+            }
+        }
         // Secondary flows extend the digest; a single-flow run (whose
         // `flows[0]` is exactly what the legacy accessors above expose)
         // digests exactly as it did before the multi-flow engine existed,
@@ -461,6 +508,7 @@ mod tests {
         BottleneckRecord {
             at: SimTime::from_millis(at_ms),
             flow,
+            hop: 0,
             size: 1000,
             event,
         }

@@ -1,0 +1,311 @@
+//! Multi-hop topology: a chain of bottleneck hops with per-flow paths.
+//!
+//! The paper's dumbbell has exactly one gateway queue and one bottleneck
+//! link. A [`Topology`] generalizes that to a *chain* of N hops, each with
+//! its own service model, propagation delay, queue capacity and queue
+//! discipline — the classic "parking lot" used to study RTT unfairness,
+//! cascaded AQM marking and queue-of-queues latency:
+//!
+//! ```text
+//!   long flow ──▶ [q0]──link0──▶ [q1]──link1──▶ [q2]──link2──▶ sink
+//!                      short flow ──▶ [q1]──────▶ (exits after hop 1)
+//! ```
+//!
+//! Per-flow [`HopRange`]s let short flows enter and leave the chain at
+//! interior hops, so a two-hop flow can compete with a full-path flow on a
+//! strict subset of the bottlenecks. Cross traffic always traverses the
+//! whole chain.
+//!
+//! A configuration without a topology (`SimConfig::topology == None`) is
+//! the single-hop dumbbell, built from the legacy `link` /
+//! `propagation_delay` / `queue_capacity` / `qdisc` fields — the simulation
+//! event sequence for that case is identical to the pre-topology engine, so
+//! every golden digest and corpus fixture is preserved bit for bit.
+
+use crate::link::LinkModel;
+use crate::queue::{Qdisc, QueueCapacity};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One hop of the chain: its own bottleneck link, delay, queue and qdisc.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HopConfig {
+    /// Service model of this hop's bottleneck link.
+    pub link: LinkModel,
+    /// One-way propagation delay from this hop toward the next (or, for the
+    /// last hop on a flow's path, toward the sink).
+    pub propagation_delay: SimDuration,
+    /// Capacity of this hop's gateway queue.
+    pub queue_capacity: QueueCapacity,
+    /// Queue discipline at this hop's gateway.
+    pub qdisc: Qdisc,
+}
+
+impl HopConfig {
+    /// A fixed-rate drop-tail hop.
+    pub fn fixed_rate(
+        rate_bps: u64,
+        propagation_delay: SimDuration,
+        capacity_packets: usize,
+    ) -> Self {
+        HopConfig {
+            link: LinkModel::FixedRate { rate_bps },
+            propagation_delay,
+            queue_capacity: QueueCapacity::Packets(capacity_packets),
+            qdisc: Qdisc::DropTail,
+        }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if let LinkModel::FixedRate { rate_bps: 0 } = self.link {
+            return Err("hop link rate must be positive".into());
+        }
+        if let LinkModel::TraceDriven { trace } = &self.link {
+            trace.validate()?;
+        }
+        if let QueueCapacity::Packets(0) = self.queue_capacity {
+            return Err("hop queue capacity must admit at least one packet".into());
+        }
+        self.qdisc.validate()?;
+        Ok(())
+    }
+}
+
+/// The contiguous slice of hops a flow traverses: entry and exit hop
+/// indices, both inclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopRange {
+    /// Index of the first hop the flow's packets enter.
+    pub entry: u32,
+    /// Index of the last hop the flow's packets cross before the sink.
+    pub exit: u32,
+}
+
+impl HopRange {
+    /// The full path over a chain of `hops` hops.
+    pub fn full(hops: usize) -> Self {
+        HopRange {
+            entry: 0,
+            exit: hops.saturating_sub(1) as u32,
+        }
+    }
+
+    /// A path from hop `entry` through hop `exit`, both inclusive.
+    pub fn new(entry: u32, exit: u32) -> Self {
+        HopRange { entry, exit }
+    }
+
+    /// Number of hops on the path.
+    pub fn len(&self) -> usize {
+        (self.exit.saturating_sub(self.entry) as usize) + 1
+    }
+
+    /// `HopRange` always covers at least one hop; provided for clippy's
+    /// `len`-without-`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` when the path crosses hop `hop`.
+    pub fn contains(&self, hop: usize) -> bool {
+        (self.entry as usize) <= hop && hop <= (self.exit as usize)
+    }
+
+    /// Checks the range against a chain of `hops` hops.
+    pub fn validate(&self, hops: usize) -> Result<(), String> {
+        if self.entry > self.exit {
+            return Err(format!(
+                "path entry hop {} is beyond its exit hop {}",
+                self.entry, self.exit
+            ));
+        }
+        if self.exit as usize >= hops {
+            return Err(format!(
+                "path exit hop {} is outside the {hops}-hop chain",
+                self.exit
+            ));
+        }
+        Ok(())
+    }
+
+    /// The range clamped into a chain of `hops` hops.
+    pub fn clamped(&self, hops: usize) -> HopRange {
+        let last = hops.saturating_sub(1) as u32;
+        let entry = self.entry.min(last);
+        HopRange {
+            entry,
+            exit: self.exit.clamp(entry, last),
+        }
+    }
+}
+
+/// A chain of bottleneck hops plus per-flow paths.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// The hops, in path order (hop 0 is nearest the senders).
+    pub hops: Vec<HopConfig>,
+    /// Per-flow paths, indexed by CCA flow index. Flows beyond the end of
+    /// this list (and cross traffic, always) traverse the full chain.
+    pub paths: Vec<HopRange>,
+}
+
+impl Topology {
+    /// A topology where every flow traverses the whole chain.
+    pub fn chain(hops: Vec<HopConfig>) -> Self {
+        Topology {
+            hops,
+            paths: Vec::new(),
+        }
+    }
+
+    /// A uniform chain of `hops` identical fixed-rate drop-tail hops.
+    pub fn uniform_chain(
+        hops: usize,
+        rate_bps: u64,
+        propagation_delay: SimDuration,
+        capacity_packets: usize,
+    ) -> Self {
+        Topology::chain(
+            (0..hops)
+                .map(|_| HopConfig::fixed_rate(rate_bps, propagation_delay, capacity_packets))
+                .collect(),
+        )
+    }
+
+    /// Number of hops in the chain.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The path of CCA flow `flow` (the full chain when unspecified).
+    pub fn path_of(&self, flow: usize) -> HopRange {
+        self.paths
+            .get(flow)
+            .copied()
+            .unwrap_or_else(|| HopRange::full(self.hops.len()))
+            .clamped(self.hops.len())
+    }
+
+    /// Checks internal consistency: at least one hop, every hop valid,
+    /// every explicit path inside the chain.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hops.is_empty() {
+            return Err("topology has no hops".into());
+        }
+        for (i, hop) in self.hops.iter().enumerate() {
+            hop.validate().map_err(|e| format!("hop {i}: {e}"))?;
+        }
+        for (i, path) in self.paths.iter().enumerate() {
+            path.validate(self.hops.len())
+                .map_err(|e| format!("flow {i} path: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// The RED-lottery seed of hop `hop`. Hop 0 keeps the scenario seed
+/// untouched so a single-hop topology reproduces the legacy gateway's
+/// random stream exactly; later hops fork deterministic, distinct streams.
+pub fn hop_seed(seed: u64, hop: usize) -> u64 {
+    if hop == 0 {
+        seed
+    } else {
+        seed ^ (hop as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json;
+
+    fn three_hops() -> Topology {
+        Topology::chain(vec![
+            HopConfig::fixed_rate(12_000_000, SimDuration::from_millis(10), 100),
+            HopConfig::fixed_rate(8_000_000, SimDuration::from_millis(5), 60),
+            HopConfig::fixed_rate(10_000_000, SimDuration::from_millis(5), 80),
+        ])
+    }
+
+    #[test]
+    fn chain_defaults_every_flow_to_the_full_path() {
+        let topo = three_hops();
+        topo.validate().unwrap();
+        assert_eq!(topo.hop_count(), 3);
+        for flow in 0..4 {
+            assert_eq!(topo.path_of(flow), HopRange::new(0, 2));
+        }
+    }
+
+    #[test]
+    fn explicit_paths_are_honoured_and_clamped() {
+        let mut topo = three_hops();
+        topo.paths = vec![HopRange::full(3), HopRange::new(1, 1)];
+        topo.validate().unwrap();
+        assert_eq!(topo.path_of(0), HopRange::new(0, 2));
+        assert_eq!(topo.path_of(1), HopRange::new(1, 1));
+        assert_eq!(topo.path_of(2), HopRange::new(0, 2), "unspecified = full");
+        assert!(topo.path_of(1).contains(1));
+        assert!(!topo.path_of(1).contains(0));
+        assert_eq!(topo.path_of(1).len(), 1);
+        // Out-of-chain ranges clamp rather than panic.
+        assert_eq!(HopRange::new(5, 9).clamped(3), HopRange::new(2, 2));
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        let empty = Topology::chain(Vec::new());
+        assert!(empty.validate().unwrap_err().contains("no hops"));
+
+        let mut zero_rate = three_hops();
+        zero_rate.hops[1].link = LinkModel::FixedRate { rate_bps: 0 };
+        assert!(zero_rate.validate().unwrap_err().contains("hop 1"));
+
+        let mut zero_queue = three_hops();
+        zero_queue.hops[0].queue_capacity = QueueCapacity::Packets(0);
+        assert!(zero_queue.validate().is_err());
+
+        let mut bad_path = three_hops();
+        bad_path.paths = vec![HopRange::new(2, 1)];
+        assert!(bad_path.validate().unwrap_err().contains("flow 0 path"));
+
+        let mut out_of_chain = three_hops();
+        out_of_chain.paths = vec![HopRange::new(0, 7)];
+        assert!(out_of_chain.validate().is_err());
+
+        let mut bad_qdisc = three_hops();
+        bad_qdisc.hops[2].qdisc = Qdisc::Red {
+            min_thresh: 50,
+            max_thresh: 10,
+            mark_probability: 0.2,
+        };
+        assert!(bad_qdisc.validate().is_err());
+    }
+
+    #[test]
+    fn uniform_chain_is_uniform() {
+        let topo = Topology::uniform_chain(4, 12_000_000, SimDuration::from_millis(5), 100);
+        topo.validate().unwrap();
+        assert_eq!(topo.hop_count(), 4);
+        assert!(topo.hops.iter().all(|h| h == &topo.hops[0]));
+    }
+
+    #[test]
+    fn hop_seed_preserves_hop_zero_and_differs_beyond() {
+        assert_eq!(hop_seed(42, 0), 42, "hop 0 keeps the legacy seed");
+        assert_ne!(hop_seed(42, 1), 42);
+        assert_ne!(hop_seed(42, 1), hop_seed(42, 2));
+        assert_ne!(hop_seed(41, 1), hop_seed(42, 1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut topo = three_hops();
+        topo.paths = vec![HopRange::new(0, 2), HopRange::new(1, 2)];
+        topo.hops[1].qdisc = Qdisc::codel_default();
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(topo, back);
+    }
+}

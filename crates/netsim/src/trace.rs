@@ -305,6 +305,98 @@ mod tests {
     }
 
     #[test]
+    fn empty_traces_are_valid_and_rate_zero() {
+        let lt = LinkTrace::new(Vec::new(), SimDuration::from_secs(2));
+        lt.validate().unwrap();
+        assert!(lt.is_empty());
+        assert_eq!(lt.len(), 0);
+        assert_eq!(lt.average_rate_bps(1500), 0.0);
+        // The cumulative curve of an empty trace is a flat zero line.
+        let curve = lt.cumulative_curve(10);
+        assert_eq!(curve.len(), 10);
+        assert!(curve.iter().all(|(_, count)| *count == 0));
+
+        let tt = TrafficTrace::empty(SimDuration::from_secs(2));
+        tt.validate().unwrap();
+        assert!(tt.is_empty());
+        assert_eq!(tt.average_rate_bps(1500), 0.0);
+
+        // Degenerate duration: rates divide by zero seconds and must not
+        // produce NaN/inf.
+        let zero_dur = TrafficTrace::empty(SimDuration::ZERO);
+        assert_eq!(zero_dur.average_rate_bps(1500), 0.0);
+        assert_eq!(
+            LinkTrace::new(Vec::new(), SimDuration::ZERO).average_rate_bps(1500),
+            0.0
+        );
+    }
+
+    #[test]
+    fn single_entry_traces_roundtrip_and_measure() {
+        // One opportunity exactly on the duration boundary is valid.
+        let at = SimTime::from_secs_f64(1.0);
+        let lt = LinkTrace::new(vec![at], SimDuration::from_secs(1));
+        lt.validate().unwrap();
+        assert_eq!(lt.len(), 1);
+        // 1 packet of 1500 B over 1 s = 12 kbps.
+        assert!((lt.average_rate_bps(1500) - 12_000.0).abs() < 1e-9);
+        let curve = lt.cumulative_curve(5);
+        assert_eq!(curve.first().unwrap().1, 0);
+        assert_eq!(curve.last().unwrap().1, 1);
+
+        let tt = TrafficTrace::new(vec![at], SimDuration::from_secs(1));
+        tt.validate().unwrap();
+        assert_eq!(tt.len(), 1);
+        let json = serde_json::to_string(&tt).unwrap();
+        let back: TrafficTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(tt, back);
+        // One nanosecond beyond the duration is rejected.
+        let beyond = TrafficTrace {
+            injections: vec![at + SimDuration::from_nanos(1)],
+            duration: SimDuration::from_secs(1),
+        };
+        assert!(beyond.validate().is_err());
+    }
+
+    #[test]
+    fn back_to_back_bursts_at_one_timestamp_are_legal_and_stable() {
+        // Duplicate timestamps (a burst with zero spacing) are a legal
+        // trace: sorting is stable about them, validation accepts them,
+        // and they survive a serde roundtrip verbatim.
+        let t0 = SimTime::from_millis(10);
+        let tt = TrafficTrace::new(
+            vec![t0, t0, t0, SimTime::from_millis(5)],
+            SimDuration::from_millis(50),
+        );
+        tt.validate().unwrap();
+        assert_eq!(tt.len(), 4);
+        assert_eq!(tt.injections()[0], SimTime::from_millis(5));
+        assert_eq!(&tt.injections()[1..], &[t0, t0, t0]);
+        let back: TrafficTrace =
+            serde_json::from_str(&serde_json::to_string(&tt).unwrap()).unwrap();
+        assert_eq!(tt, back);
+
+        // periodic_bursts with zero spacing lands the whole burst on one
+        // timestamp.
+        let burst = TrafficTrace::periodic_bursts(
+            SimDuration::from_millis(20),
+            3,
+            SimDuration::ZERO,
+            SimDuration::from_millis(40),
+        );
+        assert_eq!(burst.len(), 6);
+        assert_eq!(&burst.injections()[..3], &[SimTime::ZERO; 3]);
+        assert_eq!(&burst.injections()[3..], &[SimTime::from_millis(20); 3]);
+        burst.validate().unwrap();
+
+        // Link traces accept duplicate opportunities the same way (two
+        // packets servable at one instant).
+        let lt = LinkTrace::new(vec![t0, t0], SimDuration::from_millis(50));
+        lt.validate().unwrap();
+        assert_eq!(lt.len(), 2);
+    }
+
+    #[test]
     fn validate_rejects_out_of_range() {
         let tr = LinkTrace {
             opportunities: vec![SimTime::from_secs_f64(10.0)],
