@@ -18,6 +18,7 @@ pub mod plot;
 pub mod report;
 pub mod table;
 pub mod timeseries;
+pub mod traceview;
 
 pub use figures::{FigureSeries, RateCurves};
 pub use timeseries::{mean_of_lowest_fraction, percentile, windowed_throughput_bps};

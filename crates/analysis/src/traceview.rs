@@ -1,0 +1,468 @@
+//! Rendering and export of sim-level structured traces.
+//!
+//! Consumes the [`SimTrace`] captured by the simulator's trace recorder
+//! (`ccfuzz trace` replays a corpus finding to get one) and renders:
+//!
+//! * a per-flow **timeline table**: the trace span split into fixed time
+//!   buckets, each row showing the congestion window at the end of the
+//!   bucket plus the drops / ECN marks / RTOs / recovery entries inside it;
+//! * a per-hop **queue table**: occupancy statistics and loss/mark counts
+//!   for every bottleneck hop;
+//! * lossless **JSONL / CSV exports** of the raw event stream.
+//!
+//! Everything is deterministic text over a deterministic trace, so outputs
+//! are stable across runs and platforms.
+
+use crate::table::text_table;
+use ccfuzz_netsim::packet::FlowId;
+use ccfuzz_netsim::simtrace::{SimTrace, TraceEvent};
+
+/// Default number of time buckets in a timeline table.
+pub const DEFAULT_TIMELINE_BUCKETS: usize = 20;
+
+fn flow_label(flow: FlowId) -> String {
+    match flow {
+        FlowId::Cca(i) => i.to_string(),
+        FlowId::CrossTraffic => "cross".to_string(),
+    }
+}
+
+/// Number of CCA flows observed in the trace (max flow index + 1).
+pub fn flow_count(trace: &SimTrace) -> usize {
+    let mut max: Option<u32> = None;
+    let mut seen = |f: u32| max = Some(max.map_or(f, |m: u32| m.max(f)));
+    for r in &trace.events {
+        match r.event {
+            TraceEvent::FlowStart { flow }
+            | TraceEvent::CwndUpdate { flow, .. }
+            | TraceEvent::RecoveryEnter { flow }
+            | TraceEvent::RecoveryExit { flow }
+            | TraceEvent::RtoFired { flow } => seen(flow),
+            TraceEvent::Drop {
+                flow: FlowId::Cca(flow),
+                ..
+            }
+            | TraceEvent::EcnMark {
+                flow: FlowId::Cca(flow),
+                ..
+            } => seen(flow),
+            _ => {}
+        }
+    }
+    max.map_or(0, |m| m as usize + 1)
+}
+
+/// Number of hops observed in the trace (max hop index + 1).
+pub fn hop_count(trace: &SimTrace) -> usize {
+    let mut max: Option<u32> = None;
+    for r in &trace.events {
+        match r.event {
+            TraceEvent::Drop { hop, .. }
+            | TraceEvent::EcnMark { hop, .. }
+            | TraceEvent::QueueSample { hop, .. } => {
+                max = Some(max.map_or(hop, |m: u32| m.max(hop)));
+            }
+            _ => {}
+        }
+    }
+    max.map_or(0, |m| m as usize + 1)
+}
+
+/// One aggregated timeline bucket of [`flow_timeline`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimelineBucket {
+    /// Bucket start, seconds.
+    pub start_secs: f64,
+    /// Congestion window at the end of the bucket (carried forward through
+    /// buckets without updates), packets.
+    pub cwnd: u64,
+    /// Packets in flight at the last update inside (or before) the bucket.
+    pub in_flight: u64,
+    /// Packets of this flow dropped inside the bucket.
+    pub drops: u64,
+    /// Packets of this flow CE-marked inside the bucket.
+    pub ecn_marks: u64,
+    /// RTO firings inside the bucket.
+    pub rtos: u64,
+    /// Loss-recovery entries inside the bucket.
+    pub recoveries: u64,
+}
+
+/// Aggregates one flow's events into `buckets` equal time slices spanning
+/// the whole trace. Returns an empty vector for an empty trace.
+pub fn flow_timeline(trace: &SimTrace, flow: u32, buckets: usize) -> Vec<TimelineBucket> {
+    if trace.events.is_empty() || buckets == 0 {
+        return Vec::new();
+    }
+    let end = trace
+        .events
+        .last()
+        .map(|r| r.at.as_secs_f64())
+        .unwrap_or(0.0);
+    let width = if end > 0.0 { end / buckets as f64 } else { 1.0 };
+    let mut out = vec![TimelineBucket::default(); buckets];
+    for (i, bucket) in out.iter_mut().enumerate() {
+        bucket.start_secs = i as f64 * width;
+    }
+    let index = |secs: f64| ((secs / width) as usize).min(buckets - 1);
+    let mut cwnd = 0u64;
+    let mut in_flight = 0u64;
+    let mut last_filled = 0usize;
+    for r in trace.flow_events(flow) {
+        let i = index(r.at.as_secs_f64());
+        // Carry the last-known window forward through bucket boundaries.
+        for b in out.iter_mut().take(i + 1).skip(last_filled) {
+            b.cwnd = cwnd;
+            b.in_flight = in_flight;
+        }
+        last_filled = i;
+        let bucket = &mut out[i];
+        match r.event {
+            TraceEvent::CwndUpdate {
+                cwnd: c,
+                in_flight: f,
+                ..
+            } => {
+                cwnd = c;
+                in_flight = f;
+                bucket.cwnd = c;
+                bucket.in_flight = f;
+            }
+            TraceEvent::Drop { .. } => bucket.drops += 1,
+            TraceEvent::EcnMark { .. } => bucket.ecn_marks += 1,
+            TraceEvent::RtoFired { .. } => bucket.rtos += 1,
+            TraceEvent::RecoveryEnter { .. } => bucket.recoveries += 1,
+            _ => {}
+        }
+    }
+    for b in out.iter_mut().skip(last_filled + 1) {
+        b.cwnd = cwnd;
+        b.in_flight = in_flight;
+    }
+    out
+}
+
+/// Renders one flow's timeline as a text table.
+pub fn flow_timeline_table(trace: &SimTrace, flow: u32, buckets: usize) -> String {
+    let timeline = flow_timeline(trace, flow, buckets);
+    let rows: Vec<Vec<String>> = timeline
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{:.3}", b.start_secs),
+                b.cwnd.to_string(),
+                b.in_flight.to_string(),
+                b.drops.to_string(),
+                b.ecn_marks.to_string(),
+                b.rtos.to_string(),
+                b.recoveries.to_string(),
+            ]
+        })
+        .collect();
+    text_table(
+        &[
+            "t(s)",
+            "cwnd",
+            "in_flight",
+            "drops",
+            "ecn",
+            "rto",
+            "recovery",
+        ],
+        &rows,
+    )
+}
+
+/// Per-hop aggregate of queue samples, drops and marks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HopSummary {
+    /// Hop index.
+    pub hop: u32,
+    /// Queue-depth samples observed.
+    pub samples: u64,
+    /// Mean sampled queue occupancy, packets.
+    pub mean_packets: f64,
+    /// Peak sampled queue occupancy, packets.
+    pub max_packets: u32,
+    /// Peak sampled queue occupancy, bytes.
+    pub max_bytes: u64,
+    /// Packets dropped at this hop (all flows).
+    pub drops: u64,
+    /// Packets CE-marked at this hop (all flows).
+    pub ecn_marks: u64,
+}
+
+/// Aggregates the trace's per-hop queue samples and loss/mark events.
+pub fn hop_summaries(trace: &SimTrace) -> Vec<HopSummary> {
+    let hops = hop_count(trace);
+    let mut out: Vec<HopSummary> = (0..hops)
+        .map(|h| HopSummary {
+            hop: h as u32,
+            ..Default::default()
+        })
+        .collect();
+    let mut packet_sums = vec![0u64; hops];
+    for r in &trace.events {
+        match r.event {
+            TraceEvent::QueueSample {
+                hop,
+                packets,
+                bytes,
+            } => {
+                let s = &mut out[hop as usize];
+                s.samples += 1;
+                packet_sums[hop as usize] += packets as u64;
+                s.max_packets = s.max_packets.max(packets);
+                s.max_bytes = s.max_bytes.max(bytes);
+            }
+            TraceEvent::Drop { hop, .. } => out[hop as usize].drops += 1,
+            TraceEvent::EcnMark { hop, .. } => out[hop as usize].ecn_marks += 1,
+            _ => {}
+        }
+    }
+    for (s, sum) in out.iter_mut().zip(packet_sums) {
+        if s.samples > 0 {
+            s.mean_packets = sum as f64 / s.samples as f64;
+        }
+    }
+    out
+}
+
+/// Renders the per-hop queue table.
+pub fn hop_queue_table(trace: &SimTrace) -> String {
+    let rows: Vec<Vec<String>> = hop_summaries(trace)
+        .iter()
+        .map(|s| {
+            vec![
+                s.hop.to_string(),
+                s.samples.to_string(),
+                format!("{:.1}", s.mean_packets),
+                s.max_packets.to_string(),
+                s.max_bytes.to_string(),
+                s.drops.to_string(),
+                s.ecn_marks.to_string(),
+            ]
+        })
+        .collect();
+    text_table(
+        &[
+            "hop",
+            "samples",
+            "mean_q(pkts)",
+            "max_q(pkts)",
+            "max_q(bytes)",
+            "drops",
+            "ecn",
+        ],
+        &rows,
+    )
+}
+
+/// One event as ordered `(key, value)` pairs, shared by the JSONL and CSV
+/// exporters so both formats agree on field names.
+fn event_fields(event: &TraceEvent) -> Vec<(&'static str, String)> {
+    match *event {
+        TraceEvent::FlowStart { flow } => vec![("flow", flow.to_string())],
+        TraceEvent::CwndUpdate {
+            flow,
+            cwnd,
+            in_flight,
+        } => vec![
+            ("flow", flow.to_string()),
+            ("cwnd", cwnd.to_string()),
+            ("in_flight", in_flight.to_string()),
+        ],
+        TraceEvent::RecoveryEnter { flow }
+        | TraceEvent::RecoveryExit { flow }
+        | TraceEvent::RtoFired { flow } => vec![("flow", flow.to_string())],
+        TraceEvent::Drop { flow, hop } | TraceEvent::EcnMark { flow, hop } => {
+            vec![("flow", flow_label(flow)), ("hop", hop.to_string())]
+        }
+        TraceEvent::QueueSample {
+            hop,
+            packets,
+            bytes,
+        } => vec![
+            ("hop", hop.to_string()),
+            ("packets", packets.to_string()),
+            ("bytes", bytes.to_string()),
+        ],
+    }
+}
+
+/// Exports the raw event stream as JSONL: one object per event with `at`
+/// (seconds), `kind` and the event's own fields. All values are numbers
+/// except `kind` and the cross-traffic `flow` label.
+pub fn trace_to_jsonl(trace: &SimTrace) -> String {
+    let mut out = String::new();
+    for r in &trace.events {
+        out.push_str(&format!(
+            "{{\"at\":{:.9},\"kind\":\"{}\"",
+            r.at.as_secs_f64(),
+            r.event.kind()
+        ));
+        for (key, value) in event_fields(&r.event) {
+            if value.parse::<u64>().is_ok() {
+                out.push_str(&format!(",\"{key}\":{value}"));
+            } else {
+                out.push_str(&format!(",\"{key}\":\"{value}\""));
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Exports the raw event stream as CSV with a fixed column set
+/// (`at,kind,flow,hop,cwnd,in_flight,packets,bytes`); fields an event does
+/// not carry are left empty.
+pub fn trace_to_csv(trace: &SimTrace) -> String {
+    const COLUMNS: [&str; 8] = [
+        "at",
+        "kind",
+        "flow",
+        "hop",
+        "cwnd",
+        "in_flight",
+        "packets",
+        "bytes",
+    ];
+    let mut out = String::new();
+    out.push_str(&COLUMNS.join(","));
+    out.push('\n');
+    for r in &trace.events {
+        let fields = event_fields(&r.event);
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        out.push_str(&format!(
+            "{:.9},{},{},{},{},{},{},{}\n",
+            r.at.as_secs_f64(),
+            r.event.kind(),
+            get("flow"),
+            get("hop"),
+            get("cwnd"),
+            get("in_flight"),
+            get("packets"),
+            get("bytes"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_netsim::simtrace::{TraceRecord, TraceRecorder};
+    use ccfuzz_netsim::time::SimTime;
+
+    fn sample_trace() -> SimTrace {
+        let mut rec = TraceRecorder::new(64, 2);
+        rec.push(SimTime::from_millis(0), TraceEvent::FlowStart { flow: 0 });
+        rec.sample_sender(SimTime::from_millis(10), 0, 10, 5, false);
+        rec.push(
+            SimTime::from_millis(100),
+            TraceEvent::QueueSample {
+                hop: 0,
+                packets: 4,
+                bytes: 6_000,
+            },
+        );
+        rec.sample_sender(SimTime::from_millis(450), 0, 20, 18, false);
+        rec.push(
+            SimTime::from_millis(500),
+            TraceEvent::Drop {
+                flow: FlowId::Cca(0),
+                hop: 0,
+            },
+        );
+        rec.sample_sender(SimTime::from_millis(510), 0, 10, 18, true);
+        rec.push(
+            SimTime::from_millis(600),
+            TraceEvent::QueueSample {
+                hop: 1,
+                packets: 9,
+                bytes: 13_500,
+            },
+        );
+        rec.push(
+            SimTime::from_millis(800),
+            TraceEvent::EcnMark {
+                flow: FlowId::CrossTraffic,
+                hop: 1,
+            },
+        );
+        rec.sample_sender(SimTime::from_millis(1000), 1, 4, 2, false);
+        rec.finish()
+    }
+
+    #[test]
+    fn counts_flows_and_hops() {
+        let trace = sample_trace();
+        assert_eq!(flow_count(&trace), 2);
+        assert_eq!(hop_count(&trace), 2);
+        assert_eq!(flow_count(&SimTrace::default()), 0);
+    }
+
+    #[test]
+    fn timeline_buckets_aggregate_and_carry_cwnd_forward() {
+        let trace = sample_trace();
+        let timeline = flow_timeline(&trace, 0, 4);
+        assert_eq!(timeline.len(), 4);
+        // Bucket 0 ends with the first cwnd update.
+        assert_eq!(timeline[0].cwnd, 10);
+        // Bucket 1 ([250,500) ms) ends on the ramp to 20.
+        assert_eq!(timeline[1].cwnd, 20);
+        // Bucket 2 ([500,750) ms) holds the drop and the recovery cut.
+        assert_eq!(timeline[2].cwnd, 10);
+        assert_eq!(timeline[2].drops, 1);
+        assert_eq!(timeline[2].recoveries, 1);
+        // Later buckets carry the last window forward.
+        assert_eq!(timeline[3].cwnd, 10);
+        let table = flow_timeline_table(&trace, 0, 4);
+        assert!(table.contains("cwnd"));
+        assert_eq!(table.lines().count(), 2 + 4); // header + rule + rows
+    }
+
+    #[test]
+    fn hop_table_aggregates_samples_drops_and_marks() {
+        let trace = sample_trace();
+        let hops = hop_summaries(&trace);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].samples, 1);
+        assert_eq!(hops[0].max_packets, 4);
+        assert_eq!(hops[0].drops, 1);
+        assert_eq!(hops[1].ecn_marks, 1);
+        assert_eq!(hops[1].max_bytes, 13_500);
+        let table = hop_queue_table(&trace);
+        assert!(table.contains("mean_q(pkts)"));
+    }
+
+    #[test]
+    fn exports_are_lossless_over_the_event_count() {
+        let trace = sample_trace();
+        let jsonl = trace_to_jsonl(&trace);
+        assert_eq!(jsonl.lines().count(), trace.events.len());
+        assert!(jsonl.contains("\"kind\":\"drop\""));
+        assert!(jsonl.contains("\"flow\":\"cross\""));
+        let csv = trace_to_csv(&trace);
+        assert_eq!(csv.lines().count(), trace.events.len() + 1);
+        assert!(csv.starts_with("at,kind,flow,hop,cwnd,in_flight,packets,bytes"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_tables() {
+        let trace = SimTrace {
+            events: Vec::<TraceRecord>::new(),
+            overwritten: 0,
+            capacity: 16,
+        };
+        assert_eq!(flow_timeline_table(&trace, 0, 8), "");
+        assert_eq!(hop_queue_table(&trace), "");
+        assert_eq!(trace_to_jsonl(&trace), "");
+    }
+}

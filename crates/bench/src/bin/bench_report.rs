@@ -26,6 +26,7 @@ use ccfuzz_core::fuzzer::GaParams;
 use ccfuzz_netsim::sim::{run_multi_flow_simulation, run_simulation, FlowSpec};
 use ccfuzz_netsim::time::{SimDuration, SimTime};
 use ccfuzz_netsim::trace::TrafficTrace;
+use ccfuzz_obs::{HistogramSnapshot, HuntTelemetry, LatencyQuantiles, LocalHistogram};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -44,8 +45,22 @@ struct WorkloadReport {
     reps: u64,
 }
 
+/// Per-workload eval-latency percentiles (nanoseconds per evaluation).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct LatencyReport {
+    /// One Reno flow, clean link.
+    single_flow: LatencyQuantiles,
+    /// Eight mixed-CCA flows plus cross traffic.
+    fairness_8flow: LatencyQuantiles,
+    /// Three-hop parking lot.
+    multi_hop: LatencyQuantiles,
+    /// Per-evaluation latency inside the GA campaign (from the campaign's
+    /// own telemetry histogram, not per-rep wall time).
+    mini_campaign: LatencyQuantiles,
+}
+
 /// The full report written to `BENCH_sim.json`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 struct BenchReport {
     /// Report schema version.
     schema: u32,
@@ -62,10 +77,64 @@ struct BenchReport {
     multi_hop: WorkloadReport,
     /// Two-generation GA campaign.
     mini_campaign: WorkloadReport,
+    /// Eval-latency p50/p95/p99 per workload. `None` in reports recorded
+    /// before the telemetry subsystem existed.
+    eval_latency: Option<LatencyReport>,
     /// Numbers recorded before the hot-path overhaul, normalised against
     /// that run's own calibration (kept in the same file so the trajectory
     /// travels with the repo).
     baseline: Option<Box<BenchReport>>,
+}
+
+// Serde is hand-written (not derived) because the derived `Deserialize` is
+// strict about missing fields: the committed BENCH_sim.json (and the frozen
+// baseline block nested inside it) predates `eval_latency`, so that field
+// must tolerate absence. It is also omitted on output when `None`, keeping
+// old baseline blocks byte-stable.
+impl Serialize for BenchReport {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("label".to_string(), self.label.to_value()),
+            (
+                "calibration_mops".to_string(),
+                self.calibration_mops.to_value(),
+            ),
+            ("single_flow".to_string(), self.single_flow.to_value()),
+            ("fairness_8flow".to_string(), self.fairness_8flow.to_value()),
+            ("multi_hop".to_string(), self.multi_hop.to_value()),
+            ("mini_campaign".to_string(), self.mini_campaign.to_value()),
+        ];
+        if let Some(latency) = &self.eval_latency {
+            fields.push(("eval_latency".to_string(), latency.to_value()));
+        }
+        fields.push(("baseline".to_string(), self.baseline.to_value()));
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for BenchReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::map_get;
+        let m = v.as_map("BenchReport")?;
+        Ok(BenchReport {
+            schema: Deserialize::from_value(map_get(m, "schema")?)?,
+            label: Deserialize::from_value(map_get(m, "label")?)?,
+            calibration_mops: Deserialize::from_value(map_get(m, "calibration_mops")?)?,
+            single_flow: Deserialize::from_value(map_get(m, "single_flow")?)?,
+            fairness_8flow: Deserialize::from_value(map_get(m, "fairness_8flow")?)?,
+            multi_hop: Deserialize::from_value(map_get(m, "multi_hop")?)?,
+            mini_campaign: Deserialize::from_value(map_get(m, "mini_campaign")?)?,
+            eval_latency: match map_get(m, "eval_latency") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+            baseline: match map_get(m, "baseline") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl BenchReport {
@@ -103,25 +172,40 @@ fn calibration_mops() -> f64 {
     best
 }
 
-fn time_workload<F: FnMut() -> u64>(reps: u64, mut run_once: F) -> WorkloadReport {
+fn quantiles(snap: &HistogramSnapshot) -> LatencyQuantiles {
+    LatencyQuantiles {
+        p50_ns: snap.percentile(50.0),
+        p95_ns: snap.percentile(95.0),
+        p99_ns: snap.percentile(99.0),
+    }
+}
+
+fn time_workload<F: FnMut() -> u64>(
+    reps: u64,
+    mut run_once: F,
+) -> (WorkloadReport, LatencyQuantiles) {
     // Warm-up run (untimed) so allocator state and caches settle.
     std::hint::black_box(run_once());
+    let mut latency = LocalHistogram::new();
     let start = Instant::now();
     let mut events_total = 0u64;
     for _ in 0..reps {
+        let rep_start = Instant::now();
         events_total += run_once();
+        latency.record(rep_start.elapsed().as_nanos() as u64);
     }
     let secs = start.elapsed().as_secs_f64().max(1e-9);
-    WorkloadReport {
+    let report = WorkloadReport {
         evals_per_sec: reps as f64 / secs,
         events_per_sec: events_total as f64 / secs,
         ns_per_event: secs * 1e9 / events_total.max(1) as f64,
         events_per_eval: events_total as f64 / reps.max(1) as f64,
         reps,
-    }
+    };
+    (report, quantiles(&latency.snapshot()))
 }
 
-fn single_flow(reps: u64) -> WorkloadReport {
+fn single_flow(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     time_workload(reps, || {
         let mut cfg = paper_sim_base(SimDuration::from_secs(5));
         cfg.record_events = false;
@@ -130,7 +214,7 @@ fn single_flow(reps: u64) -> WorkloadReport {
     })
 }
 
-fn fairness_8flow(reps: u64) -> WorkloadReport {
+fn fairness_8flow(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     let duration = SimDuration::from_secs(5);
     let kinds = [
         CcaKind::Bbr,
@@ -163,7 +247,7 @@ fn fairness_8flow(reps: u64) -> WorkloadReport {
     })
 }
 
-fn multi_hop(reps: u64) -> WorkloadReport {
+fn multi_hop(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     use ccfuzz_netsim::topology::{HopConfig, HopRange, Topology};
     let duration = SimDuration::from_secs(5);
     time_workload(reps, || {
@@ -193,7 +277,7 @@ fn multi_hop(reps: u64) -> WorkloadReport {
     })
 }
 
-fn mini_campaign(reps: u64) -> WorkloadReport {
+fn mini_campaign(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     let events_per_run: u64;
     let mut evals_per_run = 0u64;
     let mut ga = GaParams::quick();
@@ -223,19 +307,24 @@ fn mini_campaign(reps: u64) -> WorkloadReport {
         let result = evaluator.simulate_traffic(&genome, false);
         events_per_run = result.stats.events_processed;
     }
-    let report = time_workload(reps, || {
-        let result = campaign.run_traffic();
+    // The campaign's own telemetry histogram gives true per-evaluation
+    // latency quantiles (per-rep wall time would only show whole campaigns).
+    let telemetry = HuntTelemetry::new();
+    let (report, _per_rep) = time_workload(reps, || {
+        let result = campaign.run_traffic_with(Some(&telemetry));
         evals_per_run = result.total_evaluations as u64;
         std::hint::black_box(result.total_evaluations as u64 * events_per_run)
     });
+    let per_eval = quantiles(&telemetry.metrics.eval_latency_ns.snapshot());
     // Re-express per-evaluation: the campaign runs `evals_per_run` sims.
-    WorkloadReport {
+    let report = WorkloadReport {
         evals_per_sec: report.evals_per_sec * evals_per_run as f64,
         events_per_sec: report.events_per_sec,
         ns_per_event: report.ns_per_event,
         events_per_eval: events_per_run as f64,
         reps: report.reps,
-    }
+    };
+    (report, per_eval)
 }
 
 fn usage() -> ! {
@@ -275,7 +364,7 @@ fn main() {
     eprintln!("calibration: {mops:.1} Mops/s");
 
     eprintln!("timing single_flow ({reps_single} reps)...");
-    let single = single_flow(reps_single);
+    let (single, single_lat) = single_flow(reps_single);
     eprintln!(
         "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
         single.evals_per_sec,
@@ -284,7 +373,7 @@ fn main() {
     );
 
     eprintln!("timing fairness_8flow ({reps_fair} reps)...");
-    let fair = fairness_8flow(reps_fair);
+    let (fair, fair_lat) = fairness_8flow(reps_fair);
     eprintln!(
         "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
         fair.evals_per_sec,
@@ -293,7 +382,7 @@ fn main() {
     );
 
     eprintln!("timing multi_hop ({reps_multihop} reps)...");
-    let multihop = multi_hop(reps_multihop);
+    let (multihop, multihop_lat) = multi_hop(reps_multihop);
     eprintln!(
         "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
         multihop.evals_per_sec,
@@ -302,12 +391,18 @@ fn main() {
     );
 
     eprintln!("timing mini_campaign ({reps_campaign} reps)...");
-    let campaign = mini_campaign(reps_campaign);
+    let (campaign, campaign_lat) = mini_campaign(reps_campaign);
     eprintln!(
         "  {:.2} evals/s, {:.2} Mevents/s (est), {:.0} ns/event (est)",
         campaign.evals_per_sec,
         campaign.events_per_sec / 1e6,
         campaign.ns_per_event
+    );
+    eprintln!(
+        "  eval latency p50/p95/p99: {}/{}/{} us",
+        campaign_lat.p50_ns / 1_000,
+        campaign_lat.p95_ns / 1_000,
+        campaign_lat.p99_ns / 1_000
     );
 
     // Carry the committed baseline forward (if the old report had one, keep
@@ -328,6 +423,12 @@ fn main() {
         fairness_8flow: fair,
         multi_hop: multihop,
         mini_campaign: campaign,
+        eval_latency: Some(LatencyReport {
+            single_flow: single_lat,
+            fairness_8flow: fair_lat,
+            multi_hop: multihop_lat,
+            mini_campaign: campaign_lat,
+        }),
         baseline,
     };
 

@@ -19,6 +19,7 @@ use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::queue::QueueCapacity;
 use ccfuzz_netsim::rng::SimRng;
 use ccfuzz_netsim::time::{SimDuration, SimTime};
+use ccfuzz_obs::{HuntTelemetry, Phase};
 use serde::{Deserialize, Serialize};
 
 /// The paper's bottleneck rate (12 Mbps).
@@ -229,6 +230,13 @@ impl Campaign {
 
     /// Runs a traffic-fuzzing campaign. Panics if the mode is not [`FuzzMode::Traffic`].
     pub fn run_traffic(&self) -> FuzzResult<TrafficGenome> {
+        self.run_traffic_with(None)
+    }
+
+    /// [`Campaign::run_traffic`] with an optional telemetry observer. The
+    /// observer is passive — population evolution and results are identical
+    /// with or without it.
+    pub fn run_traffic_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<TrafficGenome> {
         assert_eq!(
             self.mode,
             FuzzMode::Traffic,
@@ -237,27 +245,44 @@ impl Campaign {
         let evaluator = self.evaluator();
         let duration = self.duration;
         let max_packets = self.traffic_max_packets;
-        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
-            TrafficGenome::generate(max_packets, duration, rng)
-        });
+        let mut fuzzer = {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+            Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
+                TrafficGenome::generate(max_packets, duration, rng)
+            })
+        };
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
+        }
         fuzzer.run()
     }
 
     /// Runs a link-fuzzing campaign (with annealing if `ga.anneal` is set).
     /// Panics if the mode is not [`FuzzMode::Link`].
     pub fn run_link(&self) -> FuzzResult<LinkGenome> {
+        self.run_link_with(None)
+    }
+
+    /// [`Campaign::run_link`] with an optional telemetry observer.
+    pub fn run_link_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<LinkGenome> {
         assert_eq!(self.mode, FuzzMode::Link, "campaign is not in link mode");
         let evaluator = self.evaluator();
         let duration = self.duration;
         let total_packets = packets_for_rate(self.link_rate_bps, self.sim.mss, duration);
         let k_agg = SimDuration::from_millis(PAPER_K_AGG_MS);
-        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-            LinkGenome::generate(total_packets, duration, k_agg, rng)
-        });
+        let mut fuzzer = {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                LinkGenome::generate(total_packets, duration, k_agg, rng)
+            })
+        };
         if self.ga.anneal {
             fuzzer = fuzzer.with_annealing(Box::new(|genome: &LinkGenome, rng: &mut SimRng| {
                 genome.anneal(3, SimDuration::from_micros(200), rng)
             }));
+        }
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
         }
         fuzzer.run()
     }
@@ -265,6 +290,11 @@ impl Campaign {
     /// Runs a fairness-fuzzing campaign over multi-flow scenario genomes.
     /// Panics if the mode is not [`FuzzMode::Fairness`].
     pub fn run_fairness(&self) -> FuzzResult<ScenarioGenome> {
+        self.run_fairness_with(None)
+    }
+
+    /// [`Campaign::run_fairness`] with an optional telemetry observer.
+    pub fn run_fairness_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<ScenarioGenome> {
         assert_eq!(
             self.mode,
             FuzzMode::Fairness,
@@ -275,30 +305,52 @@ impl Campaign {
         let flow_ccas = self.flow_ccas.clone();
         let max_flows = self.max_flows;
         let traffic_max_packets = self.traffic_max_packets;
-        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-            ScenarioGenome::generate(&flow_ccas, max_flows, duration, traffic_max_packets, rng)
-        });
+        let mut fuzzer = {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                ScenarioGenome::generate(&flow_ccas, max_flows, duration, traffic_max_packets, rng)
+            })
+        };
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
+        }
         fuzzer.run()
     }
 
     /// Runs an AQM-fuzzing campaign over single-flow scenario genomes with
     /// qdisc genes. Panics if the mode is not [`FuzzMode::Aqm`].
     pub fn run_aqm(&self) -> FuzzResult<ScenarioGenome> {
+        self.run_aqm_with(None)
+    }
+
+    /// [`Campaign::run_aqm`] with an optional telemetry observer.
+    pub fn run_aqm_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<ScenarioGenome> {
         assert_eq!(self.mode, FuzzMode::Aqm, "campaign is not in aqm mode");
         let evaluator = self.evaluator();
         let duration = self.duration;
         let cca = self.cca;
         let traffic_max_packets = self.traffic_max_packets;
         let choice = self.qdisc_choice;
-        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-            ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
-        });
+        let mut fuzzer = {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
+            })
+        };
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
+        }
         fuzzer.run()
     }
 
     /// Runs a topology-fuzzing campaign over multi-hop parking-lot genomes.
     /// Panics if the mode is not [`FuzzMode::Topology`].
     pub fn run_topology(&self) -> FuzzResult<TopologyGenome> {
+        self.run_topology_with(None)
+    }
+
+    /// [`Campaign::run_topology`] with an optional telemetry observer.
+    pub fn run_topology_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<TopologyGenome> {
         assert_eq!(
             self.mode,
             FuzzMode::Topology,
@@ -310,9 +362,15 @@ impl Campaign {
         let hops = self.topology_hops;
         let traffic_max_packets = self.traffic_max_packets;
         let cca_pool = self.flow_ccas.clone();
-        let mut fuzzer = Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-            TopologyGenome::generate(cca, hops, duration, traffic_max_packets, &cca_pool, rng)
-        });
+        let mut fuzzer = {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                TopologyGenome::generate(cca, hops, duration, traffic_max_packets, &cca_pool, rng)
+            })
+        };
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
+        }
         fuzzer.run()
     }
 }

@@ -16,6 +16,7 @@ use ccfuzz_netsim::link::LinkModel;
 use ccfuzz_netsim::sim::{
     run_multi_flow_simulation_reusing, FlowSpec, SimResult, SimScratch, Simulation,
 };
+use ccfuzz_netsim::simtrace::{SimTrace, DEFAULT_TRACE_CAPACITY};
 use serde::{Deserialize, Serialize};
 
 /// Everything the genetic algorithm needs to know about one evaluation.
@@ -330,6 +331,44 @@ impl SimEvaluator {
         let cfg = self.topology_cfg(genome, false);
         let specs = self.topology_specs(genome, &cfg);
         run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+    }
+
+    fn run_traced(cfg: SimConfig, specs: Vec<FlowSpec<CcaDispatch>>) -> (SimResult, SimTrace) {
+        let mut sim = Simulation::new_multi(cfg, specs);
+        sim.install_tracer(DEFAULT_TRACE_CAPACITY);
+        let result = sim.run();
+        let trace = sim.take_trace().expect("tracer installed before run");
+        (result, trace)
+    }
+
+    /// [`SimEvaluator::simulate_traffic`] with the structured trace
+    /// recorder installed (event recording on). The tracer never perturbs
+    /// the run: the returned result digests identically to an untraced one.
+    pub fn simulate_traffic_traced(&self, genome: &TrafficGenome) -> (SimResult, SimTrace) {
+        let cfg = self.traffic_cfg(genome, true);
+        let specs = self.single_flow_spec(&cfg);
+        Self::run_traced(cfg, specs)
+    }
+
+    /// [`SimEvaluator::simulate_link`] with the structured trace recorder.
+    pub fn simulate_link_traced(&self, genome: &LinkGenome) -> (SimResult, SimTrace) {
+        let cfg = self.link_cfg(genome, true);
+        let specs = self.single_flow_spec(&cfg);
+        Self::run_traced(cfg, specs)
+    }
+
+    /// [`SimEvaluator::simulate_scenario`] with the structured trace recorder.
+    pub fn simulate_scenario_traced(&self, genome: &ScenarioGenome) -> (SimResult, SimTrace) {
+        let cfg = self.scenario_cfg(genome, true);
+        let specs = self.scenario_specs(genome, &cfg);
+        Self::run_traced(cfg, specs)
+    }
+
+    /// [`SimEvaluator::simulate_topology`] with the structured trace recorder.
+    pub fn simulate_topology_traced(&self, genome: &TopologyGenome) -> (SimResult, SimTrace) {
+        let cfg = self.topology_cfg(genome, true);
+        let specs = self.topology_specs(genome, &cfg);
+        Self::run_traced(cfg, specs)
     }
 }
 

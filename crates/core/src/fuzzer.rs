@@ -16,8 +16,10 @@ use crate::evaluate::{EvalOutcome, EvalScratch, Evaluator};
 use crate::genome::Genome;
 use crate::selection::{pick_pair, pick_ranked};
 use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_obs::{HuntTelemetry, LocalHistogram, Phase};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Genetic-algorithm parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -175,6 +177,7 @@ pub struct Fuzzer<'a, G: Genome, E: Evaluator<G>> {
     rng: SimRng,
     anneal_fn: Option<Box<AnnealFn<G>>>,
     evaluations: usize,
+    obs: Option<&'a HuntTelemetry>,
 }
 
 impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
@@ -206,12 +209,21 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             rng,
             anneal_fn: None,
             evaluations: 0,
+            obs: None,
         }
     }
 
     /// Installs an annealing hook (used for link-trace Gaussian smoothing).
     pub fn with_annealing(mut self, f: Box<AnnealFn<G>>) -> Self {
         self.anneal_fn = Some(f);
+        self
+    }
+
+    /// Installs a telemetry observer. The observer is passive: every metric
+    /// it records lives outside the GA state, so an observed run evolves the
+    /// exact same population as an unobserved one.
+    pub fn with_observer(mut self, obs: &'a HuntTelemetry) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -245,9 +257,16 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         let chunk_size = pending.len().div_ceil(threads);
         let islands = &self.islands;
         let evaluator = self.evaluator;
+        let observe = self.obs.is_some();
+        // Per-worker latency shards: recorded lock-free into plain local
+        // histograms, merged into the shared registry after the scope joins.
+        // Shard merging is commutative, so the merged histogram is identical
+        // for any thread count (the property tests pin this).
+        let shards: Mutex<Vec<LocalHistogram>> = Mutex::new(Vec::new());
         crossbeam::scope(|scope| {
             for chunk in pending.chunks(chunk_size) {
                 let results = &results;
+                let shards = &shards;
                 scope.spawn(move |_| {
                     // One scratch per worker: consecutive evaluations reuse
                     // the simulator's calendar and packet-pool allocations.
@@ -255,16 +274,33 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                     // capacity — so results are identical to `evaluate`.
                     let mut scratch = EvalScratch::new();
                     let mut local = Vec::with_capacity(chunk.len());
+                    let mut shard = LocalHistogram::new();
                     for &(i, j) in chunk {
-                        let outcome =
-                            evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch);
+                        let outcome = if observe {
+                            let started = Instant::now();
+                            let outcome =
+                                evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch);
+                            shard.record(started.elapsed().as_nanos() as u64);
+                            outcome
+                        } else {
+                            evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch)
+                        };
                         local.push((i, j, outcome));
+                    }
+                    if shard.count() > 0 {
+                        shards.lock().push(shard);
                     }
                     results.lock().extend(local);
                 });
             }
         })
         .expect("evaluation worker panicked");
+        if let Some(obs) = self.obs {
+            obs.metrics.evaluations.add(pending.len() as u64);
+            for shard in shards.into_inner().iter() {
+                obs.metrics.eval_latency_ns.merge_local(shard);
+            }
+        }
 
         // Workers finish in wall-clock order, so the collected vector's
         // order depends on the thread count and scheduling. The keyed
@@ -366,10 +402,13 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             }
         }
         // Mutations fill the remainder.
+        let mut mutated = 0u64;
+        let mut annealed = 0u64;
         while next.len() < n {
             let src = pick_ranked(n, &mut rng);
             let base = if params.anneal {
                 if let Some(anneal) = &self.anneal_fn {
+                    annealed += 1;
                     anneal(&pop[src].genome, &mut rng)
                 } else {
                     pop[src].genome.clone()
@@ -378,12 +417,20 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                 pop[src].genome.clone()
             };
             let genome = base.mutate(&mut rng);
+            mutated += 1;
             next.push(Individual {
                 genome,
                 outcome: None,
             });
         }
         self.islands[island_idx] = next;
+        if let Some(obs) = self.obs {
+            let ops = &obs.metrics.operators;
+            ops.elite.add(k_elite as u64);
+            ops.crossover.add(produced as u64);
+            ops.mutation.add(mutated);
+            ops.anneal.add(annealed);
+        }
     }
 
     /// Ring migration: each island sends its best `migration_fraction` to the
@@ -415,6 +462,21 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                 pop[idx] = migrant;
             }
         }
+        if let Some(obs) = self.obs {
+            obs.metrics.operators.migrant.add((n_islands * k) as u64);
+        }
+    }
+
+    /// Best evaluated score of each island, in island order.
+    fn island_best_scores(&self) -> Vec<f64> {
+        self.islands
+            .iter()
+            .map(|pop| {
+                pop.iter()
+                    .filter_map(|ind| ind.outcome.map(|o| o.score))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
     }
 
     /// Runs the campaign and returns the best trace plus per-generation history.
@@ -424,9 +486,13 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         let mut stall = 0u32;
 
         for generation in 0..self.params.generations {
-            self.evaluate_pending();
+            {
+                let _timer = self.obs.map(|o| o.profiler.scope(Phase::Evaluate));
+                self.evaluate_pending();
+            }
 
             // Track the global best.
+            let _timer = self.obs.map(|o| o.profiler.scope(Phase::Select));
             let mut improved = false;
             for ind in self.islands.iter().flatten() {
                 if let Some(outcome) = ind.outcome {
@@ -440,7 +506,17 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                     }
                 }
             }
-            history.push(self.summarize(generation));
+            let summary = self.summarize(generation);
+            history.push(summary);
+            if let Some(obs) = self.obs {
+                obs.observe_generation(
+                    generation,
+                    best.as_ref().map(|(_, b)| b.score).unwrap_or(0.0),
+                    summary.mean_score,
+                    self.island_best_scores(),
+                );
+            }
+            drop(_timer);
 
             if improved {
                 stall = 0;
@@ -457,6 +533,7 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             if generation + 1 == self.params.generations {
                 break;
             }
+            let _timer = self.obs.map(|o| o.profiler.scope(Phase::Mutate));
             for island in 0..self.islands.len() {
                 self.evolve_island(island);
             }
@@ -670,6 +747,40 @@ mod tests {
             assert_eq!(single.1, multi.1);
             assert_eq!(single.2, multi.2);
         }
+    }
+
+    #[test]
+    fn observer_is_passive_and_records_the_campaign() {
+        let run = |obs: Option<&HuntTelemetry>| {
+            let evaluator = ToyEvaluator;
+            let mut fuzzer = Fuzzer::new(quick_params(), &evaluator, |rng| {
+                ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect())
+            });
+            if let Some(obs) = obs {
+                fuzzer = fuzzer.with_observer(obs);
+            }
+            let r = fuzzer.run();
+            (r.best_genome, r.best_outcome, r.history)
+        };
+        let plain = run(None);
+        let telemetry = HuntTelemetry::new();
+        let observed = run(Some(&telemetry));
+        // Observation must not change what evolves.
+        assert_eq!(plain, observed);
+
+        let total = observed.2.last().unwrap().evaluations as u64;
+        assert_eq!(telemetry.metrics.evaluations.get(), total);
+        // Every evaluation was timed exactly once across all worker shards.
+        assert_eq!(telemetry.metrics.eval_latency_ns.snapshot().count, total);
+        assert_eq!(telemetry.metrics.best_score.get(), observed.1.score);
+        let ops = &telemetry.metrics.operators;
+        assert!(ops.elite.get() > 0, "elites counted");
+        assert!(ops.mutation.get() > 0, "mutations counted");
+        assert!(ops.migrant.get() > 0, "migrations counted");
+        assert_eq!(ops.anneal.get(), 0, "no annealing hook installed");
+        // The loop spends its time in the phases the profiler tracks.
+        assert!(telemetry.profiler.nanos(Phase::Evaluate) > 0);
+        assert!(telemetry.profiler.nanos(Phase::Mutate) > 0);
     }
 
     #[test]

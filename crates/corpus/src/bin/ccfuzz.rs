@@ -5,19 +5,27 @@
 //! ccfuzz minimize [--id ID | --all] [--retain F] [--budget N] ...
 //! ccfuzz replay   [--cca NAME] [--strict] ...
 //! ccfuzz report   ...
+//! ccfuzz trace    ID [--buckets N] [--json PATH] [--csv PATH] ...
 //! ```
 //!
 //! All subcommands take `--corpus DIR` (default `./corpus`). Run with no
 //! arguments for full usage.
+//!
+//! Stdout carries only machine-consumable payloads (the hunt's finding as
+//! JSON, replay/report tables, trace timelines); all progress and resolved
+//! configuration chatter goes to stderr, so `ccfuzz hunt ... | jq .id`
+//! works.
 
+use ccfuzz_analysis::traceview;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::FuzzMode;
-use ccfuzz_corpus::hunt::{hunt, HuntConfig};
+use ccfuzz_corpus::hunt::{hunt_with, HuntConfig};
 use ccfuzz_corpus::minimize::{minimize_finding, MinimizeConfig};
 use ccfuzz_corpus::replay::replay_findings;
 use ccfuzz_corpus::report::corpus_report;
 use ccfuzz_corpus::store::{Corpus, CorpusConfig, InsertOutcome};
 use ccfuzz_netsim::time::SimDuration;
+use ccfuzz_obs::HuntTelemetry;
 use std::process::ExitCode;
 
 /// CLI failures, split by exit code: usage errors (bad flags/values, with
@@ -44,10 +52,14 @@ SUBCOMMANDS:
     minimize    Shrink stored finding(s) while retaining their score
     replay      Re-simulate the corpus and report score drift
     report      Print a per-bucket summary of the corpus
+    trace       Replay one finding with tracing on and render its timeline
 
 COMMON OPTIONS:
     --corpus DIR        Corpus directory (default: ./corpus)
     --top-k N           Findings retained per (CCA, mode) bucket (default: 8)
+
+Progress and configuration chatter go to stderr; stdout carries only the
+subcommand's payload (hunt prints the finding as JSON).
 
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
@@ -65,6 +77,8 @@ hunt OPTIONS:
     --threads N         Evaluation worker threads (default: autodetect)
     --islands N         Override island count
     --population N      Override per-island population
+    --telemetry PATH    Stream one JSONL progress snapshot per generation
+                        to PATH
 
 minimize OPTIONS:
     --id ID             Minimize one finding (default: all findings)
@@ -75,6 +89,12 @@ minimize OPTIONS:
 replay OPTIONS:
     --cca NAME          Replay against this CCA instead of the stored one
     --strict            Exit non-zero if any finding drifted
+
+trace OPTIONS:
+    <ID>                Finding to trace (first positional argument)
+    --buckets N         Timeline rows per flow (default: 20)
+    --json PATH         Also export the raw event stream as JSONL
+    --csv PATH          Also export the raw event stream as CSV
 ";
 
 fn main() -> ExitCode {
@@ -158,6 +178,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "minimize" => cmd_minimize(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
+        "trace" => cmd_trace(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -241,9 +262,10 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
 
     let corpus = open_corpus(args)?;
     // Print the fully resolved campaign before running, so a hunt is
-    // reproducible from its log line alone.
+    // reproducible from its log alone. All of this is chatter: it goes to
+    // stderr so stdout stays a clean JSON payload.
     let campaign = config.campaign();
-    println!(
+    eprintln!(
         "hunting: cca={} mode={} duration={}s seed={}",
         config.cca.name(),
         mode.name(),
@@ -252,17 +274,17 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
     );
     if mode == FuzzMode::Fairness {
         let flows: Vec<&str> = campaign.flow_ccas.iter().map(|c| c.name()).collect();
-        println!(
+        eprintln!(
             "  flows: [{}] (max {} concurrent)",
             flows.join(", "),
             campaign.max_flows
         );
     }
     if mode == FuzzMode::Aqm {
-        println!("  qdisc search space: {:?}", campaign.qdisc_choice);
+        eprintln!("  qdisc search space: {:?}", campaign.qdisc_choice);
     }
     if mode == FuzzMode::Topology {
-        println!(
+        eprintln!(
             "  topology: {} initial hop(s), pool [{}]",
             campaign.topology_hops,
             campaign
@@ -273,7 +295,7 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
                 .join(", ")
         );
     }
-    println!(
+    eprintln!(
         "  ga: islands={} population/island={} generations={} crossover={:.2} \
          migration={:.2}@{} k_elite={} threads={}",
         config.ga.islands,
@@ -285,16 +307,27 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
         config.ga.k_elite,
         config.ga.threads
     );
-    println!(
+    eprintln!(
         "  scoring: objective={:?} perf_weight={} trace_weight={} reference={:.1} Mbps",
         campaign.scoring.objective,
         campaign.scoring.performance_weight,
         campaign.scoring.trace_weight,
         campaign.scoring.reference_rate_bps / 1e6
     );
-    let (finding, decision) =
-        hunt(&corpus, &config).map_err(|e| CliError::Runtime(e.to_string()))?;
-    println!(
+
+    // Live telemetry: a per-generation status line on stderr, plus (with
+    // --telemetry) a JSONL snapshot stream.
+    let mut telemetry = HuntTelemetry::new().with_status_line();
+    if let Some(path) = flag_value(args, "--telemetry")? {
+        let sink = std::fs::File::create(&path)
+            .map_err(|e| CliError::Runtime(format!("--telemetry {path}: {e}")))?;
+        telemetry = telemetry.with_sink(Box::new(sink));
+        eprintln!("  telemetry: streaming snapshots to {path}");
+    }
+    let (finding, decision) = hunt_with(&corpus, &config, Some(&telemetry))
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!("{}", telemetry.phase_report());
+    eprintln!(
         "best trace: score={:.6} (perf={:.6}, trace={:.6}) goodput={:.3} Mbps packets={}",
         finding.outcome.score,
         finding.outcome.performance_score,
@@ -304,7 +337,7 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
     );
     if let ccfuzz_corpus::finding::GenomePayload::Scenario(scenario) = &finding.genome {
         if let Some(gene) = &scenario.qdisc {
-            println!(
+            eprintln!(
                 "  qdisc: {} ecn={}",
                 gene.discipline.label(),
                 if gene.ecn { "on" } else { "off" }
@@ -312,37 +345,127 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
         }
     }
     if let ccfuzz_corpus::finding::GenomePayload::Topology(genome) = &finding.genome {
-        println!("  evolved topology ({} hop(s)):", genome.hop_count());
+        eprintln!("  evolved topology ({} hop(s)):", genome.hop_count());
         for line in genome.detail_table().lines() {
-            println!("    {line}");
+            eprintln!("    {line}");
         }
     }
     if let Some(fairness) = &finding.fairness {
         for (i, cca) in fairness.per_flow_cca.iter().enumerate() {
-            println!(
+            eprintln!(
                 "  flow {i}: {cca} goodput={:.3} Mbps delivered={}",
                 fairness.per_flow_goodput_bps.get(i).copied().unwrap_or(0.0) / 1e6,
                 fairness.per_flow_delivered.get(i).copied().unwrap_or(0)
             );
         }
-        println!(
+        eprintln!(
             "  jain_index={:.4} max_starvation={:.3}s",
             fairness.jain_index, fairness.max_starvation_secs
         );
     }
     match decision {
-        InsertOutcome::Added => println!("corpus: added {}", finding.id),
-        InsertOutcome::ReplacedWeaker { previous_score } => println!(
+        InsertOutcome::Added => eprintln!("corpus: added {}", finding.id),
+        InsertOutcome::ReplacedWeaker { previous_score } => eprintln!(
             "corpus: replaced weaker duplicate of {} (previous score {previous_score:.6})",
             finding.id
         ),
-        InsertOutcome::DuplicateRejected { existing_score } => println!(
+        InsertOutcome::DuplicateRejected { existing_score } => eprintln!(
             "corpus: duplicate of {} (stored score {existing_score:.6} is stronger or equal)",
             finding.id
         ),
         InsertOutcome::BucketFullRejected { weakest_kept_score } => {
-            println!("corpus: bucket full, weakest kept finding scores {weakest_kept_score:.6}")
+            eprintln!("corpus: bucket full, weakest kept finding scores {weakest_kept_score:.6}")
         }
+    }
+    // The machine-readable payload: the finding itself, as one JSON object.
+    let json = serde_json::to_string(&finding)
+        .map_err(|e| CliError::Runtime(format!("serializing finding: {e}")))?;
+    println!("{json}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ccfuzz trace ID`: replay one stored finding with the structured trace
+/// recorder installed and render per-flow timelines plus the per-hop queue
+/// table. Optionally exports the raw event stream as JSONL / CSV.
+fn cmd_trace(args: &[String]) -> Result<ExitCode, CliError> {
+    let id = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Reject a flag's value masquerading as the positional id.
+            let pos = args.iter().position(|x| x == *a).unwrap_or(0);
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .cloned()
+        .ok_or_else(|| usage_err("trace requires a finding id (see `ccfuzz report`)"))?;
+    let buckets: usize = parse_num(args, "--buckets", traceview::DEFAULT_TIMELINE_BUCKETS)?;
+    if buckets == 0 {
+        return Err(usage_err("--buckets must be at least 1"));
+    }
+    let corpus = open_corpus(args)?;
+    let finding = corpus
+        .get(&id)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    finding
+        .validate()
+        .map_err(|e| CliError::Runtime(format!("finding {id}: {e}")))?;
+
+    eprintln!(
+        "tracing {id}: cca={} mode={} score={:.6}",
+        finding.cca.name(),
+        finding.mode.name(),
+        finding.outcome.score
+    );
+    let (outcome, digest, trace) = finding.replay_traced();
+    if digest != finding.behavior_digest {
+        return Err(CliError::Runtime(format!(
+            "traced replay of {id} diverged from the stored behaviour \
+             (digest {digest:#018x} != stored {:#018x}); the simulator has \
+             changed since this finding was recorded",
+            finding.behavior_digest
+        )));
+    }
+    eprintln!(
+        "  replayed score {:.6} (stored {:.6}), digest verified",
+        outcome.score, finding.outcome.score
+    );
+    if trace.overwritten > 0 {
+        eprintln!(
+            "  note: ring kept the newest {} of {} events ({} evicted)",
+            trace.events.len(),
+            trace.total_observed(),
+            trace.overwritten
+        );
+    }
+
+    println!(
+        "trace {}: {} events over {:.3}s ({} flows, {} hops)",
+        id,
+        trace.events.len(),
+        trace
+            .events
+            .last()
+            .map(|r| r.at.as_secs_f64())
+            .unwrap_or(0.0),
+        traceview::flow_count(&trace),
+        traceview::hop_count(&trace),
+    );
+    for flow in 0..traceview::flow_count(&trace) as u32 {
+        println!("\nflow {flow} timeline:");
+        print!("{}", traceview::flow_timeline_table(&trace, flow, buckets));
+    }
+    println!("\nper-hop queues:");
+    print!("{}", traceview::hop_queue_table(&trace));
+
+    if let Some(path) = flag_value(args, "--json")? {
+        std::fs::write(&path, traceview::trace_to_jsonl(&trace))
+            .map_err(|e| CliError::Runtime(format!("--json {path}: {e}")))?;
+        eprintln!("wrote JSONL event stream to {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv")? {
+        std::fs::write(&path, traceview::trace_to_csv(&trace))
+            .map_err(|e| CliError::Runtime(format!("--csv {path}: {e}")))?;
+        eprintln!("wrote CSV event stream to {path}");
     }
     Ok(ExitCode::SUCCESS)
 }

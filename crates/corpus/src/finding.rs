@@ -15,6 +15,7 @@ use ccfuzz_core::scenario::ScenarioGenome;
 use ccfuzz_core::scoring::{fairness_breakdown, ScoringConfig, TraceScoreInputs};
 use ccfuzz_core::topology::TopologyGenome;
 use ccfuzz_netsim::config::SimConfig;
+use ccfuzz_netsim::simtrace::SimTrace;
 use serde::{Deserialize, Serialize};
 
 /// The evolved trace/scenario, in any of the fuzzing modes.
@@ -350,6 +351,58 @@ impl Finding {
                     max_starvation_secs: breakdown.max_starvation_secs,
                 };
                 (outcome, result.stats.digest(), Some(fairness))
+            }
+        }
+    }
+
+    /// Like [`Finding::replay_run`], but with the structured trace recorder
+    /// installed: returns the scored outcome, the behaviour digest and the
+    /// captured [`SimTrace`]. The recorder is a passive observer, so the
+    /// digest still matches the stored one — `ccfuzz trace` checks this and
+    /// the corpus determinism tests pin it for every committed fixture.
+    pub fn replay_traced(&self) -> (EvalOutcome, u64, SimTrace) {
+        let evaluator = self.evaluator();
+        match &self.genome {
+            GenomePayload::Link(g) => {
+                let (result, trace) = evaluator.simulate_link_traced(g);
+                let outcome =
+                    EvalOutcome::from_result(&evaluator.scoring, &result, evaluator.base.mss, None);
+                (outcome, result.stats.digest(), trace)
+            }
+            GenomePayload::Traffic(g) => {
+                let (result, trace) = evaluator.simulate_traffic_traced(g);
+                let inputs = TraceScoreInputs {
+                    traffic_packets: g.packet_count(),
+                    traffic_max_packets: g.max_packets,
+                    traffic_dropped: result.stats.cross_dropped,
+                };
+                let outcome = EvalOutcome::from_result(
+                    &evaluator.scoring,
+                    &result,
+                    evaluator.base.mss,
+                    Some(inputs),
+                );
+                (outcome, result.stats.digest(), trace)
+            }
+            GenomePayload::Scenario(g) => {
+                let (result, trace) = evaluator.simulate_scenario_traced(g);
+                let outcome = EvalOutcome::from_scenario_result(
+                    &evaluator.scoring,
+                    &result,
+                    evaluator.base.mss,
+                    g,
+                );
+                (outcome, result.stats.digest(), trace)
+            }
+            GenomePayload::Topology(g) => {
+                let (result, trace) = evaluator.simulate_topology_traced(g);
+                let outcome = EvalOutcome::from_topology_result(
+                    &evaluator.topology_scoring(g),
+                    &result,
+                    evaluator.base.mss,
+                    g,
+                );
+                (outcome, result.stats.digest(), trace)
             }
         }
     }

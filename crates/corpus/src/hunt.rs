@@ -10,6 +10,7 @@ use ccfuzz_core::campaign::{Campaign, FuzzMode};
 use ccfuzz_core::fuzzer::GaParams;
 use ccfuzz_core::scenario::QdiscChoice;
 use ccfuzz_netsim::time::SimDuration;
+use ccfuzz_obs::{HuntTelemetry, Phase};
 
 /// Parameters of one hunt.
 #[derive(Clone, Debug)]
@@ -81,10 +82,21 @@ impl HuntConfig {
 /// `corpus`. Returns the finding (whether or not the corpus kept it) and the
 /// insert decision.
 pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutcome), CorpusError> {
+    hunt_with(corpus, config, None)
+}
+
+/// [`hunt`] with an optional telemetry observer: the campaign streams
+/// per-generation snapshots through it and the corpus insert is recorded
+/// (accept/dedup counters, corpus-io phase time).
+pub fn hunt_with(
+    corpus: &Corpus,
+    config: &HuntConfig,
+    obs: Option<&HuntTelemetry>,
+) -> Result<(Finding, InsertOutcome), CorpusError> {
     let campaign = config.campaign();
     let (genome, outcome, evaluations) = match config.mode {
         FuzzMode::Traffic => {
-            let result = campaign.run_traffic();
+            let result = campaign.run_traffic_with(obs);
             (
                 GenomePayload::Traffic(result.best_genome),
                 result.best_outcome,
@@ -92,7 +104,7 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             )
         }
         FuzzMode::Link => {
-            let result = campaign.run_link();
+            let result = campaign.run_link_with(obs);
             (
                 GenomePayload::Link(result.best_genome),
                 result.best_outcome,
@@ -100,7 +112,7 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             )
         }
         FuzzMode::Fairness => {
-            let result = campaign.run_fairness();
+            let result = campaign.run_fairness_with(obs);
             (
                 GenomePayload::Scenario(result.best_genome),
                 result.best_outcome,
@@ -108,7 +120,7 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             )
         }
         FuzzMode::Aqm => {
-            let result = campaign.run_aqm();
+            let result = campaign.run_aqm_with(obs);
             (
                 GenomePayload::Scenario(result.best_genome),
                 result.best_outcome,
@@ -116,7 +128,7 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             )
         }
         FuzzMode::Topology => {
-            let result = campaign.run_topology();
+            let result = campaign.run_topology_with(obs);
             (
                 GenomePayload::Topology(result.best_genome),
                 result.best_outcome,
@@ -124,8 +136,19 @@ pub fn hunt(corpus: &Corpus, config: &HuntConfig) -> Result<(Finding, InsertOutc
             )
         }
     };
+    let _timer = obs.map(|o| o.profiler.scope(Phase::CorpusIo));
     let finding = Finding::from_campaign(&campaign, genome, outcome, evaluations as u64);
     let decision = corpus.insert(&finding)?;
+    if let Some(obs) = obs {
+        match decision {
+            InsertOutcome::Added | InsertOutcome::ReplacedWeaker { .. } => {
+                obs.metrics.corpus_inserted.inc()
+            }
+            InsertOutcome::DuplicateRejected { .. } | InsertOutcome::BucketFullRejected { .. } => {
+                obs.metrics.corpus_deduplicated.inc()
+            }
+        }
+    }
     Ok((finding, decision))
 }
 

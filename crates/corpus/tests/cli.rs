@@ -1,0 +1,140 @@
+//! End-to-end CLI tests for the `ccfuzz` binary, pinning the stdout
+//! contract: stdout carries only the machine-readable payload (so
+//! `ccfuzz hunt ... | jq` works), while progress chatter, telemetry status
+//! lines and the phase report all go to stderr.
+
+use ccfuzz_corpus::finding::Finding;
+use ccfuzz_obs::Snapshot;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ccfuzz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ccfuzz"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccfuzz-cli-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs a tiny deterministic hunt and returns (corpus dir, parsed finding).
+fn tiny_hunt(tag: &str, telemetry: Option<&PathBuf>) -> (PathBuf, Finding) {
+    let dir = scratch_dir(tag);
+    let mut cmd = ccfuzz();
+    cmd.args([
+        "hunt",
+        "--cca",
+        "reno",
+        "--mode",
+        "traffic",
+        "--generations",
+        "2",
+        "--seconds",
+        "2",
+        "--seed",
+        "1",
+        "--threads",
+        "2",
+        "--islands",
+        "2",
+        "--population",
+        "3",
+        "--corpus",
+    ])
+    .arg(&dir);
+    if let Some(path) = telemetry {
+        cmd.arg("--telemetry").arg(path);
+    }
+    let out = cmd.output().expect("run ccfuzz hunt");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(out.status.success(), "hunt failed:\n{stderr}");
+    // The whole of stdout must be one JSON document: the finding. A strict
+    // deserialize both validates the schema and proves no chatter leaked.
+    let finding: Finding = serde_json::from_str(stdout.trim())
+        .unwrap_or_else(|e| panic!("hunt stdout is not a single finding JSON: {e}\n---\n{stdout}"));
+    assert_eq!(
+        stdout.trim().lines().count(),
+        1,
+        "hunt stdout must be a single line of JSON"
+    );
+    assert!(
+        stderr.contains("hunting:"),
+        "progress chatter must go to stderr"
+    );
+    (dir, finding)
+}
+
+#[test]
+fn hunt_stdout_is_pure_json_and_telemetry_stream_is_valid() {
+    let telemetry_path =
+        std::env::temp_dir().join(format!("ccfuzz-cli-telemetry-{}.jsonl", std::process::id()));
+    let (_dir, finding) = tiny_hunt("hunt", Some(&telemetry_path));
+    assert!(!finding.id.is_empty());
+    assert!(finding.outcome.score.is_finite());
+
+    // One snapshot per generation, each a strict-schema JSONL record with
+    // monotone generation numbers and live counters.
+    let stream = std::fs::read_to_string(&telemetry_path).expect("telemetry stream written");
+    let snapshots: Vec<Snapshot> = stream
+        .lines()
+        .map(|line| {
+            serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("bad telemetry line: {e}\n---\n{line}"))
+        })
+        .collect();
+    assert_eq!(snapshots.len(), 2, "one snapshot per generation");
+    for (i, snap) in snapshots.iter().enumerate() {
+        assert_eq!(snap.schema, ccfuzz_obs::telemetry::SNAPSHOT_SCHEMA);
+        assert_eq!(snap.generation, i as u32);
+        assert!(snap.evaluations > 0);
+        assert!(snap.best_score.is_finite());
+        assert_eq!(snap.island_best.len(), 2, "one best-score per island");
+    }
+    std::fs::remove_file(&telemetry_path).ok();
+}
+
+#[test]
+fn trace_subcommand_renders_timeline_and_exports() {
+    let (dir, finding) = tiny_hunt("trace", None);
+    let json_path = dir.join("trace.jsonl");
+    let csv_path = dir.join("trace.csv");
+    let out = ccfuzz()
+        .args(["trace", &finding.id, "--corpus"])
+        .arg(&dir)
+        .arg("--json")
+        .arg(&json_path)
+        .arg("--csv")
+        .arg(&csv_path)
+        .output()
+        .expect("run ccfuzz trace");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(out.status.success(), "trace failed:\n{stderr}");
+    assert!(stdout.contains("timeline:"), "missing timeline:\n{stdout}");
+    assert!(
+        stdout.contains("per-hop queues:"),
+        "missing queue table:\n{stdout}"
+    );
+    assert!(stderr.contains("replayed"), "replay note goes to stderr");
+
+    let jsonl = std::fs::read_to_string(&json_path).expect("JSONL export written");
+    assert!(!jsonl.trim().is_empty());
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with("{\"at\":") && line.contains("\"kind\":"),
+            "bad JSONL event line: {line}"
+        );
+    }
+    let csv = std::fs::read_to_string(&csv_path).expect("CSV export written");
+    assert_eq!(
+        csv.lines().next(),
+        Some("at,kind,flow,hop,cwnd,in_flight,packets,bytes"),
+        "CSV header drifted"
+    );
+    assert!(csv.lines().count() > 1, "CSV export has no rows");
+}

@@ -49,6 +49,7 @@ use crate::event::{Event, EventQueue};
 use crate::link::{LinkAction, LinkModel, LinkService};
 use crate::packet::{AckPacket, DataPacket, FlowId, PacketPool};
 use crate::queue::{EnqueueOutcome, GatewayQueue};
+use crate::simtrace::{SimTrace, TraceEvent, TraceRecorder};
 use crate::stats::{BottleneckEvent, BottleneckRecord, FlowRates, FlowStats, RunStats};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
@@ -183,6 +184,11 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     cross: CrossTrafficSource,
     stats: RunStats,
     finished: bool,
+    /// Optional structured trace recorder (see [`crate::simtrace`]). Boxed
+    /// so the disabled case costs one pointer on the struct and one
+    /// null-check per hook — the same zero-cost-when-disabled shape as
+    /// `record_events`.
+    tracer: Option<Box<TraceRecorder>>,
 }
 
 impl<C: CongestionControl> Simulation<C> {
@@ -323,7 +329,43 @@ impl<C: CongestionControl> Simulation<C> {
             pool,
             stats,
             finished: false,
+            tracer: None,
             cfg,
+        }
+    }
+
+    /// Installs a structured trace recorder retaining the last `capacity`
+    /// events. Must be called before [`Simulation::run`]; retrieve the
+    /// trace afterwards with [`Simulation::take_trace`]. The recorder is a
+    /// pure observer: a traced run's [`RunStats`] (including its digest)
+    /// are byte-identical to an untraced run of the same config.
+    pub fn install_tracer(&mut self, capacity: usize) {
+        assert!(!self.finished, "install_tracer must precede run");
+        self.tracer = Some(Box::new(TraceRecorder::new(capacity, self.flows.len())));
+    }
+
+    /// Removes and finalizes the installed trace recorder, if any.
+    pub fn take_trace(&mut self) -> Option<SimTrace> {
+        self.tracer.take().map(|t| t.finish())
+    }
+
+    #[inline]
+    fn trace(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(at, event);
+        }
+    }
+
+    /// Samples `flow`'s sender into the trace (cwnd / recovery changes
+    /// only). Called after every event that can move congestion state.
+    #[inline]
+    fn trace_sender(&mut self, flow: usize, now: SimTime) {
+        if self.tracer.is_some() {
+            let s = &self.flows[flow].sender;
+            let (cwnd, in_flight, in_recovery) = (s.cwnd(), s.in_flight(), s.in_recovery());
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.sample_sender(now, flow as u32, cwnd, in_flight, in_recovery);
+            }
         }
     }
 
@@ -425,6 +467,13 @@ impl<C: CongestionControl> Simulation<C> {
                             FlowId::CrossTraffic => self.stats.cross_dropped += 1,
                             FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
                         }
+                        self.trace(
+                            now,
+                            TraceEvent::Drop {
+                                flow: dropped.flow,
+                                hop: hop as u32,
+                            },
+                        );
                     }
                     let Some((pkt, marked_now)) = pkt else {
                         // The discipline consumed the whole backlog; re-poll
@@ -447,6 +496,13 @@ impl<C: CongestionControl> Simulation<C> {
                         if let FlowId::Cca(i) = pkt.flow {
                             self.flows[i as usize].ce_marked += 1;
                         }
+                        self.trace(
+                            now,
+                            TraceEvent::EcnMark {
+                                flow: pkt.flow,
+                                hop: hop as u32,
+                            },
+                        );
                     }
                     let queuing_delay = now.saturating_since(pkt.enqueued_at);
                     self.record_bottleneck(
@@ -504,15 +560,31 @@ impl<C: CongestionControl> Simulation<C> {
         };
         self.record_bottleneck(hop, now, flow, size, event);
         match outcome {
-            EnqueueOutcome::Dropped => match flow {
-                FlowId::CrossTraffic => self.stats.cross_dropped += 1,
-                FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
-            },
+            EnqueueOutcome::Dropped => {
+                match flow {
+                    FlowId::CrossTraffic => self.stats.cross_dropped += 1,
+                    FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+                }
+                self.trace(
+                    now,
+                    TraceEvent::Drop {
+                        flow,
+                        hop: hop as u32,
+                    },
+                );
+            }
             EnqueueOutcome::AcceptedMarked => {
                 self.record_bottleneck(hop, now, flow, size, BottleneckEvent::Marked);
                 if let FlowId::Cca(i) = flow {
                     self.flows[i as usize].ce_marked += 1;
                 }
+                self.trace(
+                    now,
+                    TraceEvent::EcnMark {
+                        flow,
+                        hop: hop as u32,
+                    },
+                );
             }
             EnqueueOutcome::Accepted => {}
         }
@@ -668,6 +740,10 @@ impl<C: CongestionControl> Simulation<C> {
                 Event::FlowStart { flow } => {
                     let flow = flow as usize;
                     self.flows[flow].sender.on_flow_start(now);
+                    if self.tracer.is_some() {
+                        self.trace(now, TraceEvent::FlowStart { flow: flow as u32 });
+                        self.trace_sender(flow, now);
+                    }
                     self.pump_sender(flow, now);
                 }
                 Event::GatewayArrival { hop, pkt: parked } => {
@@ -688,6 +764,7 @@ impl<C: CongestionControl> Simulation<C> {
                 Event::AckArrival { flow, ack } => {
                     let ack = self.pool.take_ack(ack);
                     self.deliver_ack_to_sender(flow as usize, ack, now);
+                    self.trace_sender(flow as usize, now);
                 }
                 Event::RtoTimer { flow, generation } => {
                     let flow = flow as usize;
@@ -702,6 +779,10 @@ impl<C: CongestionControl> Simulation<C> {
                         continue;
                     }
                     if self.flows[flow].sender.on_rto_timer(generation, now) {
+                        if self.tracer.is_some() {
+                            self.trace(now, TraceEvent::RtoFired { flow: flow as u32 });
+                            self.trace_sender(flow, now);
+                        }
                         self.pump_sender(flow, now);
                     } else {
                         self.sync_rto_timer(flow);
@@ -742,6 +823,18 @@ impl<C: CongestionControl> Simulation<C> {
                                 hop.queue.len(),
                                 hop.queue.bytes(),
                             ));
+                        }
+                    }
+                    if let Some(tr) = self.tracer.as_deref_mut() {
+                        for (k, hop) in self.hops.iter().enumerate() {
+                            tr.push(
+                                now,
+                                TraceEvent::QueueSample {
+                                    hop: k as u32,
+                                    packets: hop.queue.len() as u32,
+                                    bytes: hop.queue.bytes(),
+                                },
+                            );
                         }
                     }
                     let next = now + self.cfg.stats_interval;
@@ -1477,6 +1570,107 @@ mod tests {
         assert_eq!(f.ce_marked, hops[0].marked_cca + hops[1].marked_cca);
         assert!(f.ce_received > 0 && f.ce_received <= f.ce_marked);
         assert_eq!(f.ce_received, f.ece_echoed, "every CE arrival echoed once");
+    }
+
+    // ------------------------------------------------------------------
+    // Structured tracing
+    // ------------------------------------------------------------------
+
+    use crate::simtrace::TraceEvent;
+
+    fn run_traced(
+        cfg: SimConfig,
+        cc: Box<dyn CongestionControl>,
+    ) -> (SimResult, crate::simtrace::SimTrace) {
+        let mut sim = Simulation::new(cfg, cc);
+        sim.install_tracer(1 << 14);
+        let result = sim.run();
+        let trace = sim.take_trace().expect("tracer installed");
+        (result, trace)
+    }
+
+    #[test]
+    fn traced_run_digest_matches_untraced_run() {
+        // The recorder is a pure observer: digests and event counts are
+        // byte-identical with and without it, for drop-tail and AQM+ECN.
+        let plain = run_simulation(base_cfg(), boxed(MiniAimdCc::new(50)));
+        let (traced, trace) = run_traced(base_cfg(), boxed(MiniAimdCc::new(50)));
+        assert_eq!(plain.stats.digest(), traced.stats.digest());
+        assert_eq!(plain.stats.events_processed, traced.stats.events_processed);
+        assert!(!trace.events.is_empty());
+
+        let mut aqm_cfg = base_cfg();
+        aqm_cfg.qdisc = Qdisc::red_default(100);
+        aqm_cfg.ecn_enabled = true;
+        let plain = run_simulation(aqm_cfg.clone(), boxed(MiniAimdCc::new(50)));
+        let (traced, _) = run_traced(aqm_cfg, boxed(MiniAimdCc::new(50)));
+        assert_eq!(plain.stats.digest(), traced.stats.digest());
+    }
+
+    #[test]
+    fn trace_captures_cwnd_queue_samples_and_drops() {
+        let mut cfg = base_cfg();
+        cfg.queue_capacity = QueueCapacity::Packets(20);
+        let (result, trace) = run_traced(cfg, boxed(MiniAimdCc::new(200)));
+        assert!(result.stats.flow().queue_drops > 0);
+        let kinds = |k: &str| trace.events.iter().filter(|r| r.event.kind() == k).count();
+        assert!(kinds("cwnd") > 0, "cwnd updates recorded");
+        assert!(kinds("queue") > 0, "queue samples recorded");
+        assert!(kinds("drop") > 0, "drops recorded");
+        assert_eq!(kinds("queue"), trace.hop_samples(0).count());
+        // Events come out in time order.
+        assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every CCA drop in the trace is mirrored in the stats (ring did
+        // not overflow at this capacity).
+        if trace.overwritten == 0 {
+            let traced_drops = trace
+                .events
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.event,
+                        TraceEvent::Drop {
+                            flow: FlowId::Cca(0),
+                            ..
+                        }
+                    )
+                })
+                .count() as u64;
+            assert_eq!(traced_drops, result.stats.flow().queue_drops);
+        }
+    }
+
+    #[test]
+    fn trace_captures_ecn_marks_and_recovery_transitions() {
+        let mut cfg = base_cfg();
+        cfg.qdisc = Qdisc::Red {
+            min_thresh: 5,
+            max_thresh: 60,
+            mark_probability: 0.5,
+        };
+        cfg.ecn_enabled = true;
+        let (result, trace) = run_traced(cfg, boxed(MiniAimdCc::new(120)));
+        assert!(result.stats.flow().ce_marked > 0);
+        let marks = trace
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::EcnMark { .. }))
+            .count() as u64;
+        assert!(marks > 0, "ECN marks recorded");
+        // A 120-packet AIMD window over a 100-packet queue loses packets
+        // and recovers; the state transitions show up in the trace.
+        let enters = trace
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RecoveryEnter { .. }))
+            .count();
+        let exits = trace
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RecoveryExit { .. }))
+            .count();
+        assert!(enters > 0, "recovery entries recorded");
+        assert!(exits > 0 && exits <= enters);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Structured simulation tracing: a bounded ring of typed events.
+//!
+//! When a [`TraceRecorder`] is installed on a
+//! [`Simulation`](crate::sim::Simulation) (via
+//! [`install_tracer`](crate::sim::Simulation::install_tracer)), the event
+//! loop records congestion-window updates, queue/AQM drops, ECN marks,
+//! per-hop queue-depth samples and sender state transitions into a
+//! fixed-capacity [`RingBuffer`]. The recorder is a passive observer: it
+//! schedules no events, mutates no simulation state and allocates only at
+//! construction, so a traced run is event-for-event identical to an
+//! untraced one ([`RunStats::digest`](crate::stats::RunStats::digest) is
+//! byte-identical — the determinism tests pin this).
+//!
+//! Like the transport log behind `SimConfig::record_events`, the gate is
+//! zero-cost when disabled: every hook is a branch on an `Option` that the
+//! fuzzing hot path never takes (the bench regression gate keeps this
+//! honest).
+
+use crate::packet::FlowId;
+use crate::time::SimTime;
+use ccfuzz_obs::RingBuffer;
+
+/// Default ring capacity used by the trace helpers: enough for several
+/// seconds of per-event history at the paper's link rate.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// One typed trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A congestion-controlled flow started sending.
+    FlowStart {
+        /// Flow index.
+        flow: u32,
+    },
+    /// The flow's congestion window changed.
+    CwndUpdate {
+        /// Flow index.
+        flow: u32,
+        /// New congestion window, in packets.
+        cwnd: u64,
+        /// Packets currently in flight.
+        in_flight: u64,
+    },
+    /// The flow entered loss recovery.
+    RecoveryEnter {
+        /// Flow index.
+        flow: u32,
+    },
+    /// The flow left loss recovery.
+    RecoveryExit {
+        /// Flow index.
+        flow: u32,
+    },
+    /// The flow's retransmission timer fired.
+    RtoFired {
+        /// Flow index.
+        flow: u32,
+    },
+    /// A packet was dropped at a gateway queue (tail drop or RED early
+    /// drop at enqueue; CoDel head drop at dequeue).
+    Drop {
+        /// Owning flow of the dropped packet.
+        flow: FlowId,
+        /// Hop index where the drop happened.
+        hop: u32,
+    },
+    /// A packet was CE-marked by the hop's queue discipline.
+    EcnMark {
+        /// Owning flow of the marked packet.
+        flow: FlowId,
+        /// Hop index where the mark happened.
+        hop: u32,
+    },
+    /// Periodic queue-depth sample for one hop.
+    QueueSample {
+        /// Hop index.
+        hop: u32,
+        /// Queue occupancy in packets.
+        packets: u32,
+        /// Queue occupancy in bytes.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-case kind name (used by exports and table rendering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FlowStart { .. } => "flow-start",
+            TraceEvent::CwndUpdate { .. } => "cwnd",
+            TraceEvent::RecoveryEnter { .. } => "recovery-enter",
+            TraceEvent::RecoveryExit { .. } => "recovery-exit",
+            TraceEvent::RtoFired { .. } => "rto",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::EcnMark { .. } => "ecn-mark",
+            TraceEvent::QueueSample { .. } => "queue",
+        }
+    }
+}
+
+/// A timestamped trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The live recorder installed on a running simulation.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring: RingBuffer<TraceRecord>,
+    /// Last cwnd reported per flow (dedupe: only changes are recorded).
+    last_cwnd: Vec<u64>,
+    /// Last recovery flag per flow.
+    last_recovery: Vec<bool>,
+}
+
+impl TraceRecorder {
+    /// A recorder retaining at most `capacity` events for `flows` flows.
+    pub fn new(capacity: usize, flows: usize) -> Self {
+        TraceRecorder {
+            ring: RingBuffer::new(capacity),
+            last_cwnd: vec![0; flows],
+            last_recovery: vec![false; flows],
+        }
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        self.ring.push(TraceRecord { at, event });
+    }
+
+    /// Samples a flow's sender after an ACK / timer was processed,
+    /// recording cwnd updates and recovery transitions only when they
+    /// changed since the last sample.
+    pub fn sample_sender(
+        &mut self,
+        at: SimTime,
+        flow: u32,
+        cwnd: u64,
+        in_flight: u64,
+        in_recovery: bool,
+    ) {
+        let i = flow as usize;
+        if self.last_cwnd[i] != cwnd {
+            self.last_cwnd[i] = cwnd;
+            self.push(
+                at,
+                TraceEvent::CwndUpdate {
+                    flow,
+                    cwnd,
+                    in_flight,
+                },
+            );
+        }
+        if self.last_recovery[i] != in_recovery {
+            self.last_recovery[i] = in_recovery;
+            let event = if in_recovery {
+                TraceEvent::RecoveryEnter { flow }
+            } else {
+                TraceEvent::RecoveryExit { flow }
+            };
+            self.push(at, event);
+        }
+    }
+
+    /// Finalizes the recorder into an immutable [`SimTrace`].
+    pub fn finish(self) -> SimTrace {
+        let capacity = self.ring.capacity();
+        let overwritten = self.ring.overwritten();
+        SimTrace {
+            events: self.ring.into_vec(),
+            overwritten,
+            capacity,
+        }
+    }
+}
+
+/// A finished trace: the retained events in time order, plus how much
+/// history the ring shed.
+#[derive(Clone, Debug, Default)]
+pub struct SimTrace {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceRecord>,
+    /// Events evicted because the ring was full.
+    pub overwritten: u64,
+    /// The ring capacity the trace was recorded with.
+    pub capacity: usize,
+}
+
+impl SimTrace {
+    /// Total events observed (retained + evicted).
+    pub fn total_observed(&self) -> u64 {
+        self.events.len() as u64 + self.overwritten
+    }
+
+    /// Iterates events belonging to one CCA flow (samples excluded).
+    pub fn flow_events(&self, flow: u32) -> impl Iterator<Item = &TraceRecord> {
+        self.events.iter().filter(move |r| match r.event {
+            TraceEvent::FlowStart { flow: f }
+            | TraceEvent::CwndUpdate { flow: f, .. }
+            | TraceEvent::RecoveryEnter { flow: f }
+            | TraceEvent::RecoveryExit { flow: f }
+            | TraceEvent::RtoFired { flow: f } => f == flow,
+            TraceEvent::Drop { flow: f, .. } | TraceEvent::EcnMark { flow: f, .. } => {
+                f == FlowId::Cca(flow)
+            }
+            TraceEvent::QueueSample { .. } => false,
+        })
+    }
+
+    /// Iterates the queue-depth samples of one hop.
+    pub fn hop_samples(&self, hop: u32) -> impl Iterator<Item = (SimTime, u32, u64)> + '_ {
+        self.events.iter().filter_map(move |r| match r.event {
+            TraceEvent::QueueSample {
+                hop: h,
+                packets,
+                bytes,
+            } if h == hop => Some((r.at, packets, bytes)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_sampling_dedupes_unchanged_state() {
+        let mut rec = TraceRecorder::new(16, 1);
+        rec.sample_sender(SimTime::from_millis(1), 0, 10, 5, false);
+        rec.sample_sender(SimTime::from_millis(2), 0, 10, 6, false); // no change
+        rec.sample_sender(SimTime::from_millis(3), 0, 12, 6, false);
+        rec.sample_sender(SimTime::from_millis(4), 0, 12, 6, true);
+        rec.sample_sender(SimTime::from_millis(5), 0, 6, 3, false);
+        let trace = rec.finish();
+        let kinds: Vec<&str> = trace.events.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["cwnd", "cwnd", "recovery-enter", "cwnd", "recovery-exit"]
+        );
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_events() {
+        let mut rec = TraceRecorder::new(4, 1);
+        for i in 0..10u64 {
+            rec.push(SimTime::from_millis(i), TraceEvent::RtoFired { flow: 0 });
+        }
+        let trace = rec.finish();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.overwritten, 6);
+        assert_eq!(trace.total_observed(), 10);
+        assert_eq!(trace.events[0].at, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn flow_and_hop_filters_select_correctly() {
+        let mut rec = TraceRecorder::new(16, 2);
+        rec.push(
+            SimTime::from_millis(1),
+            TraceEvent::Drop {
+                flow: FlowId::Cca(0),
+                hop: 0,
+            },
+        );
+        rec.push(
+            SimTime::from_millis(2),
+            TraceEvent::Drop {
+                flow: FlowId::CrossTraffic,
+                hop: 0,
+            },
+        );
+        rec.push(
+            SimTime::from_millis(3),
+            TraceEvent::QueueSample {
+                hop: 1,
+                packets: 7,
+                bytes: 10_000,
+            },
+        );
+        rec.sample_sender(SimTime::from_millis(4), 1, 4, 2, false);
+        let trace = rec.finish();
+        assert_eq!(trace.flow_events(0).count(), 1);
+        assert_eq!(trace.flow_events(1).count(), 1);
+        assert_eq!(trace.hop_samples(1).count(), 1);
+        assert_eq!(trace.hop_samples(0).count(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ccfuzz-obs
+//!
+//! Observability primitives for the cc-fuzz workspace, kept dependency-light
+//! (only the vendored serde shims) so every layer — the simulator, the GA
+//! core, the corpus driver and the bench harness — can record into it:
+//!
+//! * [`metrics`] — lock-free counters, gauges and 256-bucket log-scale
+//!   histograms with per-worker [`LocalHistogram`] shards that merge into
+//!   the shared [`Histogram`] on snapshot.
+//! * [`profile`] — a scoped wall-clock [`PhaseProfiler`] for the campaign
+//!   loop's generate / evaluate / select / mutate / corpus-io phases.
+//! * [`ring`] — the fixed-capacity [`RingBuffer`] backing the simulator's
+//!   structured trace recorder.
+//! * [`telemetry`] — the per-hunt [`HuntTelemetry`] bundle: the metric
+//!   registry, the JSONL [`Snapshot`] progress stream and the stderr
+//!   status line.
+//!
+//! Design rule: recording must be safe to leave enabled in the hot path
+//! (relaxed atomics, no locks, no allocation), and anything heavier —
+//! percentile walks, serialization, I/O — happens only at snapshot time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod ring;
+pub mod telemetry;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram};
+pub use profile::{Phase, PhaseProfiler};
+pub use ring::RingBuffer;
+pub use telemetry::{CampaignMetrics, HuntTelemetry, LatencyQuantiles, OperatorSnapshot, Snapshot};

@@ -1,0 +1,115 @@
+//! A fixed-capacity ring buffer that overwrites its oldest entries.
+//!
+//! Used by the simulator's trace recorder: a bounded buffer means tracing
+//! can stay on for arbitrarily long runs without unbounded growth, and the
+//! overwrite counter tells the reader exactly how much history was shed.
+
+/// Fixed-capacity FIFO that overwrites the oldest element when full.
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// An empty ring holding at most `capacity` elements.
+    ///
+    /// A zero capacity is rounded up to 1 so `push` never divides by zero.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends an element, evicting the oldest one when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been pushed (or everything evicted — which
+    /// cannot happen, eviction replaces).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many elements were evicted to make room.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates from oldest to newest retained element.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Consumes the ring, returning elements from oldest to newest.
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.overwritten(), 0);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        ring.push(3);
+        ring.push(4);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.overwritten(), 2);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(ring.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = RingBuffer::new(0);
+        ring.push(7);
+        ring.push(8);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.into_vec(), vec![8]);
+    }
+
+    #[test]
+    fn order_preserved_across_many_wraps() {
+        let mut ring = RingBuffer::new(5);
+        for i in 0..102 {
+            ring.push(i);
+        }
+        assert_eq!(ring.overwritten(), 97);
+        assert_eq!(ring.into_vec(), vec![97, 98, 99, 100, 101]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Campaign-level telemetry: the hunt's metric registry, the periodic
+//! progress [`Snapshot`] stream (JSONL) and the human status line.
+//!
+//! A [`HuntTelemetry`] is shared by reference between the campaign driver
+//! and the GA worker threads: all recording goes through lock-free
+//! [`metrics`](crate::metrics) primitives, and the only lock (around the
+//! JSONL sink) is taken once per generation by whichever thread emits the
+//! snapshot.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::profile::PhaseProfiler;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Snapshot schema version, bumped on breaking field changes.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// How often each GA operator produced an individual.
+#[derive(Debug, Default)]
+pub struct OperatorCounters {
+    /// Individuals carried over unchanged as elites.
+    pub elite: Counter,
+    /// Individuals bred by crossover.
+    pub crossover: Counter,
+    /// Individuals produced by mutation.
+    pub mutation: Counter,
+    /// Mutations routed through the annealing schedule.
+    pub anneal: Counter,
+    /// Individuals copied between islands by migration.
+    pub migrant: Counter,
+}
+
+/// The campaign's metric registry: fixed, named, lock-free slots covering
+/// everything a hunt records. Recording costs a relaxed atomic op; reads
+/// happen only when a snapshot is taken.
+#[derive(Debug, Default)]
+pub struct CampaignMetrics {
+    /// Fitness evaluations completed.
+    pub evaluations: Counter,
+    /// Best score seen so far (gauge; last write wins).
+    pub best_score: Gauge,
+    /// Wall-clock nanoseconds per fitness evaluation (sharded per worker,
+    /// merged after each evaluation batch).
+    pub eval_latency_ns: Histogram,
+    /// Per-operator production counts.
+    pub operators: OperatorCounters,
+    /// Findings accepted by the corpus (new or replacing weaker ones).
+    pub corpus_inserted: Counter,
+    /// Findings rejected as duplicates or by bucket top-K retention.
+    pub corpus_deduplicated: Counter,
+}
+
+/// Per-operator counts as carried by a [`Snapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSnapshot {
+    /// Elites carried over.
+    pub elite: u64,
+    /// Crossover offspring.
+    pub crossover: u64,
+    /// Mutated offspring.
+    pub mutation: u64,
+    /// Annealed mutations.
+    pub anneal: u64,
+    /// Migrated individuals.
+    pub migrant: u64,
+}
+
+/// Eval-latency percentiles in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
+    /// Median.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+/// One periodic progress record, emitted per generation as a JSONL line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SNAPSHOT_SCHEMA`]).
+    pub schema: u32,
+    /// Generation index (0-based).
+    pub generation: u32,
+    /// Total fitness evaluations so far.
+    pub evaluations: u64,
+    /// Wall-clock seconds since the hunt started.
+    pub elapsed_secs: f64,
+    /// Evaluations per wall-clock second so far.
+    pub evals_per_sec: f64,
+    /// Best score across all islands so far.
+    pub best_score: f64,
+    /// Mean score of the current population.
+    pub mean_score: f64,
+    /// Best score per island this generation (the plateau trajectory).
+    pub island_best: Vec<f64>,
+    /// Operator hit counts so far.
+    pub operators: OperatorSnapshot,
+    /// Eval-latency percentiles so far.
+    pub eval_latency_ns: LatencyQuantiles,
+}
+
+/// The live observability bundle for one hunt: metrics + profiler + the
+/// optional JSONL sink and stderr status line.
+pub struct HuntTelemetry {
+    /// The metric registry; workers record into this directly.
+    pub metrics: CampaignMetrics,
+    /// Wall-time breakdown of the campaign loop.
+    pub profiler: PhaseProfiler,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+    status: bool,
+    started: Instant,
+}
+
+impl Default for HuntTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HuntTelemetry {
+    /// Telemetry with no sink and no status line: pure in-memory metrics.
+    pub fn new() -> Self {
+        HuntTelemetry {
+            metrics: CampaignMetrics::default(),
+            profiler: PhaseProfiler::new(),
+            sink: Mutex::new(None),
+            status: false,
+            started: Instant::now(),
+        }
+    }
+
+    /// Streams one JSONL [`Snapshot`] per generation into `sink`.
+    pub fn with_sink(self, sink: Box<dyn Write + Send>) -> Self {
+        HuntTelemetry {
+            sink: Mutex::new(Some(sink)),
+            ..self
+        }
+    }
+
+    /// Prints a one-line progress summary to stderr per generation.
+    pub fn with_status_line(mut self) -> Self {
+        self.status = true;
+        self
+    }
+
+    /// Builds the current [`Snapshot`] for a finished generation.
+    pub fn snapshot(
+        &self,
+        generation: u32,
+        best_score: f64,
+        mean_score: f64,
+        island_best: Vec<f64>,
+    ) -> Snapshot {
+        let evaluations = self.metrics.evaluations.get();
+        let elapsed_secs = self.started.elapsed().as_secs_f64();
+        let latency = self.metrics.eval_latency_ns.snapshot();
+        let ops = &self.metrics.operators;
+        Snapshot {
+            schema: SNAPSHOT_SCHEMA,
+            generation,
+            evaluations,
+            elapsed_secs,
+            evals_per_sec: evaluations as f64 / elapsed_secs.max(1e-9),
+            best_score,
+            mean_score,
+            island_best,
+            operators: OperatorSnapshot {
+                elite: ops.elite.get(),
+                crossover: ops.crossover.get(),
+                mutation: ops.mutation.get(),
+                anneal: ops.anneal.get(),
+                migrant: ops.migrant.get(),
+            },
+            eval_latency_ns: LatencyQuantiles {
+                p50_ns: latency.percentile(50.0),
+                p95_ns: latency.percentile(95.0),
+                p99_ns: latency.percentile(99.0),
+            },
+        }
+    }
+
+    /// Records a finished generation: updates the best-score gauge, appends
+    /// a JSONL snapshot to the sink (if any) and prints the status line (if
+    /// enabled). Sink write errors are swallowed — telemetry must never
+    /// abort a hunt.
+    pub fn observe_generation(
+        &self,
+        generation: u32,
+        best_score: f64,
+        mean_score: f64,
+        island_best: Vec<f64>,
+    ) {
+        self.metrics.best_score.set(best_score);
+        let snap = self.snapshot(generation, best_score, mean_score, island_best);
+        if let Ok(mut guard) = self.sink.lock() {
+            if let Some(sink) = guard.as_mut() {
+                let line = serde_json::to_string(&snap).expect("snapshot serializes");
+                let _ = writeln!(sink, "{line}");
+                let _ = sink.flush();
+            }
+        }
+        if self.status {
+            eprintln!(
+                "[gen {:>3}] best {:.4} mean {:.4} | {} evals, {:.1}/s | eval p50/p95/p99 {:.2}/{:.2}/{:.2} ms",
+                snap.generation,
+                snap.best_score,
+                snap.mean_score,
+                snap.evaluations,
+                snap.evals_per_sec,
+                snap.eval_latency_ns.p50_ns as f64 / 1e6,
+                snap.eval_latency_ns.p95_ns as f64 / 1e6,
+                snap.eval_latency_ns.p99_ns as f64 / 1e6,
+            );
+        }
+    }
+
+    /// The profiler's wall-time breakdown (printed at campaign end).
+    pub fn phase_report(&self) -> String {
+        self.profiler.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write sink backed by a shared Vec, for asserting on JSONL output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_and_stream_as_jsonl() {
+        let buf = SharedBuf::default();
+        let telemetry = HuntTelemetry::new().with_sink(Box::new(buf.clone()));
+        telemetry.metrics.evaluations.add(12);
+        telemetry.metrics.eval_latency_ns.record(1_000_000);
+        telemetry.metrics.operators.mutation.add(5);
+        telemetry.observe_generation(0, 0.75, 0.40, vec![0.75, 0.60]);
+        telemetry.observe_generation(1, 0.80, 0.55, vec![0.80, 0.61]);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Snapshot = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.schema, SNAPSHOT_SCHEMA);
+        assert_eq!(first.generation, 0);
+        assert_eq!(first.evaluations, 12);
+        assert_eq!(first.best_score, 0.75);
+        assert_eq!(first.island_best, vec![0.75, 0.60]);
+        assert_eq!(first.operators.mutation, 5);
+        assert!(first.eval_latency_ns.p50_ns > 0);
+        let second: Snapshot = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.generation, 1);
+        assert_eq!(telemetry.metrics.best_score.get(), 0.80);
+    }
+
+    #[test]
+    fn metrics_only_telemetry_needs_no_sink() {
+        let telemetry = HuntTelemetry::new();
+        telemetry.metrics.evaluations.inc();
+        telemetry.observe_generation(0, 1.0, 1.0, vec![1.0]);
+        let snap = telemetry.snapshot(0, 1.0, 1.0, vec![1.0]);
+        assert_eq!(snap.evaluations, 1);
+        assert!(snap.evals_per_sec > 0.0);
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`cca`] — congestion control algorithms (Reno, CUBIC, BBR, Vegas).
 //! * [`fuzz`] — the genetic-algorithm fuzzer.
 //! * [`analysis`] — measurement post-processing and figure data.
+//! * [`obs`] — observability: metrics registry, phase profiler and the
+//!   campaign telemetry stream.
 //! * [`corpus`] — persistent findings corpus, trace minimization and
 //!   deterministic regression replay (the `ccfuzz` CLI).
 //!
@@ -24,6 +26,7 @@ pub use ccfuzz_cca as cca;
 pub use ccfuzz_core as fuzz;
 pub use ccfuzz_corpus as corpus;
 pub use ccfuzz_netsim as netsim;
+pub use ccfuzz_obs as obs;
 
 /// The crate version (matches the workspace version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

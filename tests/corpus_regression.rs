@@ -107,8 +107,9 @@ fn load_fixtures() -> Vec<Finding> {
 #[test]
 fn fixture_files_reserialize_byte_identically() {
     // The multi-flow engine added an optional `fairness` field to findings;
-    // pre-existing single-flow fixtures must parse and re-serialize to the
-    // exact committed bytes (the field is omitted when absent).
+    // fixtures from before that must parse and re-serialize to the exact
+    // committed bytes (the field is omitted when absent), and the block's
+    // presence must track the hunt mode.
     let dir = fixtures_dir();
     let mut checked = 0;
     for entry in std::fs::read_dir(&dir).unwrap() {
@@ -118,9 +119,12 @@ fn fixture_files_reserialize_byte_identically() {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let finding: Finding = serde_json::from_str(&text).unwrap();
-        assert!(
-            finding.fairness.is_none(),
-            "single-flow fixtures carry no fairness block"
+        assert_eq!(
+            finding.fairness.is_some(),
+            !matches!(finding.mode, FuzzMode::Traffic | FuzzMode::Link),
+            "{}: exactly the multi-flow fixtures carry a fairness block \
+             (traffic/link hunts are single-flow)",
+            finding.id
         );
         let reserialized = serde_json::to_string_pretty(&finding).unwrap() + "\n";
         assert_eq!(
@@ -284,6 +288,44 @@ fn fixture_corpus_replays_without_drift() {
     // Determinism of the report itself, byte for byte.
     let again = replay_findings(&findings, None);
     assert_eq!(report.to_text(), again.to_text());
+}
+
+/// The sim tracer must be an observer, not a participant: replaying every
+/// committed fixture with tracing enabled must reproduce the stored golden
+/// digest, and the strict replay report must stay byte-identical to one
+/// produced without tracing in the picture.
+#[test]
+fn traced_replay_is_passive_on_every_fixture() {
+    let findings = load_fixtures();
+    let untraced = replay_findings(&findings, None).to_text();
+    for finding in &findings {
+        let (outcome, digest, trace) = finding.replay_traced();
+        assert_eq!(
+            digest, finding.behavior_digest,
+            "{}: tracing perturbed the behaviour digest",
+            finding.id
+        );
+        let (plain_outcome, plain_digest) = finding.replay_run(None);
+        assert_eq!(
+            digest, plain_digest,
+            "{}: traced vs untraced digest",
+            finding.id
+        );
+        assert_eq!(
+            outcome.score.to_bits(),
+            plain_outcome.score.to_bits(),
+            "{}: traced vs untraced score",
+            finding.id
+        );
+        assert!(
+            trace.total_observed() > 0,
+            "{}: a replayed fixture must produce trace events",
+            finding.id
+        );
+    }
+    // Interleaving traced replays changed nothing for the strict report.
+    let after = replay_findings(&findings, None).to_text();
+    assert_eq!(untraced, after);
 }
 
 #[test]

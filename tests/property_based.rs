@@ -364,3 +364,118 @@ proptest! {
         prop_assert!(c.enqueued_cross <= injections.len() as u64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: the metric registry's sharded histograms and counters must
+// aggregate losslessly regardless of how work was split across workers.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_order_independent_and_lossless(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+        shards in 1usize..8,
+    ) {
+        use cc_fuzz::obs::{Histogram, LocalHistogram};
+
+        // Reference: record everything directly into one histogram.
+        let direct = Histogram::new();
+        for &v in &values {
+            direct.record(v);
+        }
+
+        // Shard round-robin, then merge the shards in two opposite orders.
+        let mut locals: Vec<LocalHistogram> =
+            (0..shards).map(|_| LocalHistogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            locals[i % shards].record(v);
+        }
+        let forward = Histogram::new();
+        for shard in &locals {
+            forward.merge_local(shard);
+        }
+        let reverse = Histogram::new();
+        for shard in locals.iter().rev() {
+            reverse.merge_local(shard);
+        }
+        prop_assert_eq!(forward.snapshot(), direct.snapshot());
+        prop_assert_eq!(reverse.snapshot(), direct.snapshot());
+
+        // Lossless aggregates, and percentiles within bucket error of a
+        // sorted-Vec reference: exact below 16, ≤ 25 % relative error above.
+        let snap = forward.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            let exact = sorted[rank - 1];
+            let approx = snap.percentile(p);
+            prop_assert!(approx <= exact, "p{}: approx {} > exact {}", p, approx, exact);
+            if exact < 16 {
+                prop_assert_eq!(approx, exact, "p{} must be exact below 16", p);
+            } else {
+                prop_assert!(
+                    (exact - approx) as f64 / exact as f64 <= 0.25,
+                    "p{}: approx {} more than one bucket below exact {}",
+                    p, approx, exact
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Thread-spawning cases are heavier; fewer of them suffice.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_counters_match_single_threaded_totals(
+        increments in proptest::collection::vec(0u64..1_000, 1..200),
+        threads in 1usize..6,
+    ) {
+        use cc_fuzz::obs::{Counter, Histogram, LocalHistogram};
+        use std::sync::Arc;
+
+        let expected: u64 = increments.iter().sum();
+        let counter = Arc::new(Counter::new());
+        let histogram = Arc::new(Histogram::new());
+        let chunks: Vec<Vec<u64>> = (0..threads)
+            .map(|t| increments.iter().copied().skip(t).step_by(threads).collect())
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                std::thread::spawn(move || {
+                    let mut shard = LocalHistogram::new();
+                    for v in chunk {
+                        counter.add(v);
+                        shard.record(v);
+                    }
+                    histogram.merge_local(&shard);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(counter.get(), expected);
+        let concurrent = histogram.snapshot();
+        prop_assert_eq!(concurrent.count, increments.len() as u64);
+        prop_assert_eq!(concurrent.sum, expected);
+
+        // A single-threaded recording of the same values produces the
+        // byte-identical snapshot.
+        let reference = Histogram::new();
+        for &v in &increments {
+            reference.record(v);
+        }
+        prop_assert_eq!(reference.snapshot(), concurrent);
+    }
+}
