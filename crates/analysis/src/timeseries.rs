@@ -37,6 +37,39 @@ pub fn windowed_throughput_bps(
         .collect()
 }
 
+/// Scratch-based core of [`windowed_throughput_bps`] for the scoring hot
+/// path: fills `counts` with per-window delivery counts and `rates` with the
+/// per-window bits-per-second values (the `f64` column of
+/// [`windowed_throughput_bps`], in the same order), reusing both buffers so
+/// a warm evaluator performs no allocation here.
+pub fn windowed_rates_into(
+    delivery_times: &[SimTime],
+    packet_size_bytes: u32,
+    window: SimDuration,
+    duration: SimDuration,
+    counts: &mut Vec<u64>,
+    rates: &mut Vec<f64>,
+) {
+    let window_ns = window.as_nanos().max(1);
+    let total_ns = duration.as_nanos().max(1);
+    let n_windows = (total_ns.div_ceil(window_ns) as usize).max(1);
+    counts.clear();
+    counts.resize(n_windows, 0);
+    for t in delivery_times {
+        let idx = (t.as_nanos() / window_ns) as usize;
+        if idx < counts.len() {
+            counts[idx] += 1;
+        }
+    }
+    let window_secs = window.as_secs_f64();
+    rates.clear();
+    rates.extend(
+        counts
+            .iter()
+            .map(|&c| c as f64 * packet_size_bytes as f64 * 8.0 / window_secs),
+    );
+}
+
 /// Converts a cumulative `(time, bytes)` step curve into a bucketed rate
 /// curve in bits per second (used for the ingress/egress/traffic curves of
 /// Figures 4a and 4b).
@@ -82,6 +115,20 @@ pub fn mean_of_lowest_fraction(values: &[f64], fraction: f64) -> f64 {
     let k =
         ((sorted.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize).clamp(1, sorted.len());
     sorted[..k].iter().sum::<f64>() / k as f64
+}
+
+/// In-place variant of [`mean_of_lowest_fraction`]: sorts `values` itself
+/// instead of copying them. Uses an unstable sort (no allocation, ever) —
+/// the result is identical because equal values contribute the same sum
+/// regardless of their relative order.
+pub fn mean_of_lowest_fraction_mut(values: &mut [f64], fraction: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let k =
+        ((values.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize).clamp(1, values.len());
+    values[..k].iter().sum::<f64>() / k as f64
 }
 
 /// Linear-interpolated percentile (`p` in `[0, 100]`). Returns 0 for empty input.

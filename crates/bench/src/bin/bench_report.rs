@@ -1,10 +1,12 @@
-//! Perf-trajectory reporter: times the simulator hot path on three fixed
+//! Perf-trajectory reporter: times the simulator hot path on five fixed
 //! workloads and emits `BENCH_sim.json` so every PR has a comparable
 //! evals/sec / events/sec / ns-per-event record.
 //!
 //! Workloads (all deterministic):
 //! * `single_flow`   — one Reno flow on the paper's clean 12 Mbps link, 5 s.
 //! * `fairness_8flow`— eight mixed-CCA flows sharing the bottleneck, 5 s.
+//! * `fairness_32flow` — thirty-two mixed-CCA flows on the same bottleneck,
+//!   5 s (tracks flow-count scaling beyond N=8).
 //! * `multi_hop`     — a 3-hop parking lot (long Reno flow over the chain
 //!   plus a short competitor on the middle bottleneck), 5 s.
 //! * `mini_campaign` — a 2-generation traffic-fuzzing GA (4 islands × 8).
@@ -16,9 +18,12 @@
 //! Usage:
 //!   bench_report [--fast] [--out PATH] [--check PATH] [--tolerance F]
 //!
-//! `--check` loads a previously committed report and exits non-zero when the
-//! normalised mini-campaign evals/sec regressed by more than `--tolerance`
-//! (default 0.20, i.e. 20 %).
+//! `--check` loads a previously committed report and exits non-zero when any
+//! gated workload's normalised evals/sec (mini_campaign, fairness_8flow,
+//! fairness_32flow and multi_hop) regressed by more than `--tolerance`
+//! (default 0.20, i.e. 20 %). A zeroed workload block in the committed
+//! report is a hard failure, not a silent skip: an all-zero anchor would
+//! otherwise let any regression through for that workload.
 
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{paper_sim_base, Campaign, FuzzMode};
@@ -33,11 +38,12 @@ use std::time::Instant;
 /// Timing record for one workload.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 struct WorkloadReport {
-    /// Simulations (fitness evaluations) completed per second.
+    /// Simulations (fitness evaluations) completed per second, from the
+    /// fastest rep (min-time estimator; the workloads are deterministic).
     evals_per_sec: f64,
-    /// Calendar events processed per second.
+    /// Calendar events processed per second, from the fastest rep.
     events_per_sec: f64,
-    /// Mean nanoseconds per calendar event.
+    /// Nanoseconds per calendar event, from the fastest rep.
     ns_per_event: f64,
     /// Events processed per evaluation (workload shape fingerprint).
     events_per_eval: f64,
@@ -46,17 +52,56 @@ struct WorkloadReport {
 }
 
 /// Per-workload eval-latency percentiles (nanoseconds per evaluation).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 struct LatencyReport {
     /// One Reno flow, clean link.
     single_flow: LatencyQuantiles,
     /// Eight mixed-CCA flows plus cross traffic.
     fairness_8flow: LatencyQuantiles,
+    /// Thirty-two mixed-CCA flows plus cross traffic. Zeroed in reports
+    /// recorded before the workload existed.
+    fairness_32flow: LatencyQuantiles,
     /// Three-hop parking lot.
     multi_hop: LatencyQuantiles,
     /// Per-evaluation latency inside the GA campaign (from the campaign's
     /// own telemetry histogram, not per-rep wall time).
     mini_campaign: LatencyQuantiles,
+}
+
+// Hand-written for the same reason as `BenchReport`: committed reports
+// predating `fairness_32flow` must still parse (the field defaults to
+// zero), otherwise the carry-forward read would silently drop the frozen
+// baseline block.
+impl Serialize for LatencyReport {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Map(vec![
+            ("single_flow".to_string(), self.single_flow.to_value()),
+            ("fairness_8flow".to_string(), self.fairness_8flow.to_value()),
+            (
+                "fairness_32flow".to_string(),
+                self.fairness_32flow.to_value(),
+            ),
+            ("multi_hop".to_string(), self.multi_hop.to_value()),
+            ("mini_campaign".to_string(), self.mini_campaign.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::DeError> {
+        use serde::value::map_get;
+        let m = v.as_map("LatencyReport")?;
+        Ok(LatencyReport {
+            single_flow: Deserialize::from_value(map_get(m, "single_flow")?)?,
+            fairness_8flow: Deserialize::from_value(map_get(m, "fairness_8flow")?)?,
+            fairness_32flow: match map_get(m, "fairness_32flow") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => LatencyQuantiles::default(),
+            },
+            multi_hop: Deserialize::from_value(map_get(m, "multi_hop")?)?,
+            mini_campaign: Deserialize::from_value(map_get(m, "mini_campaign")?)?,
+        })
+    }
 }
 
 /// The full report written to `BENCH_sim.json`.
@@ -72,6 +117,9 @@ struct BenchReport {
     single_flow: WorkloadReport,
     /// Eight mixed-CCA flows plus cross traffic.
     fairness_8flow: WorkloadReport,
+    /// Thirty-two mixed-CCA flows plus cross traffic. Zeroed in reports
+    /// recorded before the workload existed.
+    fairness_32flow: WorkloadReport,
     /// Three-hop parking lot: one long flow plus one short-path flow.
     /// Zeroed in reports recorded before the topology engine existed.
     multi_hop: WorkloadReport,
@@ -102,6 +150,10 @@ impl Serialize for BenchReport {
             ),
             ("single_flow".to_string(), self.single_flow.to_value()),
             ("fairness_8flow".to_string(), self.fairness_8flow.to_value()),
+            (
+                "fairness_32flow".to_string(),
+                self.fairness_32flow.to_value(),
+            ),
             ("multi_hop".to_string(), self.multi_hop.to_value()),
             ("mini_campaign".to_string(), self.mini_campaign.to_value()),
         ];
@@ -123,6 +175,10 @@ impl Deserialize for BenchReport {
             calibration_mops: Deserialize::from_value(map_get(m, "calibration_mops")?)?,
             single_flow: Deserialize::from_value(map_get(m, "single_flow")?)?,
             fairness_8flow: Deserialize::from_value(map_get(m, "fairness_8flow")?)?,
+            fairness_32flow: match map_get(m, "fairness_32flow") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => WorkloadReport::default(),
+            },
             multi_hop: Deserialize::from_value(map_get(m, "multi_hop")?)?,
             mini_campaign: Deserialize::from_value(map_get(m, "mini_campaign")?)?,
             eval_latency: match map_get(m, "eval_latency") {
@@ -141,35 +197,53 @@ impl BenchReport {
     /// Host-normalised mini-campaign throughput (evals/sec per calibration
     /// MOPS); comparable across machines of different speeds.
     fn normalized_campaign_rate(&self) -> f64 {
+        self.normalized_rate(&self.mini_campaign)
+    }
+
+    /// Host-normalised throughput for one workload block.
+    fn normalized_rate(&self, workload: &WorkloadReport) -> f64 {
         if self.calibration_mops <= 0.0 {
             return 0.0;
         }
-        self.mini_campaign.evals_per_sec / self.calibration_mops
+        workload.evals_per_sec / self.calibration_mops
+    }
+
+    /// The workloads the `--check` regression gate covers, by name.
+    fn gated_workloads(&self) -> [(&'static str, &WorkloadReport); 4] {
+        [
+            ("mini_campaign", &self.mini_campaign),
+            ("fairness_8flow", &self.fairness_8flow),
+            ("fairness_32flow", &self.fairness_32flow),
+            ("multi_hop", &self.multi_hop),
+        ]
     }
 }
 
-/// Fixed CPU-bound loop whose throughput proxies single-core machine speed.
+/// One round of a fixed CPU-bound loop whose throughput proxies single-core
+/// machine speed; returns millions of FNV mix ops per second.
 ///
-/// Measured twice with the *minimum* kept: a transiently throttled
-/// calibration would inflate the normalised workload rate and let a real
-/// regression slip, while the minimum biases the regression gate toward
-/// not failing spuriously on noisy shared runners.
-fn calibration_mops() -> f64 {
+/// `main` samples this around every workload and keeps the *maximum*: the
+/// loop is pure CPU, so interference can only slow it down, and shared
+/// hosts speed up and slow down on second-to-minute timescales. The
+/// workload rates are min-time estimators (they report the fastest rep,
+/// i.e. the fastest host window the run saw), so the divisor must estimate
+/// that same fastest window — a single start-of-run calibration taken
+/// during a slow window inflates every normalised rate by the full
+/// window-to-window swing. (An earlier version measured once up front and
+/// kept the slowest of two rounds; its anchors drifted ±30 % run to run
+/// for exactly this reason.)
+fn calibration_round() -> f64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     const ROUNDS: u64 = 40_000_000;
-    let mut best = f64::INFINITY;
-    for _ in 0..2 {
-        let start = Instant::now();
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for i in 0..ROUNDS {
-            h ^= i;
-            h = h.wrapping_mul(PRIME);
-        }
-        std::hint::black_box(h);
-        let secs = start.elapsed().as_secs_f64();
-        best = best.min(ROUNDS as f64 / secs / 1e6);
+    let start = Instant::now();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..ROUNDS {
+        h ^= i;
+        h = h.wrapping_mul(PRIME);
     }
-    best
+    std::hint::black_box(h);
+    let secs = start.elapsed().as_secs_f64();
+    ROUNDS as f64 / secs / 1e6
 }
 
 fn quantiles(snap: &HistogramSnapshot) -> LatencyQuantiles {
@@ -187,19 +261,29 @@ fn time_workload<F: FnMut() -> u64>(
     // Warm-up run (untimed) so allocator state and caches settle.
     std::hint::black_box(run_once());
     let mut latency = LocalHistogram::new();
-    let start = Instant::now();
     let mut events_total = 0u64;
+    // Every workload is deterministic, so all reps do identical work and
+    // differ only in host interference — which can only add time. The
+    // throughput numbers therefore come from the *fastest* rep (the
+    // classic min-time estimator); a mean would let one preempted rep on a
+    // shared runner drag the reported rate and trip the gate spuriously.
+    // The latency histogram still records every rep, so interference stays
+    // visible in the percentile spread.
+    let mut best_secs = f64::INFINITY;
     for _ in 0..reps {
         let rep_start = Instant::now();
         events_total += run_once();
-        latency.record(rep_start.elapsed().as_nanos() as u64);
+        let elapsed = rep_start.elapsed();
+        latency.record(elapsed.as_nanos() as u64);
+        best_secs = best_secs.min(elapsed.as_secs_f64());
     }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let best_secs = best_secs.max(1e-9);
+    let events_per_eval = events_total as f64 / reps.max(1) as f64;
     let report = WorkloadReport {
-        evals_per_sec: reps as f64 / secs,
-        events_per_sec: events_total as f64 / secs,
-        ns_per_event: secs * 1e9 / events_total.max(1) as f64,
-        events_per_eval: events_total as f64 / reps.max(1) as f64,
+        evals_per_sec: 1.0 / best_secs,
+        events_per_sec: events_per_eval / best_secs,
+        ns_per_event: best_secs * 1e9 / events_per_eval.max(1.0),
+        events_per_eval,
         reps,
     };
     (report, quantiles(&latency.snapshot()))
@@ -239,6 +323,28 @@ fn fairness_8flow(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
             .map(|(i, kind)| FlowSpec {
                 cc: kind.build(10),
                 start: SimTime::from_millis(i as u64 * 250),
+                stop: None,
+            })
+            .collect();
+        let result = run_multi_flow_simulation(cfg, specs);
+        std::hint::black_box(result.stats.events_processed)
+    })
+}
+
+fn fairness_32flow(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
+    let duration = SimDuration::from_secs(5);
+    let kinds = [CcaKind::Bbr, CcaKind::Reno, CcaKind::Cubic, CcaKind::Vegas];
+    let injections: Vec<SimTime> = (0..1_000)
+        .map(|i| SimTime::from_micros(i * 5_000))
+        .collect();
+    time_workload(reps, || {
+        let mut cfg = paper_sim_base(duration);
+        cfg.record_events = false;
+        cfg.cross_traffic = TrafficTrace::new(injections.clone(), duration);
+        let specs: Vec<FlowSpec> = (0..32)
+            .map(|i| FlowSpec {
+                cc: kinds[i % kinds.len()].build(10),
+                start: SimTime::from_millis(i as u64 * 100),
                 stop: None,
             })
             .collect();
@@ -356,12 +462,27 @@ fn main() {
             _ => usage(),
         }
     }
-    let (reps_single, reps_fair, reps_multihop, reps_campaign) =
-        if fast { (3, 2, 2, 1) } else { (12, 6, 6, 3) };
+    // Full-mode rep counts are high enough that p95 and p99 are distinct
+    // ranks (ceil(.99 n) > ceil(.95 n) needs n > 100): the arena-era hot
+    // path runs hundreds of evals/sec, so 120+ reps cost well under a
+    // second per workload and buy real latency distributions instead of
+    // the max-collapsed percentiles a handful of reps produce.
+    // Fast-mode rep counts are post-overhaul: a sim-workload rep costs
+    // 1-4 ms now, so ~10 reps per workload add under 100 ms total and give
+    // the min-time estimator enough draws to catch an interference-free
+    // window on a shared runner. The campaign stays at 3 reps in both
+    // modes (a single-rep campaign measurement is noisy enough to trip the
+    // 20 % gate without any code change).
+    let (reps_single, reps_fair, reps_fair32, reps_multihop, reps_campaign) = if fast {
+        (10, 8, 8, 10, 3)
+    } else {
+        (200, 120, 120, 120, 3)
+    };
 
+    // Calibration is sampled before every workload and once at the end,
+    // max kept — see `calibration_round` for why.
     eprintln!("calibrating machine speed...");
-    let mops = calibration_mops();
-    eprintln!("calibration: {mops:.1} Mops/s");
+    let mut mops = calibration_round().max(calibration_round());
 
     eprintln!("timing single_flow ({reps_single} reps)...");
     let (single, single_lat) = single_flow(reps_single);
@@ -372,6 +493,7 @@ fn main() {
         single.ns_per_event
     );
 
+    mops = mops.max(calibration_round());
     eprintln!("timing fairness_8flow ({reps_fair} reps)...");
     let (fair, fair_lat) = fairness_8flow(reps_fair);
     eprintln!(
@@ -381,6 +503,17 @@ fn main() {
         fair.ns_per_event
     );
 
+    mops = mops.max(calibration_round());
+    eprintln!("timing fairness_32flow ({reps_fair32} reps)...");
+    let (fair32, fair32_lat) = fairness_32flow(reps_fair32);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
+        fair32.evals_per_sec,
+        fair32.events_per_sec / 1e6,
+        fair32.ns_per_event
+    );
+
+    mops = mops.max(calibration_round());
     eprintln!("timing multi_hop ({reps_multihop} reps)...");
     let (multihop, multihop_lat) = multi_hop(reps_multihop);
     eprintln!(
@@ -390,6 +523,7 @@ fn main() {
         multihop.ns_per_event
     );
 
+    mops = mops.max(calibration_round());
     eprintln!("timing mini_campaign ({reps_campaign} reps)...");
     let (campaign, campaign_lat) = mini_campaign(reps_campaign);
     eprintln!(
@@ -404,6 +538,9 @@ fn main() {
         campaign_lat.p95_ns / 1_000,
         campaign_lat.p99_ns / 1_000
     );
+
+    mops = mops.max(calibration_round());
+    eprintln!("calibration: {mops:.1} Mops/s (max over interleaved rounds)");
 
     // Carry the committed baseline forward (if the old report had one, keep
     // the *oldest* so the trajectory anchor never drifts).
@@ -421,11 +558,13 @@ fn main() {
         calibration_mops: mops,
         single_flow: single,
         fairness_8flow: fair,
+        fairness_32flow: fair32,
         multi_hop: multihop,
         mini_campaign: campaign,
         eval_latency: Some(LatencyReport {
             single_flow: single_lat,
             fairness_8flow: fair_lat,
+            fairness_32flow: fair32_lat,
             multi_hop: multihop_lat,
             mini_campaign: campaign_lat,
         }),
@@ -449,18 +588,38 @@ fn main() {
             .unwrap_or_else(|e| panic!("--check {path}: cannot read: {e}"));
         let committed: BenchReport =
             serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check {path}: bad JSON: {e}"));
-        let current = report.normalized_campaign_rate();
-        let reference = committed.normalized_campaign_rate();
-        let floor = reference * (1.0 - tolerance);
-        eprintln!(
-            "regression gate: current {current:.4} vs committed {reference:.4} \
-             (floor {floor:.4}, tolerance {tolerance:.0}%)",
-            tolerance = tolerance * 100.0
-        );
-        if current < floor {
-            eprintln!("FAIL: mini-campaign evals/sec regressed beyond tolerance");
+        let mut failed = false;
+        let current_workloads = report.gated_workloads();
+        for ((name, reference_workload), (_, current_workload)) in
+            committed.gated_workloads().iter().zip(current_workloads)
+        {
+            // A zeroed anchor is a broken gate, not a pass: it would accept
+            // any regression for this workload. Fail loudly so the anchor
+            // gets backfilled instead.
+            if reference_workload.evals_per_sec <= 0.0 || reference_workload.reps == 0 {
+                eprintln!(
+                    "FAIL: committed {name} block is zeroed — backfill a real \
+                     anchor in {path} before gating against it"
+                );
+                failed = true;
+                continue;
+            }
+            let current = report.normalized_rate(current_workload);
+            let reference = committed.normalized_rate(reference_workload);
+            let floor = reference * (1.0 - tolerance);
+            eprintln!(
+                "regression gate [{name}]: current {current:.4} vs committed \
+                 {reference:.4} (floor {floor:.4}, tolerance {tolerance:.0}%)",
+                tolerance = tolerance * 100.0
+            );
+            if current < floor {
+                eprintln!("FAIL: {name} evals/sec regressed beyond tolerance");
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        eprintln!("OK: within tolerance");
+        eprintln!("OK: all gated workloads within tolerance");
     }
 }

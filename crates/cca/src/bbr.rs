@@ -90,6 +90,57 @@ struct BwSample {
     bw_bps: f64,
 }
 
+/// Windowed max filter over the last [`BW_WINDOW_ROUNDS`] packet-timed
+/// rounds, as a monotonic deque: rounds increase and bandwidths strictly
+/// decrease from front to back, so the windowed max is the front-most
+/// unexpired entry and every operation is O(1) amortized.
+///
+/// This replaces a flat `Vec` that was scanned (and `retain`ed) on every
+/// ACK — with ~20 samples/round × 10 rounds in the window, those O(n)
+/// passes dominated BBR's per-ACK cost. The deque is query-equivalent: a
+/// sample evicted from the back (older round, bandwidth ≤ the new sample's)
+/// can never be the windowed max while the newer sample is in the window,
+/// and samples evicted from the front have expired for good (`round_count`
+/// is monotone), so `max()` returns exactly what the full scan returned.
+#[derive(Clone, Debug, Default)]
+struct BwMaxFilter {
+    samples: std::collections::VecDeque<BwSample>,
+}
+
+impl BwMaxFilter {
+    /// The windowed max among samples with `round + BW_WINDOW_ROUNDS >
+    /// round_count`, or 0 when none exists (same contract as the former
+    /// filtered scan).
+    #[inline]
+    fn max(&self, round_count: u64) -> f64 {
+        // Entries are round-ordered, so the in-window samples form a suffix
+        // and the first in-window entry holds the largest bandwidth.
+        for s in &self.samples {
+            if s.round + BW_WINDOW_ROUNDS > round_count {
+                return s.bw_bps;
+            }
+        }
+        0.0
+    }
+
+    /// Inserts a sample taken during `round_count` and prunes entries that
+    /// have left the filter window for good.
+    #[inline]
+    fn push(&mut self, round_count: u64, bw_bps: f64) {
+        while self.samples.back().is_some_and(|b| b.bw_bps <= bw_bps) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back(BwSample {
+            round: round_count,
+            bw_bps,
+        });
+        let cutoff = round_count.saturating_sub(BW_WINDOW_ROUNDS);
+        while self.samples.front().is_some_and(|f| f.round < cutoff) {
+            self.samples.pop_front();
+        }
+    }
+}
+
 /// TCP BBR v1.
 #[derive(Clone, Debug)]
 pub struct Bbr {
@@ -102,7 +153,7 @@ pub struct Bbr {
     round_start: bool,
 
     // Bandwidth filter (windowed max over BW_WINDOW_ROUNDS rounds).
-    bw_samples: Vec<BwSample>,
+    bw_samples: BwMaxFilter,
 
     // Min RTT.
     min_rtt: Option<SimDuration>,
@@ -155,7 +206,7 @@ impl Bbr {
             next_rtt_delivered: 0,
             round_count: 0,
             round_start: false,
-            bw_samples: Vec::new(),
+            bw_samples: BwMaxFilter::default(),
             min_rtt: None,
             min_rtt_stamp: SimTime::ZERO,
             full_bw: 0.0,
@@ -185,11 +236,7 @@ impl Bbr {
     /// The current bottleneck bandwidth estimate in bits per second (max of
     /// the filter window), or 0 when no sample exists yet.
     pub fn bottleneck_bw_bps(&self) -> f64 {
-        self.bw_samples
-            .iter()
-            .filter(|s| s.round + BW_WINDOW_ROUNDS > self.round_count)
-            .map(|s| s.bw_bps)
-            .fold(0.0, f64::max)
+        self.bw_samples.max(self.round_count)
     }
 
     /// The current min-RTT estimate.
@@ -247,13 +294,7 @@ impl Bbr {
         if rs.is_app_limited && bw < self.bottleneck_bw_bps() {
             return;
         }
-        self.bw_samples.push(BwSample {
-            round: self.round_count,
-            bw_bps: bw,
-        });
-        // Prune samples that have left the filter window, keeping memory bounded.
-        let cutoff = self.round_count.saturating_sub(BW_WINDOW_ROUNDS);
-        self.bw_samples.retain(|s| s.round >= cutoff);
+        self.bw_samples.push(self.round_count, bw);
     }
 
     fn update_min_rtt(&mut self, ctx: &CcContext, rs: &RateSample) {

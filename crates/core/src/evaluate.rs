@@ -7,16 +7,18 @@
 use crate::genome::{LinkGenome, TrafficGenome};
 use crate::scenario::ScenarioGenome;
 use crate::scoring::{
-    performance_score, total_score, trace_score, ScoringConfig, TraceScoreInputs,
+    performance_score_reusing, total_score, trace_score, ScoreScratch, ScoringConfig,
+    TraceScoreInputs,
 };
 use crate::topology::TopologyGenome;
 use ccfuzz_cca::{CcaDispatch, CcaKind};
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
 use ccfuzz_netsim::sim::{
-    run_multi_flow_simulation_reusing, FlowSpec, SimResult, SimScratch, Simulation,
+    run_multi_flow_simulation_pooled, FlowSpec, SimResult, SimScratch, Simulation,
 };
 use ccfuzz_netsim::simtrace::{SimTrace, DEFAULT_TRACE_CAPACITY};
+use ccfuzz_netsim::trace::{LinkTrace, TrafficTrace};
 use serde::{Deserialize, Serialize};
 
 /// Everything the genetic algorithm needs to know about one evaluation.
@@ -54,7 +56,31 @@ impl EvalOutcome {
         mss: u32,
         trace_inputs: Option<TraceScoreInputs>,
     ) -> Self {
-        let perf = performance_score(&scoring.objective, result, mss, scoring.reference_rate_bps);
+        Self::from_result_reusing(
+            scoring,
+            result,
+            mss,
+            trace_inputs,
+            &mut ScoreScratch::default(),
+        )
+    }
+
+    /// [`EvalOutcome::from_result`] with reusable scoring buffers (identical
+    /// result; a warm evaluator allocates nothing while scoring).
+    pub fn from_result_reusing(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        trace_inputs: Option<TraceScoreInputs>,
+        score: &mut ScoreScratch,
+    ) -> Self {
+        let perf = performance_score_reusing(
+            &scoring.objective,
+            result,
+            mss,
+            scoring.reference_rate_bps,
+            score,
+        );
         let trace = trace_inputs.map(|t| trace_score(&t)).unwrap_or(0.0);
         EvalOutcome {
             score: total_score(scoring, perf, trace),
@@ -71,15 +97,24 @@ impl EvalOutcome {
     }
 }
 
-/// Reusable per-worker evaluation state: the simulator's calendar and
-/// packet-pool storage. The fuzzer creates one per worker thread and
-/// threads it through every evaluation that worker performs, so
-/// steady-state evaluations stop paying the simulator's setup allocations.
-/// Scratch reuse never changes results — it only donates capacity.
+/// Reusable per-worker evaluation state — the *generation arena*. The
+/// fuzzer creates one per worker thread and threads it through every
+/// evaluation that worker performs; after warm-up an entire genome
+/// generation is evaluated through this one recycled allocation set:
+/// the simulator arena (calendar, pool, endpoints, stat vectors, shared
+/// timestamp buffers), the flow-spec buffer drained by each run, and the
+/// scoring buffers. Scratch reuse never changes results — it only donates
+/// capacity.
 #[derive(Default)]
 pub struct EvalScratch {
-    /// Simulator calendar + packet pool storage.
-    pub sim: SimScratch,
+    /// Simulator arena (see [`SimScratch`]), instantiated for the
+    /// enum-dispatched CCA type the evaluator builds.
+    pub sim: SimScratch<CcaDispatch>,
+    /// Recycled flow-spec buffer; refilled per genome and drained by the
+    /// pooled simulation constructor.
+    specs: Vec<FlowSpec<CcaDispatch>>,
+    /// Recycled scoring buffers (windowed throughput counts/rates).
+    score: ScoreScratch,
 }
 
 impl EvalScratch {
@@ -147,6 +182,25 @@ impl SimEvaluator {
         cfg
     }
 
+    /// [`SimEvaluator::traffic_cfg`] building the cross-traffic trace in a
+    /// recycled timestamp buffer from the arena (identical trace content).
+    fn traffic_cfg_reusing(
+        &self,
+        genome: &TrafficGenome,
+        sim: &mut SimScratch<CcaDispatch>,
+    ) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = false;
+        cfg.link = LinkModel::FixedRate {
+            rate_bps: self.link_rate_bps,
+        };
+        let mut buf = sim.take_time_buf();
+        buf.extend_from_slice(&genome.timestamps);
+        cfg.cross_traffic = TrafficTrace::new(buf, genome.duration);
+        cfg.duration = genome.duration;
+        cfg
+    }
+
     fn link_cfg(&self, genome: &LinkGenome, record_events: bool) -> SimConfig {
         let mut cfg = self.base.clone();
         cfg.record_events = record_events;
@@ -154,6 +208,25 @@ impl SimEvaluator {
             trace: genome.to_trace(),
         };
         cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration);
+        cfg.duration = genome.duration;
+        cfg
+    }
+
+    /// [`SimEvaluator::link_cfg`] building the service curve in a recycled
+    /// timestamp buffer from the arena (identical trace content).
+    fn link_cfg_reusing(
+        &self,
+        genome: &LinkGenome,
+        sim: &mut SimScratch<CcaDispatch>,
+    ) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = false;
+        let mut buf = sim.take_time_buf();
+        buf.extend_from_slice(&genome.timestamps);
+        cfg.link = LinkModel::TraceDriven {
+            trace: LinkTrace::new(buf, genome.duration),
+        };
+        cfg.cross_traffic = TrafficTrace::empty(genome.duration);
         cfg.duration = genome.duration;
         cfg
     }
@@ -190,6 +263,29 @@ impl SimEvaluator {
         cfg
     }
 
+    /// [`SimEvaluator::topology_cfg`] building the cross-traffic trace in a
+    /// recycled timestamp buffer from the arena. The topology itself is
+    /// still built fresh (its hop vector is small and genome-shaped).
+    fn topology_cfg_reusing(
+        &self,
+        genome: &TopologyGenome,
+        sim: &mut SimScratch<CcaDispatch>,
+    ) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = false;
+        cfg.topology = Some(genome.to_topology());
+        cfg.cross_traffic = match &genome.traffic {
+            Some(t) => {
+                let mut buf = sim.take_time_buf();
+                buf.extend_from_slice(&t.timestamps);
+                TrafficTrace::new(buf, t.duration)
+            }
+            None => TrafficTrace::empty(genome.duration),
+        };
+        cfg.duration = genome.duration;
+        cfg
+    }
+
     fn topology_specs(
         &self,
         genome: &TopologyGenome,
@@ -204,6 +300,21 @@ impl SimEvaluator {
                 stop: f.flow.stop,
             })
             .collect()
+    }
+
+    /// [`SimEvaluator::topology_specs`] into the arena's recycled spec buffer.
+    fn fill_topology_specs(
+        &self,
+        genome: &TopologyGenome,
+        cfg: &SimConfig,
+        specs: &mut Vec<FlowSpec<CcaDispatch>>,
+    ) {
+        specs.clear();
+        specs.extend(genome.flows.iter().map(|f| FlowSpec {
+            cc: f.flow.cca.build_dispatch(cfg.initial_cwnd),
+            start: f.flow.start,
+            stop: f.flow.stop,
+        }));
     }
 
     fn scenario_cfg(&self, genome: &ScenarioGenome, record_events: bool) -> SimConfig {
@@ -227,6 +338,34 @@ impl SimEvaluator {
         cfg
     }
 
+    /// [`SimEvaluator::scenario_cfg`] building the cross-traffic trace in a
+    /// recycled timestamp buffer from the arena (identical trace content).
+    fn scenario_cfg_reusing(
+        &self,
+        genome: &ScenarioGenome,
+        sim: &mut SimScratch<CcaDispatch>,
+    ) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = false;
+        cfg.link = LinkModel::FixedRate {
+            rate_bps: self.link_rate_bps,
+        };
+        cfg.cross_traffic = match &genome.traffic {
+            Some(t) => {
+                let mut buf = sim.take_time_buf();
+                buf.extend_from_slice(&t.timestamps);
+                TrafficTrace::new(buf, t.duration)
+            }
+            None => TrafficTrace::empty(genome.duration),
+        };
+        cfg.duration = genome.duration;
+        if let Some(gene) = &genome.qdisc {
+            cfg.qdisc = gene.discipline;
+            cfg.ecn_enabled = gene.ecn;
+        }
+        cfg
+    }
+
     /// The single-flow spec for a prepared configuration, with the CCA under
     /// test in enum-dispatched form (no virtual calls on the per-ACK path).
     fn single_flow_spec(&self, cfg: &SimConfig) -> Vec<FlowSpec<CcaDispatch>> {
@@ -235,6 +374,17 @@ impl SimEvaluator {
             start: cfg.flow_start,
             stop: None,
         }]
+    }
+
+    /// [`SimEvaluator::single_flow_spec`] into the arena's recycled spec
+    /// buffer.
+    fn fill_single_flow_spec(&self, cfg: &SimConfig, specs: &mut Vec<FlowSpec<CcaDispatch>>) {
+        specs.clear();
+        specs.push(FlowSpec {
+            cc: self.cca.build_dispatch(cfg.initial_cwnd),
+            start: cfg.flow_start,
+            stop: None,
+        });
     }
 
     fn scenario_specs(
@@ -253,6 +403,21 @@ impl SimEvaluator {
             .collect()
     }
 
+    /// [`SimEvaluator::scenario_specs`] into the arena's recycled spec buffer.
+    fn fill_scenario_specs(
+        &self,
+        genome: &ScenarioGenome,
+        cfg: &SimConfig,
+        specs: &mut Vec<FlowSpec<CcaDispatch>>,
+    ) {
+        specs.clear();
+        specs.extend(genome.flows.iter().map(|f| FlowSpec {
+            cc: f.cca.build_dispatch(cfg.initial_cwnd),
+            start: f.start,
+            stop: f.stop,
+        }));
+    }
+
     /// Runs a full simulation for a traffic genome, returning the raw result
     /// (used by figure binaries that need the detailed statistics, with event
     /// recording re-enabled).
@@ -268,9 +433,9 @@ impl SimEvaluator {
         genome: &TrafficGenome,
         scratch: &mut EvalScratch,
     ) -> SimResult {
-        let cfg = self.traffic_cfg(genome, false);
-        let specs = self.single_flow_spec(&cfg);
-        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+        let cfg = self.traffic_cfg_reusing(genome, &mut scratch.sim);
+        self.fill_single_flow_spec(&cfg, &mut scratch.specs);
+        run_multi_flow_simulation_pooled(cfg, &mut scratch.specs, &mut scratch.sim)
     }
 
     /// Runs a full simulation for a link genome.
@@ -286,9 +451,9 @@ impl SimEvaluator {
         genome: &LinkGenome,
         scratch: &mut EvalScratch,
     ) -> SimResult {
-        let cfg = self.link_cfg(genome, false);
-        let specs = self.single_flow_spec(&cfg);
-        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+        let cfg = self.link_cfg_reusing(genome, &mut scratch.sim);
+        self.fill_single_flow_spec(&cfg, &mut scratch.specs);
+        run_multi_flow_simulation_pooled(cfg, &mut scratch.specs, &mut scratch.sim)
     }
 
     /// Runs a full multi-flow simulation for a scenario genome: every flow
@@ -307,9 +472,9 @@ impl SimEvaluator {
         genome: &ScenarioGenome,
         scratch: &mut EvalScratch,
     ) -> SimResult {
-        let cfg = self.scenario_cfg(genome, false);
-        let specs = self.scenario_specs(genome, &cfg);
-        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+        let cfg = self.scenario_cfg_reusing(genome, &mut scratch.sim);
+        self.fill_scenario_specs(genome, &cfg, &mut scratch.specs);
+        run_multi_flow_simulation_pooled(cfg, &mut scratch.specs, &mut scratch.sim)
     }
 
     /// Runs a full multi-hop simulation for a topology genome: the genome's
@@ -328,9 +493,9 @@ impl SimEvaluator {
         genome: &TopologyGenome,
         scratch: &mut EvalScratch,
     ) -> SimResult {
-        let cfg = self.topology_cfg(genome, false);
-        let specs = self.topology_specs(genome, &cfg);
-        run_multi_flow_simulation_reusing(cfg, specs, &mut scratch.sim)
+        let cfg = self.topology_cfg_reusing(genome, &mut scratch.sim);
+        self.fill_topology_specs(genome, &cfg, &mut scratch.specs);
+        run_multi_flow_simulation_pooled(cfg, &mut scratch.specs, &mut scratch.sim)
     }
 
     fn run_traced(cfg: SimConfig, specs: Vec<FlowSpec<CcaDispatch>>) -> (SimResult, SimTrace) {
@@ -381,6 +546,20 @@ impl SimEvaluator {
         };
         EvalOutcome::from_result(&self.scoring, result, self.base.mss, Some(inputs))
     }
+
+    fn score_traffic_reusing(
+        &self,
+        genome: &TrafficGenome,
+        result: &SimResult,
+        score: &mut ScoreScratch,
+    ) -> EvalOutcome {
+        let inputs = TraceScoreInputs {
+            traffic_packets: genome.packet_count(),
+            traffic_max_packets: genome.max_packets,
+            traffic_dropped: result.stats.cross_dropped,
+        };
+        EvalOutcome::from_result_reusing(&self.scoring, result, self.base.mss, Some(inputs), score)
+    }
 }
 
 impl Evaluator<TrafficGenome> for SimEvaluator {
@@ -391,7 +570,9 @@ impl Evaluator<TrafficGenome> for SimEvaluator {
 
     fn evaluate_reusing(&self, genome: &TrafficGenome, scratch: &mut EvalScratch) -> EvalOutcome {
         let result = self.simulate_traffic_reusing(genome, scratch);
-        self.score_traffic(genome, &result)
+        let outcome = self.score_traffic_reusing(genome, &result, &mut scratch.score);
+        scratch.sim.recycle_stats(result.stats);
+        outcome
     }
 }
 
@@ -403,7 +584,15 @@ impl Evaluator<LinkGenome> for SimEvaluator {
 
     fn evaluate_reusing(&self, genome: &LinkGenome, scratch: &mut EvalScratch) -> EvalOutcome {
         let result = self.simulate_link_reusing(genome, scratch);
-        EvalOutcome::from_result(&self.scoring, &result, self.base.mss, None)
+        let outcome = EvalOutcome::from_result_reusing(
+            &self.scoring,
+            &result,
+            self.base.mss,
+            None,
+            &mut scratch.score,
+        );
+        scratch.sim.recycle_stats(result.stats);
+        outcome
     }
 }
 
@@ -420,12 +609,29 @@ impl EvalOutcome {
         mss: u32,
         genome: &ScenarioGenome,
     ) -> Self {
+        Self::from_scenario_result_reusing(
+            scoring,
+            result,
+            mss,
+            genome,
+            &mut ScoreScratch::default(),
+        )
+    }
+
+    /// [`EvalOutcome::from_scenario_result`] with reusable scoring buffers.
+    pub fn from_scenario_result_reusing(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        genome: &ScenarioGenome,
+        score: &mut ScoreScratch,
+    ) -> Self {
         let inputs = genome.traffic.as_ref().map(|t| TraceScoreInputs {
             traffic_packets: t.packet_count(),
             traffic_max_packets: t.max_packets,
             traffic_dropped: result.stats.cross_dropped,
         });
-        Self::from_multi_flow_result(scoring, result, mss, inputs)
+        Self::from_multi_flow_result(scoring, result, mss, inputs, score)
     }
 
     /// Scores a finished multi-hop topology simulation, aggregating the
@@ -437,12 +643,29 @@ impl EvalOutcome {
         mss: u32,
         genome: &TopologyGenome,
     ) -> Self {
+        Self::from_topology_result_reusing(
+            scoring,
+            result,
+            mss,
+            genome,
+            &mut ScoreScratch::default(),
+        )
+    }
+
+    /// [`EvalOutcome::from_topology_result`] with reusable scoring buffers.
+    pub fn from_topology_result_reusing(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        genome: &TopologyGenome,
+        score: &mut ScoreScratch,
+    ) -> Self {
         let inputs = genome.traffic.as_ref().map(|t| TraceScoreInputs {
             traffic_packets: t.packet_count(),
             traffic_max_packets: t.max_packets,
             traffic_dropped: result.stats.cross_dropped,
         });
-        Self::from_multi_flow_result(scoring, result, mss, inputs)
+        Self::from_multi_flow_result(scoring, result, mss, inputs, score)
     }
 
     /// Shared multi-flow aggregation: the legacy per-flow fields of
@@ -455,8 +678,9 @@ impl EvalOutcome {
         result: &SimResult,
         mss: u32,
         inputs: Option<TraceScoreInputs>,
+        score: &mut ScoreScratch,
     ) -> Self {
-        let mut outcome = EvalOutcome::from_result(scoring, result, mss, inputs);
+        let mut outcome = EvalOutcome::from_result_reusing(scoring, result, mss, inputs, score);
         let flows = &result.stats.flows;
         outcome.delivered_packets = flows.iter().map(|f| f.summary.delivered_packets).sum();
         outcome.sent_packets = flows.iter().map(|f| f.summary.transmissions).sum();
@@ -491,7 +715,15 @@ impl Evaluator<ScenarioGenome> for SimEvaluator {
 
     fn evaluate_reusing(&self, genome: &ScenarioGenome, scratch: &mut EvalScratch) -> EvalOutcome {
         let result = self.simulate_scenario_reusing(genome, scratch);
-        EvalOutcome::from_scenario_result(&self.scoring, &result, self.base.mss, genome)
+        let outcome = EvalOutcome::from_scenario_result_reusing(
+            &self.scoring,
+            &result,
+            self.base.mss,
+            genome,
+            &mut scratch.score,
+        );
+        scratch.sim.recycle_stats(result.stats);
+        outcome
     }
 }
 
@@ -508,12 +740,15 @@ impl Evaluator<TopologyGenome> for SimEvaluator {
 
     fn evaluate_reusing(&self, genome: &TopologyGenome, scratch: &mut EvalScratch) -> EvalOutcome {
         let result = self.simulate_topology_reusing(genome, scratch);
-        EvalOutcome::from_topology_result(
+        let outcome = EvalOutcome::from_topology_result_reusing(
             &self.topology_scoring(genome),
             &result,
             self.base.mss,
             genome,
-        )
+            &mut scratch.score,
+        );
+        scratch.sim.recycle_stats(result.stats);
+        outcome
     }
 }
 

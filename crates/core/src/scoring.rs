@@ -11,7 +11,7 @@
 //!   are hard to enforce during generation. For traffic fuzzing this rewards
 //!   *minimal* traces: few injected packets and few of them dropped.
 
-use ccfuzz_analysis::timeseries::{mean_of_lowest_fraction, percentile, windowed_throughput_bps};
+use ccfuzz_analysis::timeseries::{mean_of_lowest_fraction_mut, percentile, windowed_rates_into};
 use ccfuzz_netsim::packet::FlowId;
 use ccfuzz_netsim::sim::SimResult;
 use ccfuzz_netsim::time::SimDuration;
@@ -302,6 +302,16 @@ pub struct TraceScoreInputs {
     pub traffic_dropped: u64,
 }
 
+/// Reusable buffers for the scoring pass: the per-window delivery counts
+/// and rate values of the throughput objectives. One per worker, threaded
+/// through [`performance_score_reusing`]; a warm scorer allocates nothing.
+/// Scratch reuse never changes scores — the buffers only donate capacity.
+#[derive(Default)]
+pub struct ScoreScratch {
+    counts: Vec<u64>,
+    rates: Vec<f64>,
+}
+
 /// Computes the performance component in `[0, 1]`-ish range (higher = worse
 /// CCA performance = fitter adversarial trace).
 pub fn performance_score(
@@ -310,16 +320,38 @@ pub fn performance_score(
     mss: u32,
     reference_rate_bps: f64,
 ) -> f64 {
+    performance_score_reusing(
+        objective,
+        result,
+        mss,
+        reference_rate_bps,
+        &mut ScoreScratch::default(),
+    )
+}
+
+/// [`performance_score`] with reusable scoring buffers (identical result).
+pub fn performance_score_reusing(
+    objective: &Objective,
+    result: &SimResult,
+    mss: u32,
+    reference_rate_bps: f64,
+    scratch: &mut ScoreScratch,
+) -> f64 {
     match objective {
         Objective::LowThroughput {
             window,
             lowest_fraction,
         } => {
             let duration = SimDuration::from_secs_f64(result.duration_secs);
-            let windows =
-                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
-            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
-            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            windowed_rates_into(
+                result.stats.delivery_times(),
+                mss,
+                *window,
+                duration,
+                &mut scratch.counts,
+                &mut scratch.rates,
+            );
+            let low = mean_of_lowest_fraction_mut(&mut scratch.rates, *lowest_fraction);
             let reference = reference_rate_bps.max(1.0);
             (1.0 - low / reference).clamp(0.0, 1.0)
         }
@@ -354,10 +386,15 @@ pub fn performance_score(
             delay_weight,
         } => {
             let duration = SimDuration::from_secs_f64(result.duration_secs);
-            let windows =
-                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
-            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
-            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            windowed_rates_into(
+                result.stats.delivery_times(),
+                mss,
+                *window,
+                duration,
+                &mut scratch.counts,
+                &mut scratch.rates,
+            );
+            let low = mean_of_lowest_fraction_mut(&mut scratch.rates, *lowest_fraction);
             let reference = reference_rate_bps.max(1.0);
             let throughput_term = (1.0 - low / reference).clamp(0.0, 1.0);
 
@@ -393,10 +430,15 @@ pub fn performance_score(
             collapse_weight,
         } => {
             let duration = SimDuration::from_secs_f64(result.duration_secs);
-            let windows =
-                windowed_throughput_bps(result.stats.delivery_times(), mss, *window, duration);
-            let rates: Vec<f64> = windows.iter().map(|(_, r)| *r).collect();
-            let low = mean_of_lowest_fraction(&rates, *lowest_fraction);
+            windowed_rates_into(
+                result.stats.delivery_times(),
+                mss,
+                *window,
+                duration,
+                &mut scratch.counts,
+                &mut scratch.rates,
+            );
+            let low = mean_of_lowest_fraction_mut(&mut scratch.rates, *lowest_fraction);
             let reference = reference_rate_bps.max(1.0);
             let throughput_term = (1.0 - low / reference).clamp(0.0, 1.0);
 

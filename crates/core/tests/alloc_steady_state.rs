@@ -1,0 +1,108 @@
+//! Proof of the generation-arena claim: a *warm* worker evaluates genomes
+//! with zero heap traffic. A counting global allocator wraps the system
+//! allocator; after two warm-up passes grow every recycled buffer to its
+//! steady-state capacity, a third pass over the same genome population must
+//! perform no allocation (and no reallocation) in the evaluate phase.
+//!
+//! This lives in its own integration-test binary so the counting allocator
+//! cannot perturb any other test, and the single `#[test]` keeps the
+//! counter single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::{Campaign, FuzzMode};
+use ccfuzz_core::evaluate::{EvalScratch, Evaluator};
+use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_core::genome::TrafficGenome;
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::SimDuration;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_evaluate_phase_allocates_nothing() {
+    // The mini-campaign shape: traffic fuzzing, Reno, the paper's standard
+    // simulation base — exactly what one GA worker evaluates all day.
+    let ga = GaParams::quick();
+    let campaign = Campaign::paper_standard(
+        FuzzMode::Traffic,
+        CcaKind::Reno,
+        SimDuration::from_secs(3),
+        ga,
+    );
+    let evaluator = campaign.evaluator();
+
+    // One island's worth of genomes, generated up front (genome generation
+    // is the GA's job and allocates by design; the claim under test is the
+    // evaluate phase).
+    let mut rng = SimRng::new(7);
+    let genomes: Vec<TrafficGenome> = (0..8)
+        .map(|_| TrafficGenome::generate(campaign.traffic_max_packets, campaign.duration, &mut rng))
+        .collect();
+
+    let mut scratch = EvalScratch::new();
+    // Two warm-up passes: the first grows every arena buffer from empty;
+    // the second lets the shared timestamp-buffer free list settle into its
+    // steady-state capacity ordering.
+    let warm: Vec<_> = genomes
+        .iter()
+        .map(|g| evaluator.evaluate_reusing(g, &mut scratch))
+        .collect();
+    for genome in &genomes {
+        evaluator.evaluate_reusing(genome, &mut scratch);
+    }
+
+    // The measured pass: same population, warm arena.
+    let before = allocations();
+    let mut outcomes = Vec::with_capacity(genomes.len());
+    let reserved = allocations();
+    for genome in &genomes {
+        outcomes.push(evaluator.evaluate_reusing(genome, &mut scratch));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - reserved,
+        0,
+        "warm evaluate phase must not touch the allocator \
+         ({} allocations across {} evaluations)",
+        after - reserved,
+        genomes.len()
+    );
+    // Sanity: the pre-reserved outcome vector was the only allocation
+    // between the two reads.
+    assert!(reserved - before <= 1);
+
+    // Reuse never changes results: the warm outcomes equal both the earlier
+    // reused pass and a cold evaluation.
+    assert_eq!(warm, outcomes);
+    for (genome, outcome) in genomes.iter().zip(&outcomes) {
+        assert_eq!(evaluator.evaluate(genome), *outcome);
+    }
+}

@@ -249,14 +249,24 @@ impl SimConfig {
     /// one is set, otherwise a single hop assembled from the legacy
     /// single-bottleneck fields.
     pub fn hop_configs(&self) -> Vec<HopConfig> {
+        let mut out = Vec::new();
+        self.hop_configs_into(&mut out);
+        out
+    }
+
+    /// Like [`SimConfig::hop_configs`], but fills a caller-provided buffer so
+    /// batch drivers reuse one allocation across evaluations. The buffer is
+    /// cleared first.
+    pub fn hop_configs_into(&self, out: &mut Vec<HopConfig>) {
+        out.clear();
         match &self.topology {
-            Some(topology) => topology.hops.clone(),
-            None => vec![HopConfig {
+            Some(topology) => out.extend(topology.hops.iter().cloned()),
+            None => out.push(HopConfig {
                 link: self.link.clone(),
                 propagation_delay: self.propagation_delay,
                 queue_capacity: self.queue_capacity,
                 qdisc: self.qdisc,
-            }],
+            }),
         }
     }
 

@@ -86,6 +86,12 @@ impl LinkService {
         &self.model
     }
 
+    /// Consumes the service and returns its model, letting a batch driver
+    /// harvest a trace-driven link's timestamp storage for reuse.
+    pub fn into_model(self) -> LinkModel {
+        self.model
+    }
+
     /// Packets transmitted so far.
     pub fn transmitted(&self) -> u64 {
         self.transmitted

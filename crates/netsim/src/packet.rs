@@ -346,12 +346,28 @@ impl<T: Copy> Slab<T> {
 pub struct PacketPool {
     data: Slab<DataPacket>,
     acks: Slab<AckPacket>,
+    /// Per-hop free lists for data slots (see [`PacketPool::put_data_at`]).
+    hop_free: Vec<Vec<u32>>,
 }
 
 impl PacketPool {
     /// An empty pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Declares how many hops will use the hop-local slot recycling of
+    /// [`PacketPool::put_data_at`] / [`PacketPool::take_data_at`]. Existing
+    /// per-hop lists (and their capacity) survive; surplus lists spill their
+    /// slots back to the shared free list.
+    pub fn set_hop_count(&mut self, hops: usize) {
+        while self.hop_free.len() > hops {
+            let mut spilled = self.hop_free.pop().expect("len checked");
+            self.data.free.append(&mut spilled);
+        }
+        while self.hop_free.len() < hops {
+            self.hop_free.push(Vec::new());
+        }
     }
 
     /// Parks a data packet, returning its handle.
@@ -362,6 +378,41 @@ impl PacketPool {
     /// Retrieves (and recycles the slot of) a parked data packet.
     pub fn take_data(&mut self, r: PacketRef) -> DataPacket {
         self.data.take(r.0)
+    }
+
+    /// Parks a data packet in transit out of hop `hop`, preferring a slot
+    /// that hop recently released. Multi-hop routing re-parks every packet
+    /// at each hop it crosses; with one shared LIFO free list those slots
+    /// interleave across all hops and flows, so consecutive packets of one
+    /// hop's pipeline scatter over the slab. A small per-hop free list keeps
+    /// each hop cycling through its own compact, cache-resident slot set.
+    /// Purely an allocation-policy hint: handles stay opaque and results are
+    /// byte-identical to the shared-list path.
+    pub fn put_data_at(&mut self, hop: usize, pkt: DataPacket) -> PacketRef {
+        if let Some(idx) = self.hop_free.get_mut(hop).and_then(Vec::pop) {
+            self.data.slots[idx as usize] = pkt;
+            return PacketRef(idx);
+        }
+        PacketRef(self.data.alloc(pkt))
+    }
+
+    /// Retrieves a parked data packet, recycling its slot onto hop `hop`'s
+    /// local free list (the packet is about to be enqueued there, and that
+    /// hop's next transmission is the likeliest next allocation).
+    pub fn take_data_at(&mut self, hop: usize, r: PacketRef) -> DataPacket {
+        match self.hop_free.get_mut(hop) {
+            Some(local) => {
+                debug_assert!(
+                    !local.contains(&r.0) && !self.data.free.contains(&r.0),
+                    "double take of pool slot {}",
+                    r.0
+                );
+                let value = self.data.slots[r.0 as usize];
+                local.push(r.0);
+                value
+            }
+            None => self.data.take(r.0),
+        }
     }
 
     /// Parks an ACK, returning its handle.
@@ -376,13 +427,17 @@ impl PacketPool {
 
     /// Packets currently parked (data + ACKs).
     pub fn live(&self) -> usize {
-        self.data.live() + self.acks.live()
+        let hop_freed: usize = self.hop_free.iter().map(Vec::len).sum();
+        self.data.live() + self.acks.live() - hop_freed
     }
 
     /// Clears the pool, keeping allocated capacity for reuse across runs.
     pub fn reset(&mut self) {
         self.data.reset();
         self.acks.reset();
+        for local in &mut self.hop_free {
+            local.clear();
+        }
     }
 }
 

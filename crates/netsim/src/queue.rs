@@ -603,6 +603,37 @@ impl GatewayQueue {
         }
     }
 
+    /// Like [`GatewayQueue::new`], but adopts a previously used FIFO ring as
+    /// the queue's storage so repeated simulation set-ups skip the deque
+    /// growth. The storage is cleared first: a recycled queue is
+    /// indistinguishable from a fresh one apart from capacity.
+    pub fn new_with_storage(
+        qdisc: Qdisc,
+        capacity: QueueCapacity,
+        seed: u64,
+        mut storage: VecDeque<DataPacket>,
+    ) -> Self {
+        storage.clear();
+        let mut q = GatewayQueue::new(qdisc, capacity, seed);
+        match &mut q {
+            GatewayQueue::DropTail(d) => d.core.queue = storage,
+            GatewayQueue::Red(r) => r.core.queue = storage,
+            GatewayQueue::CoDel(c) => c.core.queue = storage,
+        }
+        q
+    }
+
+    /// Recovers the FIFO storage for reuse by a later queue (cleared).
+    pub fn into_storage(self) -> VecDeque<DataPacket> {
+        let mut queue = match self {
+            GatewayQueue::DropTail(q) => q.core.queue,
+            GatewayQueue::Red(q) => q.core.queue,
+            GatewayQueue::CoDel(q) => q.core.queue,
+        };
+        queue.clear();
+        queue
+    }
+
     /// The configured discipline.
     pub fn qdisc(&self) -> Qdisc {
         match self {

@@ -44,7 +44,6 @@
 
 use crate::cc::CongestionControl;
 use crate::config::SimConfig;
-use crate::crosstraffic::CrossTrafficSource;
 use crate::event::{Event, EventQueue};
 use crate::link::{LinkAction, LinkModel, LinkService};
 use crate::packet::{AckPacket, DataPacket, FlowId, PacketPool};
@@ -55,6 +54,7 @@ use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{hop_seed, HopConfig, HopRange};
+use std::collections::VecDeque;
 
 /// The outcome of a simulation run.
 #[derive(Clone, Debug)]
@@ -112,18 +112,11 @@ impl<C: CongestionControl> FlowSpec<C> {
     }
 }
 
-/// Per-flow runtime state inside the simulation.
-struct FlowRuntime<C: CongestionControl> {
-    sender: TcpSender<C>,
-    receiver: TcpReceiver,
-    start: SimTime,
-    stop: Option<SimTime>,
-    /// Dedupe for pacing timer events.
-    pacing_scheduled: Option<SimTime>,
-    /// Last RTO (deadline, generation) scheduled as an event.
-    rto_scheduled: Option<(SimTime, u64)>,
-    /// Sink-side first-delivery times.
-    delivery_times: Vec<SimTime>,
+/// Per-flow drop/mark/delivery counters, bumped from the queue and sink
+/// paths. Grouped in one 24-byte record (three counters that are always
+/// touched together) so a counter bump loads exactly one cache line slot.
+#[derive(Clone, Copy, Default)]
+struct FlowCounters {
     /// Packets of this flow dropped at the bottleneck queue.
     queue_drops: u64,
     /// Packets of this flow CE-marked at the bottleneck queue.
@@ -132,27 +125,176 @@ struct FlowRuntime<C: CongestionControl> {
     sink_received: u64,
 }
 
-impl<C: CongestionControl> FlowRuntime<C> {
-    fn stopped(&self, now: SimTime) -> bool {
-        self.stop.map(|t| now >= t).unwrap_or(false)
+/// Per-flow runtime state in struct-of-arrays layout.
+///
+/// The event loop touches exactly one facet of a flow per event — its timer
+/// dedupe slot on a timer pop, its sender on an ACK, its counters on a drop.
+/// Splitting the former array-of-`FlowRuntime` into parallel vectors means
+/// each of those accesses walks a dense homogeneous array instead of
+/// striding over whole flow records (sender + receiver together are several
+/// hundred bytes), so the hot scalar state of all N flows shares a handful
+/// of cache lines.
+struct FlowTable<C: CongestionControl> {
+    senders: Vec<TcpSender<C>>,
+    receivers: Vec<TcpReceiver>,
+    start: Vec<SimTime>,
+    stop: Vec<Option<SimTime>>,
+    /// Dedupe for pacing timer events.
+    pacing_scheduled: Vec<Option<SimTime>>,
+    /// Last RTO (deadline, generation) scheduled as an event.
+    rto_scheduled: Vec<Option<(SimTime, u64)>>,
+    /// Sink-side first-delivery times.
+    delivery_times: Vec<Vec<SimTime>>,
+    /// Drop / mark / sink counters.
+    counters: Vec<FlowCounters>,
+}
+
+impl<C: CongestionControl> FlowTable<C> {
+    fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    #[inline]
+    fn stopped(&self, flow: usize, now: SimTime) -> bool {
+        self.stop[flow].map(|t| now >= t).unwrap_or(false)
     }
 }
 
-/// Reusable simulation storage: the event calendar's bucket ring and the
-/// packet pool's slabs. A batch driver creates one `SimScratch` per worker
-/// and threads it through consecutive runs, so steady-state evaluations
-/// perform no calendar/pool allocations at all. Results are bit-identical
-/// with or without scratch reuse — the scratch only donates capacity.
-#[derive(Default)]
-pub struct SimScratch {
-    events: EventQueue,
-    pool: PacketPool,
+impl<C: CongestionControl> Default for FlowTable<C> {
+    fn default() -> Self {
+        FlowTable {
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            start: Vec::new(),
+            stop: Vec::new(),
+            pacing_scheduled: Vec::new(),
+            rto_scheduled: Vec::new(),
+            delivery_times: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
 }
 
-impl SimScratch {
+/// Reusable simulation storage — the per-worker *generation arena*.
+///
+/// Originally this held only the event calendar's bucket ring and the packet
+/// pool's slabs; it has grown into the full set of heap structures a
+/// simulation touches: flow endpoints (senders keep their retransmission
+/// queues, receivers their SACK buffers), gateway FIFO rings, the hop/path
+/// tables, a cleared [`RunStats`] skeleton, and a shared pool of `SimTime`
+/// vectors that cycle between delivery logs and trace timestamp buffers.
+///
+/// A batch driver creates one `SimScratch` per worker and threads it through
+/// consecutive runs; after warm-up an entire generate → evaluate → select
+/// generation runs through one recycled allocation set. Results are
+/// bit-identical with or without scratch reuse — the scratch only donates
+/// capacity, never state.
+pub struct SimScratch<C: CongestionControl = Box<dyn CongestionControl>> {
+    events: EventQueue,
+    pool: PacketPool,
+    drop_buf: Vec<DataPacket>,
+    /// Retained flow endpoints; reset in place (keeping their buffers) when
+    /// the next run claims them.
+    flows: FlowTable<C>,
+    /// Empty hop-chain vector (capacity only; hops are rebuilt per run).
+    hops: Vec<Hop>,
+    /// Recycled gateway FIFO rings, harvested from finished runs' hops.
+    queue_bufs: Vec<VecDeque<DataPacket>>,
+    paths: Vec<HopRange>,
+    ack_delays: Vec<SimDuration>,
+    hop_cfgs: Vec<HopConfig>,
+    flow_capacity: Vec<usize>,
+    /// Cleared [`RunStats`] skeleton (vectors with capacity, counters
+    /// zeroed). Refilled by [`SimScratch::recycle_stats`] once the caller is
+    /// done reading a run's results.
+    stats: RunStats,
+    /// Shared pool of timestamp vectors: per-flow delivery logs, cross
+    /// traffic injection traces and link service curves all draw from (and
+    /// return to) this one free list.
+    time_bufs: Vec<Vec<SimTime>>,
+}
+
+impl<C: CongestionControl> Default for SimScratch<C> {
+    fn default() -> Self {
+        SimScratch {
+            events: EventQueue::default(),
+            pool: PacketPool::default(),
+            drop_buf: Vec::new(),
+            flows: FlowTable::default(),
+            hops: Vec::new(),
+            queue_bufs: Vec::new(),
+            paths: Vec::new(),
+            ack_delays: Vec::new(),
+            hop_cfgs: Vec::new(),
+            flow_capacity: Vec::new(),
+            stats: RunStats::default(),
+            time_bufs: Vec::new(),
+        }
+    }
+}
+
+impl<C: CongestionControl> SimScratch<C> {
     /// Creates empty scratch storage.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Takes a cleared timestamp buffer from the shared pool (or a fresh one
+    /// when the pool is empty). Callers use it to build traces or logs and
+    /// the buffer eventually returns through [`SimScratch::recycle_time_buf`]
+    /// or [`SimScratch::recycle_stats`].
+    pub fn take_time_buf(&mut self) -> Vec<SimTime> {
+        self.time_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a timestamp buffer to the shared pool. Buffers without
+    /// capacity are dropped (nothing to recycle).
+    pub fn recycle_time_buf(&mut self, mut buf: Vec<SimTime>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        self.time_bufs.push(buf);
+    }
+
+    /// Recycles a finished run's [`RunStats`] once the caller has extracted
+    /// everything it needs: per-flow delivery logs return to the timestamp
+    /// pool and the cleared skeleton (vectors keeping their capacity,
+    /// counters zeroed) seeds the next run's statistics. The next run's
+    /// results are bit-identical whether or not its stats came from here.
+    pub fn recycle_stats(&mut self, stats: RunStats) {
+        let RunStats {
+            mut bottleneck,
+            mut transport,
+            mut queue_samples,
+            queue_counters: _,
+            mut hop_counters,
+            mut hop_samples,
+            mut flows,
+            cross_delivered: _,
+            cross_dropped: _,
+            truncated: _,
+            events_processed: _,
+        } = stats;
+        for flow in flows.drain(..) {
+            self.recycle_time_buf(flow.delivery_times);
+        }
+        bottleneck.clear();
+        transport.clear();
+        queue_samples.clear();
+        hop_counters.clear();
+        for samples in &mut hop_samples {
+            samples.clear();
+        }
+        self.stats = RunStats {
+            bottleneck,
+            transport,
+            queue_samples,
+            hop_counters,
+            hop_samples,
+            flows,
+            ..RunStats::default()
+        };
     }
 }
 
@@ -173,7 +315,7 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     cfg: SimConfig,
     events: EventQueue,
     pool: PacketPool,
-    flows: Vec<FlowRuntime<C>>,
+    flows: FlowTable<C>,
     /// The hop chain, in path order (a single hop without a topology).
     hops: Vec<Hop>,
     /// Per-flow paths over the chain (entry/exit hop indices, clamped).
@@ -181,14 +323,21 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     /// Per-flow one-way ACK return delay: the sum of the propagation
     /// delays along the flow's path.
     ack_delays: Vec<SimDuration>,
-    cross: CrossTrafficSource,
     stats: RunStats,
     finished: bool,
+    /// Recycled buffer for AQM head drops in [`Simulation::try_transmit`]
+    /// (CoDel can shed several packets per dequeue; the buffer keeps that
+    /// path allocation-free in steady state).
+    aqm_drop_buf: Vec<DataPacket>,
     /// Optional structured trace recorder (see [`crate::simtrace`]). Boxed
     /// so the disabled case costs one pointer on the struct and one
     /// null-check per hook — the same zero-cost-when-disabled shape as
     /// `record_events`.
     tracer: Option<Box<TraceRecorder>>,
+    /// Scratch pools not claimed by this run (recycled FIFO rings, spare
+    /// timestamp buffers, the drained config buffers). Carried through so
+    /// [`Simulation::into_scratch`] can reassemble the full arena.
+    spares: SimScratch<C>,
 }
 
 impl<C: CongestionControl> Simulation<C> {
@@ -219,7 +368,21 @@ impl<C: CongestionControl> Simulation<C> {
     pub fn new_multi_with_scratch(
         cfg: SimConfig,
         specs: Vec<FlowSpec<C>>,
-        scratch: SimScratch,
+        scratch: SimScratch<C>,
+    ) -> Self {
+        let mut specs = specs;
+        Self::new_multi_reusing(cfg, &mut specs, scratch)
+    }
+
+    /// The fully pooled constructor: drains `specs` (leaving the caller's
+    /// vector empty but with its capacity, ready to refill) and draws every
+    /// heap structure — endpoints, hops, FIFO rings, stat vectors — from
+    /// the scratch arena. In steady state this builds a complete multi-flow,
+    /// multi-hop simulation without touching the allocator.
+    pub fn new_multi_reusing(
+        cfg: SimConfig,
+        specs: &mut Vec<FlowSpec<C>>,
+        mut scratch: SimScratch<C>,
     ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
@@ -243,17 +406,18 @@ impl<C: CongestionControl> Simulation<C> {
             delayed_ack_timeout: cfg.delayed_ack_timeout,
             max_sack_blocks: 4,
         };
-        let cross = CrossTrafficSource::new(&cfg.cross_traffic, cfg.cross_traffic_packet_size);
-        let hop_cfgs = cfg.hop_configs();
-        let paths: Vec<HopRange> = (0..specs.len()).map(|i| cfg.flow_path(i)).collect();
-        let ack_delays: Vec<SimDuration> = paths
-            .iter()
-            .map(|p| {
-                hop_cfgs[p.entry as usize..=p.exit as usize]
-                    .iter()
-                    .fold(SimDuration::ZERO, |acc, h| acc + h.propagation_delay)
-            })
-            .collect();
+        let mut hop_cfgs = std::mem::take(&mut scratch.hop_cfgs);
+        cfg.hop_configs_into(&mut hop_cfgs);
+        let mut paths = std::mem::take(&mut scratch.paths);
+        paths.clear();
+        paths.extend((0..specs.len()).map(|i| cfg.flow_path(i)));
+        let mut ack_delays = std::mem::take(&mut scratch.ack_delays);
+        ack_delays.clear();
+        ack_delays.extend(paths.iter().map(|p| {
+            hop_cfgs[p.entry as usize..=p.exit as usize]
+                .iter()
+                .fold(SimDuration::ZERO, |acc, h| acc + h.propagation_delay)
+        }));
         // Pre-size each flow's delivery log from the tightest hop *on its
         // own path* (a parking-lot flow that skips the slow hop can deliver
         // far more than the chain's global bottleneck allows) so the hot
@@ -264,73 +428,112 @@ impl<C: CongestionControl> Simulation<C> {
             }
             LinkModel::TraceDriven { trace } => trace.len(),
         };
-        let per_flow_capacity: Vec<usize> = paths
-            .iter()
-            .map(|p| {
-                hop_cfgs[p.entry as usize..=p.exit as usize]
-                    .iter()
-                    .map(hop_capacity)
-                    .min()
-                    .unwrap_or(0)
-                    .min(1 << 22)
-                    / specs.len()
-                    + 64
-            })
-            .collect();
-        // Built last, *consuming* the hop configs: a trace-driven link's
+        let mut per_flow_capacity = std::mem::take(&mut scratch.flow_capacity);
+        per_flow_capacity.clear();
+        per_flow_capacity.extend(paths.iter().map(|p| {
+            hop_cfgs[p.entry as usize..=p.exit as usize]
+                .iter()
+                .map(hop_capacity)
+                .min()
+                .unwrap_or(0)
+                .min(1 << 22)
+                / specs.len()
+                + 64
+        }));
+        // Built by *draining* the hop configs: a trace-driven link's
         // timestamp vector moves into its LinkService instead of being
-        // cloned a second time (one clone per evaluation, as before the
-        // topology engine).
-        let hops: Vec<Hop> = hop_cfgs
-            .into_iter()
-            .enumerate()
-            .map(|(k, h)| Hop {
-                queue: GatewayQueue::new(h.qdisc, h.queue_capacity, hop_seed(cfg.seed, k)),
+        // cloned a second time. FIFO storage comes from the recycled rings
+        // of earlier runs.
+        let mut hops = std::mem::take(&mut scratch.hops);
+        hops.clear();
+        for (k, h) in hop_cfgs.drain(..).enumerate() {
+            let storage = scratch.queue_bufs.pop().unwrap_or_default();
+            hops.push(Hop {
+                queue: GatewayQueue::new_with_storage(
+                    h.qdisc,
+                    h.queue_capacity,
+                    hop_seed(cfg.seed, k),
+                    storage,
+                ),
                 link: LinkService::new(h.link),
                 propagation_delay: h.propagation_delay,
                 ready_scheduled: None,
-            })
-            .collect();
-        let flows: Vec<FlowRuntime<C>> = specs
-            .into_iter()
-            .zip(&per_flow_capacity)
-            .map(|(spec, &capacity)| FlowRuntime {
-                sender: TcpSender::new(sender_cfg, spec.cc),
-                receiver: TcpReceiver::new(receiver_cfg),
-                start: spec.start,
-                stop: spec.stop,
-                pacing_scheduled: None,
-                rto_scheduled: None,
-                delivery_times: Vec::with_capacity(capacity),
-                queue_drops: 0,
-                ce_marked: 0,
-                sink_received: 0,
-            })
-            .collect();
-        let mut stats = RunStats::default();
-        stats.flows.reserve(flows.len());
+            });
+        }
+        let n = specs.len();
+        let mut flows = std::mem::take(&mut scratch.flows);
+        // A previous (unrun) claimant may have left delivery buffers behind;
+        // funnel them through the pool rather than dropping them.
+        for buf in flows.delivery_times.drain(..) {
+            scratch.recycle_time_buf(buf);
+        }
+        flows.start.clear();
+        flows.stop.clear();
+        flows.pacing_scheduled.clear();
+        flows.pacing_scheduled.resize(n, None);
+        flows.rto_scheduled.clear();
+        flows.rto_scheduled.resize(n, None);
+        flows.counters.clear();
+        flows.counters.resize(n, FlowCounters::default());
+        flows.senders.truncate(n);
+        flows.receivers.truncate(n);
+        for (i, (spec, &capacity)) in specs.drain(..).zip(&per_flow_capacity).enumerate() {
+            // Retained endpoints are reset in place (keeping their queues'
+            // capacity); extra flows beyond the retained count are built
+            // fresh.
+            match flows.senders.get_mut(i) {
+                Some(sender) => sender.reset_reusing(sender_cfg, spec.cc),
+                None => flows.senders.push(TcpSender::new(sender_cfg, spec.cc)),
+            }
+            match flows.receivers.get_mut(i) {
+                Some(receiver) => receiver.reset_reusing(receiver_cfg),
+                None => flows.receivers.push(TcpReceiver::new(receiver_cfg)),
+            }
+            flows.start.push(spec.start);
+            flows.stop.push(spec.stop);
+            let mut delivery = scratch.take_time_buf();
+            delivery.reserve(capacity);
+            flows.delivery_times.push(delivery);
+        }
+        let mut stats = std::mem::take(&mut scratch.stats);
+        stats.flows.reserve(n);
         let sample_capacity =
             (cfg.duration.as_nanos() / cfg.stats_interval.as_nanos().max(1)) as usize + 2;
         stats.queue_samples.reserve(sample_capacity);
         if hops.len() > 1 {
-            stats.hop_samples = (0..hops.len())
-                .map(|_| Vec::with_capacity(sample_capacity))
-                .collect();
+            stats.hop_samples.truncate(hops.len());
+            for samples in &mut stats.hop_samples {
+                samples.clear();
+                samples.reserve(sample_capacity);
+            }
+            while stats.hop_samples.len() < hops.len() {
+                stats.hop_samples.push(Vec::with_capacity(sample_capacity));
+            }
+        } else {
+            stats.hop_samples.clear();
         }
-        let SimScratch { mut events, pool } = scratch;
-        events.reset();
+        scratch.events.reset();
+        scratch.pool.set_hop_count(hops.len());
+        let events = std::mem::take(&mut scratch.events);
+        let pool = std::mem::take(&mut scratch.pool);
+        let drop_buf = std::mem::take(&mut scratch.drop_buf);
+        // Return the drained (empty, capacity-keeping) buffers to the arena
+        // for the next construction.
+        scratch.hop_cfgs = hop_cfgs;
+        scratch.flow_capacity = per_flow_capacity;
         Simulation {
             flows,
             hops,
             paths,
             ack_delays,
-            cross,
             events,
             pool,
             stats,
             finished: false,
+            aqm_drop_buf: drop_buf,
             tracer: None,
             cfg,
+            spares: scratch,
         }
     }
 
@@ -361,7 +564,7 @@ impl<C: CongestionControl> Simulation<C> {
     #[inline]
     fn trace_sender(&mut self, flow: usize, now: SimTime) {
         if self.tracer.is_some() {
-            let s = &self.flows[flow].sender;
+            let s = &self.flows.senders[flow];
             let (cwnd, in_flight, in_recovery) = (s.cwnd(), s.in_flight(), s.in_recovery());
             if let Some(tr) = self.tracer.as_deref_mut() {
                 tr.sample_sender(now, flow as u32, cwnd, in_flight, in_recovery);
@@ -369,13 +572,65 @@ impl<C: CongestionControl> Simulation<C> {
         }
     }
 
-    /// Recovers the calendar and pool storage for reuse by a later run.
-    pub fn into_scratch(mut self) -> SimScratch {
+    /// Recovers the arena for reuse by a later run: calendar, pool, flow
+    /// endpoints, gateway FIFO rings and every timestamp vector the run
+    /// carried (cross-traffic injections, trace-driven service curves) all
+    /// return to their free lists.
+    pub fn into_scratch(mut self) -> SimScratch<C> {
+        let mut scratch = std::mem::take(&mut self.spares);
         let mut events = std::mem::take(&mut self.events);
         events.reset();
+        scratch.events = events;
         let mut pool = std::mem::take(&mut self.pool);
         pool.reset();
-        SimScratch { events, pool }
+        scratch.pool = pool;
+        let mut drop_buf = std::mem::take(&mut self.aqm_drop_buf);
+        drop_buf.clear();
+        scratch.drop_buf = drop_buf;
+        let mut flows = std::mem::take(&mut self.flows);
+        // After a run the delivery logs have moved into RunStats (and come
+        // back via recycle_stats); before a run they still hold capacity —
+        // either way, funnel whatever is left through the shared pool.
+        for buf in flows.delivery_times.drain(..) {
+            scratch.recycle_time_buf(buf);
+        }
+        flows.start.clear();
+        flows.stop.clear();
+        flows.pacing_scheduled.clear();
+        flows.rto_scheduled.clear();
+        flows.counters.clear();
+        scratch.flows = flows;
+        let mut hops = std::mem::take(&mut self.hops);
+        for hop in hops.drain(..) {
+            let ring = hop.queue.into_storage();
+            if ring.capacity() > 0 {
+                scratch.queue_bufs.push(ring);
+            }
+            if let LinkModel::TraceDriven { trace } = hop.link.into_model() {
+                scratch.recycle_time_buf(trace.into_opportunities());
+            }
+        }
+        scratch.hops = hops;
+        let mut paths = std::mem::take(&mut self.paths);
+        paths.clear();
+        scratch.paths = paths;
+        let mut ack_delays = std::mem::take(&mut self.ack_delays);
+        ack_delays.clear();
+        scratch.ack_delays = ack_delays;
+        // The simulation is consumed, so the config's trace storage can be
+        // harvested too (the traffic and link fuzzing paths rebuild their
+        // traces from recycled buffers each evaluation).
+        let cross = std::mem::replace(
+            &mut self.cfg.cross_traffic,
+            crate::trace::TrafficTrace::empty(self.cfg.duration),
+        );
+        scratch.recycle_time_buf(cross.into_injections());
+        if let LinkModel::TraceDriven { trace } =
+            std::mem::replace(&mut self.cfg.link, LinkModel::FixedRate { rate_bps: 0 })
+        {
+            scratch.recycle_time_buf(trace.into_opportunities());
+        }
+        scratch
     }
 
     /// The configuration this simulation runs.
@@ -401,12 +656,12 @@ impl<C: CongestionControl> Simulation<C> {
     /// Immutable access to the primary flow's sender (e.g. to inspect CCA
     /// state mid-run in tests).
     pub fn sender(&self) -> &TcpSender<C> {
-        &self.flows[0].sender
+        &self.flows.senders[0]
     }
 
     /// Immutable access to the sender of an arbitrary flow.
     pub fn sender_of(&self, flow: usize) -> &TcpSender<C> {
-        &self.flows[flow].sender
+        &self.flows.senders[flow]
     }
 
     fn end_time(&self) -> SimTime {
@@ -452,10 +707,10 @@ impl<C: CongestionControl> Simulation<C> {
                 LinkAction::TransmitNow => {
                     // CoDel may drop (non-ECT) head packets while hunting for
                     // the next deliverable one; drop-tail and RED never do,
-                    // so the buffer stays empty (and unallocated) for them.
-                    let mut aqm_drops: Vec<DataPacket> = Vec::new();
+                    // so the recycled buffer stays empty for them.
+                    let mut aqm_drops = std::mem::take(&mut self.aqm_drop_buf);
                     let pkt = self.hops[hop].queue.dequeue_at(now, |p| aqm_drops.push(p));
-                    for dropped in aqm_drops {
+                    for dropped in aqm_drops.drain(..) {
                         self.record_bottleneck(
                             hop,
                             now,
@@ -465,7 +720,7 @@ impl<C: CongestionControl> Simulation<C> {
                         );
                         match dropped.flow {
                             FlowId::CrossTraffic => self.stats.cross_dropped += 1,
-                            FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+                            FlowId::Cca(i) => self.flows.counters[i as usize].queue_drops += 1,
                         }
                         self.trace(
                             now,
@@ -475,6 +730,7 @@ impl<C: CongestionControl> Simulation<C> {
                             },
                         );
                     }
+                    self.aqm_drop_buf = aqm_drops;
                     let Some((pkt, marked_now)) = pkt else {
                         // The discipline consumed the whole backlog; re-poll
                         // the (now idle) link so it can park itself.
@@ -494,7 +750,7 @@ impl<C: CongestionControl> Simulation<C> {
                             BottleneckEvent::Marked,
                         );
                         if let FlowId::Cca(i) = pkt.flow {
-                            self.flows[i as usize].ce_marked += 1;
+                            self.flows.counters[i as usize].ce_marked += 1;
                         }
                         self.trace(
                             now,
@@ -515,7 +771,7 @@ impl<C: CongestionControl> Simulation<C> {
                     let crossed_at = self.hops[hop].link.on_transmit(now, pkt.size);
                     let arrival = crossed_at + self.hops[hop].propagation_delay;
                     let exit = self.exit_hop(pkt.flow);
-                    let parked = self.pool.put_data(pkt);
+                    let parked = self.pool.put_data_at(hop, pkt);
                     if hop >= exit {
                         // Last hop on this packet's path: deliver to the sink.
                         self.events.schedule(arrival, Event::SinkArrival(parked));
@@ -563,7 +819,7 @@ impl<C: CongestionControl> Simulation<C> {
             EnqueueOutcome::Dropped => {
                 match flow {
                     FlowId::CrossTraffic => self.stats.cross_dropped += 1,
-                    FlowId::Cca(i) => self.flows[i as usize].queue_drops += 1,
+                    FlowId::Cca(i) => self.flows.counters[i as usize].queue_drops += 1,
                 }
                 self.trace(
                     now,
@@ -576,7 +832,7 @@ impl<C: CongestionControl> Simulation<C> {
             EnqueueOutcome::AcceptedMarked => {
                 self.record_bottleneck(hop, now, flow, size, BottleneckEvent::Marked);
                 if let FlowId::Cca(i) = flow {
-                    self.flows[i as usize].ce_marked += 1;
+                    self.flows.counters[i as usize].ce_marked += 1;
                 }
                 self.trace(
                     now,
@@ -598,8 +854,8 @@ impl<C: CongestionControl> Simulation<C> {
     // ------------------------------------------------------------------
 
     fn sync_rto_timer(&mut self, flow: usize) {
-        if let Some((deadline, generation)) = self.flows[flow].sender.rto_deadline() {
-            if self.flows[flow].rto_scheduled != Some((deadline, generation)) {
+        if let Some((deadline, generation)) = self.flows.senders[flow].rto_deadline() {
+            if self.flows.rto_scheduled[flow] != Some((deadline, generation)) {
                 self.events.schedule(
                     deadline.max(self.events.now()),
                     Event::RtoTimer {
@@ -607,17 +863,17 @@ impl<C: CongestionControl> Simulation<C> {
                         generation,
                     },
                 );
-                self.flows[flow].rto_scheduled = Some((deadline, generation));
+                self.flows.rto_scheduled[flow] = Some((deadline, generation));
             }
         }
     }
 
     fn pump_sender(&mut self, flow: usize, now: SimTime) {
-        if self.flows[flow].stopped(now) {
+        if self.flows.stopped(flow, now) {
             return;
         }
         loop {
-            match self.flows[flow].sender.poll_send(now) {
+            match self.flows.senders[flow].poll_send(now) {
                 SendPoll::Packet(mut pkt) => {
                     pkt.flow = FlowId::Cca(flow as u32);
                     // The access link from sender to its entry hop is
@@ -627,8 +883,7 @@ impl<C: CongestionControl> Simulation<C> {
                 }
                 SendPoll::Wait(t) => {
                     if t <= self.end_time()
-                        && self.flows[flow]
-                            .pacing_scheduled
+                        && self.flows.pacing_scheduled[flow]
                             .map(|s| s > t || s <= now)
                             .unwrap_or(true)
                     {
@@ -639,7 +894,7 @@ impl<C: CongestionControl> Simulation<C> {
                                 generation: 0,
                             },
                         );
-                        self.flows[flow].pacing_scheduled = Some(t);
+                        self.flows.pacing_scheduled[flow] = Some(t);
                     }
                     break;
                 }
@@ -650,10 +905,10 @@ impl<C: CongestionControl> Simulation<C> {
     }
 
     fn deliver_ack_to_sender(&mut self, flow: usize, ack: AckPacket, now: SimTime) {
-        if self.flows[flow].stopped(now) {
+        if self.flows.stopped(flow, now) {
             return;
         }
-        self.flows[flow].sender.on_ack(&ack, now);
+        self.flows.senders[flow].on_ack(&ack, now);
         self.pump_sender(flow, now);
     }
 
@@ -663,13 +918,14 @@ impl<C: CongestionControl> Simulation<C> {
                 self.stats.cross_delivered += 1;
             }
             FlowId::Cca(i) => {
-                let flow = &mut self.flows[i as usize];
-                flow.sink_received += 1;
-                let before = flow.receiver.cum_ack() + flow.receiver.ooo_packets();
-                let out = flow.receiver.on_data(&pkt, now);
-                let after = flow.receiver.cum_ack() + flow.receiver.ooo_packets();
+                let idx = i as usize;
+                self.flows.counters[idx].sink_received += 1;
+                let receiver = &mut self.flows.receivers[idx];
+                let before = receiver.cum_ack() + receiver.ooo_packets();
+                let out = receiver.on_data(&pkt, now);
+                let after = receiver.cum_ack() + receiver.ooo_packets();
                 for _ in before..after {
-                    flow.delivery_times.push(now);
+                    self.flows.delivery_times[idx].push(now);
                 }
                 if let Some(ack) = out.ack {
                     let parked = self.pool.put_ack(ack);
@@ -705,24 +961,35 @@ impl<C: CongestionControl> Simulation<C> {
 
         // Seed the event calendar: flow starts in index order, then the
         // stats tick, then cross-traffic injections (known up front).
-        for (i, flow) in self.flows.iter().enumerate() {
+        for (i, &start) in self.flows.start.iter().enumerate() {
             self.events
-                .schedule(flow.start, Event::FlowStart { flow: i as u32 });
+                .schedule(start, Event::FlowStart { flow: i as u32 });
         }
         self.events.schedule(SimTime::ZERO, Event::StatsTick);
-        while let Some(t) = self.cross.next_injection_time() {
-            if t > self.end_time() {
-                break;
+        let seed_end = self.end_time();
+        {
+            // Split borrows: the injection schedule is read straight from the
+            // config (no intermediate copy — the former CrossTrafficSource
+            // cloned the whole trace per run) while the pool and calendar
+            // are driven mutably.
+            let Simulation {
+                cfg, pool, events, ..
+            } = &mut *self;
+            let packet_size = cfg.cross_traffic_packet_size;
+            for (seq, &t) in cfg.cross_traffic.injections().iter().enumerate() {
+                if t > seed_end {
+                    break;
+                }
+                let pkt = DataPacket::cross_traffic(seq as u64, packet_size, t);
+                let parked = pool.put_data(pkt);
+                events.schedule(
+                    t,
+                    Event::GatewayArrival {
+                        hop: 0,
+                        pkt: parked,
+                    },
+                );
             }
-            let pkt = self.cross.poll(t).expect("injection due");
-            let parked = self.pool.put_data(pkt);
-            self.events.schedule(
-                t,
-                Event::GatewayArrival {
-                    hop: 0,
-                    pkt: parked,
-                },
-            );
         }
 
         let end = self.end_time();
@@ -739,7 +1006,7 @@ impl<C: CongestionControl> Simulation<C> {
             match event {
                 Event::FlowStart { flow } => {
                     let flow = flow as usize;
-                    self.flows[flow].sender.on_flow_start(now);
+                    self.flows.senders[flow].on_flow_start(now);
                     if self.tracer.is_some() {
                         self.trace(now, TraceEvent::FlowStart { flow: flow as u32 });
                         self.trace_sender(flow, now);
@@ -747,7 +1014,7 @@ impl<C: CongestionControl> Simulation<C> {
                     self.pump_sender(flow, now);
                 }
                 Event::GatewayArrival { hop, pkt: parked } => {
-                    let pkt = self.pool.take_data(parked);
+                    let pkt = self.pool.take_data_at(hop as usize, parked);
                     self.handle_gateway_arrival(hop as usize, pkt, now);
                 }
                 Event::LinkReady { hop } => {
@@ -768,17 +1035,16 @@ impl<C: CongestionControl> Simulation<C> {
                 }
                 Event::RtoTimer { flow, generation } => {
                     let flow = flow as usize;
-                    if self.flows[flow]
-                        .rto_scheduled
+                    if self.flows.rto_scheduled[flow]
                         .map(|(_, g)| g == generation)
                         .unwrap_or(false)
                     {
-                        self.flows[flow].rto_scheduled = None;
+                        self.flows.rto_scheduled[flow] = None;
                     }
-                    if self.flows[flow].stopped(now) {
+                    if self.flows.stopped(flow, now) {
                         continue;
                     }
-                    if self.flows[flow].sender.on_rto_timer(generation, now) {
+                    if self.flows.senders[flow].on_rto_timer(generation, now) {
                         if self.tracer.is_some() {
                             self.trace(now, TraceEvent::RtoFired { flow: flow as u32 });
                             self.trace_sender(flow, now);
@@ -790,9 +1056,8 @@ impl<C: CongestionControl> Simulation<C> {
                 }
                 Event::DelayedAckTimer { flow, generation } => {
                     let flow_idx = flow as usize;
-                    if let Some(ack) = self.flows[flow_idx]
-                        .receiver
-                        .on_delack_timer(generation, now)
+                    if let Some(ack) =
+                        self.flows.receivers[flow_idx].on_delack_timer(generation, now)
                     {
                         let parked = self.pool.put_ack(ack);
                         self.events.schedule(
@@ -803,8 +1068,8 @@ impl<C: CongestionControl> Simulation<C> {
                 }
                 Event::PacingTimer { flow, .. } => {
                     let flow = flow as usize;
-                    if self.flows[flow].pacing_scheduled == Some(now) {
-                        self.flows[flow].pacing_scheduled = None;
+                    if self.flows.pacing_scheduled[flow] == Some(now) {
+                        self.flows.pacing_scheduled[flow] = None;
                     }
                     self.pump_sender(flow, now);
                 }
@@ -849,24 +1114,28 @@ impl<C: CongestionControl> Simulation<C> {
         // times live in `flows[0]` and are *borrowed* by the legacy
         // accessors — the former end-of-run clone of both is gone.
         self.stats.events_processed = events_processed;
-        self.stats.hop_counters = self.hops.iter().map(|h| h.queue.counters()).collect();
+        self.stats.hop_counters.clear();
+        self.stats
+            .hop_counters
+            .extend(self.hops.iter().map(|h| h.queue.counters()));
         self.stats.queue_counters = self.stats.hop_counters[0];
-        for flow in &mut self.flows {
-            let mut summary = flow.sender.summary();
-            summary.queue_drops = flow.queue_drops;
-            summary.ce_marked = flow.ce_marked;
-            summary.ce_received = flow.receiver.ce_received();
-            summary.ece_echoed = flow.receiver.ece_echoed();
+        for i in 0..self.flows.len() {
+            let mut summary = self.flows.senders[i].summary();
+            let counters = self.flows.counters[i];
+            summary.queue_drops = counters.queue_drops;
+            summary.ce_marked = counters.ce_marked;
+            summary.ce_received = self.flows.receivers[i].ce_received();
+            summary.ece_echoed = self.flows.receivers[i].ece_echoed();
             self.stats.flows.push(FlowStats {
                 summary,
-                delivery_times: std::mem::take(&mut flow.delivery_times),
-                start: flow.start,
-                stop: flow.stop,
-                sink_received: flow.sink_received,
+                delivery_times: std::mem::take(&mut self.flows.delivery_times[i]),
+                start: self.flows.start[i],
+                stop: self.flows.stop[i],
+                sink_received: counters.sink_received,
             });
         }
         if self.cfg.record_events {
-            self.stats.transport = self.flows[0].sender.drain_log();
+            self.stats.transport = self.flows.senders[0].drain_log();
         }
 
         SimResult {
@@ -895,9 +1164,23 @@ pub fn run_multi_flow_simulation<C: CongestionControl>(
 pub fn run_multi_flow_simulation_reusing<C: CongestionControl>(
     cfg: SimConfig,
     specs: Vec<FlowSpec<C>>,
-    scratch: &mut SimScratch,
+    scratch: &mut SimScratch<C>,
 ) -> SimResult {
-    let mut sim = Simulation::new_multi_with_scratch(cfg, specs, std::mem::take(scratch));
+    let mut specs = specs;
+    run_multi_flow_simulation_pooled(cfg, &mut specs, scratch)
+}
+
+/// The fully pooled entry point of the batch evaluator: drains `specs`
+/// (keeping the caller's vector and its capacity) and recycles every other
+/// heap structure through `scratch`, so a warm worker builds and runs the
+/// whole simulation allocation-free. Results are bit-identical to
+/// [`run_multi_flow_simulation`].
+pub fn run_multi_flow_simulation_pooled<C: CongestionControl>(
+    cfg: SimConfig,
+    specs: &mut Vec<FlowSpec<C>>,
+    scratch: &mut SimScratch<C>,
+) -> SimResult {
+    let mut sim = Simulation::new_multi_reusing(cfg, specs, std::mem::take(scratch));
     let result = sim.run();
     *scratch = sim.into_scratch();
     result

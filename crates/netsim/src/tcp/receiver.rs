@@ -118,6 +118,16 @@ impl TcpReceiver {
         }
     }
 
+    /// Reinitializes this receiver in place for a fresh flow, keeping the
+    /// out-of-order range buffer. Equivalent to `*self = TcpReceiver::new(cfg)`
+    /// apart from recycled capacity.
+    pub fn reset_reusing(&mut self, cfg: ReceiverConfig) {
+        let mut fresh = TcpReceiver::new(cfg);
+        fresh.ooo_ranges = std::mem::take(&mut self.ooo_ranges);
+        fresh.ooo_ranges.clear();
+        *self = fresh;
+    }
+
     /// Current cumulative ACK (first sequence not yet received in order).
     pub fn cum_ack(&self) -> u64 {
         self.cum_ack

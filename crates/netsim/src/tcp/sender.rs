@@ -88,6 +88,30 @@ impl SenderConfig {
     }
 }
 
+/// Merges `[start, end)` into a sorted list of disjoint, non-adjacent
+/// ranges (the sender's SACK-processing cache).
+fn insert_sack_range(cache: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+    if start >= end {
+        return;
+    }
+    // First range that overlaps or is adjacent to the new one.
+    let mut i = 0;
+    while i < cache.len() && cache[i].1 < start {
+        i += 1;
+    }
+    // Absorb every range overlapping or adjacent to [start, end).
+    let mut lo = start;
+    let mut hi = end;
+    let mut j = i;
+    while j < cache.len() && cache[j].0 <= end {
+        lo = lo.min(cache[j].0);
+        hi = hi.max(cache[j].1);
+        j += 1;
+    }
+    cache.drain(i..j);
+    cache.insert(i, (lo, hi));
+}
+
 /// Result of polling the sender for a transmission.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SendPoll {
@@ -125,6 +149,26 @@ pub struct TcpSender<C: CongestionControl = Box<dyn CongestionControl>> {
     /// Lost packets awaiting retransmission (`lost && !outstanding`),
     /// maintained incrementally (lets `poll_send` skip the retransmit scan).
     rtx_pending: u64,
+    /// SKBs still eligible for dupthresh loss marking
+    /// (`!lost && !sacked && transmissions == 1`), maintained incrementally.
+    /// The SACK loss scan walks the queue from the top and stops as soon as
+    /// no candidates remain below — in recovery, with a large window of
+    /// already-lost/SACKed packets, that turns an O(window) pass per ACK
+    /// into a walk of just the recently sent tail.
+    loss_candidates: u64,
+    /// Lowest index in `skbs` that can hold a retransmit-pending packet.
+    /// The retransmit scan in `next_to_send` starts here instead of at the
+    /// queue head; maintained on marks (min), transmissions (found index)
+    /// and cumulative ACKs (shift left with the queue).
+    rtx_search_from: usize,
+    /// Sorted, disjoint ranges of sequences already processed as SACKed
+    /// (the equivalent of Linux's `tcp_sack_cache`). Receivers repeat their
+    /// SACK blocks on every ACK, so without the cache the per-sequence walk
+    /// re-visits the whole SACKed region each time — quadratic over a
+    /// recovery episode. Clipping each block against the cache leaves only
+    /// newly SACKed sequences to walk. Exact because a SACKed packet never
+    /// becomes un-SACKed while it remains in the queue.
+    sack_cache: Vec<(u64, u64)>,
 
     // --- Delivery accounting (Linux tcp_rate.c style) ---
     /// Total packets delivered (cumulatively or selectively acknowledged).
@@ -194,6 +238,9 @@ impl<C: CongestionControl> TcpSender<C> {
             outstanding_count: 0,
             sacked_count: 0,
             rtx_pending: 0,
+            loss_candidates: 0,
+            rtx_search_from: 0,
+            sack_cache: Vec::new(),
             delivered: 0,
             delivered_time: SimTime::ZERO,
             first_sent_time: SimTime::ZERO,
@@ -214,6 +261,24 @@ impl<C: CongestionControl> TcpSender<C> {
             recovery_episodes: 0,
             ece_acked: 0,
         }
+    }
+
+    /// Reinitializes this sender in place for a fresh flow, keeping the
+    /// retransmission queue, SACK-cache and log allocations. Equivalent to
+    /// `*self = TcpSender::new(cfg, cc)` except that heap storage is
+    /// recycled — a batch evaluator resets pooled senders between runs
+    /// instead of reallocating them.
+    pub fn reset_reusing(&mut self, cfg: SenderConfig, cc: C) {
+        let mut fresh = TcpSender::new(cfg, cc);
+        fresh.skbs = std::mem::take(&mut self.skbs);
+        fresh.skbs.clear();
+        fresh.sack_cache = std::mem::take(&mut self.sack_cache);
+        fresh.sack_cache.clear();
+        fresh.log = std::mem::take(&mut self.log);
+        fresh.log.clear();
+        fresh.mark_log_buf = std::mem::take(&mut self.mark_log_buf);
+        fresh.mark_log_buf.clear();
+        *self = fresh;
     }
 
     // ----------------------------------------------------------------------
@@ -368,13 +433,15 @@ impl<C: CongestionControl> TcpSender<C> {
     /// `None` if there is nothing to send.
     fn next_to_send(&self) -> Option<(u64, bool)> {
         // Retransmissions of lost packets take priority (lowest sequence
-        // first); the scan is skipped entirely unless something is pending.
+        // first); the scan is skipped entirely unless something is pending,
+        // and starts at the maintained lower bound rather than the head.
         if self.rtx_pending > 0 {
-            if let Some(idx) = self
+            if let Some(pos) = self
                 .skbs
-                .iter()
+                .range(self.rtx_search_from..)
                 .position(|skb| skb.lost && !skb.sacked && !skb.outstanding)
             {
+                let idx = self.rtx_search_from + pos;
                 return Some((self.cum_ack + idx as u64, true));
             }
         }
@@ -414,13 +481,22 @@ impl<C: CongestionControl> TcpSender<C> {
         if !is_retransmission && seq == self.cum_ack + self.skbs.len() as u64 {
             self.skbs.push_back(Skb::new(seq, self.cfg.mss));
         }
+        let cum_ack = self.cum_ack;
         let skb = self.skb_mut(seq);
         let was_rtx_pending = skb.lost && !skb.sacked && !skb.outstanding;
+        let was_first_transmission = skb.transmissions == 0;
         skb.stamp_transmission(now, delivered, delivered_time, first_sent_time, false);
         let delivered_stamp = skb.tx_delivered;
         self.outstanding_count += 1;
+        if was_first_transmission {
+            // Freshly sent once, not lost, not SACKed: a dupthresh candidate.
+            self.loss_candidates += 1;
+        }
         if was_rtx_pending {
             self.rtx_pending -= 1;
+            // This was the lowest pending index; the next pending one (if
+            // any) lies strictly above it.
+            self.rtx_search_from = (seq - cum_ack) as usize + 1;
         }
 
         self.transmissions += 1;
@@ -509,6 +585,9 @@ impl<C: CongestionControl> TcpSender<C> {
                 skb.lost = true;
                 skb.outstanding = false;
                 newly_lost += 1;
+                if skb.transmissions == 1 {
+                    self.loss_candidates -= 1;
+                }
             } else if skb.outstanding && !skb.sacked {
                 skb.outstanding = false;
             }
@@ -518,6 +597,7 @@ impl<C: CongestionControl> TcpSender<C> {
         self.lost_total += newly_lost;
         self.rtx_pending += newly_lost;
         self.outstanding_count = 0;
+        self.rtx_search_from = 0;
         if self.cfg.record_log {
             let lost_seqs: Vec<u64> = self.skbs.iter().filter(|s| s.lost).map(|s| s.seq).collect();
             for seq in lost_seqs {
@@ -580,6 +660,7 @@ impl<C: CongestionControl> TcpSender<C> {
                 let Some(skb) = self.skbs.pop_front() else {
                     break;
                 };
+                self.rtx_search_from = self.rtx_search_from.saturating_sub(1);
                 if skb.outstanding {
                     self.outstanding_count -= 1;
                 }
@@ -588,6 +669,8 @@ impl<C: CongestionControl> TcpSender<C> {
                 } else {
                     if skb.lost {
                         self.rtx_pending -= 1;
+                    } else if skb.transmissions == 1 {
+                        self.loss_candidates -= 1;
                     }
                     // Newly delivered by this cumulative ACK.
                     self.delivered += 1;
@@ -616,44 +699,79 @@ impl<C: CongestionControl> TcpSender<C> {
         }
 
         // --- SACK blocks ---
+        let mut newly_sacked = 0u64;
         if self.cfg.sack_enabled {
             let queue_end = self.cum_ack + self.skbs.len() as u64;
+            // Drop cache entries the cumulative ACK has passed; the queue no
+            // longer holds those sequences.
+            if ack.cum_ack > prior_cum_ack && !self.sack_cache.is_empty() {
+                let cum = self.cum_ack;
+                self.sack_cache.retain_mut(|r| {
+                    r.0 = r.0.max(cum);
+                    r.0 < r.1
+                });
+            }
             for block in ack.sack_blocks.iter() {
                 let start = block.start.max(self.cum_ack);
                 let end = block.end.min(queue_end);
-                for seq in start..end {
-                    let idx = (seq - self.cum_ack) as usize;
-                    let skb = &mut self.skbs[idx];
-                    if skb.sacked {
-                        continue;
-                    }
-                    skb.sacked = true;
-                    if skb.outstanding {
-                        self.outstanding_count -= 1;
-                    }
-                    skb.outstanding = false;
-                    let was_lost = skb.lost;
-                    skb.lost = false;
-                    self.sacked_count += 1;
-                    self.delivered += 1;
-                    self.delivered_time = now;
-                    newly_acked += 1;
-                    let skb_snapshot = *skb;
-                    consider_sample(&skb_snapshot, &mut sample_skb);
-                    if !skb_snapshot.retransmitted() {
-                        match rtt_candidate {
-                            Some((t, _)) if t >= skb_snapshot.last_tx => {}
-                            _ => rtt_candidate = Some((skb_snapshot.last_tx, false)),
-                        }
-                    }
-                    if was_lost {
-                        // The packet had been marked lost but the original
-                        // copy arrived after all; undo the loss accounting.
-                        self.lost_total = self.lost_total.saturating_sub(1);
-                        self.rtx_pending -= 1;
-                    }
-                    self.log_event(now, TransportEvent::Sacked { seq });
+                if start >= end {
+                    continue;
                 }
+                // Walk only the sub-ranges not covered by the cache: covered
+                // sequences are guaranteed already SACKed, and the loop body
+                // below is a no-op for them.
+                let mut cursor = start;
+                let mut cache_idx = 0;
+                while cursor < end {
+                    // Skip cache ranges entirely below the cursor.
+                    while cache_idx < self.sack_cache.len()
+                        && self.sack_cache[cache_idx].1 <= cursor
+                    {
+                        cache_idx += 1;
+                    }
+                    let (gap_end, resume) = match self.sack_cache.get(cache_idx) {
+                        Some(&(rs, re)) if rs < end => (rs.min(end).max(cursor), re),
+                        _ => (end, end),
+                    };
+                    for seq in cursor..gap_end {
+                        let idx = (seq - self.cum_ack) as usize;
+                        let skb = &mut self.skbs[idx];
+                        if skb.sacked {
+                            continue;
+                        }
+                        skb.sacked = true;
+                        if skb.outstanding {
+                            self.outstanding_count -= 1;
+                        }
+                        skb.outstanding = false;
+                        let was_lost = skb.lost;
+                        skb.lost = false;
+                        self.sacked_count += 1;
+                        newly_sacked += 1;
+                        self.delivered += 1;
+                        self.delivered_time = now;
+                        newly_acked += 1;
+                        let skb_snapshot = *skb;
+                        consider_sample(&skb_snapshot, &mut sample_skb);
+                        if !skb_snapshot.retransmitted() {
+                            match rtt_candidate {
+                                Some((t, _)) if t >= skb_snapshot.last_tx => {}
+                                _ => rtt_candidate = Some((skb_snapshot.last_tx, false)),
+                            }
+                        }
+                        if was_lost {
+                            // The packet had been marked lost but the original
+                            // copy arrived after all; undo the loss accounting.
+                            self.lost_total = self.lost_total.saturating_sub(1);
+                            self.rtx_pending -= 1;
+                        } else if skb_snapshot.transmissions == 1 {
+                            self.loss_candidates -= 1;
+                        }
+                        self.log_event(now, TransportEvent::Sacked { seq });
+                    }
+                    cursor = resume.max(gap_end);
+                }
+                insert_sack_range(&mut self.sack_cache, start, end);
             }
         }
 
@@ -729,7 +847,7 @@ impl<C: CongestionControl> TcpSender<C> {
         });
 
         // --- Loss detection ---
-        let newly_lost = self.detect_losses(now);
+        let newly_lost = self.detect_losses(now, newly_sacked);
 
         // --- Recovery exit ---
         if self.in_recovery && self.cum_ack >= self.recovery_high {
@@ -777,7 +895,7 @@ impl<C: CongestionControl> TcpSender<C> {
 
     /// SACK-based (and dup-ACK based) loss detection. Returns the number of
     /// packets newly marked lost.
-    fn detect_losses(&mut self, now: SimTime) -> u64 {
+    fn detect_losses(&mut self, now: SimTime, newly_sacked: u64) -> u64 {
         let mut newly_lost = 0u64;
         if self.cfg.sack_enabled {
             // A packet is deemed lost when at least LOSS_REORDER_THRESHOLD
@@ -791,7 +909,14 @@ impl<C: CongestionControl> TcpSender<C> {
             // One reverse pass with a running "SACKed above" count replaces
             // the former quadratic rescan; marking a packet lost never
             // changes the SACKed count, so in-place marking is exact.
-            if self.sacked_count == 0 {
+            //
+            // The pass is skipped outright when this ACK SACKed nothing new:
+            // a packet's SACKed-above count only grows when a SACK flag is
+            // set, so the previous pass already marked everything markable.
+            // It also terminates as soon as no marking candidates remain
+            // below the scan position (`loss_candidates` bookkeeping): the
+            // rest of the queue can only be re-skipped, never re-marked.
+            if self.sacked_count == 0 || newly_sacked == 0 || self.loss_candidates == 0 {
                 return 0;
             }
             let record_log = self.cfg.record_log;
@@ -799,26 +924,39 @@ impl<C: CongestionControl> TcpSender<C> {
             let mut higher_sacked = 0u64;
             let mut marked = 0u64;
             let mut marked_outstanding = 0u64;
-            for skb in self.skbs.iter_mut().rev() {
+            let mut remaining = self.loss_candidates;
+            let mut lowest_marked_idx = usize::MAX;
+            for (idx, skb) in self.skbs.iter_mut().enumerate().rev() {
                 if skb.sacked {
                     higher_sacked += 1;
                     continue;
                 }
-                if !skb.lost && skb.transmissions == 1 && higher_sacked >= LOSS_REORDER_THRESHOLD {
-                    skb.lost = true;
-                    if skb.outstanding {
-                        marked_outstanding += 1;
+                if !skb.lost && skb.transmissions == 1 {
+                    if higher_sacked >= LOSS_REORDER_THRESHOLD {
+                        skb.lost = true;
+                        if skb.outstanding {
+                            marked_outstanding += 1;
+                        }
+                        skb.outstanding = false;
+                        marked += 1;
+                        lowest_marked_idx = idx;
+                        if record_log {
+                            self.mark_log_buf.push(skb.seq);
+                        }
                     }
-                    skb.outstanding = false;
-                    marked += 1;
-                    if record_log {
-                        self.mark_log_buf.push(skb.seq);
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
                     }
                 }
             }
             self.lost_total += marked;
             self.rtx_pending += marked;
             self.outstanding_count -= marked_outstanding;
+            self.loss_candidates -= marked;
+            if lowest_marked_idx < self.rtx_search_from {
+                self.rtx_search_from = lowest_marked_idx;
+            }
             newly_lost += marked;
             if record_log && !self.mark_log_buf.is_empty() {
                 // The reverse pass collected marks highest-sequence first;
@@ -838,8 +976,12 @@ impl<C: CongestionControl> TcpSender<C> {
                         self.outstanding_count -= 1;
                     }
                     skb.outstanding = false;
+                    if skb.transmissions == 1 {
+                        self.loss_candidates -= 1;
+                    }
                     self.lost_total += 1;
                     self.rtx_pending += 1;
+                    self.rtx_search_from = 0;
                     newly_lost += 1;
                     self.log_event(now, TransportEvent::MarkedLost { seq: self.cum_ack });
                 }
@@ -1235,9 +1377,36 @@ mod tests {
                 .iter()
                 .filter(|k| k.lost && !k.sacked && !k.outstanding)
                 .count() as u64;
+            let candidates = s
+                .skbs
+                .iter()
+                .filter(|k| !k.lost && !k.sacked && k.transmissions == 1)
+                .count() as u64;
             assert_eq!(s.outstanding_count, outstanding, "outstanding");
             assert_eq!(s.sacked_count, sacked, "sacked");
             assert_eq!(s.rtx_pending, pending, "rtx pending");
+            assert_eq!(s.loss_candidates, candidates, "loss candidates");
+            // No retransmit-pending SKB may hide below the scan hint.
+            let first_pending = s
+                .skbs
+                .iter()
+                .position(|k| k.lost && !k.sacked && !k.outstanding);
+            if let Some(idx) = first_pending {
+                assert!(
+                    s.rtx_search_from <= idx,
+                    "rtx hint {} skips pending at {idx}",
+                    s.rtx_search_from
+                );
+            }
+            // Every cached SACK range must hold only SACKed sequences.
+            for &(rs, re) in &s.sack_cache {
+                for seq in rs.max(s.cum_ack)..re.min(s.cum_ack + s.skbs.len() as u64) {
+                    assert!(
+                        s.skbs[(seq - s.cum_ack) as usize].sacked,
+                        "cache claims unSACKed seq {seq}"
+                    );
+                }
+            }
         };
         drain_packets(&mut s, SimTime::ZERO);
         check(&s);

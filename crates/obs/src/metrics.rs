@@ -277,10 +277,14 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate percentile (`p` in `[0, 100]`): the lower bound of the
-    /// bucket holding the rank-`ceil(p/100 * count)` value, clamped to the
-    /// observed min/max. Accurate to the bucket width (< 25 % relative
-    /// error above 16, exact below). Returns 0 when empty.
+    /// Approximate percentile (`p` in `[0, 100]`): the rank-`ceil(p/100 *
+    /// count)` value estimated by linear interpolation *within* the bucket
+    /// that holds it (midpoint-rank convention), clamped to the observed
+    /// min/max. Interpolation matters for reports: without it, two nearby
+    /// quantiles that land in the same log bucket read back the identical
+    /// bucket floor (the p95 == p99 degeneracy), whereas the interpolated
+    /// estimates stay ordered. Exact below 16 (width-1 buckets interpolate
+    /// to themselves); < 25 % relative error above. Returns 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -293,9 +297,24 @@ impl HistogramSnapshot {
         }
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
             seen += n;
             if seen >= target {
-                return bucket_floor(i).clamp(self.min, self.max);
+                let lo = bucket_floor(i);
+                let hi = if i + 1 < HISTOGRAM_BUCKETS {
+                    bucket_floor(i + 1)
+                } else {
+                    u64::MAX
+                };
+                // Rank position inside the bucket, at the midpoint of its
+                // slot (so one value in a bucket estimates the bucket's
+                // middle, and distinct ranks give distinct estimates).
+                let pos = (target - before) as f64 - 0.5;
+                let est = lo as f64 + (hi - lo) as f64 * (pos / n as f64);
+                return (est as u64).clamp(self.min, self.max);
             }
         }
         self.max
@@ -375,6 +394,36 @@ mod tests {
         }
         assert_eq!(h.snapshot().percentile(50.0), 3);
         assert_eq!(h.snapshot().percentile(99.0), 7);
+    }
+
+    #[test]
+    fn nearby_quantiles_in_one_bucket_stay_ordered() {
+        // 100 latency-like values spread across ~1.0–2.1 ms land in a
+        // handful of wide log buckets; the bucket-floor reader collapsed
+        // p95 and p99 to the same number. Interpolation keeps them apart.
+        let h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(1_048_576 + i * 10_486);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0);
+        let p95 = s.percentile(95.0);
+        let p99 = s.percentile(99.0);
+        assert!(p50 < p95, "p50 {p50} vs p95 {p95}");
+        assert!(p95 < p99, "p95 {p95} vs p99 {p99}");
+        // Estimates stay inside the observed range and near the truth
+        // (bucket relative error bound).
+        assert!((s.min..=s.max).contains(&p95));
+        assert!((s.min..=s.max).contains(&p99));
+        assert_eq!(s.percentile(100.0), s.max);
+        // A constant distribution still reads back exactly (clamping).
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(42_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(95.0), 42_000_000);
+        assert_eq!(s.percentile(99.0), 42_000_000);
     }
 
     #[test]

@@ -403,7 +403,11 @@ proptest! {
         prop_assert_eq!(reverse.snapshot(), direct.snapshot());
 
         // Lossless aggregates, and percentiles within bucket error of a
-        // sorted-Vec reference: exact below 16, ≤ 25 % relative error above.
+        // sorted-Vec reference: exact below 16; above, the within-bucket
+        // interpolated estimate stays inside the (≤ 25 % wide) bucket that
+        // holds the exact rank value, so the relative error is bounded on
+        // *both* sides (the estimate may sit above or below the exact
+        // value, unlike the old bucket-floor reader).
         let snap = forward.snapshot();
         prop_assert_eq!(snap.count, values.len() as u64);
         prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
@@ -415,13 +419,18 @@ proptest! {
             let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
             let exact = sorted[rank - 1];
             let approx = snap.percentile(p);
-            prop_assert!(approx <= exact, "p{}: approx {} > exact {}", p, approx, exact);
+            prop_assert!(
+                (snap.min..=snap.max).contains(&approx),
+                "p{}: approx {} outside observed range",
+                p, approx
+            );
             if exact < 16 {
                 prop_assert_eq!(approx, exact, "p{} must be exact below 16", p);
             } else {
+                let err = (exact as f64 - approx as f64).abs() / exact as f64;
                 prop_assert!(
-                    (exact - approx) as f64 / exact as f64 <= 0.25,
-                    "p{}: approx {} more than one bucket below exact {}",
+                    err <= 0.25,
+                    "p{}: approx {} more than one bucket away from exact {}",
                     p, approx, exact
                 );
             }
