@@ -579,8 +579,12 @@ fn main() {
         );
     }
 
+    // Atomic write (temp + fsync + rename): an interrupted bench run can
+    // never leave a truncated BENCH_sim.json behind for `--check` to choke
+    // on.
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, json).expect("write report");
+    ccfuzz_obs::write_atomic(std::path::Path::new(&out_path), json.as_bytes())
+        .expect("write report");
     eprintln!("wrote {out_path}");
 
     if let Some(path) = check_path {

@@ -7,9 +7,10 @@
 //! examples and the integration tests all go through this module so the
 //! experiment definitions live in exactly one place.
 
-use crate::evaluate::SimEvaluator;
-use crate::fuzzer::{FuzzResult, Fuzzer, GaParams};
-use crate::genome::{LinkGenome, TrafficGenome};
+use crate::checkpoint::{CampaignControl, ControlledRun, SnapshotPayload};
+use crate::evaluate::{Evaluator, SimEvaluator};
+use crate::fuzzer::{FuzzResult, Fuzzer, FuzzerSnapshot, GaParams, RunControl};
+use crate::genome::{Genome, LinkGenome, TrafficGenome};
 use crate::scenario::{QdiscChoice, ScenarioGenome};
 use crate::scoring::ScoringConfig;
 use crate::topology::TopologyGenome;
@@ -237,6 +238,18 @@ impl Campaign {
     /// observer is passive — population evolution and results are identical
     /// with or without it.
     pub fn run_traffic_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<TrafficGenome> {
+        self.run_traffic_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_traffic_with`] under a [`CampaignControl`] plane:
+    /// shutdown flag, periodic checkpoints, panic budget and resume.
+    pub fn run_traffic_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<TrafficGenome>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Traffic,
@@ -245,16 +258,19 @@ impl Campaign {
         let evaluator = self.evaluator();
         let duration = self.duration;
         let max_packets = self.traffic_max_packets;
-        let mut fuzzer = {
-            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-            Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
-                TrafficGenome::generate(max_packets, duration, rng)
-            })
+        let mut fuzzer = match ctl.resume.take() {
+            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_traffic()?)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
+                    TrafficGenome::generate(max_packets, duration, rng)
+                })
+            }
         };
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        fuzzer.run()
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Traffic))
     }
 
     /// Runs a link-fuzzing campaign (with annealing if `ga.anneal` is set).
@@ -265,16 +281,30 @@ impl Campaign {
 
     /// [`Campaign::run_link`] with an optional telemetry observer.
     pub fn run_link_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<LinkGenome> {
+        self.run_link_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_link_with`] under a [`CampaignControl`] plane.
+    pub fn run_link_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<LinkGenome>, String> {
         assert_eq!(self.mode, FuzzMode::Link, "campaign is not in link mode");
         let evaluator = self.evaluator();
         let duration = self.duration;
         let total_packets = packets_for_rate(self.link_rate_bps, self.sim.mss, duration);
         let k_agg = SimDuration::from_millis(PAPER_K_AGG_MS);
-        let mut fuzzer = {
-            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-                LinkGenome::generate(total_packets, duration, k_agg, rng)
-            })
+        let mut fuzzer = match ctl.resume.take() {
+            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_link()?)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                    LinkGenome::generate(total_packets, duration, k_agg, rng)
+                })
+            }
         };
         if self.ga.anneal {
             fuzzer = fuzzer.with_annealing(Box::new(|genome: &LinkGenome, rng: &mut SimRng| {
@@ -284,7 +314,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        fuzzer.run()
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Link))
     }
 
     /// Runs a fairness-fuzzing campaign over multi-flow scenario genomes.
@@ -295,6 +325,17 @@ impl Campaign {
 
     /// [`Campaign::run_fairness`] with an optional telemetry observer.
     pub fn run_fairness_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<ScenarioGenome> {
+        self.run_fairness_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_fairness_with`] under a [`CampaignControl`] plane.
+    pub fn run_fairness_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<ScenarioGenome>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Fairness,
@@ -305,16 +346,25 @@ impl Campaign {
         let flow_ccas = self.flow_ccas.clone();
         let max_flows = self.max_flows;
         let traffic_max_packets = self.traffic_max_packets;
-        let mut fuzzer = {
-            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-                ScenarioGenome::generate(&flow_ccas, max_flows, duration, traffic_max_packets, rng)
-            })
+        let mut fuzzer = match ctl.resume.take() {
+            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_scenario()?)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                    ScenarioGenome::generate(
+                        &flow_ccas,
+                        max_flows,
+                        duration,
+                        traffic_max_packets,
+                        rng,
+                    )
+                })
+            }
         };
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        fuzzer.run()
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
     }
 
     /// Runs an AQM-fuzzing campaign over single-flow scenario genomes with
@@ -325,22 +375,36 @@ impl Campaign {
 
     /// [`Campaign::run_aqm`] with an optional telemetry observer.
     pub fn run_aqm_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<ScenarioGenome> {
+        self.run_aqm_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_aqm_with`] under a [`CampaignControl`] plane.
+    pub fn run_aqm_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<ScenarioGenome>, String> {
         assert_eq!(self.mode, FuzzMode::Aqm, "campaign is not in aqm mode");
         let evaluator = self.evaluator();
         let duration = self.duration;
         let cca = self.cca;
         let traffic_max_packets = self.traffic_max_packets;
         let choice = self.qdisc_choice;
-        let mut fuzzer = {
-            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-                ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
-            })
+        let mut fuzzer = match ctl.resume.take() {
+            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_scenario()?)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                    ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
+                })
+            }
         };
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        fuzzer.run()
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
     }
 
     /// Runs a topology-fuzzing campaign over multi-hop parking-lot genomes.
@@ -351,6 +415,17 @@ impl Campaign {
 
     /// [`Campaign::run_topology`] with an optional telemetry observer.
     pub fn run_topology_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<TopologyGenome> {
+        self.run_topology_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_topology_with`] under a [`CampaignControl`] plane.
+    pub fn run_topology_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<TopologyGenome>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Topology,
@@ -362,16 +437,72 @@ impl Campaign {
         let hops = self.topology_hops;
         let traffic_max_packets = self.traffic_max_packets;
         let cca_pool = self.flow_ccas.clone();
-        let mut fuzzer = {
-            let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-            Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
-                TopologyGenome::generate(cca, hops, duration, traffic_max_packets, &cca_pool, rng)
-            })
+        let mut fuzzer = match ctl.resume.take() {
+            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_topology()?)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                    TopologyGenome::generate(
+                        cca,
+                        hops,
+                        duration,
+                        traffic_max_packets,
+                        &cca_pool,
+                        rng,
+                    )
+                })
+            }
         };
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        fuzzer.run()
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Topology))
+    }
+
+    /// Restores a fuzzer from a checkpoint snapshot, refusing checkpoints
+    /// whose GA parameters do not match this campaign's.
+    fn restore_fuzzer<'e, G: Genome, E: Evaluator<G>>(
+        &self,
+        evaluator: &'e E,
+        snapshot: FuzzerSnapshot<G>,
+    ) -> Result<Fuzzer<'e, G, E>, String> {
+        if snapshot.params != self.ga {
+            return Err(
+                "checkpoint GA parameters do not match the campaign's configuration".into(),
+            );
+        }
+        Fuzzer::restore(evaluator, snapshot)
+    }
+}
+
+/// Runs a prepared fuzzer under the campaign control plane, wrapping each
+/// checkpoint snapshot into the mode-erased payload.
+fn drive<G: Genome, E: Evaluator<G>>(
+    mut fuzzer: Fuzzer<'_, G, E>,
+    ctl: &mut CampaignControl<'_>,
+    wrap: fn(FuzzerSnapshot<G>) -> SnapshotPayload,
+) -> ControlledRun<G> {
+    let (result, stop) = match ctl.on_checkpoint.as_deref_mut() {
+        Some(sink) => {
+            let mut forward = |snapshot: FuzzerSnapshot<G>| sink(wrap(snapshot));
+            fuzzer.run_controlled(&mut RunControl {
+                shutdown: ctl.shutdown,
+                checkpoint_every: ctl.checkpoint_every,
+                on_checkpoint: Some(&mut forward),
+                panic_budget: ctl.panic_budget,
+            })
+        }
+        None => fuzzer.run_controlled(&mut RunControl {
+            shutdown: ctl.shutdown,
+            checkpoint_every: ctl.checkpoint_every,
+            on_checkpoint: None,
+            panic_budget: ctl.panic_budget,
+        }),
+    };
+    ControlledRun {
+        result,
+        stop,
+        final_snapshot: fuzzer.snapshot(),
     }
 }
 

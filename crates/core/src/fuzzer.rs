@@ -18,7 +18,11 @@ use crate::selection::{pick_pair, pick_ranked};
 use ccfuzz_netsim::rng::SimRng;
 use ccfuzz_obs::{HuntTelemetry, LocalHistogram, Phase};
 use parking_lot::Mutex;
+use serde::value::{map_get, DeError, Value};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Genetic-algorithm parameters.
@@ -126,12 +130,33 @@ fn num_threads_default() -> usize {
 }
 
 /// One individual: a genome plus (once evaluated) its outcome.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Individual<G> {
     /// The trace genome.
     pub genome: G,
     /// Its evaluation, if it has been scored.
     pub outcome: Option<EvalOutcome>,
+}
+
+// Serde is written by hand because the derive macro does not emit the
+// generic bounds an `Individual<G>` needs.
+impl<G: Serialize> Serialize for Individual<G> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("genome".to_string(), self.genome.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+        ])
+    }
+}
+
+impl<G: Deserialize> Deserialize for Individual<G> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map("Individual")?;
+        Ok(Individual {
+            genome: Deserialize::from_value(map_get(m, "genome")?)?,
+            outcome: Deserialize::from_value(map_get(m, "outcome")?)?,
+        })
+    }
 }
 
 /// Per-generation summary used for convergence plots (Figure 4d).
@@ -166,6 +191,245 @@ pub struct FuzzResult<G> {
     pub total_evaluations: usize,
 }
 
+/// One evaluation panic caught and isolated by a worker thread. The
+/// panicking genome is preserved so the crash can be replayed and debugged;
+/// the individual itself scores [`EvalOutcome::default`] and the campaign
+/// continues.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PanicRecord<G> {
+    /// Generation during whose evaluation the panic fired.
+    pub generation: u32,
+    /// Island holding the panicking individual.
+    pub island: usize,
+    /// Index of the individual within its island.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+    /// The genome whose evaluation panicked.
+    pub genome: G,
+}
+
+impl<G: Serialize> Serialize for PanicRecord<G> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("generation".to_string(), self.generation.to_value()),
+            ("island".to_string(), self.island.to_value()),
+            ("index".to_string(), self.index.to_value()),
+            ("message".to_string(), self.message.to_value()),
+            ("genome".to_string(), self.genome.to_value()),
+        ])
+    }
+}
+
+impl<G: Deserialize> Deserialize for PanicRecord<G> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map("PanicRecord")?;
+        Ok(PanicRecord {
+            generation: Deserialize::from_value(map_get(m, "generation")?)?,
+            island: Deserialize::from_value(map_get(m, "island")?)?,
+            index: Deserialize::from_value(map_get(m, "index")?)?,
+            message: Deserialize::from_value(map_get(m, "message")?)?,
+            genome: Deserialize::from_value(map_get(m, "genome")?)?,
+        })
+    }
+}
+
+/// Why a controlled run returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Ran to its configured end (generation count or stall limit).
+    Completed,
+    /// The shutdown flag was raised; the in-flight generation was finished
+    /// and the fuzzer stopped at a resumable boundary.
+    Interrupted,
+    /// More evaluation panics were caught than the budget tolerates.
+    PanicBudgetExhausted,
+}
+
+/// External control plane for [`Fuzzer::run_controlled`]: cooperative
+/// shutdown, periodic checkpointing and the panic budget. The default is
+/// exactly [`Fuzzer::run`]: no flag, no checkpoints, unlimited budget.
+pub struct RunControl<'c, G> {
+    /// Checked at each generation boundary; when set, the run stops with
+    /// [`StopReason::Interrupted`] after finishing the in-flight generation.
+    pub shutdown: Option<&'c AtomicBool>,
+    /// Call `on_checkpoint` every this many completed generations
+    /// (0 disables periodic checkpoints).
+    pub checkpoint_every: u32,
+    /// Receives a [`FuzzerSnapshot`] at each periodic checkpoint boundary.
+    pub on_checkpoint: Option<&'c mut dyn FnMut(FuzzerSnapshot<G>)>,
+    /// Caught evaluation panics tolerated before the run stops with
+    /// [`StopReason::PanicBudgetExhausted`] (`None` = unlimited).
+    pub panic_budget: Option<u64>,
+}
+
+impl<G> Default for RunControl<'_, G> {
+    fn default() -> Self {
+        RunControl {
+            shutdown: None,
+            checkpoint_every: 0,
+            on_checkpoint: None,
+            panic_budget: None,
+        }
+    }
+}
+
+/// Schema version of [`FuzzerSnapshot`], bumped on breaking field changes.
+pub const FUZZER_SNAPSHOT_SCHEMA: u32 = 1;
+
+/// The complete resumable state of a [`Fuzzer`] at a generation boundary
+/// (after evolution and migration, before the next evaluation). Restoring a
+/// snapshot and running to completion replays the exact trajectory the
+/// uninterrupted fuzzer would have taken: evaluation is pure, the master RNG
+/// is advanced only at construction time, and every island's population and
+/// cached outcome is carried verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzerSnapshot<G> {
+    /// Snapshot schema version ([`FUZZER_SNAPSHOT_SCHEMA`]).
+    pub schema: u32,
+    /// The campaign's GA parameters.
+    pub params: GaParams,
+    /// Master RNG (static after construction; forked per island/generation).
+    pub rng: SimRng,
+    /// The dedicated annealing RNG stream.
+    pub anneal_rng: SimRng,
+    /// Every island's population, elites keeping their cached outcomes.
+    pub islands: Vec<Vec<Individual<G>>>,
+    /// Simulations run so far.
+    pub evaluations: usize,
+    /// The generation the restored fuzzer will evaluate next.
+    pub next_generation: u32,
+    /// Consecutive generations without global-best improvement.
+    pub stall: u32,
+    /// Best genome so far (None only before the first evaluation).
+    pub best_genome: Option<G>,
+    /// Outcome of the best genome.
+    pub best_outcome: Option<EvalOutcome>,
+    /// Per-generation history accumulated so far.
+    pub history: Vec<GenerationSummary>,
+    /// Evaluation panics caught so far (genomes preserved for replay).
+    pub panics: Vec<PanicRecord<G>>,
+}
+
+impl<G: Serialize> Serialize for FuzzerSnapshot<G> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("params".to_string(), self.params.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+            ("anneal_rng".to_string(), self.anneal_rng.to_value()),
+            ("islands".to_string(), self.islands.to_value()),
+            ("evaluations".to_string(), self.evaluations.to_value()),
+            (
+                "next_generation".to_string(),
+                self.next_generation.to_value(),
+            ),
+            ("stall".to_string(), self.stall.to_value()),
+            ("best_genome".to_string(), self.best_genome.to_value()),
+            ("best_outcome".to_string(), self.best_outcome.to_value()),
+            ("history".to_string(), self.history.to_value()),
+            ("panics".to_string(), self.panics.to_value()),
+        ])
+    }
+}
+
+impl<G: Deserialize> Deserialize for FuzzerSnapshot<G> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v.as_map("FuzzerSnapshot")?;
+        Ok(FuzzerSnapshot {
+            schema: Deserialize::from_value(map_get(m, "schema")?)?,
+            params: Deserialize::from_value(map_get(m, "params")?)?,
+            rng: Deserialize::from_value(map_get(m, "rng")?)?,
+            anneal_rng: Deserialize::from_value(map_get(m, "anneal_rng")?)?,
+            islands: Deserialize::from_value(map_get(m, "islands")?)?,
+            evaluations: Deserialize::from_value(map_get(m, "evaluations")?)?,
+            next_generation: Deserialize::from_value(map_get(m, "next_generation")?)?,
+            stall: Deserialize::from_value(map_get(m, "stall")?)?,
+            best_genome: Deserialize::from_value(map_get(m, "best_genome")?)?,
+            best_outcome: Deserialize::from_value(map_get(m, "best_outcome")?)?,
+            history: Deserialize::from_value(map_get(m, "history")?)?,
+            panics: Deserialize::from_value(map_get(m, "panics")?)?,
+        })
+    }
+}
+
+impl<G: Genome> FuzzerSnapshot<G> {
+    /// Structural validation: shape must match the embedded params and every
+    /// genome must pass its own invariants. Run before trusting a snapshot
+    /// loaded from disk.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != FUZZER_SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported fuzzer snapshot schema {} (expected {FUZZER_SNAPSHOT_SCHEMA})",
+                self.schema
+            ));
+        }
+        self.params.validate()?;
+        if self.islands.len() != self.params.islands {
+            return Err(format!(
+                "snapshot has {} islands but params say {}",
+                self.islands.len(),
+                self.params.islands
+            ));
+        }
+        for (idx, pop) in self.islands.iter().enumerate() {
+            if pop.len() != self.params.population_per_island {
+                return Err(format!(
+                    "island {idx} has {} individuals but params say {}",
+                    pop.len(),
+                    self.params.population_per_island
+                ));
+            }
+            for ind in pop {
+                ind.genome
+                    .validate()
+                    .map_err(|e| format!("island {idx} holds an invalid genome: {e}"))?;
+            }
+        }
+        if self.next_generation > self.params.generations {
+            return Err(format!(
+                "snapshot generation {} exceeds configured {} generations",
+                self.next_generation, self.params.generations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Test/ops hook: setting `CCFUZZ_INJECT_EVAL_PANIC=N` (N >= 1) makes every
+/// Nth fitness evaluation in this process panic before simulating, so the
+/// panic-isolation path can be exercised end-to-end from the CLI. The
+/// ordinal counter is process-global; with more than one worker thread the
+/// mapping from ordinal to individual depends on scheduling, so injected
+/// runs are only reproducible at `threads = 1`.
+fn maybe_inject_panic() {
+    static TARGET: OnceLock<Option<u64>> = OnceLock::new();
+    let Some(n) = *TARGET.get_or_init(|| {
+        std::env::var("CCFUZZ_INJECT_EVAL_PANIC")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+    }) else {
+        return;
+    };
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+    let ordinal = COUNT.fetch_add(1, Ordering::Relaxed) + 1;
+    if ordinal.is_multiple_of(n) {
+        panic!("injected evaluation panic (CCFUZZ_INJECT_EVAL_PANIC={n}, evaluation {ordinal})");
+    }
+}
+
+/// Renders a caught panic payload as a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Hook applied to genomes between generations (e.g. link-trace annealing).
 pub type AnnealFn<G> = dyn Fn(&G, &mut SimRng) -> G + Sync + Send;
 
@@ -175,8 +439,14 @@ pub struct Fuzzer<'a, G: Genome, E: Evaluator<G>> {
     evaluator: &'a E,
     islands: Vec<Vec<Individual<G>>>,
     rng: SimRng,
+    anneal_rng: SimRng,
     anneal_fn: Option<Box<AnnealFn<G>>>,
     evaluations: usize,
+    next_generation: u32,
+    stall: u32,
+    best: Option<(G, EvalOutcome)>,
+    history: Vec<GenerationSummary>,
+    panic_log: Vec<PanicRecord<G>>,
     obs: Option<&'a HuntTelemetry>,
 }
 
@@ -200,17 +470,76 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                     .collect()
             })
             .collect();
+        // The annealing hook gets its own RNG stream, seeded from the master
+        // stream. This draw also fixes the master RNG's post-construction
+        // state, which every later per-island fork derives from — it must
+        // stay even for genomes that never anneal, or every existing
+        // campaign trajectory (and the golden fixtures) would shift.
         let anneal_seed = rng.next_u64();
-        let _ = anneal_seed;
         Fuzzer {
             params,
             evaluator,
             islands,
             rng,
+            anneal_rng: SimRng::new(anneal_seed),
             anneal_fn: None,
             evaluations: 0,
+            next_generation: 0,
+            stall: 0,
+            best: None,
+            history: Vec::with_capacity(params.generations as usize),
+            panic_log: Vec::new(),
             obs: None,
         }
+    }
+
+    /// Rebuilds a fuzzer from a [`FuzzerSnapshot`], resuming mid-campaign.
+    /// The annealing hook and observer are not part of the snapshot; re-attach
+    /// them with [`Fuzzer::with_annealing`] / [`Fuzzer::with_observer`].
+    pub fn restore(evaluator: &'a E, snapshot: FuzzerSnapshot<G>) -> Result<Self, String> {
+        snapshot.validate()?;
+        Ok(Fuzzer {
+            params: snapshot.params,
+            evaluator,
+            islands: snapshot.islands,
+            rng: snapshot.rng,
+            anneal_rng: snapshot.anneal_rng,
+            anneal_fn: None,
+            evaluations: snapshot.evaluations,
+            next_generation: snapshot.next_generation,
+            stall: snapshot.stall,
+            best: match (snapshot.best_genome, snapshot.best_outcome) {
+                (Some(g), Some(o)) => Some((g, o)),
+                (None, None) => None,
+                _ => return Err("snapshot has half of a best-so-far pair".into()),
+            },
+            history: snapshot.history,
+            panic_log: snapshot.panics,
+            obs: None,
+        })
+    }
+
+    /// The complete resumable state at the current generation boundary.
+    pub fn snapshot(&self) -> FuzzerSnapshot<G> {
+        FuzzerSnapshot {
+            schema: FUZZER_SNAPSHOT_SCHEMA,
+            params: self.params,
+            rng: self.rng.clone(),
+            anneal_rng: self.anneal_rng.clone(),
+            islands: self.islands.clone(),
+            evaluations: self.evaluations,
+            next_generation: self.next_generation,
+            stall: self.stall,
+            best_genome: self.best.as_ref().map(|(g, _)| g.clone()),
+            best_outcome: self.best.as_ref().map(|(_, o)| *o),
+            history: self.history.clone(),
+            panics: self.panic_log.clone(),
+        }
+    }
+
+    /// Evaluation panics caught so far (accumulated across restore).
+    pub fn panics(&self) -> &[PanicRecord<G>] {
+        &self.panic_log
     }
 
     /// Installs an annealing hook (used for link-trace Gaussian smoothing).
@@ -253,6 +582,8 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
 
         let results: Mutex<Vec<(usize, usize, EvalOutcome)>> =
             Mutex::new(Vec::with_capacity(pending.len()));
+        // Panics caught inside workers: (island, index, message).
+        let caught: Mutex<Vec<(usize, usize, String)>> = Mutex::new(Vec::new());
         let threads = self.params.threads.max(1).min(pending.len());
         let chunk_size = pending.len().div_ceil(threads);
         let islands = &self.islands;
@@ -266,6 +597,7 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         crossbeam::scope(|scope| {
             for chunk in pending.chunks(chunk_size) {
                 let results = &results;
+                let caught = &caught;
                 let shards = &shards;
                 scope.spawn(move |_| {
                     // One scratch per worker: consecutive evaluations reuse
@@ -276,15 +608,28 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
                     let mut local = Vec::with_capacity(chunk.len());
                     let mut shard = LocalHistogram::new();
                     for &(i, j) in chunk {
-                        let outcome = if observe {
-                            let started = Instant::now();
-                            let outcome =
-                                evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch);
-                            shard.record(started.elapsed().as_nanos() as u64);
-                            outcome
-                        } else {
+                        let started = observe.then(Instant::now);
+                        // A panicking simulation is isolated here: the
+                        // individual scores the default outcome, the genome
+                        // and message are preserved in the panic log, and
+                        // the campaign continues.
+                        let evaluated = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            maybe_inject_panic();
                             evaluator.evaluate_reusing(&islands[i][j].genome, &mut scratch)
+                        }));
+                        let outcome = match evaluated {
+                            Ok(outcome) => outcome,
+                            Err(payload) => {
+                                // The scratch arena may hold half-updated
+                                // simulator state; replace it wholesale.
+                                scratch = EvalScratch::new();
+                                caught.lock().push((i, j, panic_message(payload)));
+                                EvalOutcome::default()
+                            }
                         };
+                        if let Some(started) = started {
+                            shard.record(started.elapsed().as_nanos() as u64);
+                        }
                         local.push((i, j, outcome));
                     }
                     if shard.count() > 0 {
@@ -299,6 +644,26 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             obs.metrics.evaluations.add(pending.len() as u64);
             for shard in shards.into_inner().iter() {
                 obs.metrics.eval_latency_ns.merge_local(shard);
+            }
+        }
+        let mut caught = caught.into_inner();
+        if !caught.is_empty() {
+            // Capture order depends on thread scheduling; log in canonical
+            // (island, index) order so persisted panic artifacts are stable.
+            caught.sort_unstable_by_key(|&(i, j, _)| (i, j));
+            if let Some(obs) = self.obs {
+                obs.metrics.panics_caught.add(caught.len() as u64);
+            }
+            let generation = self.next_generation;
+            for (i, j, message) in caught {
+                let genome = self.islands[i][j].genome.clone();
+                self.panic_log.push(PanicRecord {
+                    generation,
+                    island: i,
+                    index: j,
+                    message,
+                    genome,
+                });
             }
         }
 
@@ -409,7 +774,11 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             let base = if params.anneal {
                 if let Some(anneal) = &self.anneal_fn {
                     annealed += 1;
-                    anneal(&pop[src].genome, &mut rng)
+                    // Annealing draws from its own RNG stream (seeded from
+                    // the master seed at construction, serialized in
+                    // snapshots) so it perturbs genomes without shifting the
+                    // mutation stream shared by non-annealing campaigns.
+                    anneal(&pop[src].genome, &mut self.anneal_rng)
                 } else {
                     pop[src].genome.clone()
                 }
@@ -481,11 +850,22 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
 
     /// Runs the campaign and returns the best trace plus per-generation history.
     pub fn run(&mut self) -> FuzzResult<G> {
-        let mut history = Vec::with_capacity(self.params.generations as usize);
-        let mut best: Option<(G, EvalOutcome)> = None;
-        let mut stall = 0u32;
+        self.run_controlled(&mut RunControl::default()).0
+    }
 
-        for generation in 0..self.params.generations {
+    /// Runs the campaign under an external control plane: a cooperative
+    /// shutdown flag, periodic snapshot checkpoints and a panic budget.
+    /// Shutdown and budget are checked only at generation boundaries (after
+    /// evolution + migration), which is exactly the state a
+    /// [`FuzzerSnapshot`] captures — so every early stop is resumable and a
+    /// resumed run replays the uninterrupted trajectory bit-for-bit.
+    pub fn run_controlled(&mut self, ctl: &mut RunControl<'_, G>) -> (FuzzResult<G>, StopReason) {
+        let mut stop = StopReason::Completed;
+        loop {
+            let generation = self.next_generation;
+            if generation >= self.params.generations {
+                break;
+            }
             {
                 let _timer = self.obs.map(|o| o.profiler.scope(Phase::Evaluate));
                 self.evaluate_pending();
@@ -496,22 +876,23 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             let mut improved = false;
             for ind in self.islands.iter().flatten() {
                 if let Some(outcome) = ind.outcome {
-                    if best
+                    if self
+                        .best
                         .as_ref()
                         .map(|(_, b)| outcome.score > b.score)
                         .unwrap_or(true)
                     {
-                        best = Some((ind.genome.clone(), outcome));
+                        self.best = Some((ind.genome.clone(), outcome));
                         improved = true;
                     }
                 }
             }
             let summary = self.summarize(generation);
-            history.push(summary);
+            self.history.push(summary);
             if let Some(obs) = self.obs {
                 obs.observe_generation(
                     generation,
-                    best.as_ref().map(|(_, b)| b.score).unwrap_or(0.0),
+                    self.best.as_ref().map(|(_, b)| b.score).unwrap_or(0.0),
                     summary.mean_score,
                     self.island_best_scores(),
                 );
@@ -519,11 +900,12 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             drop(_timer);
 
             if improved {
-                stall = 0;
+                self.stall = 0;
             } else {
-                stall += 1;
+                self.stall += 1;
                 if let Some(limit) = self.params.stall_generations {
-                    if stall >= limit {
+                    if self.stall >= limit {
+                        self.next_generation = generation + 1;
                         break;
                     }
                 }
@@ -531,26 +913,55 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
 
             // Last generation: don't bother producing offspring.
             if generation + 1 == self.params.generations {
+                self.next_generation = generation + 1;
                 break;
             }
-            let _timer = self.obs.map(|o| o.profiler.scope(Phase::Mutate));
-            for island in 0..self.islands.len() {
-                self.evolve_island(island);
-            }
-            if self.params.migration_interval > 0
-                && (generation + 1) % self.params.migration_interval == 0
             {
-                self.migrate();
+                let _timer = self.obs.map(|o| o.profiler.scope(Phase::Mutate));
+                for island in 0..self.islands.len() {
+                    self.evolve_island(island);
+                }
+                if self.params.migration_interval > 0
+                    && (generation + 1).is_multiple_of(self.params.migration_interval)
+                {
+                    self.migrate();
+                }
+            }
+            // Generation boundary: the resumable state a snapshot captures.
+            self.next_generation = generation + 1;
+            if ctl.checkpoint_every > 0 && self.next_generation.is_multiple_of(ctl.checkpoint_every)
+            {
+                if let Some(on_checkpoint) = ctl.on_checkpoint.as_deref_mut() {
+                    on_checkpoint(self.snapshot());
+                }
+            }
+            if let Some(flag) = ctl.shutdown {
+                if flag.load(Ordering::SeqCst) {
+                    stop = StopReason::Interrupted;
+                    break;
+                }
+            }
+            if let Some(budget) = ctl.panic_budget {
+                if self.panic_log.len() as u64 > budget {
+                    stop = StopReason::PanicBudgetExhausted;
+                    break;
+                }
             }
         }
 
-        let (best_genome, best_outcome) = best.expect("at least one individual was evaluated");
-        FuzzResult {
-            best_genome,
-            best_outcome,
-            history,
-            total_evaluations: self.evaluations,
-        }
+        let (best_genome, best_outcome) = self
+            .best
+            .clone()
+            .expect("at least one individual was evaluated");
+        (
+            FuzzResult {
+                best_genome,
+                best_outcome,
+                history: self.history.clone(),
+                total_evaluations: self.evaluations,
+            },
+            stop,
+        )
     }
 }
 
@@ -805,6 +1216,163 @@ mod tests {
             "constant fitness should trigger early stopping, ran {} generations",
             result.history.len()
         );
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically_from_every_boundary() {
+        let evaluator = ToyEvaluator;
+        let init =
+            |rng: &mut SimRng| ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect());
+        let control = Fuzzer::new(quick_params(), &evaluator, init).run();
+
+        // Capture a snapshot at every generation boundary of a second,
+        // identical run.
+        let mut snapshots: Vec<FuzzerSnapshot<ToyGenome>> = Vec::new();
+        let mut capture = |snap: FuzzerSnapshot<ToyGenome>| snapshots.push(snap);
+        let (result, stop) =
+            Fuzzer::new(quick_params(), &evaluator, init).run_controlled(&mut RunControl {
+                checkpoint_every: 1,
+                on_checkpoint: Some(&mut capture),
+                ..RunControl::default()
+            });
+        assert_eq!(stop, StopReason::Completed);
+        assert_eq!(result.history, control.history);
+        assert_eq!(snapshots.len(), quick_params().generations as usize - 1);
+
+        for snap in snapshots {
+            let boundary = snap.next_generation;
+            let mut resumed = Fuzzer::restore(&evaluator, snap).unwrap();
+            let r = resumed.run();
+            assert_eq!(
+                r.best_genome, control.best_genome,
+                "resume from generation {boundary} diverged"
+            );
+            assert_eq!(r.best_outcome, control.best_outcome);
+            assert_eq!(r.history, control.history);
+            assert_eq!(r.total_evaluations, control.total_evaluations);
+        }
+    }
+
+    #[test]
+    fn shutdown_flag_stops_at_a_resumable_boundary() {
+        let evaluator = ToyEvaluator;
+        let init =
+            |rng: &mut SimRng| ToyGenome((0..5).map(|_| rng.gen_range_f64(0.0, 1.0)).collect());
+        let control = Fuzzer::new(quick_params(), &evaluator, init).run();
+
+        // Flag raised before the run starts: the fuzzer still finishes the
+        // in-flight generation, then stops.
+        let shutdown = AtomicBool::new(true);
+        let mut fuzzer = Fuzzer::new(quick_params(), &evaluator, init);
+        let (partial, stop) = fuzzer.run_controlled(&mut RunControl {
+            shutdown: Some(&shutdown),
+            ..RunControl::default()
+        });
+        assert_eq!(stop, StopReason::Interrupted);
+        assert_eq!(partial.history.len(), 1, "one full generation ran");
+
+        // Resuming from the interruption replays the control trajectory.
+        let mut resumed = Fuzzer::restore(&evaluator, fuzzer.snapshot()).unwrap();
+        let r = resumed.run();
+        assert_eq!(r.best_genome, control.best_genome);
+        assert_eq!(r.history, control.history);
+        assert_eq!(r.total_evaluations, control.total_evaluations);
+    }
+
+    /// Panics on genomes whose first gene is negative (mutation drifts some
+    /// there); scores the rest by sum.
+    struct FaultyEvaluator;
+    impl Evaluator<ToyGenome> for FaultyEvaluator {
+        fn evaluate(&self, genome: &ToyGenome) -> EvalOutcome {
+            assert!(
+                genome.0.first().copied().unwrap_or(0.0) >= 0.0,
+                "simulated evaluator crash on negative gene"
+            );
+            EvalOutcome {
+                score: genome.0.iter().sum(),
+                ..Default::default()
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_panics_are_isolated_and_logged() {
+        struct AlwaysPanics;
+        impl Evaluator<ToyGenome> for AlwaysPanics {
+            fn evaluate(&self, _genome: &ToyGenome) -> EvalOutcome {
+                panic!("boom");
+            }
+        }
+        let evaluator = AlwaysPanics;
+        let mut params = quick_params();
+        params.generations = 3;
+        let mut fuzzer = Fuzzer::new(params, &evaluator, |_rng| ToyGenome(vec![1.0; 3]));
+        let telemetry = HuntTelemetry::new();
+        fuzzer = fuzzer.with_observer(&telemetry);
+        let (result, stop) = fuzzer.run_controlled(&mut RunControl::default());
+        // Every evaluation panicked, every panic was isolated, the campaign
+        // still completed with default-scored individuals.
+        assert_eq!(stop, StopReason::Completed);
+        assert_eq!(result.history.len(), 3);
+        assert_eq!(result.best_outcome, EvalOutcome::default());
+        assert_eq!(fuzzer.panics().len(), result.total_evaluations);
+        assert_eq!(
+            telemetry.metrics.panics_caught.get(),
+            result.total_evaluations as u64
+        );
+        let record = &fuzzer.panics()[0];
+        assert_eq!(record.message, "boom");
+        assert_eq!(record.generation, 0);
+        assert_eq!(record.genome, ToyGenome(vec![1.0; 3]));
+        // The panic log survives a snapshot roundtrip.
+        let snap = fuzzer.snapshot();
+        assert_eq!(snap.panics.len(), fuzzer.panics().len());
+    }
+
+    #[test]
+    fn panic_budget_aborts_after_the_inflight_generation() {
+        struct AlwaysPanics;
+        impl Evaluator<ToyGenome> for AlwaysPanics {
+            fn evaluate(&self, _genome: &ToyGenome) -> EvalOutcome {
+                panic!("boom");
+            }
+        }
+        let evaluator = AlwaysPanics;
+        let mut fuzzer = Fuzzer::new(quick_params(), &evaluator, |_rng| ToyGenome(vec![1.0; 3]));
+        let (result, stop) = fuzzer.run_controlled(&mut RunControl {
+            panic_budget: Some(2),
+            ..RunControl::default()
+        });
+        assert_eq!(stop, StopReason::PanicBudgetExhausted);
+        assert_eq!(result.history.len(), 1, "stopped at the first boundary");
+        assert!(fuzzer.panics().len() as u64 > 2);
+    }
+
+    #[test]
+    fn isolated_panics_preserve_the_surviving_trajectory() {
+        // A run where *some* evaluations panic must still be deterministic
+        // and resumable: panicked individuals score the default outcome and
+        // selection proceeds.
+        let evaluator = FaultyEvaluator;
+        let mut params = quick_params();
+        params.generations = 8;
+        let init =
+            |rng: &mut SimRng| ToyGenome((0..3).map(|_| rng.gen_range_f64(-0.4, 0.6)).collect());
+        let run_once = || {
+            let mut fuzzer = Fuzzer::new(params, &evaluator, init);
+            let (result, stop) = fuzzer.run_controlled(&mut RunControl::default());
+            assert_eq!(stop, StopReason::Completed);
+            (result, fuzzer.panics().to_vec())
+        };
+        let (a, panics_a) = run_once();
+        let (b, panics_b) = run_once();
+        assert_eq!(a.history, b.history);
+        assert_eq!(panics_a, panics_b);
+        assert!(
+            !panics_a.is_empty(),
+            "the faulty evaluator should have panicked at least once"
+        );
+        assert!(a.best_outcome.score > 0.0, "survivors still score");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod evaluate;
 pub mod fuzzer;
 pub mod genome;
@@ -59,8 +60,12 @@ pub mod topology;
 pub mod trace_gen;
 
 pub use campaign::{Campaign, FuzzMode};
+pub use checkpoint::{CampaignControl, ControlledRun, SnapshotPayload};
 pub use evaluate::{EvalOutcome, Evaluator, SimEvaluator};
-pub use fuzzer::{FuzzResult, Fuzzer, GaParams, GenerationSummary};
+pub use fuzzer::{
+    FuzzResult, Fuzzer, FuzzerSnapshot, GaParams, GenerationSummary, PanicRecord, RunControl,
+    StopReason,
+};
 pub use genome::{Genome, LinkGenome, TrafficGenome};
 pub use scenario::{FlowGene, ScenarioGenome};
 pub use scoring::{FairnessBreakdown, Objective, ScoringConfig};

@@ -19,14 +19,47 @@
 use ccfuzz_analysis::traceview;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::FuzzMode;
-use ccfuzz_corpus::hunt::{hunt_with, HuntConfig};
+use ccfuzz_corpus::checkpoint::CampaignCheckpoint;
+use ccfuzz_corpus::hunt::{hunt_controlled, HuntConfig, HuntControl, HuntOutcome};
 use ccfuzz_corpus::minimize::{minimize_finding, MinimizeConfig};
 use ccfuzz_corpus::replay::replay_findings;
 use ccfuzz_corpus::report::corpus_report;
 use ccfuzz_corpus::store::{Corpus, CorpusConfig, InsertOutcome};
 use ccfuzz_netsim::time::SimDuration;
 use ccfuzz_obs::HuntTelemetry;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit code for a graceful shutdown (SIGINT/SIGTERM finished the in-flight
+/// generation and wrote the final checkpoint). Distinct from runtime
+/// failures (1) and usage errors (2) so wrappers can tell "interrupted but
+/// resumable" from "broken".
+const EXIT_INTERRUPTED: u8 = 3;
+
+/// Raised by the SIGINT/SIGTERM handlers; the campaign polls it at
+/// generation boundaries.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the graceful-shutdown handlers. Lives in the binary (the
+/// library crates forbid unsafe code); uses libc's `signal` directly so no
+/// new dependency is needed.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
 
 /// CLI failures, split by exit code: usage errors (bad flags/values, with
 /// the valid set named) exit 2; runtime errors (corpus IO, invalid stored
@@ -49,6 +82,7 @@ USAGE:
 
 SUBCOMMANDS:
     hunt        Run a fuzzing campaign and persist its best finding
+    resume      Resume a checkpointed hunt to its byte-identical conclusion
     minimize    Shrink stored finding(s) while retaining their score
     replay      Re-simulate the corpus and report score drift
     report      Print a per-bucket summary of the corpus
@@ -60,6 +94,10 @@ COMMON OPTIONS:
 
 Progress and configuration chatter go to stderr; stdout carries only the
 subcommand's payload (hunt prints the finding as JSON).
+
+Hunts stop gracefully on SIGINT/SIGTERM: the in-flight generation finishes,
+the final checkpoint is written (with --checkpoint) and the process exits
+with code 3. Campaign writers hold an exclusive corpus lock.
 
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
@@ -79,6 +117,19 @@ hunt OPTIONS:
     --population N      Override per-island population
     --telemetry PATH    Stream one JSONL progress snapshot per generation
                         to PATH
+    --checkpoint PATH   Persist a resumable campaign checkpoint to PATH
+    --checkpoint-every N
+                        Checkpoint cadence in generations (default: 1;
+                        0 = only the final checkpoint; needs --checkpoint)
+    --panic-budget N    Caught evaluation panics tolerated before the
+                        campaign aborts (default: 100; each panic is
+                        persisted under <corpus>/panics/ either way)
+
+resume OPTIONS:
+    <PATH>              Checkpoint file written by hunt --checkpoint
+    --corpus DIR        Override the corpus directory recorded in the
+                        checkpoint
+    --telemetry PATH    Stream one JSONL progress snapshot per generation
 
 minimize OPTIONS:
     --id ID             Minimize one finding (default: all findings)
@@ -155,16 +206,33 @@ fn mode_names() -> String {
         .join("|")
 }
 
-fn open_corpus(args: &[String]) -> Result<Corpus, CliError> {
-    let dir = flag_value(args, "--corpus")?.unwrap_or_else(|| "corpus".to_string());
+fn open_corpus_at(args: &[String], dir: String) -> Result<Corpus, CliError> {
     let top_k = parse_num(args, "--top-k", CorpusConfig::default().top_k_per_bucket)?;
-    Corpus::open_with(
+    let corpus = Corpus::open_with(
         dir,
         CorpusConfig {
             top_k_per_bucket: top_k,
         },
     )
-    .map_err(|e| CliError::Runtime(e.to_string()))
+    .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let recovery = corpus.recovery();
+    if !recovery.is_clean() {
+        eprintln!(
+            "corpus recovery: swept {} staging file(s), quarantined {} corrupt finding(s) into {}",
+            recovery.swept_tmp,
+            recovery.quarantined.len(),
+            corpus.quarantine_dir().display()
+        );
+        for name in &recovery.quarantined {
+            eprintln!("  quarantined: {name}");
+        }
+    }
+    Ok(corpus)
+}
+
+fn open_corpus(args: &[String]) -> Result<Corpus, CliError> {
+    let dir = flag_value(args, "--corpus")?.unwrap_or_else(|| "corpus".to_string());
+    open_corpus_at(args, dir)
 }
 
 fn run(args: &[String]) -> Result<ExitCode, CliError> {
@@ -175,6 +243,7 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let rest = &args[1..];
     match subcommand.as_str() {
         "hunt" => cmd_hunt(rest),
+        "resume" => cmd_resume(rest),
         "minimize" => cmd_minimize(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
@@ -260,7 +329,83 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
             .map_err(|_| usage_err("--population: invalid value"))?;
     }
 
+    let checkpoint_path = flag_value(args, "--checkpoint")?.map(PathBuf::from);
+    if flag_present(args, "--checkpoint-every") && checkpoint_path.is_none() {
+        return Err(usage_err("--checkpoint-every requires --checkpoint"));
+    }
+    let checkpoint_every: u32 = parse_num(args, "--checkpoint-every", 1)?;
+    let panic_budget: u64 = parse_num(args, "--panic-budget", 100)?;
+
     let corpus = open_corpus(args)?;
+    run_campaign(
+        &corpus,
+        &config,
+        args,
+        checkpoint_path,
+        checkpoint_every,
+        Some(panic_budget),
+        None,
+    )
+}
+
+/// `ccfuzz resume PATH`: load a checkpoint, verify it, and run the campaign
+/// it describes to completion (or the next interruption). The resumed
+/// trajectory — findings, digests, stdout payload — is byte-identical to
+/// what the uninterrupted hunt would have produced.
+fn cmd_resume(args: &[String]) -> Result<ExitCode, CliError> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| {
+            let pos = args.iter().position(|x| x == *a).unwrap_or(0);
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .cloned()
+        .ok_or_else(|| usage_err("resume requires a checkpoint path"))?;
+    let checkpoint =
+        CampaignCheckpoint::load(&path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let dir = flag_value(args, "--corpus")?.unwrap_or_else(|| checkpoint.corpus_dir.clone());
+    let corpus = open_corpus_at(args, dir)?;
+    let config = checkpoint.config.clone();
+    if checkpoint.completed {
+        eprintln!("checkpoint {path} is already complete; replaying its final state");
+    } else {
+        eprintln!(
+            "resuming {path}: next generation {}/{}, {} evaluation(s) done",
+            checkpoint.state.next_generation(),
+            config.ga.generations,
+            checkpoint.state.evaluations()
+        );
+    }
+    run_campaign(
+        &corpus,
+        &config,
+        args,
+        Some(PathBuf::from(path)),
+        checkpoint.checkpoint_every,
+        checkpoint.panic_budget,
+        Some(checkpoint),
+    )
+}
+
+/// The shared hunt/resume engine: takes the corpus lock, prints the
+/// resolved campaign, installs the graceful-shutdown handlers, runs the
+/// controlled hunt and reports its outcome.
+fn run_campaign(
+    corpus: &Corpus,
+    config: &HuntConfig,
+    args: &[String],
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u32,
+    panic_budget: Option<u64>,
+    resume: Option<CampaignCheckpoint>,
+) -> Result<ExitCode, CliError> {
+    let mode = config.mode;
+    // Campaign writers are exclusive: a second hunt/minimize/resume against
+    // the same corpus fails fast instead of interleaving writes.
+    let _lock = corpus
+        .lock()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     // Print the fully resolved campaign before running, so a hunt is
     // reproducible from its log alone. All of this is chatter: it goes to
     // stderr so stdout stays a clean JSON payload.
@@ -324,8 +469,70 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
         telemetry = telemetry.with_sink(Box::new(sink));
         eprintln!("  telemetry: streaming snapshots to {path}");
     }
-    let (finding, decision) = hunt_with(&corpus, &config, Some(&telemetry))
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    telemetry
+        .metrics
+        .recovered_files
+        .add(corpus.recovery().total());
+    if let Some(path) = &checkpoint_path {
+        eprintln!(
+            "  checkpoint: {} every {} generation(s)",
+            path.display(),
+            checkpoint_every.max(1)
+        );
+    }
+
+    install_signal_handlers();
+    let outcome = hunt_controlled(
+        corpus,
+        config,
+        Some(&telemetry),
+        HuntControl {
+            shutdown: Some(&SHUTDOWN),
+            checkpoint_path: checkpoint_path.clone(),
+            checkpoint_every,
+            panic_budget,
+            resume,
+        },
+    )
+    .map_err(|e| CliError::Runtime(e.to_string()))?;
+
+    let caught = telemetry.metrics.panics_caught.get();
+    if caught > 0 {
+        eprintln!(
+            "caught {caught} evaluation panic(s); artifacts persisted under {}",
+            corpus.root().join("panics").display()
+        );
+    }
+    let (finding, decision) = match outcome {
+        HuntOutcome::Completed { finding, decision } => (*finding, decision),
+        HuntOutcome::Interrupted {
+            next_generation,
+            evaluations,
+        } => {
+            eprintln!("{}", telemetry.phase_report());
+            eprintln!(
+                "interrupted: stopped gracefully after {evaluations} evaluation(s) at a \
+                 resumable boundary (next generation {next_generation})"
+            );
+            match &checkpoint_path {
+                Some(path) => eprintln!("resume with: ccfuzz resume {}", path.display()),
+                None => eprintln!("no --checkpoint was set; this run cannot be resumed"),
+            }
+            return Ok(ExitCode::from(EXIT_INTERRUPTED));
+        }
+        HuntOutcome::PanicBudgetExhausted {
+            panics,
+            next_generation,
+        } => {
+            eprintln!("{}", telemetry.phase_report());
+            return Err(CliError::Runtime(format!(
+                "panic budget exhausted: {panics} evaluation panic(s) caught, budget {}; \
+                 artifacts are under {}, campaign stopped before generation {next_generation}",
+                panic_budget.unwrap_or(0),
+                corpus.root().join("panics").display()
+            )));
+        }
+    };
     eprintln!("{}", telemetry.phase_report());
     eprintln!(
         "best trace: score={:.6} (perf={:.6}, trace={:.6}) goodput={:.3} Mbps packets={}",
@@ -472,6 +679,10 @@ fn cmd_trace(args: &[String]) -> Result<ExitCode, CliError> {
 
 fn cmd_minimize(args: &[String]) -> Result<ExitCode, CliError> {
     let corpus = open_corpus(args)?;
+    // Minimization rewrites findings in place, so it is a campaign writer.
+    let _lock = corpus
+        .lock()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let retain: f64 = parse_num(args, "--retain", 0.8)?;
     if !(0.0..=1.0).contains(&retain) {
         return Err(usage_err("--retain must be within [0, 1]"));

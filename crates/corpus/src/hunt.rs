@@ -3,17 +3,26 @@
 //! This is the glue between `core::campaign` and the corpus — used by the
 //! `ccfuzz hunt` subcommand, the examples and the integration tests.
 
+use crate::checkpoint::{
+    hunt_config_digest, CampaignCheckpoint, PanicFinding, TelemetryCounters, CHECKPOINT_SCHEMA,
+    PANIC_SCHEMA,
+};
 use crate::finding::{Finding, GenomePayload};
 use crate::store::{Corpus, CorpusError, InsertOutcome};
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::{Campaign, FuzzMode};
-use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_core::checkpoint::{CampaignControl, ControlledRun, SnapshotPayload};
+use ccfuzz_core::fuzzer::{FuzzerSnapshot, GaParams, StopReason};
 use ccfuzz_core::scenario::QdiscChoice;
 use ccfuzz_netsim::time::SimDuration;
 use ccfuzz_obs::{HuntTelemetry, Phase};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 
-/// Parameters of one hunt.
-#[derive(Clone, Debug)]
+/// Parameters of one hunt. Serializable so a campaign checkpoint can embed
+/// the exact configuration it must be resumed with.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HuntConfig {
     /// Algorithm under test (the primary flow's algorithm in fairness mode).
     pub cca: CcaKind,
@@ -93,63 +102,320 @@ pub fn hunt_with(
     config: &HuntConfig,
     obs: Option<&HuntTelemetry>,
 ) -> Result<(Finding, InsertOutcome), CorpusError> {
+    match hunt_controlled(corpus, config, obs, HuntControl::default())? {
+        HuntOutcome::Completed { finding, decision } => Ok((*finding, decision)),
+        other => Err(CorpusError(format!(
+            "uncontrolled hunt stopped early: {other:?}"
+        ))),
+    }
+}
+
+/// External control plane for a hunt: cooperative shutdown, periodic
+/// checkpointing, panic budget and resume state. The default is a plain
+/// run-to-completion hunt with no checkpointing.
+#[derive(Default)]
+pub struct HuntControl<'c> {
+    /// Raising this stops the campaign at the next generation boundary.
+    pub shutdown: Option<&'c AtomicBool>,
+    /// Where to write checkpoints. `None` disables checkpointing entirely.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many completed generations (0 = only
+    /// the final checkpoint when the run stops).
+    pub checkpoint_every: u32,
+    /// Caught evaluation panics tolerated before the campaign aborts
+    /// (`None` = unlimited).
+    pub panic_budget: Option<u64>,
+    /// Resume from this checkpoint instead of starting fresh. Its embedded
+    /// config must equal the `config` passed to [`hunt_controlled`].
+    pub resume: Option<CampaignCheckpoint>,
+}
+
+/// How a controlled hunt ended.
+#[derive(Clone, Debug)]
+pub enum HuntOutcome {
+    /// The campaign ran to completion and its best trace was offered to the
+    /// corpus.
+    Completed {
+        /// The best finding (whether or not the corpus kept it). Boxed so
+        /// the early-stop variants do not carry a finding-sized payload.
+        finding: Box<Finding>,
+        /// What the corpus did with it.
+        decision: InsertOutcome,
+    },
+    /// The shutdown flag stopped the campaign at a resumable boundary; the
+    /// final checkpoint (if a path was configured) resumes it.
+    Interrupted {
+        /// Generation the resumed campaign will evaluate next.
+        next_generation: u32,
+        /// Simulations completed before stopping.
+        evaluations: u64,
+    },
+    /// More evaluation panics were caught than the budget tolerates.
+    PanicBudgetExhausted {
+        /// Caught panics (each persisted as a panic artifact).
+        panics: u64,
+        /// Generation the campaign stopped after.
+        next_generation: u32,
+    },
+}
+
+/// [`hunt_with`] plus the crash-safety control plane: periodic + final
+/// checkpoints (written atomically), resume, graceful shutdown, panic
+/// isolation with persisted panic artifacts.
+pub fn hunt_controlled(
+    corpus: &Corpus,
+    config: &HuntConfig,
+    obs: Option<&HuntTelemetry>,
+    ctl: HuntControl<'_>,
+) -> Result<HuntOutcome, CorpusError> {
     let campaign = config.campaign();
-    let (genome, outcome, evaluations) = match config.mode {
-        FuzzMode::Traffic => {
-            let result = campaign.run_traffic_with(obs);
-            (
-                GenomePayload::Traffic(result.best_genome),
-                result.best_outcome,
-                result.total_evaluations,
-            )
+    match config.mode {
+        FuzzMode::Traffic => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_traffic_controlled(obs, cc),
+            SnapshotPayload::Traffic,
+            GenomePayload::Traffic,
+        ),
+        FuzzMode::Link => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_link_controlled(obs, cc),
+            SnapshotPayload::Link,
+            GenomePayload::Link,
+        ),
+        FuzzMode::Fairness => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_fairness_controlled(obs, cc),
+            SnapshotPayload::Scenario,
+            GenomePayload::Scenario,
+        ),
+        FuzzMode::Aqm => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_aqm_controlled(obs, cc),
+            SnapshotPayload::Scenario,
+            GenomePayload::Scenario,
+        ),
+        FuzzMode::Topology => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_topology_controlled(obs, cc),
+            SnapshotPayload::Topology,
+            GenomePayload::Topology,
+        ),
+    }
+}
+
+/// The mode-generic half of [`hunt_controlled`]: runs the campaign under
+/// control, persists checkpoints and panic artifacts, and (on completion)
+/// inserts the best finding.
+#[allow(clippy::too_many_arguments)]
+fn drive<G, RunFn>(
+    corpus: &Corpus,
+    config: &HuntConfig,
+    campaign: &Campaign,
+    obs: Option<&HuntTelemetry>,
+    ctl: HuntControl<'_>,
+    run: RunFn,
+    wrap_snapshot: fn(FuzzerSnapshot<G>) -> SnapshotPayload,
+    wrap_genome: fn(G) -> GenomePayload,
+) -> Result<HuntOutcome, CorpusError>
+where
+    G: Clone,
+    RunFn: FnOnce(&Campaign, CampaignControl<'_>) -> Result<ControlledRun<G>, String>,
+{
+    let HuntControl {
+        shutdown,
+        checkpoint_path,
+        checkpoint_every,
+        panic_budget,
+        resume,
+    } = ctl;
+
+    // Resume: unwrap the stored fuzzer state and re-seed telemetry totals
+    // so counters continue the interrupted campaign's counts.
+    let resume_state = match resume {
+        Some(ck) => {
+            if &ck.config != config {
+                return Err(CorpusError(
+                    "resume checkpoint was recorded for a different hunt configuration".into(),
+                ));
+            }
+            if let Some(o) = obs {
+                o.metrics.restore_counts(
+                    ck.telemetry.evaluations,
+                    &ck.telemetry.operators,
+                    ck.telemetry.panics_caught,
+                    ck.telemetry.corpus_inserted,
+                    ck.telemetry.corpus_deduplicated,
+                );
+                o.metrics
+                    .checkpoints_written
+                    .add(ck.telemetry.checkpoints_written);
+                o.metrics
+                    .checkpoint_bytes
+                    .add(ck.telemetry.checkpoint_bytes);
+            }
+            Some(ck.state)
         }
-        FuzzMode::Link => {
-            let result = campaign.run_link_with(obs);
-            (
-                GenomePayload::Link(result.best_genome),
-                result.best_outcome,
-                result.total_evaluations,
-            )
+        None => None,
+    };
+
+    let corpus_dir = corpus.root().display().to_string();
+    let persist = |state: SnapshotPayload, completed: bool| -> Result<(), CorpusError> {
+        let Some(path) = checkpoint_path.as_deref() else {
+            return Ok(());
+        };
+        let telemetry = TelemetryCounters {
+            evaluations: state.evaluations() as u64,
+            operators: obs
+                .map(|o| o.metrics.operator_snapshot())
+                .unwrap_or_default(),
+            panics_caught: state.panics_caught(),
+            checkpoints_written: obs
+                .map(|o| o.metrics.checkpoints_written.get() + 1)
+                .unwrap_or(0),
+            checkpoint_bytes: obs.map(|o| o.metrics.checkpoint_bytes.get()).unwrap_or(0),
+            corpus_inserted: obs.map(|o| o.metrics.corpus_inserted.get()).unwrap_or(0),
+            corpus_deduplicated: obs
+                .map(|o| o.metrics.corpus_deduplicated.get())
+                .unwrap_or(0),
+        };
+        let ck = CampaignCheckpoint {
+            schema: CHECKPOINT_SCHEMA,
+            config: config.clone(),
+            config_digest: hunt_config_digest(config),
+            corpus_dir: corpus_dir.clone(),
+            checkpoint_every,
+            panic_budget,
+            completed,
+            telemetry,
+            state,
+        };
+        let bytes = ck.write_atomic(path)?;
+        if let Some(o) = obs {
+            o.metrics.checkpoints_written.inc();
+            o.metrics.checkpoint_bytes.add(bytes);
         }
-        FuzzMode::Fairness => {
-            let result = campaign.run_fairness_with(obs);
-            (
-                GenomePayload::Scenario(result.best_genome),
-                result.best_outcome,
-                result.total_evaluations,
-            )
-        }
-        FuzzMode::Aqm => {
-            let result = campaign.run_aqm_with(obs);
-            (
-                GenomePayload::Scenario(result.best_genome),
-                result.best_outcome,
-                result.total_evaluations,
-            )
-        }
-        FuzzMode::Topology => {
-            let result = campaign.run_topology_with(obs);
-            (
-                GenomePayload::Topology(result.best_genome),
-                result.best_outcome,
-                result.total_evaluations,
-            )
+        Ok(())
+    };
+
+    // The fuzzer's checkpoint callback cannot return an error, so the first
+    // write failure is parked here and surfaced after the run.
+    let mut write_error: Option<CorpusError> = None;
+    let mut on_checkpoint = |state: SnapshotPayload| {
+        if write_error.is_none() {
+            if let Err(e) = persist(state, false) {
+                write_error = Some(e);
+            }
         }
     };
-    let _timer = obs.map(|o| o.profiler.scope(Phase::CorpusIo));
-    let finding = Finding::from_campaign(&campaign, genome, outcome, evaluations as u64);
-    let decision = corpus.insert(&finding)?;
-    if let Some(obs) = obs {
-        match decision {
-            InsertOutcome::Added | InsertOutcome::ReplacedWeaker { .. } => {
-                obs.metrics.corpus_inserted.inc()
+    let control = CampaignControl {
+        shutdown,
+        checkpoint_every: if checkpoint_path.is_some() {
+            checkpoint_every
+        } else {
+            0
+        },
+        on_checkpoint: if checkpoint_path.is_some() && checkpoint_every > 0 {
+            Some(&mut on_checkpoint)
+        } else {
+            None
+        },
+        panic_budget,
+        resume: resume_state,
+    };
+    let out = run(campaign, control).map_err(CorpusError)?;
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    let ControlledRun {
+        result,
+        stop,
+        final_snapshot,
+    } = out;
+
+    // Persist panic artifacts. Ordinals are positions in the cumulative
+    // panic log (which survives checkpoints), so re-persisting after a
+    // resume rewrites the same files with the same content.
+    if !final_snapshot.panics.is_empty() {
+        let dir = corpus.root().join("panics");
+        for (pos, record) in final_snapshot.panics.iter().enumerate() {
+            PanicFinding {
+                schema: PANIC_SCHEMA,
+                ordinal: pos as u64 + 1,
+                cca: config.cca,
+                mode: config.mode,
+                generation: record.generation,
+                island: record.island,
+                index: record.index,
+                message: record.message.clone(),
+                genome: wrap_genome(record.genome.clone()),
             }
-            InsertOutcome::DuplicateRejected { .. } | InsertOutcome::BucketFullRejected { .. } => {
-                obs.metrics.corpus_deduplicated.inc()
-            }
+            .write_into(&dir)?;
         }
     }
-    Ok((finding, decision))
+
+    // The final checkpoint is written on EVERY stop — completion included —
+    // so a crash at any later point (even during the corpus insert below)
+    // resumes to an identical end state.
+    let panics = final_snapshot.panics.len() as u64;
+    let next_generation = final_snapshot.next_generation;
+    let evaluations = final_snapshot.evaluations as u64;
+    persist(wrap_snapshot(final_snapshot), stop == StopReason::Completed)?;
+
+    match stop {
+        StopReason::Completed => {
+            let _timer = obs.map(|o| o.profiler.scope(Phase::CorpusIo));
+            let finding = Finding::from_campaign(
+                campaign,
+                wrap_genome(result.best_genome),
+                result.best_outcome,
+                result.total_evaluations as u64,
+            );
+            let decision = corpus.insert(&finding)?;
+            if let Some(obs) = obs {
+                match decision {
+                    InsertOutcome::Added | InsertOutcome::ReplacedWeaker { .. } => {
+                        obs.metrics.corpus_inserted.inc()
+                    }
+                    InsertOutcome::DuplicateRejected { .. }
+                    | InsertOutcome::BucketFullRejected { .. } => {
+                        obs.metrics.corpus_deduplicated.inc()
+                    }
+                }
+            }
+            Ok(HuntOutcome::Completed {
+                finding: Box::new(finding),
+                decision,
+            })
+        }
+        StopReason::Interrupted => Ok(HuntOutcome::Interrupted {
+            next_generation,
+            evaluations,
+        }),
+        StopReason::PanicBudgetExhausted => Ok(HuntOutcome::PanicBudgetExhausted {
+            panics,
+            next_generation,
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! * [`signature`] — quantized behaviour fingerprints used to deduplicate
 //!   near-identical findings.
 //! * [`store`] — the on-disk corpus: JSON files, signature dedup, top-K
-//!   retention per (CCA, mode) bucket.
+//!   retention per (CCA, mode) bucket, atomic writes, startup recovery and
+//!   an exclusive campaign lock.
+//! * [`checkpoint`] — persistent campaign checkpoints (resume an
+//!   interrupted hunt to a byte-identical trajectory) and panic artifacts.
 //! * [`minimize`] — delta-debugging plus value-level shrinking that keeps a
 //!   configurable fraction of the original score.
 //! * [`replay`] — deterministic regression replay with a byte-stable report.
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod finding;
 pub mod hunt;
 pub mod minimize;
@@ -32,12 +36,15 @@ pub mod report;
 pub mod signature;
 pub mod store;
 
+pub use checkpoint::{
+    hunt_config_digest, CampaignCheckpoint, PanicFinding, TelemetryCounters, CHECKPOINT_SCHEMA,
+};
 pub use finding::{Finding, GenomePayload, Provenance};
-pub use hunt::{hunt, HuntConfig};
+pub use hunt::{hunt, hunt_controlled, HuntConfig, HuntControl, HuntOutcome};
 pub use minimize::{
     minimize_finding, minimize_link, minimize_traffic, MinimizeConfig, MinimizeReport,
 };
 pub use replay::{replay_corpus, replay_findings, ReplayReport};
 pub use report::corpus_report;
 pub use signature::BehaviorSignature;
-pub use store::{Corpus, CorpusConfig, CorpusError, InsertOutcome};
+pub use store::{Corpus, CorpusConfig, CorpusError, CorpusLock, InsertOutcome, RecoveryReport};

@@ -8,10 +8,18 @@
 //! weakest are evicted when the bucket overflows.
 //!
 //! Everything is plain JSON so fixtures can be committed to git and diffed.
+//!
+//! Crash safety: every write goes through `ccfuzz_obs::write_atomic`
+//! (write-temp + fsync + rename), opening a corpus runs a recovery pass
+//! that sweeps stray staging files and quarantines truncated or unparsable
+//! finding files, and writers take an exclusive [`CorpusLock`] so two
+//! campaigns never clobber one store.
 
 use crate::finding::Finding;
 use ccfuzz_cca::CcaKind;
+use ccfuzz_obs::write_atomic;
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Corpus-wide policy knobs.
@@ -76,11 +84,49 @@ pub enum InsertOutcome {
     },
 }
 
+/// What the startup recovery pass found (and repaired) while opening a
+/// corpus that a previous process may have left mid-write.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// File names (not paths) of finding files that failed to parse or
+    /// validate and were moved into the corpus's `quarantine/` directory.
+    pub quarantined: Vec<String>,
+    /// Stray atomic-write staging files (`*.tmp`) swept away.
+    pub swept_tmp: usize,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.swept_tmp == 0
+    }
+
+    /// Total files touched by recovery.
+    pub fn total(&self) -> u64 {
+        (self.quarantined.len() + self.swept_tmp) as u64
+    }
+}
+
+/// An exclusive advisory lock on a corpus, preventing two campaigns from
+/// interleaving writes into one store. Created by [`Corpus::lock`]; the
+/// lock file is removed when the guard drops.
+#[derive(Debug)]
+pub struct CorpusLock {
+    path: PathBuf,
+}
+
+impl Drop for CorpusLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// A directory-backed findings corpus.
 #[derive(Clone, Debug)]
 pub struct Corpus {
     root: PathBuf,
     config: CorpusConfig,
+    recovery: RecoveryReport,
 }
 
 impl Corpus {
@@ -90,7 +136,11 @@ impl Corpus {
     }
 
     /// Opens a corpus with explicit policy. A `top_k_per_bucket` of 0 would
-    /// make every insert impossible, so it is clamped to 1.
+    /// make every insert impossible, so it is clamped to 1. Opening runs the
+    /// startup recovery pass: stray atomic-write staging files are removed
+    /// and finding files that no longer parse or validate (e.g. truncated by
+    /// a crash predating atomic writes) are quarantined rather than left to
+    /// abort every later `load_all`.
     pub fn open_with<P: AsRef<Path>>(
         root: P,
         mut config: CorpusConfig,
@@ -98,7 +148,17 @@ impl Corpus {
         config.top_k_per_bucket = config.top_k_per_bucket.max(1);
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(root.join("findings"))?;
-        Ok(Corpus { root, config })
+        let recovery = recover(&root)?;
+        Ok(Corpus {
+            root,
+            config,
+            recovery,
+        })
+    }
+
+    /// What the startup recovery pass repaired when this corpus was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// The corpus root directory.
@@ -109,6 +169,62 @@ impl Corpus {
     /// The directory holding the finding JSON files.
     pub fn findings_dir(&self) -> PathBuf {
         self.root.join("findings")
+    }
+
+    /// The directory quarantined (corrupt) finding files are moved into.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Takes the corpus's exclusive campaign lock. Fails if another live
+    /// process holds it; a lock left by a dead process (its PID no longer
+    /// exists) is stolen. The lock releases when the returned guard drops.
+    pub fn lock(&self) -> Result<CorpusLock, CorpusError> {
+        let path = self.root.join("LOCK");
+        // Two attempts: the second runs only after a stale lock was swept,
+        // so a concurrent stealer winning the race surfaces as "locked by".
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    writeln!(file, "{}", std::process::id())?;
+                    file.sync_all()?;
+                    return Ok(CorpusLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                    // Steal only on positive evidence the holder is gone:
+                    // a parsable PID that procfs says no longer exists. An
+                    // unreadable or mid-write lock file is treated as held.
+                    let stale = holder
+                        .trim()
+                        .parse::<u32>()
+                        .ok()
+                        .map(|pid| {
+                            Path::new("/proc").is_dir()
+                                && !Path::new(&format!("/proc/{pid}")).exists()
+                        })
+                        .unwrap_or(false);
+                    if !stale {
+                        return Err(CorpusError(format!(
+                            "corpus {} is locked by process {} (remove {} if that process is dead)",
+                            self.root.display(),
+                            holder.trim(),
+                            path.display()
+                        )));
+                    }
+                    std::fs::remove_file(&path)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(CorpusError(format!(
+            "corpus {} lock is contended",
+            self.root.display()
+        )))
     }
 
     fn path_for(&self, id: &str) -> PathBuf {
@@ -147,12 +263,13 @@ impl Corpus {
     }
 
     /// Writes a finding unconditionally (used by minimization to update a
-    /// stored finding in place).
+    /// stored finding in place). The write is atomic (temp + fsync +
+    /// rename), so a crash mid-save never leaves a truncated finding file.
     pub fn save(&self, finding: &Finding) -> Result<PathBuf, CorpusError> {
         finding.validate().map_err(CorpusError)?;
         let path = self.path_for(&finding.id);
         let json = serde_json::to_string_pretty(finding)?;
-        std::fs::write(&path, json + "\n")?;
+        write_atomic(&path, (json + "\n").as_bytes())?;
         Ok(path)
     }
 
@@ -261,6 +378,47 @@ impl Corpus {
         self.remove(old_id)?;
         self.insert(finding)
     }
+}
+
+/// The startup recovery pass: sweep `*.tmp` staging files and quarantine
+/// finding files that fail to parse or validate. Deterministic (paths are
+/// sorted) so two recoveries of the same wreckage report identically.
+fn recover(root: &Path) -> Result<RecoveryReport, CorpusError> {
+    let findings = root.join("findings");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&findings)?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    paths.sort();
+
+    let mut report = RecoveryReport::default();
+    for path in paths {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("tmp") => {
+                std::fs::remove_file(&path)?;
+                report.swept_tmp += 1;
+            }
+            Some("json") => {
+                let intact = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<Finding>(&text).ok())
+                    .map(|finding| finding.validate().is_ok())
+                    .unwrap_or(false);
+                if !intact {
+                    let name = path
+                        .file_name()
+                        .expect("a *.json path has a file name")
+                        .to_string_lossy()
+                        .into_owned();
+                    let quarantine = root.join("quarantine");
+                    std::fs::create_dir_all(&quarantine)?;
+                    std::fs::rename(&path, quarantine.join(&name))?;
+                    report.quarantined.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -470,5 +628,126 @@ mod tests {
         assert!(reno[0].outcome.score > reno[1].outcome.score);
         assert_eq!(corpus.ids_for_cca(CcaKind::Cubic).unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_leaves_no_staging_files_behind() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        corpus.save(&synthetic(CcaKind::Reno, 0.9, 4)).unwrap();
+        let leftovers = std::fs::read_dir(corpus.findings_dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reopening_quarantines_corrupt_findings_and_sweeps_tmp_files() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        let good = synthetic(CcaKind::Reno, 0.9, 4);
+        corpus.save(&good).unwrap();
+        assert!(corpus.recovery().is_clean());
+
+        // Simulate a crash predating atomic writes: one truncated finding,
+        // one file of garbage, one abandoned staging file.
+        let truncated = corpus.findings_dir().join("reno-traffic-truncated.json");
+        let full = serde_json::to_string_pretty(&good).unwrap();
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        let garbage = corpus.findings_dir().join("zz-garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        let stray = corpus.findings_dir().join("whatever.json.1234.tmp");
+        std::fs::write(&stray, "half a write").unwrap();
+
+        let reopened = Corpus::open(&dir).unwrap();
+        let report = reopened.recovery();
+        assert_eq!(report.swept_tmp, 1);
+        assert_eq!(
+            report.quarantined,
+            vec![
+                "reno-traffic-truncated.json".to_string(),
+                "zz-garbage.json".to_string()
+            ]
+        );
+        assert_eq!(report.total(), 3);
+        assert!(!stray.exists());
+        assert!(reopened.quarantine_dir().join("zz-garbage.json").exists());
+
+        // The surviving corpus is fully usable.
+        assert_eq!(reopened.load_all().unwrap(), vec![good]);
+        // A second open finds nothing left to repair.
+        assert!(Corpus::open(&dir).unwrap().recovery().is_clean());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lock_excludes_a_second_holder_and_releases_on_drop() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        let guard = corpus.lock().unwrap();
+        let err = corpus.lock().unwrap_err();
+        assert!(err.0.contains("locked by process"), "{err}");
+        drop(guard);
+        let reguard = corpus.lock().unwrap();
+        drop(reguard);
+        assert!(!dir.join("LOCK").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_stolen() {
+        if !Path::new("/proc").is_dir() {
+            return; // Staleness detection needs procfs.
+        }
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        // PID u32::MAX is above every kernel pid_max; no such process.
+        std::fs::write(dir.join("LOCK"), format!("{}\n", u32::MAX)).unwrap();
+        let guard = corpus.lock().expect("stale lock is stolen");
+        drop(guard);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unreadable_lock_content_is_treated_as_held() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        std::fs::write(dir.join("LOCK"), "definitely not a pid").unwrap();
+        let err = corpus.lock().unwrap_err();
+        assert!(err.0.contains("locked by process"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// A finding file truncated at ANY byte offset must never make the
+        /// corpus unusable: reopening either keeps the finding (truncation
+        /// only clipped insignificant bytes) or quarantines it, and
+        /// `load_all` succeeds either way.
+        #[test]
+        fn truncated_finding_files_are_quarantined_never_fatal(cut in 0usize..2048) {
+            use proptest::prelude::*;
+            let (corpus, dir) = temp_corpus(CorpusConfig::default());
+            let finding = synthetic(CcaKind::Reno, 0.9, 4);
+            let path = corpus.save(&finding).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let cut = cut.min(bytes.len());
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+
+            let reopened = Corpus::open(&dir).unwrap();
+            let survivors = reopened.load_all().unwrap();
+            if reopened.recovery().is_clean() {
+                prop_assert_eq!(&survivors, &vec![finding]);
+            } else {
+                prop_assert_eq!(reopened.recovery().quarantined.len(), 1);
+                prop_assert!(survivors.is_empty());
+            }
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }

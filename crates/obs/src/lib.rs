@@ -7,6 +7,9 @@
 //! * [`metrics`] — lock-free counters, gauges and 256-bucket log-scale
 //!   histograms with per-worker [`LocalHistogram`] shards that merge into
 //!   the shared [`Histogram`] on snapshot.
+//! * [`persist`] — crash-safe [`write_atomic`] (write-temp + fsync +
+//!   rename) shared by the corpus store, campaign checkpoints and the
+//!   bench reporter.
 //! * [`profile`] — a scoped wall-clock [`PhaseProfiler`] for the campaign
 //!   loop's generate / evaluate / select / mutate / corpus-io phases.
 //! * [`ring`] — the fixed-capacity [`RingBuffer`] backing the simulator's
@@ -23,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod persist;
 pub mod profile;
 pub mod ring;
 pub mod telemetry;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram};
+pub use persist::write_atomic;
 pub use profile::{Phase, PhaseProfiler};
 pub use ring::RingBuffer;
 pub use telemetry::{CampaignMetrics, HuntTelemetry, LatencyQuantiles, OperatorSnapshot, Snapshot};

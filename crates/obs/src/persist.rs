@@ -1,0 +1,117 @@
+//! Crash-safe file persistence: write-temp + fsync + rename.
+//!
+//! Every durable artifact in the workspace — corpus findings, campaign
+//! checkpoints, bench reports — goes through [`write_atomic`] so a crash
+//! (or SIGKILL) at any instant leaves either the old file or the new file
+//! on disk, never a truncated hybrid. The temp sibling always carries a
+//! `.tmp` extension so recovery passes can sweep strays.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: write a `.tmp` sibling in the same
+/// directory, fsync it, rename it over `path`, then best-effort fsync the
+/// parent directory so the rename itself is durable. Returns the number of
+/// bytes written.
+///
+/// The temp name embeds the writer's PID (`<name>.<pid>.tmp`) so two
+/// processes racing on the same target never corrupt each other's staging
+/// file; last rename wins, and either way `path` holds one complete write.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<u64> {
+    let tmp = tmp_sibling(path)?;
+    let result = write_via_tmp(path, &tmp, bytes);
+    if result.is_err() {
+        // Never leave a stray staging file behind a failed write.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result?;
+    Ok(bytes.len() as u64)
+}
+
+fn write_via_tmp(path: &Path, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(tmp, path)?;
+    // Durability of the rename needs the directory entry flushed too. Some
+    // platforms refuse to open or fsync a directory; that only weakens
+    // durability, not atomicity, so ignore failures.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn tmp_sibling(path: &Path) -> io::Result<PathBuf> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "cannot write atomically to {}: no file name",
+                path.display()
+            ),
+        )
+    })?;
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    Ok(path.with_file_name(tmp_name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ccfuzz-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_leave_no_temp_files() {
+        let dir = scratch_dir("basic");
+        let path = dir.join("artifact.json");
+        let written = write_atomic(&path, b"{\"ok\":true}\n").unwrap();
+        assert_eq!(written, 12);
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}\n");
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "tmp") == Some(true))
+            .collect();
+        assert!(strays.is_empty(), "staging file survived the rename");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrites_replace_the_whole_file() {
+        let dir = scratch_dir("overwrite");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"a longer first version").unwrap();
+        write_atomic(&path, b"short").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"short");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_error_without_panicking() {
+        let dir = scratch_dir("missing");
+        let path = dir.join("nope").join("artifact.json");
+        assert!(write_atomic(&path, b"x").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -50,6 +50,50 @@ pub struct CampaignMetrics {
     pub corpus_inserted: Counter,
     /// Findings rejected as duplicates or by bucket top-K retention.
     pub corpus_deduplicated: Counter,
+    /// Campaign checkpoints written to disk.
+    pub checkpoints_written: Counter,
+    /// Total bytes of checkpoint payload persisted.
+    pub checkpoint_bytes: Counter,
+    /// Evaluation panics caught and isolated by the fuzzer workers.
+    pub panics_caught: Counter,
+    /// Finding files quarantined or swept by corpus startup recovery.
+    pub recovered_files: Counter,
+}
+
+impl CampaignMetrics {
+    /// Re-seeds the cumulative counters from a resumed campaign's
+    /// checkpoint so post-resume telemetry continues the original
+    /// campaign's totals instead of restarting from zero.
+    pub fn restore_counts(
+        &self,
+        evaluations: u64,
+        operators: &OperatorSnapshot,
+        panics_caught: u64,
+        corpus_inserted: u64,
+        corpus_deduplicated: u64,
+    ) {
+        self.evaluations.add(evaluations);
+        self.operators.elite.add(operators.elite);
+        self.operators.crossover.add(operators.crossover);
+        self.operators.mutation.add(operators.mutation);
+        self.operators.anneal.add(operators.anneal);
+        self.operators.migrant.add(operators.migrant);
+        self.panics_caught.add(panics_caught);
+        self.corpus_inserted.add(corpus_inserted);
+        self.corpus_deduplicated.add(corpus_deduplicated);
+    }
+
+    /// The operator counters as a plain snapshot (used when embedding
+    /// telemetry totals in a checkpoint).
+    pub fn operator_snapshot(&self) -> OperatorSnapshot {
+        OperatorSnapshot {
+            elite: self.operators.elite.get(),
+            crossover: self.operators.crossover.get(),
+            mutation: self.operators.mutation.get(),
+            anneal: self.operators.anneal.get(),
+            migrant: self.operators.migrant.get(),
+        }
+    }
 }
 
 /// Per-operator counts as carried by a [`Snapshot`].
@@ -158,7 +202,6 @@ impl HuntTelemetry {
         let evaluations = self.metrics.evaluations.get();
         let elapsed_secs = self.started.elapsed().as_secs_f64();
         let latency = self.metrics.eval_latency_ns.snapshot();
-        let ops = &self.metrics.operators;
         Snapshot {
             schema: SNAPSHOT_SCHEMA,
             generation,
@@ -168,13 +211,7 @@ impl HuntTelemetry {
             best_score,
             mean_score,
             island_best,
-            operators: OperatorSnapshot {
-                elite: ops.elite.get(),
-                crossover: ops.crossover.get(),
-                mutation: ops.mutation.get(),
-                anneal: ops.anneal.get(),
-                migrant: ops.migrant.get(),
-            },
+            operators: self.metrics.operator_snapshot(),
             eval_latency_ns: LatencyQuantiles {
                 p50_ns: latency.percentile(50.0),
                 p95_ns: latency.percentile(95.0),
