@@ -170,7 +170,6 @@ pub struct Bbr {
 
     // ProbeRTT.
     probe_rtt_done_stamp: Option<SimTime>,
-    prior_state: BbrState,
 
     // Window management.
     cwnd: u64,
@@ -215,7 +214,6 @@ impl Bbr {
             cycle_index: 2,
             cycle_stamp: SimTime::ZERO,
             probe_rtt_done_stamp: None,
-            prior_state: BbrState::Startup,
             cwnd: cfg.initial_cwnd.max(MIN_CWND),
             prior_cwnd: cfg.initial_cwnd.max(MIN_CWND),
             packet_conservation: false,
@@ -311,16 +309,25 @@ impl Bbr {
         }
     }
 
+    /// Linux `bbr_save_cwnd`: outside loss recovery and ProbeRTT the current
+    /// cwnd is the model-driven operating point, so *save* it (overwriting
+    /// any older value); inside them cwnd is temporarily cut, so only raise
+    /// the saved value. Before this distinction `prior_cwnd` was a monotone
+    /// ratchet — after a bandwidth drop, ProbeRTT/recovery exit restored a
+    /// stale huge window from minutes ago.
+    fn save_cwnd(&mut self, in_recovery: bool) {
+        if !in_recovery && self.state != BbrState::ProbeRtt {
+            self.prior_cwnd = self.cwnd;
+        } else {
+            self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        }
+    }
+
     fn enter_probe_rtt(&mut self, ctx: &CcContext, reason: &str) {
         if self.state == BbrState::ProbeRtt {
             return;
         }
-        self.prior_state = if self.state == BbrState::ProbeRtt {
-            self.prior_state
-        } else {
-            self.state
-        };
-        self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        self.save_cwnd(ctx.in_recovery);
         self.state = BbrState::ProbeRtt;
         self.pacing_gain = 1.0;
         self.cwnd_gain = 1.0;
@@ -499,8 +506,10 @@ impl CongestionControl for Bbr {
         match signal {
             CongestionSignal::FastRetransmitLoss { new_episode, .. } => {
                 if new_episode {
-                    // One round of packet conservation, then restore.
-                    self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+                    // One round of packet conservation, then restore. A new
+                    // episode means we were not in recovery a moment ago, so
+                    // the pre-loss cwnd is the one worth saving.
+                    self.save_cwnd(false);
                     self.packet_conservation = true;
                     self.conservation_ends_round = self.round_count + 1;
                     self.cwnd = (ctx.in_flight + 1).max(MIN_CWND);
@@ -524,7 +533,7 @@ impl CongestionControl for Bbr {
                     // response to loss: it keeps sending at its model-derived
                     // rate, which is exactly what lets the spurious
                     // retransmissions of §4.1 pollute its round clocking.
-                    self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+                    self.save_cwnd(ctx.in_recovery);
                 }
             }
         }
@@ -797,6 +806,70 @@ mod tests {
             "ProbeRTT should have ended"
         );
         assert!(bbr.cwnd() > MIN_CWND, "cwnd restored after ProbeRTT");
+    }
+
+    #[test]
+    fn prior_cwnd_tracks_the_current_operating_point_not_an_all_time_high() {
+        // Regression test for the save-cwnd semantics: after the bandwidth
+        // model collapses, a fresh loss episode must save the *current*
+        // (small) window, not keep restoring the all-time-high one.
+        let mut bbr = Bbr::new(BbrConfig::default());
+        let mut delivered = 0u64;
+        let mut now = 40u64;
+        // Establish a fat model at 12 Mbps and exit Startup.
+        for _ in 0..12 {
+            let prior = delivered;
+            delivered += 20;
+            bbr.on_ack(
+                &ctx(now, 20, delivered),
+                &sample(prior, delivered, 12e6, 40, 20),
+            );
+            now += 40;
+        }
+        // A loss episode while the window is fat.
+        bbr.on_congestion(
+            &ctx(now, 30, delivered),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
+        let fat = bbr.prior_cwnd;
+        assert!(fat > MIN_CWND, "premise: saved window is fat ({fat})");
+        bbr.on_exit_recovery(&ctx(now, 30, delivered));
+
+        // The bandwidth collapses to 1 Mbps for > BW_WINDOW_ROUNDS rounds;
+        // the model-driven window shrinks with it.
+        for _ in 0..12 {
+            let prior = delivered;
+            delivered += 2;
+            bbr.on_ack(
+                &ctx(now, 4, delivered),
+                &sample(prior, delivered, 1e6, 40, 2),
+            );
+            now += 40;
+        }
+        assert!(
+            bbr.cwnd < fat,
+            "premise: window shrank with the model ({} vs {fat})",
+            bbr.cwnd
+        );
+
+        // A fresh loss episode now saves the current small window. The old
+        // monotone ratchet kept `fat` here and recovery exit restored a
+        // window from a bandwidth regime that no longer exists.
+        bbr.on_congestion(
+            &ctx(now, 4, delivered),
+            CongestionSignal::FastRetransmitLoss {
+                newly_lost: 1,
+                new_episode: true,
+            },
+        );
+        assert!(
+            bbr.prior_cwnd < fat,
+            "prior_cwnd must track the shrunken window, got {} (fat was {fat})",
+            bbr.prior_cwnd
+        );
     }
 
     #[test]

@@ -250,19 +250,38 @@ impl Campaign {
         obs: Option<&HuntTelemetry>,
         mut ctl: CampaignControl<'_>,
     ) -> Result<ControlledRun<TrafficGenome>, String> {
+        let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_traffic()?),
+            None => None,
+        };
+        let fuzzer = self.build_traffic_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Traffic))
+    }
+
+    /// Builds this campaign's traffic-mode fuzzer — fresh from the campaign
+    /// seed, or restored from `resume`. Single-process runs and every shard
+    /// worker of a distributed run go through this one constructor, so their
+    /// fuzzers are byte-identical by construction. Panics if the mode is not
+    /// [`FuzzMode::Traffic`].
+    pub fn build_traffic_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<TrafficGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, TrafficGenome, SimEvaluator>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Traffic,
             "campaign is not in traffic mode"
         );
-        let evaluator = self.evaluator();
         let duration = self.duration;
         let max_packets = self.traffic_max_packets;
-        let mut fuzzer = match ctl.resume.take() {
-            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_traffic()?)?,
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
             None => {
                 let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-                Fuzzer::new(self.ga, &evaluator, |rng: &mut SimRng| {
+                Fuzzer::new(self.ga, evaluator, |rng: &mut SimRng| {
                     TrafficGenome::generate(max_packets, duration, rng)
                 })
             }
@@ -270,7 +289,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Traffic))
+        Ok(fuzzer)
     }
 
     /// Runs a link-fuzzing campaign (with annealing if `ga.anneal` is set).
@@ -292,16 +311,34 @@ impl Campaign {
         obs: Option<&HuntTelemetry>,
         mut ctl: CampaignControl<'_>,
     ) -> Result<ControlledRun<LinkGenome>, String> {
-        assert_eq!(self.mode, FuzzMode::Link, "campaign is not in link mode");
         let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_link()?),
+            None => None,
+        };
+        let fuzzer = self.build_link_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Link))
+    }
+
+    /// Builds this campaign's link-mode fuzzer (annealing hook attached when
+    /// `ga.anneal` is set) — fresh or restored from `resume`; see
+    /// [`Campaign::build_traffic_fuzzer`] for why construction is shared.
+    /// Panics if the mode is not [`FuzzMode::Link`].
+    pub fn build_link_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<LinkGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, LinkGenome, SimEvaluator>, String> {
+        assert_eq!(self.mode, FuzzMode::Link, "campaign is not in link mode");
         let duration = self.duration;
         let total_packets = packets_for_rate(self.link_rate_bps, self.sim.mss, duration);
         let k_agg = SimDuration::from_millis(PAPER_K_AGG_MS);
-        let mut fuzzer = match ctl.resume.take() {
-            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_link()?)?,
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
             None => {
                 let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                Fuzzer::new(self.ga, evaluator, move |rng: &mut SimRng| {
                     LinkGenome::generate(total_packets, duration, k_agg, rng)
                 })
             }
@@ -314,7 +351,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Link))
+        Ok(fuzzer)
     }
 
     /// Runs a fairness-fuzzing campaign over multi-flow scenario genomes.
@@ -336,21 +373,38 @@ impl Campaign {
         obs: Option<&HuntTelemetry>,
         mut ctl: CampaignControl<'_>,
     ) -> Result<ControlledRun<ScenarioGenome>, String> {
+        let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_scenario()?),
+            None => None,
+        };
+        let fuzzer = self.build_fairness_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
+    }
+
+    /// Builds this campaign's fairness-mode fuzzer — fresh or restored from
+    /// `resume`; see [`Campaign::build_traffic_fuzzer`] for why construction
+    /// is shared. Panics if the mode is not [`FuzzMode::Fairness`].
+    pub fn build_fairness_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<ScenarioGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, ScenarioGenome, SimEvaluator>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Fairness,
             "campaign is not in fairness mode"
         );
-        let evaluator = self.evaluator();
         let duration = self.duration;
         let flow_ccas = self.flow_ccas.clone();
         let max_flows = self.max_flows;
         let traffic_max_packets = self.traffic_max_packets;
-        let mut fuzzer = match ctl.resume.take() {
-            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_scenario()?)?,
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
             None => {
                 let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                Fuzzer::new(self.ga, evaluator, move |rng: &mut SimRng| {
                     ScenarioGenome::generate(
                         &flow_ccas,
                         max_flows,
@@ -364,7 +418,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
+        Ok(fuzzer)
     }
 
     /// Runs an AQM-fuzzing campaign over single-flow scenario genomes with
@@ -386,17 +440,34 @@ impl Campaign {
         obs: Option<&HuntTelemetry>,
         mut ctl: CampaignControl<'_>,
     ) -> Result<ControlledRun<ScenarioGenome>, String> {
-        assert_eq!(self.mode, FuzzMode::Aqm, "campaign is not in aqm mode");
         let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_scenario()?),
+            None => None,
+        };
+        let fuzzer = self.build_aqm_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
+    }
+
+    /// Builds this campaign's AQM-mode fuzzer — fresh or restored from
+    /// `resume`; see [`Campaign::build_traffic_fuzzer`] for why construction
+    /// is shared. Panics if the mode is not [`FuzzMode::Aqm`].
+    pub fn build_aqm_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<ScenarioGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, ScenarioGenome, SimEvaluator>, String> {
+        assert_eq!(self.mode, FuzzMode::Aqm, "campaign is not in aqm mode");
         let duration = self.duration;
         let cca = self.cca;
         let traffic_max_packets = self.traffic_max_packets;
         let choice = self.qdisc_choice;
-        let mut fuzzer = match ctl.resume.take() {
-            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_scenario()?)?,
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
             None => {
                 let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                Fuzzer::new(self.ga, evaluator, move |rng: &mut SimRng| {
                     ScenarioGenome::generate_aqm(cca, duration, traffic_max_packets, choice, rng)
                 })
             }
@@ -404,7 +475,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Scenario))
+        Ok(fuzzer)
     }
 
     /// Runs a topology-fuzzing campaign over multi-hop parking-lot genomes.
@@ -426,22 +497,39 @@ impl Campaign {
         obs: Option<&HuntTelemetry>,
         mut ctl: CampaignControl<'_>,
     ) -> Result<ControlledRun<TopologyGenome>, String> {
+        let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_topology()?),
+            None => None,
+        };
+        let fuzzer = self.build_topology_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Topology))
+    }
+
+    /// Builds this campaign's topology-mode fuzzer — fresh or restored from
+    /// `resume`; see [`Campaign::build_traffic_fuzzer`] for why construction
+    /// is shared. Panics if the mode is not [`FuzzMode::Topology`].
+    pub fn build_topology_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<TopologyGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, TopologyGenome, SimEvaluator>, String> {
         assert_eq!(
             self.mode,
             FuzzMode::Topology,
             "campaign is not in topology mode"
         );
-        let evaluator = self.evaluator();
         let duration = self.duration;
         let cca = self.cca;
         let hops = self.topology_hops;
         let traffic_max_packets = self.traffic_max_packets;
         let cca_pool = self.flow_ccas.clone();
-        let mut fuzzer = match ctl.resume.take() {
-            Some(payload) => self.restore_fuzzer(&evaluator, payload.into_topology()?)?,
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
             None => {
                 let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
-                Fuzzer::new(self.ga, &evaluator, move |rng: &mut SimRng| {
+                Fuzzer::new(self.ga, evaluator, move |rng: &mut SimRng| {
                     TopologyGenome::generate(
                         cca,
                         hops,
@@ -456,7 +544,7 @@ impl Campaign {
         if let Some(obs) = obs {
             fuzzer = fuzzer.with_observer(obs);
         }
-        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Topology))
+        Ok(fuzzer)
     }
 
     /// Restores a fuzzer from a checkpoint snapshot, refusing checkpoints

@@ -15,6 +15,7 @@
 use crate::evaluate::{EvalOutcome, EvalScratch, Evaluator};
 use crate::genome::Genome;
 use crate::selection::{pick_pair, pick_ranked};
+use crate::shard::{migration_k, MigrantBatch, ShardReport, TopStat};
 use ccfuzz_netsim::rng::SimRng;
 use ccfuzz_obs::{HuntTelemetry, LocalHistogram, Phase};
 use parking_lot::Mutex;
@@ -563,16 +564,23 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
 
     /// Evaluates every not-yet-scored individual, in parallel.
     fn evaluate_pending(&mut self) {
+        self.evaluate_pending_range(0, self.islands.len());
+    }
+
+    /// Evaluates every not-yet-scored individual of islands `start..end`, in
+    /// parallel. Island indices stay global, so results, panic records and
+    /// telemetry are identical whether a range is evaluated by its owning
+    /// worker or as part of a whole-population pass.
+    fn evaluate_pending_range(&mut self, start: usize, end: usize) {
         // Collect (island, index) pairs needing evaluation.
-        let pending: Vec<(usize, usize)> = self
-            .islands
+        let pending: Vec<(usize, usize)> = self.islands[start..end]
             .iter()
             .enumerate()
-            .flat_map(|(i, pop)| {
+            .flat_map(|(offset, pop)| {
                 pop.iter()
                     .enumerate()
                     .filter(|(_, ind)| ind.outcome.is_none())
-                    .map(move |(j, _)| (i, j))
+                    .map(move |(j, _)| (start + offset, j))
             })
             .collect();
         if pending.is_empty() {
@@ -809,10 +817,7 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
         if n_islands < 2 {
             return;
         }
-        let k =
-            ((self.params.population_per_island as f64 * self.params.migration_fraction).round()
-                as usize)
-                .clamp(1, self.params.population_per_island / 2 + 1);
+        let k = migration_k(&self.params);
         for pop in &mut self.islands {
             Self::sort_island(pop);
         }
@@ -962,6 +967,143 @@ impl<'a, G: Genome, E: Evaluator<G>> Fuzzer<'a, G, E> {
             },
             stop,
         )
+    }
+
+    // --- island-shard API (multi-process campaigns; see `crate::shard`) ---
+    //
+    // A shard worker constructs the full fuzzer from the campaign seed but
+    // only ever advances islands `start..end`. Because island initialisation
+    // and evolution draw from pure per-island forks of the (static) master
+    // RNG, the owned islands follow exactly the trajectory they would in a
+    // single-process run; all cross-island state (best, stall, history,
+    // panic log) lives in the coordinator, fed by `ShardReport`s.
+
+    /// The generation this fuzzer evaluates next.
+    pub fn next_generation(&self) -> u32 {
+        self.next_generation
+    }
+
+    /// Sets the generation counter; the coordinator advances shard workers
+    /// in lock-step across generation boundaries. Panic records stamp the
+    /// current value, so it must be set before the boundary's evaluation.
+    pub fn set_next_generation(&mut self, generation: u32) {
+        self.next_generation = generation;
+    }
+
+    /// Evaluates the pending individuals of islands `start..end` and reports
+    /// everything the coordinator needs: local sorted stats, the local best
+    /// candidate, per-island bests and this round's panic records.
+    pub fn shard_evaluate(&mut self, start: usize, end: usize) -> ShardReport<G> {
+        assert!(
+            start < end && end <= self.islands.len(),
+            "shard range {start}..{end} out of bounds for {} islands",
+            self.islands.len()
+        );
+        let panics_before = self.panic_log.len();
+        let evals_before = self.evaluations;
+        {
+            let _timer = self.obs.map(|o| o.profiler.scope(Phase::Evaluate));
+            self.evaluate_pending_range(start, end);
+        }
+        let _timer = self.obs.map(|o| o.profiler.scope(Phase::Select));
+        // Local best candidate: the first strict maximum in the owned
+        // flatten order, i.e. the same individual the single-process best
+        // scan would pick out of this slice.
+        let mut best: Option<(&G, EvalOutcome)> = None;
+        for ind in self.islands[start..end].iter().flatten() {
+            if let Some(outcome) = ind.outcome {
+                if best
+                    .as_ref()
+                    .map(|(_, b)| outcome.score > b.score)
+                    .unwrap_or(true)
+                {
+                    best = Some((&ind.genome, outcome));
+                }
+            }
+        }
+        let mut owned: Vec<&Individual<G>> = self.islands[start..end].iter().flatten().collect();
+        owned.sort_by(|a, b| {
+            let sa = a.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            let sb = b.outcome.map(|o| o.score).unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let stats = owned
+            .iter()
+            .filter_map(|ind| ind.outcome.as_ref())
+            .map(|o| TopStat {
+                score: o.score,
+                delivered: o.delivered_packets,
+                sent: o.sent_packets,
+            })
+            .collect();
+        let island_best = self.islands[start..end]
+            .iter()
+            .map(|pop| {
+                pop.iter()
+                    .filter_map(|ind| ind.outcome.map(|o| o.score))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        ShardReport {
+            generation: self.next_generation,
+            island_start: start,
+            eval_delta: self.evaluations - evals_before,
+            island_best,
+            stats,
+            best_genome: best.map(|(g, _)| g.clone()),
+            best_outcome: best.map(|(_, o)| o),
+            panics: self.panic_log[panics_before..].to_vec(),
+            operators: self
+                .obs
+                .map(|o| o.metrics.operator_snapshot())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Evolves islands `start..end` into their next generation.
+    pub fn shard_evolve(&mut self, start: usize, end: usize) {
+        let _timer = self.obs.map(|o| o.profiler.scope(Phase::Mutate));
+        for island in start..end {
+            self.evolve_island(island);
+        }
+    }
+
+    /// Sorts the owned islands and clones out each one's migration
+    /// contingent, exactly as the in-process ring migration would. Every
+    /// island is owned by exactly one worker, so after each worker runs
+    /// this, the whole population is sorted and a batch's destination slots
+    /// are its destination island's worst individuals.
+    pub fn shard_collect_migrants(&mut self, start: usize, end: usize) -> Vec<MigrantBatch<G>> {
+        let k = migration_k(&self.params);
+        (start..end)
+            .map(|island| {
+                Self::sort_island(&mut self.islands[island]);
+                MigrantBatch {
+                    src_island: island,
+                    migrants: self.islands[island].iter().take(k).cloned().collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Installs inbound migrants into the ring destination of each batch's
+    /// source island, replacing that island's worst individuals (the owned
+    /// islands were sorted by [`Self::shard_collect_migrants`]).
+    pub fn shard_apply_migrants(&mut self, batches: Vec<MigrantBatch<G>>) {
+        let n_islands = self.islands.len();
+        let mut applied = 0u64;
+        for batch in batches {
+            let dst = (batch.src_island + 1) % n_islands;
+            let pop = &mut self.islands[dst];
+            let len = pop.len();
+            for (offset, migrant) in batch.migrants.into_iter().enumerate() {
+                pop[len - 1 - offset] = migrant;
+                applied += 1;
+            }
+        }
+        if let Some(obs) = self.obs {
+            obs.metrics.operators.migrant.add(applied);
+        }
     }
 }
 

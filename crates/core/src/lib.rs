@@ -56,6 +56,7 @@ pub mod realism;
 pub mod scenario;
 pub mod scoring;
 pub mod selection;
+pub mod shard;
 pub mod topology;
 pub mod trace_gen;
 
@@ -69,4 +70,8 @@ pub use fuzzer::{
 pub use genome::{Genome, LinkGenome, TrafficGenome};
 pub use scenario::{FlowGene, ScenarioGenome};
 pub use scoring::{FairnessBreakdown, Objective, ScoringConfig};
+pub use shard::{
+    migration_k, shard_ranges, AbsorbResult, GenerationOutcome, MigrantBatch, ShardCoordinator,
+    ShardReport, TopStat,
+};
 pub use topology::{HopGene, PathedFlowGene, TopologyGenome};

@@ -188,6 +188,13 @@ fn aqm_trajectory_is_pinned() {
 
 #[test]
 fn topology_trajectory_is_pinned() {
+    // Re-pinned when BBR's `prior_cwnd` bookkeeping was aligned with Linux
+    // `bbr_save_cwnd`: the old code ratcheted `prior_cwnd` to an all-time
+    // high, so a BBR flow squeezed by a multi-hop bottleneck restored an
+    // inflated cwnd after loss recovery. Only BBR trajectories that enter
+    // recovery under collapse moved (the golden digests and every other pin
+    // here were unaffected); the fuzzer now hunts against the corrected
+    // post-recovery behaviour.
     let c = Campaign::paper_topology(CcaKind::Bbr, 3, SimDuration::from_secs(2), tiny_ga(17));
     let r = c.run_topology();
     assert_fingerprint(
@@ -199,9 +206,9 @@ fn topology_trajectory_is_pinned() {
             packets: r.best_genome.packet_count(),
         },
         Fingerprint {
-            score_bits: 0x3fe6c4232aab3209,
+            score_bits: 0x3fe6ca7b82c11e04,
             evaluations: 14,
-            mean_bits: 0x3fe4e8342aa8998f,
+            mean_bits: 0x3fe4ea519d5a92e2,
             packets: 138,
         },
     );

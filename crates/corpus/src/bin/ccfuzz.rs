@@ -20,6 +20,7 @@ use ccfuzz_analysis::traceview;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_core::campaign::FuzzMode;
 use ccfuzz_corpus::checkpoint::CampaignCheckpoint;
+use ccfuzz_corpus::daemon::{http_request, resolve_daemon_addr, HuntSpec};
 use ccfuzz_corpus::hunt::{hunt_controlled, HuntConfig, HuntControl, HuntOutcome};
 use ccfuzz_corpus::minimize::{minimize_finding, MinimizeConfig};
 use ccfuzz_corpus::replay::replay_findings;
@@ -87,6 +88,9 @@ SUBCOMMANDS:
     replay      Re-simulate the corpus and report score drift
     report      Print a per-bucket summary of the corpus
     trace       Replay one finding with tracing on and render its timeline
+    submit      Queue a hunt on a ccfuzzd daemon (same flags as hunt)
+    status      Poll a daemon for one hunt's (or every hunt's) status
+    fetch       Print a completed daemon hunt's finding payload
 
 COMMON OPTIONS:
     --corpus DIR        Corpus directory (default: ./corpus)
@@ -146,6 +150,24 @@ trace OPTIONS:
     --buckets N         Timeline rows per flow (default: 20)
     --json PATH         Also export the raw event stream as JSONL
     --csv PATH          Also export the raw event stream as CSV
+
+submit OPTIONS (plus every hunt campaign flag):
+    --daemon ADDR|DIR   Daemon address (host:port), or its root directory —
+                        the address is then read from DIR/daemon.addr
+                        (required; status and fetch take it too)
+    --workers N         Worker processes to shard the islands across
+                        (default: 1)
+    --checkpoint-every N
+                        Worker/campaign checkpoint cadence (default: 1)
+    --panic-budget N    Panic budget; fleet restarts count against it
+                        (default: 100)
+
+status OPTIONS:
+    [ID]                Hunt to query (default: list every hunt)
+
+fetch OPTIONS:
+    <ID>                Completed hunt whose finding payload to print; the
+                        bytes match what `ccfuzz hunt` prints on stdout
 ";
 
 fn main() -> ExitCode {
@@ -248,6 +270,9 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
         "trace" => cmd_trace(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "fetch" => cmd_fetch(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -258,9 +283,10 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
     }
 }
 
-fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
-    let cca =
-        parse_cca(&flag_value(args, "--cca")?.ok_or_else(|| usage_err("hunt requires --cca"))?)?;
+/// Parses the hunt-shaped flags (`--cca`, `--mode`, GA overrides, ...)
+/// shared by `hunt` and `submit` into a fully resolved [`HuntConfig`].
+fn parse_hunt_config(args: &[String]) -> Result<HuntConfig, CliError> {
+    let cca = parse_cca(&flag_value(args, "--cca")?.ok_or_else(|| usage_err("requires --cca"))?)?;
     let mode = match flag_value(args, "--mode")? {
         None => FuzzMode::Traffic,
         Some(name) => FuzzMode::from_name(&name)
@@ -328,7 +354,11 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
             .parse()
             .map_err(|_| usage_err("--population: invalid value"))?;
     }
+    Ok(config)
+}
 
+fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
+    let config = parse_hunt_config(args)?;
     let checkpoint_path = flag_value(args, "--checkpoint")?.map(PathBuf::from);
     if flag_present(args, "--checkpoint-every") && checkpoint_path.is_none() {
         return Err(usage_err("--checkpoint-every requires --checkpoint"));
@@ -346,6 +376,95 @@ fn cmd_hunt(args: &[String]) -> Result<ExitCode, CliError> {
         Some(panic_budget),
         None,
     )
+}
+
+/// Resolves the `--daemon` flag (required by the client subcommands) to a
+/// `host:port` address.
+fn daemon_addr(args: &[String]) -> Result<String, CliError> {
+    let value = flag_value(args, "--daemon")?
+        .ok_or_else(|| usage_err("requires --daemon ADDR|ROOT-DIR"))?;
+    resolve_daemon_addr(&value).map_err(CliError::Runtime)
+}
+
+/// The positional (non-flag) argument, if any — e.g. a hunt id.
+fn positional(args: &[String]) -> Option<String> {
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || !args[i - 1].starts_with("--")))
+        .map(|(_, a)| a.clone())
+}
+
+/// `ccfuzz submit`: build the same hunt a local `ccfuzz hunt` would run and
+/// queue it on a `ccfuzzd` daemon instead. Prints the assigned hunt id.
+fn cmd_submit(args: &[String]) -> Result<ExitCode, CliError> {
+    let config = parse_hunt_config(args)?;
+    let workers: usize = parse_num(args, "--workers", 1)?;
+    if workers == 0 {
+        return Err(usage_err("--workers must be at least 1"));
+    }
+    let checkpoint_every: u32 = parse_num(args, "--checkpoint-every", 1)?;
+    let panic_budget: u64 = parse_num(args, "--panic-budget", 100)?;
+    let spec = HuntSpec {
+        config,
+        workers,
+        checkpoint_every,
+        panic_budget: Some(panic_budget),
+    };
+    let body = serde_json::to_string(&spec)
+        .map_err(|e| CliError::Runtime(format!("serializing hunt spec: {e}")))?;
+    let addr = daemon_addr(args)?;
+    let (code, reply) =
+        http_request(&addr, "POST", "/hunts", Some(&body)).map_err(CliError::Runtime)?;
+    if code != 200 {
+        return Err(CliError::Runtime(format!(
+            "daemon rejected the hunt ({code}): {}",
+            reply.trim()
+        )));
+    }
+    eprintln!(
+        "submitted to {addr}: cca={} mode={} generations={} seed={} workers={workers}",
+        spec.config.cca.name(),
+        spec.config.mode.name(),
+        spec.config.ga.generations,
+        spec.config.ga.seed
+    );
+    print!("{reply}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ccfuzz status [ID]`: one hunt's status, or every hunt's.
+fn cmd_status(args: &[String]) -> Result<ExitCode, CliError> {
+    let addr = daemon_addr(args)?;
+    let path = match positional(args) {
+        Some(id) => format!("/hunts/{id}"),
+        None => "/hunts".to_string(),
+    };
+    let (code, reply) = http_request(&addr, "GET", &path, None).map_err(CliError::Runtime)?;
+    if code != 200 {
+        return Err(CliError::Runtime(format!(
+            "daemon returned {code}: {}",
+            reply.trim()
+        )));
+    }
+    print!("{reply}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ccfuzz fetch ID`: a completed hunt's finding payload — the exact bytes
+/// `ccfuzz hunt` would have printed to stdout.
+fn cmd_fetch(args: &[String]) -> Result<ExitCode, CliError> {
+    let addr = daemon_addr(args)?;
+    let id = positional(args).ok_or_else(|| usage_err("fetch requires a hunt id"))?;
+    let (code, reply) = http_request(&addr, "GET", &format!("/hunts/{id}/findings"), None)
+        .map_err(CliError::Runtime)?;
+    if code != 200 {
+        return Err(CliError::Runtime(format!(
+            "daemon returned {code}: {}",
+            reply.trim()
+        )));
+    }
+    print!("{reply}");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `ccfuzz resume PATH`: load a checkpoint, verify it, and run the campaign

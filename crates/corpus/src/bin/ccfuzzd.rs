@@ -1,0 +1,127 @@
+//! `ccfuzzd` — the distributed hunt daemon.
+//!
+//! ```text
+//! ccfuzzd --root DIR [--bind ADDR]
+//! ccfuzzd worker --connect ADDR --worker K     (internal)
+//! ```
+//!
+//! The daemon serves a minimal HTTP/1.1 API (submit hunts, list/poll
+//! status, stream telemetry JSONL, fetch findings) and executes queued
+//! hunts one at a time, sharding each across `workers` worker processes —
+//! respawned from this same binary via the hidden `worker` subcommand. The
+//! actual listening address is published to `<root>/daemon.addr` so
+//! clients can find a port-0 daemon.
+//!
+//! SIGTERM/SIGINT drain gracefully: the listener stops accepting, the
+//! running hunt (if any) stops at its next generation boundary with a
+//! final checkpoint, and the process exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Raised by the SIGINT/SIGTERM handlers; the accept loop, the runner
+/// thread and the running campaign all poll it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the graceful-shutdown handlers. Lives in the binary (the
+/// library crates forbid unsafe code); uses libc's `signal` directly so no
+/// new dependency is needed.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+const USAGE: &str = "\
+ccfuzzd — CC-Fuzz distributed hunt daemon
+
+USAGE:
+    ccfuzzd --root DIR [--bind ADDR]
+
+OPTIONS:
+    --root DIR      Daemon state directory: per-hunt checkpoints, telemetry
+                    streams and corpora live under <root>/hunts/, completed
+                    hunts merge into the shared corpus at <root>/corpus,
+                    and the listening address is published to
+                    <root>/daemon.addr (required)
+    --bind ADDR     Listen address (default: 127.0.0.1:0 — an OS-assigned
+                    port; read <root>/daemon.addr for the actual one)
+
+HTTP API (drive it with `ccfuzz submit/status/fetch`):
+    POST /hunts               Submit a hunt spec (JSON), returns {\"id\": ...}
+    GET  /hunts               List every hunt's status
+    GET  /hunts/ID            One hunt's status
+    GET  /hunts/ID/stream     The hunt's per-generation telemetry JSONL
+    GET  /hunts/ID/findings   A completed hunt's finding payload (the exact
+                              bytes `ccfuzz hunt` would print)
+
+SIGTERM/SIGINT drain gracefully: the running hunt stops at its next
+generation boundary and the daemon exits 0.
+";
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} requires a value")),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("worker") {
+        return run_worker(&args[1..]);
+    }
+    if matches!(
+        args.first().map(String::as_str),
+        Some("--help") | Some("-h") | Some("help")
+    ) {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let Some(root) = flag_value(args, "--root")? else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let bind = flag_value(args, "--bind")?.unwrap_or_else(|| "127.0.0.1:0".to_string());
+    install_signal_handlers();
+    ccfuzz_corpus::daemon::serve(&PathBuf::from(root), &bind, &SHUTDOWN)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The hidden `worker` subcommand the coordinator spawns: connect back to
+/// the coordinator socket and serve one island shard. Not for human use.
+fn run_worker(args: &[String]) -> Result<ExitCode, String> {
+    let addr = flag_value(args, "--connect")?
+        .ok_or_else(|| "worker requires --connect ADDR".to_string())?;
+    let worker: usize = flag_value(args, "--worker")?
+        .ok_or_else(|| "worker requires --worker K".to_string())?
+        .parse()
+        .map_err(|_| "--worker: invalid value".to_string())?;
+    ccfuzz_corpus::worker::run_worker(&addr, worker)?;
+    Ok(ExitCode::SUCCESS)
+}

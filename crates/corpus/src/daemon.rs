@@ -1,0 +1,1277 @@
+//! The distributed-hunt coordinator and the `ccfuzzd` daemon.
+//!
+//! Two layers live here:
+//!
+//! * [`hunt_distributed`] — the multi-process twin of
+//!   [`crate::hunt::hunt_controlled`]: it shards the campaign's islands
+//!   across worker processes (`ccfuzzd worker` children speaking the
+//!   [`crate::proto`] frame protocol), supervises them (a dead worker
+//!   respawns the whole fleet from the last *committed* checkpoint
+//!   boundary, with backoff, restarts counting against the panic budget)
+//!   and funnels the result through the same persistence tail as a local
+//!   hunt — so a completed distributed hunt emits the byte-identical
+//!   finding payload.
+//! * [`serve`] — the daemon: a minimal hand-rolled HTTP/1.1 endpoint to
+//!   submit hunts, poll status, stream per-generation telemetry JSONL and
+//!   fetch finished findings, plus a runner thread that executes queued
+//!   hunts one at a time and merges each finished hunt's corpus into the
+//!   shared fleet corpus.
+//!
+//! Determinism: the coordinator is the only actor that decides when a
+//! generation is evaluated, when the migration ring runs (batches are
+//! routed in canonical island order) and when the campaign stops, so a
+//! fixed worker count replays a fixed trajectory. Non-annealed campaigns
+//! further match the single-process trajectory for *any* worker count
+//! (see `ccfuzz_core::shard`); annealed ones match it at one worker.
+//!
+//! Checkpoint commits are two-phase: workers persist their boundary
+//! snapshots and acknowledge, and only when *every* worker has acknowledged
+//! does the coordinator commit the boundary (keeping a clone of its own
+//! cross-island state alongside). A crash between those steps rolls the
+//! fleet back to the previous committed boundary — never to a torn mix.
+
+use crate::hunt::{drive, HuntConfig, HuntControl, HuntOutcome};
+use crate::proto::{
+    decode, recv_frame, send_frame, Assign, CheckpointDone, Evaluate, Fatal, Finish, Hello,
+    Proceed, ASSIGN, CHECKPOINT_DONE, EVALUATE, FATAL, FINAL, FINISH, HELLO, INBOUND, MIGRANTS,
+    PROCEED, REPORT,
+};
+use crate::store::{Corpus, CorpusError};
+use ccfuzz_core::campaign::FuzzMode;
+use ccfuzz_core::checkpoint::{CampaignControl, ControlledRun, SnapshotPayload};
+use ccfuzz_core::fuzzer::{FuzzerSnapshot, StopReason};
+use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
+use ccfuzz_core::scenario::ScenarioGenome;
+use ccfuzz_core::shard::{shard_ranges, MigrantBatch, ShardCoordinator, ShardReport};
+use ccfuzz_core::topology::TopologyGenome;
+use ccfuzz_obs::{
+    write_atomic, FleetTelemetry, HuntTelemetry, OperatorSnapshot, WorkerLaneSnapshot,
+};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::finding::GenomePayload;
+
+/// Hard cap on fleet respawns when no panic budget bounds them; a
+/// systematically-crashing worker binary must not loop forever.
+const MAX_UNBUDGETED_RESTARTS: u64 = 32;
+
+/// How long the coordinator waits for all workers to connect and say hello.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------------
+// Distributed coordinator
+// ---------------------------------------------------------------------------
+
+/// Options steering a distributed hunt, alongside the usual
+/// [`HuntControl`].
+pub struct DistOptions<'a> {
+    /// Worker processes to shard the islands across (clamped to the island
+    /// count).
+    pub workers: usize,
+    /// Worker-checkpoint cadence in generations (0 = never; the fleet then
+    /// always restarts from scratch after a death).
+    pub checkpoint_every: u32,
+    /// The binary to spawn workers from (must understand
+    /// `worker --connect ADDR --worker K`; the `ccfuzzd` binary does).
+    pub exe: &'a Path,
+    /// Directory for worker checkpoint files.
+    pub worker_dir: &'a Path,
+    /// Per-worker fleet counters to record into, if any.
+    pub fleet: Option<&'a FleetTelemetry>,
+    /// Called after every absorbed generation and after every (re)spawn.
+    pub on_progress: Option<&'a (dyn Fn(DistProgress) + Sync)>,
+}
+
+/// One progress observation from the coordinator.
+#[derive(Clone, Debug, Default)]
+pub struct DistProgress {
+    /// Latest generation absorbed (meaningful when `evaluations > 0`).
+    pub generation: u32,
+    /// Fleet-wide simulations absorbed so far this run attempt.
+    pub evaluations: u64,
+    /// Best score so far, if anything was evaluated.
+    pub best_score: Option<f64>,
+    /// Fleet respawns so far.
+    pub restarts: u64,
+    /// Current worker process IDs, when the fleet was just (re)spawned.
+    pub worker_pids: Option<Vec<u32>>,
+}
+
+/// [`crate::hunt::hunt_controlled`], but the campaign runs sharded across
+/// worker processes. Same outcomes, same persistence, same payload bytes on
+/// completion. Resuming from a [`crate::checkpoint::CampaignCheckpoint`]
+/// is not supported here — resume interrupted distributed hunts by
+/// submitting them again (the daemon keeps hunts independent) or resume
+/// the final checkpoint single-process with `ccfuzz resume`.
+pub fn hunt_distributed(
+    corpus: &Corpus,
+    config: &HuntConfig,
+    obs: Option<&HuntTelemetry>,
+    ctl: HuntControl<'_>,
+    dist: &DistOptions<'_>,
+) -> Result<HuntOutcome, CorpusError> {
+    let campaign = config.campaign();
+    match config.mode {
+        FuzzMode::Traffic => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| {
+                run_fleet::<TrafficGenome>(config, cc, obs, dist, SnapshotPayload::into_traffic)
+            },
+            SnapshotPayload::Traffic,
+            GenomePayload::Traffic,
+        ),
+        FuzzMode::Link => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| run_fleet::<LinkGenome>(config, cc, obs, dist, SnapshotPayload::into_link),
+            SnapshotPayload::Link,
+            GenomePayload::Link,
+        ),
+        FuzzMode::Fairness => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| {
+                run_fleet::<ScenarioGenome>(config, cc, obs, dist, SnapshotPayload::into_scenario)
+            },
+            SnapshotPayload::Scenario,
+            GenomePayload::Scenario,
+        ),
+        FuzzMode::Aqm => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| {
+                run_fleet::<ScenarioGenome>(config, cc, obs, dist, SnapshotPayload::into_scenario)
+            },
+            SnapshotPayload::Scenario,
+            GenomePayload::Scenario,
+        ),
+        FuzzMode::Topology => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| {
+                run_fleet::<TopologyGenome>(config, cc, obs, dist, SnapshotPayload::into_topology)
+            },
+            SnapshotPayload::Topology,
+            GenomePayload::Topology,
+        ),
+    }
+}
+
+/// A worker process plus its coordinator-side socket.
+struct FleetLink {
+    child: Child,
+    stream: TcpStream,
+}
+
+struct Fleet {
+    links: Vec<FleetLink>,
+}
+
+impl Fleet {
+    fn pids(&self) -> Vec<u32> {
+        self.links.iter().map(|l| l.child.id()).collect()
+    }
+
+    /// Hard-stops every worker (used on death or hard failure).
+    fn kill(&mut self) {
+        for link in &mut self.links {
+            let _ = link.child.kill();
+            let _ = link.child.wait();
+        }
+    }
+
+    /// Reaps workers that were told to finish and exit on their own.
+    fn reap(&mut self) {
+        for link in &mut self.links {
+            let _ = link.child.wait();
+        }
+    }
+}
+
+/// How one fleet run attempt ended, when it did not produce a result.
+enum FleetError {
+    /// A worker died (EOF / IO error); the supervisor respawns the fleet.
+    Death(String),
+    /// A protocol or logic error; respawning cannot help.
+    Fatal(String),
+}
+
+/// The supervision loop: (re)spawn the fleet, drive it, and on worker
+/// death roll back to the last committed boundary and try again.
+fn run_fleet<G>(
+    config: &HuntConfig,
+    control: CampaignControl<'_>,
+    obs: Option<&HuntTelemetry>,
+    dist: &DistOptions<'_>,
+    unwrap: fn(SnapshotPayload) -> Result<FuzzerSnapshot<G>, String>,
+) -> Result<ControlledRun<G>, String>
+where
+    G: Genome + Serialize + Deserialize,
+{
+    if control.resume.is_some() {
+        return Err(
+            "resuming a checkpointed campaign across a distributed fleet is not supported; \
+             resume it single-process with `ccfuzz resume`"
+                .into(),
+        );
+    }
+    let ranges = shard_ranges(config.ga.islands, dist.workers.max(1));
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding coordinator socket: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("configuring coordinator socket: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("resolving coordinator socket: {e}"))?
+        .to_string();
+
+    let mut committed: Option<(u32, ShardCoordinator<G>)> = None;
+    let mut restarts: u64 = 0;
+    loop {
+        let mut coordinator = match &committed {
+            Some((_, state)) => state.clone(),
+            None => ShardCoordinator::new(config.ga),
+        };
+        let resume_generation = committed.as_ref().map(|(g, _)| *g);
+        let attempt = spawn_fleet(&listener, &addr, &ranges, config, dist, resume_generation)
+            .map_err(FleetError::Death)
+            .and_then(|mut fleet| {
+                if let Some(progress) = dist.on_progress {
+                    progress(DistProgress {
+                        restarts,
+                        worker_pids: Some(fleet.pids()),
+                        ..DistProgress::default()
+                    });
+                }
+                let run = drive_fleet(
+                    &mut fleet,
+                    &mut coordinator,
+                    &ranges,
+                    config,
+                    &control,
+                    obs,
+                    dist,
+                    restarts,
+                    &mut committed,
+                    unwrap,
+                );
+                match &run {
+                    Ok(_) => fleet.reap(),
+                    Err(_) => fleet.kill(),
+                }
+                run
+            });
+        match attempt {
+            Ok(run) => return Ok(run),
+            Err(FleetError::Fatal(message)) => return Err(message),
+            Err(FleetError::Death(message)) => {
+                restarts += 1;
+                if let Some(fleet) = dist.fleet {
+                    // Without knowing which worker died first, charge lane 0;
+                    // the fleet restarts as a whole anyway.
+                    fleet.lane(0).restarts.inc();
+                }
+                // Restarts count against the panic budget. When a committed
+                // boundary exists, an exhausted budget still respawns once
+                // more: the boundary check then stops the resumed fleet
+                // gracefully with `PanicBudgetExhausted` and a valid final
+                // snapshot. With nothing committed there is no result to
+                // assemble, so the hunt fails hard.
+                let exhausted_with_nothing_committed = match control.panic_budget {
+                    Some(budget) => restarts > budget && committed.is_none(),
+                    None => restarts > MAX_UNBUDGETED_RESTARTS,
+                };
+                if exhausted_with_nothing_committed {
+                    return Err(format!(
+                        "giving up after {restarts} fleet restarts (last: {message})"
+                    ));
+                }
+                let backoff = Duration::from_millis(100 << restarts.min(4));
+                eprintln!(
+                    "ccfuzzd: fleet died ({message}); respawning from {} in {backoff:?} \
+                     (restart {restarts})",
+                    match resume_generation {
+                        Some(g) => format!("committed generation {g}"),
+                        None => "scratch".to_string(),
+                    }
+                );
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+/// Spawns the worker processes and completes the hello/assign handshake.
+fn spawn_fleet(
+    listener: &TcpListener,
+    addr: &str,
+    ranges: &[(usize, usize)],
+    config: &HuntConfig,
+    dist: &DistOptions<'_>,
+    resume_generation: Option<u32>,
+) -> Result<Fleet, String> {
+    let n = ranges.len();
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    for worker in 0..n {
+        let child = Command::new(dist.exe)
+            .arg("worker")
+            .arg("--connect")
+            .arg(addr)
+            .arg("--worker")
+            .arg(worker.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                for c in &mut children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                format!("spawning worker {worker} from {}: {e}", dist.exe.display())
+            })?;
+        children.push(child);
+    }
+    let kill_all = |children: &mut Vec<Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut pending = n;
+    while pending > 0 {
+        if Instant::now() > deadline {
+            kill_all(&mut children);
+            return Err("fleet handshake timed out".into());
+        }
+        for child in &mut children {
+            if let Ok(Some(status)) = child.try_wait() {
+                kill_all(&mut children);
+                return Err(format!("a worker exited during handshake: {status}"));
+            }
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let hello = (|| -> Result<Hello, String> {
+                    stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(|e| e.to_string())?;
+                    let (kind, body) = recv_frame(&mut stream).map_err(|e| e.to_string())?;
+                    if kind != HELLO {
+                        return Err(format!("expected `{HELLO}`, got `{kind}`"));
+                    }
+                    stream.set_read_timeout(None).map_err(|e| e.to_string())?;
+                    decode(&kind, &body)
+                })();
+                match hello {
+                    Ok(Hello { worker }) if worker < n && slots[worker].is_none() => {
+                        slots[worker] = Some(stream);
+                        pending -= 1;
+                    }
+                    Ok(Hello { worker }) => {
+                        kill_all(&mut children);
+                        return Err(format!("unexpected hello from worker {worker}"));
+                    }
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(format!("handshake failed: {e}"));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(format!("accepting worker connection: {e}"));
+            }
+        }
+    }
+
+    let mut links = Vec::with_capacity(n);
+    for (worker, (child, stream)) in children.into_iter().zip(slots).enumerate() {
+        let mut stream = stream.expect("every slot was filled");
+        let (island_start, island_end) = ranges[worker];
+        let assign = Assign {
+            config: config.clone(),
+            worker,
+            n_workers: n,
+            island_start,
+            island_end,
+            checkpoint_every: dist.checkpoint_every,
+            checkpoint_dir: dist.worker_dir.display().to_string(),
+            resume_generation,
+        };
+        if let Err(e) = send_frame(&mut stream, ASSIGN, &assign) {
+            let mut fleet = Fleet { links };
+            fleet.kill();
+            let _ = child;
+            return Err(format!("assigning worker {worker}: {e}"));
+        }
+        links.push(FleetLink { child, stream });
+    }
+    Ok(Fleet { links })
+}
+
+/// Receives one frame from a worker, expecting `want`. EOF/IO errors are
+/// deaths; `fatal` frames and protocol violations are hard failures.
+fn expect_frame<T: Deserialize>(
+    link: &mut FleetLink,
+    worker: usize,
+    want: &str,
+) -> Result<T, FleetError> {
+    let (kind, body) = recv_frame(&mut link.stream)
+        .map_err(|e| FleetError::Death(format!("worker {worker} link: {e}")))?;
+    if kind == FATAL {
+        let fatal: Fatal = decode(&kind, &body).unwrap_or(Fatal {
+            message: "unreadable fatal frame".into(),
+        });
+        return Err(FleetError::Fatal(format!(
+            "worker {worker} failed: {}",
+            fatal.message
+        )));
+    }
+    if kind != want {
+        return Err(FleetError::Fatal(format!(
+            "expected `{want}` from worker {worker}, got `{kind}`"
+        )));
+    }
+    decode(&kind, &body).map_err(FleetError::Fatal)
+}
+
+/// Drives one spawned fleet until the campaign stops or a worker dies.
+/// Mirrors `Fuzzer::run_controlled`'s boundary order exactly: evaluate →
+/// absorb (select/summary/stall/last-generation) → evolve + migrate →
+/// checkpoint → shutdown check → panic-budget check.
+#[allow(clippy::too_many_arguments)]
+fn drive_fleet<G>(
+    fleet: &mut Fleet,
+    coordinator: &mut ShardCoordinator<G>,
+    ranges: &[(usize, usize)],
+    config: &HuntConfig,
+    control: &CampaignControl<'_>,
+    obs: Option<&HuntTelemetry>,
+    dist: &DistOptions<'_>,
+    restarts: u64,
+    committed: &mut Option<(u32, ShardCoordinator<G>)>,
+    unwrap: fn(SnapshotPayload) -> Result<FuzzerSnapshot<G>, String>,
+) -> Result<ControlledRun<G>, FleetError>
+where
+    G: Genome + Serialize + Deserialize,
+{
+    let islands = config.ga.islands;
+    // Workers report cumulative operator counters; the coordinator feeds
+    // the per-generation diffs into the hunt telemetry.
+    let mut last_operators = vec![OperatorSnapshot::default(); ranges.len()];
+    loop {
+        let generation = coordinator.next_generation();
+        // Boundary checks, in the single-process order (shutdown first,
+        // then budget). They only fire once at least one generation ran —
+        // the same invariant `run_controlled` holds by construction.
+        if !coordinator.history().is_empty() {
+            if generation >= config.ga.generations {
+                return finish_fleet(fleet, coordinator, ranges, StopReason::Completed, unwrap);
+            }
+            if let Some(flag) = control.shutdown {
+                if flag.load(Ordering::SeqCst) {
+                    return finish_fleet(
+                        fleet,
+                        coordinator,
+                        ranges,
+                        StopReason::Interrupted,
+                        unwrap,
+                    );
+                }
+            }
+            if let Some(budget) = control.panic_budget {
+                if coordinator.panic_count() as u64 + restarts > budget {
+                    return finish_fleet(
+                        fleet,
+                        coordinator,
+                        ranges,
+                        StopReason::PanicBudgetExhausted,
+                        unwrap,
+                    );
+                }
+            }
+        }
+
+        for (worker, link) in fleet.links.iter_mut().enumerate() {
+            send_frame(&mut link.stream, EVALUATE, &Evaluate { generation })
+                .map_err(|e| FleetError::Death(format!("worker {worker} link: {e}")))?;
+        }
+        let mut reports: Vec<ShardReport<G>> = Vec::with_capacity(fleet.links.len());
+        for (worker, link) in fleet.links.iter_mut().enumerate() {
+            reports.push(expect_frame(link, worker, REPORT)?);
+        }
+
+        for (worker, report) in reports.iter().enumerate() {
+            if let Some(fleet_t) = dist.fleet {
+                fleet_t
+                    .lane(worker)
+                    .evaluations
+                    .add(report.eval_delta as u64);
+                fleet_t.lane(worker).panics.add(report.panics.len() as u64);
+            }
+            if let Some(o) = obs {
+                o.metrics.evaluations.add(report.eval_delta as u64);
+                o.metrics.panics_caught.add(report.panics.len() as u64);
+                let last = &last_operators[worker];
+                let ops = &report.operators;
+                o.metrics
+                    .operators
+                    .elite
+                    .add(ops.elite.saturating_sub(last.elite));
+                o.metrics
+                    .operators
+                    .crossover
+                    .add(ops.crossover.saturating_sub(last.crossover));
+                o.metrics
+                    .operators
+                    .mutation
+                    .add(ops.mutation.saturating_sub(last.mutation));
+                o.metrics
+                    .operators
+                    .anneal
+                    .add(ops.anneal.saturating_sub(last.anneal));
+                o.metrics
+                    .operators
+                    .migrant
+                    .add(ops.migrant.saturating_sub(last.migrant));
+            }
+            last_operators[worker] = report.operators;
+        }
+
+        let absorbed = coordinator
+            .absorb_reports(&reports)
+            .map_err(FleetError::Fatal)?;
+        if let Some(o) = obs {
+            o.observe_generation(
+                generation,
+                coordinator.best_score().unwrap_or(0.0),
+                absorbed.summary.mean_score,
+                absorbed.island_best.clone(),
+            );
+        }
+        if let Some(progress) = dist.on_progress {
+            progress(DistProgress {
+                generation,
+                evaluations: coordinator.evaluations() as u64,
+                best_score: coordinator.best_score(),
+                restarts,
+                worker_pids: None,
+            });
+        }
+
+        match absorbed.next {
+            ccfuzz_core::shard::GenerationOutcome::Completed => {
+                return finish_fleet(fleet, coordinator, ranges, StopReason::Completed, unwrap);
+            }
+            ccfuzz_core::shard::GenerationOutcome::Evolve { migrate } => {
+                let boundary = generation + 1;
+                let checkpoint =
+                    dist.checkpoint_every > 0 && boundary.is_multiple_of(dist.checkpoint_every);
+                for (worker, link) in fleet.links.iter_mut().enumerate() {
+                    send_frame(
+                        &mut link.stream,
+                        PROCEED,
+                        &Proceed {
+                            generation,
+                            migrate,
+                            checkpoint,
+                        },
+                    )
+                    .map_err(|e| FleetError::Death(format!("worker {worker} link: {e}")))?;
+                }
+                if migrate {
+                    // Collecting in worker order yields batches in global
+                    // island order — the canonical exchange sequence.
+                    let mut outbound: Vec<MigrantBatch<G>> = Vec::new();
+                    for (worker, link) in fleet.links.iter_mut().enumerate() {
+                        let batches: Vec<MigrantBatch<G>> = expect_frame(link, worker, MIGRANTS)?;
+                        if let Some(fleet_t) = dist.fleet {
+                            let count: usize = batches.iter().map(|b| b.migrants.len()).sum();
+                            fleet_t.lane(worker).migrants_out.add(count as u64);
+                        }
+                        outbound.extend(batches);
+                    }
+                    let mut inbound: Vec<Vec<MigrantBatch<G>>> =
+                        ranges.iter().map(|_| Vec::new()).collect();
+                    for batch in outbound {
+                        let dst = (batch.src_island + 1) % islands;
+                        let owner = ranges
+                            .iter()
+                            .position(|&(s, e)| dst >= s && dst < e)
+                            .expect("every island has an owner");
+                        inbound[owner].push(batch);
+                    }
+                    for ((worker, link), batches) in fleet.links.iter_mut().enumerate().zip(inbound)
+                    {
+                        send_frame(&mut link.stream, INBOUND, &batches)
+                            .map_err(|e| FleetError::Death(format!("worker {worker} link: {e}")))?;
+                    }
+                }
+                if checkpoint {
+                    for (worker, link) in fleet.links.iter_mut().enumerate() {
+                        let done: CheckpointDone = expect_frame(link, worker, CHECKPOINT_DONE)?;
+                        if done.generation != boundary {
+                            return Err(FleetError::Fatal(format!(
+                                "worker {worker} checkpointed boundary {} instead of {boundary}",
+                                done.generation
+                            )));
+                        }
+                    }
+                    coordinator.finish_generation();
+                    // Two-phase commit: every worker has durably persisted
+                    // this boundary, so it is now safe to resume from.
+                    *committed = Some((boundary, coordinator.clone()));
+                } else {
+                    coordinator.finish_generation();
+                }
+            }
+        }
+    }
+}
+
+/// Stops the fleet gracefully: align boundaries, collect the final
+/// snapshots, assemble the single-process-equivalent snapshot.
+fn finish_fleet<G>(
+    fleet: &mut Fleet,
+    coordinator: &ShardCoordinator<G>,
+    ranges: &[(usize, usize)],
+    stop: StopReason,
+    unwrap: fn(SnapshotPayload) -> Result<FuzzerSnapshot<G>, String>,
+) -> Result<ControlledRun<G>, FleetError>
+where
+    G: Genome + Serialize + Deserialize,
+{
+    let next_generation = coordinator.next_generation();
+    for (worker, link) in fleet.links.iter_mut().enumerate() {
+        send_frame(&mut link.stream, FINISH, &Finish { next_generation })
+            .map_err(|e| FleetError::Death(format!("worker {worker} link: {e}")))?;
+    }
+    let mut finals: Vec<(usize, usize, FuzzerSnapshot<G>)> = Vec::with_capacity(ranges.len());
+    for ((worker, link), &(start, end)) in fleet.links.iter_mut().enumerate().zip(ranges) {
+        let payload: SnapshotPayload = expect_frame(link, worker, FINAL)?;
+        finals.push((start, end, unwrap(payload).map_err(FleetError::Fatal)?));
+    }
+    let final_snapshot = coordinator
+        .assemble_snapshot(&finals)
+        .map_err(FleetError::Fatal)?;
+    let result = coordinator.result().map_err(FleetError::Fatal)?;
+    Ok(ControlledRun {
+        result,
+        stop,
+        final_snapshot,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The ccfuzzd daemon
+// ---------------------------------------------------------------------------
+
+/// Upper bound on one HTTP request (head + body) the daemon accepts.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// A hunt submission: the campaign plus its distribution knobs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HuntSpec {
+    /// The campaign to run.
+    pub config: HuntConfig,
+    /// Worker processes to shard the islands across (clamped to ≥ 1 and to
+    /// the island count).
+    pub workers: usize,
+    /// Checkpoint cadence in generations (0 = only the final checkpoint).
+    pub checkpoint_every: u32,
+    /// Caught-panic budget, fleet restarts included (`None` = unlimited).
+    pub panic_budget: Option<u64>,
+}
+
+/// Lifecycle of a submitted hunt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HuntState {
+    /// Waiting for the runner thread to pick it up.
+    Queued,
+    /// Executing right now.
+    Running,
+    /// Ran to completion; the finding payload is available.
+    Completed,
+    /// Stopped at a generation boundary by daemon shutdown.
+    Interrupted,
+    /// Stopped because the panic budget was exhausted.
+    PanicBudgetExhausted,
+    /// Failed; see `error` in the status.
+    Failed,
+}
+
+/// A point-in-time status view of one hunt, as served over HTTP.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HuntStatus {
+    /// The daemon-assigned hunt identifier (`hunt-0001`, ...).
+    pub id: String,
+    /// Lifecycle state.
+    pub state: HuntState,
+    /// Latest generation the coordinator absorbed.
+    pub generation: u32,
+    /// Fleet-wide simulations so far.
+    pub evaluations: u64,
+    /// Best score so far, once anything was evaluated.
+    pub best_score: Option<f64>,
+    /// Fleet respawns so far.
+    pub restarts: u64,
+    /// Current worker process IDs.
+    pub worker_pids: Vec<u32>,
+    /// Per-worker counter lanes.
+    pub workers: Vec<WorkerLaneSnapshot>,
+    /// The failure message, for `Failed` hunts.
+    pub error: Option<String>,
+}
+
+/// One hunt the daemon knows about.
+struct HuntEntry {
+    spec: HuntSpec,
+    status: HuntStatus,
+    /// The finding payload of a completed hunt — the exact bytes `ccfuzz
+    /// hunt` would have printed to stdout (JSON line + newline).
+    payload: Option<String>,
+}
+
+/// State shared between the HTTP accept loop and the runner thread.
+struct DaemonShared<'a> {
+    root: PathBuf,
+    exe: PathBuf,
+    hunts: Mutex<Vec<HuntEntry>>,
+    shutdown: &'a AtomicBool,
+}
+
+/// Locks poison-tolerantly: a panicking HTTP handler must not wedge the
+/// runner (or vice versa) for the daemon's remaining lifetime.
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs the daemon: binds `bind` (use port 0 for an OS-assigned port — the
+/// actual address is published to `<root>/daemon.addr`), serves the HTTP
+/// API and executes queued hunts one at a time on a runner thread. Returns
+/// after a graceful drain: once `shutdown` is raised, the listener stops
+/// accepting, the running hunt (if any) stops at its next generation
+/// boundary, and the address file is removed.
+pub fn serve(root: &Path, bind: &str, shutdown: &AtomicBool) -> Result<(), String> {
+    std::fs::create_dir_all(root.join("hunts"))
+        .map_err(|e| format!("creating {}: {e}", root.join("hunts").display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+    let listener = TcpListener::bind(bind).map_err(|e| format!("binding {bind}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("configuring listener: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("resolving listener address: {e}"))?
+        .to_string();
+    write_atomic(&root.join("daemon.addr"), addr.as_bytes())
+        .map_err(|e| format!("publishing daemon.addr: {e}"))?;
+    eprintln!("ccfuzzd: listening on {addr} (root {})", root.display());
+
+    let shared = DaemonShared {
+        root: root.to_path_buf(),
+        exe,
+        hunts: Mutex::new(Vec::new()),
+        shutdown,
+    };
+    std::thread::scope(|scope| {
+        scope.spawn(|| runner_loop(&shared));
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => handle_connection(&shared, stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => eprintln!("ccfuzzd: accept failed: {e}"),
+            }
+        }
+        // Scope exit joins the runner, which drains on the same flag.
+    });
+    let _ = std::fs::remove_file(root.join("daemon.addr"));
+    eprintln!("ccfuzzd: drained");
+    Ok(())
+}
+
+/// The runner thread: executes queued hunts in submission order, one at a
+/// time, until shutdown.
+fn runner_loop(shared: &DaemonShared<'_>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let next = lock(&shared.hunts)
+            .iter()
+            .position(|h| h.status.state == HuntState::Queued);
+        match next {
+            Some(idx) => run_one_hunt(shared, idx),
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Runs hunt `idx` end to end and records its terminal state.
+fn run_one_hunt(shared: &DaemonShared<'_>, idx: usize) {
+    let (id, spec) = {
+        let mut hunts = lock(&shared.hunts);
+        hunts[idx].status.state = HuntState::Running;
+        (hunts[idx].status.id.clone(), hunts[idx].spec.clone())
+    };
+    eprintln!("ccfuzzd: {id}: starting ({} workers)", spec.workers.max(1));
+    let hunt_dir = shared.root.join("hunts").join(&id);
+    let result = execute_hunt(shared, idx, &id, &hunt_dir, &spec);
+    let mut hunts = lock(&shared.hunts);
+    let entry = &mut hunts[idx];
+    match result {
+        Ok((state, payload)) => {
+            entry.status.state = state;
+            entry.payload = payload;
+        }
+        Err(e) => {
+            eprintln!("ccfuzzd: {id}: failed: {e}");
+            entry.status.state = HuntState::Failed;
+            entry.status.error = Some(e);
+        }
+    }
+}
+
+/// The body of one hunt: per-hunt corpus + telemetry sink, the distributed
+/// run itself, and on completion the merge into the daemon's shared corpus.
+fn execute_hunt(
+    shared: &DaemonShared<'_>,
+    idx: usize,
+    id: &str,
+    hunt_dir: &Path,
+    spec: &HuntSpec,
+) -> Result<(HuntState, Option<String>), String> {
+    std::fs::create_dir_all(hunt_dir)
+        .map_err(|e| format!("creating {}: {e}", hunt_dir.display()))?;
+    let corpus = Corpus::open(hunt_dir.join("corpus")).map_err(|e| e.to_string())?;
+    let sink = std::fs::File::create(hunt_dir.join("telemetry.jsonl"))
+        .map_err(|e| format!("creating telemetry stream: {e}"))?;
+    let telemetry = HuntTelemetry::new().with_sink(Box::new(sink));
+    let n_workers = shard_ranges(spec.config.ga.islands, spec.workers.max(1)).len();
+    let fleet_t = FleetTelemetry::new(n_workers);
+    let progress = |p: DistProgress| {
+        let mut hunts = lock(&shared.hunts);
+        let status = &mut hunts[idx].status;
+        if let Some(pids) = p.worker_pids {
+            status.worker_pids = pids;
+        } else {
+            status.generation = p.generation;
+            status.evaluations = p.evaluations;
+            if p.best_score.is_some() {
+                status.best_score = p.best_score;
+            }
+        }
+        status.restarts = p.restarts;
+        status.workers = fleet_t.snapshot();
+    };
+    let worker_dir = hunt_dir.join("workers");
+    let dist = DistOptions {
+        workers: spec.workers.max(1),
+        checkpoint_every: spec.checkpoint_every,
+        exe: &shared.exe,
+        worker_dir: &worker_dir,
+        fleet: Some(&fleet_t),
+        on_progress: Some(&progress),
+    };
+    let ctl = HuntControl {
+        shutdown: Some(shared.shutdown),
+        checkpoint_path: Some(hunt_dir.join("checkpoint.json")),
+        checkpoint_every: spec.checkpoint_every,
+        panic_budget: spec.panic_budget,
+        resume: None,
+    };
+    match hunt_distributed(&corpus, &spec.config, Some(&telemetry), ctl, &dist) {
+        Ok(HuntOutcome::Completed { finding, decision }) => {
+            let json = serde_json::to_string(&*finding).map_err(|e| e.to_string())?;
+            // The exact bytes `ccfuzz hunt` prints: JSON line + newline.
+            let payload = format!("{json}\n");
+            match Corpus::open(shared.root.join("corpus"))
+                .and_then(|shared_corpus| shared_corpus.merge(&corpus))
+            {
+                Ok(report) => eprintln!(
+                    "ccfuzzd: {id}: completed ({decision:?}); merged into shared corpus: \
+                     {} added, {} replaced, {} duplicates",
+                    report.added, report.replaced, report.duplicates
+                ),
+                Err(e) => eprintln!("ccfuzzd: {id}: corpus merge failed: {e}"),
+            }
+            Ok((HuntState::Completed, Some(payload)))
+        }
+        Ok(HuntOutcome::Interrupted {
+            next_generation, ..
+        }) => {
+            eprintln!("ccfuzzd: {id}: interrupted before generation {next_generation}");
+            Ok((HuntState::Interrupted, None))
+        }
+        Ok(HuntOutcome::PanicBudgetExhausted { panics, .. }) => {
+            eprintln!("ccfuzzd: {id}: panic budget exhausted after {panics} panics");
+            Ok((HuntState::PanicBudgetExhausted, None))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------------
+
+/// Serves one connection: parse, route, respond. All failures are reported
+/// to the client and/or stderr; none abort the daemon.
+fn handle_connection(shared: &DaemonShared<'_>, mut stream: TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream.set_nodelay(true).ok();
+    match read_request(&mut stream) {
+        Ok((method, path, body)) => {
+            let (code, content_type, reply) = route(shared, &method, &path, &body);
+            respond(&mut stream, code, content_type, &reply);
+        }
+        Err(e) => respond(
+            &mut stream,
+            400,
+            "text/plain",
+            &format!("bad request: {e}\n"),
+        ),
+    }
+}
+
+/// Reads one HTTP/1.1 request: head until the blank line, then
+/// `Content-Length` bytes of body.
+fn read_request<R: Read>(r: &mut R) -> Result<(String, String, String), String> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err("request head too large".into());
+        }
+        let n = r
+            .read(&mut chunk)
+            .map_err(|e| format!("reading request: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| "request head is not UTF-8".to_string())?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_string())?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| "request line lacks a path".to_string())?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "unparseable content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err("request body too large".into());
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = r
+            .read(&mut chunk)
+            .map_err(|e| format!("reading request body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+        .map_err(|_| "request body is not UTF-8".to_string())?;
+    Ok((method, path, body))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Routes one request to its handler.
+fn route(
+    shared: &DaemonShared<'_>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, &'static str, String) {
+    match (method, path) {
+        ("POST", "/hunts") => submit_hunt(shared, body),
+        ("GET", "/hunts") => {
+            let statuses: Vec<HuntStatus> = lock(&shared.hunts)
+                .iter()
+                .map(|h| h.status.clone())
+                .collect();
+            json_ok(&statuses)
+        }
+        ("GET", p) if p.starts_with("/hunts/") => {
+            let rest = &p["/hunts/".len()..];
+            match rest.split_once('/') {
+                None => hunt_status(shared, rest),
+                Some((id, "stream")) => hunt_stream(shared, id),
+                Some((id, "findings")) => hunt_findings(shared, id),
+                Some(_) => not_found("no such endpoint"),
+            }
+        }
+        _ => not_found("no such endpoint"),
+    }
+}
+
+fn json_ok<T: Serialize>(value: &T) -> (u16, &'static str, String) {
+    match serde_json::to_string(value) {
+        Ok(mut s) => {
+            s.push('\n');
+            (200, "application/json", s)
+        }
+        Err(e) => (500, "text/plain", format!("encoding response: {e}\n")),
+    }
+}
+
+fn not_found(message: &str) -> (u16, &'static str, String) {
+    (404, "text/plain", format!("{message}\n"))
+}
+
+/// `POST /hunts`: queue a hunt, reply with its id.
+fn submit_hunt(shared: &DaemonShared<'_>, body: &str) -> (u16, &'static str, String) {
+    let spec: HuntSpec = match serde_json::from_str(body) {
+        Ok(spec) => spec,
+        Err(e) => return (400, "text/plain", format!("invalid hunt spec: {e}\n")),
+    };
+    if spec.config.ga.islands == 0 || spec.config.ga.population_per_island == 0 {
+        return (
+            400,
+            "text/plain",
+            "invalid hunt spec: islands and population must be non-zero\n".to_string(),
+        );
+    }
+    let mut hunts = lock(&shared.hunts);
+    let id = format!("hunt-{:04}", hunts.len() + 1);
+    hunts.push(HuntEntry {
+        spec,
+        status: HuntStatus {
+            id: id.clone(),
+            state: HuntState::Queued,
+            generation: 0,
+            evaluations: 0,
+            best_score: None,
+            restarts: 0,
+            worker_pids: Vec::new(),
+            workers: Vec::new(),
+            error: None,
+        },
+        payload: None,
+    });
+    let reply = Value::Map(vec![("id".to_string(), Value::Str(id))]);
+    json_ok(&reply)
+}
+
+/// `GET /hunts/{id}`: one hunt's status.
+fn hunt_status(shared: &DaemonShared<'_>, id: &str) -> (u16, &'static str, String) {
+    let hunts = lock(&shared.hunts);
+    match hunts.iter().find(|h| h.status.id == id) {
+        Some(entry) => json_ok(&entry.status),
+        None => not_found(&format!("unknown hunt `{id}`")),
+    }
+}
+
+/// `GET /hunts/{id}/stream`: the hunt's per-generation telemetry JSONL, as
+/// written by the campaign so far.
+fn hunt_stream(shared: &DaemonShared<'_>, id: &str) -> (u16, &'static str, String) {
+    if !lock(&shared.hunts).iter().any(|h| h.status.id == id) {
+        return not_found(&format!("unknown hunt `{id}`"));
+    }
+    let path = shared.root.join("hunts").join(id).join("telemetry.jsonl");
+    // Missing file just means no generation finished yet.
+    let stream = std::fs::read_to_string(path).unwrap_or_default();
+    (200, "application/x-ndjson", stream)
+}
+
+/// `GET /hunts/{id}/findings`: the completed hunt's finding payload —
+/// byte-identical to what `ccfuzz hunt` prints.
+fn hunt_findings(shared: &DaemonShared<'_>, id: &str) -> (u16, &'static str, String) {
+    let hunts = lock(&shared.hunts);
+    match hunts.iter().find(|h| h.status.id == id) {
+        Some(entry) => match &entry.payload {
+            Some(payload) => (200, "application/json", payload.clone()),
+            None => not_found(&format!("hunt `{id}` has no findings (yet)")),
+        },
+        None => not_found(&format!("unknown hunt `{id}`")),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Client helpers (used by the `ccfuzz` submit/status/fetch subcommands)
+// ---------------------------------------------------------------------------
+
+/// Performs one blocking HTTP/1.1 request against a daemon and returns the
+/// status code and response body.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let (head, resp_body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    Ok((code, resp_body.to_string()))
+}
+
+/// Resolves a `--daemon` argument: a bare `host:port` is used directly;
+/// anything that names a directory (or contains a path separator) is
+/// treated as a daemon root whose `daemon.addr` file holds the address.
+pub fn resolve_daemon_addr(value: &str) -> Result<String, String> {
+    let path = Path::new(value);
+    if path.is_dir() || value.contains('/') {
+        let addr_file = path.join("daemon.addr");
+        let addr = std::fs::read_to_string(&addr_file).map_err(|e| {
+            format!(
+                "reading {} (is the daemon running?): {e}",
+                addr_file.display()
+            )
+        })?;
+        Ok(addr.trim().to_string())
+    } else {
+        Ok(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccfuzz_cca::CcaKind;
+    use std::io::Cursor;
+
+    #[test]
+    fn http_requests_parse_with_and_without_bodies() {
+        let raw = b"POST /hunts HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let (method, path, body) = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/hunts");
+        assert_eq!(body, "hello world");
+
+        let raw = b"GET /hunts/hunt-0001/findings HTTP/1.1\r\n\r\n";
+        let (method, path, body) = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(method, "GET");
+        assert_eq!(path, "/hunts/hunt-0001/findings");
+        assert!(body.is_empty());
+
+        // A request cut before the blank line is an error, not a hang.
+        assert!(read_request(&mut Cursor::new(&b"GET /"[..])).is_err());
+    }
+
+    #[test]
+    fn hunt_specs_roundtrip_as_json() {
+        let spec = HuntSpec {
+            config: HuntConfig::quick(CcaKind::Bbr, FuzzMode::Topology, 4, 33),
+            workers: 2,
+            checkpoint_every: 1,
+            panic_budget: Some(3),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: HuntSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn daemon_addrs_resolve_from_roots_and_literals() {
+        assert_eq!(
+            resolve_daemon_addr("127.0.0.1:8080").unwrap(),
+            "127.0.0.1:8080"
+        );
+        let dir = std::env::temp_dir().join(format!("ccfuzzd-addr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("daemon.addr"), "127.0.0.1:9999\n").unwrap();
+        assert_eq!(
+            resolve_daemon_addr(dir.to_str().unwrap()).unwrap(),
+            "127.0.0.1:9999"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -226,8 +226,14 @@ pub fn hunt_controlled(
 /// The mode-generic half of [`hunt_controlled`]: runs the campaign under
 /// control, persists checkpoints and panic artifacts, and (on completion)
 /// inserts the best finding.
+///
+/// Crate-visible so the distributed driver (`crate::daemon`) can reuse the
+/// exact persistence path — same panic artifacts, same final checkpoint,
+/// same finding construction — with its fleet run plugged in as `run`.
+/// That shared tail is what makes a daemon hunt's payload byte-identical
+/// to `ccfuzz hunt`'s.
 #[allow(clippy::too_many_arguments)]
-fn drive<G, RunFn>(
+pub(crate) fn drive<G, RunFn>(
     corpus: &Corpus,
     config: &HuntConfig,
     campaign: &Campaign,

@@ -19,25 +19,36 @@
 //! * [`replay`] — deterministic regression replay with a byte-stable report.
 //! * [`hunt`] — campaign driver that persists what it finds.
 //! * [`report`] — corpus summary tables.
+//! * [`proto`] / [`worker`] / [`daemon`] — the distributed orchestration
+//!   layer: the length-prefixed JSON frame protocol, the island-shard
+//!   worker process, and the coordinator + `ccfuzzd` HTTP daemon that
+//!   shards campaigns across supervised worker fleets.
 //!
-//! The `ccfuzz` binary (`hunt` / `minimize` / `replay` / `report`) is the
-//! command-line face of this crate; see the repository README for a
+//! The `ccfuzz` binary (`hunt` / `minimize` / `replay` / `report` /
+//! `submit` / `status` / `fetch`) is the command-line face of this crate,
+//! and `ccfuzzd` is the hunt daemon; see the repository README for a
 //! walkthrough.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod daemon;
 pub mod finding;
 pub mod hunt;
 pub mod minimize;
+pub mod proto;
 pub mod replay;
 pub mod report;
 pub mod signature;
 pub mod store;
+pub mod worker;
 
 pub use checkpoint::{
     hunt_config_digest, CampaignCheckpoint, PanicFinding, TelemetryCounters, CHECKPOINT_SCHEMA,
+};
+pub use daemon::{
+    hunt_distributed, serve, DistOptions, DistProgress, HuntSpec, HuntState, HuntStatus,
 };
 pub use finding::{Finding, GenomePayload, Provenance};
 pub use hunt::{hunt, hunt_controlled, HuntConfig, HuntControl, HuntOutcome};
@@ -47,4 +58,7 @@ pub use minimize::{
 pub use replay::{replay_corpus, replay_findings, ReplayReport};
 pub use report::corpus_report;
 pub use signature::BehaviorSignature;
-pub use store::{Corpus, CorpusConfig, CorpusError, CorpusLock, InsertOutcome, RecoveryReport};
+pub use store::{
+    Corpus, CorpusConfig, CorpusError, CorpusLock, InsertOutcome, MergeReport, RecoveryReport,
+};
+pub use worker::run_worker;

@@ -107,6 +107,31 @@ impl RecoveryReport {
     }
 }
 
+/// What [`Corpus::merge`] did with the source corpus's findings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MergeReport {
+    /// Findings new to this corpus and stored.
+    pub added: u64,
+    /// Findings that replaced a weaker same-signature incumbent.
+    pub replaced: u64,
+    /// Findings rejected because an equal-or-stronger same-signature
+    /// incumbent exists.
+    pub duplicates: u64,
+    /// Findings rejected because their (CCA, mode) bucket is full of
+    /// stronger findings.
+    pub bucket_full: u64,
+    /// Source finding files the source corpus's recovery pass had
+    /// quarantined (they never became merge candidates).
+    pub source_quarantined: u64,
+}
+
+impl MergeReport {
+    /// Total candidates examined (quarantined source files excluded).
+    pub fn candidates(&self) -> u64 {
+        self.added + self.replaced + self.duplicates + self.bucket_full
+    }
+}
+
 /// An exclusive advisory lock on a corpus, preventing two campaigns from
 /// interleaving writes into one store. Created by [`Corpus::lock`]; the
 /// lock file is removed when the guard drops.
@@ -177,8 +202,11 @@ impl Corpus {
     }
 
     /// Takes the corpus's exclusive campaign lock. Fails if another live
-    /// process holds it; a lock left by a dead process (its PID no longer
-    /// exists) is stolen. The lock releases when the returned guard drops.
+    /// process holds it; a lock left by a dead process is stolen. The lock
+    /// file records `pid:starttime` (procfs field 22), so a dead holder is
+    /// recognised even when an unrelated process has recycled its PID — the
+    /// recycled process has a different start time. The lock releases when
+    /// the returned guard drops.
     pub fn lock(&self) -> Result<CorpusLock, CorpusError> {
         let path = self.root.join("LOCK");
         // Two attempts: the second runs only after a stale lock was swept,
@@ -190,24 +218,22 @@ impl Corpus {
                 .open(&path)
             {
                 Ok(mut file) => {
-                    writeln!(file, "{}", std::process::id())?;
+                    let pid = std::process::id();
+                    match proc_starttime(pid) {
+                        // `pid:starttime` when procfs can tell us our own
+                        // start time; bare `pid` otherwise (the conservative
+                        // legacy format).
+                        Some(start) => writeln!(file, "{pid}:{start}")?,
+                        None => writeln!(file, "{pid}")?,
+                    }
                     file.sync_all()?;
                     return Ok(CorpusLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     let holder = std::fs::read_to_string(&path).unwrap_or_default();
-                    // Steal only on positive evidence the holder is gone:
-                    // a parsable PID that procfs says no longer exists. An
+                    // Steal only on positive evidence the holder is gone. An
                     // unreadable or mid-write lock file is treated as held.
-                    let stale = holder
-                        .trim()
-                        .parse::<u32>()
-                        .ok()
-                        .map(|pid| {
-                            Path::new("/proc").is_dir()
-                                && !Path::new(&format!("/proc/{pid}")).exists()
-                        })
-                        .unwrap_or(false);
+                    let stale = holder_is_dead(holder.trim());
                     if !stale {
                         return Err(CorpusError(format!(
                             "corpus {} is locked by process {} (remove {} if that process is dead)",
@@ -326,6 +352,41 @@ impl Corpus {
         Ok(InsertOutcome::Added)
     }
 
+    /// Merges every finding from `other` into this corpus through the same
+    /// signature dedup and top-K bucket retention as live inserts, so fleet
+    /// workers' per-campaign corpora funnel into one store without
+    /// duplicates or unbounded growth.
+    ///
+    /// Candidates are processed in (descending score, id) order, which makes
+    /// the result independent of the order the source corpus happened to be
+    /// written in: the strongest finding of each signature claims its slot
+    /// first and everything weaker is judged against the final incumbents.
+    /// Source findings that fail to load were already quarantined by
+    /// `other`'s recovery pass and are counted, not fatal.
+    pub fn merge(&self, other: &Corpus) -> Result<MergeReport, CorpusError> {
+        let mut candidates = other.load_all()?;
+        candidates.sort_by(|a, b| {
+            b.outcome
+                .score
+                .partial_cmp(&a.outcome.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        let mut report = MergeReport {
+            source_quarantined: other.recovery().quarantined.len() as u64,
+            ..MergeReport::default()
+        };
+        for finding in &candidates {
+            match self.insert(finding)? {
+                InsertOutcome::Added => report.added += 1,
+                InsertOutcome::ReplacedWeaker { .. } => report.replaced += 1,
+                InsertOutcome::DuplicateRejected { .. } => report.duplicates += 1,
+                InsertOutcome::BucketFullRejected { .. } => report.bucket_full += 1,
+            }
+        }
+        Ok(report)
+    }
+
     /// Findings grouped by (CCA, mode), each group sorted by descending
     /// score — the shape reports want.
     #[allow(clippy::type_complexity)]
@@ -377,6 +438,49 @@ impl Corpus {
         }
         self.remove(old_id)?;
         self.insert(finding)
+    }
+}
+
+/// Start time (procfs `stat` field 22, in clock ticks since boot) of the
+/// given process, or `None` when the process does not exist or procfs is
+/// unavailable. The comm field (2) may itself contain spaces and
+/// parentheses, so fields are counted from the *last* `)`.
+fn proc_starttime(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let after_comm = stat.rsplit_once(')')?.1;
+    // `after_comm` starts at field 3 (state); field 22 is the 20th here.
+    after_comm.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// Whether a LOCK file's `pid[:starttime]` holder is provably dead.
+///
+/// * `pid:starttime` — dead if the PID is gone, or if it exists with a
+///   different start time (the PID was recycled by an unrelated process).
+/// * bare `pid` (legacy format, or written without procfs) — dead only if
+///   the PID is gone; a live recycled PID cannot be distinguished from the
+///   holder, so it conservatively counts as held.
+/// * anything else, or no procfs — held.
+fn holder_is_dead(holder: &str) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return false;
+    }
+    let (pid_text, start_text) = match holder.split_once(':') {
+        Some((pid, start)) => (pid, Some(start)),
+        None => (holder, None),
+    };
+    let Ok(pid) = pid_text.parse::<u32>() else {
+        return false;
+    };
+    match proc_starttime(pid) {
+        // PID gone (or its stat unreadable, which for our purposes is the
+        // same evidence /proc/<pid> existence gave the legacy format).
+        None => !Path::new(&format!("/proc/{pid}")).exists(),
+        Some(live_start) => match start_text.and_then(|s| s.parse::<u64>().ok()) {
+            // Start-time mismatch: the holder died and its PID was recycled.
+            Some(recorded) => recorded != live_start,
+            // Legacy bare-PID lock naming a live PID: treat as held.
+            None => false,
+        },
     }
 }
 
@@ -714,6 +818,53 @@ mod tests {
     }
 
     #[test]
+    fn recycled_pid_lock_is_recognised_as_dead_and_stolen() {
+        if !Path::new("/proc").is_dir() {
+            return; // Staleness detection needs procfs.
+        }
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        // The holder PID is this very test process (alive), but the recorded
+        // start time cannot match: the "holder" died and its PID was
+        // recycled. Start tick 0 belongs to a boot-time kernel task, never
+        // to a userspace test runner.
+        std::fs::write(dir.join("LOCK"), format!("{}:0\n", std::process::id())).unwrap();
+        let guard = corpus.lock().expect("recycled-pid lock is stolen");
+        drop(guard);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn matching_pid_and_starttime_is_held() {
+        if !Path::new("/proc").is_dir() {
+            return;
+        }
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        let guard = corpus.lock().unwrap();
+        // The lock file records our own pid:starttime; a second claimant
+        // must see a live holder.
+        let holder = std::fs::read_to_string(dir.join("LOCK")).unwrap();
+        assert!(
+            holder.trim().contains(':'),
+            "lock records pid:starttime, got {holder:?}"
+        );
+        let err = corpus.lock().unwrap_err();
+        assert!(err.0.contains("locked by process"), "{err}");
+        drop(guard);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_bare_pid_lock_of_a_live_process_is_held() {
+        let (corpus, dir) = temp_corpus(CorpusConfig::default());
+        // Old-format lock naming a live PID: conservatively held, because a
+        // bare PID cannot prove the holder died.
+        std::fs::write(dir.join("LOCK"), format!("{}\n", std::process::id())).unwrap();
+        let err = corpus.lock().unwrap_err();
+        assert!(err.0.contains("locked by process"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn unreadable_lock_content_is_treated_as_held() {
         let (corpus, dir) = temp_corpus(CorpusConfig::default());
         std::fs::write(dir.join("LOCK"), "definitely not a pid").unwrap();
@@ -722,8 +873,108 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
+    #[test]
+    fn merge_dedups_replaces_weaker_and_respects_retention() {
+        let (dst, dst_dir) = temp_corpus(CorpusConfig {
+            top_k_per_bucket: 2,
+        });
+        let src_dir = dst_dir.with_extension("src");
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let src = Corpus::open_with(
+            &src_dir,
+            CorpusConfig {
+                top_k_per_bucket: 8,
+            },
+        )
+        .unwrap();
+
+        // dst holds a weak and a mid finding (distinct signatures).
+        dst.insert(&synthetic(CcaKind::Reno, 0.5, 1)).unwrap();
+        dst.insert(&synthetic(CcaKind::Reno, 0.7, 2)).unwrap();
+        // src: a stronger same-signature twin of the weak one, an exact
+        // duplicate of the mid one, a new strongest finding, and one from a
+        // different bucket.
+        src.insert(&synthetic(CcaKind::Reno, 0.52, 1)).unwrap();
+        src.insert(&synthetic(CcaKind::Reno, 0.7, 2)).unwrap();
+        src.insert(&synthetic(CcaKind::Reno, 0.9, 4)).unwrap();
+        src.insert(&synthetic(CcaKind::Cubic, 0.3, 1)).unwrap();
+
+        let report = dst.merge(&src).unwrap();
+        assert_eq!(report.candidates(), 4);
+        assert_eq!(report.added, 2, "{report:?}"); // 0.9 reno + 0.3 cubic
+        assert_eq!(report.duplicates, 1, "{report:?}"); // the 0.7 twin
+        assert_eq!(report.source_quarantined, 0);
+        // The strongest candidate landed first, so the 0.52 twin of the
+        // weak incumbent was judged against a full {0.9, 0.7} bucket —
+        // replaced or bucket-full, never both kept.
+        assert_eq!(report.replaced + report.bucket_full, 1, "{report:?}");
+
+        // Retention holds: the reno bucket keeps its strongest two.
+        let buckets = dst.buckets().unwrap();
+        let reno = &buckets[&("reno".to_string(), "traffic".to_string())];
+        assert_eq!(reno.len(), 2);
+        assert_eq!(reno[0].outcome.score, 0.9);
+        assert_eq!(reno[1].outcome.score, 0.7);
+        // The other bucket is untouched by reno's retention.
+        assert_eq!(dst.ids_for_cca(CcaKind::Cubic).unwrap().len(), 1);
+
+        // Merging the same source again is a no-op full of duplicates.
+        let again = dst.merge(&src).unwrap();
+        assert_eq!(again.added, 0);
+        assert_eq!(again.replaced, 0);
+        let _ = std::fs::remove_dir_all(dst_dir);
+        let _ = std::fs::remove_dir_all(src_dir);
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Merging corpora built from the same findings in ANY insertion
+        /// order converges to the same surviving id set: the (descending
+        /// score, id) candidate order makes merge outcomes a function of the
+        /// finding *set*, not of write history.
+        #[test]
+        fn merge_result_is_independent_of_source_write_order(
+            perm_seed in 0u64..64,
+            top_k in 1usize..4,
+        ) {
+            use proptest::prelude::*;
+            // Distinct scores and rto bands → distinct signatures, no ties.
+            let mut pool: Vec<Finding> = (0..6)
+                .map(|i| synthetic(CcaKind::Reno, 0.3 + 0.1 * i as f64, i))
+                .collect();
+            // A cheap deterministic permutation of the pool.
+            let mut s = perm_seed;
+            for i in (1..pool.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                pool.swap(i, (s >> 33) as usize % (i + 1));
+            }
+
+            let base = std::env::temp_dir().join(format!(
+                "ccfuzz-merge-prop-{}-{:?}-{perm_seed}-{top_k}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&base);
+            let src = Corpus::open_with(base.join("src"), CorpusConfig { top_k_per_bucket: 8 }).unwrap();
+            for f in &pool {
+                src.insert(f).unwrap();
+            }
+            let dst = Corpus::open_with(base.join("dst"), CorpusConfig { top_k_per_bucket: top_k }).unwrap();
+            dst.merge(&src).unwrap();
+
+            // Survivors are exactly the top_k strongest of the pool.
+            let mut expected: Vec<&Finding> = pool.iter().collect();
+            expected.sort_by(|a, b| b.outcome.score.partial_cmp(&a.outcome.score).unwrap());
+            expected.truncate(top_k);
+            let mut expected_ids: Vec<String> =
+                expected.iter().map(|f| f.id.clone()).collect();
+            expected_ids.sort();
+            let mut got = dst.ids().unwrap();
+            got.sort();
+            prop_assert_eq!(got, expected_ids);
+            let _ = std::fs::remove_dir_all(base);
+        }
 
         /// A finding file truncated at ANY byte offset must never make the
         /// corpus unusable: reopening either keeps the finding (truncation

@@ -4,6 +4,8 @@
 //! (only the vendored serde shims) so every layer — the simulator, the GA
 //! core, the corpus driver and the bench harness — can record into it:
 //!
+//! * [`fleet`] — worker-tagged counter lanes for distributed hunts
+//!   (per-worker evaluations, panics, restarts, migrant routing).
 //! * [`metrics`] — lock-free counters, gauges and 256-bucket log-scale
 //!   histograms with per-worker [`LocalHistogram`] shards that merge into
 //!   the shared [`Histogram`] on snapshot.
@@ -25,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod metrics;
 pub mod persist;
 pub mod profile;
 pub mod ring;
 pub mod telemetry;
 
+pub use fleet::{FleetTelemetry, WorkerLane, WorkerLaneSnapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram};
 pub use persist::write_atomic;
 pub use profile::{Phase, PhaseProfiler};

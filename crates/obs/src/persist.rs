@@ -9,15 +9,23 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide sequence number for staging-file names. A PID alone is not
+/// enough: two threads of one process (e.g. two daemon campaigns) writing
+/// the same target would share a staging file, and one truncating it while
+/// the other renames can put a torn file in place.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Writes `bytes` to `path` atomically: write a `.tmp` sibling in the same
 /// directory, fsync it, rename it over `path`, then best-effort fsync the
 /// parent directory so the rename itself is durable. Returns the number of
 /// bytes written.
 ///
-/// The temp name embeds the writer's PID (`<name>.<pid>.tmp`) so two
-/// processes racing on the same target never corrupt each other's staging
-/// file; last rename wins, and either way `path` holds one complete write.
+/// The temp name embeds the writer's PID and a process-wide sequence number
+/// (`<name>.<pid>.<seq>.tmp`) so neither two processes nor two threads of
+/// one process racing on the same target ever share a staging file; last
+/// rename wins, and either way `path` holds one complete write.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<u64> {
     let tmp = tmp_sibling(path)?;
     let result = write_via_tmp(path, &tmp, bytes);
@@ -63,7 +71,11 @@ fn tmp_sibling(path: &Path) -> io::Result<PathBuf> {
         )
     })?;
     let mut tmp_name = name.to_os_string();
-    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     Ok(path.with_file_name(tmp_name))
 }
 
@@ -104,6 +116,43 @@ mod tests {
         write_atomic(&path, b"a longer first version").unwrap();
         write_atomic(&path, b"short").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"short");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_in_one_process_never_publish_a_torn_file() {
+        // Regression test: with a PID-only staging name, every thread below
+        // shares one staging file, so a reader can observe a file that one
+        // thread truncated mid-way through another thread's rename. Each
+        // write is `{"writer":w,"payload":"ww...w"}` with a writer-specific
+        // length, so any interleaving of two writers fails to parse.
+        let dir = scratch_dir("threads");
+        let path = dir.join("artifact.json");
+        const WRITERS: usize = 8;
+        const ROUNDS: usize = 50;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = &path;
+                scope.spawn(move || {
+                    let body = "w".repeat(16 + w * 3);
+                    let doc = format!("{{\"writer\":{w},\"payload\":\"{body}\"}}");
+                    for _ in 0..ROUNDS {
+                        write_atomic(path, doc.as_bytes()).unwrap();
+                        let seen = std::fs::read_to_string(path).unwrap();
+                        assert!(
+                            seen.starts_with("{\"writer\":") && seen.ends_with("\"}"),
+                            "torn file observed: {seen:?}"
+                        );
+                    }
+                });
+            }
+        });
+        // Every staging file was either renamed or cleaned up.
+        let strays = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().map(|x| x == "tmp") == Some(true))
+            .count();
+        assert_eq!(strays, 0, "staging files survived the hammering");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
