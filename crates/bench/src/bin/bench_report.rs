@@ -9,6 +9,10 @@
 //!   5 s (tracks flow-count scaling beyond N=8).
 //! * `multi_hop`     — a 3-hop parking lot (long Reno flow over the chain
 //!   plus a short competitor on the middle bottleneck), 5 s.
+//! * `workload_2k`   — flow-churn stress: one always-on elephant plus a
+//!   400 flows/s Poisson arrival process (~2000 dynamically spawned and
+//!   recycled flows with bounded-Pareto sizes), 5 s. Exercises the slab
+//!   recycling + active-set hot path.
 //! * `mini_campaign` — a 2-generation traffic-fuzzing GA (4 islands × 8).
 //!
 //! A machine-speed calibration loop (FNV hashing) is timed alongside so the
@@ -20,7 +24,7 @@
 //!
 //! `--check` loads a previously committed report and exits non-zero when any
 //! gated workload's normalised evals/sec (mini_campaign, fairness_8flow,
-//! fairness_32flow and multi_hop) regressed by more than `--tolerance`
+//! fairness_32flow, multi_hop and workload_2k) regressed by more than `--tolerance`
 //! (default 0.20, i.e. 20 %). A zeroed workload block in the committed
 //! report is a hard failure, not a silent skip: an all-zero anchor would
 //! otherwise let any regression through for that workload.
@@ -63,6 +67,9 @@ struct LatencyReport {
     fairness_32flow: LatencyQuantiles,
     /// Three-hop parking lot.
     multi_hop: LatencyQuantiles,
+    /// Flow-churn workload (~2000 arriving flows). Zeroed in reports
+    /// recorded before the workload existed.
+    workload_2k: LatencyQuantiles,
     /// Per-evaluation latency inside the GA campaign (from the campaign's
     /// own telemetry histogram, not per-rep wall time).
     mini_campaign: LatencyQuantiles,
@@ -82,6 +89,7 @@ impl Serialize for LatencyReport {
                 self.fairness_32flow.to_value(),
             ),
             ("multi_hop".to_string(), self.multi_hop.to_value()),
+            ("workload_2k".to_string(), self.workload_2k.to_value()),
             ("mini_campaign".to_string(), self.mini_campaign.to_value()),
         ])
     }
@@ -99,6 +107,10 @@ impl Deserialize for LatencyReport {
                 Err(_) => LatencyQuantiles::default(),
             },
             multi_hop: Deserialize::from_value(map_get(m, "multi_hop")?)?,
+            workload_2k: match map_get(m, "workload_2k") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => LatencyQuantiles::default(),
+            },
             mini_campaign: Deserialize::from_value(map_get(m, "mini_campaign")?)?,
         })
     }
@@ -123,6 +135,9 @@ struct BenchReport {
     /// Three-hop parking lot: one long flow plus one short-path flow.
     /// Zeroed in reports recorded before the topology engine existed.
     multi_hop: WorkloadReport,
+    /// Flow-churn stress: ~2000 dynamically arriving flows over 5 s.
+    /// Zeroed in reports recorded before the flow-churn engine existed.
+    workload_2k: WorkloadReport,
     /// Two-generation GA campaign.
     mini_campaign: WorkloadReport,
     /// Eval-latency p50/p95/p99 per workload. `None` in reports recorded
@@ -155,6 +170,7 @@ impl Serialize for BenchReport {
                 self.fairness_32flow.to_value(),
             ),
             ("multi_hop".to_string(), self.multi_hop.to_value()),
+            ("workload_2k".to_string(), self.workload_2k.to_value()),
             ("mini_campaign".to_string(), self.mini_campaign.to_value()),
         ];
         if let Some(latency) = &self.eval_latency {
@@ -180,6 +196,10 @@ impl Deserialize for BenchReport {
                 Err(_) => WorkloadReport::default(),
             },
             multi_hop: Deserialize::from_value(map_get(m, "multi_hop")?)?,
+            workload_2k: match map_get(m, "workload_2k") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => WorkloadReport::default(),
+            },
             mini_campaign: Deserialize::from_value(map_get(m, "mini_campaign")?)?,
             eval_latency: match map_get(m, "eval_latency") {
                 Ok(v) => Deserialize::from_value(v)?,
@@ -209,12 +229,13 @@ impl BenchReport {
     }
 
     /// The workloads the `--check` regression gate covers, by name.
-    fn gated_workloads(&self) -> [(&'static str, &WorkloadReport); 4] {
+    fn gated_workloads(&self) -> [(&'static str, &WorkloadReport); 5] {
         [
             ("mini_campaign", &self.mini_campaign),
             ("fairness_8flow", &self.fairness_8flow),
             ("fairness_32flow", &self.fairness_32flow),
             ("multi_hop", &self.multi_hop),
+            ("workload_2k", &self.workload_2k),
         ]
     }
 }
@@ -383,6 +404,47 @@ fn multi_hop(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     })
 }
 
+fn workload_2k(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
+    use ccfuzz_netsim::sim::Simulation;
+    use ccfuzz_netsim::workload::{ArrivalConfig, ArrivalProcess, SizeDistribution};
+    let duration = SimDuration::from_secs(5);
+    time_workload(reps, || {
+        let mut cfg = paper_sim_base(duration);
+        cfg.record_events = false;
+        // 400 flows/s x 5 s ≈ 2000 dynamic flows churning through the slab,
+        // with a heavy-tailed size distribution so mice and elephants mix.
+        cfg.arrivals = Some(ArrivalConfig {
+            process: ArrivalProcess::Poisson {
+                rate_per_sec: 400.0,
+            },
+            size: SizeDistribution {
+                shape: 1.2,
+                min_packets: 1,
+                max_packets: 400,
+            },
+            mice_threshold_packets: 32,
+            max_concurrent: 128,
+            max_arrivals: 50_000,
+        });
+        // Arrivals clone their controller from a prototype pool, so this
+        // workload runs on the clonable `CcaDispatch` (the evaluator's own
+        // representation) rather than boxed trait objects.
+        let specs = vec![FlowSpec {
+            cc: CcaKind::Reno.build_dispatch(10),
+            start: SimTime::ZERO,
+            stop: None,
+        }];
+        let mut sim = Simulation::new_multi(cfg, specs);
+        let mut protos = vec![
+            CcaKind::Reno.build_dispatch(10),
+            CcaKind::Cubic.build_dispatch(10),
+        ];
+        sim.install_arrivals(&mut protos);
+        let result = sim.run();
+        std::hint::black_box(result.stats.events_processed)
+    })
+}
+
 fn mini_campaign(reps: u64) -> (WorkloadReport, LatencyQuantiles) {
     let events_per_run: u64;
     let mut evals_per_run = 0u64;
@@ -473,10 +535,11 @@ fn main() {
     // window on a shared runner. The campaign stays at 3 reps in both
     // modes (a single-rep campaign measurement is noisy enough to trip the
     // 20 % gate without any code change).
-    let (reps_single, reps_fair, reps_fair32, reps_multihop, reps_campaign) = if fast {
-        (10, 8, 8, 10, 3)
+    let (reps_single, reps_fair, reps_fair32, reps_multihop, reps_workload, reps_campaign) = if fast
+    {
+        (10, 8, 8, 10, 8, 3)
     } else {
-        (200, 120, 120, 120, 3)
+        (200, 120, 120, 120, 120, 3)
     };
 
     // Calibration is sampled before every workload and once at the end,
@@ -524,6 +587,16 @@ fn main() {
     );
 
     mops = mops.max(calibration_round());
+    eprintln!("timing workload_2k ({reps_workload} reps)...");
+    let (workload, workload_lat) = workload_2k(reps_workload);
+    eprintln!(
+        "  {:.2} evals/s, {:.2} Mevents/s, {:.0} ns/event",
+        workload.evals_per_sec,
+        workload.events_per_sec / 1e6,
+        workload.ns_per_event
+    );
+
+    mops = mops.max(calibration_round());
     eprintln!("timing mini_campaign ({reps_campaign} reps)...");
     let (campaign, campaign_lat) = mini_campaign(reps_campaign);
     eprintln!(
@@ -560,12 +633,14 @@ fn main() {
         fairness_8flow: fair,
         fairness_32flow: fair32,
         multi_hop: multihop,
+        workload_2k: workload,
         mini_campaign: campaign,
         eval_latency: Some(LatencyReport {
             single_flow: single_lat,
             fairness_8flow: fair_lat,
             fairness_32flow: fair32_lat,
             multi_hop: multihop_lat,
+            workload_2k: workload_lat,
             mini_campaign: campaign_lat,
         }),
         baseline,

@@ -19,7 +19,10 @@ use ccfuzz_netsim::cc::reference_cc::FixedWindowCc;
 use ccfuzz_netsim::cc::{CcContext, CongestionControl, CongestionSignal, RateSample};
 
 /// A congestion control algorithm, dispatched by enum variant instead of
-/// vtable on the per-ACK hot path.
+/// vtable on the per-ACK hot path. `Clone` lets one instance serve as the
+/// prototype a workload simulation stamps per-arrival controllers from;
+/// every registry-built variant clones, only [`CcaDispatch::Custom`]
+/// (an opaque trait object) panics.
 #[derive(Debug)]
 pub enum CcaDispatch {
     /// TCP Reno / NewReno.
@@ -37,6 +40,22 @@ pub enum CcaDispatch {
     /// Escape hatch for algorithms outside this crate; pays the virtual
     /// call the other variants avoid.
     Custom(Box<dyn CongestionControl>),
+}
+
+impl Clone for CcaDispatch {
+    fn clone(&self) -> Self {
+        match self {
+            CcaDispatch::Reno(c) => CcaDispatch::Reno(c.clone()),
+            CcaDispatch::Cubic(c) => CcaDispatch::Cubic(c.clone()),
+            CcaDispatch::Bbr(c) => CcaDispatch::Bbr(c.clone()),
+            CcaDispatch::Vegas(c) => CcaDispatch::Vegas(c.clone()),
+            CcaDispatch::Dctcp(c) => CcaDispatch::Dctcp(c.clone()),
+            CcaDispatch::Fixed(c) => CcaDispatch::Fixed(c.clone()),
+            CcaDispatch::Custom(_) => {
+                panic!("CcaDispatch::Custom holds an opaque trait object and cannot be cloned")
+            }
+        }
+    }
 }
 
 macro_rules! dispatch {

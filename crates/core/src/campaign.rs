@@ -15,6 +15,7 @@ use crate::scenario::{QdiscChoice, ScenarioGenome};
 use crate::scoring::ScoringConfig;
 use crate::topology::TopologyGenome;
 use crate::trace_gen::packets_for_rate;
+use crate::workload::WorkloadGenome;
 use ccfuzz_cca::CcaKind;
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::queue::QueueCapacity;
@@ -48,6 +49,10 @@ pub enum FuzzMode {
     /// per-flow parking-lot paths) plus cross traffic, hunting for hop
     /// chains that break flows.
     Topology,
+    /// Evolve dynamic-arrival workloads (arrival process, heavy-tailed flow
+    /// sizes, background elephant mix) hunting for flow-churn patterns that
+    /// inflate the tail latency of short flows.
+    Workload,
 }
 
 impl FuzzMode {
@@ -59,16 +64,18 @@ impl FuzzMode {
             FuzzMode::Fairness => "fairness",
             FuzzMode::Aqm => "aqm",
             FuzzMode::Topology => "topology",
+            FuzzMode::Workload => "workload",
         }
     }
 
     /// Every mode, in CLI/documentation order.
-    pub const ALL: [FuzzMode; 5] = [
+    pub const ALL: [FuzzMode; 6] = [
         FuzzMode::Traffic,
         FuzzMode::Link,
         FuzzMode::Fairness,
         FuzzMode::Aqm,
         FuzzMode::Topology,
+        FuzzMode::Workload,
     ];
 
     /// Parses a CLI name as produced by [`FuzzMode::name`].
@@ -209,6 +216,38 @@ impl Campaign {
             max_flows: 3,
             qdisc_choice: QdiscChoice::Any,
             topology_hops: hops.max(1),
+        }
+    }
+
+    /// The workload campaign preset: the paper's standard bottleneck, but
+    /// the GA evolves a dynamic-arrival workload — Poisson or ON/OFF flow
+    /// arrivals with bounded-Pareto sizes, a concurrency cap, and a
+    /// background elephant mix drawn from `cca_pool` — hunting for churn
+    /// patterns that inflate the p99 flow-completion time of short flows
+    /// through `cca`'s elephants. `max_elephants` bounds the background mix
+    /// (stored in the campaign's `max_flows` field).
+    pub fn paper_workload(
+        cca: CcaKind,
+        cca_pool: Vec<CcaKind>,
+        max_elephants: usize,
+        duration: SimDuration,
+        ga: GaParams,
+    ) -> Self {
+        assert!(!cca_pool.is_empty(), "workload campaigns need a CCA pool");
+        let sim = paper_sim_base(duration);
+        Campaign {
+            mode: FuzzMode::Workload,
+            cca,
+            duration,
+            scoring: ScoringConfig::workload_default(PAPER_LINK_RATE_BPS as f64),
+            ga,
+            traffic_max_packets: 0,
+            sim,
+            link_rate_bps: PAPER_LINK_RATE_BPS,
+            flow_ccas: cca_pool,
+            max_flows: max_elephants.max(crate::workload::MIN_ELEPHANTS),
+            qdisc_choice: QdiscChoice::Any,
+            topology_hops: 1,
         }
     }
 
@@ -547,6 +586,67 @@ impl Campaign {
         Ok(fuzzer)
     }
 
+    /// Runs a workload-fuzzing campaign over dynamic-arrival genomes.
+    /// Panics if the mode is not [`FuzzMode::Workload`].
+    pub fn run_workload(&self) -> FuzzResult<WorkloadGenome> {
+        self.run_workload_with(None)
+    }
+
+    /// [`Campaign::run_workload`] with an optional telemetry observer.
+    pub fn run_workload_with(&self, obs: Option<&HuntTelemetry>) -> FuzzResult<WorkloadGenome> {
+        self.run_workload_controlled(obs, CampaignControl::default())
+            .expect("uncontrolled campaign runs cannot fail to start")
+            .result
+    }
+
+    /// [`Campaign::run_workload_with`] under a [`CampaignControl`] plane.
+    pub fn run_workload_controlled(
+        &self,
+        obs: Option<&HuntTelemetry>,
+        mut ctl: CampaignControl<'_>,
+    ) -> Result<ControlledRun<WorkloadGenome>, String> {
+        let evaluator = self.evaluator();
+        let resume = match ctl.resume.take() {
+            Some(payload) => Some(payload.into_workload()?),
+            None => None,
+        };
+        let fuzzer = self.build_workload_fuzzer(&evaluator, resume, obs)?;
+        Ok(drive(fuzzer, &mut ctl, SnapshotPayload::Workload))
+    }
+
+    /// Builds this campaign's workload-mode fuzzer — fresh or restored from
+    /// `resume`; see [`Campaign::build_traffic_fuzzer`] for why construction
+    /// is shared. Panics if the mode is not [`FuzzMode::Workload`].
+    pub fn build_workload_fuzzer<'e>(
+        &self,
+        evaluator: &'e SimEvaluator,
+        resume: Option<FuzzerSnapshot<WorkloadGenome>>,
+        obs: Option<&'e HuntTelemetry>,
+    ) -> Result<Fuzzer<'e, WorkloadGenome, SimEvaluator>, String> {
+        assert_eq!(
+            self.mode,
+            FuzzMode::Workload,
+            "campaign is not in workload mode"
+        );
+        let duration = self.duration;
+        let cca = self.cca;
+        let cca_pool = self.flow_ccas.clone();
+        let max_elephants = self.max_flows;
+        let mut fuzzer = match resume {
+            Some(snapshot) => self.restore_fuzzer(evaluator, snapshot)?,
+            None => {
+                let _timer = obs.map(|o| o.profiler.scope(Phase::Generate));
+                Fuzzer::new(self.ga, evaluator, move |rng: &mut SimRng| {
+                    WorkloadGenome::generate(cca, &cca_pool, max_elephants, duration, rng)
+                })
+            }
+        };
+        if let Some(obs) = obs {
+            fuzzer = fuzzer.with_observer(obs);
+        }
+        Ok(fuzzer)
+    }
+
     /// Restores a fuzzer from a checkpoint snapshot, refusing checkpoints
     /// whose GA parameters do not match this campaign's.
     fn restore_fuzzer<'e, G: Genome, E: Evaluator<G>>(
@@ -807,7 +907,7 @@ mod tests {
         assert_eq!(FuzzMode::Topology.name(), "topology");
         assert_eq!(FuzzMode::from_name("topology"), Some(FuzzMode::Topology));
         assert_eq!(FuzzMode::from_name("nope"), None);
-        assert_eq!(FuzzMode::ALL.len(), 5);
+        assert_eq!(FuzzMode::ALL.len(), 6);
     }
 
     #[test]
@@ -824,6 +924,62 @@ mod tests {
         assert!(result.best_genome.hop_count() >= 1);
         assert!(result.best_outcome.score.is_finite());
         assert!(result.best_outcome.score > 0.0);
+    }
+
+    #[test]
+    fn workload_campaign_preset_is_consistent() {
+        let c = Campaign::paper_workload(
+            CcaKind::Cubic,
+            vec![CcaKind::Cubic, CcaKind::Reno],
+            3,
+            SimDuration::from_secs(5),
+            GaParams::quick(),
+        );
+        assert_eq!(c.mode, FuzzMode::Workload);
+        assert_eq!(c.cca, CcaKind::Cubic);
+        assert_eq!(c.flow_ccas, vec![CcaKind::Cubic, CcaKind::Reno]);
+        assert_eq!(c.max_flows, 3);
+        match c.scoring.objective {
+            crate::scoring::Objective::TailLatency { percentile, .. } => {
+                assert_eq!(percentile, 99.0);
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+        assert_eq!(FuzzMode::Workload.name(), "workload");
+        assert_eq!(FuzzMode::from_name("workload"), Some(FuzzMode::Workload));
+    }
+
+    #[test]
+    fn tiny_workload_campaign_runs_end_to_end() {
+        let mut ga = GaParams::quick();
+        ga.islands = 2;
+        ga.population_per_island = 3;
+        ga.generations = 2;
+        let c = Campaign::paper_workload(
+            CcaKind::Reno,
+            vec![CcaKind::Reno, CcaKind::Cubic],
+            2,
+            SimDuration::from_secs(2),
+            ga,
+        );
+        let result = c.run_workload();
+        assert_eq!(result.history.len(), 2);
+        assert!(result.total_evaluations >= 6);
+        result.best_genome.validate().unwrap();
+        assert!(result.best_genome.elephant_count() >= 1);
+        assert!(result.best_outcome.score.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in workload mode")]
+    fn workload_mode_mismatch_panics() {
+        let c = Campaign::paper_standard(
+            FuzzMode::Traffic,
+            CcaKind::Reno,
+            SimDuration::from_secs(2),
+            GaParams::quick(),
+        );
+        let _ = c.run_workload();
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::fuzzer::{FuzzResult, FuzzerSnapshot, GaParams, StopReason};
 use crate::genome::{LinkGenome, TrafficGenome};
 use crate::scenario::ScenarioGenome;
 use crate::topology::TopologyGenome;
+use crate::workload::WorkloadGenome;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::AtomicBool;
 
@@ -30,6 +31,8 @@ pub enum SnapshotPayload {
     Scenario(FuzzerSnapshot<ScenarioGenome>),
     /// A topology-mode population.
     Topology(FuzzerSnapshot<TopologyGenome>),
+    /// A workload-mode population.
+    Workload(FuzzerSnapshot<WorkloadGenome>),
 }
 
 impl SnapshotPayload {
@@ -40,6 +43,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(_) => "link",
             SnapshotPayload::Scenario(_) => "scenario",
             SnapshotPayload::Topology(_) => "topology",
+            SnapshotPayload::Workload(_) => "workload",
         }
     }
 
@@ -54,6 +58,7 @@ impl SnapshotPayload {
                     FuzzMode::Fairness | FuzzMode::Aqm
                 )
                 | (SnapshotPayload::Topology(_), FuzzMode::Topology)
+                | (SnapshotPayload::Workload(_), FuzzMode::Workload)
         )
     }
 
@@ -64,6 +69,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(s) => s.next_generation,
             SnapshotPayload::Scenario(s) => s.next_generation,
             SnapshotPayload::Topology(s) => s.next_generation,
+            SnapshotPayload::Workload(s) => s.next_generation,
         }
     }
 
@@ -74,6 +80,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(s) => s.evaluations,
             SnapshotPayload::Scenario(s) => s.evaluations,
             SnapshotPayload::Topology(s) => s.evaluations,
+            SnapshotPayload::Workload(s) => s.evaluations,
         }
     }
 
@@ -84,6 +91,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(s) => s.panics.len() as u64,
             SnapshotPayload::Scenario(s) => s.panics.len() as u64,
             SnapshotPayload::Topology(s) => s.panics.len() as u64,
+            SnapshotPayload::Workload(s) => s.panics.len() as u64,
         }
     }
 
@@ -94,6 +102,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(s) => &s.params,
             SnapshotPayload::Scenario(s) => &s.params,
             SnapshotPayload::Topology(s) => &s.params,
+            SnapshotPayload::Workload(s) => &s.params,
         }
     }
 
@@ -105,6 +114,7 @@ impl SnapshotPayload {
             SnapshotPayload::Link(s) => s.validate(),
             SnapshotPayload::Scenario(s) => s.validate(),
             SnapshotPayload::Topology(s) => s.validate(),
+            SnapshotPayload::Workload(s) => s.validate(),
         }
     }
 
@@ -137,6 +147,14 @@ impl SnapshotPayload {
         match self {
             SnapshotPayload::Topology(s) => Ok(s),
             other => Err(mismatch(other.kind_name(), "topology")),
+        }
+    }
+
+    /// Unwraps a workload-mode snapshot.
+    pub fn into_workload(self) -> Result<FuzzerSnapshot<WorkloadGenome>, String> {
+        match self {
+            SnapshotPayload::Workload(s) => Ok(s),
+            other => Err(mismatch(other.kind_name(), "workload")),
         }
     }
 }

@@ -11,11 +11,13 @@ use crate::scoring::{
     TraceScoreInputs,
 };
 use crate::topology::TopologyGenome;
+use crate::workload::WorkloadGenome;
 use ccfuzz_cca::{CcaDispatch, CcaKind};
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::link::LinkModel;
 use ccfuzz_netsim::sim::{
-    run_multi_flow_simulation_pooled, FlowSpec, SimResult, SimScratch, Simulation,
+    run_multi_flow_simulation_pooled, run_workload_simulation_pooled, FlowSpec, SimResult,
+    SimScratch, Simulation,
 };
 use ccfuzz_netsim::simtrace::{SimTrace, DEFAULT_TRACE_CAPACITY};
 use ccfuzz_netsim::trace::{LinkTrace, TrafficTrace};
@@ -113,6 +115,9 @@ pub struct EvalScratch {
     /// Recycled flow-spec buffer; refilled per genome and drained by the
     /// pooled simulation constructor.
     specs: Vec<FlowSpec<CcaDispatch>>,
+    /// Recycled CCA-prototype buffer for workload genomes; refilled per
+    /// genome and drained into the arena's clone pool.
+    protos: Vec<CcaDispatch>,
     /// Recycled scoring buffers (windowed throughput counts/rates).
     score: ScoreScratch,
 }
@@ -498,6 +503,112 @@ impl SimEvaluator {
         run_multi_flow_simulation_pooled(cfg, &mut scratch.specs, &mut scratch.sim)
     }
 
+    fn workload_cfg(&self, genome: &WorkloadGenome, record_events: bool) -> SimConfig {
+        let mut cfg = self.base.clone();
+        cfg.record_events = record_events;
+        cfg.link = LinkModel::FixedRate {
+            rate_bps: self.link_rate_bps,
+        };
+        cfg.cross_traffic = ccfuzz_netsim::trace::TrafficTrace::empty(genome.duration);
+        cfg.duration = genome.duration;
+        cfg.arrivals = Some(genome.arrivals);
+        cfg
+    }
+
+    /// The static background flows (elephants) of a workload genome, each
+    /// with its own enum-dispatched CC instance.
+    fn workload_specs(
+        &self,
+        genome: &WorkloadGenome,
+        cfg: &SimConfig,
+    ) -> Vec<FlowSpec<CcaDispatch>> {
+        genome
+            .elephants
+            .iter()
+            .map(|f| FlowSpec {
+                cc: f.cca.build_dispatch(cfg.initial_cwnd),
+                start: f.start,
+                stop: f.stop,
+            })
+            .collect()
+    }
+
+    /// [`SimEvaluator::workload_specs`] into the arena's recycled spec buffer.
+    fn fill_workload_specs(
+        &self,
+        genome: &WorkloadGenome,
+        cfg: &SimConfig,
+        specs: &mut Vec<FlowSpec<CcaDispatch>>,
+    ) {
+        specs.clear();
+        specs.extend(genome.elephants.iter().map(|f| FlowSpec {
+            cc: f.cca.build_dispatch(cfg.initial_cwnd),
+            start: f.start,
+            stop: f.stop,
+        }));
+    }
+
+    /// The CCA prototypes dynamic arrivals clone from, one per pool entry.
+    fn fill_workload_protos(
+        &self,
+        genome: &WorkloadGenome,
+        cfg: &SimConfig,
+        protos: &mut Vec<CcaDispatch>,
+    ) {
+        protos.clear();
+        protos.extend(
+            genome
+                .cca_pool
+                .iter()
+                .map(|cca| cca.build_dispatch(cfg.initial_cwnd)),
+        );
+    }
+
+    /// Runs a full dynamic-arrival simulation for a workload genome: the
+    /// elephants become static flows, the arrival genes drive the flow-churn
+    /// engine spawning (and recycling) one dynamic sender per arrival.
+    pub fn simulate_workload(&self, genome: &WorkloadGenome, record_events: bool) -> SimResult {
+        let cfg = self.workload_cfg(genome, record_events);
+        let specs = self.workload_specs(genome, &cfg);
+        let mut protos = Vec::new();
+        self.fill_workload_protos(genome, &cfg, &mut protos);
+        let mut sim = Simulation::new_multi(cfg, specs);
+        sim.install_arrivals(&mut protos);
+        sim.run()
+    }
+
+    /// [`SimEvaluator::simulate_workload`] with reusable simulator storage.
+    pub fn simulate_workload_reusing(
+        &self,
+        genome: &WorkloadGenome,
+        scratch: &mut EvalScratch,
+    ) -> SimResult {
+        let cfg = self.workload_cfg(genome, false);
+        self.fill_workload_specs(genome, &cfg, &mut scratch.specs);
+        self.fill_workload_protos(genome, &cfg, &mut scratch.protos);
+        run_workload_simulation_pooled(
+            cfg,
+            &mut scratch.specs,
+            &mut scratch.protos,
+            &mut scratch.sim,
+        )
+    }
+
+    /// [`SimEvaluator::simulate_workload`] with the structured trace
+    /// recorder installed (event recording on).
+    pub fn simulate_workload_traced(&self, genome: &WorkloadGenome) -> (SimResult, SimTrace) {
+        let cfg = self.workload_cfg(genome, true);
+        let specs = self.workload_specs(genome, &cfg);
+        let mut protos = Vec::new();
+        self.fill_workload_protos(genome, &cfg, &mut protos);
+        let mut sim = Simulation::new_multi(cfg, specs);
+        sim.install_arrivals(&mut protos);
+        sim.install_tracer(DEFAULT_TRACE_CAPACITY);
+        let result = sim.run();
+        let trace = sim.take_trace().expect("tracer installed before run");
+        (result, trace)
+    }
+
     fn run_traced(cfg: SimConfig, specs: Vec<FlowSpec<CcaDispatch>>) -> (SimResult, SimTrace) {
         let mut sim = Simulation::new_multi(cfg, specs);
         sim.install_tracer(DEFAULT_TRACE_CAPACITY);
@@ -707,6 +818,61 @@ impl EvalOutcome {
     }
 }
 
+impl EvalOutcome {
+    /// Scores a finished dynamic-arrival workload simulation. The per-flow
+    /// aggregates cover the static elephants; the churned flows are
+    /// summarised by `result.stats.workload` which the tail-latency
+    /// objective reads directly.
+    pub fn from_workload_result(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        genome: &WorkloadGenome,
+    ) -> Self {
+        Self::from_workload_result_reusing(
+            scoring,
+            result,
+            mss,
+            genome,
+            &mut ScoreScratch::default(),
+        )
+    }
+
+    /// [`EvalOutcome::from_workload_result`] with reusable scoring buffers.
+    pub fn from_workload_result_reusing(
+        scoring: &ScoringConfig,
+        result: &SimResult,
+        mss: u32,
+        _genome: &WorkloadGenome,
+        score: &mut ScoreScratch,
+    ) -> Self {
+        // Workload genomes carry no traffic sub-genome: the adversarial
+        // pressure comes from the arrival process itself, so there is no
+        // trace-minimality term to feed the scorer.
+        Self::from_multi_flow_result(scoring, result, mss, None, score)
+    }
+}
+
+impl Evaluator<WorkloadGenome> for SimEvaluator {
+    fn evaluate(&self, genome: &WorkloadGenome) -> EvalOutcome {
+        let result = self.simulate_workload(genome, false);
+        EvalOutcome::from_workload_result(&self.scoring, &result, self.base.mss, genome)
+    }
+
+    fn evaluate_reusing(&self, genome: &WorkloadGenome, scratch: &mut EvalScratch) -> EvalOutcome {
+        let result = self.simulate_workload_reusing(genome, scratch);
+        let outcome = EvalOutcome::from_workload_result_reusing(
+            &self.scoring,
+            &result,
+            self.base.mss,
+            genome,
+            &mut scratch.score,
+        );
+        scratch.sim.recycle_stats(result.stats);
+        outcome
+    }
+}
+
 impl Evaluator<ScenarioGenome> for SimEvaluator {
     fn evaluate(&self, genome: &ScenarioGenome) -> EvalOutcome {
         let result = self.simulate_scenario(genome, false);
@@ -859,6 +1025,74 @@ mod tests {
             let reused = eval.evaluate_reusing(&link, &mut scratch);
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn workload_evaluation_scores_and_surfaces_churn() {
+        let mut eval = evaluator();
+        eval.scoring = ScoringConfig::workload_default(12e6);
+        let mut rng = SimRng::new(42);
+        let genome = WorkloadGenome::generate(
+            CcaKind::Reno,
+            &[CcaKind::Reno, CcaKind::Cubic],
+            3,
+            SimDuration::from_secs(2),
+            &mut rng,
+        );
+        let result = eval.simulate_workload(&genome, false);
+        let w = result.stats.workload().expect("workload stats present");
+        assert!(w.spawned > 0, "arrival process must spawn flows");
+        let outcome = Evaluator::<WorkloadGenome>::evaluate(&eval, &genome);
+        assert!(
+            (0.0..=1.0).contains(&outcome.performance_score),
+            "tail-latency score in unit range, got {}",
+            outcome.performance_score
+        );
+        assert!(outcome.delivered_packets > 0, "elephants deliver traffic");
+        assert_eq!(outcome.trace_score, 0.0, "workload mode has no trace score");
+    }
+
+    #[test]
+    fn workload_scratch_reuse_matches_fresh_evaluation() {
+        // Warm workload evaluations recycle the slab, the endpoint pools,
+        // and the CCA prototype buffer; results must still be bit-identical
+        // to a cold evaluation of the same genome.
+        let mut eval = evaluator();
+        eval.scoring = ScoringConfig::workload_default(12e6);
+        let mut rng = SimRng::new(77);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..4 {
+            let genome = WorkloadGenome::generate(
+                CcaKind::Reno,
+                &[CcaKind::Cubic, CcaKind::Bbr],
+                2,
+                SimDuration::from_secs(2),
+                &mut rng,
+            );
+            let fresh = Evaluator::<WorkloadGenome>::evaluate(&eval, &genome);
+            let reused = eval.evaluate_reusing(&genome, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn workload_traced_evaluation_produces_a_trace() {
+        let mut eval = evaluator();
+        eval.scoring = ScoringConfig::workload_default(12e6);
+        let mut rng = SimRng::new(5);
+        let genome = WorkloadGenome::generate(
+            CcaKind::Reno,
+            &[CcaKind::Reno],
+            2,
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
+        let (result, trace) = eval.simulate_workload_traced(&genome);
+        assert!(result.stats.workload().is_some());
+        assert!(
+            !trace.events.is_empty(),
+            "tracer must capture simulation activity"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`topology`] — multi-hop topology genomes for parking-lot fuzzing
 //!   (per-hop rate/delay/buffer/qdisc genes, per-flow paths, add/remove-hop
 //!   and bottleneck-shift mutations).
+//! * [`workload`] — dynamic-arrival workload genomes for tail-latency
+//!   fuzzing (arrival process, heavy-tailed flow sizes, concurrency cap,
+//!   background elephant mix).
 //! * [`campaign`] — ready-made campaigns matching the paper's evaluation,
 //!   plus the fairness/aqm/topology campaign presets built on the
 //!   multi-flow, multi-hop engine.
@@ -59,6 +62,7 @@ pub mod selection;
 pub mod shard;
 pub mod topology;
 pub mod trace_gen;
+pub mod workload;
 
 pub use campaign::{Campaign, FuzzMode};
 pub use checkpoint::{CampaignControl, ControlledRun, SnapshotPayload};
@@ -75,3 +79,4 @@ pub use shard::{
     ShardReport, TopStat,
 };
 pub use topology::{HopGene, PathedFlowGene, TopologyGenome};
+pub use workload::WorkloadGenome;

@@ -85,6 +85,26 @@ pub enum Objective {
         /// Weight of the per-path throughput-collapse term.
         collapse_weight: f64,
     },
+    /// Workload objective: maximise the tail flow-completion-time inflation
+    /// of short flows (mice) under dynamic arrivals. The base term is
+    /// `1 - baseline / p`, where `p` is the `percentile`-th percentile of
+    /// the mice FCT distribution — 0 when mice finish at the ideal
+    /// `baseline`, approaching 1 as the tail inflates without bound. On top,
+    /// `stranded_weight` rewards flows that arrived but never completed at
+    /// all (mice parked behind elephants until the run ends are the
+    /// worst-case tail). The sum is normalised by `1 + stranded_weight`.
+    /// Scores 0 when the run recorded no workload at all.
+    TailLatency {
+        /// Percentile of the mice FCT distribution used as the tail (99.0
+        /// hunts the paper-style p99 inflation).
+        percentile: f64,
+        /// The ideal mouse completion time the tail is measured against
+        /// (roughly transmission time of a threshold-sized mouse plus one
+        /// RTT on the unloaded path).
+        baseline: SimDuration,
+        /// Weight of the never-completed-flows term.
+        stranded_weight: f64,
+    },
 }
 
 /// Weights and normalisation for combining the two score components.
@@ -157,6 +177,24 @@ impl ScoringConfig {
             },
             performance_weight: 1.0,
             trace_weight: 0.1,
+            reference_rate_bps,
+        }
+    }
+
+    /// Workload-fuzzing scoring: p99 mice FCT inflation against a 100 ms
+    /// ideal (one threshold-sized mouse at the 12 Mbps bottleneck plus the
+    /// 40 ms base RTT), with stranded never-completing flows at half
+    /// weight. No trace component: workload minimality is the minimiser's
+    /// job, not the fitness function's.
+    pub fn workload_default(reference_rate_bps: f64) -> Self {
+        ScoringConfig {
+            objective: Objective::TailLatency {
+                percentile: 99.0,
+                baseline: SimDuration::from_millis(100),
+                stranded_weight: 0.5,
+            },
+            performance_weight: 1.0,
+            trace_weight: 0.0,
             reference_rate_bps,
         }
     }
@@ -483,6 +521,35 @@ pub fn performance_score_reusing(
             let raw =
                 throughput_term + cascade_weight * cascade_term + collapse_weight * collapse_term;
             (raw / (1.0 + cascade_weight.max(0.0) + collapse_weight.max(0.0))).clamp(0.0, 1.0)
+        }
+        Objective::TailLatency {
+            percentile: p,
+            baseline,
+            stranded_weight,
+        } => {
+            let Some(w) = result.stats.workload() else {
+                // Not a workload run (or arrivals never configured):
+                // nothing to inflate.
+                return 0.0;
+            };
+            let inflation_term = if w.fct_mice.count() == 0 {
+                // No mouse ever finished. With arrivals configured that is
+                // itself a tail catastrophe — the stranded term captures it.
+                0.0
+            } else {
+                let tail = w.fct_mice.percentile_nanos(*p) as f64 / 1e9;
+                let base = baseline.as_secs_f64().max(1e-9);
+                // 0 at the ideal baseline, 0.9 at 10x inflation, → 1 as the
+                // tail grows without bound; smooth and unclamped in between.
+                1.0 - base / tail.max(base)
+            };
+            let stranded_term = if w.spawned == 0 {
+                0.0
+            } else {
+                w.active_at_end as f64 / w.spawned as f64
+            };
+            let raw = inflation_term + stranded_weight * stranded_term;
+            (raw / (1.0 + stranded_weight.max(0.0))).clamp(0.0, 1.0)
         }
     }
 }
@@ -826,6 +893,52 @@ mod tests {
             "a collapsed path must raise the score: {starved_score} vs {base_score}"
         );
         for s in [base_score, one_deep_score, cascade_score, starved_score] {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn tail_latency_scores_inflated_mice_tails_higher() {
+        use ccfuzz_netsim::stats::WorkloadStats;
+        let objective = Objective::TailLatency {
+            percentile: 99.0,
+            baseline: SimDuration::from_millis(100),
+            stranded_weight: 0.5,
+        };
+        let mk = |fct_ms: u64, stranded: u64| {
+            let mut w = WorkloadStats {
+                spawned: 100 + stranded,
+                completed: 100,
+                active_at_end: stranded,
+                ..Default::default()
+            };
+            for _ in 0..100 {
+                w.fct_mice.record(fct_ms * 1_000_000);
+            }
+            SimResult {
+                stats: RunStats {
+                    workload: Some(Box::new(w)),
+                    ..Default::default()
+                },
+                duration_secs: 5.0,
+            }
+        };
+        let ideal = performance_score(&objective, &mk(100, 0), 1448, 12e6);
+        let inflated = performance_score(&objective, &mk(1_000, 0), 1448, 12e6);
+        let stranded = performance_score(&objective, &mk(1_000, 50), 1448, 12e6);
+        assert!(ideal < 0.05, "baseline-speed mice must score ~0: {ideal}");
+        assert!(
+            inflated > ideal + 0.4,
+            "10x tail inflation must score high: {inflated}"
+        );
+        assert!(
+            stranded > inflated,
+            "never-completing flows must raise the score further"
+        );
+        // A run without workload stats scores zero, not garbage.
+        let none = performance_score(&objective, &result_with_deliveries(vec![], 5.0), 1448, 12e6);
+        assert_eq!(none, 0.0);
+        for s in [ideal, inflated, stranded] {
             assert!((0.0..=1.0).contains(&s));
         }
     }

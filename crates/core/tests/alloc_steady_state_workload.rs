@@ -1,0 +1,107 @@
+//! Flow-churn counterpart of `alloc_steady_state`: a *warm* worker must
+//! evaluate workload genomes — thousands of dynamic flows spawning,
+//! completing and recycling through the slab per simulation — with zero
+//! heap traffic. The arrival engine's whole state (slab slots, endpoint
+//! buffers, the CCA prototype pool, FCT histograms and the sample
+//! reservoir) recycles through `EvalScratch` between evaluations.
+//!
+//! Own integration-test binary for the same reason as `alloc_steady_state`:
+//! the counting global allocator must not perturb other tests, and a single
+//! `#[test]` keeps the counter single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccfuzz_cca::CcaKind;
+use ccfuzz_core::campaign::Campaign;
+use ccfuzz_core::evaluate::{EvalScratch, Evaluator};
+use ccfuzz_core::fuzzer::GaParams;
+use ccfuzz_core::workload::WorkloadGenome;
+use ccfuzz_netsim::rng::SimRng;
+use ccfuzz_netsim::time::SimDuration;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_workload_evaluate_phase_allocates_nothing() {
+    let ga = GaParams::quick();
+    let cca_pool = vec![CcaKind::Reno, CcaKind::Cubic];
+    let campaign = Campaign::paper_workload(
+        CcaKind::Reno,
+        cca_pool.clone(),
+        3,
+        SimDuration::from_secs(2),
+        ga,
+    );
+    let evaluator = campaign.evaluator();
+
+    // One island's worth of genomes, generated up front (generation is the
+    // GA's job and allocates by design; the claim under test is the
+    // evaluate phase, churn included).
+    let mut rng = SimRng::new(11);
+    let genomes: Vec<WorkloadGenome> = (0..8)
+        .map(|_| WorkloadGenome::generate(CcaKind::Reno, &cca_pool, 3, campaign.duration, &mut rng))
+        .collect();
+
+    let mut scratch = EvalScratch::new();
+    // Two warm-up passes: the first grows the slab, endpoint pools and FCT
+    // reservoir from empty; the second lets the shared free lists settle
+    // into steady-state capacity ordering across the whole population.
+    let warm: Vec<_> = genomes
+        .iter()
+        .map(|g| evaluator.evaluate_reusing(g, &mut scratch))
+        .collect();
+    for genome in &genomes {
+        evaluator.evaluate_reusing(genome, &mut scratch);
+    }
+
+    // The measured pass: same population, warm arena.
+    let before = allocations();
+    let mut outcomes = Vec::with_capacity(genomes.len());
+    let reserved = allocations();
+    for genome in &genomes {
+        outcomes.push(evaluator.evaluate_reusing(genome, &mut scratch));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - reserved,
+        0,
+        "warm workload evaluate phase must not touch the allocator \
+         ({} allocations across {} evaluations)",
+        after - reserved,
+        genomes.len()
+    );
+    assert!(reserved - before <= 1);
+
+    // Reuse never changes results: the warm outcomes equal both the earlier
+    // reused pass and a cold evaluation.
+    assert_eq!(warm, outcomes);
+    for (genome, outcome) in genomes.iter().zip(&outcomes) {
+        assert_eq!(evaluator.evaluate(genome), *outcome);
+    }
+}

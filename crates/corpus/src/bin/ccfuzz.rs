@@ -1,7 +1,7 @@
 //! `ccfuzz` — the corpus command line.
 //!
 //! ```text
-//! ccfuzz hunt     --cca reno [--mode traffic|link] [--generations N] ...
+//! ccfuzz hunt     --cca reno [--mode traffic|link|...|workload] [--generations N] ...
 //! ccfuzz minimize [--id ID | --all] [--retain F] [--budget N] ...
 //! ccfuzz replay   [--cca NAME] [--strict] ...
 //! ccfuzz report   ...
@@ -106,10 +106,12 @@ with code 3. Campaign writers hold an exclusive corpus lock.
 hunt OPTIONS:
     --cca NAME          reno | cubic | cubic-ns3-buggy | bbr |
                         bbr-probertt-on-rto | vegas | dctcp  (required)
-    --mode MODE         traffic | link | fairness | aqm | topology
+    --mode MODE         traffic | link | fairness | aqm | topology | workload
                         (default: traffic)
-    --flows LIST        Comma-separated CCAs competing in fairness mode
-                        (default: the --cca flow vs. reno)
+    --flows LIST        Comma-separated CCAs: the flows competing in
+                        fairness mode, or the CCA pool arriving flows draw
+                        from in workload mode (default: the --cca flow
+                        vs. reno)
     --qdisc KIND        Disciplines an aqm hunt explores: any | red | codel
                         (default: any)
     --hops N            Initial hop count of a topology hunt (default: 3)
@@ -299,14 +301,19 @@ fn parse_hunt_config(args: &[String]) -> Result<HuntConfig, CliError> {
     let mut config = HuntConfig::quick(cca, mode, generations, seed);
     config.duration = SimDuration::from_secs(seconds.max(1));
     if let Some(flows) = flag_value(args, "--flows")? {
-        if mode != FuzzMode::Fairness {
-            return Err(usage_err("--flows only applies to --mode fairness"));
+        if mode != FuzzMode::Fairness && mode != FuzzMode::Workload {
+            return Err(usage_err(
+                "--flows only applies to --mode fairness or --mode workload",
+            ));
         }
         let flow_ccas = CcaKind::parse_list(&flows).map_err(usage_err)?;
-        if flow_ccas.len() < 2 {
+        if mode == FuzzMode::Fairness && flow_ccas.len() < 2 {
             return Err(usage_err("--flows needs at least two comma-separated CCAs"));
         }
-        if flow_ccas[0] != cca {
+        if flow_ccas.is_empty() {
+            return Err(usage_err("--flows needs at least one CCA"));
+        }
+        if mode == FuzzMode::Fairness && flow_ccas[0] != cca {
             return Err(usage_err(format!(
                 "--flows starts with `{}` but --cca is `{}`; flow 0 is the algorithm \
                  under test, so the first --flows entry must match --cca",
@@ -559,6 +566,18 @@ fn run_campaign(
                 .join(", ")
         );
     }
+    if mode == FuzzMode::Workload {
+        eprintln!(
+            "  workload: arrival CCA pool [{}], up to {} background elephant(s)",
+            campaign
+                .flow_ccas
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            campaign.max_flows
+        );
+    }
     eprintln!(
         "  ga: islands={} population/island={} generations={} crossover={:.2} \
          migration={:.2}@{} k_elite={} threads={}",
@@ -675,6 +694,22 @@ fn run_campaign(
         for line in genome.detail_table().lines() {
             eprintln!("    {line}");
         }
+    }
+    if let ccfuzz_corpus::finding::GenomePayload::Workload(genome) = &finding.genome {
+        eprintln!(
+            "  workload: {:.1} flows/s, sizes {}..{} pkt (shape {:.2}), {} elephant(s), pool [{}]",
+            genome.arrivals.process.rate_per_sec(),
+            genome.arrivals.size.min_packets,
+            genome.arrivals.size.max_packets,
+            genome.arrivals.size.shape,
+            genome.elephant_count(),
+            genome
+                .cca_pool
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     if let Some(fairness) = &finding.fairness {
         for (i, cca) in fairness.per_flow_cca.iter().enumerate() {

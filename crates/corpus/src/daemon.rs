@@ -44,6 +44,7 @@ use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
 use ccfuzz_core::scenario::ScenarioGenome;
 use ccfuzz_core::shard::{shard_ranges, MigrantBatch, ShardCoordinator, ShardReport};
 use ccfuzz_core::topology::TopologyGenome;
+use ccfuzz_core::workload::WorkloadGenome;
 use ccfuzz_obs::{
     write_atomic, FleetTelemetry, HuntTelemetry, OperatorSnapshot, WorkerLaneSnapshot,
 };
@@ -177,6 +178,18 @@ pub fn hunt_distributed(
             },
             SnapshotPayload::Topology,
             GenomePayload::Topology,
+        ),
+        FuzzMode::Workload => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |_, cc| {
+                run_fleet::<WorkloadGenome>(config, cc, obs, dist, SnapshotPayload::into_workload)
+            },
+            SnapshotPayload::Workload,
+            GenomePayload::Workload,
         ),
     }
 }

@@ -14,6 +14,7 @@ use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
 use ccfuzz_core::scenario::ScenarioGenome;
 use ccfuzz_core::scoring::{fairness_breakdown, ScoringConfig, TraceScoreInputs};
 use ccfuzz_core::topology::TopologyGenome;
+use ccfuzz_core::workload::WorkloadGenome;
 use ccfuzz_netsim::config::SimConfig;
 use ccfuzz_netsim::simtrace::SimTrace;
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,8 @@ pub enum GenomePayload {
     Scenario(ScenarioGenome),
     /// A multi-hop parking-lot topology (topology fuzzing).
     Topology(TopologyGenome),
+    /// A dynamic-arrival workload (workload fuzzing).
+    Workload(WorkloadGenome),
 }
 
 impl GenomePayload {
@@ -47,6 +50,7 @@ impl GenomePayload {
                 }
             }
             GenomePayload::Topology(_) => FuzzMode::Topology,
+            GenomePayload::Workload(_) => FuzzMode::Workload,
         }
     }
 
@@ -60,6 +64,7 @@ impl GenomePayload {
                 matches!(mode, FuzzMode::Fairness | FuzzMode::Aqm)
             }
             GenomePayload::Topology(_) => mode == FuzzMode::Topology,
+            GenomePayload::Workload(_) => mode == FuzzMode::Workload,
         }
     }
 
@@ -71,6 +76,7 @@ impl GenomePayload {
             GenomePayload::Traffic(g) => g.packet_count(),
             GenomePayload::Scenario(g) => g.packet_count(),
             GenomePayload::Topology(g) => g.packet_count(),
+            GenomePayload::Workload(g) => g.packet_count(),
         }
     }
 
@@ -81,6 +87,7 @@ impl GenomePayload {
             GenomePayload::Traffic(g) => g.validate(),
             GenomePayload::Scenario(g) => g.validate(),
             GenomePayload::Topology(g) => g.validate(),
+            GenomePayload::Workload(g) => g.validate(),
         }
     }
 }
@@ -352,6 +359,37 @@ impl Finding {
                 };
                 (outcome, result.stats.digest(), Some(fairness))
             }
+            GenomePayload::Workload(g) => {
+                let mut g = g.clone();
+                if let Some(cca) = cca {
+                    // The override replaces the incumbent elephant's
+                    // algorithm; the arrival pool keeps its mix.
+                    g.elephants[0].cca = cca;
+                }
+                let result = evaluator.simulate_workload(&g, false);
+                let outcome = EvalOutcome::from_workload_result(
+                    &evaluator.scoring,
+                    &result,
+                    evaluator.base.mss,
+                    &g,
+                );
+                // Only the static elephants surface per-flow stats (arriving
+                // flows aggregate into the workload block), so the summary
+                // covers exactly the elephant mix.
+                let breakdown = fairness_breakdown(&result, evaluator.base.mss);
+                let fairness = FairnessSummary {
+                    per_flow_cca: g
+                        .elephants
+                        .iter()
+                        .map(|f| f.cca.name().to_string())
+                        .collect(),
+                    per_flow_goodput_bps: breakdown.per_flow_goodput_bps,
+                    per_flow_delivered: breakdown.per_flow_delivered,
+                    jain_index: breakdown.jain_index,
+                    max_starvation_secs: breakdown.max_starvation_secs,
+                };
+                (outcome, result.stats.digest(), Some(fairness))
+            }
         }
     }
 
@@ -398,6 +436,16 @@ impl Finding {
                 let (result, trace) = evaluator.simulate_topology_traced(g);
                 let outcome = EvalOutcome::from_topology_result(
                     &evaluator.topology_scoring(g),
+                    &result,
+                    evaluator.base.mss,
+                    g,
+                );
+                (outcome, result.stats.digest(), trace)
+            }
+            GenomePayload::Workload(g) => {
+                let (result, trace) = evaluator.simulate_workload_traced(g);
+                let outcome = EvalOutcome::from_workload_result(
+                    &evaluator.scoring,
                     &result,
                     evaluator.base.mss,
                     g,

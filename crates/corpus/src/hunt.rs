@@ -32,7 +32,8 @@ pub struct HuntConfig {
     pub duration: SimDuration,
     /// GA parameters.
     pub ga: GaParams,
-    /// Per-flow algorithms for fairness mode (ignored in the single-flow
+    /// Per-flow algorithms for fairness mode and the CCA pool dynamic
+    /// arrivals draw from in workload mode (ignored in the single-flow
     /// modes). Flow 0 is `cca`.
     pub flow_ccas: Vec<CcaKind>,
     /// Disciplines explored by AQM-mode hunts (ignored elsewhere).
@@ -50,7 +51,7 @@ impl HuntConfig {
         ga.generations = generations.max(1);
         ga.seed = seed;
         let flow_ccas = match mode {
-            FuzzMode::Fairness => vec![cca, CcaKind::Reno],
+            FuzzMode::Fairness | FuzzMode::Workload => vec![cca, CcaKind::Reno],
             _ => vec![cca],
         };
         HuntConfig {
@@ -81,6 +82,13 @@ impl HuntConfig {
             FuzzMode::Aqm => Campaign::paper_aqm(self.cca, self.duration, self.ga, self.qdisc),
             FuzzMode::Topology => {
                 Campaign::paper_topology(self.cca, self.hops, self.duration, self.ga)
+            }
+            FuzzMode::Workload => {
+                let mut pool = self.flow_ccas.clone();
+                if pool.is_empty() {
+                    pool.push(self.cca);
+                }
+                Campaign::paper_workload(self.cca, pool, 3, self.duration, self.ga)
             }
             _ => Campaign::paper_standard(self.mode, self.cca, self.duration, self.ga),
         }
@@ -219,6 +227,16 @@ pub fn hunt_controlled(
             |c, cc| c.run_topology_controlled(obs, cc),
             SnapshotPayload::Topology,
             GenomePayload::Topology,
+        ),
+        FuzzMode::Workload => drive(
+            corpus,
+            config,
+            &campaign,
+            obs,
+            ctl,
+            |c, cc| c.run_workload_controlled(obs, cc),
+            SnapshotPayload::Workload,
+            GenomePayload::Workload,
         ),
     }
 }

@@ -24,8 +24,10 @@ use ccfuzz_core::evaluate::{Evaluator, SimEvaluator};
 use ccfuzz_core::genome::{Genome, LinkGenome, TrafficGenome};
 use ccfuzz_core::scenario::{QdiscGene, ScenarioGenome};
 use ccfuzz_core::topology::TopologyGenome;
+use ccfuzz_core::workload::WorkloadGenome;
 use ccfuzz_netsim::queue::{Qdisc, QueueCapacity};
 use ccfuzz_netsim::time::SimDuration;
+use ccfuzz_netsim::workload::ArrivalProcess;
 use serde::{Deserialize, Serialize};
 
 /// Minimization policy.
@@ -646,6 +648,191 @@ pub fn minimize_topology(
     (minimized, report)
 }
 
+/// Halves a workload's arrival rate, flooring at 1 flow/s. Returns `None`
+/// once the rate cannot meaningfully drop further.
+fn thinned_arrivals(genome: &WorkloadGenome) -> Option<WorkloadGenome> {
+    let rate = genome.arrivals.process.rate_per_sec();
+    let new_rate = rate / 2.0;
+    if new_rate < 1.0 {
+        return None;
+    }
+    let mut child = genome.clone();
+    match &mut child.arrivals.process {
+        ArrivalProcess::Poisson { rate_per_sec } => *rate_per_sec = new_rate,
+        ArrivalProcess::OnOff { rate_per_sec, .. } => *rate_per_sec = new_rate,
+    }
+    Some(child)
+}
+
+/// Keeps halving the arrival rate while the score holds: the minimized
+/// workload arrives only as fast as the behaviour actually needs.
+fn arrival_thin_pass(
+    evaluator: &SimEvaluator,
+    current: &mut WorkloadGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    while !budget.exhausted() {
+        let Some(candidate) = thinned_arrivals(current) else {
+            break;
+        };
+        budget.spent += 1;
+        let score = Evaluator::<WorkloadGenome>::evaluate(evaluator, &candidate).score;
+        let rate = candidate.arrivals.process.rate_per_sec();
+        if score >= threshold {
+            passes.push(format!(
+                "thin-arrivals {rate:.1}/s: accepted (score {score:.6})"
+            ));
+            *current = candidate;
+            *current_score = score;
+        } else {
+            passes.push(format!(
+                "thin-arrivals {rate:.1}/s: rejected (score {score:.6} < {threshold:.6})"
+            ));
+            break;
+        }
+    }
+}
+
+/// Collapses the flow-size distribution from the top: repeatedly halve the
+/// largest size class toward the smallest, keeping each step only while the
+/// score holds. A tail-latency finding that survives with mice-only sizes is
+/// far easier to reason about than one hiding behind a heavy tail.
+fn size_collapse_pass(
+    evaluator: &SimEvaluator,
+    current: &mut WorkloadGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    while !budget.exhausted() {
+        let size = current.arrivals.size;
+        let new_max = (size.max_packets / 2).max(size.min_packets);
+        if new_max == size.max_packets {
+            break;
+        }
+        let mut candidate = current.clone();
+        candidate.arrivals.size.max_packets = new_max;
+        budget.spent += 1;
+        let score = Evaluator::<WorkloadGenome>::evaluate(evaluator, &candidate).score;
+        if score >= threshold {
+            passes.push(format!(
+                "collapse-sizes max={new_max}pkt: accepted (score {score:.6})"
+            ));
+            *current = candidate;
+            *current_score = score;
+        } else {
+            passes.push(format!(
+                "collapse-sizes max={new_max}pkt: rejected (score {score:.6} < {threshold:.6})"
+            ));
+            break;
+        }
+    }
+}
+
+/// Tries to drop background elephants one index at a time (never the
+/// incumbent at index 0, re-scanning after every success), keeping each
+/// removal while the score holds: the minimized elephant mix is the smallest
+/// background the tail inflation actually needs.
+fn elephant_drop_pass(
+    evaluator: &SimEvaluator,
+    current: &mut WorkloadGenome,
+    current_score: &mut f64,
+    threshold: f64,
+    budget: &mut Budget,
+    passes: &mut Vec<String>,
+) {
+    let start_elephants = current.elephant_count();
+    let mut at = 1usize;
+    while current.elephant_count() > 1 && at < current.elephant_count() && !budget.exhausted() {
+        let mut candidate = current.clone();
+        candidate.elephants.remove(at);
+        budget.spent += 1;
+        let score = Evaluator::<WorkloadGenome>::evaluate(evaluator, &candidate).score;
+        if score >= threshold {
+            *current = candidate;
+            *current_score = score;
+            // Restart behind the incumbent: removing one elephant changes
+            // the contention, so earlier rejections may drop cleanly now.
+            at = 1;
+        } else {
+            at += 1;
+        }
+    }
+    passes.push(format!(
+        "drop-elephants: {} -> {} elephants",
+        start_elephants,
+        current.elephant_count()
+    ));
+}
+
+/// Minimizes a workload genome. The arrival genes are the finding's
+/// substance, so minimization pulls them toward the quietest workload that
+/// still shows the behaviour: halve the arrival rate (fewer churning flows),
+/// collapse the size classes from the top (lighter tail), and drop
+/// background elephants, each step kept only while the re-simulated score
+/// retains the threshold.
+pub fn minimize_workload(
+    evaluator: &SimEvaluator,
+    genome: &WorkloadGenome,
+    cfg: &MinimizeConfig,
+) -> (WorkloadGenome, MinimizeReport) {
+    let mut budget = Budget {
+        spent: 0,
+        max: cfg.max_evaluations.max(1),
+    };
+    let original_score = {
+        budget.spent += 1;
+        Evaluator::<WorkloadGenome>::evaluate(evaluator, genome).score
+    };
+    let threshold = original_score * cfg.retain_fraction;
+    let mut current = genome.clone();
+    let mut current_score = original_score;
+    let mut passes = Vec::new();
+
+    // Order matters: thinning arrivals first leaves fewer flows for the
+    // size and elephant passes to re-simulate, so the budget goes further.
+    arrival_thin_pass(
+        evaluator,
+        &mut current,
+        &mut current_score,
+        threshold,
+        &mut budget,
+        &mut passes,
+    );
+    size_collapse_pass(
+        evaluator,
+        &mut current,
+        &mut current_score,
+        threshold,
+        &mut budget,
+        &mut passes,
+    );
+    elephant_drop_pass(
+        evaluator,
+        &mut current,
+        &mut current_score,
+        threshold,
+        &mut budget,
+        &mut passes,
+    );
+
+    debug_assert!(current.elephant_count() <= genome.elephant_count());
+    let report = MinimizeReport {
+        original_packets: genome.packet_count() as u64,
+        minimized_packets: current.packet_count() as u64,
+        original_score,
+        minimized_score: current_score,
+        threshold,
+        evaluations: budget.spent as u64,
+        passes,
+    };
+    (current, report)
+}
+
 /// Minimizes a stored finding: shrinks its genome with the finding's own
 /// evaluator, then refreshes the outcome, signature, digest and provenance.
 pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, MinimizeReport) {
@@ -670,6 +857,11 @@ pub fn minimize_finding(finding: &Finding, cfg: &MinimizeConfig) -> (Finding, Mi
         GenomePayload::Topology(genome) => {
             let (minimized, report) = minimize_topology(&evaluator, genome, cfg);
             out.genome = GenomePayload::Topology(minimized);
+            report
+        }
+        GenomePayload::Workload(genome) => {
+            let (minimized, report) = minimize_workload(&evaluator, genome, cfg);
+            out.genome = GenomePayload::Workload(minimized);
             report
         }
     };

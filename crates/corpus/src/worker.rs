@@ -208,6 +208,11 @@ fn serve_coordinator(stream: &mut TcpStream, worker: usize) -> Result<(), String
             let fuzzer = campaign.build_topology_fuzzer(&evaluator, resume, Some(&telemetry))?;
             shard_loop(stream, &assign, fuzzer, SnapshotPayload::Topology)
         }
+        FuzzMode::Workload => {
+            let resume = load_resume(&assign, SnapshotPayload::into_workload)?;
+            let fuzzer = campaign.build_workload_fuzzer(&evaluator, resume, Some(&telemetry))?;
+            shard_loop(stream, &assign, fuzzer, SnapshotPayload::Workload)
+        }
     }
 }
 

@@ -99,6 +99,141 @@ fn hunt_stdout_is_pure_json_and_telemetry_stream_is_valid() {
 }
 
 #[test]
+fn workload_usage_errors_exit_2_and_name_the_valid_set() {
+    // Unknown mode: exit 2, and the message names every valid mode so the
+    // user can self-correct (workload must be in the set).
+    let out = ccfuzz()
+        .args(["hunt", "--cca", "reno", "--mode", "workloads"])
+        .output()
+        .expect("run ccfuzz hunt");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2:\n{stderr}");
+    for mode in ["traffic", "link", "fairness", "aqm", "topology", "workload"] {
+        assert!(
+            stderr.contains(mode),
+            "usage error must name `{mode}`:\n{stderr}"
+        );
+    }
+
+    // --flows is only meaningful for fairness and workload hunts.
+    let out = ccfuzz()
+        .args([
+            "hunt", "--cca", "reno", "--mode", "traffic", "--flows", "reno,bbr",
+        ])
+        .output()
+        .expect("run ccfuzz hunt");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2:\n{stderr}");
+    assert!(
+        stderr.contains("--flows"),
+        "error names the flag:\n{stderr}"
+    );
+
+    // A bad CCA inside the workload pool names the offender and the full
+    // valid set, still on exit 2.
+    let out = ccfuzz()
+        .args([
+            "hunt",
+            "--cca",
+            "reno",
+            "--mode",
+            "workload",
+            "--flows",
+            "reno,tahoe",
+        ])
+        .output()
+        .expect("run ccfuzz hunt");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2:\n{stderr}");
+    assert!(
+        stderr.contains("unknown CCA `tahoe`"),
+        "error names the offender:\n{stderr}"
+    );
+}
+
+#[test]
+fn workload_hunt_minimize_replay_report_roundtrip() {
+    // The full workload-mode lifecycle through the binary: hunt persists a
+    // finding, minimize shrinks it in place, replay --strict verifies the
+    // stored digest still reproduces, and report lists the bucket.
+    let dir = scratch_dir("workload");
+    let out = ccfuzz()
+        .args([
+            "hunt",
+            "--cca",
+            "reno",
+            "--mode",
+            "workload",
+            "--flows",
+            "reno,cubic",
+            "--generations",
+            "2",
+            "--seconds",
+            "2",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
+            "--islands",
+            "2",
+            "--population",
+            "3",
+            "--corpus",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run ccfuzz hunt");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(out.status.success(), "workload hunt failed:\n{stderr}");
+    let finding: Finding = serde_json::from_str(stdout.trim())
+        .unwrap_or_else(|e| panic!("hunt stdout is not a single finding JSON: {e}\n---\n{stdout}"));
+    assert!(
+        stderr.contains("workload:"),
+        "workload chatter goes to stderr:\n{stderr}"
+    );
+
+    let out = ccfuzz()
+        .args([
+            "minimize",
+            "--id",
+            &finding.id,
+            "--budget",
+            "40",
+            "--corpus",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run ccfuzz minimize");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(out.status.success(), "minimize failed:\n{stderr}");
+
+    let out = ccfuzz()
+        .args(["replay", "--strict", "--corpus"])
+        .arg(&dir)
+        .output()
+        .expect("run ccfuzz replay");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(
+        out.status.success(),
+        "strict replay failed:\n{stdout}\n{stderr}"
+    );
+
+    let out = ccfuzz()
+        .args(["report", "--corpus"])
+        .arg(&dir)
+        .output()
+        .expect("run ccfuzz report");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    assert!(out.status.success(), "report failed");
+    assert!(
+        stdout.contains("workload"),
+        "report lists the workload bucket:\n{stdout}"
+    );
+}
+
+#[test]
 fn trace_subcommand_renders_timeline_and_exports() {
     let (dir, finding) = tiny_hunt("trace", None);
     let json_path = dir.join("trace.jsonl");

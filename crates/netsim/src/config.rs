@@ -6,6 +6,7 @@ use crate::queue::{Qdisc, QueueCapacity};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{HopConfig, HopRange, Topology};
 use crate::trace::TrafficTrace;
+use crate::workload::ArrivalConfig;
 use serde::{Deserialize, Serialize};
 
 /// Complete description of one simulated scenario.
@@ -80,6 +81,13 @@ pub struct SimConfig {
     /// Serialized only when present, so pre-topology configurations
     /// round-trip byte-identically.
     pub topology: Option<Topology>,
+    /// Optional dynamic-flow workload: an arrival process spawning
+    /// application-limited flows with heavy-tailed sizes through the flow
+    /// slab (see [`crate::workload`]). `None` (the default everywhere)
+    /// keeps the fixed flow population of the classic modes. Serialized
+    /// only when present, so pre-workload configurations round-trip
+    /// byte-identically.
+    pub arrivals: Option<ArrivalConfig>,
 }
 
 // Serde is written by hand (not derived) so the two qdisc-era fields are
@@ -136,6 +144,9 @@ impl Serialize for SimConfig {
         if let Some(topology) = &self.topology {
             fields.push(("topology".to_string(), topology.to_value()));
         }
+        if let Some(arrivals) = &self.arrivals {
+            fields.push(("arrivals".to_string(), arrivals.to_value()));
+        }
         serde::value::Value::Map(fields)
     }
 }
@@ -181,6 +192,10 @@ impl Deserialize for SimConfig {
                 Ok(v) => Some(Deserialize::from_value(v)?),
                 Err(_) => None,
             },
+            arrivals: match map_get(m, "arrivals") {
+                Ok(v) => Some(Deserialize::from_value(v)?),
+                Err(_) => None,
+            },
         })
     }
 }
@@ -217,6 +232,7 @@ impl SimConfig {
             qdisc: Qdisc::DropTail,
             ecn_enabled: false,
             topology: None,
+            arrivals: None,
         }
     }
 
@@ -315,6 +331,9 @@ impl SimConfig {
         self.cross_traffic.validate()?;
         if let Some(topology) = &self.topology {
             topology.validate()?;
+        }
+        if let Some(arrivals) = &self.arrivals {
+            arrivals.validate()?;
         }
         Ok(())
     }

@@ -112,6 +112,10 @@ pub enum Event {
     },
     /// Periodic statistics sampling tick.
     StatsTick,
+    /// The workload arrival process fires: spawn one dynamic flow (see
+    /// [`crate::workload`]) and draw the next arrival. Only scheduled when
+    /// `SimConfig::arrivals` is configured.
+    FlowArrival,
 }
 
 /// Bucket width: 2^20 ns ≈ 1.05 ms, on the order of one packet serialization

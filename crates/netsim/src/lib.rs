@@ -66,6 +66,7 @@ pub mod tcp;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod workload;
 
 pub use config::SimConfig;
 pub use sim::{SimResult, Simulation};

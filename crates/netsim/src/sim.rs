@@ -48,13 +48,26 @@ use crate::event::{Event, EventQueue};
 use crate::link::{LinkAction, LinkModel, LinkService};
 use crate::packet::{AckPacket, DataPacket, FlowId, PacketPool};
 use crate::queue::{EnqueueOutcome, GatewayQueue};
+use crate::rng::SimRng;
 use crate::simtrace::{SimTrace, TraceEvent, TraceRecorder};
-use crate::stats::{BottleneckEvent, BottleneckRecord, FlowRates, FlowStats, RunStats};
+use crate::stats::{
+    BottleneckEvent, BottleneckRecord, FctSample, FlowRates, FlowStats, RunStats, WorkloadStats,
+};
 use crate::tcp::receiver::{ReceiverConfig, TcpReceiver};
 use crate::tcp::sender::{SendPoll, SenderConfig, TcpSender};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{hop_seed, HopConfig, HopRange};
+use crate::workload::{
+    dyn_generation, dyn_handle, dyn_slot, exp_duration, is_dynamic, ArrivalConfig, ArrivalProcess,
+    GEN_MODULUS,
+};
 use std::collections::VecDeque;
+
+/// Per-flow retention cap on sink-side delivery timestamps. Far above what
+/// any classic (≤ 32 flow, seconds-long) scenario can deliver, so existing
+/// digests never see it; its job is bounding memory when a pathological
+/// config would otherwise accumulate millions of samples in one flow.
+const MAX_DELIVERY_SAMPLES_PER_FLOW: usize = 1 << 20;
 
 /// The outcome of a simulation run.
 #[derive(Clone, Debug)]
@@ -175,6 +188,136 @@ impl<C: CongestionControl> Default for FlowTable<C> {
     }
 }
 
+/// The dynamic-flow slab: bookkeeping for slots that spawn, complete and
+/// recycle during a workload run (see [`crate::workload`]).
+///
+/// Slot `s` owns the [`FlowTable`] entry at index `base + s` (where `base`
+/// is the static flow count), so dynamic flows reuse all the per-flow
+/// machinery — senders, receivers, timer dedupe slots, counters — that
+/// static flows use. The slab only adds lifecycle state: a recycle
+/// generation that invalidates stale timer events, the flow's byte budget,
+/// and an `in_network` reference count (data packets in queues/links plus
+/// ACKs in flight) that defers recycling until nothing in the simulation
+/// can still name the slot. Per-event cost is O(active): completed and
+/// recycled slots are never iterated, and the slab never grows past the
+/// configured concurrency cap — the peak *concurrent* population, not the
+/// total arrival count, bounds both memory and bookkeeping.
+#[derive(Default)]
+struct FlowSlab {
+    /// Recycled slot indices available for the next spawn.
+    free: Vec<u32>,
+    /// Per-slot recycle generation (wraps at [`GEN_MODULUS`]).
+    generation: Vec<u16>,
+    /// Per-slot transfer size in packets.
+    budget: Vec<u64>,
+    /// Per-slot spawn time (FCT = completion − spawn).
+    spawned_at: Vec<SimTime>,
+    /// Per-slot count of this flow's packets/ACKs still inside the
+    /// simulation; the slot recycles only once complete *and* zero.
+    in_network: Vec<u32>,
+    /// Per-slot completion flag (whole budget cumulatively ACKed).
+    complete: Vec<bool>,
+}
+
+impl FlowSlab {
+    /// Slots currently live: allocated and not yet recycled.
+    fn live(&self) -> usize {
+        self.generation.len() - self.free.len()
+    }
+
+    /// Clears all slots, keeping every vector's capacity for the next run.
+    fn clear(&mut self) {
+        self.free.clear();
+        self.generation.clear();
+        self.budget.clear();
+        self.spawned_at.clear();
+        self.in_network.clear();
+        self.complete.clear();
+    }
+}
+
+/// Object-safe source of congestion controllers for dynamically spawned
+/// flows. `Simulation<C>` itself carries no `Clone` bound, so the clone
+/// happens behind this trait: [`Simulation::install_arrivals`] (which does
+/// require `C: Clone`) boxes a prototype pool once per scratch lifetime and
+/// refills it in place on later installs, keeping warm evaluations off the
+/// allocator.
+trait CcSource<C> {
+    /// Number of prototypes to pick between.
+    fn count(&self) -> usize;
+    /// Builds a fresh controller from prototype `pick`.
+    fn make(&mut self, pick: usize) -> C;
+    /// Replaces the prototype set (drains `protos`, keeping its capacity).
+    fn refill(&mut self, protos: &mut Vec<C>);
+}
+
+struct ClonePool<C> {
+    protos: Vec<C>,
+}
+
+impl<C: CongestionControl + Clone> CcSource<C> for ClonePool<C> {
+    fn count(&self) -> usize {
+        self.protos.len()
+    }
+    fn make(&mut self, pick: usize) -> C {
+        self.protos[pick].clone()
+    }
+    fn refill(&mut self, protos: &mut Vec<C>) {
+        self.protos.clear();
+        self.protos.append(protos);
+    }
+}
+
+/// Runtime state of the workload arrival process (present only when
+/// `SimConfig::arrivals` is configured and prototypes were installed).
+struct WorkloadRt {
+    cfg: ArrivalConfig,
+    /// Arrival/size randomness, forked off the scenario seed.
+    rng: SimRng,
+    /// Independent stream for reservoir sampling, so retaining samples
+    /// never perturbs the arrival process.
+    reservoir_rng: SimRng,
+    /// Index of the first dynamic slot in the flow table (= static count).
+    base: usize,
+    /// ON/OFF process: end of the current ON burst (`SimTime::MAX` for
+    /// Poisson).
+    on_until: SimTime,
+    /// Path of every dynamic flow: the whole chain.
+    dyn_path: HopRange,
+    /// ACK return delay along that path.
+    dyn_ack_delay: SimDuration,
+    /// Sender config template; `buffer_packets` is overridden per spawn
+    /// with the flow's sampled size (application-limited transfer).
+    sender_cfg: SenderConfig,
+    receiver_cfg: ReceiverConfig,
+}
+
+impl WorkloadRt {
+    /// Draws the next arrival instant strictly after `t`, stepping the
+    /// ON/OFF state machine across silent periods when configured.
+    fn next_arrival_after(&mut self, t: SimTime) -> SimTime {
+        let mut at = t + self.cfg.sample_gap(&mut self.rng);
+        if let ArrivalProcess::OnOff {
+            mean_on_secs,
+            mean_off_secs,
+            ..
+        } = self.cfg.process
+        {
+            // A gap overshooting the current burst continues inside the
+            // next one: the exponential's memorylessness makes the spill
+            // carry over unchanged.
+            while at > self.on_until {
+                let spill = at.saturating_since(self.on_until);
+                let off = exp_duration(1.0 / mean_off_secs, &mut self.rng);
+                let burst_start = self.on_until + off;
+                self.on_until = burst_start + exp_duration(1.0 / mean_on_secs, &mut self.rng);
+                at = burst_start + spill;
+            }
+        }
+        at
+    }
+}
+
 /// Reusable simulation storage — the per-worker *generation arena*.
 ///
 /// Originally this held only the event calendar's bucket ring and the packet
@@ -212,6 +355,13 @@ pub struct SimScratch<C: CongestionControl = Box<dyn CongestionControl>> {
     /// traffic injection traces and link service curves all draw from (and
     /// return to) this one free list.
     time_bufs: Vec<Vec<SimTime>>,
+    /// Cleared dynamic-flow slab (capacity only; see [`FlowSlab`]).
+    slab: FlowSlab,
+    /// Retained CCA prototype pool for workload runs; refilled in place by
+    /// [`Simulation::install_arrivals`].
+    cc_source: Option<Box<dyn CcSource<C>>>,
+    /// Cleared [`WorkloadStats`] skeleton recycled between workload runs.
+    spare_workload: Option<Box<WorkloadStats>>,
 }
 
 impl<C: CongestionControl> Default for SimScratch<C> {
@@ -229,6 +379,9 @@ impl<C: CongestionControl> Default for SimScratch<C> {
             flow_capacity: Vec::new(),
             stats: RunStats::default(),
             time_bufs: Vec::new(),
+            slab: FlowSlab::default(),
+            cc_source: None,
+            spare_workload: None,
         }
     }
 }
@@ -275,7 +428,13 @@ impl<C: CongestionControl> SimScratch<C> {
             cross_dropped: _,
             truncated: _,
             events_processed: _,
+            delivery_samples_dropped: _,
+            workload,
         } = stats;
+        if let Some(mut w) = workload {
+            w.clear();
+            self.spare_workload = Some(w);
+        }
         for flow in flows.drain(..) {
             self.recycle_time_buf(flow.delivery_times);
         }
@@ -334,6 +493,13 @@ pub struct Simulation<C: CongestionControl = Box<dyn CongestionControl>> {
     /// null-check per hook — the same zero-cost-when-disabled shape as
     /// `record_events`.
     tracer: Option<Box<TraceRecorder>>,
+    /// Dynamic-flow slab (empty unless this is a workload run).
+    slab: FlowSlab,
+    /// Congestion-controller source for dynamic spawns (workload runs).
+    cc_source: Option<Box<dyn CcSource<C>>>,
+    /// Arrival-process runtime state; `Some` once
+    /// [`Simulation::install_arrivals`] has run.
+    workload: Option<WorkloadRt>,
     /// Scratch pools not claimed by this run (recycled FIFO rings, spare
     /// timestamp buffers, the drained config buffers). Carried through so
     /// [`Simulation::into_scratch`] can reassemble the full arena.
@@ -475,8 +641,13 @@ impl<C: CongestionControl> Simulation<C> {
         flows.rto_scheduled.resize(n, None);
         flows.counters.clear();
         flows.counters.resize(n, FlowCounters::default());
-        flows.senders.truncate(n);
-        flows.receivers.truncate(n);
+        if cfg.arrivals.is_none() {
+            flows.senders.truncate(n);
+            flows.receivers.truncate(n);
+        }
+        // Workload runs keep endpoint entries beyond the static count: they
+        // are last run's dynamic slots, reclaimed in place (keeping their
+        // buffers) as this run's arrivals spawn.
         for (i, (spec, &capacity)) in specs.drain(..).zip(&per_flow_capacity).enumerate() {
             // Retained endpoints are reset in place (keeping their queues'
             // capacity); extra flows beyond the retained count are built
@@ -517,6 +688,8 @@ impl<C: CongestionControl> Simulation<C> {
         let events = std::mem::take(&mut scratch.events);
         let pool = std::mem::take(&mut scratch.pool);
         let drop_buf = std::mem::take(&mut scratch.drop_buf);
+        let slab = std::mem::take(&mut scratch.slab);
+        let cc_source = scratch.cc_source.take();
         // Return the drained (empty, capacity-keeping) buffers to the arena
         // for the next construction.
         scratch.hop_cfgs = hop_cfgs;
@@ -532,9 +705,92 @@ impl<C: CongestionControl> Simulation<C> {
             finished: false,
             aqm_drop_buf: drop_buf,
             tracer: None,
+            slab,
+            cc_source,
+            workload: None,
             cfg,
             spares: scratch,
         }
+    }
+
+    /// Arms the dynamic-flow workload: must be called (with at least one
+    /// congestion-controller prototype) before [`Simulation::run`] whenever
+    /// `SimConfig::arrivals` is configured. Each arrival clones one
+    /// prototype, picked uniformly — weight a CCA by listing it several
+    /// times. Drains `protos`, keeping the caller's vector and capacity.
+    pub fn install_arrivals(&mut self, protos: &mut Vec<C>)
+    where
+        C: Clone + 'static,
+    {
+        assert!(!self.finished, "install_arrivals must precede run");
+        let cfg = self
+            .cfg
+            .arrivals
+            .expect("install_arrivals requires SimConfig::arrivals");
+        assert!(
+            !protos.is_empty(),
+            "a workload needs at least one CCA prototype"
+        );
+        match self.cc_source.as_mut() {
+            Some(src) => src.refill(protos),
+            None => {
+                self.cc_source = Some(Box::new(ClonePool {
+                    protos: std::mem::take(protos),
+                }))
+            }
+        }
+        let root = SimRng::new(self.cfg.seed);
+        let mut rng = root.fork(0xA221_57AD);
+        let reservoir_rng = root.fork(0x5E5E_0115);
+        let on_until = match cfg.process {
+            ArrivalProcess::Poisson { .. } => SimTime::MAX,
+            ArrivalProcess::OnOff { mean_on_secs, .. } => {
+                SimTime::ZERO + exp_duration(1.0 / mean_on_secs, &mut rng)
+            }
+        };
+        let dyn_path = HopRange {
+            entry: 0,
+            exit: (self.hops.len() - 1) as u32,
+        };
+        let dyn_ack_delay = self
+            .hops
+            .iter()
+            .fold(SimDuration::ZERO, |acc, h| acc + h.propagation_delay);
+        let sender_cfg = SenderConfig {
+            mss: self.cfg.mss,
+            sack_enabled: self.cfg.sack_enabled,
+            min_rto: self.cfg.min_rto,
+            max_rto: self.cfg.max_rto,
+            initial_rto: self.cfg.initial_rto,
+            initial_cwnd: self.cfg.initial_cwnd,
+            buffer_packets: 1, // overridden with the sampled size per spawn
+            // Dynamic flows never keep a transport log: a churn run spawns
+            // thousands of them and the log is the one per-flow structure
+            // that cannot be bounded.
+            record_log: false,
+            ecn_enabled: self.cfg.ecn_enabled,
+        };
+        let receiver_cfg = ReceiverConfig {
+            sack_enabled: self.cfg.sack_enabled,
+            delayed_ack: self.cfg.delayed_ack,
+            delayed_ack_count: self.cfg.delayed_ack_count,
+            delayed_ack_timeout: self.cfg.delayed_ack_timeout,
+            max_sack_blocks: 4,
+        };
+        let mut w = self.spares.spare_workload.take().unwrap_or_default();
+        w.clear();
+        self.stats.workload = Some(w);
+        self.workload = Some(WorkloadRt {
+            cfg,
+            rng,
+            reservoir_rng,
+            base: self.flows.start.len(),
+            on_until,
+            dyn_path,
+            dyn_ack_delay,
+            sender_cfg,
+            receiver_cfg,
+        });
     }
 
     /// Installs a structured trace recorder retaining the last `capacity`
@@ -564,6 +820,11 @@ impl<C: CongestionControl> Simulation<C> {
     #[inline]
     fn trace_sender(&mut self, flow: usize, now: SimTime) {
         if self.tracer.is_some() {
+            // Dynamic flows are too churny (and their indices too ambiguous
+            // across recycles) to sample individually.
+            if self.workload.as_ref().is_some_and(|rt| flow >= rt.base) {
+                return;
+            }
             let s = &self.flows.senders[flow];
             let (cwnd, in_flight, in_recovery) = (s.cwnd(), s.in_flight(), s.in_recovery());
             if let Some(tr) = self.tracer.as_deref_mut() {
@@ -617,6 +878,13 @@ impl<C: CongestionControl> Simulation<C> {
         let mut ack_delays = std::mem::take(&mut self.ack_delays);
         ack_delays.clear();
         scratch.ack_delays = ack_delays;
+        // The slab's slots (and their endpoint entries, which stay inside
+        // `flows`) recycle wholesale; generations restart at zero so a warm
+        // run replays a cold run's handle stream bit-identically.
+        let mut slab = std::mem::take(&mut self.slab);
+        slab.clear();
+        scratch.slab = slab;
+        scratch.cc_source = self.cc_source.take();
         // The simulation is consumed, so the config's trace storage can be
         // harvested too (the traffic and link fuzzing paths rebuild their
         // traces from recycled buffers each evaluation).
@@ -692,8 +960,63 @@ impl<C: CongestionControl> Simulation<C> {
     fn exit_hop(&self, flow: FlowId) -> usize {
         match flow {
             FlowId::CrossTraffic => self.hops.len() - 1,
-            FlowId::Cca(i) => self.paths[i as usize].exit as usize,
+            FlowId::Cca(raw) => self.paths[self.cca_index(raw)].exit as usize,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic flow handles
+    // ------------------------------------------------------------------
+
+    /// Decodes a raw flow handle to its flow-table index. Static handles
+    /// are their own index; dynamic handles resolve through the slab and
+    /// come back `None` when stale (the slot recycled since the event that
+    /// carries the handle was scheduled).
+    #[inline]
+    fn resolve_flow(&self, raw: u32) -> Option<usize> {
+        if !is_dynamic(raw) {
+            return Some(raw as usize);
+        }
+        let slot = dyn_slot(raw);
+        let rt = self.workload.as_ref()?;
+        (self.slab.generation.get(slot) == Some(&dyn_generation(raw))).then(|| rt.base + slot)
+    }
+
+    /// Resolves a handle carried by a packet or ACK. These can never go
+    /// stale — every in-flight packet holds an `in_network` reference that
+    /// blocks its slot's recycling — so failure here is a bug.
+    #[inline]
+    fn cca_index(&self, raw: u32) -> usize {
+        self.resolve_flow(raw)
+            .expect("packet refers to a recycled dynamic flow")
+    }
+
+    /// The raw handle for a flow-table index (the inverse of
+    /// [`Simulation::resolve_flow`]): static flows encode as their plain
+    /// index — bit-identical to the pre-slab event stream — and dynamic
+    /// slots pack slot + generation with the top bit set.
+    #[inline]
+    fn raw_flow(&self, idx: usize) -> u32 {
+        match &self.workload {
+            Some(rt) if idx >= rt.base => {
+                let slot = idx - rt.base;
+                dyn_handle(slot as u16, self.slab.generation[slot])
+            }
+            _ => idx as u32,
+        }
+    }
+
+    /// Whether a flow should ignore ACKs, timers and send opportunities:
+    /// past its scheduled stop (static flows) or already complete (dynamic
+    /// flows, which have no stop schedule).
+    #[inline]
+    fn flow_inactive(&self, idx: usize, now: SimTime) -> bool {
+        if let Some(rt) = &self.workload {
+            if idx >= rt.base {
+                return self.slab.complete[idx - rt.base];
+            }
+        }
+        self.flows.stopped(idx, now)
     }
 
     // ------------------------------------------------------------------
@@ -720,7 +1043,13 @@ impl<C: CongestionControl> Simulation<C> {
                         );
                         match dropped.flow {
                             FlowId::CrossTraffic => self.stats.cross_dropped += 1,
-                            FlowId::Cca(i) => self.flows.counters[i as usize].queue_drops += 1,
+                            FlowId::Cca(raw) => {
+                                let idx = self.cca_index(raw);
+                                self.flows.counters[idx].queue_drops += 1;
+                                if is_dynamic(raw) {
+                                    self.dyn_packet_gone(dyn_slot(raw));
+                                }
+                            }
                         }
                         self.trace(
                             now,
@@ -749,8 +1078,9 @@ impl<C: CongestionControl> Simulation<C> {
                             pkt.size,
                             BottleneckEvent::Marked,
                         );
-                        if let FlowId::Cca(i) = pkt.flow {
-                            self.flows.counters[i as usize].ce_marked += 1;
+                        if let FlowId::Cca(raw) = pkt.flow {
+                            let idx = self.cca_index(raw);
+                            self.flows.counters[idx].ce_marked += 1;
                         }
                         self.trace(
                             now,
@@ -819,7 +1149,13 @@ impl<C: CongestionControl> Simulation<C> {
             EnqueueOutcome::Dropped => {
                 match flow {
                     FlowId::CrossTraffic => self.stats.cross_dropped += 1,
-                    FlowId::Cca(i) => self.flows.counters[i as usize].queue_drops += 1,
+                    FlowId::Cca(raw) => {
+                        let idx = self.cca_index(raw);
+                        self.flows.counters[idx].queue_drops += 1;
+                        if is_dynamic(raw) {
+                            self.dyn_packet_gone(dyn_slot(raw));
+                        }
+                    }
                 }
                 self.trace(
                     now,
@@ -831,8 +1167,9 @@ impl<C: CongestionControl> Simulation<C> {
             }
             EnqueueOutcome::AcceptedMarked => {
                 self.record_bottleneck(hop, now, flow, size, BottleneckEvent::Marked);
-                if let FlowId::Cca(i) = flow {
-                    self.flows.counters[i as usize].ce_marked += 1;
+                if let FlowId::Cca(raw) = flow {
+                    let idx = self.cca_index(raw);
+                    self.flows.counters[idx].ce_marked += 1;
                 }
                 self.trace(
                     now,
@@ -856,10 +1193,11 @@ impl<C: CongestionControl> Simulation<C> {
     fn sync_rto_timer(&mut self, flow: usize) {
         if let Some((deadline, generation)) = self.flows.senders[flow].rto_deadline() {
             if self.flows.rto_scheduled[flow] != Some((deadline, generation)) {
+                let raw = self.raw_flow(flow);
                 self.events.schedule(
                     deadline.max(self.events.now()),
                     Event::RtoTimer {
-                        flow: flow as u32,
+                        flow: raw,
                         generation,
                     },
                 );
@@ -869,13 +1207,17 @@ impl<C: CongestionControl> Simulation<C> {
     }
 
     fn pump_sender(&mut self, flow: usize, now: SimTime) {
-        if self.flows.stopped(flow, now) {
+        if self.flow_inactive(flow, now) {
             return;
         }
+        let raw = self.raw_flow(flow);
         loop {
             match self.flows.senders[flow].poll_send(now) {
                 SendPoll::Packet(mut pkt) => {
-                    pkt.flow = FlowId::Cca(flow as u32);
+                    pkt.flow = FlowId::Cca(raw);
+                    if is_dynamic(raw) {
+                        self.slab.in_network[dyn_slot(raw)] += 1;
+                    }
                     // The access link from sender to its entry hop is
                     // unconstrained: packets arrive at that queue immediately.
                     let entry = self.paths[flow].entry as usize;
@@ -890,7 +1232,7 @@ impl<C: CongestionControl> Simulation<C> {
                         self.events.schedule(
                             t,
                             Event::PacingTimer {
-                                flow: flow as u32,
+                                flow: raw,
                                 generation: 0,
                             },
                         );
@@ -905,7 +1247,7 @@ impl<C: CongestionControl> Simulation<C> {
     }
 
     fn deliver_ack_to_sender(&mut self, flow: usize, ack: AckPacket, now: SimTime) {
-        if self.flows.stopped(flow, now) {
+        if self.flow_inactive(flow, now) {
             return;
         }
         self.flows.senders[flow].on_ack(&ack, now);
@@ -917,22 +1259,36 @@ impl<C: CongestionControl> Simulation<C> {
             FlowId::CrossTraffic => {
                 self.stats.cross_delivered += 1;
             }
-            FlowId::Cca(i) => {
-                let idx = i as usize;
+            FlowId::Cca(raw) => {
+                let idx = self.cca_index(raw);
                 self.flows.counters[idx].sink_received += 1;
                 let receiver = &mut self.flows.receivers[idx];
                 let before = receiver.cum_ack() + receiver.ooo_packets();
                 let out = receiver.on_data(&pkt, now);
                 let after = receiver.cum_ack() + receiver.ooo_packets();
-                for _ in before..after {
-                    self.flows.delivery_times[idx].push(now);
+                if is_dynamic(raw) {
+                    // Dynamic flows record completion times through the
+                    // bounded FCT histograms instead of per-delivery
+                    // timestamp vectors — that unboundedness is exactly
+                    // what a 10k-flow workload run cannot afford.
+                } else {
+                    for _ in before..after {
+                        if self.flows.delivery_times[idx].len() < MAX_DELIVERY_SAMPLES_PER_FLOW {
+                            self.flows.delivery_times[idx].push(now);
+                        } else {
+                            self.stats.delivery_samples_dropped += 1;
+                        }
+                    }
                 }
                 if let Some(ack) = out.ack {
+                    if is_dynamic(raw) {
+                        self.slab.in_network[dyn_slot(raw)] += 1;
+                    }
                     let parked = self.pool.put_ack(ack);
                     self.events.schedule(
-                        now + self.ack_delays[i as usize],
+                        now + self.ack_delays[idx],
                         Event::AckArrival {
-                            flow: i,
+                            flow: raw,
                             ack: parked,
                         },
                     );
@@ -941,12 +1297,190 @@ impl<C: CongestionControl> Simulation<C> {
                     self.events.schedule(
                         deadline,
                         Event::DelayedAckTimer {
-                            flow: i,
+                            flow: raw,
                             generation,
                         },
                     );
                 }
+                if is_dynamic(raw) {
+                    // The data packet itself left the network (its ACK, if
+                    // any, took its own reference above).
+                    self.dyn_packet_gone(dyn_slot(raw));
+                }
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic flow lifecycle
+    // ------------------------------------------------------------------
+
+    /// Spawns one dynamic flow at `now` (or counts a capped arrival when
+    /// the concurrency limit is reached), claiming a recycled slab slot
+    /// when one is free.
+    fn spawn_dynamic(&mut self, now: SimTime) {
+        let rt = self.workload.as_mut().expect("arrivals not installed");
+        let w = self
+            .stats
+            .workload
+            .as_mut()
+            .expect("workload stats missing");
+        if self.slab.live() >= rt.cfg.max_concurrent as usize {
+            w.capped += 1;
+            return;
+        }
+        let size = rt.cfg.size.sample(&mut rt.rng);
+        let source = self.cc_source.as_mut().expect("CCA source missing");
+        let pick = rt.rng.gen_range_usize(0, source.count());
+        let cc = source.make(pick);
+        let slot = match self.slab.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slab.generation.push(0);
+                self.slab.budget.push(0);
+                self.slab.spawned_at.push(SimTime::ZERO);
+                self.slab.in_network.push(0);
+                self.slab.complete.push(false);
+                self.slab.generation.len() - 1
+            }
+        };
+        self.slab.budget[slot] = size;
+        self.slab.spawned_at[slot] = now;
+        self.slab.in_network[slot] = 0;
+        self.slab.complete[slot] = false;
+        let idx = rt.base + slot;
+        let sender_cfg = SenderConfig {
+            buffer_packets: size,
+            ..rt.sender_cfg
+        };
+        // Claim (or create) the slot's flow-table entry. Slots allocate
+        // densely, so `idx` is at most one past the current table end.
+        if self.flows.senders.len() <= idx {
+            self.flows.senders.push(TcpSender::new(sender_cfg, cc));
+            self.flows.receivers.push(TcpReceiver::new(rt.receiver_cfg));
+        } else {
+            self.flows.senders[idx].reset_reusing(sender_cfg, cc);
+            self.flows.receivers[idx].reset_reusing(rt.receiver_cfg);
+        }
+        if self.flows.start.len() <= idx {
+            self.flows.start.push(now);
+            self.flows.stop.push(None);
+            self.flows.pacing_scheduled.push(None);
+            self.flows.rto_scheduled.push(None);
+            self.flows.delivery_times.push(Vec::new());
+            self.flows.counters.push(FlowCounters::default());
+            self.paths.push(rt.dyn_path);
+            self.ack_delays.push(rt.dyn_ack_delay);
+        } else {
+            self.flows.start[idx] = now;
+            self.flows.stop[idx] = None;
+            self.flows.pacing_scheduled[idx] = None;
+            self.flows.rto_scheduled[idx] = None;
+            self.flows.counters[idx] = FlowCounters::default();
+            self.paths[idx] = rt.dyn_path;
+            self.ack_delays[idx] = rt.dyn_ack_delay;
+        }
+        w.spawned += 1;
+        self.flows.senders[idx].on_flow_start(now);
+        self.pump_sender(idx, now);
+    }
+
+    /// Checks a dynamic flow for completion after an ACK reached its
+    /// sender, then releases the consumed ACK's network reference.
+    fn after_dyn_ack(&mut self, slot: usize, now: SimTime) {
+        let rt = self.workload.as_mut().expect("arrivals not installed");
+        let idx = rt.base + slot;
+        if !self.slab.complete[slot] && self.flows.senders[idx].cum_ack() >= self.slab.budget[slot]
+        {
+            self.slab.complete[slot] = true;
+            let fct = now.saturating_since(self.slab.spawned_at[slot]);
+            let size = self.slab.budget[slot];
+            let w = self
+                .stats
+                .workload
+                .as_mut()
+                .expect("workload stats missing");
+            w.completed += 1;
+            if rt.cfg.is_mouse(size) {
+                w.fct_mice.record(fct.as_nanos());
+            } else {
+                w.fct_elephants.record(fct.as_nanos());
+            }
+            // Algorithm-R reservoir over all completions, on its own rng
+            // stream so sampling never perturbs the arrival process.
+            let seen = w.completed;
+            if w.samples.len() < WorkloadStats::MAX_SAMPLES {
+                w.samples.push(FctSample {
+                    size_packets: size,
+                    fct,
+                });
+            } else {
+                let j = rt.reservoir_rng.gen_range_u64(0, seen) as usize;
+                if j < WorkloadStats::MAX_SAMPLES {
+                    w.samples[j] = FctSample {
+                        size_packets: size,
+                        fct,
+                    };
+                }
+            }
+        }
+        self.dyn_packet_gone(slot);
+    }
+
+    /// Releases one `in_network` reference of a dynamic slot (a data packet
+    /// delivered or dropped, or an ACK consumed) and recycles the slot once
+    /// it is complete with nothing left in flight.
+    fn dyn_packet_gone(&mut self, slot: usize) {
+        debug_assert!(self.slab.in_network[slot] > 0, "in_network underflow");
+        self.slab.in_network[slot] -= 1;
+        if self.slab.complete[slot] && self.slab.in_network[slot] == 0 {
+            self.recycle_dyn_slot(slot);
+        }
+    }
+
+    /// Returns a completed, fully drained slot to the free list, folding
+    /// its per-flow counters into the workload aggregates and bumping its
+    /// generation so any still-scheduled timer event for it dies on decode.
+    fn recycle_dyn_slot(&mut self, slot: usize) {
+        let rt = self.workload.as_ref().expect("arrivals not installed");
+        let idx = rt.base + slot;
+        let c = self.flows.counters[idx];
+        let tx = self.flows.senders[idx].transmissions();
+        // Conservation: with nothing in the network, every packet this flow
+        // ever transmitted was either delivered to the sink or dropped at a
+        // gateway queue.
+        debug_assert_eq!(
+            tx,
+            c.sink_received + c.queue_drops,
+            "per-flow conservation violated at recycle (slot {slot})"
+        );
+        let w = self
+            .stats
+            .workload
+            .as_mut()
+            .expect("workload stats missing");
+        w.completed_tx += tx;
+        w.completed_delivered += c.sink_received;
+        w.completed_dropped += c.queue_drops;
+        self.flows.counters[idx] = FlowCounters::default();
+        self.flows.pacing_scheduled[idx] = None;
+        self.flows.rto_scheduled[idx] = None;
+        self.slab.generation[slot] = (self.slab.generation[slot] + 1) % GEN_MODULUS;
+        self.slab.free.push(slot as u32);
+    }
+
+    /// Draws and schedules the next arrival, respecting the total-arrival
+    /// cap and the scenario end.
+    fn schedule_next_arrival(&mut self, now: SimTime) {
+        let w = self.stats.workload.as_ref().expect("workload stats");
+        let attempts = w.spawned + w.capped;
+        let rt = self.workload.as_mut().expect("arrivals not installed");
+        if attempts >= rt.cfg.max_arrivals {
+            return;
+        }
+        let at = rt.next_arrival_after(now);
+        if at <= self.end_time() {
+            self.events.schedule(at, Event::FlowArrival);
         }
     }
 
@@ -957,16 +1491,34 @@ impl<C: CongestionControl> Simulation<C> {
     /// Runs the simulation to completion and returns the collected results.
     pub fn run(&mut self) -> SimResult {
         assert!(!self.finished, "a Simulation can only be run once");
+        assert!(
+            self.cfg.arrivals.is_none() || self.workload.is_some(),
+            "SimConfig::arrivals requires install_arrivals before run"
+        );
         self.finished = true;
 
         // Seed the event calendar: flow starts in index order, then the
         // stats tick, then cross-traffic injections (known up front).
-        for (i, &start) in self.flows.start.iter().enumerate() {
+        // Static flows always occupy indices 0..base; dynamic flows spawn
+        // past that boundary as arrivals fire.
+        let static_flows = self
+            .workload
+            .as_ref()
+            .map(|rt| rt.base)
+            .unwrap_or(self.flows.start.len());
+        for i in 0..static_flows {
+            let start = self.flows.start[i];
             self.events
                 .schedule(start, Event::FlowStart { flow: i as u32 });
         }
         self.events.schedule(SimTime::ZERO, Event::StatsTick);
         let seed_end = self.end_time();
+        if let Some(rt) = self.workload.as_mut() {
+            let at = rt.next_arrival_after(SimTime::ZERO);
+            if at <= seed_end {
+                self.events.schedule(at, Event::FlowArrival);
+            }
+        }
         {
             // Split borrows: the injection schedule is read straight from the
             // config (no intermediate copy — the former CrossTrafficSource
@@ -1029,19 +1581,31 @@ impl<C: CongestionControl> Simulation<C> {
                     self.handle_sink_arrival(pkt, now);
                 }
                 Event::AckArrival { flow, ack } => {
+                    // ACK packets hold a network reference on dynamic flows,
+                    // so the handle can never be stale here.
+                    let idx = self.cca_index(flow);
                     let ack = self.pool.take_ack(ack);
-                    self.deliver_ack_to_sender(flow as usize, ack, now);
-                    self.trace_sender(flow as usize, now);
+                    self.deliver_ack_to_sender(idx, ack, now);
+                    if is_dynamic(flow) {
+                        self.after_dyn_ack(dyn_slot(flow), now);
+                    } else {
+                        self.trace_sender(idx, now);
+                    }
                 }
                 Event::RtoTimer { flow, generation } => {
-                    let flow = flow as usize;
+                    // Timers are the one event class that can outlive its
+                    // flow: a recycled slot bumps its generation, so a stale
+                    // handle simply fails to resolve and the event dies.
+                    let Some(flow) = self.resolve_flow(flow) else {
+                        continue;
+                    };
                     if self.flows.rto_scheduled[flow]
                         .map(|(_, g)| g == generation)
                         .unwrap_or(false)
                     {
                         self.flows.rto_scheduled[flow] = None;
                     }
-                    if self.flows.stopped(flow, now) {
+                    if self.flow_inactive(flow, now) {
                         continue;
                     }
                     if self.flows.senders[flow].on_rto_timer(generation, now) {
@@ -1055,10 +1619,15 @@ impl<C: CongestionControl> Simulation<C> {
                     }
                 }
                 Event::DelayedAckTimer { flow, generation } => {
-                    let flow_idx = flow as usize;
+                    let Some(flow_idx) = self.resolve_flow(flow) else {
+                        continue;
+                    };
                     if let Some(ack) =
                         self.flows.receivers[flow_idx].on_delack_timer(generation, now)
                     {
+                        if is_dynamic(flow) {
+                            self.slab.in_network[dyn_slot(flow)] += 1;
+                        }
                         let parked = self.pool.put_ack(ack);
                         self.events.schedule(
                             now + self.ack_delays[flow_idx],
@@ -1067,11 +1636,17 @@ impl<C: CongestionControl> Simulation<C> {
                     }
                 }
                 Event::PacingTimer { flow, .. } => {
-                    let flow = flow as usize;
+                    let Some(flow) = self.resolve_flow(flow) else {
+                        continue;
+                    };
                     if self.flows.pacing_scheduled[flow] == Some(now) {
                         self.flows.pacing_scheduled[flow] = None;
                     }
                     self.pump_sender(flow, now);
+                }
+                Event::FlowArrival => {
+                    self.spawn_dynamic(now);
+                    self.schedule_next_arrival(now);
                 }
                 Event::StatsTick => {
                     let mut len = 0usize;
@@ -1119,7 +1694,12 @@ impl<C: CongestionControl> Simulation<C> {
             .hop_counters
             .extend(self.hops.iter().map(|h| h.queue.counters()));
         self.stats.queue_counters = self.stats.hop_counters[0];
-        for i in 0..self.flows.len() {
+        if let Some(w) = self.stats.workload.as_mut() {
+            w.active_at_end = w.spawned - w.completed;
+        }
+        // Only static flows surface per-flow summaries; dynamic flows are
+        // aggregated in the workload block.
+        for i in 0..static_flows {
             let mut summary = self.flows.senders[i].summary();
             let counters = self.flows.counters[i];
             summary.queue_drops = counters.queue_drops;
@@ -1181,6 +1761,25 @@ pub fn run_multi_flow_simulation_pooled<C: CongestionControl>(
     scratch: &mut SimScratch<C>,
 ) -> SimResult {
     let mut sim = Simulation::new_multi_reusing(cfg, specs, std::mem::take(scratch));
+    let result = sim.run();
+    *scratch = sim.into_scratch();
+    result
+}
+
+/// The pooled entry point for dynamic-arrival workload runs: like
+/// [`run_multi_flow_simulation_pooled`] but also arms the flow-churn engine.
+/// `cfg.arrivals` must be `Some`; `specs` are the static background flows
+/// (elephants) and `protos` the CCA prototypes arrivals clone from (drained
+/// into the scratch-held pool on first use, refilled in place thereafter, so
+/// warm calls stay allocation-free).
+pub fn run_workload_simulation_pooled<C: CongestionControl + Clone + 'static>(
+    cfg: SimConfig,
+    specs: &mut Vec<FlowSpec<C>>,
+    protos: &mut Vec<C>,
+    scratch: &mut SimScratch<C>,
+) -> SimResult {
+    let mut sim = Simulation::new_multi_reusing(cfg, specs, std::mem::take(scratch));
+    sim.install_arrivals(protos);
     let result = sim.run();
     *scratch = sim.into_scratch();
     result
@@ -1991,5 +2590,154 @@ mod tests {
             .sum();
         assert_eq!(sent, c.enqueued_cca + c.dropped_cca);
         assert_eq!(drops, c.dropped_cca);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic-flow workload (flow churn engine)
+    // ------------------------------------------------------------------
+
+    use crate::workload::{ArrivalConfig, ArrivalProcess, SizeDistribution};
+
+    fn workload_cfg(rate_per_sec: f64, max_concurrent: u32) -> SimConfig {
+        let mut cfg = SimConfig::short_default();
+        cfg.arrivals = Some(ArrivalConfig {
+            process: ArrivalProcess::Poisson { rate_per_sec },
+            size: SizeDistribution {
+                shape: 1.2,
+                min_packets: 2,
+                max_packets: 200,
+            },
+            mice_threshold_packets: 32,
+            max_concurrent,
+            max_arrivals: 100_000,
+        });
+        cfg
+    }
+
+    fn run_workload(cfg: SimConfig, scratch: &mut SimScratch<MiniAimdCc>) -> SimResult {
+        let mut specs = vec![FlowSpec::new(MiniAimdCc::new(10))];
+        let mut protos = vec![MiniAimdCc::new(4)];
+        run_workload_simulation_pooled(cfg, &mut specs, &mut protos, scratch)
+    }
+
+    #[test]
+    fn workload_spawns_and_completes_flows() {
+        let mut scratch = SimScratch::new();
+        let result = run_workload(workload_cfg(60.0, 32), &mut scratch);
+        let w = result.stats.workload().expect("workload stats");
+        // 60 arrivals/s over 5 s: the process is random, but far from the
+        // tails — well over 100 spawns, and most mice finish within the run.
+        assert!(w.spawned > 100, "spawned {}", w.spawned);
+        assert!(w.completed > 50, "completed {}", w.completed);
+        assert!(w.completed <= w.spawned);
+        assert_eq!(w.spawned, w.completed + w.active_at_end);
+        assert_eq!(w.fct_count(), w.completed);
+        assert!(!w.samples.is_empty());
+        // Per-flow conservation folds into the aggregates at recycle time.
+        assert_eq!(w.completed_tx, w.completed_delivered + w.completed_dropped);
+        assert!(w.completed_tx > 0);
+        // The static background flow still makes progress and is the only
+        // flow surfaced per-flow.
+        assert_eq!(result.stats.flows.len(), 1);
+        assert!(result.stats.flow().delivered_packets > 0);
+    }
+
+    #[test]
+    fn workload_stats_absent_without_arrivals() {
+        let result = run_simulation(base_cfg(), boxed(MiniAimdCc::new(10)));
+        assert!(result.stats.workload().is_none());
+        assert_eq!(result.stats.delivery_samples_dropped, 0);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_scratch_reuse_is_bit_identical() {
+        let fresh = run_workload(workload_cfg(60.0, 32), &mut SimScratch::new());
+        let mut scratch = SimScratch::new();
+        for _ in 0..3 {
+            let reused = run_workload(workload_cfg(60.0, 32), &mut scratch);
+            assert_eq!(fresh.stats.digest(), reused.stats.digest());
+            assert_eq!(fresh.stats.events_processed, reused.stats.events_processed);
+            let (a, b) = (
+                fresh.stats.workload().unwrap(),
+                reused.stats.workload().unwrap(),
+            );
+            assert_eq!(a.spawned, b.spawned);
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.fct_mice.count(), b.fct_mice.count());
+            scratch.recycle_stats(reused.stats);
+        }
+    }
+
+    #[test]
+    fn workload_seed_changes_digest() {
+        let a = run_workload(workload_cfg(60.0, 32), &mut SimScratch::new());
+        let mut cfg = workload_cfg(60.0, 32);
+        cfg.seed ^= 0xDEAD_BEEF;
+        let b = run_workload(cfg, &mut SimScratch::new());
+        assert_ne!(a.stats.digest(), b.stats.digest());
+    }
+
+    #[test]
+    fn workload_concurrency_cap_recycles_slots() {
+        // A tiny concurrency cap under a heavy arrival rate: the engine must
+        // shed arrivals (capped) and keep running flows through recycled
+        // slots instead of growing the flow table.
+        let result = run_workload(workload_cfg(200.0, 4), &mut SimScratch::new());
+        let w = result.stats.workload().expect("workload stats");
+        assert!(w.capped > 0, "a 4-slot cap under 200/s must shed arrivals");
+        assert!(
+            w.completed > 4,
+            "slots must recycle: completed {}",
+            w.completed
+        );
+        assert!(w.active_at_end <= 4);
+    }
+
+    #[test]
+    fn workload_max_arrivals_caps_attempts() {
+        let mut cfg = workload_cfg(200.0, 32);
+        cfg.arrivals.as_mut().unwrap().max_arrivals = 7;
+        let result = run_workload(cfg, &mut SimScratch::new());
+        let w = result.stats.workload().expect("workload stats");
+        assert_eq!(w.spawned + w.capped, 7);
+    }
+
+    #[test]
+    fn workload_onoff_process_also_completes_flows() {
+        let mut cfg = workload_cfg(120.0, 32);
+        cfg.arrivals.as_mut().unwrap().process = ArrivalProcess::OnOff {
+            rate_per_sec: 120.0,
+            mean_on_secs: 0.5,
+            mean_off_secs: 0.5,
+        };
+        let result = run_workload(cfg.clone(), &mut SimScratch::new());
+        let w = result.stats.workload().expect("workload stats");
+        assert!(w.spawned > 20, "spawned {}", w.spawned);
+        assert!(w.completed > 0);
+        // Determinism holds for the bursty process too.
+        let again = run_workload(cfg, &mut SimScratch::new());
+        assert_eq!(result.stats.digest(), again.stats.digest());
+    }
+
+    #[test]
+    fn workload_mice_finish_faster_than_elephants() {
+        let result = run_workload(workload_cfg(60.0, 32), &mut SimScratch::new());
+        let w = result.stats.workload().expect("workload stats");
+        if w.fct_mice.count() > 10 && w.fct_elephants.count() > 3 {
+            assert!(
+                w.fct_mice.percentile_nanos(50.0) < w.fct_elephants.percentile_nanos(50.0),
+                "median mouse FCT must undercut median elephant FCT"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_requires_install_arrivals() {
+        let cfg = workload_cfg(60.0, 32);
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = Simulation::new_multi(cfg, vec![FlowSpec::new(MiniAimdCc::new(10))]);
+            sim.run()
+        });
+        assert!(result.is_err(), "run without install_arrivals must panic");
     }
 }

@@ -241,6 +241,176 @@ impl<'a> IntoIterator for &'a FlowRates {
     }
 }
 
+/// A log-bucketed flow-completion-time histogram, reusing the obs crate's
+/// bucketing scheme ([`ccfuzz_obs::metrics::bucket_index`]: exact below 16,
+/// four sub-buckets per power of two above, < 25 % relative error). Values
+/// are FCTs in nanoseconds. Bounded memory regardless of how many flows a
+/// workload run spawns — this is what replaces unbounded per-flow
+/// `delivery_times` retention for dynamic flows.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FctHistogram {
+    /// Per-bucket counts (256 buckets; allocated on first record).
+    buckets: Vec<u64>,
+    /// Total recorded values.
+    count: u64,
+    /// Sum of recorded values (nanoseconds).
+    sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    min: u64,
+    /// Largest recorded value (0 when empty).
+    max: u64,
+}
+
+/// Number of buckets in [`FctHistogram`] (mirrors the obs histogram).
+const FCT_BUCKETS: usize = 256;
+
+impl FctHistogram {
+    /// Records one FCT sample in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        if self.buckets.is_empty() {
+            self.buckets.resize(FCT_BUCKETS, 0);
+            self.min = u64::MAX;
+        }
+        self.buckets[ccfuzz_obs::metrics::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum += nanos;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean FCT in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`) in nanoseconds, linearly
+    /// interpolated within the bucket holding the target rank and clamped
+    /// to the observed min/max (the obs snapshot convention, so p95 < p99
+    /// stays ordered even inside one log bucket). Returns 0 when empty.
+    pub fn percentile_nanos(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += n;
+            if seen >= target {
+                let lo = ccfuzz_obs::metrics::bucket_floor(i);
+                let hi = if i + 1 < FCT_BUCKETS {
+                    ccfuzz_obs::metrics::bucket_floor(i + 1)
+                } else {
+                    u64::MAX
+                };
+                let frac = (target - before) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Clears all samples, keeping the bucket allocation.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = if self.buckets.is_empty() { 0 } else { u64::MAX };
+        self.max = 0;
+    }
+
+    /// Mixes the histogram's contents into a digest via `mix`.
+    fn digest_into(&self, mix: &mut impl FnMut(u64)) {
+        mix(self.count);
+        mix(self.sum);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                mix(i as u64);
+                mix(n);
+            }
+        }
+    }
+}
+
+/// One retained flow-completion sample (see [`WorkloadStats::samples`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FctSample {
+    /// The flow's byte budget in packets.
+    pub size_packets: u64,
+    /// Completion time: spawn to final delivery ACKed.
+    pub fct: SimDuration,
+}
+
+/// Statistics of a dynamic-flow workload run. Present in [`RunStats`] only
+/// when `SimConfig::arrivals` is configured; every pre-existing mode leaves
+/// it `None` and digests exactly as before.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Dynamic flows spawned by the arrival process.
+    pub spawned: u64,
+    /// Dynamic flows whose whole byte budget was delivered (each recorded
+    /// exactly one FCT sample).
+    pub completed: u64,
+    /// Arrivals skipped because the concurrent-flow cap was reached.
+    pub capped: u64,
+    /// Flows still live (spawned, not completed) when the run ended.
+    pub active_at_end: u64,
+    /// Data packets transmitted by flows that completed and recycled.
+    pub completed_tx: u64,
+    /// Data packets of completed flows that reached the sink.
+    pub completed_delivered: u64,
+    /// Data packets of completed flows dropped at a gateway queue.
+    pub completed_dropped: u64,
+    /// FCT histogram of mice (size ≤ the configured threshold).
+    pub fct_mice: FctHistogram,
+    /// FCT histogram of elephants (size > the configured threshold).
+    pub fct_elephants: FctHistogram,
+    /// Bounded reservoir of individual `(size, FCT)` samples — a uniform
+    /// random subset of all completions, capped at
+    /// [`WorkloadStats::MAX_SAMPLES`].
+    pub samples: Vec<FctSample>,
+}
+
+impl WorkloadStats {
+    /// Upper bound on retained individual FCT samples.
+    pub const MAX_SAMPLES: usize = 256;
+
+    /// Total FCT samples recorded across both size classes.
+    pub fn fct_count(&self) -> u64 {
+        self.fct_mice.count() + self.fct_elephants.count()
+    }
+
+    /// Clears all counters and histograms, keeping allocations.
+    pub fn clear(&mut self) {
+        self.spawned = 0;
+        self.completed = 0;
+        self.capped = 0;
+        self.active_at_end = 0;
+        self.completed_tx = 0;
+        self.completed_delivered = 0;
+        self.completed_dropped = 0;
+        self.fct_mice.clear();
+        self.fct_elephants.clear();
+        self.samples.clear();
+    }
+}
+
 /// Everything measured during one simulation run.
 ///
 /// The primary flow's summary and delivery times live in `flows[0]`; the
@@ -279,6 +449,12 @@ pub struct RunStats {
     pub truncated: bool,
     /// Total events processed.
     pub events_processed: u64,
+    /// Delivery timestamps not retained because a flow hit the per-flow
+    /// retention cap (bounded-memory backstop; zero in every classic mode).
+    pub delivery_samples_dropped: u64,
+    /// Dynamic-flow workload statistics; `Some` exactly when
+    /// `SimConfig::arrivals` was configured.
+    pub workload: Option<Box<WorkloadStats>>,
 }
 
 /// Zero summary returned by [`RunStats::flow`] when no flow was simulated
@@ -496,7 +672,41 @@ impl RunStats {
                 }
             }
         }
+        // A workload run (dynamic arrivals configured) extends the digest
+        // with its churn counters and FCT histograms. Classic runs carry
+        // `workload: None` and digest exactly as they did before the flow
+        // churn engine existed, which keeps every pre-existing golden
+        // digest and corpus fixture byte-identical. The retention-cap
+        // counter is mixed only when it fired (it never does in the
+        // classic ≤32-flow modes).
+        if self.delivery_samples_dropped > 0 {
+            mix(self.delivery_samples_dropped);
+        }
+        if let Some(w) = &self.workload {
+            for v in [
+                w.spawned,
+                w.completed,
+                w.capped,
+                w.active_at_end,
+                w.completed_tx,
+                w.completed_delivered,
+                w.completed_dropped,
+            ] {
+                mix(v);
+            }
+            w.fct_mice.digest_into(&mut mix);
+            w.fct_elephants.digest_into(&mut mix);
+            for s in &w.samples {
+                mix(s.size_packets);
+                mix(s.fct.as_nanos());
+            }
+        }
         h
+    }
+
+    /// The workload statistics block, if this was a dynamic-arrival run.
+    pub fn workload(&self) -> Option<&WorkloadStats> {
+        self.workload.as_deref()
     }
 }
 

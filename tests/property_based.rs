@@ -234,6 +234,94 @@ proptest! {
             + result.stats.cross_delivered;
         prop_assert!(arrived <= c.total_dequeued());
     }
+
+    #[test]
+    fn dynamic_flow_conservation_under_churn(
+        rate in 20.0f64..150.0,
+        on_off in any::<bool>(),
+        n_static in 1usize..3,
+        max_concurrent in 4u32..40,
+        min_packets in 1u64..4,
+        size_span in 4u64..200,
+        queue_cap in 10usize..60,
+        seed in any::<u64>(),
+    ) {
+        // The dynamic-flow lifecycle invariants, under randomized arrival
+        // processes and size distributions:
+        //  * the active-set bookkeeping is exact — every spawned flow is
+        //    either completed or still active at the end, never both;
+        //  * exactly one FCT sample is recorded per completion;
+        //  * per-flow packet conservation holds at recycle (tx == delivered
+        //    + dropped once the flow's last packet leaves the network) —
+        //    checked per flow by a debug assertion inside the recycler,
+        //    which this debug-profile test exercises on every recycle, and
+        //    here in aggregate over all recycled flows;
+        //  * warm scratch reuse replays the identical behaviour digest.
+        use cc_fuzz::netsim::cc::reference_cc::MiniAimdCc;
+        use cc_fuzz::netsim::sim::{run_workload_simulation_pooled, FlowSpec, SimScratch};
+        use cc_fuzz::netsim::workload::{ArrivalConfig, ArrivalProcess, SizeDistribution};
+
+        let mut cfg = cc_fuzz::fuzz::campaign::paper_sim_base(SimDuration::from_secs(1));
+        cfg.record_events = false;
+        cfg.queue_capacity = QueueCapacity::Packets(queue_cap);
+        cfg.seed = seed;
+        cfg.arrivals = Some(ArrivalConfig {
+            process: if on_off {
+                ArrivalProcess::OnOff {
+                    rate_per_sec: rate,
+                    mean_on_secs: 0.2,
+                    mean_off_secs: 0.1,
+                }
+            } else {
+                ArrivalProcess::Poisson { rate_per_sec: rate }
+            },
+            size: SizeDistribution {
+                shape: 1.2,
+                min_packets,
+                max_packets: min_packets + size_span,
+            },
+            mice_threshold_packets: 32,
+            max_concurrent,
+            max_arrivals: 10_000,
+        });
+
+        let run = |scratch: &mut SimScratch<MiniAimdCc>| {
+            let mut specs: Vec<FlowSpec<MiniAimdCc>> = (0..n_static)
+                .map(|i| FlowSpec {
+                    cc: MiniAimdCc::new(8),
+                    start: SimTime::from_millis(i as u64 * 50),
+                    stop: None,
+                })
+                .collect();
+            let mut protos = vec![MiniAimdCc::new(4), MiniAimdCc::new(8)];
+            run_workload_simulation_pooled(cfg.clone(), &mut specs, &mut protos, scratch)
+        };
+        let mut scratch = SimScratch::default();
+        let result = run(&mut scratch);
+
+        // Static flows keep their per-flow stats slots regardless of churn.
+        prop_assert_eq!(result.stats.flows.len(), n_static);
+        let w = result.stats.workload().expect("workload stats present");
+        // Active-set accounting: completed flows leave the active set, so
+        // the spawn count decomposes exactly and nothing is counted twice.
+        prop_assert_eq!(w.spawned, w.completed + w.active_at_end);
+        // Exactly one FCT sample per completion, across both size classes.
+        prop_assert_eq!(w.fct_count(), w.completed);
+        // The sample reservoir is a bounded subset of the completions.
+        prop_assert!(w.samples.len() as u64 <= w.completed);
+        prop_assert!(w.samples.len() <= cc_fuzz::netsim::stats::WorkloadStats::MAX_SAMPLES);
+        // Aggregate packet conservation over every recycled flow.
+        prop_assert_eq!(w.completed_tx, w.completed_delivered + w.completed_dropped);
+        let spawned = w.spawned;
+        let digest = result.stats.digest();
+
+        // A second run through the warm scratch (slab, calendar, pools all
+        // recycled) must replay the byte-identical behaviour.
+        scratch.recycle_stats(result.stats);
+        let again = run(&mut scratch);
+        prop_assert_eq!(again.stats.workload().expect("workload stats").spawned, spawned);
+        prop_assert_eq!(again.stats.digest(), digest);
+    }
 }
 
 /// Case count override used by the CI property job (and local deep sweeps):
